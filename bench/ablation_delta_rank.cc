@@ -1,0 +1,106 @@
+// Ablation E: how low-rank is a real fine-tuning delta?
+//
+// The premise behind LoRA — and therefore behind MetaLoRA — is that the
+// weight change induced by adapting a pre-trained model has low effective
+// rank. We test that premise directly on this repo's substrate: fully
+// fine-tune the pre-trained ResNet on the shifted multi-task data, take the
+// weight deltas W_after − W_before of each conv layer (unfolded over output
+// channels), and fit CP models of increasing rank with CP-ALS. The relative
+// reconstruction error vs rank curve quantifies how much of the update the
+// low-rank ansatz can express.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/task_suite.h"
+#include "eval/trainer.h"
+#include "nn/conv2d.h"
+#include "tensor/tensor_ops.h"
+#include "tn/cp_als.h"
+
+using namespace metalora;  // NOLINT
+
+int main(int argc, char** argv) {
+  CommandLine cli;
+  cli.AddBool("quick", false, "CI-scale run");
+  cli.AddInt("seed", 42, "root seed");
+  if (auto st = cli.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n" << cli.Usage(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.Usage(argv[0]);
+    return 0;
+  }
+  const bool quick = cli.GetBool("quick");
+  const uint64_t seed = cli.GetInt("seed");
+
+  // Pre-train, snapshot, then fully fine-tune on the shifted tasks.
+  data::ImageSpec spec{3, 16, 16};
+  data::SyntheticImageGenerator gen(spec, 6);
+  data::TaskSuite suite(4, seed + 1);
+  data::MultiTaskDataset base =
+      data::MakeBaseDataset(gen, quick ? 128 : 512, seed + 2);
+  data::MultiTaskDataset shifted =
+      data::MakeMultiTaskDataset(gen, suite, quick ? 24 : 96, seed + 3);
+
+  nn::ResNetConfig rc;
+  rc.base_width = 8;
+  rc.num_classes = 6;
+  rc.seed = seed + 4;
+  eval::Backbone bb = eval::MakeResNetBackbone(rc);
+  eval::TrainOptions popts;
+  popts.epochs = quick ? 2 : 4;
+  popts.lr = 2e-3;
+  popts.seed = seed + 5;
+  if (auto r = eval::PretrainBackbone(bb, base, popts); !r.ok()) {
+    std::cerr << r.status().ToString() << "\n";
+    return 1;
+  }
+  auto before = bb.module->StateDict();
+
+  eval::TrainOptions fopts;
+  fopts.epochs = quick ? 2 : 6;
+  fopts.lr = 1e-3;  // gentle full fine-tune
+  fopts.seed = seed + 6;
+  if (auto r = eval::PretrainBackbone(bb, shifted, fopts); !r.ok()) {
+    std::cerr << r.status().ToString() << "\n";
+    return 1;
+  }
+  auto after = bb.module->StateDict();
+
+  std::cout << "=== Ablation E: CP-ALS rank spectrum of full fine-tuning "
+               "deltas (ResNet convs) ===\n\n";
+  TablePrinter printer(
+      "relative reconstruction error of dW (lower = more of the update "
+      "captured)");
+  printer.SetHeader({"layer", "dW shape", "R=1", "R=2", "R=4", "R=8",
+                     "dW norm"});
+  for (const auto& [name, w_after] : after) {
+    if (name.find("conv1/weight") == std::string::npos &&
+        name.find("stem/weight") == std::string::npos) {
+      continue;
+    }
+    Tensor delta = Sub(w_after, before.at(name));
+    // Unfold [O, I, K, K] -> [O, I*K*K]: the matrix LoRA would factor.
+    const int64_t o = delta.dim(0);
+    Tensor mat = delta.Reshape(Shape{o, delta.numel() / o});
+    std::vector<std::string> row = {name, delta.shape().ToString()};
+    for (int64_t rank : {1, 2, 4, 8}) {
+      tn::CpAlsOptions opts;
+      opts.seed = seed + 7;
+      opts.max_iterations = 80;
+      auto fit = tn::CpAls(mat, rank, opts);
+      row.push_back(fit.ok() ? FormatDouble(fit->relative_error, 3)
+                             : "n/a");
+    }
+    row.push_back(StrFormat("%.3f", Norm2(delta)));
+    printer.AddRow(row);
+  }
+  printer.Print(std::cout);
+  std::cout << "\n(errors falling well below 1.0 at small R confirm the "
+               "low-rank premise;\n CP-ALS here plays the role of an SVD "
+               "spectrum analysis for the unfolded delta)\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation B: dynamic adaptability on unseen task variations.
+//
+// §I motivates MetaLoRA with "limited dynamic adaptability ... when handling
+// previously unseen task variations". Here one task is withheld from
+// adaptation entirely; every method then classifies that task's test
+// samples via KNN. Static adapters can only transfer what they learned on
+// the other tasks; MetaLoRA additionally conditions on the (shifted) input
+// itself, which is the mechanism this ablation isolates.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/experiment.h"
+
+using namespace metalora;  // NOLINT
+
+int main(int argc, char** argv) {
+  CommandLine cli;
+  cli.AddBool("quick", false, "CI-scale run");
+  cli.AddInt("held_out_task", 3, "task excluded from adaptation");
+  cli.AddInt("seeds", 2, "seeds to average");
+  cli.AddInt("seed", 42, "root seed");
+  if (auto st = cli.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n" << cli.Usage(argv[0]);
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.Usage(argv[0]);
+    return 0;
+  }
+
+  eval::ExperimentConfig base;
+  base.backbone = eval::BackboneKind::kResNet;
+  base.num_seeds = 1;
+  if (cli.GetBool("quick")) {
+    base.per_task_train = 32;
+    base.per_task_test = 16;
+    base.pretrain_samples = 128;
+    base.pretrain.epochs = 2;
+    base.adapt.epochs = 2;
+  }
+  const int64_t held_out = cli.GetInt("held_out_task");
+  const int num_seeds =
+      cli.GetBool("quick") ? 1 : static_cast<int>(cli.GetInt("seeds"));
+
+  const std::vector<core::AdapterKind> methods = {
+      core::AdapterKind::kNone, core::AdapterKind::kLora,
+      core::AdapterKind::kMultiLora, core::AdapterKind::kMetaLoraCp,
+      core::AdapterKind::kMetaLoraTr};
+
+  std::cout << "=== Ablation B: unseen-task adaptability (task " << held_out
+            << " withheld from adaptation, ResNet) ===\n\n";
+  TablePrinter printer("KNN K=5 accuracy");
+  printer.SetHeader({"Method", "seen tasks", "unseen task", "gap"});
+
+  for (auto method : methods) {
+    double seen_acc = 0, unseen_acc = 0;
+    for (int s = 0; s < num_seeds; ++s) {
+      eval::ExperimentConfig c = base;
+      c.seed = cli.GetInt("seed") + 7919ull * static_cast<uint64_t>(s);
+      auto r = eval::RunSingleAdaptation(c, method, c.seed, held_out);
+      if (!r.ok()) {
+        std::cerr << "run failed: " << r.status().ToString() << "\n";
+        return 1;
+      }
+      double seen_sum = 0;
+      int seen_count = 0;
+      for (const auto& [task, accs] : r->per_task) {
+        if (task == held_out) {
+          unseen_acc += accs.at(5);
+        } else {
+          seen_sum += accs.at(5);
+          ++seen_count;
+        }
+      }
+      seen_acc += seen_sum / std::max(seen_count, 1);
+    }
+    seen_acc /= num_seeds;
+    unseen_acc /= num_seeds;
+    printer.AddRow({core::AdapterKindName(method),
+                    FormatDouble(100.0 * seen_acc, 2) + "%",
+                    FormatDouble(100.0 * unseen_acc, 2) + "%",
+                    FormatDouble(100.0 * (seen_acc - unseen_acc), 2) + "pt"});
+  }
+  printer.Print(std::cout);
+  std::cout
+      << "\n(positive gap = seen tasks scored higher than the withheld one.\n"
+         " Observed at this scale the outcome is seed-dependent: on some\n"
+         " seeds the MetaLoRA variants retain the most unseen-task accuracy\n"
+         " (conditioning on the input transfers), on others their mapping\n"
+         " nets overfit seen-task feature regions and lose more than static\n"
+         " adapters. The paper's §I unseen-task claim is therefore neither\n"
+         " confirmed nor refuted here; see EXPERIMENTS.md, Ablation B.)\n";
+  return 0;
+}

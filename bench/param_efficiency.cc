@@ -1,0 +1,114 @@
+// Ablation C: parameter efficiency — the "0.1%–1% of trainable parameters"
+// claim of §I, measured on both backbones for every method.
+//
+// Prints trainable-parameter counts and fractions after injection, split by
+// layer type, plus the closed-form layer formulas from tn/tn_cost.h so the
+// measured numbers can be audited.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/inject.h"
+#include "eval/trainer.h"
+#include "nn/mlp_mixer.h"
+#include "nn/resnet.h"
+#include "tn/tn_cost.h"
+
+using namespace metalora;  // NOLINT
+
+namespace {
+
+eval::Backbone MakeBackbone(eval::BackboneKind kind) {
+  if (kind == eval::BackboneKind::kResNet) {
+    nn::ResNetConfig c;
+    c.base_width = 8;
+    c.blocks_per_stage = 1;
+    c.num_classes = 6;
+    c.seed = 1;
+    return eval::MakeResNetBackbone(c);
+  }
+  nn::MlpMixerConfig c;
+  c.image_size = 16;
+  c.patch_size = 4;
+  c.hidden_dim = 32;
+  c.token_mlp_dim = 16;
+  c.channel_mlp_dim = 64;
+  c.num_blocks = 2;
+  c.num_classes = 6;
+  c.seed = 1;
+  return eval::MakeMixerBackbone(c);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli;
+  cli.AddInt("rank", 2, "adapter rank");
+  if (auto st = cli.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.Usage(argv[0]);
+    return 0;
+  }
+  const int64_t rank = cli.GetInt("rank");
+
+  std::cout << "=== Ablation C: parameter efficiency of each method (rank "
+            << rank << ") ===\n\n";
+
+  for (auto backbone_kind :
+       {eval::BackboneKind::kResNet, eval::BackboneKind::kMlpMixer}) {
+    TablePrinter printer("Backbone: " +
+                         eval::BackboneKindName(backbone_kind));
+    printer.SetHeader({"Method", "backbone params", "trainable params",
+                       "fraction", "wrapped convs", "wrapped linears"});
+    for (auto kind :
+         {core::AdapterKind::kNone, core::AdapterKind::kLora,
+          core::AdapterKind::kMultiLora, core::AdapterKind::kMetaLoraCp,
+          core::AdapterKind::kMetaLoraTr}) {
+      eval::Backbone bb = MakeBackbone(backbone_kind);
+      const int64_t total_before = bb.module->ParamCount();
+      core::AdapterOptions opts;
+      opts.kind = kind;
+      opts.rank = rank;
+      opts.num_tasks = 4;
+      opts.feature_dim = bb.feature_dim;
+      opts.mapping_hidden = 16;
+      opts.seed = 5;
+      auto r = core::InjectAdapters(bb.module.get(), opts);
+      if (!r.ok()) {
+        std::cerr << "injection failed: " << r.status().ToString() << "\n";
+        return 1;
+      }
+      const int64_t trainable = bb.module->TrainableParamCount();
+      printer.AddRow(
+          {core::AdapterKindName(kind), FormatWithCommas(total_before),
+           FormatWithCommas(trainable),
+           FormatDouble(100.0 * trainable / total_before, 2) + "%",
+           std::to_string(r->num_wrapped_convs),
+           std::to_string(r->num_wrapped_linears)});
+    }
+    printer.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "closed-form single-layer audits (I=64, O=64, K=3):\n";
+  TablePrinter audit("");
+  audit.SetHeader({"formula", "params"});
+  audit.AddRow({"dense linear", FormatWithCommas(tn::DenseLinearParams(64, 64))});
+  audit.AddRow({"LoRA linear (R)", FormatWithCommas(tn::LoraLinearParams(64, 64, rank))});
+  audit.AddRow({"MetaLoRA TR linear (R)",
+                FormatWithCommas(tn::MetaLoraTrLinearParams(64, 64, rank))});
+  audit.AddRow({"dense conv", FormatWithCommas(tn::DenseConvParams(3, 64, 64))});
+  audit.AddRow({"Conv-LoRA (R)", FormatWithCommas(tn::ConvLoraParams(3, 64, 64, rank))});
+  audit.AddRow({"MetaLoRA TR conv (R)",
+                FormatWithCommas(tn::MetaLoraTrConvParams(3, 64, 64, rank))});
+  audit.Print(std::cout);
+  std::cout << "\n(at production widths the adapter fraction lands in the "
+               "paper's 0.1%-1% regime;\n the small backbones here sit "
+               "higher because dense layer sizes shrink quadratically\n "
+               "while adapter sizes shrink linearly)\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Task-aware adaptation with MetaLoRA (the paper's headline scenario).
+//
+// Three tasks apply *conflicting* domain shifts (one inverts intensities,
+// one rotates color channels the other way, ...). A static LoRA must find a
+// single ΔW serving all of them; MetaLoRA generates ΔW per input from the
+// frozen extractor's features. This example adapts both on identical data
+// and prints per-task KNN accuracy side by side.
+//
+// Build & run:  ./build/examples/meta_adaptation
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "common/string_util.h"
+#include "data/task_suite.h"
+#include "eval/experiment.h"
+#include "eval/knn.h"
+
+using namespace metalora;  // NOLINT
+
+namespace {
+
+struct AdaptedModel {
+  eval::Backbone backbone;
+  eval::AdaptContext ctx;
+  std::unique_ptr<core::FeatureExtractor> extractor;
+  eval::Backbone extractor_net;
+};
+
+AdaptedModel AdaptWith(core::AdapterKind kind,
+                       const std::map<std::string, Tensor>& pretrained,
+                       const nn::ResNetConfig& config,
+                       const data::MultiTaskDataset& train) {
+  AdaptedModel m;
+  m.backbone = eval::MakeResNetBackbone(config);
+  ML_CHECK_OK(m.backbone.module->LoadStateDict(pretrained));
+
+  core::AdapterOptions opts;
+  opts.kind = kind;
+  opts.rank = 2;
+  opts.feature_dim = 0;
+  if (kind == core::AdapterKind::kMetaLoraCp ||
+      kind == core::AdapterKind::kMetaLoraTr) {
+    m.extractor_net = eval::MakeResNetBackbone(config);
+    ML_CHECK_OK(m.extractor_net.module->LoadStateDict(pretrained));
+    m.extractor_net.module->SetTraining(false);
+    m.extractor = std::make_unique<core::FeatureExtractor>(
+        m.extractor_net.forward_features, m.extractor_net.feature_dim);
+    opts.feature_dim = m.extractor->feature_dim();
+  }
+  auto injection = core::InjectAdapters(m.backbone.module.get(), opts);
+  ML_CHECK_OK(injection.status());
+  m.ctx.injection = injection.value();
+  m.ctx.extractor = m.extractor.get();
+
+  eval::TrainOptions aopts;
+  aopts.epochs = 5;
+  aopts.lr = 4e-3;
+  ML_CHECK_OK(eval::AdaptModel(m.backbone, train, aopts, &m.ctx).status());
+  return m;
+}
+
+std::map<int64_t, double> PerTaskKnn(AdaptedModel& m,
+                                     const data::MultiTaskDataset& train,
+                                     const data::MultiTaskDataset& test,
+                                     int num_tasks) {
+  Tensor ref = eval::ExtractDatasetFeatures(m.backbone, train, 32, &m.ctx);
+  Tensor query = eval::ExtractDatasetFeatures(m.backbone, test, 32, &m.ctx);
+  eval::KnnOptions ko;
+  ko.k = 5;
+  auto knn = eval::KnnClassify(ref, train.labels, query, test.labels, ko);
+  ML_CHECK_OK(knn.status());
+  std::map<int64_t, double> per_task;
+  for (int t = 0; t < num_tasks; ++t) {
+    int64_t correct = 0, total = 0;
+    for (int64_t i = 0; i < test.size(); ++i) {
+      if (test.task_ids[static_cast<size_t>(i)] != t) continue;
+      ++total;
+      if (knn->predictions[static_cast<size_t>(i)] ==
+          test.labels[static_cast<size_t>(i)]) {
+        ++correct;
+      }
+    }
+    per_task[t] = total ? static_cast<double>(correct) / total : 0.0;
+  }
+  per_task[-1] = knn->accuracy;  // overall
+  return per_task;
+}
+
+}  // namespace
+
+int main() {
+  const int kNumTasks = 3;
+  data::ImageSpec spec{3, 16, 16};
+  data::SyntheticImageGenerator generator(spec, /*num_classes=*/5);
+  data::TaskSuite suite(kNumTasks, /*seed=*/31);
+  for (int t = 0; t < kNumTasks; ++t) {
+    std::cout << "task " << t << ": " << suite.task(t).ToString() << "\n";
+  }
+
+  data::MultiTaskDataset base = data::MakeBaseDataset(generator, 384, 1);
+  data::MultiTaskDataset train =
+      data::MakeMultiTaskDataset(generator, suite, 96, 2);
+  data::MultiTaskDataset test =
+      data::MakeMultiTaskDataset(generator, suite, 48, 3);
+
+  nn::ResNetConfig config;
+  config.base_width = 8;
+  config.num_classes = 5;
+  config.seed = 13;
+  eval::Backbone pretrained_bb = eval::MakeResNetBackbone(config);
+  eval::TrainOptions popts;
+  popts.epochs = 4;
+  popts.lr = 2e-3;
+  ML_CHECK_OK(eval::PretrainBackbone(pretrained_bb, base, popts).status());
+  auto pretrained = pretrained_bb.module->StateDict();
+
+  TablePrinter printer("Per-task KNN (K=5) accuracy after adaptation");
+  std::vector<std::string> header = {"Method"};
+  for (int t = 0; t < kNumTasks; ++t)
+    header.push_back("task " + std::to_string(t));
+  header.push_back("overall");
+  printer.SetHeader(header);
+
+  for (auto kind : {core::AdapterKind::kLora, core::AdapterKind::kMetaLoraCp,
+                    core::AdapterKind::kMetaLoraTr}) {
+    AdaptedModel m = AdaptWith(kind, pretrained, config, train);
+    auto acc = PerTaskKnn(m, train, test, kNumTasks);
+    std::vector<std::string> row = {core::AdapterKindName(kind)};
+    for (int t = 0; t < kNumTasks; ++t)
+      row.push_back(FormatDouble(100.0 * acc[t], 1) + "%");
+    row.push_back(FormatDouble(100.0 * acc[-1], 1) + "%");
+    printer.AddRow(row);
+  }
+  printer.Print(std::cout);
+  std::cout << "\nMetaLoRA conditions each update on the input, so it can "
+               "apply different\ncorrections to different tasks — the static "
+               "LoRA row cannot.\n";
+  return 0;
+}

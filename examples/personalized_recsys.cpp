@@ -1,0 +1,131 @@
+// Personalized recommendation with MetaLoRA (paper §III.E: "the
+// meta-learning nature of MetaLoRA makes it particularly suitable for
+// personalized applications, such as recommendation systems").
+//
+// A global like/dislike model is trained across all users; it can only learn
+// the population-shared preference. Each user also has a private preference
+// component. We freeze the global model and adapt it three ways on the same
+// interaction data:
+//   - static LoRA (one update for everyone),
+//   - MetaLoRA CP / TR conditioned on the per-user embedding,
+// then compare held-out accuracy. MetaLoRA can serve a *different* effective
+// model per user from one set of adapter weights.
+//
+// Build & run:  ./build/examples/personalized_recsys
+#include <iostream>
+
+#include "autograd/graph.h"
+#include "autograd/ops.h"
+#include "common/table_printer.h"
+#include "common/string_util.h"
+#include "core/inject.h"
+#include "data/synthetic_recsys.h"
+#include "nn/mlp.h"
+#include "optim/adam.h"
+#include "tensor/tensor_ops.h"
+
+using namespace metalora;  // NOLINT
+
+namespace {
+
+double Accuracy(nn::Module& model, const data::RecsysDataset& ds,
+                const core::InjectionResult* injection) {
+  autograd::NoGradGuard guard;
+  model.SetTraining(false);
+  if (injection != nullptr) {
+    injection->BindFeatures(
+        nn::Variable(ds.PerSampleEmbeddings(), /*requires_grad=*/false));
+  }
+  nn::Variable logits = model.Forward(nn::Variable(ds.items, false));
+  const auto preds = ArgmaxRows(logits.value());
+  int64_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == ds.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+void Train(nn::Module& model, const data::RecsysDataset& ds, int epochs,
+           double lr, const core::InjectionResult* injection) {
+  model.SetTraining(injection == nullptr);
+  std::vector<nn::Variable> params;
+  for (auto* p : model.TrainableParameters()) params.push_back(*p);
+  optim::Adam adam(params, optim::AdamOptions{.lr = lr});
+  for (int e = 0; e < epochs; ++e) {
+    model.ZeroGrad();
+    if (injection != nullptr) {
+      injection->BindFeatures(
+          nn::Variable(ds.PerSampleEmbeddings(), /*requires_grad=*/false));
+    }
+    nn::Variable logits = model.Forward(nn::Variable(ds.items, false));
+    nn::Variable loss = autograd::SoftmaxCrossEntropy(logits, ds.labels);
+    ML_CHECK_OK(autograd::Backward(loss));
+    adam.Step();
+  }
+}
+
+}  // namespace
+
+int main() {
+  data::RecsysSpec spec;
+  spec.num_users = 12;
+  spec.item_dim = 16;
+  spec.embedding_dim = 8;
+  spec.private_strength = 1.2f;
+  data::RecsysWorld world(spec, /*seed=*/7);
+  data::RecsysDataset train = world.Sample(/*per_user=*/80, 1);
+  data::RecsysDataset test = world.Sample(/*per_user=*/40, 2);
+  std::cout << spec.num_users << " users, " << train.size()
+            << " train interactions, " << test.size() << " test\n\n";
+
+  // Global (population) model.
+  Rng rng(3);
+  auto make_model = [&]() {
+    Rng local(3);  // identical init for a fair comparison
+    return std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{spec.item_dim, 32, 16, 2},
+        nn::Activation::kRelu, 0.0f, local);
+  };
+  auto global_model = make_model();
+  Train(*global_model, train, /*epochs=*/60, 2e-3, nullptr);
+  const double global_acc = Accuracy(*global_model, test, nullptr);
+  auto global_state = global_model->StateDict();
+
+  TablePrinter printer("Held-out like/dislike accuracy");
+  printer.SetHeader({"Model", "accuracy", "trainable params"});
+  printer.AddRow({"Global model (no personalization)",
+                  FormatDouble(100.0 * global_acc, 2) + "%",
+                  FormatWithCommas(global_model->ParamCount())});
+
+  struct Entry {
+    const char* label;
+    core::AdapterKind kind;
+  };
+  for (const Entry& e :
+       {Entry{"+ static LoRA", core::AdapterKind::kLora},
+        Entry{"+ MetaLoRA CP (per-user)", core::AdapterKind::kMetaLoraCp},
+        Entry{"+ MetaLoRA TR (per-user)", core::AdapterKind::kMetaLoraTr}}) {
+    auto model = make_model();
+    ML_CHECK_OK(model->LoadStateDict(global_state));
+    core::AdapterOptions opts;
+    opts.kind = e.kind;
+    opts.rank = 2;
+    opts.feature_dim = spec.embedding_dim;
+    opts.mapping_hidden = 16;
+    core::InjectionFilter filter;  // adapt every Linear in the MLP
+    filter.skip_names = {};
+    auto injection = core::InjectAdapters(model.get(), opts, filter);
+    ML_CHECK_OK(injection.status());
+    Train(*model, train, /*epochs=*/80, 4e-3, &injection.value());
+    printer.AddRow({e.label,
+                    FormatDouble(100.0 * Accuracy(*model, test,
+                                                  &injection.value()), 2) +
+                        "%",
+                    FormatWithCommas(model->TrainableParamCount())});
+  }
+  printer.Print(std::cout);
+  std::cout << "\nThe user embedding drives the mapping net, so MetaLoRA "
+               "serves per-user\neffective weights; the static LoRA can only "
+               "shift the population model once.\n";
+  return 0;
+}

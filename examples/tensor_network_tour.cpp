@@ -1,0 +1,90 @@
+// A tour of the tensor-network substrate (paper §II).
+//
+// Demonstrates the building blocks MetaLoRA is assembled from:
+//   - general tensor contraction (Eq. 1);
+//   - the dummy-tensor convolution identity (Eq. 2, Fig. 2);
+//   - CP and Tensor-Ring compression of a weight matrix, with reconstruction
+//     error vs parameter count over a rank sweep.
+//
+// Build & run:  ./build/examples/tensor_network_tour
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+#include "tn/contraction.h"
+#include "tn/cp_format.h"
+#include "tn/dummy_tensor.h"
+#include "tn/tr_format.h"
+
+using namespace metalora;  // NOLINT
+
+int main() {
+  Rng rng(99);
+
+  // --- Contraction: matrix product as a one-edge diagram. -----------------
+  Tensor a = RandomNormal(Shape{4, 6}, rng);
+  Tensor b = RandomNormal(Shape{6, 3}, rng);
+  Tensor via_contract = tn::Contract(a, b, {1}, {0}).ValueOrDie();
+  std::cout << "Contract([4,6], [6,3]) over the shared edge -> "
+            << via_contract.shape().ToString() << ", max diff vs Matmul = "
+            << MaxAbsDiff(via_contract, Matmul(a, b)) << "\n";
+
+  // Higher-order: contract a 3rd-order tensor with a matrix over one leg.
+  Tensor t3 = RandomNormal(Shape{5, 4, 6}, rng);
+  Tensor leg = tn::Contract(t3, b, {2}, {0}).ValueOrDie();
+  std::cout << "Contract([5,4,6], [6,3]) -> " << leg.shape().ToString()
+            << " (free legs keep their order)\n\n";
+
+  // --- Dummy tensors: convolution is multilinear (Eq. 2). -----------------
+  Tensor signal = RandomNormal(Shape{12}, rng);
+  Tensor filter = RandomNormal(Shape{3}, rng);
+  Tensor y_net = tn::Conv1dViaDummy(signal, filter, 1, 1).ValueOrDie();
+  Tensor y_ref = tn::Conv1dDirect(signal, filter, 1, 1);
+  std::cout << "1-D conv via dummy tensor P[j,j',k]: out "
+            << y_net.shape().ToString() << ", max diff vs direct = "
+            << MaxAbsDiff(y_net, y_ref) << "\n\n";
+
+  // --- CP and TR compression of a low-rank-ish weight matrix. -------------
+  // Build a ground-truth matrix of true rank 4, then fit nothing: just show
+  // what random CP/TR containers of growing rank *could* store and their
+  // exact reconstruction identities / parameter counts.
+  const int64_t dim = 32;
+  TablePrinter printer("CP vs TR containers for a 32x32 weight (dense = " +
+                       FormatWithCommas(dim * dim) + " params)");
+  printer.SetHeader({"rank R", "CP params", "TR params",
+                     "CP reconstruct == factors?", "TR ring trace == naive?"});
+  for (int64_t rank : {1, 2, 4, 8}) {
+    tn::CpFormat cp = tn::CpFormat::Random({dim, dim}, rank, rng);
+    tn::TrFormat tr = tn::TrFormat::Random({dim, dim}, rank, rng);
+
+    // CP identity: reconstruction equals A·diag(λ)·Bᵀ.
+    Tensor cp_full = cp.Reconstruct();
+    Tensor lam_scaled = cp.factor(0).Clone();
+    for (int64_t i = 0; i < dim; ++i)
+      for (int64_t r = 0; r < rank; ++r)
+        lam_scaled.flat(i * rank + r) *= cp.lambda().flat(r);
+    Tensor cp_ref = MatmulTransB(lam_scaled, cp.factor(1));
+    const bool cp_ok = AllClose(cp_full, cp_ref, 1e-4f, 1e-4f);
+
+    // TR identity: the chained reconstruction equals the MetaLoRA TrMatrix
+    // path when the third core is the identity ring closure.
+    Tensor eye{Shape{rank, rank}};
+    for (int64_t r = 0; r < rank; ++r) eye.flat(r * rank + r) = 1.0f;
+    Tensor tr_via_matrix =
+        tn::TrMatrix(tr.core(0), tr.core(1), eye).ValueOrDie();
+    const bool tr_ok = AllClose(tr.Reconstruct(), tr_via_matrix, 1e-3f, 1e-3f);
+
+    printer.AddRow({std::to_string(rank), FormatWithCommas(cp.ParamCount()),
+                    FormatWithCommas(tr.ParamCount()), cp_ok ? "yes" : "NO",
+                    tr_ok ? "yes" : "NO"});
+  }
+  printer.Print(std::cout);
+  std::cout << "\nThese containers are exactly what MetaLoRA generates into:\n"
+               "Eq. 6 sets the CP lambda to the mapping-net seed c, and\n"
+               "Eq. 7 sets the third TR core to the generated matrix C.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "autograd/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/graph.h"
+
+namespace metalora {
+namespace autograd {
+
+namespace {
+
+double EvalScalar(const ScalarFn& f, const std::vector<Tensor>& inputs) {
+  NoGradGuard guard;
+  std::vector<Variable> vars;
+  vars.reserve(inputs.size());
+  for (const auto& t : inputs) vars.emplace_back(t, /*requires_grad=*/false);
+  Variable out = f(vars);
+  ML_CHECK_EQ(out.numel(), 1) << "gradcheck function must return a scalar";
+  return static_cast<double>(out.value().flat(0));
+}
+
+}  // namespace
+
+GradCheckReport CheckGradients(const ScalarFn& f,
+                               const std::vector<Tensor>& inputs,
+                               const GradCheckOptions& options) {
+  GradCheckReport report;
+
+  // Analytic gradients.
+  std::vector<Variable> vars;
+  vars.reserve(inputs.size());
+  for (const auto& t : inputs) {
+    vars.emplace_back(t.Clone(), /*requires_grad=*/true);
+  }
+  Variable out = f(vars);
+  ML_CHECK_EQ(out.numel(), 1) << "gradcheck function must return a scalar";
+  ML_CHECK_OK(Backward(out));
+
+  report.passed = true;
+  for (size_t vi = 0; vi < vars.size(); ++vi) {
+    const Tensor& analytic = vars[vi].grad();
+    ML_CHECK(analytic.defined())
+        << "no gradient reached input " << vi << " — op graph is broken";
+    const int64_t n =
+        std::min<int64_t>(inputs[vi].numel(), options.max_elements);
+    for (int64_t e = 0; e < n; ++e) {
+      // Central difference on element e of input vi.
+      std::vector<Tensor> plus, minus;
+      for (size_t k = 0; k < inputs.size(); ++k) {
+        plus.push_back(inputs[k].Clone());
+        minus.push_back(inputs[k].Clone());
+      }
+      plus[vi].flat(e) += static_cast<float>(options.eps);
+      minus[vi].flat(e) -= static_cast<float>(options.eps);
+      const double numeric =
+          (EvalScalar(f, plus) - EvalScalar(f, minus)) / (2.0 * options.eps);
+      const double a = static_cast<double>(analytic.flat(e));
+      const double denom =
+          std::max({1.0, std::fabs(a), std::fabs(numeric)});
+      const double rel = std::fabs(a - numeric) / denom;
+      if (rel > report.max_rel_error) {
+        report.max_rel_error = rel;
+        report.worst_input = static_cast<int>(vi);
+        report.worst_element = e;
+        report.analytic = a;
+        report.numeric = numeric;
+      }
+      if (rel > options.rel_tol &&
+          std::fabs(a - numeric) > options.abs_tol) {
+        report.passed = false;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace autograd
+}  // namespace metalora

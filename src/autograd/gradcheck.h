@@ -1,0 +1,46 @@
+// Finite-difference gradient verification for differentiable ops.
+//
+// Property tests wrap each op in a scalar-valued function and assert that
+// analytic gradients match central finite differences within float32
+// tolerances. This is the master correctness oracle for the autograd layer.
+#ifndef METALORA_AUTOGRAD_GRADCHECK_H_
+#define METALORA_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/result.h"
+
+namespace metalora {
+namespace autograd {
+
+/// A function building a scalar Variable from leaf inputs.
+using ScalarFn = std::function<Variable(const std::vector<Variable>&)>;
+
+struct GradCheckOptions {
+  double eps = 1e-2;        // central-difference step
+  double rel_tol = 5e-2;    // max allowed relative error
+  double abs_tol = 5e-3;    // absolute slack for near-zero gradients
+  int max_elements = 64;    // elements checked per input (prefix)
+};
+
+struct GradCheckReport {
+  bool passed = false;
+  double max_rel_error = 0.0;
+  int worst_input = -1;
+  int64_t worst_element = -1;
+  double analytic = 0.0;
+  double numeric = 0.0;
+};
+
+/// Runs `f` forward and backward, then compares each analytic input gradient
+/// against central differences. Inputs are treated as requiring grad.
+GradCheckReport CheckGradients(const ScalarFn& f,
+                               const std::vector<Tensor>& inputs,
+                               const GradCheckOptions& options = {});
+
+}  // namespace autograd
+}  // namespace metalora
+
+#endif  // METALORA_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,120 @@
+#include "autograd/graph.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace autograd {
+
+namespace {
+
+// Backward is a dependency-counted sweep: a variable's producer fires only
+// after every consumer of that variable has contributed its gradient, which
+// handles arbitrary DAGs (shared subexpressions, the MetaLoRA seed fan-out)
+// with a single accumulation per edge.
+struct BackwardState {
+  std::unordered_map<VariableImpl*, int> pending;   // consumers not yet done
+  std::unordered_map<VariableImpl*, Tensor> grads;  // accumulated so far
+};
+
+void CountConsumers(VariableImpl* root, BackwardState* state) {
+  std::unordered_set<VariableImpl*> visited;
+  std::vector<VariableImpl*> stack = {root};
+  visited.insert(root);
+  while (!stack.empty()) {
+    VariableImpl* v = stack.back();
+    stack.pop_back();
+    if (!v->producer) continue;
+    for (const Variable& in : v->producer->inputs()) {
+      VariableImpl* vi = in.impl().get();
+      if (vi == nullptr || !in.requires_grad()) continue;
+      ++state->pending[vi];
+      if (visited.insert(vi).second) stack.push_back(vi);
+    }
+  }
+}
+
+void Accumulate(BackwardState* state, VariableImpl* v, const Tensor& g) {
+  auto it = state->grads.find(v);
+  if (it == state->grads.end()) {
+    state->grads.emplace(v, g.Clone());
+  } else {
+    AddInPlace(it->second, g);
+  }
+}
+
+}  // namespace
+
+Status BackwardWithGrad(const Variable& root, const Tensor& seed) {
+  if (!root.defined()) {
+    return Status::InvalidArgument("backward on undefined variable");
+  }
+  if (!root.requires_grad()) {
+    return Status::InvalidArgument(
+        "backward root does not require grad (no graph was recorded)");
+  }
+  if (!(seed.shape() == root.shape())) {
+    return Status::InvalidArgument("seed gradient shape mismatch");
+  }
+
+  BackwardState state;
+  CountConsumers(root.impl().get(), &state);
+  state.grads.emplace(root.impl().get(), seed.Clone());
+
+  std::deque<VariableImpl*> ready = {root.impl().get()};
+  while (!ready.empty()) {
+    VariableImpl* v = ready.front();
+    ready.pop_front();
+    auto git = state.grads.find(v);
+    ML_CHECK(git != state.grads.end());
+    Tensor grad = std::move(git->second);
+    state.grads.erase(git);
+
+    if (!v->producer) {
+      // Leaf: accumulate into the persistent .grad buffer.
+      if (!v->grad.defined()) {
+        v->grad = std::move(grad);
+      } else {
+        AddInPlace(v->grad, grad);
+      }
+      continue;
+    }
+
+    std::vector<Tensor> input_grads = v->producer->Backward(grad);
+    const auto& inputs = v->producer->inputs();
+    ML_CHECK_EQ(input_grads.size(), inputs.size())
+        << "op " << v->producer->name()
+        << " returned wrong number of gradients";
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      VariableImpl* vi = inputs[i].impl().get();
+      if (vi == nullptr || !inputs[i].requires_grad()) continue;
+      ML_CHECK(input_grads[i].defined())
+          << "op " << v->producer->name() << " produced no gradient for input "
+          << i << " which requires grad";
+      Accumulate(&state, vi, input_grads[i]);
+      auto pit = state.pending.find(vi);
+      ML_CHECK(pit != state.pending.end());
+      if (--pit->second == 0) ready.push_back(vi);
+    }
+  }
+  return Status::OK();
+}
+
+Status Backward(const Variable& root) {
+  if (!root.defined()) {
+    return Status::InvalidArgument("backward on undefined variable");
+  }
+  if (root.numel() != 1) {
+    return Status::InvalidArgument(
+        "Backward() requires a scalar root; use BackwardWithGrad");
+  }
+  Tensor seed = Tensor::Ones(root.shape());
+  return BackwardWithGrad(root, seed);
+}
+
+}  // namespace autograd
+}  // namespace metalora

@@ -1,0 +1,22 @@
+// Reverse-mode backward pass over the implicit autograd graph.
+#ifndef METALORA_AUTOGRAD_GRAPH_H_
+#define METALORA_AUTOGRAD_GRAPH_H_
+
+#include "autograd/variable.h"
+#include "common/status.h"
+
+namespace metalora {
+namespace autograd {
+
+/// Runs backpropagation from `root`, accumulating gradients into every
+/// reachable Variable with requires_grad. `root` must be a scalar (numel 1);
+/// its seed gradient is 1. Returns InvalidArgument otherwise.
+Status Backward(const Variable& root);
+
+/// Same, but with an explicit seed gradient of the root's shape.
+Status BackwardWithGrad(const Variable& root, const Tensor& seed);
+
+}  // namespace autograd
+}  // namespace metalora
+
+#endif  // METALORA_AUTOGRAD_GRAPH_H_

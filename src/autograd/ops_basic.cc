@@ -1,0 +1,359 @@
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace autograd {
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor out = metalora::Add(a.value(), b.value());
+  return MakeOpResult(std::move(out), {a, b}, "Add",
+                      [](const Tensor& g) -> std::vector<Tensor> {
+                        return {g, g};
+                      });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor out = metalora::Sub(a.value(), b.value());
+  return MakeOpResult(std::move(out), {a, b}, "Sub",
+                      [](const Tensor& g) -> std::vector<Tensor> {
+                        return {g, metalora::Scale(g, -1.0f)};
+                      });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor out = metalora::Mul(a.value(), b.value());
+  Tensor av = a.value(), bv = b.value();
+  return MakeOpResult(std::move(out), {a, b}, "Mul",
+                      [av, bv](const Tensor& g) -> std::vector<Tensor> {
+                        return {metalora::Mul(g, bv), metalora::Mul(g, av)};
+                      });
+}
+
+Variable Scale(const Variable& a, float s) {
+  Tensor out = metalora::Scale(a.value(), s);
+  return MakeOpResult(std::move(out), {a}, "Scale",
+                      [s](const Tensor& g) -> std::vector<Tensor> {
+                        return {metalora::Scale(g, s)};
+                      });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  Tensor out = metalora::AddScalar(a.value(), s);
+  return MakeOpResult(std::move(out), {a}, "AddScalar",
+                      [](const Tensor& g) -> std::vector<Tensor> {
+                        return {g};
+                      });
+}
+
+Variable Neg(const Variable& a) { return Scale(a, -1.0f); }
+
+Variable AddRowBroadcast(const Variable& a, const Variable& bias) {
+  Tensor out = metalora::AddRowBroadcast(a.value(), bias.value());
+  return MakeOpResult(std::move(out), {a, bias}, "AddRowBroadcast",
+                      [](const Tensor& g) -> std::vector<Tensor> {
+                        return {g, SumAxis(g, 0)};
+                      });
+}
+
+Variable MulRowBroadcast(const Variable& a, const Variable& row) {
+  ML_CHECK_EQ(a.rank(), 2);
+  ML_CHECK_EQ(row.rank(), 1);
+  ML_CHECK_EQ(a.dim(1), row.dim(0));
+  const int64_t n = a.dim(0), c = a.dim(1);
+  Tensor out{a.shape()};
+  {
+    const float* pa = a.value().data();
+    const float* pr = row.value().data();
+    float* po = out.data();
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < c; ++j) po[i * c + j] = pa[i * c + j] * pr[j];
+  }
+  Tensor av = a.value(), rv = row.value();
+  return MakeOpResult(
+      std::move(out), {a, row}, "MulRowBroadcast",
+      [av, rv, n, c](const Tensor& g) -> std::vector<Tensor> {
+        Tensor ga{av.shape()};
+        Tensor gr{rv.shape()};
+        const float* pg = g.data();
+        const float* pa = av.data();
+        const float* pr = rv.data();
+        float* pga = ga.data();
+        float* pgr = gr.data();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t j = 0; j < c; ++j) {
+            pga[i * c + j] = pg[i * c + j] * pr[j];
+            pgr[j] += pg[i * c + j] * pa[i * c + j];
+          }
+        }
+        return {ga, gr};
+      });
+}
+
+Variable ScaleChannels(const Variable& a, const Variable& s) {
+  ML_CHECK_EQ(a.rank(), 4);
+  ML_CHECK_EQ(s.rank(), 2);
+  ML_CHECK_EQ(a.dim(0), s.dim(0));
+  ML_CHECK_EQ(a.dim(1), s.dim(1));
+  const int64_t n = a.dim(0), c = a.dim(1), spatial = a.dim(2) * a.dim(3);
+  Tensor out{a.shape()};
+  {
+    const float* pa = a.value().data();
+    const float* ps = s.value().data();
+    float* po = out.data();
+    for (int64_t i = 0; i < n * c; ++i) {
+      const float sv = ps[i];
+      const float* plane = pa + i * spatial;
+      float* oplane = po + i * spatial;
+      for (int64_t k = 0; k < spatial; ++k) oplane[k] = plane[k] * sv;
+    }
+  }
+  Tensor av = a.value(), sv = s.value();
+  return MakeOpResult(
+      std::move(out), {a, s}, "ScaleChannels",
+      [av, sv, n, c, spatial](const Tensor& g) -> std::vector<Tensor> {
+        Tensor ga{av.shape()};
+        Tensor gs{sv.shape()};
+        const float* pg = g.data();
+        const float* pa = av.data();
+        const float* ps = sv.data();
+        float* pga = ga.data();
+        float* pgs = gs.data();
+        for (int64_t i = 0; i < n * c; ++i) {
+          const float scale = ps[i];
+          const float* gplane = pg + i * spatial;
+          const float* aplane = pa + i * spatial;
+          float* gaplane = pga + i * spatial;
+          float acc = 0.0f;
+          for (int64_t k = 0; k < spatial; ++k) {
+            gaplane[k] = gplane[k] * scale;
+            acc += gplane[k] * aplane[k];
+          }
+          pgs[i] = acc;
+        }
+        return {ga, gs};
+      });
+}
+
+Variable ScaleRows(const Variable& a, const Variable& s) {
+  ML_CHECK_GE(a.rank(), 1);
+  ML_CHECK_EQ(s.rank(), 1);
+  ML_CHECK_EQ(a.dim(0), s.dim(0));
+  const int64_t n = a.dim(0);
+  const int64_t rest = a.numel() / std::max<int64_t>(n, 1);
+  Tensor out{a.shape()};
+  {
+    const float* pa = a.value().data();
+    const float* ps = s.value().data();
+    float* po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const float sv = ps[i];
+      for (int64_t k = 0; k < rest; ++k)
+        po[i * rest + k] = pa[i * rest + k] * sv;
+    }
+  }
+  Tensor av = a.value(), sv = s.value();
+  return MakeOpResult(
+      std::move(out), {a, s}, "ScaleRows",
+      [av, sv, n, rest](const Tensor& g) -> std::vector<Tensor> {
+        Tensor ga{av.shape()};
+        Tensor gs{sv.shape()};
+        const float* pg = g.data();
+        const float* pa = av.data();
+        const float* ps = sv.data();
+        float* pga = ga.data();
+        float* pgs = gs.data();
+        for (int64_t i = 0; i < n; ++i) {
+          const float scale = ps[i];
+          float acc = 0.0f;
+          for (int64_t k = 0; k < rest; ++k) {
+            pga[i * rest + k] = pg[i * rest + k] * scale;
+            acc += pg[i * rest + k] * pa[i * rest + k];
+          }
+          pgs[i] = acc;
+        }
+        return {ga, gs};
+      });
+}
+
+Variable MulScalarVar(const Variable& a, const Variable& s) {
+  ML_CHECK_EQ(s.numel(), 1);
+  const float sv = s.value().flat(0);
+  Tensor out = metalora::Scale(a.value(), sv);
+  Tensor av = a.value();
+  Shape s_shape = s.shape();
+  return MakeOpResult(
+      std::move(out), {a, s}, "MulScalarVar",
+      [av, sv, s_shape](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gs{s_shape};
+        double acc = 0;
+        const float* pg = g.data();
+        const float* pa = av.data();
+        for (int64_t i = 0, n = g.numel(); i < n; ++i)
+          acc += static_cast<double>(pg[i]) * pa[i];
+        gs.flat(0) = static_cast<float>(acc);
+        return {metalora::Scale(g, sv), gs};
+      });
+}
+
+Variable RepeatRowsInterleaved(const Variable& a, int64_t k) {
+  ML_CHECK_GE(a.rank(), 1);
+  ML_CHECK_GT(k, 0);
+  if (k == 1) return a;
+  const int64_t n = a.dim(0);
+  const int64_t rest = a.numel() / std::max<int64_t>(n, 1);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims[0] = n * k;
+  Tensor out{Shape(out_dims)};
+  {
+    const float* pa = a.value().data();
+    float* po = out.data();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < k; ++j) {
+        std::copy(pa + i * rest, pa + (i + 1) * rest,
+                  po + (i * k + j) * rest);
+      }
+    }
+  }
+  Shape in_shape = a.shape();
+  return MakeOpResult(
+      std::move(out), {a}, "RepeatRowsInterleaved",
+      [in_shape, n, k, rest](const Tensor& g) -> std::vector<Tensor> {
+        Tensor ga{in_shape};
+        const float* pg = g.data();
+        float* pga = ga.data();
+        for (int64_t i = 0; i < n; ++i) {
+          float* dst = pga + i * rest;
+          for (int64_t j = 0; j < k; ++j) {
+            const float* src = pg + (i * k + j) * rest;
+            for (int64_t t = 0; t < rest; ++t) dst[t] += src[t];
+          }
+        }
+        return {ga};
+      });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor out = Map(a.value(), [](float v) { return v > 0 ? v : 0.0f; });
+  Tensor av = a.value();
+  return MakeOpResult(std::move(out), {a}, "Relu",
+                      [av](const Tensor& g) -> std::vector<Tensor> {
+                        return {Zip(g, av, [](float gv, float x) {
+                          return x > 0 ? gv : 0.0f;
+                        })};
+                      });
+}
+
+namespace {
+// tanh-approximation GELU and its derivative.
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+inline float GeluFwd(float x) {
+  const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+  return 0.5f * x * (1.0f + t);
+}
+
+inline float GeluBwd(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  const float t = std::tanh(u);
+  const float sech2 = 1.0f - t * t;
+  const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
+}
+}  // namespace
+
+Variable Gelu(const Variable& a) {
+  Tensor out = Map(a.value(), GeluFwd);
+  Tensor av = a.value();
+  return MakeOpResult(std::move(out), {a}, "Gelu",
+                      [av](const Tensor& g) -> std::vector<Tensor> {
+                        return {Zip(g, av, [](float gv, float x) {
+                          return gv * GeluBwd(x);
+                        })};
+                      });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor out = Map(a.value(), [](float v) { return std::tanh(v); });
+  Tensor ov = out;  // derivative uses the output
+  return MakeOpResult(std::move(out), {a}, "Tanh",
+                      [ov](const Tensor& g) -> std::vector<Tensor> {
+                        return {Zip(g, ov, [](float gv, float y) {
+                          return gv * (1.0f - y * y);
+                        })};
+                      });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor out =
+      Map(a.value(), [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  Tensor ov = out;
+  return MakeOpResult(std::move(out), {a}, "Sigmoid",
+                      [ov](const Tensor& g) -> std::vector<Tensor> {
+                        return {Zip(g, ov, [](float gv, float y) {
+                          return gv * y * (1.0f - y);
+                        })};
+                      });
+}
+
+Variable Square(const Variable& a) {
+  Tensor out = Map(a.value(), [](float v) { return v * v; });
+  Tensor av = a.value();
+  return MakeOpResult(std::move(out), {a}, "Square",
+                      [av](const Tensor& g) -> std::vector<Tensor> {
+                        return {Zip(g, av, [](float gv, float x) {
+                          return gv * 2.0f * x;
+                        })};
+                      });
+}
+
+Variable Exp(const Variable& a) {
+  Tensor out = Map(a.value(), [](float v) { return std::exp(v); });
+  Tensor ov = out;
+  return MakeOpResult(std::move(out), {a}, "Exp",
+                      [ov](const Tensor& g) -> std::vector<Tensor> {
+                        return {metalora::Mul(g, ov)};
+                      });
+}
+
+Variable Dropout(const Variable& a, float p, bool training, Rng& rng) {
+  ML_CHECK(p >= 0.0f && p < 1.0f) << "dropout probability out of range";
+  if (!training || p == 0.0f) return a;
+  const float keep = 1.0f - p;
+  const float inv_keep = 1.0f / keep;
+  Tensor mask{a.shape()};
+  float* pm = mask.data();
+  for (int64_t i = 0, n = mask.numel(); i < n; ++i) {
+    pm[i] = rng.Bernoulli(keep) ? inv_keep : 0.0f;
+  }
+  Tensor out = metalora::Mul(a.value(), mask);
+  return MakeOpResult(std::move(out), {a}, "Dropout",
+                      [mask](const Tensor& g) -> std::vector<Tensor> {
+                        return {metalora::Mul(g, mask)};
+                      });
+}
+
+Variable SumAll(const Variable& a) {
+  Tensor out = Tensor::Scalar(static_cast<float>(metalora::SumAll(a.value())));
+  Shape in_shape = a.shape();
+  return MakeOpResult(std::move(out), {a}, "SumAll",
+                      [in_shape](const Tensor& g) -> std::vector<Tensor> {
+                        return {Tensor::Full(in_shape, g.flat(0))};
+                      });
+}
+
+Variable MeanAll(const Variable& a) {
+  const float inv = 1.0f / static_cast<float>(a.numel());
+  Tensor out = Tensor::Scalar(static_cast<float>(metalora::MeanAll(a.value())));
+  Shape in_shape = a.shape();
+  return MakeOpResult(std::move(out), {a}, "MeanAll",
+                      [in_shape, inv](const Tensor& g) -> std::vector<Tensor> {
+                        return {Tensor::Full(in_shape, g.flat(0) * inv)};
+                      });
+}
+
+}  // namespace autograd
+}  // namespace metalora

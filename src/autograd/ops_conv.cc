@@ -1,0 +1,60 @@
+#include "autograd/ops.h"
+#include "tensor/conv_ops.h"
+
+namespace metalora {
+namespace autograd {
+
+Variable Conv2d(const Variable& x, const Variable& weight,
+                const Variable& bias, const ConvGeom& geom) {
+  const bool has_bias = bias.defined();
+  Tensor out = Conv2dForward(x.value(), weight.value(),
+                             has_bias ? bias.value() : Tensor(), geom);
+  Tensor xv = x.value(), wv = weight.value();
+  std::vector<Variable> inputs =
+      has_bias ? std::vector<Variable>{x, weight, bias}
+               : std::vector<Variable>{x, weight};
+  return MakeOpResult(
+      std::move(out), std::move(inputs), "Conv2d",
+      [xv, wv, geom, has_bias](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gx, gw, gb;
+        Conv2dBackward(xv, wv, g, geom, &gx, &gw, has_bias ? &gb : nullptr,
+                       has_bias);
+        std::vector<Tensor> grads = {gx, gw};
+        if (has_bias) grads.push_back(gb);
+        return grads;
+      });
+}
+
+Variable MaxPool2d(const Variable& x, const ConvGeom& geom) {
+  std::vector<int64_t> argmax;
+  Tensor out = metalora::MaxPool2d(x.value(), geom, &argmax);
+  Shape in_shape = x.shape();
+  return MakeOpResult(
+      std::move(out), {x}, "MaxPool2d",
+      [in_shape, argmax](const Tensor& g) -> std::vector<Tensor> {
+        return {MaxPool2dBackward(g, in_shape, argmax)};
+      });
+}
+
+Variable AvgPool2d(const Variable& x, const ConvGeom& geom) {
+  Tensor out = metalora::AvgPool2d(x.value(), geom);
+  Shape in_shape = x.shape();
+  return MakeOpResult(
+      std::move(out), {x}, "AvgPool2d",
+      [in_shape, geom](const Tensor& g) -> std::vector<Tensor> {
+        return {AvgPool2dBackward(g, in_shape, geom)};
+      });
+}
+
+Variable GlobalAvgPool(const Variable& x) {
+  Tensor out = metalora::GlobalAvgPool(x.value());
+  Shape in_shape = x.shape();
+  return MakeOpResult(
+      std::move(out), {x}, "GlobalAvgPool",
+      [in_shape](const Tensor& g) -> std::vector<Tensor> {
+        return {GlobalAvgPoolBackward(g, in_shape)};
+      });
+}
+
+}  // namespace autograd
+}  // namespace metalora

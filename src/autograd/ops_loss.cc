@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace autograd {
+
+namespace {
+
+// Row-wise softmax of [N, C] into a fresh tensor (numerically stable).
+Tensor SoftmaxRows(const Tensor& logits) {
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  Tensor probs{logits.shape()};
+  const float* pl = logits.data();
+  float* pp = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = pl + i * c;
+    float* prow = pp + i * c;
+    float mx = row[0];
+    for (int64_t j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0;
+    for (int64_t j = 0; j < c; ++j) {
+      const float e = std::exp(row[j] - mx);
+      prow[j] = e;
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) prow[j] *= inv;
+  }
+  return probs;
+}
+
+}  // namespace
+
+Variable Softmax(const Variable& logits) {
+  ML_CHECK_EQ(logits.rank(), 2);
+  Tensor probs = SoftmaxRows(logits.value());
+  Tensor pv = probs;
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  return MakeOpResult(
+      std::move(probs), {logits}, "Softmax",
+      [pv, n, c](const Tensor& g) -> std::vector<Tensor> {
+        // dx = p ⊙ (g - (g·p per row)).
+        Tensor gx{g.shape()};
+        const float* pg = g.data();
+        const float* pp = pv.data();
+        float* pgx = gx.data();
+        for (int64_t i = 0; i < n; ++i) {
+          const float* grow = pg + i * c;
+          const float* prow = pp + i * c;
+          float* gxrow = pgx + i * c;
+          double dot = 0;
+          for (int64_t j = 0; j < c; ++j)
+            dot += static_cast<double>(grow[j]) * prow[j];
+          for (int64_t j = 0; j < c; ++j)
+            gxrow[j] = prow[j] * (grow[j] - static_cast<float>(dot));
+        }
+        return {gx};
+      });
+}
+
+Variable SoftmaxLastDim(const Variable& logits) {
+  ML_CHECK_GE(logits.rank(), 1);
+  const int64_t c = logits.dim(-1);
+  const int64_t rows = logits.numel() / c;
+  Tensor probs = SoftmaxRows(logits.value().Reshape(Shape{rows, c}))
+                     .Reshape(logits.shape());
+  Tensor pv = probs;
+  return MakeOpResult(
+      std::move(probs), {logits}, "SoftmaxLastDim",
+      [pv, rows, c](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gx{g.shape()};
+        const float* pg = g.data();
+        const float* pp = pv.data();
+        float* pgx = gx.data();
+        for (int64_t i = 0; i < rows; ++i) {
+          const float* grow = pg + i * c;
+          const float* prow = pp + i * c;
+          float* gxrow = pgx + i * c;
+          double dot = 0;
+          for (int64_t j = 0; j < c; ++j)
+            dot += static_cast<double>(grow[j]) * prow[j];
+          for (int64_t j = 0; j < c; ++j)
+            gxrow[j] = prow[j] * (grow[j] - static_cast<float>(dot));
+        }
+        return {gx};
+      });
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int64_t>& labels) {
+  ML_CHECK_EQ(logits.rank(), 2);
+  const int64_t n = logits.dim(0), c = logits.dim(1);
+  ML_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  Tensor probs = SoftmaxRows(logits.value());
+  double loss_acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    ML_CHECK(y >= 0 && y < c) << "label out of range: " << y;
+    // max(p, tiny) guards against log(0) from underflow.
+    loss_acc -= std::log(std::max(probs.flat(i * c + y), 1e-30f));
+  }
+  Tensor loss = Tensor::Scalar(static_cast<float>(loss_acc / n));
+  Tensor pv = probs;
+  return MakeOpResult(
+      std::move(loss), {logits}, "SoftmaxCrossEntropy",
+      [pv, labels, n, c](const Tensor& g) -> std::vector<Tensor> {
+        // d logits = (p - onehot(y)) * g / N.
+        const float scale = g.flat(0) / static_cast<float>(n);
+        Tensor gx = pv.Clone();
+        float* pgx = gx.data();
+        for (int64_t i = 0; i < n; ++i) {
+          pgx[i * c + labels[static_cast<size_t>(i)]] -= 1.0f;
+        }
+        for (int64_t i = 0, total = n * c; i < total; ++i) pgx[i] *= scale;
+        return {gx};
+      });
+}
+
+Variable MseLoss(const Variable& pred, const Tensor& target) {
+  ML_CHECK(pred.shape() == target.shape());
+  const int64_t n = pred.numel();
+  double acc = 0;
+  const float* pp = pred.value().data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(pp[i]) - pt[i];
+    acc += d * d;
+  }
+  Tensor loss = Tensor::Scalar(static_cast<float>(acc / n));
+  Tensor pv = pred.value();
+  return MakeOpResult(
+      std::move(loss), {pred}, "MseLoss",
+      [pv, target, n](const Tensor& g) -> std::vector<Tensor> {
+        const float scale = 2.0f * g.flat(0) / static_cast<float>(n);
+        Tensor gx{pv.shape()};
+        const float* pp = pv.data();
+        const float* pt = target.data();
+        float* pgx = gx.data();
+        for (int64_t i = 0; i < n; ++i) pgx[i] = scale * (pp[i] - pt[i]);
+        return {gx};
+      });
+}
+
+}  // namespace autograd
+}  // namespace metalora

@@ -1,0 +1,165 @@
+#include "autograd/ops.h"
+#include "tensor/matmul.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace autograd {
+
+Variable Matmul(const Variable& a, const Variable& b) {
+  Tensor out = metalora::Matmul(a.value(), b.value());
+  Tensor av = a.value(), bv = b.value();
+  return MakeOpResult(
+      std::move(out), {a, b}, "Matmul",
+      [av, bv](const Tensor& g) -> std::vector<Tensor> {
+        // dA = g · Bᵀ ; dB = Aᵀ · g.
+        return {MatmulTransB(g, bv), MatmulTransA(av, g)};
+      });
+}
+
+Variable Linear(const Variable& x, const Variable& weight,
+                const Variable& bias) {
+  ML_CHECK_EQ(x.rank(), 2);
+  ML_CHECK_EQ(weight.rank(), 2);
+  ML_CHECK_EQ(x.dim(1), weight.dim(1))
+      << "Linear: x " << x.shape().ToString() << " vs W "
+      << weight.shape().ToString();
+  // y = x · Wᵀ (+ b).
+  Tensor out = MatmulTransB(x.value(), weight.value());
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    ML_CHECK_EQ(bias.rank(), 1);
+    ML_CHECK_EQ(bias.dim(0), weight.dim(0));
+    out = metalora::AddRowBroadcast(out, bias.value());
+  }
+  Tensor xv = x.value(), wv = weight.value();
+  std::vector<Variable> inputs = has_bias
+                                     ? std::vector<Variable>{x, weight, bias}
+                                     : std::vector<Variable>{x, weight};
+  return MakeOpResult(
+      std::move(out), std::move(inputs), "Linear",
+      [xv, wv, has_bias](const Tensor& g) -> std::vector<Tensor> {
+        // dx = g · W ; dW = gᵀ · x ; db = Σ_rows g.
+        std::vector<Tensor> grads;
+        grads.push_back(metalora::Matmul(g, wv));
+        grads.push_back(MatmulTransA(g, xv));
+        if (has_bias) grads.push_back(SumAxis(g, 0));
+        return grads;
+      });
+}
+
+namespace {
+
+// C[n] = A[n] · B[n] for 2-D blocks, optionally transposing either operand.
+Tensor BatchedMatmulRaw(const Tensor& a, const Tensor& b, bool trans_a,
+                        bool trans_b) {
+  const int64_t batch = a.dim(0);
+  const int64_t ar = a.dim(1), ac = a.dim(2);
+  const int64_t br = b.dim(1), bc = b.dim(2);
+  const int64_t n = trans_a ? ac : ar;
+  const int64_t k = trans_a ? ar : ac;
+  const int64_t k2 = trans_b ? bc : br;
+  const int64_t m = trans_b ? br : bc;
+  ML_CHECK_EQ(k, k2);
+  ML_CHECK_EQ(b.dim(0), batch);
+  Tensor out{Shape{batch, n, m}};
+  for (int64_t s = 0; s < batch; ++s) {
+    const float* pa = a.data() + s * ar * ac;
+    const float* pb = b.data() + s * br * bc;
+    float* pc = out.data() + s * n * m;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? pa[p * ac + i] : pa[i * ac + p];
+        if (av == 0.0f) continue;
+        if (trans_b) {
+          for (int64_t j = 0; j < m; ++j) pc[i * m + j] += av * pb[j * bc + p];
+        } else {
+          const float* brow = pb + p * bc;
+          for (int64_t j = 0; j < m; ++j) pc[i * m + j] += av * brow[j];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Variable BatchedMatmul(const Variable& a, const Variable& b) {
+  ML_CHECK_EQ(a.rank(), 3);
+  ML_CHECK_EQ(b.rank(), 3);
+  ML_CHECK_EQ(a.dim(0), b.dim(0));
+  ML_CHECK_EQ(a.dim(2), b.dim(1));
+  Tensor out = BatchedMatmulRaw(a.value(), b.value(), false, false);
+  Tensor av = a.value(), bv = b.value();
+  return MakeOpResult(
+      std::move(out), {a, b}, "BatchedMatmul",
+      [av, bv](const Tensor& g) -> std::vector<Tensor> {
+        // dA[n] = g[n] · B[n]ᵀ ; dB[n] = A[n]ᵀ · g[n].
+        return {BatchedMatmulRaw(g, bv, false, true),
+                BatchedMatmulRaw(av, g, true, false)};
+      });
+}
+
+Variable PerSamplePointwiseConv(const Variable& x, const Variable& w) {
+  ML_CHECK_EQ(x.rank(), 4);
+  ML_CHECK_EQ(w.rank(), 3);
+  const int64_t n = x.dim(0), q = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const int64_t o = w.dim(1);
+  ML_CHECK_EQ(w.dim(0), n);
+  ML_CHECK_EQ(w.dim(2), q);
+  const int64_t spatial = h * wd;
+
+  // y[n] = w[n] [O,Q] · x[n] [Q, S]  (per-sample matmul over flattened space)
+  Tensor out{Shape{n, o, h, wd}};
+  {
+    const float* px = x.value().data();
+    const float* pw = w.value().data();
+    float* py = out.data();
+    for (int64_t s = 0; s < n; ++s) {
+      const float* xs = px + s * q * spatial;
+      const float* ws = pw + s * o * q;
+      float* ys = py + s * o * spatial;
+      MatmulAccumulateRaw(ws, xs, ys, o, q, spatial);
+    }
+  }
+  Tensor xv = x.value(), wv = w.value();
+  return MakeOpResult(
+      std::move(out), {x, w}, "PerSamplePointwiseConv",
+      [xv, wv, n, q, o, spatial](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gx{xv.shape()};
+        Tensor gw{wv.shape()};
+        const float* pg = g.data();
+        const float* px = xv.data();
+        const float* pw = wv.data();
+        float* pgx = gx.data();
+        float* pgw = gw.data();
+        for (int64_t s = 0; s < n; ++s) {
+          const float* gs = pg + s * o * spatial;  // [O, S]
+          const float* xs = px + s * q * spatial;  // [Q, S]
+          const float* ws = pw + s * o * q;        // [O, Q]
+          float* gxs = pgx + s * q * spatial;      // [Q, S]
+          float* gws = pgw + s * o * q;            // [O, Q]
+          // gx = wᵀ · g : [Q,O]·[O,S]
+          for (int64_t oc = 0; oc < o; ++oc) {
+            const float* grow = gs + oc * spatial;
+            for (int64_t qc = 0; qc < q; ++qc) {
+              const float wvv = ws[oc * q + qc];
+              if (wvv != 0.0f) {
+                float* gxrow = gxs + qc * spatial;
+                for (int64_t k = 0; k < spatial; ++k)
+                  gxrow[k] += wvv * grow[k];
+              }
+              // gw[o,q] = Σ_s g[o,s] x[q,s]
+              const float* xrow = xs + qc * spatial;
+              float acc = 0.0f;
+              for (int64_t k = 0; k < spatial; ++k) acc += grow[k] * xrow[k];
+              gws[oc * q + qc] += acc;
+            }
+          }
+        }
+        return {gx, gw};
+      });
+}
+
+}  // namespace autograd
+}  // namespace metalora

@@ -1,0 +1,211 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace autograd {
+
+Variable BatchNorm2d(const Variable& x, const Variable& gamma,
+                     const Variable& beta, Tensor& running_mean,
+                     Tensor& running_var, bool training, float momentum,
+                     float eps) {
+  ML_CHECK_EQ(x.rank(), 4);
+  const int64_t n = x.dim(0), c = x.dim(1), spatial = x.dim(2) * x.dim(3);
+  ML_CHECK_EQ(gamma.dim(0), c);
+  ML_CHECK_EQ(beta.dim(0), c);
+  ML_CHECK_EQ(running_mean.dim(0), c);
+  ML_CHECK_EQ(running_var.dim(0), c);
+  const int64_t m = n * spatial;
+
+  Tensor mean{Shape{c}};
+  Tensor inv_std{Shape{c}};
+  const float* px = x.value().data();
+
+  if (training) {
+    ML_CHECK_GT(m, 1) << "BatchNorm2d needs more than one sample per channel";
+    for (int64_t ch = 0; ch < c; ++ch) {
+      double acc = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* plane = px + (i * c + ch) * spatial;
+        for (int64_t k = 0; k < spatial; ++k) acc += plane[k];
+      }
+      const double mu = acc / static_cast<double>(m);
+      double var_acc = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* plane = px + (i * c + ch) * spatial;
+        for (int64_t k = 0; k < spatial; ++k) {
+          const double d = plane[k] - mu;
+          var_acc += d * d;
+        }
+      }
+      const double var = var_acc / static_cast<double>(m);
+      mean.flat(ch) = static_cast<float>(mu);
+      inv_std.flat(ch) = static_cast<float>(1.0 / std::sqrt(var + eps));
+      // Running stats use the unbiased variance, PyTorch-style EMA.
+      const double unbiased = var_acc / static_cast<double>(m - 1);
+      running_mean.flat(ch) = static_cast<float>(
+          (1.0 - momentum) * running_mean.flat(ch) + momentum * mu);
+      running_var.flat(ch) = static_cast<float>(
+          (1.0 - momentum) * running_var.flat(ch) + momentum * unbiased);
+    }
+  } else {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      mean.flat(ch) = running_mean.flat(ch);
+      inv_std.flat(ch) =
+          1.0f / std::sqrt(running_var.flat(ch) + eps);
+    }
+  }
+
+  // Normalize and apply affine.
+  Tensor xhat{x.shape()};
+  Tensor out{x.shape()};
+  const float* pg_gamma = gamma.value().data();
+  const float* pg_beta = beta.value().data();
+  float* pxh = xhat.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float mu = mean.flat(ch);
+      const float is = inv_std.flat(ch);
+      const float gm = pg_gamma[ch];
+      const float bt = pg_beta[ch];
+      const float* plane = px + (i * c + ch) * spatial;
+      float* xh = pxh + (i * c + ch) * spatial;
+      float* op = po + (i * c + ch) * spatial;
+      for (int64_t k = 0; k < spatial; ++k) {
+        const float v = (plane[k] - mu) * is;
+        xh[k] = v;
+        op[k] = gm * v + bt;
+      }
+    }
+  }
+
+  Tensor gamma_v = gamma.value();
+  return MakeOpResult(
+      std::move(out), {x, gamma, beta}, "BatchNorm2d",
+      [xhat, inv_std, gamma_v, n, c, spatial, m,
+       training](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gx{g.shape()};
+        Tensor ggamma{Shape{c}};
+        Tensor gbeta{Shape{c}};
+        const float* pg = g.data();
+        const float* pxh = xhat.data();
+        float* pgx = gx.data();
+        for (int64_t ch = 0; ch < c; ++ch) {
+          // Channel-wise sums: Σg and Σ(g·x̂).
+          double sum_g = 0, sum_gx = 0;
+          for (int64_t i = 0; i < n; ++i) {
+            const float* gp = pg + (i * c + ch) * spatial;
+            const float* xp = pxh + (i * c + ch) * spatial;
+            for (int64_t k = 0; k < spatial; ++k) {
+              sum_g += gp[k];
+              sum_gx += static_cast<double>(gp[k]) * xp[k];
+            }
+          }
+          gbeta.flat(ch) = static_cast<float>(sum_g);
+          ggamma.flat(ch) = static_cast<float>(sum_gx);
+          const float gm = gamma_v.flat(ch);
+          const float is = inv_std.flat(ch);
+          if (training) {
+            const float inv_m = 1.0f / static_cast<float>(m);
+            const float mean_g = static_cast<float>(sum_g) * inv_m;
+            const float mean_gx = static_cast<float>(sum_gx) * inv_m;
+            for (int64_t i = 0; i < n; ++i) {
+              const float* gp = pg + (i * c + ch) * spatial;
+              const float* xp = pxh + (i * c + ch) * spatial;
+              float* gxp = pgx + (i * c + ch) * spatial;
+              for (int64_t k = 0; k < spatial; ++k) {
+                gxp[k] = gm * is * (gp[k] - mean_g - xp[k] * mean_gx);
+              }
+            }
+          } else {
+            for (int64_t i = 0; i < n; ++i) {
+              const float* gp = pg + (i * c + ch) * spatial;
+              float* gxp = pgx + (i * c + ch) * spatial;
+              for (int64_t k = 0; k < spatial; ++k) gxp[k] = gm * is * gp[k];
+            }
+          }
+        }
+        return {gx, ggamma, gbeta};
+      });
+}
+
+Variable LayerNorm(const Variable& x, const Variable& gamma,
+                   const Variable& beta, float eps) {
+  ML_CHECK_GE(x.rank(), 1);
+  const int64_t c = x.dim(-1);
+  ML_CHECK_EQ(gamma.dim(0), c);
+  ML_CHECK_EQ(beta.dim(0), c);
+  const int64_t rows = x.numel() / c;
+
+  Tensor xhat{x.shape()};
+  Tensor inv_std{Shape{rows}};
+  Tensor out{x.shape()};
+  const float* px = x.value().data();
+  const float* pgm = gamma.value().data();
+  const float* pbt = beta.value().data();
+  float* pxh = xhat.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = px + r * c;
+    double acc = 0;
+    for (int64_t j = 0; j < c; ++j) acc += row[j];
+    const double mu = acc / static_cast<double>(c);
+    double var_acc = 0;
+    for (int64_t j = 0; j < c; ++j) {
+      const double d = row[j] - mu;
+      var_acc += d * d;
+    }
+    const float is =
+        static_cast<float>(1.0 / std::sqrt(var_acc / c + eps));
+    inv_std.flat(r) = is;
+    float* xh = pxh + r * c;
+    float* op = po + r * c;
+    for (int64_t j = 0; j < c; ++j) {
+      const float v = (row[j] - static_cast<float>(mu)) * is;
+      xh[j] = v;
+      op[j] = pgm[j] * v + pbt[j];
+    }
+  }
+
+  Tensor gamma_v = gamma.value();
+  return MakeOpResult(
+      std::move(out), {x, gamma, beta}, "LayerNorm",
+      [xhat, inv_std, gamma_v, rows, c](const Tensor& g) -> std::vector<Tensor> {
+        Tensor gx{g.shape()};
+        Tensor ggamma{Shape{c}};
+        Tensor gbeta{Shape{c}};
+        const float* pg = g.data();
+        const float* pxh = xhat.data();
+        const float* pgm = gamma_v.data();
+        float* pgx = gx.data();
+        float* pgg = ggamma.data();
+        float* pgb = gbeta.data();
+        const float inv_c = 1.0f / static_cast<float>(c);
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* grow = pg + r * c;
+          const float* xrow = pxh + r * c;
+          float* gxrow = pgx + r * c;
+          double sum_dxh = 0, sum_dxh_x = 0;
+          for (int64_t j = 0; j < c; ++j) {
+            const float dxh = grow[j] * pgm[j];
+            sum_dxh += dxh;
+            sum_dxh_x += static_cast<double>(dxh) * xrow[j];
+            pgg[j] += grow[j] * xrow[j];
+            pgb[j] += grow[j];
+          }
+          const float is = inv_std.flat(r);
+          const float mean_dxh = static_cast<float>(sum_dxh) * inv_c;
+          const float mean_dxh_x = static_cast<float>(sum_dxh_x) * inv_c;
+          for (int64_t j = 0; j < c; ++j) {
+            const float dxh = grow[j] * pgm[j];
+            gxrow[j] = is * (dxh - mean_dxh - xrow[j] * mean_dxh_x);
+          }
+        }
+        return {gx, ggamma, gbeta};
+      });
+}
+
+}  // namespace autograd
+}  // namespace metalora

@@ -1,0 +1,66 @@
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace autograd {
+
+Variable Reshape(const Variable& a, Shape shape) {
+  Shape in_shape = a.shape();
+  Tensor out = a.value().Reshape(shape);
+  return MakeOpResult(std::move(out), {a}, "Reshape",
+                      [in_shape](const Tensor& g) -> std::vector<Tensor> {
+                        return {g.Reshape(in_shape)};
+                      });
+}
+
+Variable Flatten2D(const Variable& a) {
+  ML_CHECK_GE(a.rank(), 1);
+  const int64_t n = a.dim(0);
+  const int64_t rest = a.numel() / std::max<int64_t>(n, 1);
+  return Reshape(a, Shape{n, rest});
+}
+
+Variable Permute(const Variable& a, const std::vector<int>& perm) {
+  Tensor out = metalora::Permute(a.value(), perm);
+  // Inverse permutation for the backward pass.
+  std::vector<int> inv(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<size_t>(perm[i])] = static_cast<int>(i);
+  return MakeOpResult(std::move(out), {a}, "Permute",
+                      [inv](const Tensor& g) -> std::vector<Tensor> {
+                        return {metalora::Permute(g, inv)};
+                      });
+}
+
+Variable ConcatRows(const std::vector<Variable>& parts) {
+  ML_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  std::vector<int64_t> row_counts;
+  for (const auto& p : parts) {
+    values.push_back(p.value());
+    row_counts.push_back(p.dim(0));
+  }
+  Tensor out = metalora::ConcatRows(values);
+  const int64_t row_size =
+      out.numel() / std::max<int64_t>(out.dim(0), 1);
+  std::vector<Shape> shapes;
+  for (const auto& p : parts) shapes.push_back(p.shape());
+  return MakeOpResult(
+      std::move(out), parts, "ConcatRows",
+      [row_counts, shapes, row_size](const Tensor& g) -> std::vector<Tensor> {
+        std::vector<Tensor> grads;
+        const float* pg = g.data();
+        for (size_t i = 0; i < row_counts.size(); ++i) {
+          Tensor gi{shapes[i]};
+          const int64_t count = row_counts[i] * row_size;
+          std::copy(pg, pg + count, gi.data());
+          pg += count;
+          grads.push_back(std::move(gi));
+        }
+        return grads;
+      });
+}
+
+}  // namespace autograd
+}  // namespace metalora

@@ -1,0 +1,102 @@
+#include "autograd/variable.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace autograd {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  impl_ = std::make_shared<VariableImpl>();
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  ML_CHECK(impl_ != nullptr) << "value() on undefined Variable";
+  return impl_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  ML_CHECK(impl_ != nullptr) << "mutable_value() on undefined Variable";
+  return impl_->value;
+}
+
+const Tensor& Variable::grad() const {
+  ML_CHECK(impl_ != nullptr);
+  return impl_->grad;
+}
+
+Tensor& Variable::mutable_grad() {
+  ML_CHECK(impl_ != nullptr);
+  return impl_->grad;
+}
+
+void Variable::ZeroGrad() {
+  ML_CHECK(impl_ != nullptr);
+  impl_->grad = Tensor();
+}
+
+void Variable::AccumulateGrad(const Tensor& g) {
+  ML_CHECK(impl_ != nullptr);
+  ML_CHECK(g.shape() == impl_->value.shape())
+      << "gradient shape " << g.shape().ToString() << " != value shape "
+      << impl_->value.shape().ToString();
+  if (!impl_->grad.defined()) {
+    impl_->grad = g.Clone();
+  } else {
+    AddInPlace(impl_->grad, g);
+  }
+}
+
+void Variable::set_requires_grad(bool requires_grad) {
+  ML_CHECK(impl_ != nullptr);
+  ML_CHECK(impl_->producer == nullptr)
+      << "set_requires_grad on a non-leaf Variable";
+  impl_->requires_grad = requires_grad;
+}
+
+Variable Variable::Detach() const {
+  ML_CHECK(impl_ != nullptr);
+  return Variable(impl_->value, /*requires_grad=*/false);
+}
+
+const std::shared_ptr<Node>& Variable::producer() const {
+  static const std::shared_ptr<Node> kNull;
+  return impl_ ? impl_->producer : kNull;
+}
+
+Variable Variable::FromOp(Tensor value, std::shared_ptr<Node> producer) {
+  Variable v(std::move(value), /*requires_grad=*/true);
+  v.impl_->producer = std::move(producer);
+  return v;
+}
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+bool AnyRequiresGrad(const std::vector<Variable>& inputs) {
+  if (!GradEnabled()) return false;
+  for (const auto& v : inputs) {
+    if (v.requires_grad()) return true;
+  }
+  return false;
+}
+
+Variable MakeOpResult(Tensor value, std::vector<Variable> inputs,
+                      std::string name, LambdaNode::BackwardFn backward) {
+  if (!AnyRequiresGrad(inputs)) {
+    return Variable(std::move(value), /*requires_grad=*/false);
+  }
+  auto node = std::make_shared<LambdaNode>(std::move(name), std::move(backward));
+  node->set_inputs(std::move(inputs));
+  return Variable::FromOp(std::move(value), std::move(node));
+}
+
+}  // namespace autograd
+}  // namespace metalora

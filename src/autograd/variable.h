@@ -1,0 +1,150 @@
+// Variable: a Tensor plus reverse-mode autodiff bookkeeping.
+//
+// The autograd graph is implicit: every differentiable op returns a Variable
+// whose `producer` node records the op's inputs and backward function.
+// Backward(root) topologically sorts producers and accumulates gradients
+// into leaf Variables (parameters). There is no global tape, so graphs are
+// freed as soon as the Variables referencing them go out of scope.
+//
+// MetaLoRA note: the whole point of the tape design is that gradients flow
+// from the adapted backbone's loss back through the generated seed c into
+// the mapping net — a DAG with cross-links that layer-local backward
+// implementations get wrong easily.
+#ifndef METALORA_AUTOGRAD_VARIABLE_H_
+#define METALORA_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace autograd {
+
+class Node;
+
+struct VariableImpl {
+  Tensor value;
+  Tensor grad;  // undefined until first accumulation
+  bool requires_grad = false;
+  std::shared_ptr<Node> producer;  // null for leaves
+};
+
+/// A handle to a node in the autograd graph. Copies share state.
+class Variable {
+ public:
+  /// An undefined variable (no value).
+  Variable() = default;
+
+  /// Wraps `value` as a leaf. Parameters pass requires_grad = true.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr && impl_->value.defined(); }
+
+  const Tensor& value() const;
+  Tensor& mutable_value();
+
+  const Shape& shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+  int rank() const { return value().rank(); }
+  int64_t dim(int i) const { return value().dim(i); }
+
+  bool requires_grad() const { return impl_ && impl_->requires_grad; }
+
+  /// Toggles gradient tracking for a leaf (used by freeze/unfreeze). Must not
+  /// be called on op results.
+  void set_requires_grad(bool requires_grad);
+
+  /// The accumulated gradient; undefined Tensor if backward never reached
+  /// this variable.
+  const Tensor& grad() const;
+
+  /// Mutable gradient access (optimizers, gradient clipping).
+  Tensor& mutable_grad();
+
+  /// Resets the gradient to undefined (cheaper than zeroing).
+  void ZeroGrad();
+
+  /// Adds `g` into the gradient buffer (allocating on first use).
+  void AccumulateGrad(const Tensor& g);
+
+  /// Leaf view of the same value without graph history.
+  Variable Detach() const;
+
+  const std::shared_ptr<Node>& producer() const;
+
+  std::shared_ptr<VariableImpl> impl() const { return impl_; }
+
+  /// Internal: constructs a non-leaf result. Used by op implementations.
+  static Variable FromOp(Tensor value, std::shared_ptr<Node> producer);
+
+ private:
+  std::shared_ptr<VariableImpl> impl_;
+};
+
+/// An op node: keeps its inputs alive and knows how to map the output
+/// gradient to input gradients.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  /// Returns one gradient per input (undefined Tensor for inputs that do not
+  /// require grad — they are skipped during accumulation).
+  virtual std::vector<Tensor> Backward(const Tensor& grad_output) = 0;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Variable>& inputs() const { return inputs_; }
+  void set_inputs(std::vector<Variable> inputs) { inputs_ = std::move(inputs); }
+
+ private:
+  std::string name_;
+  std::vector<Variable> inputs_;
+};
+
+/// A Node whose backward is a lambda. Most ops use this.
+class LambdaNode : public Node {
+ public:
+  using BackwardFn = std::function<std::vector<Tensor>(const Tensor&)>;
+
+  LambdaNode(std::string name, BackwardFn fn)
+      : Node(std::move(name)), fn_(std::move(fn)) {}
+
+  std::vector<Tensor> Backward(const Tensor& grad_output) override {
+    return fn_(grad_output);
+  }
+
+ private:
+  BackwardFn fn_;
+};
+
+/// True while gradient recording is enabled (default). Ops consult this; in
+/// no-grad mode they return leaf results and skip node construction.
+bool GradEnabled();
+
+/// RAII guard disabling gradient recording (feature extraction, evaluation).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Helper used by every op: true if recording is on and any input needs grad.
+bool AnyRequiresGrad(const std::vector<Variable>& inputs);
+
+/// Builds the result Variable for an op: attaches a LambdaNode if gradients
+/// are being recorded and some input requires them, otherwise returns a leaf.
+Variable MakeOpResult(Tensor value, std::vector<Variable> inputs,
+                      std::string name, LambdaNode::BackwardFn backward);
+
+}  // namespace autograd
+}  // namespace metalora
+
+#endif  // METALORA_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,81 @@
+// Fatal invariant checks. ML_CHECK* abort the process with a readable
+// message; they guard programmer errors (violated preconditions inside the
+// library), not runtime conditions — those return Status.
+#ifndef METALORA_COMMON_CHECK_H_
+#define METALORA_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/status.h"
+
+namespace metalora {
+namespace internal {
+
+/// Accumulates a failure message and aborts on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace metalora
+
+#define ML_CHECK(cond)                                                     \
+  if (cond) {                                                              \
+  } else /* NOLINT */                                                      \
+    ::metalora::internal::CheckFailureStream("ML_CHECK", __FILE__,         \
+                                             __LINE__, #cond)
+
+#define ML_CHECK_OP(op, a, b)                                               \
+  if ((a)op(b)) {                                                           \
+  } else /* NOLINT */                                                       \
+    ::metalora::internal::CheckFailureStream("ML_CHECK", __FILE__,          \
+                                             __LINE__, #a " " #op " " #b)   \
+        << "(" << (a) << " vs " << (b) << ") "
+
+#define ML_CHECK_EQ(a, b) ML_CHECK_OP(==, a, b)
+#define ML_CHECK_NE(a, b) ML_CHECK_OP(!=, a, b)
+#define ML_CHECK_LT(a, b) ML_CHECK_OP(<, a, b)
+#define ML_CHECK_LE(a, b) ML_CHECK_OP(<=, a, b)
+#define ML_CHECK_GT(a, b) ML_CHECK_OP(>, a, b)
+#define ML_CHECK_GE(a, b) ML_CHECK_OP(>=, a, b)
+
+/// Aborts if a Status-returning expression fails. Use at call sites where
+/// failure indicates a bug (e.g. in tests and examples).
+#define ML_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    ::metalora::Status _st = (expr);                                       \
+    ML_CHECK(_st.ok()) << _st.ToString();                                  \
+  } while (0)
+
+/// Debug-only check: compiled out in NDEBUG builds (hot kernel paths).
+#ifdef NDEBUG
+#define ML_DCHECK(cond) \
+  if (true) {           \
+  } else /* NOLINT */   \
+    ::metalora::internal::CheckFailureStream("ML_DCHECK", __FILE__, __LINE__, #cond)
+#else
+#define ML_DCHECK(cond) ML_CHECK(cond)
+#endif
+
+#endif  // METALORA_COMMON_CHECK_H_

@@ -1,0 +1,183 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace metalora {
+
+void CommandLine::AddInt(const std::string& name, int64_t default_value,
+                         const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  ML_CHECK(flags_.emplace(name, std::move(f)).second)
+      << "duplicate flag " << name;
+  order_.push_back(name);
+}
+
+void CommandLine::AddDouble(const std::string& name, double default_value,
+                            const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  ML_CHECK(flags_.emplace(name, std::move(f)).second)
+      << "duplicate flag " << name;
+  order_.push_back(name);
+}
+
+void CommandLine::AddBool(const std::string& name, bool default_value,
+                          const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  ML_CHECK(flags_.emplace(name, std::move(f)).second)
+      << "duplicate flag " << name;
+  order_.push_back(name);
+}
+
+void CommandLine::AddString(const std::string& name,
+                            const std::string& default_value,
+                            const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = default_value;
+  ML_CHECK(flags_.emplace(name, std::move(f)).second)
+      << "duplicate flag " << name;
+  order_.push_back(name);
+}
+
+Status CommandLine::SetFromString(Flag& flag, const std::string& value) {
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kInt: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0')
+        return Status::InvalidArgument("bad integer: " + value);
+      flag.int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0')
+        return Status::InvalidArgument("bad double: " + value);
+      flag.double_value = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("bad bool: " + value);
+      }
+      return Status::OK();
+    }
+    case Type::kString:
+      flag.string_value = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status CommandLine::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    ML_RETURN_IF_ERROR(SetFromString(flag, value));
+  }
+  return Status::OK();
+}
+
+int64_t CommandLine::GetInt(const std::string& name) const {
+  auto it = flags_.find(name);
+  ML_CHECK(it != flags_.end()) << "unknown flag " << name;
+  ML_CHECK(it->second.type == Type::kInt);
+  return it->second.int_value;
+}
+
+double CommandLine::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  ML_CHECK(it != flags_.end()) << "unknown flag " << name;
+  ML_CHECK(it->second.type == Type::kDouble);
+  return it->second.double_value;
+}
+
+bool CommandLine::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  ML_CHECK(it != flags_.end()) << "unknown flag " << name;
+  ML_CHECK(it->second.type == Type::kBool);
+  return it->second.bool_value;
+}
+
+const std::string& CommandLine::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  ML_CHECK(it != flags_.end()) << "unknown flag " << name;
+  ML_CHECK(it->second.type == Type::kString);
+  return it->second.string_value;
+}
+
+std::string CommandLine::Usage(const std::string& program) const {
+  std::string out = "Usage: " + program + " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    std::string def;
+    switch (f.type) {
+      case Type::kInt:
+        def = std::to_string(f.int_value);
+        break;
+      case Type::kDouble:
+        def = StrFormat("%g", f.double_value);
+        break;
+      case Type::kBool:
+        def = f.bool_value ? "true" : "false";
+        break;
+      case Type::kString:
+        def = f.string_value;
+        break;
+    }
+    out += StrFormat("  --%-20s %s (default: %s)\n", name.c_str(),
+                     f.help.c_str(), def.c_str());
+  }
+  return out;
+}
+
+}  // namespace metalora

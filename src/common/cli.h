@@ -1,0 +1,65 @@
+// A tiny command-line flag parser for experiment binaries.
+//
+// Supports "--name=value", "--name value", and boolean "--name". Unknown
+// flags are an error so typos in sweep scripts fail loudly.
+#ifndef METALORA_COMMON_CLI_H_
+#define METALORA_COMMON_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace metalora {
+
+class CommandLine {
+ public:
+  CommandLine() = default;
+
+  /// Registers flags with their default values and help text.
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Parses argv; returns InvalidArgument on unknown flags or bad values.
+  /// Recognizes --help and sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders usage text for --help.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+
+  Status SetFromString(Flag& flag, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  bool help_requested_ = false;
+};
+
+}  // namespace metalora
+
+#endif  // METALORA_COMMON_CLI_H_

@@ -1,0 +1,48 @@
+#include "common/csv.h"
+
+namespace metalora {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::IOError("cannot open for writing: " + path);
+  }
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok()) return;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << CsvEscape(fields[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) status_ = Status::IOError("write failed");
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_.good() && status_.ok()) status_ = Status::IOError("flush failed");
+    out_.close();
+  }
+  return status_;
+}
+
+}  // namespace metalora

@@ -1,0 +1,37 @@
+// CSV writer used by bench harnesses to dump reproducible result rows.
+#ifndef METALORA_COMMON_CSV_H_
+#define METALORA_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace metalora {
+
+/// Writes rows of string fields with RFC-4180 quoting. Not thread-safe.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check `status()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  const Status& status() const { return status_; }
+
+  /// Writes one row; fields containing commas/quotes/newlines are quoted.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes. Returns the final status.
+  Status Close();
+
+ private:
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Quotes a single CSV field if needed.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace metalora
+
+#endif  // METALORA_COMMON_CSV_H_

@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr. Intended for experiment harnesses and
+// long-running training loops; hot kernels must not log.
+#ifndef METALORA_COMMON_LOGGING_H_
+#define METALORA_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace metalora {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace metalora
+
+#define ML_LOG(level)                                            \
+  ::metalora::internal::LogMessage(::metalora::LogLevel::k##level, \
+                                   __FILE__, __LINE__)
+
+#endif  // METALORA_COMMON_LOGGING_H_

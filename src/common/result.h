@@ -1,0 +1,77 @@
+// Result<T>: a value-or-Status union, the library's equivalent of
+// arrow::Result / absl::StatusOr. Functions that can fail and produce a value
+// return Result<T>; callers either propagate with ML_ASSIGN_OR_RETURN or
+// unwrap with ValueOrDie() when failure is a programming error.
+#ifndef METALORA_COMMON_RESULT_H_
+#define METALORA_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace metalora {
+
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    ML_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The held value; must only be called when ok().
+  const T& value() const& {
+    ML_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    ML_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    ML_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Unwraps, aborting with a readable message on error. For use when an
+  /// error indicates a bug rather than a runtime condition.
+  T ValueOrDie() && {
+    ML_CHECK(ok()) << "Result::ValueOrDie() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace metalora
+
+/// ML_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>); on error
+/// returns the Status from the enclosing function, else assigns the value.
+#define ML_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define ML_ASSIGN_OR_RETURN(lhs, expr) \
+  ML_ASSIGN_OR_RETURN_IMPL(ML_CONCAT_(_ml_result_, __LINE__), lhs, expr)
+
+#define ML_CONCAT_INNER_(a, b) a##b
+#define ML_CONCAT_(a, b) ML_CONCAT_INNER_(a, b)
+
+#endif  // METALORA_COMMON_RESULT_H_

@@ -1,0 +1,100 @@
+// Status: the error-reporting currency of the library.
+//
+// Follows the RocksDB/Arrow idiom: recoverable failures (shape mismatches,
+// bad arguments, I/O problems) are reported through `Status` / `Result<T>`
+// return values rather than exceptions. Fatal programmer errors use the
+// ML_CHECK macros in common/check.h.
+#ifndef METALORA_COMMON_STATUS_H_
+#define METALORA_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace metalora {
+
+/// Broad classification of an error. Kept deliberately small; the human
+/// readable message carries the detail.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kCorruption = 7,
+  kUnimplemented = 8,
+  kInternal = 9,
+};
+
+/// Returns a stable, human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to return by value: the OK status carries
+/// no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace metalora
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is constructible from Status).
+#define ML_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::metalora::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#endif  // METALORA_COMMON_STATUS_H_

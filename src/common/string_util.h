@@ -1,0 +1,39 @@
+// Small string helpers shared across the library.
+#ifndef METALORA_COMMON_STRING_UTIL_H_
+#define METALORA_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metalora {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// "12,345,678" style grouping for readable parameter counts.
+std::string FormatWithCommas(int64_t value);
+
+/// Lossless-enough human formatting of a byte or FLOP count (k/M/G suffix).
+std::string HumanCount(double value);
+
+}  // namespace metalora
+
+#endif  // METALORA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+// Aligned ASCII table printing for experiment harnesses: all "paper table"
+// reproductions print through this so stdout output is uniform and diffable.
+#ifndef METALORA_COMMON_TABLE_PRINTER_H_
+#define METALORA_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace metalora {
+
+class TablePrinter {
+ public:
+  /// Optional title printed above the table.
+  explicit TablePrinter(std::string title = "");
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  /// Inserts a horizontal rule after the current last row.
+  void AddSeparator();
+
+  /// Renders to `os` with column alignment and box-drawing rules.
+  void Print(std::ostream& os) const;
+
+  /// Renders to a string.
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace metalora
+
+#endif  // METALORA_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+
+namespace metalora {
+
+ThreadPool::ThreadPool(int num_threads) {
+  ML_CHECK_GE(num_threads, 0);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  ML_CHECK_LE(begin, end);
+  ML_CHECK_GT(grain, 0);
+  const int64_t n = end - begin;
+  if (n == 0) return;
+  const int nthreads = num_threads();
+  if (nthreads == 0 || n <= grain) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t max_chunks = (n + grain - 1) / grain;
+  const int64_t num_chunks = std::min<int64_t>(max_chunks, nthreads + 1);
+  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  std::atomic<int64_t> remaining{num_chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  for (int64_t c = 1; c < num_chunks; ++c) {
+    const int64_t lo = begin + c * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push([&, lo, hi] {
+      fn(lo, hi);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> dl(done_mu);
+        done_cv.notify_one();
+      }
+    });
+    cv_.notify_one();
+  }
+  // The calling thread takes the first chunk.
+  fn(begin, std::min(end, begin + chunk));
+  if (remaining.fetch_sub(1) != 1) {
+    std::unique_lock<std::mutex> dl(done_mu);
+    done_cv.wait(dl, [&] { return remaining.load() == 0; });
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = [] {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return new ThreadPool(std::max(0, hw - 1));
+  }();
+  return *pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  GlobalThreadPool().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace metalora

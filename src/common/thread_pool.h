@@ -1,0 +1,58 @@
+// A small fixed-size thread pool plus a ParallelFor helper.
+//
+// Kernels call ParallelFor with a grain size; on single-core machines (or
+// when the pool has one thread) the loop runs inline with zero overhead.
+// The global pool defaults to hardware_concurrency() threads and can be
+// resized once at program start.
+#ifndef METALORA_COMMON_THREAD_POOL_H_
+#define METALORA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace metalora {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 means run everything
+  /// inline on the calling thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(begin..end) partitioned into contiguous chunks across the pool,
+  /// blocking until all chunks finish. `grain` is the minimum chunk size;
+  /// small ranges run inline.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool used by tensor kernels. First call creates it with
+/// hardware_concurrency() - 1 workers (0 on single-core machines).
+ThreadPool& GlobalThreadPool();
+
+/// Convenience wrapper over GlobalThreadPool().ParallelFor.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace metalora
+
+#endif  // METALORA_COMMON_THREAD_POOL_H_

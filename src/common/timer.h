@@ -1,0 +1,31 @@
+// Wall-clock timing helper for harness reporting.
+#ifndef METALORA_COMMON_TIMER_H_
+#define METALORA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace metalora {
+
+/// A monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace metalora
+
+#endif  // METALORA_COMMON_TIMER_H_

@@ -1,0 +1,25 @@
+#include "core/adapter_config.h"
+
+namespace metalora {
+namespace core {
+
+std::string AdapterKindName(AdapterKind kind) {
+  switch (kind) {
+    case AdapterKind::kNone:
+      return "Original";
+    case AdapterKind::kLora:
+      return "LoRA";
+    case AdapterKind::kMultiLora:
+      return "Multi-LoRA";
+    case AdapterKind::kMetaLoraCp:
+      return "Meta-LoRA CP";
+    case AdapterKind::kMetaLoraTr:
+      return "Meta-LoRA TR";
+    case AdapterKind::kMoeLora:
+      return "MoE-LoRA";
+  }
+  return "Unknown";
+}
+
+}  // namespace core
+}  // namespace metalora

@@ -1,0 +1,94 @@
+// Configuration shared by every adapter in the PEFT core, plus the adapter
+// base class the injector and training loops program against.
+#ifndef METALORA_CORE_ADAPTER_CONFIG_H_
+#define METALORA_CORE_ADAPTER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace metalora {
+namespace core {
+
+using nn::Variable;
+
+/// The adaptation methods compared in the paper's Table I.
+enum class AdapterKind {
+  kNone,        // "Original": frozen backbone, no adaptation
+  kLora,        // static LoRA (matrix) / Conv-LoRA (conv, Eq. 5)
+  kMultiLora,   // per-task LoRA branches with task routing
+  kMetaLoraCp,  // MetaLoRA, CP format (Eq. 6)
+  kMetaLoraTr,  // MetaLoRA, TR format (Eq. 7)
+  kMoeLora,     // mixture-of-experts LoRA (MOELoRA, cited as [14]; extension)
+};
+
+/// Stable display name ("Original", "LoRA", "Multi-LoRA", ...).
+std::string AdapterKindName(AdapterKind kind);
+
+/// How Multi-LoRA combines its branches.
+enum class MultiLoraMode {
+  /// All branches active with learnable per-branch scaling — the MultiLoRA
+  /// baseline of Wang et al. (arXiv:2311.11501) cited by the paper. Needs no
+  /// task ids. Default.
+  kSum,
+  /// Each sample routed to its task's branch using oracle task ids (an
+  /// upper bound requiring metadata MetaLoRA does not need; ablation only).
+  kOracleRouting,
+};
+
+struct AdapterOptions {
+  AdapterKind kind = AdapterKind::kLora;
+  int64_t rank = 4;
+  /// LoRA scaling: the delta is multiplied by alpha / rank.
+  float alpha = 8.0f;
+  /// Multi-LoRA: number of branches (= tasks for oracle routing).
+  int num_tasks = 1;
+  /// Multi-LoRA: branch combination rule.
+  MultiLoraMode multi_lora_mode = MultiLoraMode::kSum;
+  /// Multi-LoRA: if true (default, per the MultiLoRA design) the rank budget
+  /// is split across branches — each branch gets max(1, rank / num_tasks) —
+  /// so total capacity stays comparable to plain LoRA. If false every branch
+  /// gets the full rank (an over-provisioned upper bound).
+  bool multi_lora_split_rank = true;
+  /// MetaLoRA: dimensionality of the conditioning feature vector.
+  int64_t feature_dim = 0;
+  /// MetaLoRA: hidden width of the per-adapter mapping net.
+  int64_t mapping_hidden = 16;
+  /// Seed for adapter parameter init.
+  uint64_t seed = 7;
+};
+
+/// Base class of all adapters. An adapter is a Module that owns its frozen
+/// base layer as the child "base" and adds a trainable low-rank path.
+class Adapter : public nn::Module {
+ public:
+  Adapter(std::string name, AdapterOptions options)
+      : Module(std::move(name)), options_(std::move(options)) {}
+
+  const AdapterOptions& options() const { return options_; }
+  AdapterKind kind() const { return options_.kind; }
+
+  /// Number of trainable parameters added by the adapter (excludes the
+  /// frozen base layer).
+  virtual int64_t AdapterParamCount() const = 0;
+
+  /// MetaLoRA adapters: binds the conditioning features [N, feature_dim]
+  /// for the next Forward. Default: no-op.
+  virtual void SetFeatures(const nn::Variable& features) { (void)features; }
+
+  /// Multi-LoRA adapters: binds per-sample task ids for the next Forward.
+  /// Default: no-op.
+  virtual void SetTaskIds(const std::vector<int64_t>& task_ids) {
+    (void)task_ids;
+  }
+
+ protected:
+  AdapterOptions options_;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_ADAPTER_CONFIG_H_

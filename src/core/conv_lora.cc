@@ -1,0 +1,90 @@
+#include "core/conv_lora.h"
+
+#include "autograd/ops.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace core {
+
+ConvLora::ConvLora(std::unique_ptr<nn::Conv2d> base,
+                   const AdapterOptions& options)
+    : Adapter("ConvLora", options) {
+  ML_CHECK(base != nullptr);
+  ML_CHECK_GT(options.rank, 0);
+  const int64_t in = base->in_channels();
+  const int64_t out = base->out_channels();
+  const int64_t k = base->geom().kernel_h;
+  ML_CHECK_EQ(base->geom().kernel_w, k) << "ConvLora expects square kernels";
+  scaling_ = options.alpha / static_cast<float>(options.rank);
+
+  base_ = RegisterModule("base", std::move(base));
+  base_->SetTrainable(false);
+
+  Rng rng(options.seed);
+  Tensor a{Shape{options.rank, in, k, k}};
+  KaimingNormal(a, rng, in * k * k);
+  lora_a_ = RegisterParameter("lora_a", std::move(a));
+  lora_b_ = RegisterParameter("lora_b",
+                              Tensor::Zeros(Shape{out, options.rank}));
+}
+
+Variable ConvLora::Forward(const Variable& x) {
+  Variable y = base_->Forward(x);
+  if (merged_) return y;
+  // Small conv to R channels with the base geometry...
+  Variable h = autograd::Conv2d(x, lora_a_, Variable(), base_->geom());
+  // ...then the 1×1 channel recovery (B viewed as [O, R, 1, 1]).
+  const int64_t out = base_->out_channels();
+  Variable b4 = autograd::Reshape(lora_b_, Shape{out, options_.rank, 1, 1});
+  ConvGeom pointwise;
+  pointwise.kernel_h = 1;
+  pointwise.kernel_w = 1;
+  pointwise.stride = 1;
+  pointwise.padding = 0;
+  Variable d = autograd::Conv2d(h, b4, Variable(), pointwise);
+  return autograd::Add(y, autograd::Scale(d, scaling_));
+}
+
+int64_t ConvLora::AdapterParamCount() const {
+  return lora_a_.numel() + lora_b_.numel();
+}
+
+Tensor ConvLora::DeltaWeight() const {
+  const int64_t r = options_.rank;
+  const int64_t in = base_->in_channels();
+  const int64_t out = base_->out_channels();
+  const int64_t k = base_->geom().kernel_h;
+  Tensor delta{Shape{out, in, k, k}};
+  const float* pa = lora_a_.value().data();  // [R, I, K, K]
+  const float* pb = lora_b_.value().data();  // [O, R]
+  float* pd = delta.data();
+  const int64_t filt = in * k * k;
+  for (int64_t o = 0; o < out; ++o) {
+    float* drow = pd + o * filt;
+    for (int64_t rr = 0; rr < r; ++rr) {
+      const float bv = scaling_ * pb[o * r + rr];
+      if (bv == 0.0f) continue;
+      const float* arow = pa + rr * filt;
+      for (int64_t i = 0; i < filt; ++i) drow[i] += bv * arow[i];
+    }
+  }
+  return delta;
+}
+
+void ConvLora::Merge() {
+  if (merged_) return;
+  AddInPlace(base_->weight().mutable_value(), DeltaWeight());
+  merged_ = true;
+}
+
+void ConvLora::Unmerge() {
+  if (!merged_) return;
+  Tensor delta = DeltaWeight();
+  ScaleInPlace(delta, -1.0f);
+  AddInPlace(base_->weight().mutable_value(), delta);
+  merged_ = false;
+}
+
+}  // namespace core
+}  // namespace metalora

@@ -1,0 +1,52 @@
+// Conv-LoRA (paper §III.A, Eq. 5 and Fig. 3).
+//
+// For a convolutional tensor W ∈ R^{K×K×I×O}, the update ΔW = A ×₁⁴ B with
+// A ∈ R^{K×K×I×R} and B ∈ R^{R×O} is computed as a *small convolution to R
+// channels followed by a 1×1 channel-recovery convolution* — the tensor-
+// diagram identity the figure illustrates. The merged form materializes
+// ΔW[o,i,kh,kw] = (alpha/R)·Σ_r B[r,o]·A[r,i,kh,kw] and must agree with the
+// two-stage path exactly (verified in tests and bench/fig3_conv_lora).
+#ifndef METALORA_CORE_CONV_LORA_H_
+#define METALORA_CORE_CONV_LORA_H_
+
+#include <memory>
+
+#include "core/adapter_config.h"
+#include "nn/conv2d.h"
+
+namespace metalora {
+namespace core {
+
+class ConvLora : public Adapter {
+ public:
+  ConvLora(std::unique_ptr<nn::Conv2d> base, const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+
+  int64_t AdapterParamCount() const override;
+
+  /// The materialized ΔW in the base layer's [O, I, Kh, Kw] layout.
+  Tensor DeltaWeight() const;
+
+  void Merge();
+  void Unmerge();
+  bool merged() const { return merged_; }
+
+  nn::Conv2d* base() { return base_; }
+  /// The down conv weight A, [R, I, Kh, Kw].
+  Variable& lora_a() { return lora_a_; }
+  /// The recovery matrix B, [O, R].
+  Variable& lora_b() { return lora_b_; }
+
+ private:
+  nn::Conv2d* base_;
+  Variable lora_a_;  // [R, I, K, K] — paper's A^{K×K×I×R} in conv layout
+  Variable lora_b_;  // [O, R]      — paper's B^{R×O} transposed
+  float scaling_;
+  bool merged_ = false;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_CONV_LORA_H_

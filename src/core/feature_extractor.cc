@@ -1,0 +1,49 @@
+#include "core/feature_extractor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "autograd/variable.h"
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace core {
+
+FeatureExtractor::FeatureExtractor(ForwardFn forward, int64_t feature_dim)
+    : forward_(std::move(forward)), feature_dim_(feature_dim) {
+  ML_CHECK(forward_ != nullptr);
+  ML_CHECK_GT(feature_dim_, 0);
+}
+
+Tensor FeatureExtractor::Extract(const Tensor& images) const {
+  autograd::NoGradGuard guard;
+  nn::Variable out = forward_(nn::Variable(images, /*requires_grad=*/false));
+  ML_CHECK_EQ(out.rank(), 2);
+  ML_CHECK_EQ(out.dim(1), feature_dim_);
+  return out.value();
+}
+
+Tensor FeatureExtractor::ExtractAll(const Tensor& images,
+                                    int64_t batch_size) const {
+  ML_CHECK_GE(images.rank(), 1);
+  ML_CHECK_GT(batch_size, 0);
+  const int64_t n = images.dim(0);
+  const int64_t row = images.numel() / std::max<int64_t>(n, 1);
+  Tensor out{Shape{n, feature_dim_}};
+  std::vector<int64_t> dims = images.shape().dims();
+  for (int64_t lo = 0; lo < n; lo += batch_size) {
+    const int64_t hi = std::min(n, lo + batch_size);
+    dims[0] = hi - lo;
+    Tensor chunk{Shape(dims)};
+    std::memcpy(chunk.data(), images.data() + lo * row,
+                sizeof(float) * static_cast<size_t>((hi - lo) * row));
+    Tensor feats = Extract(chunk);
+    std::memcpy(out.data() + lo * feature_dim_, feats.data(),
+                sizeof(float) * static_cast<size_t>((hi - lo) * feature_dim_));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace metalora

@@ -1,0 +1,44 @@
+// Frozen feature extractor (paper §III.B.1).
+//
+// Wraps a pre-trained backbone and produces conditioning embeddings under
+// NoGrad: the extractor is never updated and never contributes graph nodes,
+// matching the paper's "pre-trained ResNet" used to drive the mapping net.
+// The same class serves the KNN evaluation protocol.
+#ifndef METALORA_CORE_FEATURE_EXTRACTOR_H_
+#define METALORA_CORE_FEATURE_EXTRACTOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace core {
+
+class FeatureExtractor {
+ public:
+  using ForwardFn = std::function<nn::Variable(const nn::Variable&)>;
+
+  /// `forward` maps an image batch Variable to a feature Variable [N, D].
+  /// The wrapped module must already be frozen / in eval mode by the caller;
+  /// Extract additionally runs under NoGrad.
+  FeatureExtractor(ForwardFn forward, int64_t feature_dim);
+
+  /// Embeds a [N, C, H, W] batch into [N, feature_dim]. No gradients.
+  Tensor Extract(const Tensor& images) const;
+
+  /// Embeds in mini-batches to bound memory (batch_size rows at a time).
+  Tensor ExtractAll(const Tensor& images, int64_t batch_size) const;
+
+  int64_t feature_dim() const { return feature_dim_; }
+
+ private:
+  ForwardFn forward_;
+  int64_t feature_dim_;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,150 @@
+#include "core/inject.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/conv_lora.h"
+#include "core/lora_linear.h"
+#include "core/metalora_conv.h"
+#include "core/metalora_linear.h"
+#include "core/moe_lora.h"
+#include "core/multi_lora.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace metalora {
+namespace core {
+
+void InjectionResult::BindFeatures(const nn::Variable& features) const {
+  for (Adapter* a : adapters) a->SetFeatures(features);
+}
+
+void InjectionResult::BindTaskIds(const std::vector<int64_t>& task_ids) const {
+  for (Adapter* a : adapters) a->SetTaskIds(task_ids);
+}
+
+namespace {
+
+std::unique_ptr<Adapter> WrapConv(std::unique_ptr<nn::Conv2d> base,
+                                  const AdapterOptions& options) {
+  switch (options.kind) {
+    case AdapterKind::kLora:
+      return std::make_unique<ConvLora>(std::move(base), options);
+    case AdapterKind::kMultiLora:
+      return std::make_unique<MultiLoraConv>(std::move(base), options);
+    case AdapterKind::kMetaLoraCp:
+      return std::make_unique<MetaLoraCpConv>(std::move(base), options);
+    case AdapterKind::kMetaLoraTr:
+      return std::make_unique<MetaLoraTrConv>(std::move(base), options);
+    case AdapterKind::kMoeLora:
+      return std::make_unique<MoeLoraConv>(std::move(base), options);
+    case AdapterKind::kNone:
+      break;
+  }
+  ML_CHECK(false) << "WrapConv: bad kind";
+  return nullptr;
+}
+
+std::unique_ptr<Adapter> WrapLinear(std::unique_ptr<nn::Linear> base,
+                                    const AdapterOptions& options) {
+  switch (options.kind) {
+    case AdapterKind::kLora:
+      return std::make_unique<LoraLinear>(std::move(base), options);
+    case AdapterKind::kMultiLora:
+      return std::make_unique<MultiLoraLinear>(std::move(base), options);
+    case AdapterKind::kMetaLoraCp:
+      return std::make_unique<MetaLoraCpLinear>(std::move(base), options);
+    case AdapterKind::kMetaLoraTr:
+      return std::make_unique<MetaLoraTrLinear>(std::move(base), options);
+    case AdapterKind::kMoeLora:
+      return std::make_unique<MoeLoraLinear>(std::move(base), options);
+    case AdapterKind::kNone:
+      break;
+  }
+  ML_CHECK(false) << "WrapLinear: bad kind";
+  return nullptr;
+}
+
+void InjectRecursive(nn::Module* node, const AdapterOptions& options,
+                     const InjectionFilter& filter, uint64_t* adapter_index,
+                     InjectionResult* result) {
+  // Snapshot names first: we mutate the child list while iterating.
+  std::vector<std::string> names;
+  for (auto& [name, child] : node->NamedChildren()) names.push_back(name);
+
+  for (const std::string& name : names) {
+    nn::Module* child = node->Child(name);
+    const bool skipped =
+        std::find(filter.skip_names.begin(), filter.skip_names.end(), name) !=
+        filter.skip_names.end();
+
+    const bool is_conv = dynamic_cast<nn::Conv2d*>(child) != nullptr;
+    const bool is_linear = dynamic_cast<nn::Linear*>(child) != nullptr;
+
+    if (!skipped && is_conv && filter.adapt_convs) {
+      std::unique_ptr<nn::Module> taken = node->TakeChild(name);
+      std::unique_ptr<nn::Conv2d> conv(
+          static_cast<nn::Conv2d*>(taken.release()));
+      AdapterOptions opts = options;
+      opts.seed = options.seed + 1000003ull * (*adapter_index)++;
+      std::unique_ptr<Adapter> adapter = WrapConv(std::move(conv), opts);
+      result->adapters.push_back(adapter.get());
+      result->adapter_param_count += adapter->AdapterParamCount();
+      ++result->num_wrapped_convs;
+      node->AdoptChild(name, std::move(adapter));
+    } else if (!skipped && is_linear && filter.adapt_linears) {
+      std::unique_ptr<nn::Module> taken = node->TakeChild(name);
+      std::unique_ptr<nn::Linear> lin(
+          static_cast<nn::Linear*>(taken.release()));
+      AdapterOptions opts = options;
+      opts.seed = options.seed + 1000003ull * (*adapter_index)++;
+      std::unique_ptr<Adapter> adapter = WrapLinear(std::move(lin), opts);
+      result->adapters.push_back(adapter.get());
+      result->adapter_param_count += adapter->AdapterParamCount();
+      ++result->num_wrapped_linears;
+      node->AdoptChild(name, std::move(adapter));
+    } else {
+      InjectRecursive(child, options, filter, adapter_index, result);
+    }
+  }
+}
+
+}  // namespace
+
+Result<InjectionResult> InjectAdapters(nn::Module* root,
+                                       const AdapterOptions& options,
+                                       const InjectionFilter& filter) {
+  if (root == nullptr) {
+    return Status::InvalidArgument("InjectAdapters: null model");
+  }
+  if (options.kind != AdapterKind::kNone && options.rank <= 0) {
+    return Status::InvalidArgument("adapter rank must be positive");
+  }
+  if ((options.kind == AdapterKind::kMetaLoraCp ||
+       options.kind == AdapterKind::kMetaLoraTr ||
+       options.kind == AdapterKind::kMoeLora) &&
+      options.feature_dim <= 0) {
+    return Status::InvalidArgument(
+        "MetaLoRA/MoE-LoRA injection requires options.feature_dim > 0");
+  }
+  if (options.kind == AdapterKind::kMultiLora && options.num_tasks < 1) {
+    return Status::InvalidArgument("Multi-LoRA needs num_tasks >= 1");
+  }
+
+  // Freeze everything first; adapters introduce the only trainable state.
+  root->SetTrainable(false);
+
+  InjectionResult result;
+  if (options.kind == AdapterKind::kNone) return result;
+
+  uint64_t adapter_index = 0;
+  InjectRecursive(root, options, filter, &adapter_index, &result);
+  if (result.adapters.empty()) {
+    return Status::FailedPrecondition(
+        "no adaptable Conv2d/Linear leaves found under the filter");
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace metalora

@@ -1,0 +1,53 @@
+// Adapter injection: walks a model tree and wraps Conv2d / Linear leaves in
+// the adapter matching an AdapterKind, freezing everything else.
+//
+// After injection:
+//   - every original parameter has requires_grad == false;
+//   - adapter parameters (and mapping nets) are the only trainable state;
+//   - the injected adapters are returned so the training loop can bind
+//     conditioning features (MetaLoRA) or task ids (Multi-LoRA) per batch.
+#ifndef METALORA_CORE_INJECT_H_
+#define METALORA_CORE_INJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/adapter_config.h"
+#include "nn/module.h"
+
+namespace metalora {
+namespace core {
+
+struct InjectionFilter {
+  bool adapt_convs = true;
+  bool adapt_linears = true;
+  /// Child names never wrapped (e.g. the classifier head "fc", projection
+  /// shortcuts "proj"). Matching is on the immediate child name.
+  std::vector<std::string> skip_names = {"fc", "proj", "patch_embed"};
+};
+
+struct InjectionResult {
+  std::vector<Adapter*> adapters;  // non-owning; owned by the model tree
+  int num_wrapped_convs = 0;
+  int num_wrapped_linears = 0;
+  /// Trainable parameters added by all adapters.
+  int64_t adapter_param_count = 0;
+
+  /// Binds MetaLoRA conditioning features on every adapter.
+  void BindFeatures(const nn::Variable& features) const;
+  /// Binds Multi-LoRA task ids on every adapter.
+  void BindTaskIds(const std::vector<int64_t>& task_ids) const;
+};
+
+/// Freezes `root` entirely, then wraps matching leaves according to
+/// `options.kind`. kNone only freezes. Returns the injected adapters.
+/// Fails if options are inconsistent (e.g. MetaLoRA without feature_dim).
+Result<InjectionResult> InjectAdapters(nn::Module* root,
+                                       const AdapterOptions& options,
+                                       const InjectionFilter& filter = {});
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_INJECT_H_

@@ -1,0 +1,47 @@
+// Static LoRA for linear layers: y = base(x) + (alpha/R) · x Aᵀ Bᵀ.
+//
+// A ∈ R^{R×I} is Gaussian-initialized and B ∈ R^{O×R} is zero-initialized so
+// the adapted model starts exactly at the pre-trained point (Hu et al.).
+#ifndef METALORA_CORE_LORA_LINEAR_H_
+#define METALORA_CORE_LORA_LINEAR_H_
+
+#include <memory>
+
+#include "core/adapter_config.h"
+#include "nn/linear.h"
+
+namespace metalora {
+namespace core {
+
+class LoraLinear : public Adapter {
+ public:
+  /// Takes ownership of the (frozen) base layer.
+  LoraLinear(std::unique_ptr<nn::Linear> base, const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+
+  int64_t AdapterParamCount() const override;
+
+  /// Folds the low-rank update into the base weight (inference fast path).
+  /// Forward then skips the adapter branch until Unmerge().
+  void Merge();
+  void Unmerge();
+  bool merged() const { return merged_; }
+
+  /// The materialized update ΔW = (alpha/R)·B·A, shape [O, I].
+  Tensor DeltaWeight() const;
+
+  nn::Linear* base() { return base_; }
+
+ private:
+  nn::Linear* base_;
+  Variable lora_a_;  // [R, I]
+  Variable lora_b_;  // [O, R]
+  float scaling_;
+  bool merged_ = false;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_LORA_LINEAR_H_

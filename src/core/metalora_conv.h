@@ -1,0 +1,68 @@
+// MetaLoRA for convolutional layers (paper §III.D).
+//
+// CP variant: Conv-LoRA's two-stage path with the R intermediate channels
+// rescaled per input by the generated seed c — exactly
+// ΔW = Λ ×₁ A ×₁ B ×₃ c applied without materializing per-sample kernels.
+//
+// TR variant: the first ring core is a convolution to R·R bond channels; the
+// generated core C[r2,r0] and the stored core B[r1,o,r2] combine into a
+// per-sample 1×1 recovery convolution.
+#ifndef METALORA_CORE_METALORA_CONV_H_
+#define METALORA_CORE_METALORA_CONV_H_
+
+#include <memory>
+
+#include "core/adapter_config.h"
+#include "core/mapping_net.h"
+#include "nn/conv2d.h"
+
+namespace metalora {
+namespace core {
+
+class MetaLoraCpConv : public Adapter {
+ public:
+  MetaLoraCpConv(std::unique_ptr<nn::Conv2d> base,
+                 const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+  int64_t AdapterParamCount() const override;
+  void SetFeatures(const Variable& features) override { features_ = features; }
+
+  /// Materializes ΔW [O, I, K, K] for one seed c [R] (analysis/tests only).
+  Tensor DeltaWeightFor(const Tensor& seed_c) const;
+
+  MappingNet* mapping_net() { return mapping_; }
+
+ private:
+  nn::Conv2d* base_;
+  MappingNet* mapping_;
+  Variable lora_a_;  // [R, I, K, K]
+  Variable lora_b_;  // [O, R]
+  float scaling_;
+  Variable features_;
+};
+
+class MetaLoraTrConv : public Adapter {
+ public:
+  MetaLoraTrConv(std::unique_ptr<nn::Conv2d> base,
+                 const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+  int64_t AdapterParamCount() const override;
+  void SetFeatures(const Variable& features) override { features_ = features; }
+
+  MappingNet* mapping_net() { return mapping_; }
+
+ private:
+  nn::Conv2d* base_;
+  MappingNet* mapping_;
+  Variable core_a_;  // conv weight [R*R, I, K, K]: channel q = r0*R + r1
+  Variable core_b_;  // [R(r1), O, R(r2)]
+  float scaling_;
+  Variable features_;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_METALORA_CONV_H_

@@ -1,0 +1,175 @@
+#include "core/metalora_linear.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+#include "tn/tr_format.h"
+
+namespace metalora {
+namespace core {
+
+// ---------------------------------------------------------------------------
+// CP variant.
+// ---------------------------------------------------------------------------
+
+MetaLoraCpLinear::MetaLoraCpLinear(std::unique_ptr<nn::Linear> base,
+                                   const AdapterOptions& options)
+    : Adapter("MetaLoraCpLinear", options) {
+  ML_CHECK(base != nullptr);
+  ML_CHECK_GT(options.rank, 0);
+  ML_CHECK_GT(options.feature_dim, 0)
+      << "MetaLoRA needs options.feature_dim (the extractor embedding size)";
+  const int64_t in = base->in_features();
+  const int64_t out = base->out_features();
+  scaling_ = options.alpha / static_cast<float>(options.rank);
+
+  base_ = RegisterModule("base", std::move(base));
+  base_->SetTrainable(false);
+
+  Rng rng(options.seed);
+  Tensor a{Shape{options.rank, in}};
+  KaimingNormal(a, rng, in);
+  lora_a_ = RegisterParameter("lora_a", std::move(a));
+  // Zero-init B: the adapted model starts at the pre-trained point for every
+  // value of the generated seed.
+  lora_b_ = RegisterParameter("lora_b",
+                              Tensor::Zeros(Shape{out, options.rank}));
+  mapping_ = RegisterModule(
+      "mapping", std::make_unique<MappingNet>(options.feature_dim,
+                                              options.mapping_hidden,
+                                              options.rank,
+                                              SeedShape::kVector, rng));
+}
+
+namespace {
+
+// Aligns a per-sample seed with the rows of `x`. Layers applied token-wise
+// (MLP-Mixer) see x flattened to [N*S, D] with sample-major row order, so
+// the seed is repeated S times per sample; a mismatch that is not an exact
+// multiple is a caller bug.
+Variable AlignSeedToRows(const Variable& seed, int64_t x_rows) {
+  const int64_t n = seed.dim(0);
+  ML_CHECK(x_rows % n == 0 && x_rows >= n)
+      << "conditioning features batch size mismatch: x has " << x_rows
+      << " rows, features have " << n;
+  return autograd::RepeatRowsInterleaved(seed, x_rows / n);
+}
+
+}  // namespace
+
+Variable MetaLoraCpLinear::Forward(const Variable& x) {
+  ML_CHECK(features_.defined())
+      << "MetaLoraCpLinear: SetFeatures must be called before Forward";
+  Variable y = base_->Forward(x);
+  Variable c = AlignSeedToRows(mapping_->Forward(features_),
+                               x.dim(0));                   // [N, R]
+  Variable h = autograd::Linear(x, lora_a_, Variable());    // [N, R]
+  h = autograd::Mul(h, c);                                  // per-sample Eq. 6
+  Variable d = autograd::Linear(h, lora_b_, Variable());    // [N, O]
+  return autograd::Add(y, autograd::Scale(d, scaling_));
+}
+
+int64_t MetaLoraCpLinear::AdapterParamCount() const {
+  return lora_a_.numel() + lora_b_.numel() +
+         mapping_->ParamCount();
+}
+
+Tensor MetaLoraCpLinear::DeltaWeightFor(const Tensor& seed_c) const {
+  ML_CHECK_EQ(seed_c.rank(), 1);
+  ML_CHECK_EQ(seed_c.dim(0), options_.rank);
+  // ΔW[o,i] = scaling · Σ_r B[o,r] c[r] A[r,i].
+  Tensor b_scaled = lora_b_.value().Clone();
+  const int64_t out = b_scaled.dim(0), r = b_scaled.dim(1);
+  for (int64_t o = 0; o < out; ++o) {
+    for (int64_t k = 0; k < r; ++k) {
+      b_scaled.flat(o * r + k) *= seed_c.flat(k);
+    }
+  }
+  Tensor delta = Matmul(b_scaled, lora_a_.value());
+  ScaleInPlace(delta, scaling_);
+  return delta;
+}
+
+// ---------------------------------------------------------------------------
+// TR variant.
+// ---------------------------------------------------------------------------
+
+MetaLoraTrLinear::MetaLoraTrLinear(std::unique_ptr<nn::Linear> base,
+                                   const AdapterOptions& options)
+    : Adapter("MetaLoraTrLinear", options) {
+  ML_CHECK(base != nullptr);
+  ML_CHECK_GT(options.rank, 0);
+  ML_CHECK_GT(options.feature_dim, 0)
+      << "MetaLoRA needs options.feature_dim (the extractor embedding size)";
+  const int64_t in = base->in_features();
+  const int64_t out = base->out_features();
+  scaling_ = options.alpha / static_cast<float>(options.rank);
+
+  base_ = RegisterModule("base", std::move(base));
+  base_->SetTrainable(false);
+
+  Rng rng(options.seed);
+  Tensor a{Shape{options.rank, in, options.rank}};
+  // Scale so that u = x ·_i A has O(1) entries per bond pair.
+  FillNormal(a, rng, 0.0f, 1.0f / std::sqrt(static_cast<float>(in)));
+  core_a_ = RegisterParameter("core_a", std::move(a));
+  core_b_ = RegisterParameter(
+      "core_b", Tensor::Zeros(Shape{options.rank, out, options.rank}));
+  mapping_ = RegisterModule(
+      "mapping", std::make_unique<MappingNet>(options.feature_dim,
+                                              options.mapping_hidden,
+                                              options.rank,
+                                              SeedShape::kMatrix, rng));
+}
+
+Variable MetaLoraTrLinear::Forward(const Variable& x) {
+  ML_CHECK(features_.defined())
+      << "MetaLoraTrLinear: SetFeatures must be called before Forward";
+  const int64_t n = x.dim(0);
+  const int64_t in = base_->in_features();
+  const int64_t out = base_->out_features();
+  const int64_t r = options_.rank;
+
+  Variable y = base_->Forward(x);
+  Variable core_c = AlignSeedToRows(mapping_->Forward(features_),
+                                    n);            // [N, R(r2), R(r0)]
+
+  // U[n, r0, r1] = Σ_i x[n,i] A[r0, i, r1].
+  Variable a_mat = autograd::Reshape(
+      autograd::Permute(core_a_, {1, 0, 2}), Shape{in, r * r});
+  Variable u = autograd::Reshape(autograd::Matmul(x, a_mat), Shape{n, r, r});
+
+  // V[n, r1, r2] = Σ_{r0} U[n, r0, r1] C[n, r2, r0].
+  Variable u_t = autograd::Permute(u, {0, 2, 1});       // [N, r1, r0]
+  Variable c_t = autograd::Permute(core_c, {0, 2, 1});  // [N, r0, r2]
+  Variable v = autograd::BatchedMatmul(u_t, c_t);       // [N, r1, r2]
+
+  // d[n, o] = Σ_{r1, r2} V[n, r1, r2] B[r1, o, r2].
+  Variable b_mat = autograd::Reshape(
+      autograd::Permute(core_b_, {0, 2, 1}), Shape{r * r, out});
+  Variable d = autograd::Matmul(autograd::Reshape(v, Shape{n, r * r}), b_mat);
+
+  return autograd::Add(y, autograd::Scale(d, scaling_));
+}
+
+int64_t MetaLoraTrLinear::AdapterParamCount() const {
+  return core_a_.numel() + core_b_.numel() + mapping_->ParamCount();
+}
+
+Tensor MetaLoraTrLinear::DeltaWeightFor(const Tensor& seed_core) const {
+  ML_CHECK_EQ(seed_core.rank(), 2);
+  ML_CHECK_EQ(seed_core.dim(0), options_.rank);
+  ML_CHECK_EQ(seed_core.dim(1), options_.rank);
+  auto delta_io =
+      tn::TrMatrix(core_a_.value(), core_b_.value(), seed_core);  // [I, O]
+  ML_CHECK(delta_io.ok()) << delta_io.status().ToString();
+  Tensor delta = Transpose2D(delta_io.value());  // layer layout [O, I]
+  ScaleInPlace(delta, scaling_);
+  return delta;
+}
+
+}  // namespace core
+}  // namespace metalora

@@ -1,0 +1,76 @@
+// MetaLoRA for linear layers (paper §III.C).
+//
+// CP variant (Eq. 6): ΔW = Λ ×₁ A ×₂ B ×₃ c, with the seed c generated per
+// input by the mapping net. Because ΔW enters the layer as x·ΔWᵀ, the
+// per-sample update factorizes exactly as (x Aᵀ) ⊙ c → ·Bᵀ — the adapter
+// never materializes a per-sample weight matrix (see DESIGN.md).
+//
+// TR variant (Eq. 7): ΔW = Σ_{r0,r1,r2} A[r0,·,r1]·B[r1,·,r2]·C[r2,r0] with
+// the ring core C generated per input; applied through batched bond
+// contractions.
+#ifndef METALORA_CORE_METALORA_LINEAR_H_
+#define METALORA_CORE_METALORA_LINEAR_H_
+
+#include <memory>
+
+#include "core/adapter_config.h"
+#include "core/mapping_net.h"
+#include "nn/linear.h"
+
+namespace metalora {
+namespace core {
+
+class MetaLoraCpLinear : public Adapter {
+ public:
+  MetaLoraCpLinear(std::unique_ptr<nn::Linear> base,
+                   const AdapterOptions& options);
+
+  /// Requires SetFeatures(features) earlier in the same batch.
+  Variable Forward(const Variable& x) override;
+
+  int64_t AdapterParamCount() const override;
+  void SetFeatures(const Variable& features) override { features_ = features; }
+
+  /// Materializes this sample's ΔW = A·diag(c)·B (analysis/tests only).
+  Tensor DeltaWeightFor(const Tensor& seed_c) const;
+
+  MappingNet* mapping_net() { return mapping_; }
+
+ private:
+  nn::Linear* base_;
+  MappingNet* mapping_;
+  Variable lora_a_;  // [R, I] (paper's A^{I×R} transposed into Linear layout)
+  Variable lora_b_;  // [O, R] (paper's B^{R×O} transposed)
+  float scaling_;
+  Variable features_;
+};
+
+class MetaLoraTrLinear : public Adapter {
+ public:
+  MetaLoraTrLinear(std::unique_ptr<nn::Linear> base,
+                   const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+
+  int64_t AdapterParamCount() const override;
+  void SetFeatures(const Variable& features) override { features_ = features; }
+
+  /// Materializes ΔW for one generated core C [R, R] via tn::TrMatrix
+  /// (analysis/tests only).
+  Tensor DeltaWeightFor(const Tensor& seed_core) const;
+
+  MappingNet* mapping_net() { return mapping_; }
+
+ private:
+  nn::Linear* base_;
+  MappingNet* mapping_;
+  Variable core_a_;  // [R, I, R]
+  Variable core_b_;  // [R, O, R]
+  float scaling_;
+  Variable features_;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_METALORA_LINEAR_H_

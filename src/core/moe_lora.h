@@ -1,0 +1,65 @@
+// MoE-LoRA: mixture-of-experts LoRA (the MOELoRA baseline the paper cites
+// as [14], Liu et al., arXiv:2310.18339).
+//
+// E expert LoRA branches are combined by a learned gate. MOELoRA gates on a
+// task embedding; task identity is unknown at inference in our protocol, so
+// the gate conditions on the same frozen-extractor features MetaLoRA uses
+// (bind with SetFeatures before Forward). This makes MoE-LoRA the natural
+// middle point between static Multi-LoRA and fully generated MetaLoRA:
+// input-conditioned *selection* of static experts versus input-conditioned
+// *generation* of the update itself.
+#ifndef METALORA_CORE_MOE_LORA_H_
+#define METALORA_CORE_MOE_LORA_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adapter_config.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace metalora {
+namespace core {
+
+class MoeLoraLinear : public Adapter {
+ public:
+  MoeLoraLinear(std::unique_ptr<nn::Linear> base,
+                const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+  int64_t AdapterParamCount() const override;
+  void SetFeatures(const Variable& features) override { features_ = features; }
+
+  /// Gate weights [N, E] for the bound features (analysis/tests).
+  Variable GateWeights();
+
+ private:
+  nn::Linear* base_;
+  nn::Linear* gate_;
+  std::vector<Variable> lora_a_;  // per expert, [R, I]
+  std::vector<Variable> lora_b_;  // per expert, [O, R]
+  float scaling_;
+  Variable features_;
+};
+
+class MoeLoraConv : public Adapter {
+ public:
+  MoeLoraConv(std::unique_ptr<nn::Conv2d> base, const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+  int64_t AdapterParamCount() const override;
+  void SetFeatures(const Variable& features) override { features_ = features; }
+
+ private:
+  nn::Conv2d* base_;
+  nn::Linear* gate_;
+  std::vector<Variable> lora_a_;  // per expert, [R, I, K, K]
+  std::vector<Variable> lora_b_;  // per expert, [O, R]
+  float scaling_;
+  Variable features_;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_MOE_LORA_H_

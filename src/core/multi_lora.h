@@ -1,0 +1,63 @@
+// Multi-LoRA baseline: several parallel LoRA branches per layer.
+//
+// Mirrors the MultiLoRA baseline of the paper's Table I (Wang et al.,
+// arXiv:2311.11501): all branches are active on every sample and combined
+// with learnable per-branch scaling (mode kSum, the default). An oracle
+// task-routing mode (kOracleRouting) is provided as an ablation upper
+// bound; it requires SetTaskIds before Forward and consumes ground-truth
+// task metadata that MetaLoRA does not need.
+#ifndef METALORA_CORE_MULTI_LORA_H_
+#define METALORA_CORE_MULTI_LORA_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adapter_config.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace metalora {
+namespace core {
+
+class MultiLoraLinear : public Adapter {
+ public:
+  MultiLoraLinear(std::unique_ptr<nn::Linear> base,
+                  const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+  int64_t AdapterParamCount() const override;
+  void SetTaskIds(const std::vector<int64_t>& task_ids) override;
+
+ private:
+  nn::Linear* base_;
+  std::vector<Variable> lora_a_;      // per branch, [R, I]
+  std::vector<Variable> lora_b_;      // per branch, [O, R]
+  std::vector<Variable> branch_scale_;  // per branch, scalar (kSum mode)
+  int64_t branch_rank_ = 1;
+  float scaling_;
+  std::vector<int64_t> task_ids_;
+};
+
+class MultiLoraConv : public Adapter {
+ public:
+  MultiLoraConv(std::unique_ptr<nn::Conv2d> base,
+                const AdapterOptions& options);
+
+  Variable Forward(const Variable& x) override;
+  int64_t AdapterParamCount() const override;
+  void SetTaskIds(const std::vector<int64_t>& task_ids) override;
+
+ private:
+  nn::Conv2d* base_;
+  std::vector<Variable> lora_a_;      // per branch, [R, I, K, K]
+  std::vector<Variable> lora_b_;      // per branch, [O, R]
+  std::vector<Variable> branch_scale_;  // per branch, scalar (kSum mode)
+  int64_t branch_rank_ = 1;
+  float scaling_;
+  std::vector<int64_t> task_ids_;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_MULTI_LORA_H_

@@ -1,0 +1,47 @@
+#include "data/dataloader.h"
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace data {
+
+DataLoader::DataLoader(const MultiTaskDataset& dataset, int64_t batch_size,
+                       bool shuffle, uint64_t seed)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  ML_CHECK_GT(batch_size_, 0);
+  ML_CHECK_GT(dataset.size(), 0) << "DataLoader over empty dataset";
+  order_.resize(static_cast<size_t>(dataset.size()));
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<int64_t>(i);
+  if (shuffle_) rng_.Shuffle(order_);
+}
+
+int64_t DataLoader::num_batches() const {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch DataLoader::GetBatch(int64_t b) const {
+  ML_CHECK(b >= 0 && b < num_batches()) << "batch index out of range";
+  const int64_t lo = b * batch_size_;
+  const int64_t hi = std::min<int64_t>(dataset_->size(), lo + batch_size_);
+  std::vector<int64_t> rows(order_.begin() + lo, order_.begin() + hi);
+  Batch batch;
+  batch.images = GatherRows(dataset_->images, rows);
+  batch.labels.reserve(rows.size());
+  batch.task_ids.reserve(rows.size());
+  for (int64_t r : rows) {
+    batch.labels.push_back(dataset_->labels[static_cast<size_t>(r)]);
+    batch.task_ids.push_back(dataset_->task_ids[static_cast<size_t>(r)]);
+  }
+  return batch;
+}
+
+void DataLoader::Reshuffle() {
+  if (shuffle_) rng_.Shuffle(order_);
+}
+
+}  // namespace data
+}  // namespace metalora

@@ -1,0 +1,48 @@
+// Mini-batch iteration over an in-memory MultiTaskDataset.
+#ifndef METALORA_DATA_DATALOADER_H_
+#define METALORA_DATA_DATALOADER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/task_suite.h"
+
+namespace metalora {
+namespace data {
+
+struct Batch {
+  Tensor images;                  // [B, C, H, W]
+  std::vector<int64_t> labels;    // size B
+  std::vector<int64_t> task_ids;  // size B
+  int64_t size() const { return images.defined() ? images.dim(0) : 0; }
+};
+
+class DataLoader {
+ public:
+  /// Keeps a reference to `dataset`; the dataset must outlive the loader.
+  DataLoader(const MultiTaskDataset& dataset, int64_t batch_size, bool shuffle,
+             uint64_t seed);
+
+  int64_t num_batches() const;
+
+  /// The b-th batch of the current epoch (the last batch may be smaller).
+  Batch GetBatch(int64_t b) const;
+
+  /// Reshuffles sample order (call once per epoch when shuffle is enabled).
+  void Reshuffle();
+
+  int64_t dataset_size() const { return dataset_->size(); }
+
+ private:
+  const MultiTaskDataset* dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+};
+
+}  // namespace data
+}  // namespace metalora
+
+#endif  // METALORA_DATA_DATALOADER_H_

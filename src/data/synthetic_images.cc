@@ -1,0 +1,230 @@
+#include "data/synthetic_images.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metalora {
+namespace data {
+
+namespace {
+
+constexpr int64_t kNumGeometries = 12;
+
+const char* kClassNames[kNumGeometries] = {
+    "disk",     "ring",      "hstripes", "vstripes",
+    "checker",  "cross",     "diagonal", "dots",
+    "gradient", "square",    "triangle", "waves",
+};
+
+struct DrawContext {
+  float* pixels;  // single channel [H, W] scratch
+  int64_t h;
+  int64_t w;
+
+  void Set(int64_t y, int64_t x, float v) {
+    if (y >= 0 && y < h && x >= 0 && x < w) pixels[y * w + x] = v;
+  }
+};
+
+// Each geometry renders an intensity pattern in [0,1] into `ctx` using
+// randomized parameters.
+void DrawGeometry(int64_t geometry, DrawContext& ctx, Rng& rng) {
+  const int64_t h = ctx.h, w = ctx.w;
+  const float cx = static_cast<float>(rng.Uniform(0.3, 0.7)) * w;
+  const float cy = static_cast<float>(rng.Uniform(0.3, 0.7)) * h;
+  const float scale = static_cast<float>(rng.Uniform(0.25, 0.42));
+  const float phase = static_cast<float>(rng.Uniform(0.0, 2.0 * M_PI));
+
+  auto fill = [&](auto&& f) {
+    for (int64_t y = 0; y < h; ++y)
+      for (int64_t x = 0; x < w; ++x)
+        ctx.pixels[y * w + x] =
+            std::clamp(f(static_cast<float>(y), static_cast<float>(x)), 0.0f,
+                       1.0f);
+  };
+
+  switch (geometry) {
+    case 0: {  // disk
+      const float r = scale * std::min(h, w);
+      fill([&](float y, float x) {
+        const float d = std::hypot(y - cy, x - cx);
+        return d < r ? 1.0f : 0.0f;
+      });
+      break;
+    }
+    case 1: {  // ring
+      const float r = scale * std::min(h, w);
+      const float thick = 0.35f * r;
+      fill([&](float y, float x) {
+        const float d = std::hypot(y - cy, x - cx);
+        return std::fabs(d - r) < thick ? 1.0f : 0.0f;
+      });
+      break;
+    }
+    case 2: {  // horizontal stripes
+      const float freq = 2.0f * static_cast<float>(M_PI) *
+                         static_cast<float>(rng.Uniform(2.5, 4.5)) / h;
+      fill([&](float y, float) {
+        return 0.5f + 0.5f * std::sin(freq * y + phase);
+      });
+      break;
+    }
+    case 3: {  // vertical stripes
+      const float freq = 2.0f * static_cast<float>(M_PI) *
+                         static_cast<float>(rng.Uniform(2.5, 4.5)) / w;
+      fill([&](float, float x) {
+        return 0.5f + 0.5f * std::sin(freq * x + phase);
+      });
+      break;
+    }
+    case 4: {  // checkerboard
+      const int64_t cell = 2 + static_cast<int64_t>(rng.UniformInt(3));
+      const int64_t ox = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(cell)));
+      const int64_t oy = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(cell)));
+      fill([&](float y, float x) {
+        const int64_t yi = (static_cast<int64_t>(y) + oy) / cell;
+        const int64_t xi = (static_cast<int64_t>(x) + ox) / cell;
+        return ((yi + xi) % 2 == 0) ? 1.0f : 0.0f;
+      });
+      break;
+    }
+    case 5: {  // cross
+      const float arm = 0.14f * std::min(h, w) *
+                        static_cast<float>(rng.Uniform(0.8, 1.3));
+      fill([&](float y, float x) {
+        return (std::fabs(y - cy) < arm || std::fabs(x - cx) < arm) ? 1.0f
+                                                                    : 0.0f;
+      });
+      break;
+    }
+    case 6: {  // diagonal bands
+      const float freq = 2.0f * static_cast<float>(M_PI) *
+                         static_cast<float>(rng.Uniform(2.0, 3.5)) / (h + w);
+      fill([&](float y, float x) {
+        return 0.5f + 0.5f * std::sin(freq * (x + y) + phase);
+      });
+      break;
+    }
+    case 7: {  // dot lattice
+      const int64_t pitch = 6 + static_cast<int64_t>(rng.UniformInt(4));
+      const float r = 0.22f * pitch;
+      fill([&](float y, float x) {
+        const float my = std::fmod(y + phase, static_cast<float>(pitch)) -
+                         pitch / 2.0f;
+        const float mx = std::fmod(x + phase, static_cast<float>(pitch)) -
+                         pitch / 2.0f;
+        return std::hypot(my, mx) < r ? 1.0f : 0.0f;
+      });
+      break;
+    }
+    case 8: {  // radial gradient
+      const float rmax = 0.7f * std::hypot(static_cast<float>(h),
+                                           static_cast<float>(w));
+      fill([&](float y, float x) {
+        return 1.0f - std::hypot(y - cy, x - cx) / rmax;
+      });
+      break;
+    }
+    case 9: {  // filled square
+      const float half = scale * std::min(h, w);
+      fill([&](float y, float x) {
+        return (std::fabs(y - cy) < half && std::fabs(x - cx) < half) ? 1.0f
+                                                                      : 0.0f;
+      });
+      break;
+    }
+    case 10: {  // triangle (upper-left half plane through center, rotated)
+      const float angle = phase;
+      const float nx = std::cos(angle), ny = std::sin(angle);
+      const float half = scale * std::min(h, w);
+      fill([&](float y, float x) {
+        const float dy = y - cy, dx = x - cx;
+        const bool inside = std::fabs(dy) < half && std::fabs(dx) < half;
+        return (inside && dx * nx + dy * ny > 0) ? 1.0f : 0.0f;
+      });
+      break;
+    }
+    case 11: {  // 2-D waves (product of sines)
+      const float fy = 2.0f * static_cast<float>(M_PI) *
+                       static_cast<float>(rng.Uniform(1.5, 3.0)) / h;
+      const float fx = 2.0f * static_cast<float>(M_PI) *
+                       static_cast<float>(rng.Uniform(1.5, 3.0)) / w;
+      fill([&](float y, float x) {
+        return 0.5f + 0.5f * std::sin(fy * y + phase) * std::sin(fx * x);
+      });
+      break;
+    }
+    default:
+      ML_CHECK(false) << "unknown geometry " << geometry;
+  }
+}
+
+}  // namespace
+
+int64_t MaxSyntheticClasses() { return kNumGeometries; }
+
+std::string SyntheticClassName(int64_t class_id) {
+  ML_CHECK(class_id >= 0 && class_id < kNumGeometries);
+  return kClassNames[class_id];
+}
+
+SyntheticImageGenerator::SyntheticImageGenerator(ImageSpec spec,
+                                                 int64_t num_classes)
+    : spec_(spec), num_classes_(num_classes) {
+  ML_CHECK_GE(num_classes_, 2);
+  ML_CHECK_LE(num_classes_, kNumGeometries);
+  ML_CHECK_GE(spec_.channels, 1);
+  ML_CHECK_GE(spec_.height, 8);
+  ML_CHECK_GE(spec_.width, 8);
+}
+
+Tensor SyntheticImageGenerator::Sample(int64_t class_id, Rng& rng) const {
+  ML_CHECK(class_id >= 0 && class_id < num_classes_)
+      << "class id out of range: " << class_id;
+  const int64_t c = spec_.channels, h = spec_.height, w = spec_.width;
+  std::vector<float> intensity(static_cast<size_t>(h * w), 0.0f);
+  DrawContext ctx{intensity.data(), h, w};
+  DrawGeometry(class_id, ctx, rng);
+
+  // Random but class-independent channel tint so color carries no label
+  // information; foreground/background contrast carries the geometry.
+  Tensor img{Shape{c, h, w}};
+  float* pi = img.data();
+  const float bg = static_cast<float>(rng.Uniform(0.05, 0.3));
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float tint = static_cast<float>(rng.Uniform(0.6, 1.0));
+    float* plane = pi + ch * h * w;
+    for (int64_t k = 0; k < h * w; ++k) {
+      plane[k] = bg + (tint - bg) * intensity[static_cast<size_t>(k)];
+    }
+  }
+  // Pixel noise.
+  const float noise = static_cast<float>(rng.Uniform(0.01, 0.05));
+  for (int64_t k = 0, n = img.numel(); k < n; ++k) {
+    pi[k] = std::clamp(
+        pi[k] + static_cast<float>(rng.Normal(0.0, noise)), 0.0f, 1.0f);
+  }
+  return img;
+}
+
+void SyntheticImageGenerator::SampleBatch(int64_t count, Rng& rng,
+                                          Tensor* images,
+                                          std::vector<int64_t>* labels) const {
+  ML_CHECK(images != nullptr && labels != nullptr);
+  const int64_t c = spec_.channels, h = spec_.height, w = spec_.width;
+  *images = Tensor{Shape{count, c, h, w}};
+  labels->resize(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t y =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_classes_)));
+    (*labels)[static_cast<size_t>(i)] = y;
+    Tensor sample = Sample(y, rng);
+    std::copy(sample.data(), sample.data() + sample.numel(),
+              images->data() + i * c * h * w);
+  }
+}
+
+}  // namespace data
+}  // namespace metalora

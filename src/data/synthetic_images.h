@@ -1,0 +1,62 @@
+// Procedural image synthesis — the offline stand-in for the paper's visual
+// classification datasets.
+//
+// Classes are defined by *geometry* (disks, rings, stripes, checkers,
+// crosses, gradients, dots, diagonals, ...), with per-sample randomized
+// position, scale, phase, and pixel noise. Color carries no class
+// information by construction, so the task suite's photometric domain
+// shifts (src/data/task_suite.h) change the input distribution without
+// destroying class identity — exactly the regime where input-conditioned
+// adaptation should beat a static LoRA update.
+#ifndef METALORA_DATA_SYNTHETIC_IMAGES_H_
+#define METALORA_DATA_SYNTHETIC_IMAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace data {
+
+struct ImageSpec {
+  int64_t channels = 3;
+  int64_t height = 32;
+  int64_t width = 32;
+};
+
+/// Number of distinct class geometries available.
+int64_t MaxSyntheticClasses();
+
+/// Human-readable name of class `class_id` ("disk", "ring", ...).
+std::string SyntheticClassName(int64_t class_id);
+
+class SyntheticImageGenerator {
+ public:
+  /// `num_classes` must be in [2, MaxSyntheticClasses()].
+  SyntheticImageGenerator(ImageSpec spec, int64_t num_classes);
+
+  /// Renders one sample of `class_id` into a [C, H, W] tensor with values in
+  /// [0, 1]. Randomness (placement, scale, noise) comes from `rng`.
+  Tensor Sample(int64_t class_id, Rng& rng) const;
+
+  /// Renders `count` samples with labels drawn uniformly.
+  /// images: [count, C, H, W].
+  void SampleBatch(int64_t count, Rng& rng, Tensor* images,
+                   std::vector<int64_t>* labels) const;
+
+  const ImageSpec& spec() const { return spec_; }
+  int64_t num_classes() const { return num_classes_; }
+
+ private:
+  ImageSpec spec_;
+  int64_t num_classes_;
+};
+
+}  // namespace data
+}  // namespace metalora
+
+#endif  // METALORA_DATA_SYNTHETIC_IMAGES_H_

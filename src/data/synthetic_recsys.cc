@@ -1,0 +1,75 @@
+#include "data/synthetic_recsys.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace data {
+
+Tensor RecsysDataset::PerSampleEmbeddings() const {
+  std::vector<int64_t> rows(user_ids.begin(), user_ids.end());
+  return GatherRows(user_embeddings, rows);
+}
+
+RecsysWorld::RecsysWorld(const RecsysSpec& spec, uint64_t seed) : spec_(spec) {
+  ML_CHECK_GE(spec.num_users, 1);
+  ML_CHECK_GE(spec.item_dim, 2);
+  ML_CHECK_GE(spec.embedding_dim, 1);
+  Rng rng(seed ^ 0x9E377ull);
+  shared_w_ = RandomNormal(Shape{spec.item_dim}, rng);
+  private_w_ = RandomNormal(Shape{spec.num_users, spec.item_dim}, rng, 0.0f,
+                            spec.private_strength);
+
+  // The observed user embedding is a fixed random projection of the private
+  // preference plus estimation noise — informative but not the raw truth.
+  Tensor projection =
+      RandomNormal(Shape{spec.item_dim, spec.embedding_dim}, rng, 0.0f,
+                   1.0f / std::sqrt(static_cast<float>(spec.item_dim)));
+  embeddings_ = Tensor{Shape{spec.num_users, spec.embedding_dim}};
+  for (int64_t u = 0; u < spec.num_users; ++u) {
+    for (int64_t e = 0; e < spec.embedding_dim; ++e) {
+      double acc = 0;
+      for (int64_t d = 0; d < spec.item_dim; ++d) {
+        acc += static_cast<double>(private_w_.flat(u * spec.item_dim + d)) *
+               projection.flat(d * spec.embedding_dim + e);
+      }
+      embeddings_.flat(u * spec.embedding_dim + e) =
+          static_cast<float>(acc + rng.Normal(0.0, spec.embedding_noise));
+    }
+  }
+}
+
+RecsysDataset RecsysWorld::Sample(int64_t per_user, uint64_t seed) const {
+  ML_CHECK_GT(per_user, 0);
+  Rng rng(seed);
+  const int64_t n = per_user * spec_.num_users;
+  RecsysDataset ds;
+  ds.items = Tensor{Shape{n, spec_.item_dim}};
+  ds.labels.resize(static_cast<size_t>(n));
+  ds.user_ids.resize(static_cast<size_t>(n));
+  ds.user_embeddings = embeddings_.Clone();
+
+  int64_t row = 0;
+  for (int64_t u = 0; u < spec_.num_users; ++u) {
+    for (int64_t i = 0; i < per_user; ++i, ++row) {
+      double score = 0;
+      for (int64_t d = 0; d < spec_.item_dim; ++d) {
+        const float x = static_cast<float>(rng.Normal(0.0, 1.0));
+        ds.items.flat(row * spec_.item_dim + d) = x;
+        score += static_cast<double>(
+                     shared_w_.flat(d) +
+                     private_w_.flat(u * spec_.item_dim + d)) *
+                 x;
+      }
+      ds.labels[static_cast<size_t>(row)] = score > 0 ? 1 : 0;
+      ds.user_ids[static_cast<size_t>(row)] = u;
+    }
+  }
+  return ds;
+}
+
+}  // namespace data
+}  // namespace metalora

@@ -1,0 +1,238 @@
+#include "data/task_suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace metalora {
+namespace data {
+
+std::string TaskTransform::ToString() const {
+  return StrFormat(
+      "invert=%d rot90=%d flip=%d brightness=%+.2f contrast=%.2f noise=%.3f",
+      invert ? 1 : 0, rot90, flip_h ? 1 : 0, brightness, contrast, noise_std);
+}
+
+Tensor ApplyTransform(const Tensor& image, const TaskTransform& t, Rng& rng) {
+  ML_CHECK_EQ(image.rank(), 3);
+  const int64_t c = image.dim(0), h = image.dim(1), w = image.dim(2);
+  Tensor out = image.Clone();
+  float* po = out.data();
+
+  // 1. Inversion.
+  if (t.invert) {
+    for (int64_t k = 0, n = out.numel(); k < n; ++k) po[k] = 1.0f - po[k];
+  }
+
+  // 2. Channel mixing (3-channel images only).
+  if (c == 3) {
+    const int64_t plane = h * w;
+    for (int64_t k = 0; k < plane; ++k) {
+      const float r = po[k], g = po[plane + k], b = po[2 * plane + k];
+      po[k] = t.channel_mix[0][0] * r + t.channel_mix[0][1] * g +
+              t.channel_mix[0][2] * b;
+      po[plane + k] = t.channel_mix[1][0] * r + t.channel_mix[1][1] * g +
+                      t.channel_mix[1][2] * b;
+      po[2 * plane + k] = t.channel_mix[2][0] * r + t.channel_mix[2][1] * g +
+                          t.channel_mix[2][2] * b;
+    }
+  }
+
+  // 3. Contrast (around mid-gray) and brightness.
+  for (int64_t k = 0, n = out.numel(); k < n; ++k) {
+    po[k] = (po[k] - 0.5f) * t.contrast + 0.5f + t.brightness;
+  }
+
+  // 4. Geometric: rotation by quarter turns, then horizontal flip.
+  if (t.rot90 % 4 != 0) {
+    ML_CHECK_EQ(h, w) << "rot90 requires square images";
+    Tensor rotated{out.shape()};
+    float* pr = rotated.data();
+    const int quarter = ((t.rot90 % 4) + 4) % 4;
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* src = po + ch * h * w;
+      float* dst = pr + ch * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w; ++x) {
+          int64_t sy = y, sx = x;
+          switch (quarter) {
+            case 1:
+              sy = w - 1 - x;
+              sx = y;
+              break;
+            case 2:
+              sy = h - 1 - y;
+              sx = w - 1 - x;
+              break;
+            case 3:
+              sy = x;
+              sx = h - 1 - y;
+              break;
+            default:
+              break;
+          }
+          dst[y * w + x] = src[sy * w + sx];
+        }
+      }
+    }
+    out = rotated;
+    po = out.data();
+  }
+  if (t.flip_h) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* plane = po + ch * h * w;
+      for (int64_t y = 0; y < h; ++y) {
+        for (int64_t x = 0; x < w / 2; ++x) {
+          std::swap(plane[y * w + x], plane[y * w + (w - 1 - x)]);
+        }
+      }
+    }
+  }
+
+  // 5. Per-sample noise, then clamp.
+  for (int64_t k = 0, n = out.numel(); k < n; ++k) {
+    float v = po[k];
+    if (t.noise_std > 0.0f) {
+      v += static_cast<float>(rng.Normal(0.0, t.noise_std));
+    }
+    po[k] = std::clamp(v, 0.0f, 1.0f);
+  }
+  return out;
+}
+
+TaskSuite::TaskSuite(int num_tasks, uint64_t seed) {
+  ML_CHECK_GE(num_tasks, 1);
+  tasks_.resize(static_cast<size_t>(num_tasks));
+  // Task 0 is the identity. Later tasks draw conflicting shifts from a
+  // deterministic stream; the key properties are (a) shifts visible in input
+  // statistics and (b) mutually incompatible pixel-level corrections.
+  Rng rng(seed ^ 0xABCDEF12345678ull);
+  for (int i = 1; i < num_tasks; ++i) {
+    TaskTransform& t = tasks_[static_cast<size_t>(i)];
+    // Alternate inversion so tasks conflict maximally.
+    t.invert = (i % 2 == 1);
+    // Channel rotation: strong cyclic shift whose sign alternates so the
+    // per-task corrections oppose each other.
+    const float theta = static_cast<float>(rng.Uniform(0.9, 1.6)) *
+                        (i % 3 == 0 ? -1.0f : 1.0f);
+    const float cs = std::cos(theta), sn = std::sin(theta);
+    // Rotate in the (R,G) plane, keep B mostly fixed with a small leak.
+    const float leak = static_cast<float>(rng.Uniform(0.0, 0.3));
+    float mix[3][3] = {{cs, -sn, leak}, {sn, cs, 0.0f}, {0.0f, leak, 1.0f}};
+    for (int r = 0; r < 3; ++r)
+      for (int cidx = 0; cidx < 3; ++cidx) t.channel_mix[r][cidx] = mix[r][cidx];
+    // Brightness/contrast in opposing directions per task parity.
+    const float b_mag = static_cast<float>(rng.Uniform(0.12, 0.28));
+    t.brightness = (i % 2 == 0) ? b_mag : -b_mag;
+    t.contrast = (i % 2 == 0)
+                     ? static_cast<float>(rng.Uniform(0.5, 0.75))
+                     : static_cast<float>(rng.Uniform(1.25, 1.55));
+    t.noise_std = static_cast<float>(rng.Uniform(0.0, 0.07));
+    t.rot90 = static_cast<int>(rng.UniformInt(4));
+    t.flip_h = rng.Bernoulli(0.5);
+  }
+}
+
+const TaskTransform& TaskSuite::task(int i) const {
+  ML_CHECK(i >= 0 && i < num_tasks()) << "task index out of range: " << i;
+  return tasks_[static_cast<size_t>(i)];
+}
+
+MultiTaskDataset MakeMultiTaskDataset(const SyntheticImageGenerator& gen,
+                                      const TaskSuite& suite, int64_t per_task,
+                                      uint64_t seed) {
+  ML_CHECK_GT(per_task, 0);
+  const auto& spec = gen.spec();
+  const int64_t total = per_task * suite.num_tasks();
+  MultiTaskDataset ds;
+  ds.images = Tensor{Shape{total, spec.channels, spec.height, spec.width}};
+  ds.labels.resize(static_cast<size_t>(total));
+  ds.task_ids.resize(static_cast<size_t>(total));
+  Rng rng(seed);
+  int64_t row = 0;
+  const int64_t img_size = spec.channels * spec.height * spec.width;
+  for (int task = 0; task < suite.num_tasks(); ++task) {
+    for (int64_t i = 0; i < per_task; ++i, ++row) {
+      const int64_t y = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(gen.num_classes())));
+      Tensor img = gen.Sample(y, rng);
+      img = ApplyTransform(img, suite.task(task), rng);
+      std::copy(img.data(), img.data() + img_size,
+                ds.images.data() + row * img_size);
+      ds.labels[static_cast<size_t>(row)] = y;
+      ds.task_ids[static_cast<size_t>(row)] = task;
+    }
+  }
+  return ds;
+}
+
+MultiTaskDataset MakeBaseDataset(const SyntheticImageGenerator& gen,
+                                 int64_t count, uint64_t seed) {
+  TaskSuite identity_only(1, seed);
+  return MakeMultiTaskDataset(gen, identity_only, count, seed);
+}
+
+namespace {
+
+MultiTaskDataset TakeRows(const MultiTaskDataset& all,
+                          const std::vector<int64_t>& rows) {
+  MultiTaskDataset out;
+  if (rows.empty()) return out;
+  const int64_t img_size = all.images.numel() / all.size();
+  std::vector<int64_t> dims = all.images.shape().dims();
+  dims[0] = static_cast<int64_t>(rows.size());
+  out.images = Tensor{Shape(dims)};
+  out.labels.reserve(rows.size());
+  out.task_ids.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t r = rows[i];
+    std::copy(all.images.data() + r * img_size,
+              all.images.data() + (r + 1) * img_size,
+              out.images.data() + static_cast<int64_t>(i) * img_size);
+    out.labels.push_back(all.labels[static_cast<size_t>(r)]);
+    out.task_ids.push_back(all.task_ids[static_cast<size_t>(r)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+void SplitDataset(const MultiTaskDataset& all, double test_fraction,
+                  uint64_t seed, MultiTaskDataset* train,
+                  MultiTaskDataset* test) {
+  ML_CHECK(train != nullptr && test != nullptr);
+  ML_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  std::vector<int64_t> perm(static_cast<size_t>(all.size()));
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int64_t>(i);
+  Rng rng(seed ^ 0x5157EEDull);
+  rng.Shuffle(perm);
+  const size_t test_count =
+      static_cast<size_t>(test_fraction * static_cast<double>(perm.size()));
+  std::vector<int64_t> test_rows(perm.begin(),
+                                 perm.begin() + static_cast<int64_t>(test_count));
+  std::vector<int64_t> train_rows(perm.begin() + static_cast<int64_t>(test_count),
+                                  perm.end());
+  *test = TakeRows(all, test_rows);
+  *train = TakeRows(all, train_rows);
+}
+
+MultiTaskDataset FilterTask(const MultiTaskDataset& all, int64_t task_id) {
+  std::vector<int64_t> rows;
+  for (int64_t i = 0; i < all.size(); ++i) {
+    if (all.task_ids[static_cast<size_t>(i)] == task_id) rows.push_back(i);
+  }
+  return TakeRows(all, rows);
+}
+
+MultiTaskDataset ExcludeTask(const MultiTaskDataset& all, int64_t task_id) {
+  std::vector<int64_t> rows;
+  for (int64_t i = 0; i < all.size(); ++i) {
+    if (all.task_ids[static_cast<size_t>(i)] != task_id) rows.push_back(i);
+  }
+  return TakeRows(all, rows);
+}
+
+}  // namespace data
+}  // namespace metalora

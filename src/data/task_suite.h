@@ -1,0 +1,91 @@
+// Multi-task suite: tasks are systematic domain shifts over the synthetic
+// image distribution.
+//
+// This substitutes for the paper's multi-task visual benchmark. Each task is
+// a photometric/geometric transform whose parameters are drawn once per task
+// (deterministically from the suite seed). The transforms are chosen to
+// *conflict*: e.g. one task inverts intensities while another does not, so
+// no single static ΔW can serve every task — the failure mode of vanilla
+// LoRA that motivates MetaLoRA (§I). Task identity is visible in the input
+// statistics, which is what MetaLoRA's feature-conditioned parameter
+// generation exploits.
+#ifndef METALORA_DATA_TASK_SUITE_H_
+#define METALORA_DATA_TASK_SUITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/synthetic_images.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace data {
+
+/// A single task's domain-shift parameters.
+struct TaskTransform {
+  /// 3×3 channel mixing matrix (identity for the base task).
+  float channel_mix[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+  float brightness = 0.0f;  // added after mixing
+  float contrast = 1.0f;    // scaling around 0.5
+  float noise_std = 0.0f;   // extra Gaussian pixel noise
+  bool invert = false;      // x -> 1 - x before everything else
+  bool flip_h = false;      // mirror horizontally
+  int rot90 = 0;            // quarter-turns (0..3); applied before flip
+
+  std::string ToString() const;
+};
+
+/// Applies `t` to a [C, H, W] image (C must be 3 for channel mixing; other
+/// channel counts skip the mix). `rng` drives the per-sample noise.
+Tensor ApplyTransform(const Tensor& image, const TaskTransform& t, Rng& rng);
+
+/// A deterministic set of tasks. Task 0 is always the identity (the
+/// pre-training domain); tasks 1..T-1 are progressively stronger shifts.
+class TaskSuite {
+ public:
+  TaskSuite(int num_tasks, uint64_t seed);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  const TaskTransform& task(int i) const;
+
+ private:
+  std::vector<TaskTransform> tasks_;
+};
+
+/// An in-memory multi-task dataset.
+struct MultiTaskDataset {
+  Tensor images;                  // [N, C, H, W]
+  std::vector<int64_t> labels;    // class ids
+  std::vector<int64_t> task_ids;  // task ids
+
+  int64_t size() const { return images.defined() ? images.dim(0) : 0; }
+};
+
+/// Generates `per_task` samples for each task in `suite` (classes uniform).
+MultiTaskDataset MakeMultiTaskDataset(const SyntheticImageGenerator& gen,
+                                      const TaskSuite& suite, int64_t per_task,
+                                      uint64_t seed);
+
+/// Generates `count` samples of the base (identity) domain only — the
+/// pre-training corpus for the frozen backbone.
+MultiTaskDataset MakeBaseDataset(const SyntheticImageGenerator& gen,
+                                 int64_t count, uint64_t seed);
+
+/// Splits by index parity-free random permutation into train / test parts.
+void SplitDataset(const MultiTaskDataset& all, double test_fraction,
+                  uint64_t seed, MultiTaskDataset* train,
+                  MultiTaskDataset* test);
+
+/// Selects the subset belonging to `task_id`.
+MultiTaskDataset FilterTask(const MultiTaskDataset& all, int64_t task_id);
+
+/// Selects every sample whose task is NOT `task_id` (for unseen-task
+/// ablations).
+MultiTaskDataset ExcludeTask(const MultiTaskDataset& all, int64_t task_id);
+
+}  // namespace data
+}  // namespace metalora
+
+#endif  // METALORA_DATA_TASK_SUITE_H_

@@ -1,0 +1,98 @@
+#include "eval/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "tensor/matmul.h"
+
+namespace metalora {
+namespace eval {
+
+Result<KnnResult> KnnClassify(const Tensor& ref_features,
+                              const std::vector<int64_t>& ref_labels,
+                              const Tensor& query_features,
+                              const std::vector<int64_t>& query_labels,
+                              const KnnOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (ref_features.rank() != 2 || query_features.rank() != 2) {
+    return Status::InvalidArgument("KNN expects [N, D] feature matrices");
+  }
+  const int64_t m = ref_features.dim(0), d = ref_features.dim(1);
+  const int64_t n = query_features.dim(0);
+  if (m == 0) return Status::InvalidArgument("empty reference set");
+  if (query_features.dim(1) != d) {
+    return Status::InvalidArgument("feature dimensionality mismatch");
+  }
+  if (static_cast<int64_t>(ref_labels.size()) != m ||
+      static_cast<int64_t>(query_labels.size()) != n) {
+    return Status::InvalidArgument("label count mismatch");
+  }
+  const int k = std::min<int>(options.k, static_cast<int>(m));
+
+  // Row norms, then cross products: dist² = |q|² + |r|² - 2 q·r.
+  std::vector<double> ref_norm(static_cast<size_t>(m));
+  const float* pr = ref_features.data();
+  for (int64_t i = 0; i < m; ++i) {
+    double acc = 0;
+    const float* row = pr + i * d;
+    for (int64_t j = 0; j < d; ++j) acc += static_cast<double>(row[j]) * row[j];
+    ref_norm[static_cast<size_t>(i)] = acc;
+  }
+
+  // Cross products in one matmul: [N, D] x [M, D]ᵀ.
+  Tensor dots = MatmulTransB(query_features, ref_features);  // [N, M]
+
+  KnnResult result;
+  result.predictions.resize(static_cast<size_t>(n));
+  int64_t correct = 0;
+  const float* pq = query_features.data();
+  const float* pd = dots.data();
+  std::vector<std::pair<double, int64_t>> cand;
+  for (int64_t q = 0; q < n; ++q) {
+    double qn = 0;
+    const float* qrow = pq + q * d;
+    for (int64_t j = 0; j < d; ++j) qn += static_cast<double>(qrow[j]) * qrow[j];
+
+    cand.clear();
+    cand.reserve(static_cast<size_t>(m));
+    const float* drow = pd + q * m;
+    for (int64_t i = 0; i < m; ++i) {
+      double dist;
+      if (options.metric == KnnMetric::kL2) {
+        dist = qn + ref_norm[static_cast<size_t>(i)] - 2.0 * drow[i];
+      } else {
+        const double denom =
+            std::sqrt(std::max(qn, 1e-12)) *
+            std::sqrt(std::max(ref_norm[static_cast<size_t>(i)], 1e-12));
+        dist = 1.0 - static_cast<double>(drow[i]) / denom;
+      }
+      cand.emplace_back(dist, i);
+    }
+    std::partial_sort(cand.begin(), cand.begin() + k, cand.end());
+
+    // Majority vote; ties resolved toward the class of the nearest member.
+    std::map<int64_t, int> votes;
+    for (int i = 0; i < k; ++i) {
+      ++votes[ref_labels[static_cast<size_t>(cand[static_cast<size_t>(i)].second)]];
+    }
+    int best_count = -1;
+    int64_t best_label = -1;
+    for (int i = 0; i < k; ++i) {
+      const int64_t label =
+          ref_labels[static_cast<size_t>(cand[static_cast<size_t>(i)].second)];
+      const int count = votes[label];
+      if (count > best_count) {
+        best_count = count;
+        best_label = label;
+      }
+    }
+    result.predictions[static_cast<size_t>(q)] = best_label;
+    if (best_label == query_labels[static_cast<size_t>(q)]) ++correct;
+  }
+  result.accuracy = n > 0 ? static_cast<double>(correct) / n : 0.0;
+  return result;
+}
+
+}  // namespace eval
+}  // namespace metalora

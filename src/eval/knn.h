@@ -1,0 +1,42 @@
+// Exact K-nearest-neighbour classification over feature embeddings — the
+// evaluation protocol of the paper's Table I ("K in KNN", K = 5 and 10).
+#ifndef METALORA_EVAL_KNN_H_
+#define METALORA_EVAL_KNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace eval {
+
+enum class KnnMetric {
+  kL2,      // squared Euclidean
+  kCosine,  // 1 - cosine similarity
+};
+
+struct KnnOptions {
+  int k = 5;
+  KnnMetric metric = KnnMetric::kL2;
+};
+
+struct KnnResult {
+  double accuracy = 0.0;
+  std::vector<int64_t> predictions;
+};
+
+/// Classifies each query row by majority vote among its k nearest reference
+/// rows (ties broken toward the nearer neighbour). Fails on shape mismatch,
+/// empty reference set, or k < 1.
+Result<KnnResult> KnnClassify(const Tensor& ref_features,
+                              const std::vector<int64_t>& ref_labels,
+                              const Tensor& query_features,
+                              const std::vector<int64_t>& query_labels,
+                              const KnnOptions& options);
+
+}  // namespace eval
+}  // namespace metalora
+
+#endif  // METALORA_EVAL_KNN_H_

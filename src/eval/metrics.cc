@@ -1,0 +1,85 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace eval {
+
+double Accuracy(const std::vector<int64_t>& predictions,
+                const std::vector<int64_t>& labels) {
+  ML_CHECK_EQ(predictions.size(), labels.size());
+  ML_CHECK(!labels.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double LogitsAccuracy(const Tensor& logits,
+                      const std::vector<int64_t>& labels) {
+  return Accuracy(ArgmaxRows(logits), labels);
+}
+
+Tensor ConfusionMatrix(const std::vector<int64_t>& predictions,
+                       const std::vector<int64_t>& labels,
+                       int64_t num_classes) {
+  ML_CHECK_EQ(predictions.size(), labels.size());
+  Tensor counts{Shape{num_classes, num_classes}};
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ML_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    ML_CHECK(predictions[i] >= 0 && predictions[i] < num_classes);
+    counts.flat(labels[i] * num_classes + predictions[i]) += 1.0f;
+  }
+  for (int64_t t = 0; t < num_classes; ++t) {
+    float row_sum = 0;
+    for (int64_t p = 0; p < num_classes; ++p)
+      row_sum += counts.flat(t * num_classes + p);
+    if (row_sum > 0) {
+      for (int64_t p = 0; p < num_classes; ++p)
+        counts.flat(t * num_classes + p) /= row_sum;
+    }
+  }
+  return counts;
+}
+
+std::vector<double> PerClassAccuracy(const std::vector<int64_t>& predictions,
+                                     const std::vector<int64_t>& labels,
+                                     int64_t num_classes) {
+  std::vector<int64_t> correct(static_cast<size_t>(num_classes), 0);
+  std::vector<int64_t> total(static_cast<size_t>(num_classes), 0);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ++total[static_cast<size_t>(labels[i])];
+    if (predictions[i] == labels[i]) ++correct[static_cast<size_t>(labels[i])];
+  }
+  std::vector<double> out(static_cast<size_t>(num_classes), 0.0);
+  for (int64_t c = 0; c < num_classes; ++c) {
+    if (total[static_cast<size_t>(c)] > 0) {
+      out[static_cast<size_t>(c)] =
+          static_cast<double>(correct[static_cast<size_t>(c)]) /
+          static_cast<double>(total[static_cast<size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+double Mean(const std::vector<double>& v) {
+  ML_CHECK(!v.empty());
+  double acc = 0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double mu = Mean(v);
+  double acc = 0;
+  for (double x : v) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+}  // namespace eval
+}  // namespace metalora

@@ -1,0 +1,39 @@
+// Classification metrics and small statistics helpers.
+#ifndef METALORA_EVAL_METRICS_H_
+#define METALORA_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace eval {
+
+/// Fraction of matching entries; vectors must be equal-length and non-empty.
+double Accuracy(const std::vector<int64_t>& predictions,
+                const std::vector<int64_t>& labels);
+
+/// Accuracy of argmax(logits) vs labels; logits is [N, C].
+double LogitsAccuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+/// Row-normalized confusion matrix [C, C]: entry (t, p) = P(pred=p | true=t).
+Tensor ConfusionMatrix(const std::vector<int64_t>& predictions,
+                       const std::vector<int64_t>& labels,
+                       int64_t num_classes);
+
+/// Per-class recall.
+std::vector<double> PerClassAccuracy(const std::vector<int64_t>& predictions,
+                                     const std::vector<int64_t>& labels,
+                                     int64_t num_classes);
+
+/// Sample mean.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample standard deviation (0 for size < 2).
+double StdDev(const std::vector<double>& v);
+
+}  // namespace eval
+}  // namespace metalora
+
+#endif  // METALORA_EVAL_METRICS_H_

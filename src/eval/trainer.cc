@@ -1,0 +1,198 @@
+#include "eval/trainer.h"
+
+#include <cstring>
+
+#include "autograd/graph.h"
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "eval/metrics.h"
+#include "optim/adam.h"
+#include "optim/grad_clip.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace eval {
+
+std::string BackboneKindName(BackboneKind kind) {
+  switch (kind) {
+    case BackboneKind::kResNet:
+      return "ResNet";
+    case BackboneKind::kMlpMixer:
+      return "MLP-Mixer";
+    case BackboneKind::kTransformer:
+      return "ViT";
+  }
+  return "Unknown";
+}
+
+Backbone MakeResNetBackbone(const nn::ResNetConfig& config) {
+  Backbone bb;
+  auto net = std::make_unique<nn::ResNet>(config);
+  nn::ResNet* raw = net.get();
+  bb.module = std::move(net);
+  bb.forward_features = [raw](const nn::Variable& x) {
+    return raw->ForwardFeatures(x);
+  };
+  bb.forward_logits = [raw](const nn::Variable& x) { return raw->Forward(x); };
+  bb.feature_dim = raw->feature_dim();
+  return bb;
+}
+
+Backbone MakeMixerBackbone(const nn::MlpMixerConfig& config) {
+  Backbone bb;
+  auto net = std::make_unique<nn::MlpMixer>(config);
+  nn::MlpMixer* raw = net.get();
+  bb.module = std::move(net);
+  bb.forward_features = [raw](const nn::Variable& x) {
+    return raw->ForwardFeatures(x);
+  };
+  bb.forward_logits = [raw](const nn::Variable& x) { return raw->Forward(x); };
+  bb.feature_dim = raw->feature_dim();
+  return bb;
+}
+
+Backbone MakeTransformerBackbone(const nn::TransformerConfig& config) {
+  Backbone bb;
+  auto net = std::make_unique<nn::VisionTransformer>(config);
+  nn::VisionTransformer* raw = net.get();
+  bb.module = std::move(net);
+  bb.forward_features = [raw](const nn::Variable& x) {
+    return raw->ForwardFeatures(x);
+  };
+  bb.forward_logits = [raw](const nn::Variable& x) { return raw->Forward(x); };
+  bb.feature_dim = raw->feature_dim();
+  return bb;
+}
+
+namespace {
+
+// Shared epoch loop for pre-training and adaptation; `ctx` enables the
+// per-batch adapter bindings and switches the backbone to eval mode.
+Result<TrainStats> RunTraining(Backbone& backbone,
+                               const data::MultiTaskDataset& train,
+                               const TrainOptions& options, AdaptContext* ctx) {
+  if (train.size() == 0) {
+    return Status::InvalidArgument("training dataset is empty");
+  }
+  if (options.epochs < 1 || options.batch_size < 1) {
+    return Status::InvalidArgument("epochs and batch_size must be positive");
+  }
+
+  const bool adapting = ctx != nullptr;
+  // Pre-training uses train mode (live batch-norm); adaptation freezes the
+  // backbone statistics by staying in eval mode.
+  backbone.module->SetTraining(!adapting);
+
+  std::vector<nn::Variable> trainable;
+  for (auto* v : backbone.module->TrainableParameters()) trainable.push_back(*v);
+  if (trainable.empty()) {
+    return Status::FailedPrecondition("no trainable parameters");
+  }
+
+  optim::AdamOptions adam_opts;
+  adam_opts.lr = options.lr;
+  adam_opts.weight_decay = options.weight_decay;
+  optim::Adam optimizer(trainable, adam_opts);
+
+  data::DataLoader loader(train, options.batch_size, /*shuffle=*/true,
+                          options.seed);
+  TrainStats stats;
+  Timer timer;
+  double last_acc = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    double loss_acc = 0.0;
+    int64_t seen = 0, correct = 0;
+    for (int64_t b = 0; b < loader.num_batches(); ++b) {
+      data::Batch batch = loader.GetBatch(b);
+      nn::Variable x(batch.images, /*requires_grad=*/false);
+
+      if (adapting) {
+        if (ctx->extractor != nullptr) {
+          Tensor feats = ctx->extractor->Extract(batch.images);
+          ctx->injection.BindFeatures(
+              nn::Variable(std::move(feats), /*requires_grad=*/false));
+        }
+        ctx->injection.BindTaskIds(batch.task_ids);
+      }
+
+      nn::Variable logits = backbone.forward_logits(x);
+      nn::Variable loss = autograd::SoftmaxCrossEntropy(logits, batch.labels);
+
+      backbone.module->ZeroGrad();
+      ML_RETURN_IF_ERROR(autograd::Backward(loss));
+      if (options.clip_norm > 0) {
+        optim::ClipGradNorm(trainable, options.clip_norm);
+      }
+      optimizer.Step();
+
+      loss_acc += loss.value().flat(0) * static_cast<double>(batch.size());
+      seen += batch.size();
+      const auto preds = metalora::ArgmaxRows(logits.value());
+      for (size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == batch.labels[i]) ++correct;
+      }
+    }
+    loader.Reshuffle();
+    const double epoch_loss = loss_acc / static_cast<double>(seen);
+    last_acc = static_cast<double>(correct) / static_cast<double>(seen);
+    stats.epoch_losses.push_back(epoch_loss);
+    if (options.verbose) {
+      ML_LOG(Info) << (adapting ? "adapt" : "pretrain") << " epoch "
+                   << (epoch + 1) << "/" << options.epochs << " loss "
+                   << epoch_loss << " acc " << last_acc;
+    }
+  }
+  stats.final_train_accuracy = last_acc;
+  stats.seconds = timer.Seconds();
+  return stats;
+}
+
+}  // namespace
+
+Result<TrainStats> PretrainBackbone(Backbone& backbone,
+                                    const data::MultiTaskDataset& train,
+                                    const TrainOptions& options) {
+  return RunTraining(backbone, train, options, nullptr);
+}
+
+Result<TrainStats> AdaptModel(Backbone& backbone,
+                              const data::MultiTaskDataset& train,
+                              const TrainOptions& options, AdaptContext* ctx) {
+  if (ctx == nullptr) {
+    return Status::InvalidArgument("AdaptModel requires a context");
+  }
+  return RunTraining(backbone, train, options, ctx);
+}
+
+Tensor ExtractDatasetFeatures(Backbone& backbone,
+                              const data::MultiTaskDataset& ds,
+                              int64_t batch_size, AdaptContext* ctx) {
+  ML_CHECK_GT(ds.size(), 0);
+  backbone.module->SetTraining(false);
+  Tensor out{Shape{ds.size(), backbone.feature_dim}};
+  data::DataLoader loader(ds, batch_size, /*shuffle=*/false, /*seed=*/0);
+  int64_t row = 0;
+  for (int64_t b = 0; b < loader.num_batches(); ++b) {
+    data::Batch batch = loader.GetBatch(b);
+    if (ctx != nullptr) {
+      if (ctx->extractor != nullptr) {
+        Tensor feats = ctx->extractor->Extract(batch.images);
+        ctx->injection.BindFeatures(
+            nn::Variable(std::move(feats), /*requires_grad=*/false));
+      }
+      ctx->injection.BindTaskIds(batch.task_ids);
+    }
+    autograd::NoGradGuard guard;
+    nn::Variable f = backbone.forward_features(
+        nn::Variable(batch.images, /*requires_grad=*/false));
+    std::memcpy(out.data() + row * backbone.feature_dim, f.value().data(),
+                sizeof(float) *
+                    static_cast<size_t>(batch.size() * backbone.feature_dim));
+    row += batch.size();
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace metalora

@@ -1,0 +1,89 @@
+// Training loops: backbone pre-training and adapter fine-tuning.
+//
+// Keeping these in the library (rather than in each bench binary) guarantees
+// every Table-I method runs through the identical pipeline: same loader,
+// same optimizer schedule, same evaluation batching.
+#ifndef METALORA_EVAL_TRAINER_H_
+#define METALORA_EVAL_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/feature_extractor.h"
+#include "core/inject.h"
+#include "data/dataloader.h"
+#include "nn/mlp_mixer.h"
+#include "nn/module.h"
+#include "nn/resnet.h"
+#include "nn/transformer.h"
+
+namespace metalora {
+namespace eval {
+
+/// A model plus the feature/logit entry points the harness needs.
+struct Backbone {
+  std::unique_ptr<nn::Module> module;
+  /// [N,C,H,W] -> [N, feature_dim].
+  std::function<nn::Variable(const nn::Variable&)> forward_features;
+  /// [N,C,H,W] -> [N, num_classes].
+  std::function<nn::Variable(const nn::Variable&)> forward_logits;
+  int64_t feature_dim = 0;
+};
+
+enum class BackboneKind { kResNet, kMlpMixer, kTransformer };
+
+std::string BackboneKindName(BackboneKind kind);
+
+/// Builds a fresh (randomly initialized) backbone of the given kind.
+Backbone MakeResNetBackbone(const nn::ResNetConfig& config);
+Backbone MakeMixerBackbone(const nn::MlpMixerConfig& config);
+Backbone MakeTransformerBackbone(const nn::TransformerConfig& config);
+
+struct TrainOptions {
+  int epochs = 5;
+  int64_t batch_size = 32;
+  double lr = 1e-3;
+  double weight_decay = 0.0;
+  double clip_norm = 5.0;  // <= 0 disables
+  uint64_t seed = 11;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_losses;
+  double final_train_accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+/// Supervised pre-training of all backbone parameters with Adam +
+/// cross-entropy (the "pre-trained model" every PEFT method starts from).
+Result<TrainStats> PretrainBackbone(Backbone& backbone,
+                                    const data::MultiTaskDataset& train,
+                                    const TrainOptions& options);
+
+/// Adapter fine-tuning context: which adapters to bind per batch and,
+/// for MetaLoRA, the frozen extractor producing conditioning features.
+struct AdaptContext {
+  core::InjectionResult injection;
+  const core::FeatureExtractor* extractor = nullptr;  // MetaLoRA only
+};
+
+/// Trains only requires_grad parameters (adapters + mapping nets) with the
+/// backbone in eval mode (frozen batch-norm statistics). Binds conditioning
+/// features / oracle task ids on every batch.
+Result<TrainStats> AdaptModel(Backbone& backbone,
+                              const data::MultiTaskDataset& train,
+                              const TrainOptions& options, AdaptContext* ctx);
+
+/// Extracts features for a whole dataset through the (possibly adapted)
+/// backbone, binding per-batch context exactly as during adaptation.
+Tensor ExtractDatasetFeatures(Backbone& backbone,
+                              const data::MultiTaskDataset& ds,
+                              int64_t batch_size, AdaptContext* ctx);
+
+}  // namespace eval
+}  // namespace metalora
+
+#endif  // METALORA_EVAL_TRAINER_H_

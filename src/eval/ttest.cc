@@ -1,0 +1,104 @@
+#include "eval/ttest.h"
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace metalora {
+namespace eval {
+
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta (Numerical Recipes
+// style modified Lentz algorithm).
+double BetaCf(double a, double b, double x) {
+  constexpr int kMaxIter = 200;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_beta =
+      std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b);
+  const double front = std::exp(ln_beta + a * std::log(x) + b * std::log(1.0 - x));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaCf(a, b, x) / a;
+  }
+  return 1.0 - front * BetaCf(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double dof) {
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * IncompleteBeta(dof / 2.0, 0.5, x);
+  return t > 0 ? 1.0 - p : p;
+}
+
+Result<TTestResult> WelchTTest(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) {
+    return Status::InvalidArgument("t-test needs at least 2 samples per group");
+  }
+  const double ma = Mean(a), mb = Mean(b);
+  const double sa = StdDev(a), sb = StdDev(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = sa * sa / na;
+  const double vb = sb * sb / nb;
+  const double denom = va + vb;
+
+  TTestResult r;
+  if (denom <= 0.0) {
+    // Identical constant samples: no evidence of a difference unless the
+    // means differ exactly (degenerate; report p = 0 then).
+    r.t_statistic = (ma == mb) ? 0.0 : INFINITY;
+    r.degrees_of_freedom = na + nb - 2.0;
+    r.p_value = (ma == mb) ? 1.0 : 0.0;
+    r.significant_at_05 = (ma != mb);
+    return r;
+  }
+  r.t_statistic = (ma - mb) / std::sqrt(denom);
+  r.degrees_of_freedom =
+      denom * denom /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  const double tail = 1.0 - StudentTCdf(std::fabs(r.t_statistic),
+                                        r.degrees_of_freedom);
+  r.p_value = 2.0 * tail;
+  r.significant_at_05 = r.p_value < 0.05;
+  return r;
+}
+
+}  // namespace eval
+}  // namespace metalora

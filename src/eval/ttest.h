@@ -1,0 +1,34 @@
+// Welch's two-sided t-test — the significance marker ("*") in the paper's
+// Table I ("two-sided t-test with p < 0.05 over the best baseline").
+#ifndef METALORA_EVAL_TTEST_H_
+#define METALORA_EVAL_TTEST_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace metalora {
+namespace eval {
+
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  // two-sided
+  bool significant_at_05 = false;
+};
+
+/// Welch's unequal-variance t-test on two samples (each needs >= 2 values).
+Result<TTestResult> WelchTTest(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction),
+/// exposed for tests of the p-value computation.
+double IncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+double StudentTCdf(double t, double dof);
+
+}  // namespace eval
+}  // namespace metalora
+
+#endif  // METALORA_EVAL_TTEST_H_

@@ -1,0 +1,21 @@
+#include "nn/activation.h"
+
+#include "autograd/ops.h"
+
+namespace metalora {
+namespace nn {
+
+Variable Relu::Forward(const Variable& x) { return autograd::Relu(x); }
+Variable Gelu::Forward(const Variable& x) { return autograd::Gelu(x); }
+Variable Tanh::Forward(const Variable& x) { return autograd::Tanh(x); }
+Variable Sigmoid::Forward(const Variable& x) { return autograd::Sigmoid(x); }
+
+Dropout::Dropout(float p, uint64_t seed)
+    : Module("Dropout"), p_(p), rng_(seed) {}
+
+Variable Dropout::Forward(const Variable& x) {
+  return autograd::Dropout(x, p_, training(), rng_);
+}
+
+}  // namespace nn
+}  // namespace metalora

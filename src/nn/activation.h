@@ -1,0 +1,49 @@
+// Stateless activation modules and dropout.
+#ifndef METALORA_NN_ACTIVATION_H_
+#define METALORA_NN_ACTIVATION_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace metalora {
+namespace nn {
+
+class Relu : public Module {
+ public:
+  Relu() : Module("Relu") {}
+  Variable Forward(const Variable& x) override;
+};
+
+class Gelu : public Module {
+ public:
+  Gelu() : Module("Gelu") {}
+  Variable Forward(const Variable& x) override;
+};
+
+class Tanh : public Module {
+ public:
+  Tanh() : Module("Tanh") {}
+  Variable Forward(const Variable& x) override;
+};
+
+class Sigmoid : public Module {
+ public:
+  Sigmoid() : Module("Sigmoid") {}
+  Variable Forward(const Variable& x) override;
+};
+
+/// Inverted dropout; active only in training mode.
+class Dropout : public Module {
+ public:
+  Dropout(float p, uint64_t seed);
+  Variable Forward(const Variable& x) override;
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_ACTIVATION_H_

@@ -1,0 +1,75 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+
+namespace metalora {
+namespace nn {
+
+namespace {
+
+// Applies a named Linear child to the trailing dim of a [N, S, D_in] input.
+Variable ApplyLinear3D(Module* parent, const std::string& name,
+                       const Variable& x) {
+  const int64_t n = x.dim(0), s = x.dim(1), d = x.dim(2);
+  Variable flat = autograd::Reshape(x, Shape{n * s, d});
+  Variable out = parent->Child(name)->Forward(flat);
+  return autograd::Reshape(out, Shape{n, s, out.dim(1)});
+}
+
+// [N, S, D] -> [N*H, S, Dh] with heads split from the feature dim.
+Variable SplitHeads(const Variable& x, int heads, int64_t head_dim) {
+  const int64_t n = x.dim(0), s = x.dim(1);
+  Variable r = autograd::Reshape(x, Shape{n, s, heads, head_dim});
+  r = autograd::Permute(r, {0, 2, 1, 3});  // [N, H, S, Dh]
+  return autograd::Reshape(r, Shape{n * heads, s, head_dim});
+}
+
+// [N*H, S, Dh] -> [N, S, D].
+Variable MergeHeads(const Variable& x, int64_t n, int heads, int64_t head_dim) {
+  const int64_t s = x.dim(1);
+  Variable r = autograd::Reshape(x, Shape{n, heads, s, head_dim});
+  r = autograd::Permute(r, {0, 2, 1, 3});  // [N, S, H, Dh]
+  return autograd::Reshape(r, Shape{n, s, heads * head_dim});
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t dim, int num_heads,
+                                               Rng& rng)
+    : Module("MultiHeadSelfAttention"),
+      dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      scale_(1.0f / std::sqrt(static_cast<float>(dim / num_heads))) {
+  ML_CHECK_GT(num_heads, 0);
+  ML_CHECK_EQ(dim % num_heads, 0) << "dim must be divisible by num_heads";
+  RegisterModule("q_proj", std::make_unique<Linear>(dim, dim, true, rng));
+  RegisterModule("k_proj", std::make_unique<Linear>(dim, dim, true, rng));
+  RegisterModule("v_proj", std::make_unique<Linear>(dim, dim, true, rng));
+  RegisterModule("out_proj", std::make_unique<Linear>(dim, dim, true, rng));
+}
+
+Variable MultiHeadSelfAttention::Forward(const Variable& x) {
+  ML_CHECK_EQ(x.rank(), 3);
+  ML_CHECK_EQ(x.dim(2), dim_);
+  const int64_t n = x.dim(0);
+
+  Variable q = SplitHeads(ApplyLinear3D(this, "q_proj", x), num_heads_, head_dim_);
+  Variable k = SplitHeads(ApplyLinear3D(this, "k_proj", x), num_heads_, head_dim_);
+  Variable v = SplitHeads(ApplyLinear3D(this, "v_proj", x), num_heads_, head_dim_);
+
+  // scores[b, i, j] = (q_i · k_j) / sqrt(Dh) for each of the N*H blocks.
+  Variable kt = autograd::Permute(k, {0, 2, 1});        // [N*H, Dh, S]
+  Variable scores = autograd::BatchedMatmul(q, kt);     // [N*H, S, S]
+  scores = autograd::Scale(scores, scale_);
+  Variable attn = autograd::SoftmaxLastDim(scores);     // rows sum to 1
+  Variable ctx = autograd::BatchedMatmul(attn, v);      // [N*H, S, Dh]
+
+  Variable merged = MergeHeads(ctx, n, num_heads_, head_dim_);
+  return ApplyLinear3D(this, "out_proj", merged);
+}
+
+}  // namespace nn
+}  // namespace metalora

@@ -1,0 +1,38 @@
+// Multi-head self-attention (the transformer extension the paper's §III.E
+// motivates: "broader applications in transformer architectures").
+//
+// Q/K/V/output projections are separate named Linear children so the adapter
+// injector can wrap each of them, mirroring how LoRA is applied to attention
+// weights in practice (Hu et al.).
+#ifndef METALORA_NN_ATTENTION_H_
+#define METALORA_NN_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace metalora {
+namespace nn {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  /// `dim` must be divisible by `num_heads`.
+  MultiHeadSelfAttention(int64_t dim, int num_heads, Rng& rng);
+
+  /// x is [N, S, D]; returns [N, S, D].
+  Variable Forward(const Variable& x) override;
+
+  int num_heads() const { return num_heads_; }
+  int64_t head_dim() const { return head_dim_; }
+
+ private:
+  int64_t dim_;
+  int num_heads_;
+  int64_t head_dim_;
+  float scale_;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_ATTENTION_H_

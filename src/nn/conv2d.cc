@@ -1,0 +1,32 @@
+#include "nn/conv2d.h"
+
+#include "autograd/ops.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace nn {
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t padding, bool bias, Rng& rng)
+    : Module("Conv2d"),
+      in_channels_(in_channels),
+      out_channels_(out_channels),
+      has_bias_(bias) {
+  geom_.kernel_h = kernel;
+  geom_.kernel_w = kernel;
+  geom_.stride = stride;
+  geom_.padding = padding;
+  Tensor w{Shape{out_channels_, in_channels_, kernel, kernel}};
+  KaimingNormal(w, rng, in_channels_ * kernel * kernel);
+  weight_ = RegisterParameter("weight", std::move(w));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{out_channels_}));
+  }
+}
+
+Variable Conv2d::Forward(const Variable& x) {
+  return autograd::Conv2d(x, weight_, has_bias_ ? bias_ : Variable(), geom_);
+}
+
+}  // namespace nn
+}  // namespace metalora

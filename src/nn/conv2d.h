@@ -1,0 +1,39 @@
+// 2-D convolution layer (NCHW), weight [out_ch, in_ch, K, K].
+#ifndef METALORA_NN_CONV2D_H_
+#define METALORA_NN_CONV2D_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/conv_ops.h"
+
+namespace metalora {
+namespace nn {
+
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride, int64_t padding, bool bias, Rng& rng);
+
+  Variable Forward(const Variable& x) override;
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  const ConvGeom& geom() const { return geom_; }
+
+  Variable& weight() { return weight_; }
+  Variable& bias() { return bias_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  ConvGeom geom_;
+  bool has_bias_;
+  Variable weight_;
+  Variable bias_;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_CONV2D_H_

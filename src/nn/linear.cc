@@ -1,0 +1,27 @@
+#include "nn/linear.h"
+
+#include "autograd/ops.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng)
+    : Module("Linear"),
+      in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  Tensor w{Shape{out_features_, in_features_}};
+  KaimingNormal(w, rng, in_features_);
+  weight_ = RegisterParameter("weight", std::move(w));
+  if (has_bias_) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros(Shape{out_features_}));
+  }
+}
+
+Variable Linear::Forward(const Variable& x) {
+  return autograd::Linear(x, weight_, has_bias_ ? bias_ : Variable());
+}
+
+}  // namespace nn
+}  // namespace metalora

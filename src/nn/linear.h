@@ -1,0 +1,38 @@
+// Fully connected layer: y = x Wᵀ + b, weight stored [out, in].
+#ifndef METALORA_NN_LINEAR_H_
+#define METALORA_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace metalora {
+namespace nn {
+
+class Linear : public Module {
+ public:
+  /// Kaiming-normal weight init (fan_in = in_features), zero bias.
+  Linear(int64_t in_features, int64_t out_features, bool bias, Rng& rng);
+
+  Variable Forward(const Variable& x) override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  bool has_bias() const { return has_bias_; }
+
+  Variable& weight() { return weight_; }
+  Variable& bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  // Copies of the registered parameters (Variables share state, so these
+  // stay in sync with the registry and survive registry reallocation).
+  Variable weight_;
+  Variable bias_;  // undefined when !has_bias_
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_LINEAR_H_

@@ -1,0 +1,51 @@
+#include "nn/mlp.h"
+
+#include "autograd/ops.h"
+#include "nn/activation.h"
+#include "nn/linear.h"
+
+namespace metalora {
+namespace nn {
+
+Mlp::Mlp(std::vector<int64_t> dims, Activation act, float dropout, Rng& rng)
+    : Module("Mlp"), dims_(std::move(dims)), act_(act), dropout_(dropout) {
+  ML_CHECK_GE(dims_.size(), 2u) << "Mlp needs at least in and out dims";
+  num_layers_ = dims_.size() - 1;
+  for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+    RegisterModule(
+        "fc" + std::to_string(i),
+        std::make_unique<Linear>(dims_[i], dims_[i + 1], /*bias=*/true, rng));
+    const bool is_last = (i + 2 == dims_.size());
+    const bool with_dropout = !is_last && dropout_ > 0.0f;
+    if (with_dropout) {
+      RegisterModule("drop" + std::to_string(i),
+                     std::make_unique<Dropout>(dropout_, rng.Next()));
+    }
+    has_dropout_.push_back(with_dropout);
+  }
+}
+
+Variable Mlp::Forward(const Variable& x) {
+  Variable h = x;
+  for (size_t i = 0; i < num_layers_; ++i) {
+    h = Child("fc" + std::to_string(i))->Forward(h);
+    const bool is_last = (i + 1 == num_layers_);
+    if (is_last) break;
+    switch (act_) {
+      case Activation::kRelu:
+        h = autograd::Relu(h);
+        break;
+      case Activation::kGelu:
+        h = autograd::Gelu(h);
+        break;
+      case Activation::kTanh:
+        h = autograd::Tanh(h);
+        break;
+    }
+    if (has_dropout_[i]) h = Child("drop" + std::to_string(i))->Forward(h);
+  }
+  return h;
+}
+
+}  // namespace nn
+}  // namespace metalora

@@ -1,0 +1,39 @@
+// Multi-layer perceptron with configurable hidden widths and activation.
+// Used standalone, as the MetaLoRA mapping net, and as a baseline model.
+#ifndef METALORA_NN_MLP_H_
+#define METALORA_NN_MLP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace metalora {
+namespace nn {
+
+enum class Activation { kRelu, kGelu, kTanh };
+
+class Mlp : public Module {
+ public:
+  /// dims = {in, hidden..., out}; activation after every layer except the
+  /// last. `dropout` > 0 inserts dropout after each hidden activation.
+  Mlp(std::vector<int64_t> dims, Activation act, float dropout, Rng& rng);
+
+  Variable Forward(const Variable& x) override;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+ private:
+  std::vector<int64_t> dims_;
+  Activation act_;
+  float dropout_;
+  // Children are resolved by name in Forward ("fc<i>", "drop<i>") so the
+  // adapter injector can replace them.
+  size_t num_layers_ = 0;
+  std::vector<bool> has_dropout_;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_MLP_H_

@@ -1,0 +1,124 @@
+#include "nn/mlp_mixer.h"
+
+#include "autograd/ops.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+
+namespace metalora {
+namespace nn {
+
+namespace {
+
+// Applies a named Linear child to the trailing dim of a [N, S, D_in] tensor.
+Variable ApplyLinear3D(Module* parent, const std::string& name,
+                       const Variable& x) {
+  const int64_t n = x.dim(0), s = x.dim(1), d = x.dim(2);
+  Variable flat = autograd::Reshape(x, Shape{n * s, d});
+  Variable out = parent->Child(name)->Forward(flat);
+  return autograd::Reshape(out, Shape{n, s, out.dim(1)});
+}
+
+}  // namespace
+
+MixerBlock::MixerBlock(int64_t num_tokens, int64_t hidden_dim,
+                       int64_t token_mlp_dim, int64_t channel_mlp_dim,
+                       Rng& rng)
+    : Module("MixerBlock"), num_tokens_(num_tokens), hidden_dim_(hidden_dim) {
+  RegisterModule("ln_token", std::make_unique<LayerNorm>(hidden_dim));
+  RegisterModule("token_fc1", std::make_unique<Linear>(num_tokens,
+                                                       token_mlp_dim,
+                                                       /*bias=*/true, rng));
+  RegisterModule("token_fc2", std::make_unique<Linear>(token_mlp_dim,
+                                                       num_tokens,
+                                                       /*bias=*/true, rng));
+  RegisterModule("ln_channel", std::make_unique<LayerNorm>(hidden_dim));
+  RegisterModule("channel_fc1", std::make_unique<Linear>(hidden_dim,
+                                                         channel_mlp_dim,
+                                                         /*bias=*/true, rng));
+  RegisterModule("channel_fc2", std::make_unique<Linear>(channel_mlp_dim,
+                                                         hidden_dim,
+                                                         /*bias=*/true, rng));
+}
+
+Variable MixerBlock::Forward(const Variable& x) {
+  const int64_t s = x.dim(1), d = x.dim(2);
+  ML_CHECK_EQ(s, num_tokens_);
+  ML_CHECK_EQ(d, hidden_dim_);
+
+  // Token mixing: normalize, transpose to [N, D, S], MLP over S, back.
+  Variable h = Child("ln_token")->Forward(x);
+  h = autograd::Permute(h, {0, 2, 1});  // [N, D, S]
+  h = ApplyLinear3D(this, "token_fc1", h);
+  h = autograd::Gelu(h);
+  h = ApplyLinear3D(this, "token_fc2", h);
+  h = autograd::Permute(h, {0, 2, 1});  // [N, S, D]
+  Variable x1 = autograd::Add(x, h);
+
+  // Channel mixing: MLP over D.
+  Variable c = Child("ln_channel")->Forward(x1);
+  c = ApplyLinear3D(this, "channel_fc1", c);
+  c = autograd::Gelu(c);
+  c = ApplyLinear3D(this, "channel_fc2", c);
+  return autograd::Add(x1, c);
+}
+
+MlpMixer::MlpMixer(const MlpMixerConfig& config)
+    : Module("MlpMixer"), config_(config) {
+  ML_CHECK_EQ(config.image_size % config.patch_size, 0)
+      << "patch size must divide image size";
+  const int64_t grid = config.image_size / config.patch_size;
+  num_tokens_ = grid * grid;
+  Rng rng(config.seed);
+
+  RegisterModule("patch_embed",
+                 std::make_unique<Conv2d>(config.in_channels,
+                                          config.hidden_dim,
+                                          config.patch_size,
+                                          config.patch_size, 0,
+                                          /*bias=*/true, rng));
+  for (int b = 0; b < config.num_blocks; ++b) {
+    RegisterModule("block" + std::to_string(b),
+                   std::make_unique<MixerBlock>(num_tokens_,
+                                                config.hidden_dim,
+                                                config.token_mlp_dim,
+                                                config.channel_mlp_dim, rng));
+  }
+  RegisterModule("ln_head", std::make_unique<LayerNorm>(config.hidden_dim));
+  RegisterModule("fc", std::make_unique<Linear>(config.hidden_dim,
+                                                config.num_classes,
+                                                /*bias=*/true, rng));
+}
+
+Variable MlpMixer::ForwardFeatures(const Variable& x) {
+  // Patchify: [N, C, H, W] -> conv -> [N, D, G, G] -> [N, S, D].
+  Variable h = Child("patch_embed")->Forward(x);
+  const int64_t n = h.dim(0), d = h.dim(1);
+  h = autograd::Reshape(h, Shape{n, d, num_tokens_});
+  h = autograd::Permute(h, {0, 2, 1});  // [N, S, D]
+
+  for (int b = 0; b < config_.num_blocks; ++b) {
+    h = Child("block" + std::to_string(b))->Forward(h);
+  }
+  h = Child("ln_head")->Forward(h);
+  // Mean over tokens: [N, S, D] -> [N, D]. Sum via permute-free reduction:
+  // reshape to use MeanAxis on axis 1.
+  {
+    // MeanAxis is a tensor-level op; express the reduction with autograd ops:
+    // mean over S equals (1/S) * ones-weighted sum, which is a matmul with a
+    // constant vector. Simpler: permute to [N, D, S] and GlobalAvgPool-like
+    // trick via reshape to [N, D, S, 1].
+    h = autograd::Permute(h, {0, 2, 1});                       // [N, D, S]
+    h = autograd::Reshape(h, Shape{n, config_.hidden_dim,
+                                   num_tokens_, 1});           // [N, D, S, 1]
+    h = autograd::GlobalAvgPool(h);                            // [N, D]
+  }
+  return h;
+}
+
+Variable MlpMixer::Forward(const Variable& x) {
+  return Child("fc")->Forward(ForwardFeatures(x));
+}
+
+}  // namespace nn
+}  // namespace metalora

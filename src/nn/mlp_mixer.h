@@ -1,0 +1,64 @@
+// MLP-Mixer (Tolstikhin et al.) sized for small images.
+//
+// Patch embedding (P×P conv) → L mixer blocks (token-mixing MLP across
+// patches + channel-mixing MLP across features, both with LayerNorm and
+// residuals) → LayerNorm → mean over tokens. ForwardFeatures returns the
+// pooled embedding used for KNN evaluation; all Linear layers are resolved
+// by name so the adapter injector can wrap them.
+#ifndef METALORA_NN_MLP_MIXER_H_
+#define METALORA_NN_MLP_MIXER_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace metalora {
+namespace nn {
+
+struct MlpMixerConfig {
+  int64_t in_channels = 3;
+  int64_t image_size = 32;   // square images
+  int64_t patch_size = 4;    // must divide image_size
+  int64_t hidden_dim = 64;   // token embedding width D
+  int64_t token_mlp_dim = 32;
+  int64_t channel_mlp_dim = 128;
+  int num_blocks = 2;
+  int64_t num_classes = 10;
+  uint64_t seed = 1;
+};
+
+class MixerBlock : public Module {
+ public:
+  MixerBlock(int64_t num_tokens, int64_t hidden_dim, int64_t token_mlp_dim,
+             int64_t channel_mlp_dim, Rng& rng);
+
+  /// x is [N, S, D].
+  Variable Forward(const Variable& x) override;
+
+ private:
+  int64_t num_tokens_;
+  int64_t hidden_dim_;
+};
+
+class MlpMixer : public Module {
+ public:
+  explicit MlpMixer(const MlpMixerConfig& config);
+
+  /// Logits [N, num_classes].
+  Variable Forward(const Variable& x) override;
+
+  /// Pooled features [N, hidden_dim].
+  Variable ForwardFeatures(const Variable& x);
+
+  int64_t feature_dim() const { return config_.hidden_dim; }
+  int64_t num_tokens() const { return num_tokens_; }
+  const MlpMixerConfig& config() const { return config_; }
+
+ private:
+  MlpMixerConfig config_;
+  int64_t num_tokens_;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_MLP_MIXER_H_

@@ -1,0 +1,234 @@
+#include "nn/module.h"
+
+#include <set>
+
+#include "tensor/serialize.h"
+
+namespace metalora {
+namespace nn {
+
+Variable& Module::RegisterParameter(const std::string& name, Tensor init,
+                                    bool trainable) {
+  for (const auto& [n, v] : params_) {
+    ML_CHECK(n != name) << "duplicate parameter " << name << " in " << name_;
+  }
+  params_.emplace_back(name, Variable(std::move(init), trainable));
+  return params_.back().second;
+}
+
+Tensor& Module::RegisterBuffer(const std::string& name, Tensor init) {
+  for (const auto& [n, b] : buffers_) {
+    ML_CHECK(n != name) << "duplicate buffer " << name << " in " << name_;
+  }
+  buffers_.emplace_back(name, std::make_unique<Tensor>(std::move(init)));
+  return *buffers_.back().second;
+}
+
+void Module::AddChild(const std::string& name, std::unique_ptr<Module> child) {
+  ML_CHECK(child != nullptr);
+  for (const auto& [n, c] : children_) {
+    ML_CHECK(n != name) << "duplicate child " << name << " in " << name_;
+  }
+  children_.emplace_back(name, std::move(child));
+}
+
+void Module::CollectNamed(const std::string& prefix,
+                          std::vector<NamedParameter>* out) {
+  for (auto& [n, v] : params_) {
+    out->push_back({prefix + n, &v});
+  }
+  for (auto& [n, c] : children_) {
+    c->CollectNamed(prefix + n + "/", out);
+  }
+}
+
+std::vector<Module::NamedParameter> Module::NamedParameters() {
+  std::vector<NamedParameter> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+std::vector<Variable*> Module::Parameters() {
+  std::vector<Variable*> out;
+  for (auto& np : NamedParameters()) out.push_back(np.variable);
+  return out;
+}
+
+std::vector<Variable*> Module::TrainableParameters() {
+  std::vector<Variable*> out;
+  for (auto& np : NamedParameters()) {
+    if (np.variable->requires_grad()) out.push_back(np.variable);
+  }
+  return out;
+}
+
+Module* Module::Child(const std::string& name) {
+  for (auto& [n, c] : children_) {
+    if (n == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<Module*> Module::Children() {
+  std::vector<Module*> out;
+  out.reserve(children_.size());
+  for (auto& [n, c] : children_) out.push_back(c.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, Module*>> Module::NamedChildren() {
+  std::vector<std::pair<std::string, Module*>> out;
+  out.reserve(children_.size());
+  for (auto& [n, c] : children_) out.emplace_back(n, c.get());
+  return out;
+}
+
+std::unique_ptr<Module> Module::ReplaceChild(
+    const std::string& name, std::unique_ptr<Module> replacement) {
+  ML_CHECK(replacement != nullptr);
+  for (auto& [n, c] : children_) {
+    if (n == name) {
+      std::unique_ptr<Module> old = std::move(c);
+      c = std::move(replacement);
+      c->SetTraining(training_);
+      return old;
+    }
+  }
+  ML_CHECK(false) << "ReplaceChild: no child named " << name << " in "
+                  << name_;
+  return nullptr;
+}
+
+std::unique_ptr<Module> Module::TakeChild(const std::string& name) {
+  for (auto it = children_.begin(); it != children_.end(); ++it) {
+    if (it->first == name) {
+      std::unique_ptr<Module> old = std::move(it->second);
+      children_.erase(it);
+      return old;
+    }
+  }
+  ML_CHECK(false) << "TakeChild: no child named " << name << " in " << name_;
+  return nullptr;
+}
+
+Module* Module::AdoptChild(const std::string& name,
+                           std::unique_ptr<Module> child) {
+  Module* raw = child.get();
+  AddChild(name, std::move(child));
+  raw->SetTraining(training_);
+  return raw;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [n, c] : children_) c->SetTraining(training);
+}
+
+void Module::SetTrainable(bool trainable) {
+  for (auto& [n, v] : params_) v.set_requires_grad(trainable);
+  for (auto& [n, c] : children_) c->SetTrainable(trainable);
+}
+
+void Module::ZeroGrad() {
+  for (auto& [n, v] : params_) v.ZeroGrad();
+  for (auto& [n, c] : children_) c->ZeroGrad();
+}
+
+int64_t Module::ParamCount() const {
+  int64_t total = 0;
+  for (const auto& [n, v] : params_) total += v.numel();
+  for (const auto& [n, c] : children_) total += c->ParamCount();
+  return total;
+}
+
+int64_t Module::TrainableParamCount() const {
+  int64_t total = 0;
+  for (const auto& [n, v] : params_) {
+    if (v.requires_grad()) total += v.numel();
+  }
+  for (const auto& [n, c] : children_) total += c->TrainableParamCount();
+  return total;
+}
+
+void Module::CollectState(const std::string& prefix,
+                          std::map<std::string, Tensor>* out) const {
+  // Deep copies: a state dict is a snapshot, not a view — callers diff it
+  // against later states (e.g. fine-tuning delta analysis).
+  for (const auto& [n, v] : params_) {
+    (*out)[prefix + n] = v.value().Clone();
+  }
+  for (const auto& [n, b] : buffers_) {
+    (*out)[prefix + "buf:" + n] = b->Clone();
+  }
+  for (const auto& [n, c] : children_) {
+    c->CollectState(prefix + n + "/", out);
+  }
+}
+
+std::map<std::string, Tensor> Module::StateDict() const {
+  std::map<std::string, Tensor> out;
+  CollectState("", &out);
+  return out;
+}
+
+Status Module::ApplyState(const std::string& prefix,
+                          const std::map<std::string, Tensor>& state,
+                          std::vector<std::string>* applied) {
+  for (auto& [n, v] : params_) {
+    const std::string key = prefix + n;
+    auto it = state.find(key);
+    if (it == state.end()) {
+      return Status::NotFound("missing parameter in checkpoint: " + key);
+    }
+    if (!(it->second.shape() == v.shape())) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + key + ": checkpoint " +
+          it->second.shape().ToString() + " vs model " +
+          v.shape().ToString());
+    }
+    v.mutable_value().CopyDataFrom(it->second);
+    applied->push_back(key);
+  }
+  for (auto& [n, b] : buffers_) {
+    const std::string key = prefix + "buf:" + n;
+    auto it = state.find(key);
+    if (it == state.end()) {
+      return Status::NotFound("missing buffer in checkpoint: " + key);
+    }
+    if (!(it->second.shape() == b->shape())) {
+      return Status::InvalidArgument("shape mismatch for buffer " + key);
+    }
+    b->CopyDataFrom(it->second);
+    applied->push_back(key);
+  }
+  for (auto& [n, c] : children_) {
+    ML_RETURN_IF_ERROR(c->ApplyState(prefix + n + "/", state, applied));
+  }
+  return Status::OK();
+}
+
+Status Module::LoadStateDict(const std::map<std::string, Tensor>& state) {
+  std::vector<std::string> applied;
+  ML_RETURN_IF_ERROR(ApplyState("", state, &applied));
+  if (applied.size() != state.size()) {
+    std::set<std::string> used(applied.begin(), applied.end());
+    for (const auto& [k, v] : state) {
+      if (!used.count(k)) {
+        return Status::InvalidArgument("unexpected tensor in checkpoint: " + k);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Module::SaveCheckpoint(const std::string& path) const {
+  return SaveTensorMap(path, StateDict());
+}
+
+Status Module::LoadCheckpoint(const std::string& path) {
+  ML_ASSIGN_OR_RETURN(auto state, LoadTensorMap(path));
+  return LoadStateDict(state);
+}
+
+}  // namespace nn
+}  // namespace metalora

@@ -1,0 +1,154 @@
+// Module: the base class of all neural-network layers and models.
+//
+// A Module owns named parameters (leaf Variables), named buffers
+// (non-trainable tensors such as BatchNorm running stats), and named child
+// modules. Traversal, freezing, parameter counting, and checkpointing all
+// operate on the recursive registry with "/"-joined names — the adapter
+// injector in src/core relies on these invariants.
+#ifndef METALORA_NN_MODULE_H_
+#define METALORA_NN_MODULE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace metalora {
+namespace nn {
+
+using autograd::Variable;
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the layer output. Modules are callable on one Variable; models
+  /// needing extra context (e.g. generated seeds) receive it through
+  /// dedicated setters before Forward.
+  virtual Variable Forward(const Variable& x) = 0;
+
+  const std::string& name() const { return name_; }
+
+  // --- Registry -----------------------------------------------------------
+
+  /// Registers a trainable parameter initialized with `init`. Returns a
+  /// stable reference (Variables share state across copies).
+  Variable& RegisterParameter(const std::string& name, Tensor init,
+                              bool trainable = true);
+
+  /// Registers a non-trainable buffer (running stats etc.); the module keeps
+  /// ownership, checkpointing includes it.
+  Tensor& RegisterBuffer(const std::string& name, Tensor init);
+
+  /// Registers and takes ownership of a child module. Returns a typed
+  /// pointer for convenience.
+  template <typename M>
+  M* RegisterModule(const std::string& name, std::unique_ptr<M> child) {
+    M* raw = child.get();
+    AddChild(name, std::move(child));
+    return raw;
+  }
+
+  // --- Traversal ----------------------------------------------------------
+
+  struct NamedParameter {
+    std::string name;  // "block1/conv/weight"
+    Variable* variable;
+  };
+
+  /// All parameters in the subtree, depth-first, with prefixed names.
+  std::vector<NamedParameter> NamedParameters();
+
+  /// All parameters (trainable or not) in the subtree.
+  std::vector<Variable*> Parameters();
+
+  /// Parameters with requires_grad == true.
+  std::vector<Variable*> TrainableParameters();
+
+  /// Direct child by registered name; nullptr if absent.
+  Module* Child(const std::string& name);
+
+  /// All direct children in registration order.
+  std::vector<Module*> Children();
+
+  /// Direct children with their registered names.
+  std::vector<std::pair<std::string, Module*>> NamedChildren();
+
+  /// Swaps the direct child `name` for `replacement`, returning the old
+  /// module (ownership transfers both ways). Used by the adapter injector;
+  /// modules must therefore resolve children by name in Forward rather than
+  /// caching raw pointers across injection.
+  std::unique_ptr<Module> ReplaceChild(const std::string& name,
+                                       std::unique_ptr<Module> replacement);
+
+  /// Removes and returns the direct child `name` (for wrapping it inside an
+  /// adapter). Pair with AdoptChild to reinstall a module under the same
+  /// name; child order moves to the end, so do structural surgery before
+  /// creating optimizers.
+  std::unique_ptr<Module> TakeChild(const std::string& name);
+
+  /// Registers an externally constructed module as a direct child.
+  Module* AdoptChild(const std::string& name, std::unique_ptr<Module> child);
+
+  // --- Modes & freezing ---------------------------------------------------
+
+  /// Propagates training mode (dropout, batch-norm) down the subtree.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Sets requires_grad on every parameter in the subtree.
+  void SetTrainable(bool trainable);
+
+  /// Clears gradients on every parameter in the subtree.
+  void ZeroGrad();
+
+  /// Number of parameters in the subtree.
+  int64_t ParamCount() const;
+  /// Number of parameters with requires_grad == true.
+  int64_t TrainableParamCount() const;
+
+  // --- Checkpointing ------------------------------------------------------
+
+  /// Full state (parameters + buffers) with prefixed names.
+  std::map<std::string, Tensor> StateDict() const;
+
+  /// Loads tensors by name. Fails with NotFound / InvalidArgument on missing
+  /// names or shape mismatches; extra names in `state` are an error too, so
+  /// architecture drift is caught loudly.
+  Status LoadStateDict(const std::map<std::string, Tensor>& state);
+
+  /// Saves / loads the state dict to a file.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
+ protected:
+  void AddChild(const std::string& name, std::unique_ptr<Module> child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<NamedParameter>* out);
+  void CollectState(const std::string& prefix,
+                    std::map<std::string, Tensor>* out) const;
+  Status ApplyState(const std::string& prefix,
+                    const std::map<std::string, Tensor>& state,
+                    std::vector<std::string>* applied);
+
+  std::string name_;
+  bool training_ = true;
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, std::unique_ptr<Tensor>>> buffers_;
+  std::vector<std::pair<std::string, std::unique_ptr<Module>>> children_;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_MODULE_H_

@@ -1,0 +1,35 @@
+#include "nn/norm.h"
+
+#include "autograd/ops.h"
+
+namespace metalora {
+namespace nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : Module("BatchNorm2d"),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones(Shape{channels_}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros(Shape{channels_}));
+  running_mean_ = &RegisterBuffer("running_mean", Tensor::Zeros(Shape{channels_}));
+  running_var_ = &RegisterBuffer("running_var", Tensor::Ones(Shape{channels_}));
+}
+
+Variable BatchNorm2d::Forward(const Variable& x) {
+  return autograd::BatchNorm2d(x, gamma_, beta_, *running_mean_, *running_var_,
+                               training(), momentum_, eps_);
+}
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : Module("LayerNorm"), features_(features), eps_(eps) {
+  gamma_ = RegisterParameter("gamma", Tensor::Ones(Shape{features_}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros(Shape{features_}));
+}
+
+Variable LayerNorm::Forward(const Variable& x) {
+  return autograd::LayerNorm(x, gamma_, beta_, eps_);
+}
+
+}  // namespace nn
+}  // namespace metalora

@@ -1,0 +1,48 @@
+// Normalization layers: BatchNorm2d (NCHW) and LayerNorm (last dim).
+#ifndef METALORA_NN_NORM_H_
+#define METALORA_NN_NORM_H_
+
+#include "nn/module.h"
+
+namespace metalora {
+namespace nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(int64_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  /// Uses batch statistics in training mode (updating running stats) and
+  /// running statistics in eval mode.
+  Variable Forward(const Variable& x) override;
+
+  Variable& gamma() { return gamma_; }
+  Variable& beta() { return beta_; }
+
+ private:
+  int64_t channels_;
+  float momentum_;
+  float eps_;
+  Variable gamma_;
+  Variable beta_;
+  Tensor* running_mean_;
+  Tensor* running_var_;
+};
+
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+  Variable Forward(const Variable& x) override;
+
+ private:
+  int64_t features_;
+  float eps_;
+  Variable gamma_;
+  Variable beta_;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_NORM_H_

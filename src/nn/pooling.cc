@@ -1,0 +1,37 @@
+#include "nn/pooling.h"
+
+#include "autograd/ops.h"
+
+namespace metalora {
+namespace nn {
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride, int64_t padding)
+    : Module("MaxPool2d") {
+  geom_.kernel_h = kernel;
+  geom_.kernel_w = kernel;
+  geom_.stride = stride;
+  geom_.padding = padding;
+}
+
+Variable MaxPool2d::Forward(const Variable& x) {
+  return autograd::MaxPool2d(x, geom_);
+}
+
+AvgPool2d::AvgPool2d(int64_t kernel, int64_t stride, int64_t padding)
+    : Module("AvgPool2d") {
+  geom_.kernel_h = kernel;
+  geom_.kernel_w = kernel;
+  geom_.stride = stride;
+  geom_.padding = padding;
+}
+
+Variable AvgPool2d::Forward(const Variable& x) {
+  return autograd::AvgPool2d(x, geom_);
+}
+
+Variable GlobalAvgPool::Forward(const Variable& x) {
+  return autograd::GlobalAvgPool(x);
+}
+
+}  // namespace nn
+}  // namespace metalora

@@ -1,0 +1,39 @@
+// Pooling modules (NCHW).
+#ifndef METALORA_NN_POOLING_H_
+#define METALORA_NN_POOLING_H_
+
+#include "nn/module.h"
+#include "tensor/conv_ops.h"
+
+namespace metalora {
+namespace nn {
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride, int64_t padding = 0);
+  Variable Forward(const Variable& x) override;
+
+ private:
+  ConvGeom geom_;
+};
+
+class AvgPool2d : public Module {
+ public:
+  AvgPool2d(int64_t kernel, int64_t stride, int64_t padding = 0);
+  Variable Forward(const Variable& x) override;
+
+ private:
+  ConvGeom geom_;
+};
+
+/// [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Module {
+ public:
+  GlobalAvgPool() : Module("GlobalAvgPool") {}
+  Variable Forward(const Variable& x) override;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_POOLING_H_

@@ -1,0 +1,85 @@
+#include "nn/resnet.h"
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace metalora {
+namespace nn {
+
+BasicBlock::BasicBlock(int64_t in_ch, int64_t out_ch, int64_t stride, Rng& rng)
+    : Module("BasicBlock"), has_projection_(stride != 1 || in_ch != out_ch) {
+  RegisterModule("conv1", std::make_unique<Conv2d>(in_ch, out_ch, 3, stride, 1,
+                                                   /*bias=*/false, rng));
+  RegisterModule("bn1", std::make_unique<BatchNorm2d>(out_ch));
+  RegisterModule("conv2", std::make_unique<Conv2d>(out_ch, out_ch, 3, 1, 1,
+                                                   /*bias=*/false, rng));
+  RegisterModule("bn2", std::make_unique<BatchNorm2d>(out_ch));
+  if (has_projection_) {
+    RegisterModule("proj", std::make_unique<Conv2d>(in_ch, out_ch, 1, stride,
+                                                    0, /*bias=*/false, rng));
+    RegisterModule("proj_bn", std::make_unique<BatchNorm2d>(out_ch));
+  }
+}
+
+Variable BasicBlock::Forward(const Variable& x) {
+  Variable h = Child("conv1")->Forward(x);
+  h = Child("bn1")->Forward(h);
+  h = autograd::Relu(h);
+  h = Child("conv2")->Forward(h);
+  h = Child("bn2")->Forward(h);
+  Variable skip = x;
+  if (has_projection_) {
+    skip = Child("proj")->Forward(x);
+    skip = Child("proj_bn")->Forward(skip);
+  }
+  return autograd::Relu(autograd::Add(h, skip));
+}
+
+ResNet::ResNet(const ResNetConfig& config)
+    : Module("ResNet"), config_(config) {
+  Rng rng(config.seed);
+  const int64_t w = config.base_width;
+  RegisterModule("stem", std::make_unique<Conv2d>(config.in_channels, w, 3, 1,
+                                                  1, /*bias=*/false, rng));
+  RegisterModule("stem_bn", std::make_unique<BatchNorm2d>(w));
+
+  int64_t in_ch = w;
+  const int64_t widths[3] = {w, 2 * w, 4 * w};
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int b = 0; b < config.blocks_per_stage; ++b) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string name =
+          "stage" + std::to_string(stage) + "_block" + std::to_string(b);
+      RegisterModule(name, std::make_unique<BasicBlock>(in_ch, widths[stage],
+                                                        stride, rng));
+      in_ch = widths[stage];
+    }
+  }
+  feature_dim_ = in_ch;
+  RegisterModule("pool", std::make_unique<GlobalAvgPool>());
+  RegisterModule("fc", std::make_unique<Linear>(feature_dim_,
+                                                config.num_classes,
+                                                /*bias=*/true, rng));
+}
+
+Variable ResNet::ForwardFeatures(const Variable& x) {
+  Variable h = Child("stem")->Forward(x);
+  h = Child("stem_bn")->Forward(h);
+  h = autograd::Relu(h);
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int b = 0; b < config_.blocks_per_stage; ++b) {
+      const std::string name =
+          "stage" + std::to_string(stage) + "_block" + std::to_string(b);
+      h = Child(name)->Forward(h);
+    }
+  }
+  return Child("pool")->Forward(h);
+}
+
+Variable ResNet::Forward(const Variable& x) {
+  return Child("fc")->Forward(ForwardFeatures(x));
+}
+
+}  // namespace nn
+}  // namespace metalora

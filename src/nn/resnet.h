@@ -1,0 +1,66 @@
+// CIFAR-style residual network (He et al., 2016) sized for small images.
+//
+// Architecture: 3×3 conv stem → 3 stages of BasicBlocks (widths w, 2w, 4w;
+// stride-2 at stage transitions) → global average pool → linear classifier.
+// ForwardFeatures exposes the pooled penultimate embedding used by the KNN
+// evaluation protocol of the paper's Table I.
+//
+// All convolutions are resolved by child name in Forward, so the adapter
+// injector can swap them for Conv-LoRA / MetaLoRA wrappers.
+#ifndef METALORA_NN_RESNET_H_
+#define METALORA_NN_RESNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/module.h"
+#include "nn/norm.h"
+
+namespace metalora {
+namespace nn {
+
+struct ResNetConfig {
+  int64_t in_channels = 3;
+  int64_t base_width = 16;
+  int blocks_per_stage = 1;
+  int64_t num_classes = 10;
+  /// Seed for weight initialization.
+  uint64_t seed = 1;
+};
+
+/// One pre-activation-free basic residual block:
+/// conv3x3-BN-ReLU-conv3x3-BN (+ projection shortcut) - ReLU.
+class BasicBlock : public Module {
+ public:
+  BasicBlock(int64_t in_ch, int64_t out_ch, int64_t stride, Rng& rng);
+
+  Variable Forward(const Variable& x) override;
+
+ private:
+  bool has_projection_;
+};
+
+class ResNet : public Module {
+ public:
+  explicit ResNet(const ResNetConfig& config);
+
+  /// Logits [N, num_classes].
+  Variable Forward(const Variable& x) override;
+
+  /// Pooled penultimate features [N, feature_dim()].
+  Variable ForwardFeatures(const Variable& x);
+
+  int64_t feature_dim() const { return feature_dim_; }
+  const ResNetConfig& config() const { return config_; }
+
+ private:
+  ResNetConfig config_;
+  int64_t feature_dim_;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_RESNET_H_

@@ -1,0 +1,2 @@
+// Sequential is header-only; this TU anchors the target in the build.
+#include "nn/sequential.h"

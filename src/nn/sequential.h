@@ -1,0 +1,39 @@
+// Sequential: a container applying children in registration order.
+#ifndef METALORA_NN_SEQUENTIAL_H_
+#define METALORA_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace metalora {
+namespace nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() : Module("Sequential") {}
+
+  /// Appends a stage; names are auto-generated as "0", "1", ...
+  template <typename M>
+  M* Add(std::unique_ptr<M> m) {
+    return RegisterModule(std::to_string(size_++), std::move(m));
+  }
+
+  Variable Forward(const Variable& x) override {
+    Variable h = x;
+    for (Module* m : Children()) h = m->Forward(h);
+    return h;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_ = 0;
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_SEQUENTIAL_H_

@@ -1,0 +1,96 @@
+#include "nn/transformer.h"
+
+#include "autograd/ops.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/norm.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace nn {
+
+TransformerBlock::TransformerBlock(int64_t dim, int num_heads, int64_t mlp_dim,
+                                   Rng& rng)
+    : Module("TransformerBlock") {
+  RegisterModule("ln_attn", std::make_unique<LayerNorm>(dim));
+  RegisterModule("attn",
+                 std::make_unique<MultiHeadSelfAttention>(dim, num_heads, rng));
+  RegisterModule("ln_mlp", std::make_unique<LayerNorm>(dim));
+  RegisterModule("mlp_fc1", std::make_unique<Linear>(dim, mlp_dim, true, rng));
+  RegisterModule("mlp_fc2", std::make_unique<Linear>(mlp_dim, dim, true, rng));
+}
+
+Variable TransformerBlock::Forward(const Variable& x) {
+  // Pre-norm residual attention.
+  Variable h = Child("ln_attn")->Forward(x);
+  h = Child("attn")->Forward(h);
+  Variable x1 = autograd::Add(x, h);
+
+  // Pre-norm residual MLP (token-wise).
+  const int64_t n = x1.dim(0), s = x1.dim(1), d = x1.dim(2);
+  Variable m = Child("ln_mlp")->Forward(x1);
+  m = autograd::Reshape(m, Shape{n * s, d});
+  m = Child("mlp_fc1")->Forward(m);
+  m = autograd::Gelu(m);
+  m = Child("mlp_fc2")->Forward(m);
+  m = autograd::Reshape(m, Shape{n, s, d});
+  return autograd::Add(x1, m);
+}
+
+VisionTransformer::VisionTransformer(const TransformerConfig& config)
+    : Module("VisionTransformer"), config_(config) {
+  ML_CHECK_EQ(config.image_size % config.patch_size, 0)
+      << "patch size must divide image size";
+  const int64_t grid = config.image_size / config.patch_size;
+  num_tokens_ = grid * grid;
+  Rng rng(config.seed);
+
+  RegisterModule("patch_embed",
+                 std::make_unique<Conv2d>(config.in_channels, config.dim,
+                                          config.patch_size, config.patch_size,
+                                          0, /*bias=*/true, rng));
+  Tensor pos{Shape{num_tokens_ * config.dim}};
+  FillNormal(pos, rng, 0.0f, 0.02f);
+  pos_embed_ = RegisterParameter("pos_embed", std::move(pos));
+
+  for (int b = 0; b < config.num_blocks; ++b) {
+    RegisterModule("block" + std::to_string(b),
+                   std::make_unique<TransformerBlock>(
+                       config.dim, config.num_heads, config.mlp_dim, rng));
+  }
+  RegisterModule("ln_head", std::make_unique<LayerNorm>(config.dim));
+  RegisterModule("fc", std::make_unique<Linear>(config.dim,
+                                                config.num_classes,
+                                                /*bias=*/true, rng));
+}
+
+Variable VisionTransformer::ForwardFeatures(const Variable& x) {
+  // Patchify: [N, C, H, W] -> [N, S, D].
+  Variable h = Child("patch_embed")->Forward(x);
+  const int64_t n = h.dim(0), d = h.dim(1);
+  h = autograd::Reshape(h, Shape{n, d, num_tokens_});
+  h = autograd::Permute(h, {0, 2, 1});  // [N, S, D]
+
+  // Learned positional embedding, broadcast over the batch via the flat
+  // [N, S*D] view.
+  h = autograd::Reshape(h, Shape{n, num_tokens_ * d});
+  h = autograd::AddRowBroadcast(h, pos_embed_);
+  h = autograd::Reshape(h, Shape{n, num_tokens_, d});
+
+  for (int b = 0; b < config_.num_blocks; ++b) {
+    h = Child("block" + std::to_string(b))->Forward(h);
+  }
+  h = Child("ln_head")->Forward(h);
+  // Mean over tokens via the GlobalAvgPool trick ([N, D, S, 1]).
+  h = autograd::Permute(h, {0, 2, 1});
+  h = autograd::Reshape(h, Shape{n, d, num_tokens_, 1});
+  return autograd::GlobalAvgPool(h);
+}
+
+Variable VisionTransformer::Forward(const Variable& x) {
+  return Child("fc")->Forward(ForwardFeatures(x));
+}
+
+}  // namespace nn
+}  // namespace metalora

@@ -1,0 +1,61 @@
+// A small Vision-Transformer-style encoder (paper §III.E extension:
+// "broader applications in transformer architectures").
+//
+// Patch embedding (conv) + learned positional embedding → L pre-norm
+// transformer blocks (MHSA + GELU MLP, both residual) → LayerNorm → mean
+// over tokens. Linear layers are resolved by name so adapters inject into
+// attention projections and MLPs alike.
+#ifndef METALORA_NN_TRANSFORMER_H_
+#define METALORA_NN_TRANSFORMER_H_
+
+#include "common/rng.h"
+#include "nn/attention.h"
+#include "nn/module.h"
+
+namespace metalora {
+namespace nn {
+
+struct TransformerConfig {
+  int64_t in_channels = 3;
+  int64_t image_size = 16;
+  int64_t patch_size = 4;
+  int64_t dim = 32;        // token width D
+  int num_heads = 4;
+  int64_t mlp_dim = 64;
+  int num_blocks = 2;
+  int64_t num_classes = 10;
+  uint64_t seed = 1;
+};
+
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int64_t dim, int num_heads, int64_t mlp_dim, Rng& rng);
+
+  /// x is [N, S, D].
+  Variable Forward(const Variable& x) override;
+};
+
+class VisionTransformer : public Module {
+ public:
+  explicit VisionTransformer(const TransformerConfig& config);
+
+  /// Logits [N, num_classes].
+  Variable Forward(const Variable& x) override;
+
+  /// Pooled features [N, dim].
+  Variable ForwardFeatures(const Variable& x);
+
+  int64_t feature_dim() const { return config_.dim; }
+  int64_t num_tokens() const { return num_tokens_; }
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  int64_t num_tokens_;
+  Variable pos_embed_;  // [S * D], broadcast over the batch
+};
+
+}  // namespace nn
+}  // namespace metalora
+
+#endif  // METALORA_NN_TRANSFORMER_H_

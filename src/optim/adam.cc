@@ -1,0 +1,61 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace optim {
+
+Adam::Adam(std::vector<Variable> params, const AdamOptions& options)
+    : Optimizer(std::move(params)), options_(options) {
+  lr_ = options.lr;
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  const float b1 = static_cast<float>(options_.beta1);
+  const float b2 = static_cast<float>(options_.beta2);
+  const float one_minus_b1 = 1.0f - b1;
+  const float one_minus_b2 = 1.0f - b2;
+  const float eps = static_cast<float>(options_.eps);
+  const float lr = static_cast<float>(lr_);
+  const float step_size = static_cast<float>(lr_ / bc1);
+  const float inv_sqrt_bc2 = static_cast<float>(1.0 / std::sqrt(bc2));
+  const float wd = static_cast<float>(options_.weight_decay);
+
+  for (auto& p : params_) {
+    if (!p.grad().defined()) continue;
+    const Tensor& grad = p.grad();
+    Tensor& value = p.mutable_value();
+    auto [it, inserted] = slots_.try_emplace(p.impl().get());
+    Slot& slot = it->second;
+    if (inserted) {
+      slot.m = Tensor::Zeros(value.shape());
+      slot.v = Tensor::Zeros(value.shape());
+    }
+    float* pm = slot.m.data();
+    float* pv = slot.v.data();
+    float* pw = value.data();
+    const float* pg = grad.data();
+    const int64_t n = value.numel();
+
+    for (int64_t i = 0; i < n; ++i) {
+      float g = pg[i];
+      if (wd != 0.0f && !options_.decoupled_weight_decay) g += wd * pw[i];
+      pm[i] = b1 * pm[i] + one_minus_b1 * g;
+      pv[i] = b2 * pv[i] + one_minus_b2 * g * g;
+      const float denom = std::sqrt(pv[i]) * inv_sqrt_bc2 + eps;
+      float update = step_size * pm[i] / denom;
+      if (wd != 0.0f && options_.decoupled_weight_decay) {
+        update += lr * wd * pw[i];
+      }
+      pw[i] -= update;
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace metalora

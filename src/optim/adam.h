@@ -1,0 +1,44 @@
+// Adam and AdamW (decoupled weight decay) optimizers.
+#ifndef METALORA_OPTIM_ADAM_H_
+#define METALORA_OPTIM_ADAM_H_
+
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace optim {
+
+struct AdamOptions {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+  /// true = AdamW (decay applied to weights directly), false = L2-in-grad.
+  bool decoupled_weight_decay = true;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, const AdamOptions& options);
+
+  void Step() override;
+
+  int64_t step_count() const { return t_; }
+
+ private:
+  struct Slot {
+    Tensor m;
+    Tensor v;
+  };
+  AdamOptions options_;
+  std::unordered_map<autograd::VariableImpl*, Slot> slots_;
+  int64_t t_ = 0;
+};
+
+}  // namespace optim
+}  // namespace metalora
+
+#endif  // METALORA_OPTIM_ADAM_H_

@@ -1,0 +1,46 @@
+#include "optim/grad_clip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace optim {
+
+double ClipGradNorm(const std::vector<autograd::Variable>& params,
+                    double max_norm) {
+  double total_sq = 0;
+  for (const auto& p : params) {
+    if (!p.grad().defined()) continue;
+    const double n = Norm2(p.grad());
+    total_sq += n * n;
+  }
+  const double total = std::sqrt(total_sq);
+  if (total > max_norm && total > 0) {
+    const float scale = static_cast<float>(max_norm / total);
+    for (const auto& p : params) {
+      auto& v = const_cast<autograd::Variable&>(p);
+      if (!v.grad().defined()) continue;
+      ScaleInPlace(v.mutable_grad(), scale);
+    }
+  }
+  return total;
+}
+
+void ClipGradValue(const std::vector<autograd::Variable>& params,
+                   double max_value) {
+  const float mv = static_cast<float>(max_value);
+  for (const auto& p : params) {
+    auto& v = const_cast<autograd::Variable&>(p);
+    if (!v.grad().defined()) continue;
+    Tensor& g = v.mutable_grad();
+    float* pg = g.data();
+    for (int64_t i = 0, n = g.numel(); i < n; ++i) {
+      pg[i] = std::clamp(pg[i], -mv, mv);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace metalora

@@ -1,0 +1,24 @@
+// Gradient clipping utilities.
+#ifndef METALORA_OPTIM_GRAD_CLIP_H_
+#define METALORA_OPTIM_GRAD_CLIP_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace metalora {
+namespace optim {
+
+/// Scales all gradients so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+double ClipGradNorm(const std::vector<autograd::Variable>& params,
+                    double max_norm);
+
+/// Clamps every gradient element into [-max_value, max_value].
+void ClipGradValue(const std::vector<autograd::Variable>& params,
+                   double max_value);
+
+}  // namespace optim
+}  // namespace metalora
+
+#endif  // METALORA_OPTIM_GRAD_CLIP_H_

@@ -1,0 +1,45 @@
+#include "optim/lr_scheduler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metalora {
+namespace optim {
+
+CosineLr::CosineLr(Optimizer* optimizer, double base_lr, double min_lr,
+                   int64_t total_steps, int64_t warmup_steps)
+    : LrScheduler(optimizer),
+      base_lr_(base_lr),
+      min_lr_(min_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps) {
+  ML_CHECK_GT(total_steps, 0);
+  ML_CHECK_GE(warmup_steps, 0);
+}
+
+double CosineLr::ComputeLr(int64_t step) {
+  if (warmup_steps_ > 0 && step <= warmup_steps_) {
+    return base_lr_ * static_cast<double>(step) /
+           static_cast<double>(warmup_steps_);
+  }
+  const double progress =
+      std::min(1.0, static_cast<double>(step - warmup_steps_) /
+                        std::max<double>(1.0, static_cast<double>(
+                                                  total_steps_ - warmup_steps_)));
+  return min_lr_ + 0.5 * (base_lr_ - min_lr_) * (1.0 + std::cos(M_PI * progress));
+}
+
+StepLr::StepLr(Optimizer* optimizer, double base_lr, int64_t period,
+               double gamma)
+    : LrScheduler(optimizer), base_lr_(base_lr), period_(period), gamma_(gamma) {
+  ML_CHECK_GT(period, 0);
+}
+
+double StepLr::ComputeLr(int64_t step) {
+  const int64_t drops = step / period_;
+  return base_lr_ * std::pow(gamma_, static_cast<double>(drops));
+}
+
+}  // namespace optim
+}  // namespace metalora

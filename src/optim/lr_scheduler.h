@@ -1,0 +1,65 @@
+// Learning-rate schedules operating on an Optimizer.
+#ifndef METALORA_OPTIM_LR_SCHEDULER_H_
+#define METALORA_OPTIM_LR_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "optim/optimizer.h"
+
+namespace metalora {
+namespace optim {
+
+class LrScheduler {
+ public:
+  explicit LrScheduler(Optimizer* optimizer) : optimizer_(optimizer) {}
+  virtual ~LrScheduler() = default;
+
+  /// Advances one step (typically once per epoch) and updates the LR.
+  void Step() {
+    ++step_;
+    optimizer_->set_learning_rate(ComputeLr(step_));
+  }
+
+  int64_t step_count() const { return step_; }
+
+ protected:
+  virtual double ComputeLr(int64_t step) = 0;
+
+  Optimizer* optimizer_;
+  int64_t step_ = 0;
+};
+
+/// Cosine annealing from base_lr to min_lr over total_steps.
+class CosineLr : public LrScheduler {
+ public:
+  CosineLr(Optimizer* optimizer, double base_lr, double min_lr,
+           int64_t total_steps, int64_t warmup_steps = 0);
+
+ protected:
+  double ComputeLr(int64_t step) override;
+
+ private:
+  double base_lr_;
+  double min_lr_;
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+};
+
+/// Multiplies the LR by `gamma` every `period` steps.
+class StepLr : public LrScheduler {
+ public:
+  StepLr(Optimizer* optimizer, double base_lr, int64_t period, double gamma);
+
+ protected:
+  double ComputeLr(int64_t step) override;
+
+ private:
+  double base_lr_;
+  int64_t period_;
+  double gamma_;
+};
+
+}  // namespace optim
+}  // namespace metalora
+
+#endif  // METALORA_OPTIM_LR_SCHEDULER_H_

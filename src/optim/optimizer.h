@@ -1,0 +1,44 @@
+// Optimizer interface. Optimizers hold copies of parameter Variables
+// (which share state with the module registry) and per-parameter slots
+// keyed by the underlying VariableImpl.
+#ifndef METALORA_OPTIM_OPTIMIZER_H_
+#define METALORA_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace metalora {
+namespace optim {
+
+using autograd::Variable;
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients accumulated on the parameters.
+  /// Parameters with undefined gradients are skipped.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Variable> params_;
+  double lr_ = 1e-2;
+};
+
+}  // namespace optim
+}  // namespace metalora
+
+#endif  // METALORA_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,50 @@
+#include "optim/sgd.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace optim {
+
+Sgd::Sgd(std::vector<Variable> params, const SgdOptions& options)
+    : Optimizer(std::move(params)), options_(options) {
+  lr_ = options.lr;
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    if (!p.grad().defined()) continue;
+    Tensor grad = p.grad();
+    Tensor& value = p.mutable_value();
+    const float wd = static_cast<float>(options_.weight_decay);
+    const float mu = static_cast<float>(options_.momentum);
+    const float lr = static_cast<float>(lr_);
+
+    if (wd != 0.0f) {
+      // L2 regularization folded into the gradient (classic SGD style).
+      grad = grad.Clone();
+      AxpyInPlace(grad, wd, value);
+    }
+
+    if (mu != 0.0f) {
+      auto [it, inserted] =
+          velocity_.try_emplace(p.impl().get(), Tensor::Zeros(value.shape()));
+      Tensor& v = it->second;
+      // v = mu * v + grad.
+      ScaleInPlace(v, mu);
+      AddInPlace(v, grad);
+      if (options_.nesterov) {
+        // step = grad + mu * v.
+        Tensor step = grad.Clone();
+        AxpyInPlace(step, mu, v);
+        AxpyInPlace(value, -lr, step);
+      } else {
+        AxpyInPlace(value, -lr, v);
+      }
+    } else {
+      AxpyInPlace(value, -lr, grad);
+    }
+  }
+}
+
+}  // namespace optim
+}  // namespace metalora

@@ -1,0 +1,34 @@
+// Stochastic gradient descent with momentum and decoupled weight decay.
+#ifndef METALORA_OPTIM_SGD_H_
+#define METALORA_OPTIM_SGD_H_
+
+#include <unordered_map>
+
+#include "optim/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace optim {
+
+struct SgdOptions {
+  double lr = 1e-2;
+  double momentum = 0.0;
+  double weight_decay = 0.0;  // L2 applied to the gradient
+  bool nesterov = false;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, const SgdOptions& options);
+
+  void Step() override;
+
+ private:
+  SgdOptions options_;
+  std::unordered_map<autograd::VariableImpl*, Tensor> velocity_;
+};
+
+}  // namespace optim
+}  // namespace metalora
+
+#endif  // METALORA_OPTIM_SGD_H_

@@ -1,0 +1,371 @@
+#include "tensor/conv_ops.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "tensor/matmul.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+
+void Im2Col(const float* input, int64_t channels, int64_t h, int64_t w,
+            const ConvGeom& g, float* columns) {
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  const int64_t out_spatial = ho * wo;
+  // Row r of `columns` corresponds to (c, kh, kw); column to (oh, ow).
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* chan = input + c * h * w;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out_row = columns + row * out_spatial;
+        for (int64_t oh = 0; oh < ho; ++oh) {
+          const int64_t ih = oh * g.stride + kh - g.padding;
+          if (ih < 0 || ih >= h) {
+            std::memset(out_row + oh * wo, 0,
+                        sizeof(float) * static_cast<size_t>(wo));
+            continue;
+          }
+          const float* in_row = chan + ih * w;
+          for (int64_t ow = 0; ow < wo; ++ow) {
+            const int64_t iw = ow * g.stride + kw - g.padding;
+            out_row[oh * wo + ow] =
+                (iw >= 0 && iw < w) ? in_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* columns, int64_t channels, int64_t h, int64_t w,
+            const ConvGeom& g, float* input_grad) {
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  const int64_t out_spatial = ho * wo;
+  int64_t row = 0;
+  for (int64_t c = 0; c < channels; ++c) {
+    float* chan = input_grad + c * h * w;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* in_row = columns + row * out_spatial;
+        for (int64_t oh = 0; oh < ho; ++oh) {
+          const int64_t ih = oh * g.stride + kh - g.padding;
+          if (ih < 0 || ih >= h) continue;
+          for (int64_t ow = 0; ow < wo; ++ow) {
+            const int64_t iw = ow * g.stride + kw - g.padding;
+            if (iw >= 0 && iw < w) chan[ih * w + iw] += in_row[oh * wo + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const ConvGeom& g) {
+  ML_CHECK_EQ(input.rank(), 4);
+  ML_CHECK_EQ(weight.rank(), 4);
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t o = weight.dim(0);
+  ML_CHECK_EQ(weight.dim(1), c) << "Conv2dForward: channel mismatch";
+  ML_CHECK_EQ(weight.dim(2), g.kernel_h);
+  ML_CHECK_EQ(weight.dim(3), g.kernel_w);
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  ML_CHECK(ho > 0 && wo > 0) << "Conv2dForward: empty output";
+  if (bias.defined()) {
+    ML_CHECK_EQ(bias.rank(), 1);
+    ML_CHECK_EQ(bias.dim(0), o);
+  }
+
+  const int64_t col_rows = c * g.kernel_h * g.kernel_w;
+  const int64_t col_cols = ho * wo;
+  Tensor out{Shape{n, o, ho, wo}};
+  std::vector<float> columns(static_cast<size_t>(col_rows * col_cols));
+
+  // weight viewed as [O, C*Kh*Kw]; per-sample: out_n = W_mat · cols.
+  const float* wmat = weight.data();
+  for (int64_t i = 0; i < n; ++i) {
+    Im2Col(input.data() + i * c * h * w, c, h, w, g, columns.data());
+    float* out_n = out.data() + i * o * col_cols;
+    // out_n is zero-initialized by the Tensor constructor.
+    MatmulAccumulateRaw(wmat, columns.data(), out_n, o, col_rows, col_cols);
+    if (bias.defined()) {
+      const float* pb = bias.data();
+      for (int64_t oc = 0; oc < o; ++oc) {
+        float* plane = out_n + oc * col_cols;
+        const float bv = pb[oc];
+        for (int64_t s = 0; s < col_cols; ++s) plane[s] += bv;
+      }
+    }
+  }
+  return out;
+}
+
+void Conv2dBackward(const Tensor& input, const Tensor& weight,
+                    const Tensor& grad_output, const ConvGeom& g,
+                    Tensor* grad_input, Tensor* grad_weight, Tensor* grad_bias,
+                    bool has_bias) {
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t o = weight.dim(0);
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  ML_CHECK_EQ(grad_output.dim(0), n);
+  ML_CHECK_EQ(grad_output.dim(1), o);
+  ML_CHECK_EQ(grad_output.dim(2), ho);
+  ML_CHECK_EQ(grad_output.dim(3), wo);
+
+  const int64_t col_rows = c * g.kernel_h * g.kernel_w;
+  const int64_t col_cols = ho * wo;
+
+  if (grad_input) *grad_input = Tensor::Zeros(input.shape());
+  if (grad_weight) *grad_weight = Tensor::Zeros(weight.shape());
+  if (grad_bias && has_bias) *grad_bias = Tensor::Zeros(Shape{o});
+
+  std::vector<float> columns(static_cast<size_t>(col_rows * col_cols));
+  std::vector<float> col_grad(static_cast<size_t>(col_rows * col_cols));
+
+  const float* wmat = weight.data();  // [o, col_rows]
+  for (int64_t i = 0; i < n; ++i) {
+    const float* gout = grad_output.data() + i * o * col_cols;
+
+    if (grad_weight) {
+      // dW += gout [o, S] · colsᵀ [S, col_rows].
+      Im2Col(input.data() + i * c * h * w, c, h, w, g, columns.data());
+      float* gw = grad_weight->data();
+      for (int64_t oc = 0; oc < o; ++oc) {
+        const float* grow = gout + oc * col_cols;
+        float* gwrow = gw + oc * col_rows;
+        for (int64_t r = 0; r < col_rows; ++r) {
+          const float* crow = columns.data() + r * col_cols;
+          float acc = 0.0f;
+          for (int64_t s = 0; s < col_cols; ++s) acc += grow[s] * crow[s];
+          gwrow[r] += acc;
+        }
+      }
+    }
+
+    if (grad_input) {
+      // col_grad [col_rows, S] = Wᵀ [col_rows, o] · gout [o, S].
+      std::memset(col_grad.data(), 0, sizeof(float) * col_grad.size());
+      for (int64_t oc = 0; oc < o; ++oc) {
+        const float* wrow = wmat + oc * col_rows;
+        const float* grow = gout + oc * col_cols;
+        for (int64_t r = 0; r < col_rows; ++r) {
+          const float wv = wrow[r];
+          if (wv == 0.0f) continue;
+          float* crow = col_grad.data() + r * col_cols;
+          for (int64_t s = 0; s < col_cols; ++s) crow[s] += wv * grow[s];
+        }
+      }
+      Col2Im(col_grad.data(), c, h, w, g,
+             grad_input->data() + i * c * h * w);
+    }
+
+    if (grad_bias && has_bias) {
+      float* gb = grad_bias->data();
+      for (int64_t oc = 0; oc < o; ++oc) {
+        const float* grow = gout + oc * col_cols;
+        float acc = 0.0f;
+        for (int64_t s = 0; s < col_cols; ++s) acc += grow[s];
+        gb[oc] += acc;
+      }
+    }
+  }
+}
+
+Tensor Conv2dDirect(const Tensor& input, const Tensor& weight,
+                    const Tensor& bias, const ConvGeom& g) {
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t o = weight.dim(0);
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  Tensor out{Shape{n, o, ho, wo}};
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t oc = 0; oc < o; ++oc) {
+      for (int64_t oh = 0; oh < ho; ++oh) {
+        for (int64_t ow = 0; ow < wo; ++ow) {
+          double acc = bias.defined() ? bias.flat(oc) : 0.0;
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+              const int64_t ih = oh * g.stride + kh - g.padding;
+              if (ih < 0 || ih >= h) continue;
+              for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+                const int64_t iw = ow * g.stride + kw - g.padding;
+                if (iw < 0 || iw >= w) continue;
+                acc += static_cast<double>(
+                           input.flat(((i * c + ic) * h + ih) * w + iw)) *
+                       weight.flat(((oc * c + ic) * g.kernel_h + kh) *
+                                       g.kernel_w +
+                                   kw);
+              }
+            }
+          }
+          out.flat(((i * o + oc) * ho + oh) * wo + ow) =
+              static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d(const Tensor& input, const ConvGeom& g,
+                 std::vector<int64_t>* argmax) {
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  Tensor out{Shape{n, c, ho, wo}};
+  if (argmax) argmax->assign(static_cast<size_t>(out.numel()), -1);
+  const float* pin = input.data();
+  float* pout = out.data();
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = pin + (i * c + ch) * h * w;
+      for (int64_t oh = 0; oh < ho; ++oh) {
+        for (int64_t ow = 0; ow < wo; ++ow, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_off = -1;
+          for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+            const int64_t ih = oh * g.stride + kh - g.padding;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+              const int64_t iw = ow * g.stride + kw - g.padding;
+              if (iw < 0 || iw >= w) continue;
+              const float v = plane[ih * w + iw];
+              if (v > best) {
+                best = v;
+                best_off = (i * c + ch) * h * w + ih * w + iw;
+              }
+            }
+          }
+          ML_DCHECK(best_off >= 0);
+          pout[out_idx] = best;
+          if (argmax) (*argmax)[static_cast<size_t>(out_idx)] = best_off;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2dBackward(const Tensor& grad_output, const Shape& input_shape,
+                         const std::vector<int64_t>& argmax) {
+  ML_CHECK_EQ(static_cast<int64_t>(argmax.size()), grad_output.numel());
+  Tensor grad_input{input_shape};
+  const float* pg = grad_output.data();
+  float* pi = grad_input.data();
+  for (int64_t i = 0, n = grad_output.numel(); i < n; ++i) {
+    pi[argmax[static_cast<size_t>(i)]] += pg[i];
+  }
+  return grad_input;
+}
+
+Tensor AvgPool2d(const Tensor& input, const ConvGeom& g) {
+  const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                w = input.dim(3);
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  const float inv = 1.0f / static_cast<float>(g.kernel_h * g.kernel_w);
+  Tensor out{Shape{n, c, ho, wo}};
+  const float* pin = input.data();
+  float* pout = out.data();
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = pin + (i * c + ch) * h * w;
+      for (int64_t oh = 0; oh < ho; ++oh) {
+        for (int64_t ow = 0; ow < wo; ++ow, ++out_idx) {
+          float acc = 0.0f;
+          for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+            const int64_t ih = oh * g.stride + kh - g.padding;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+              const int64_t iw = ow * g.stride + kw - g.padding;
+              if (iw < 0 || iw >= w) continue;
+              acc += plane[ih * w + iw];
+            }
+          }
+          pout[out_idx] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2dBackward(const Tensor& grad_output, const Shape& input_shape,
+                         const ConvGeom& g) {
+  const int64_t n = input_shape.dim(0), c = input_shape.dim(1),
+                h = input_shape.dim(2), w = input_shape.dim(3);
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  const float inv = 1.0f / static_cast<float>(g.kernel_h * g.kernel_w);
+  Tensor grad_input{input_shape};
+  const float* pg = grad_output.data();
+  float* pi = grad_input.data();
+  int64_t out_idx = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float* plane = pi + (i * c + ch) * h * w;
+      for (int64_t oh = 0; oh < ho; ++oh) {
+        for (int64_t ow = 0; ow < wo; ++ow, ++out_idx) {
+          const float gv = pg[out_idx] * inv;
+          for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+            const int64_t ih = oh * g.stride + kh - g.padding;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+              const int64_t iw = ow * g.stride + kw - g.padding;
+              if (iw < 0 || iw >= w) continue;
+              plane[ih * w + iw] += gv;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool(const Tensor& input) {
+  ML_CHECK_EQ(input.rank(), 4);
+  const int64_t n = input.dim(0), c = input.dim(1),
+                spatial = input.dim(2) * input.dim(3);
+  const float inv = 1.0f / static_cast<float>(spatial);
+  Tensor out{Shape{n, c}};
+  const float* pin = input.data();
+  float* pout = out.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = pin + i * spatial;
+    float acc = 0.0f;
+    for (int64_t s = 0; s < spatial; ++s) acc += plane[s];
+    pout[i] = acc * inv;
+  }
+  return out;
+}
+
+Tensor GlobalAvgPoolBackward(const Tensor& grad_output,
+                             const Shape& input_shape) {
+  const int64_t n = input_shape.dim(0), c = input_shape.dim(1),
+                spatial = input_shape.dim(2) * input_shape.dim(3);
+  const float inv = 1.0f / static_cast<float>(spatial);
+  Tensor grad_input{input_shape};
+  const float* pg = grad_output.data();
+  float* pi = grad_input.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float gv = pg[i] * inv;
+    float* plane = pi + i * spatial;
+    for (int64_t s = 0; s < spatial; ++s) plane[s] = gv;
+  }
+  return grad_input;
+}
+
+}  // namespace metalora

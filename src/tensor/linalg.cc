@@ -1,0 +1,181 @@
+#include "tensor/linalg.h"
+
+#include <cmath>
+
+#include "tensor/matmul.h"
+
+namespace metalora {
+
+Result<Tensor> Cholesky(const Tensor& a) {
+  if (a.rank() != 2 || a.dim(0) != a.dim(1)) {
+    return Status::InvalidArgument("Cholesky needs a square matrix");
+  }
+  const int64_t n = a.dim(0);
+  Tensor l{Shape{n, n}};
+  const float* pa = a.data();
+  float* pl = l.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double acc = pa[i * n + j];
+      for (int64_t k = 0; k < j; ++k) {
+        acc -= static_cast<double>(pl[i * n + k]) * pl[j * n + k];
+      }
+      if (i == j) {
+        if (acc <= 0.0) {
+          return Status::InvalidArgument(
+              "matrix is not positive definite (pivot " +
+              std::to_string(acc) + " at " + std::to_string(i) + ")");
+        }
+        pl[i * n + i] = static_cast<float>(std::sqrt(acc));
+      } else {
+        pl[i * n + j] = static_cast<float>(acc / pl[j * n + j]);
+      }
+    }
+  }
+  return l;
+}
+
+Tensor CholeskySolve(const Tensor& l, const Tensor& b) {
+  ML_CHECK_EQ(l.rank(), 2);
+  ML_CHECK_EQ(b.rank(), 2);
+  const int64_t n = l.dim(0);
+  ML_CHECK_EQ(l.dim(1), n);
+  ML_CHECK_EQ(b.dim(0), n);
+  const int64_t m = b.dim(1);
+  const float* pl = l.data();
+
+  // Forward substitution: L·Y = B.
+  Tensor y = b.Clone();
+  float* py = y.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t c = 0; c < m; ++c) {
+      double acc = py[i * m + c];
+      for (int64_t k = 0; k < i; ++k) {
+        acc -= static_cast<double>(pl[i * n + k]) * py[k * m + c];
+      }
+      py[i * m + c] = static_cast<float>(acc / pl[i * n + i]);
+    }
+  }
+  // Back substitution: Lᵀ·X = Y.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    for (int64_t c = 0; c < m; ++c) {
+      double acc = py[i * m + c];
+      for (int64_t k = i + 1; k < n; ++k) {
+        acc -= static_cast<double>(pl[k * n + i]) * py[k * m + c];
+      }
+      py[i * m + c] = static_cast<float>(acc / pl[i * n + i]);
+    }
+  }
+  return y;
+}
+
+Result<Tensor> SpdInverse(const Tensor& a) {
+  ML_ASSIGN_OR_RETURN(Tensor l, Cholesky(a));
+  const int64_t n = a.dim(0);
+  Tensor eye{Shape{n, n}};
+  for (int64_t i = 0; i < n; ++i) eye.flat(i * n + i) = 1.0f;
+  return CholeskySolve(l, eye);
+}
+
+Result<Tensor> LeastSquares(const Tensor& a, const Tensor& b, float ridge) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
+    return Status::InvalidArgument("LeastSquares: shape mismatch");
+  }
+  Tensor gram = MatmulTransA(a, a);  // [n, n]
+  const int64_t n = gram.dim(0);
+  for (int64_t i = 0; i < n; ++i) gram.flat(i * n + i) += ridge;
+  Tensor rhs = MatmulTransA(a, b);  // [n, k]
+  ML_ASSIGN_OR_RETURN(Tensor l, Cholesky(gram));
+  return CholeskySolve(l, rhs);
+}
+
+Tensor KhatriRao(const Tensor& a, const Tensor& b) {
+  ML_CHECK_EQ(a.rank(), 2);
+  ML_CHECK_EQ(b.rank(), 2);
+  ML_CHECK_EQ(a.dim(1), b.dim(1));
+  const int64_t i_dim = a.dim(0), j_dim = b.dim(0), r = a.dim(1);
+  Tensor out{Shape{i_dim * j_dim, r}};
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < i_dim; ++i) {
+    for (int64_t j = 0; j < j_dim; ++j) {
+      float* row = po + (i * j_dim + j) * r;
+      const float* arow = pa + i * r;
+      const float* brow = pb + j * r;
+      for (int64_t k = 0; k < r; ++k) row[k] = arow[k] * brow[k];
+    }
+  }
+  return out;
+}
+
+Tensor Unfold(const Tensor& x, int mode) {
+  const int rank = x.rank();
+  ML_CHECK(mode >= 0 && mode < rank) << "Unfold: bad mode";
+  const int64_t rows = x.dim(mode);
+  const int64_t cols = x.numel() / rows;
+  Tensor out{Shape{rows, cols}};
+
+  // Kolda & Bader: column index j = Σ_{k≠mode} i_k · J_k with
+  // J_k = Π_{m<k, m≠mode} I_m  (earlier modes vary fastest).
+  std::vector<int64_t> col_stride(static_cast<size_t>(rank), 0);
+  int64_t acc = 1;
+  for (int k = 0; k < rank; ++k) {
+    if (k == mode) continue;
+    col_stride[static_cast<size_t>(k)] = acc;
+    acc *= x.dim(k);
+  }
+
+  std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t flat = 0, n = x.numel(); flat < n; ++flat) {
+    int64_t col = 0;
+    for (int k = 0; k < rank; ++k) {
+      if (k == mode) continue;
+      col += idx[static_cast<size_t>(k)] * col_stride[static_cast<size_t>(k)];
+    }
+    po[idx[static_cast<size_t>(mode)] * cols + col] = px[flat];
+    for (int k = rank - 1; k >= 0; --k) {
+      if (++idx[static_cast<size_t>(k)] < x.dim(k)) break;
+      idx[static_cast<size_t>(k)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Fold(const Tensor& mat, const Shape& shape, int mode) {
+  const int rank = shape.rank();
+  ML_CHECK(mode >= 0 && mode < rank) << "Fold: bad mode";
+  ML_CHECK_EQ(mat.dim(0), shape.dim(mode));
+  ML_CHECK_EQ(mat.numel(), shape.numel());
+  Tensor out{shape};
+
+  std::vector<int64_t> col_stride(static_cast<size_t>(rank), 0);
+  int64_t acc = 1;
+  for (int k = 0; k < rank; ++k) {
+    if (k == mode) continue;
+    col_stride[static_cast<size_t>(k)] = acc;
+    acc *= shape.dim(k);
+  }
+  const int64_t cols = out.numel() / shape.dim(mode);
+
+  std::vector<int64_t> idx(static_cast<size_t>(rank), 0);
+  const float* pm = mat.data();
+  float* po = out.data();
+  for (int64_t flat = 0, n = out.numel(); flat < n; ++flat) {
+    int64_t col = 0;
+    for (int k = 0; k < rank; ++k) {
+      if (k == mode) continue;
+      col += idx[static_cast<size_t>(k)] * col_stride[static_cast<size_t>(k)];
+    }
+    po[flat] = pm[idx[static_cast<size_t>(mode)] * cols + col];
+    for (int k = rank - 1; k >= 0; --k) {
+      if (++idx[static_cast<size_t>(k)] < shape.dim(k)) break;
+      idx[static_cast<size_t>(k)] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace metalora

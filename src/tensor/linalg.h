@@ -1,0 +1,43 @@
+// Small dense linear-algebra routines used by the tensor-decomposition
+// fitting algorithms (CP-ALS): Cholesky factorization/solves for SPD
+// systems, Khatri-Rao products, and mode-n matricization.
+#ifndef METALORA_TENSOR_LINALG_H_
+#define METALORA_TENSOR_LINALG_H_
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+
+/// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite matrix.
+/// Returns the lower-triangular L; fails with InvalidArgument if A is not
+/// square or not (numerically) positive definite.
+Result<Tensor> Cholesky(const Tensor& a);
+
+/// Solves A·X = B given the Cholesky factor L of A. B is [n, m].
+Tensor CholeskySolve(const Tensor& l, const Tensor& b);
+
+/// Inverse of an SPD matrix via Cholesky. Fails if not SPD.
+Result<Tensor> SpdInverse(const Tensor& a);
+
+/// Solves the regularized normal equations (AᵀA + ridge·I)·X = Aᵀ·B for X,
+/// the least-squares solution of A·X ≈ B. A is [m, n], B is [m, k].
+Result<Tensor> LeastSquares(const Tensor& a, const Tensor& b,
+                            float ridge = 1e-8f);
+
+/// Khatri-Rao (column-wise Kronecker) product: A [I, R] ⊙ B [J, R] ->
+/// [I*J, R], row (i*J + j) = A[i,:] ⊛ B[j,:].
+Tensor KhatriRao(const Tensor& a, const Tensor& b);
+
+/// Mode-n matricization X_(n) of a tensor (Kolda & Bader ordering): result
+/// is [I_n, numel/I_n], with the remaining modes varying fastest in their
+/// original order (cyclically after n).
+Tensor Unfold(const Tensor& x, int mode);
+
+/// Inverse of Unfold: rebuilds the tensor of `shape` from its mode-n
+/// matricization.
+Tensor Fold(const Tensor& mat, const Shape& shape, int mode);
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_LINALG_H_

@@ -1,0 +1,32 @@
+// Dense single-precision matrix multiplication kernels.
+//
+// The kernel is a cache-blocked i-k-j loop; good enough for the model sizes
+// in this library (hundreds of units) without an external BLAS.
+#ifndef METALORA_TENSOR_MATMUL_H_
+#define METALORA_TENSOR_MATMUL_H_
+
+#include "tensor/tensor.h"
+
+namespace metalora {
+
+/// C[n,m] = A[n,k] · B[k,m].
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+/// C[n,m] = Aᵀ[n,k] · B[k,m] with A stored as [k,n]. Used by backward passes
+/// without materializing the transpose.
+Tensor MatmulTransA(const Tensor& a, const Tensor& b);
+
+/// C[n,m] = A[n,k] · Bᵀ[k,m] with B stored as [m,k].
+Tensor MatmulTransB(const Tensor& a, const Tensor& b);
+
+/// y[n] = A[n,k] · x[k].
+Tensor MatVec(const Tensor& a, const Tensor& x);
+
+/// Raw kernel: C[n,m] += A[n,k] · B[k,m], all row-major contiguous.
+/// Exposed for im2col convolution and benchmarks.
+void MatmulAccumulateRaw(const float* a, const float* b, float* c, int64_t n,
+                         int64_t k, int64_t m);
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_MATMUL_H_

@@ -1,0 +1,44 @@
+#include "tensor/random_init.h"
+
+#include <cmath>
+
+namespace metalora {
+
+void FillUniform(Tensor& t, Rng& rng, float lo, float hi) {
+  float* p = t.data();
+  for (int64_t i = 0, n = t.numel(); i < n; ++i)
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+}
+
+void FillNormal(Tensor& t, Rng& rng, float mean, float stddev) {
+  float* p = t.data();
+  for (int64_t i = 0, n = t.numel(); i < n; ++i)
+    p[i] = static_cast<float>(rng.Normal(mean, stddev));
+}
+
+Tensor RandomUniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  FillUniform(t, rng, lo, hi);
+  return t;
+}
+
+Tensor RandomNormal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  FillNormal(t, rng, mean, stddev);
+  return t;
+}
+
+void KaimingNormal(Tensor& t, Rng& rng, int64_t fan_in) {
+  ML_CHECK_GT(fan_in, 0);
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  FillNormal(t, rng, 0.0f, stddev);
+}
+
+void XavierUniform(Tensor& t, Rng& rng, int64_t fan_in, int64_t fan_out) {
+  ML_CHECK_GT(fan_in + fan_out, 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  FillUniform(t, rng, -bound, bound);
+}
+
+}  // namespace metalora

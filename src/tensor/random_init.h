@@ -1,0 +1,31 @@
+// Random tensor initializers. All take an explicit Rng for determinism.
+#ifndef METALORA_TENSOR_RANDOM_INIT_H_
+#define METALORA_TENSOR_RANDOM_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+
+/// Fills with U(lo, hi).
+void FillUniform(Tensor& t, Rng& rng, float lo, float hi);
+
+/// Fills with N(mean, stddev).
+void FillNormal(Tensor& t, Rng& rng, float mean, float stddev);
+
+/// Returns a fresh tensor with U(lo, hi) entries.
+Tensor RandomUniform(Shape shape, Rng& rng, float lo = 0.0f, float hi = 1.0f);
+
+/// Returns a fresh tensor with N(mean, stddev) entries.
+Tensor RandomNormal(Shape shape, Rng& rng, float mean = 0.0f,
+                    float stddev = 1.0f);
+
+/// Kaiming/He normal init for ReLU networks: N(0, sqrt(2 / fan_in)).
+void KaimingNormal(Tensor& t, Rng& rng, int64_t fan_in);
+
+/// Xavier/Glorot uniform init: U(±sqrt(6 / (fan_in + fan_out))).
+void XavierUniform(Tensor& t, Rng& rng, int64_t fan_in, int64_t fan_out);
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_RANDOM_INIT_H_

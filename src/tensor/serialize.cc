@@ -1,0 +1,119 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace metalora {
+
+namespace {
+
+constexpr char kTensorMagic[4] = {'M', 'L', 'T', 'N'};
+constexpr char kCheckpointMagic[4] = {'M', 'L', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMaxRank = 16;
+constexpr int64_t kMaxDim = int64_t{1} << 40;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(T));
+  return is.good();
+}
+
+}  // namespace
+
+Status WriteTensor(std::ostream& os, const Tensor& t) {
+  if (!t.defined()) return Status::InvalidArgument("cannot write undefined tensor");
+  os.write(kTensorMagic, 4);
+  WritePod(os, kVersion);
+  WritePod(os, static_cast<uint32_t>(t.rank()));
+  for (int i = 0; i < t.rank(); ++i) WritePod(os, t.dim(i));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  if (!os.good()) return Status::IOError("tensor write failed");
+  return Status::OK();
+}
+
+Result<Tensor> ReadTensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is.good() || std::memcmp(magic, kTensorMagic, 4) != 0) {
+    return Status::Corruption("bad tensor magic");
+  }
+  uint32_t version = 0, rank = 0;
+  if (!ReadPod(is, &version)) return Status::Corruption("truncated header");
+  if (version != kVersion)
+    return Status::Corruption("unsupported tensor version " +
+                              std::to_string(version));
+  if (!ReadPod(is, &rank)) return Status::Corruption("truncated header");
+  if (rank > kMaxRank) return Status::Corruption("absurd rank");
+  std::vector<int64_t> dims(rank);
+  int64_t numel = 1;
+  for (uint32_t i = 0; i < rank; ++i) {
+    if (!ReadPod(is, &dims[i])) return Status::Corruption("truncated dims");
+    if (dims[i] < 0 || dims[i] > kMaxDim) return Status::Corruption("absurd dim");
+    numel *= dims[i];
+    if (numel > kMaxDim) return Status::Corruption("absurd numel");
+  }
+  Tensor t{Shape(dims)};
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  if (!is.good()) return Status::Corruption("truncated tensor data");
+  return t;
+}
+
+Status SaveTensorMap(const std::string& path,
+                     const std::map<std::string, Tensor>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.is_open()) return Status::IOError("cannot open " + path);
+  os.write(kCheckpointMagic, 4);
+  WritePod(os, kVersion);
+  WritePod(os, static_cast<uint64_t>(tensors.size()));
+  for (const auto& [name, tensor] : tensors) {
+    WritePod(os, static_cast<uint64_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    ML_RETURN_IF_ERROR(WriteTensor(os, tensor));
+  }
+  os.flush();
+  if (!os.good()) return Status::IOError("checkpoint write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::map<std::string, Tensor>> LoadTensorMap(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return Status::IOError("cannot open " + path);
+  char magic[4];
+  is.read(magic, 4);
+  if (!is.good() || std::memcmp(magic, kCheckpointMagic, 4) != 0) {
+    return Status::Corruption("bad checkpoint magic in " + path);
+  }
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadPod(is, &version) || version != kVersion)
+    return Status::Corruption("unsupported checkpoint version");
+  if (!ReadPod(is, &count) || count > (uint64_t{1} << 20))
+    return Status::Corruption("absurd tensor count");
+  std::map<std::string, Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadPod(is, &name_len) || name_len > (uint64_t{1} << 16))
+      return Status::Corruption("absurd name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!is.good()) return Status::Corruption("truncated name");
+    ML_ASSIGN_OR_RETURN(Tensor t, ReadTensor(is));
+    if (!out.emplace(std::move(name), std::move(t)).second)
+      return Status::Corruption("duplicate tensor name");
+  }
+  return out;
+}
+
+}  // namespace metalora

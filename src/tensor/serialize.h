@@ -1,0 +1,36 @@
+// Binary tensor (de)serialization.
+//
+// Format (little-endian):
+//   magic "MLTN"  | u32 version | u32 rank | i64 dims[rank] | f32 data[numel]
+// A named collection ("checkpoint") is a count-prefixed sequence of
+// (string name, tensor) pairs with magic "MLCK".
+#ifndef METALORA_TENSOR_SERIALIZE_H_
+#define METALORA_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+
+/// Writes one tensor to a stream.
+Status WriteTensor(std::ostream& os, const Tensor& t);
+
+/// Reads one tensor from a stream. Fails with Corruption on bad magic,
+/// absurd ranks/dims or truncated data.
+Result<Tensor> ReadTensor(std::istream& is);
+
+/// Saves a named map of tensors to `path`.
+Status SaveTensorMap(const std::string& path,
+                     const std::map<std::string, Tensor>& tensors);
+
+/// Loads a named map of tensors from `path`.
+Result<std::map<std::string, Tensor>> LoadTensorMap(const std::string& path);
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_SERIALIZE_H_

@@ -1,0 +1,44 @@
+#include "tensor/shape.h"
+
+#include "common/check.h"
+
+namespace metalora {
+
+int64_t Shape::dim(int i) const {
+  int r = rank();
+  if (i < 0) i += r;
+  ML_CHECK(i >= 0 && i < r) << "dim index " << i << " out of range for rank "
+                            << r;
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    ML_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size());
+  int64_t acc = 1;
+  for (int i = rank() - 1; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] = acc;
+    acc *= dims_[static_cast<size_t>(i)];
+  }
+  return strides;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace metalora

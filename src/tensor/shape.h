@@ -1,0 +1,47 @@
+// Shape: the dimension vector of a dense row-major tensor.
+#ifndef METALORA_TENSOR_SHAPE_H_
+#define METALORA_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace metalora {
+
+/// An ordered list of dimension extents. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Extent of dimension `i`; negative `i` counts from the end (Python
+  /// style), so dim(-1) is the innermost dimension.
+  int64_t dim(int i) const;
+
+  int64_t operator[](int i) const { return dim(i); }
+
+  /// Total number of elements (1 for scalars).
+  int64_t numel() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Row-major (C-order) strides, in elements.
+  std::vector<int64_t> Strides() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[2, 3, 4]"
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_SHAPE_H_

@@ -1,0 +1,106 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace metalora {
+
+Tensor::Tensor(Shape shape)
+    : buffer_(std::make_shared<Buffer>(static_cast<size_t>(shape.numel()), 0.0f)),
+      shape_(std::move(shape)),
+      numel_(shape_.numel()) {}
+
+Tensor::Tensor(std::shared_ptr<Buffer> buffer, Shape shape)
+    : buffer_(std::move(buffer)), shape_(std::move(shape)), numel_(shape_.numel()) {
+  ML_CHECK_EQ(static_cast<int64_t>(buffer_->size()), numel_);
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t{Shape{}};
+  t.flat(0) = value;
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, const std::vector<float>& values) {
+  ML_CHECK_EQ(shape.numel(), static_cast<int64_t>(values.size()));
+  Tensor t(std::move(shape));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  ML_CHECK_EQ(static_cast<int>(idx.size()), rank());
+  auto strides = shape_.Strides();
+  int64_t off = 0;
+  int i = 0;
+  for (int64_t v : idx) {
+    ML_CHECK(v >= 0 && v < shape_.dim(i))
+        << "index " << v << " out of range for dim " << i << " of "
+        << shape_.ToString();
+    off += v * strides[static_cast<size_t>(i)];
+    ++i;
+  }
+  return flat(off);
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+Tensor Tensor::Clone() const {
+  ML_CHECK(defined());
+  Tensor out(shape_);
+  std::memcpy(out.data(), data(), sizeof(float) * static_cast<size_t>(numel_));
+  return out;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  ML_CHECK(defined());
+  ML_CHECK_EQ(new_shape.numel(), numel_)
+      << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
+  return Tensor(buffer_, std::move(new_shape));
+}
+
+void Tensor::CopyDataFrom(const Tensor& src) {
+  ML_CHECK(defined() && src.defined());
+  ML_CHECK_EQ(numel_, src.numel());
+  std::memcpy(data(), src.data(), sizeof(float) * static_cast<size_t>(numel_));
+}
+
+void Tensor::Fill(float value) {
+  ML_CHECK(defined());
+  std::fill(buffer_->begin(), buffer_->end(), value);
+}
+
+std::vector<float> Tensor::ToVector() const {
+  ML_CHECK(defined());
+  return *buffer_;
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::string out = "Tensor" + shape_.ToString() + " {";
+  const int64_t limit = 64;
+  int64_t n = std::min(numel_, limit);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) out += ", ";
+    out += StrFormat("%g", flat(i));
+  }
+  if (numel_ > limit) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace metalora

@@ -1,0 +1,104 @@
+// Tensor: a dense, contiguous, row-major float tensor with shared ownership.
+//
+// Design notes:
+//  - Always contiguous. Reshape shares the underlying buffer; every other
+//    transform produces a fresh tensor. This keeps every kernel a flat loop
+//    over `data()` and makes aliasing rules trivial to reason about.
+//  - float32 only: all models in this library are small enough that mixed
+//    precision buys nothing, and a single dtype keeps kernels simple.
+//  - Copying a Tensor is O(1) (shared buffer). Use Clone() for a deep copy.
+#ifndef METALORA_TENSOR_TENSOR_H_
+#define METALORA_TENSOR_TENSOR_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "tensor/shape.h"
+
+namespace metalora {
+
+class Tensor {
+ public:
+  /// An empty (rank-0, unallocated) tensor. defined() is false.
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of `shape`.
+  explicit Tensor(Shape shape);
+
+  /// Factory: zero-filled.
+  static Tensor Zeros(Shape shape);
+  /// Factory: one-filled.
+  static Tensor Ones(Shape shape);
+  /// Factory: filled with `value`.
+  static Tensor Full(Shape shape, float value);
+  /// Factory: rank-0 scalar holding `value`.
+  static Tensor Scalar(float value);
+  /// Factory: copies `values` (size must equal shape.numel()).
+  static Tensor FromVector(Shape shape, const std::vector<float>& values);
+
+  bool defined() const { return buffer_ != nullptr; }
+
+  const Shape& shape() const { return shape_; }
+  int rank() const { return shape_.rank(); }
+  int64_t dim(int i) const { return shape_.dim(i); }
+  int64_t numel() const { return numel_; }
+
+  float* data() { return buffer_ ? buffer_->data() : nullptr; }
+  const float* data() const { return buffer_ ? buffer_->data() : nullptr; }
+
+  /// Element accessors for tests and slow paths. Multi-index must match rank.
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Flat accessor.
+  float& flat(int64_t i) {
+    ML_DCHECK(i >= 0 && i < numel_);
+    return (*buffer_)[static_cast<size_t>(i)];
+  }
+  float flat(int64_t i) const {
+    ML_DCHECK(i >= 0 && i < numel_);
+    return (*buffer_)[static_cast<size_t>(i)];
+  }
+
+  /// Deep copy.
+  Tensor Clone() const;
+
+  /// Shares the buffer under a new shape; numel must match.
+  Tensor Reshape(Shape new_shape) const;
+
+  /// True if the two tensors share the same buffer.
+  bool SharesBufferWith(const Tensor& other) const {
+    return buffer_ != nullptr && buffer_ == other.buffer_;
+  }
+
+  /// Copies `src`'s contents into this tensor (shapes must have equal numel).
+  void CopyDataFrom(const Tensor& src);
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Sets every element to 0.
+  void Zero() { Fill(0.0f); }
+
+  /// Renders small tensors (<= 64 elements) fully, larger ones abbreviated.
+  std::string ToString() const;
+
+  /// Copies contents into a std::vector.
+  std::vector<float> ToVector() const;
+
+ private:
+  using Buffer = std::vector<float>;
+
+  Tensor(std::shared_ptr<Buffer> buffer, Shape shape);
+
+  std::shared_ptr<Buffer> buffer_;
+  Shape shape_;
+  int64_t numel_ = 0;
+};
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_TENSOR_H_

@@ -1,0 +1,338 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace metalora {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  ML_CHECK(a.shape() == b.shape())
+      << op << ": shape mismatch " << a.shape().ToString() << " vs "
+      << b.shape().ToString();
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] - pb[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Div");
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] / pb[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * s;
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] + s;
+  return out;
+}
+
+void AddInPlace(Tensor& dst, const Tensor& src) {
+  CheckSameShape(dst, src, "AddInPlace");
+  float* pd = dst.data();
+  const float* ps = src.data();
+  for (int64_t i = 0, n = dst.numel(); i < n; ++i) pd[i] += ps[i];
+}
+
+void AxpyInPlace(Tensor& dst, float alpha, const Tensor& src) {
+  CheckSameShape(dst, src, "AxpyInPlace");
+  float* pd = dst.data();
+  const float* ps = src.data();
+  for (int64_t i = 0, n = dst.numel(); i < n; ++i) pd[i] += alpha * ps[i];
+}
+
+void ScaleInPlace(Tensor& dst, float s) {
+  float* pd = dst.data();
+  for (int64_t i = 0, n = dst.numel(); i < n; ++i) pd[i] *= s;
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  ML_CHECK_EQ(a.rank(), 2);
+  ML_CHECK_EQ(bias.rank(), 1);
+  ML_CHECK_EQ(a.dim(1), bias.dim(0));
+  const int64_t n = a.dim(0), c = a.dim(1);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = pa + i * c;
+    float* orow = po + i * c;
+    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] + pb[j];
+  }
+  return out;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+Tensor Zip(const Tensor& a, const Tensor& b,
+           const std::function<float(float, float)>& f) {
+  CheckSameShape(a, b, "Zip");
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+double SumAll(const Tensor& a) {
+  double acc = 0;
+  const float* pa = a.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) acc += pa[i];
+  return acc;
+}
+
+double MeanAll(const Tensor& a) {
+  ML_CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<double>(a.numel());
+}
+
+float MaxAll(const Tensor& a) {
+  ML_CHECK_GT(a.numel(), 0);
+  const float* pa = a.data();
+  float m = pa[0];
+  for (int64_t i = 1, n = a.numel(); i < n; ++i) m = std::max(m, pa[i]);
+  return m;
+}
+
+float MinAll(const Tensor& a) {
+  ML_CHECK_GT(a.numel(), 0);
+  const float* pa = a.data();
+  float m = pa[0];
+  for (int64_t i = 1, n = a.numel(); i < n; ++i) m = std::min(m, pa[i]);
+  return m;
+}
+
+double Norm2(const Tensor& a) {
+  double acc = 0;
+  const float* pa = a.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i)
+    acc += static_cast<double>(pa[i]) * pa[i];
+  return std::sqrt(acc);
+}
+
+Tensor SumAxis(const Tensor& a, int axis) {
+  int r = a.rank();
+  if (axis < 0) axis += r;
+  ML_CHECK(axis >= 0 && axis < r) << "SumAxis: bad axis";
+  // Collapse to [outer, axis, inner].
+  int64_t outer = 1, inner = 1;
+  for (int i = 0; i < axis; ++i) outer *= a.dim(i);
+  const int64_t mid = a.dim(axis);
+  for (int i = axis + 1; i < r; ++i) inner *= a.dim(i);
+
+  std::vector<int64_t> out_dims;
+  for (int i = 0; i < r; ++i)
+    if (i != axis) out_dims.push_back(a.dim(i));
+  Tensor out{Shape(out_dims)};
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t in = 0; in < inner; ++in) {
+      double acc = 0;
+      for (int64_t m = 0; m < mid; ++m) acc += pa[(o * mid + m) * inner + in];
+      po[o * inner + in] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor MeanAxis(const Tensor& a, int axis) {
+  int r = a.rank();
+  int ax = axis < 0 ? axis + r : axis;
+  Tensor s = SumAxis(a, axis);
+  ScaleInPlace(s, 1.0f / static_cast<float>(a.dim(ax)));
+  return s;
+}
+
+std::vector<int64_t> ArgmaxRows(const Tensor& a) {
+  ML_CHECK_EQ(a.rank(), 2);
+  const int64_t n = a.dim(0), c = a.dim(1);
+  ML_CHECK_GT(c, 0);
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  const float* pa = a.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = pa + i * c;
+    int64_t best = 0;
+    for (int64_t j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  ML_CHECK_EQ(a.rank(), 2);
+  const int64_t n = a.dim(0), m = a.dim(1);
+  Tensor out{Shape{m, n}};
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < m; ++j) po[j * n + i] = pa[i * m + j];
+  return out;
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int>& perm) {
+  const int r = a.rank();
+  ML_CHECK_EQ(static_cast<int>(perm.size()), r);
+  std::vector<bool> seen(static_cast<size_t>(r), false);
+  std::vector<int64_t> out_dims(static_cast<size_t>(r));
+  for (int i = 0; i < r; ++i) {
+    int p = perm[static_cast<size_t>(i)];
+    ML_CHECK(p >= 0 && p < r && !seen[static_cast<size_t>(p)])
+        << "Permute: invalid permutation";
+    seen[static_cast<size_t>(p)] = true;
+    out_dims[static_cast<size_t>(i)] = a.dim(p);
+  }
+  Tensor out{Shape(out_dims)};
+  auto in_strides = a.shape().Strides();
+  auto out_strides = out.shape().Strides();
+
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  std::vector<int64_t> idx(static_cast<size_t>(r), 0);
+  for (int64_t flat = 0; flat < n; ++flat) {
+    // idx enumerates output coordinates in row-major order; flat is the
+    // output offset. Map back to the input offset through perm.
+    int64_t in_off = 0;
+    for (int i = 0; i < r; ++i)
+      in_off += idx[static_cast<size_t>(i)] *
+                in_strides[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+    po[flat] = pa[in_off];
+    // Increment the output multi-index.
+    for (int i = r - 1; i >= 0; --i) {
+      if (++idx[static_cast<size_t>(i)] < out_dims[static_cast<size_t>(i)]) break;
+      idx[static_cast<size_t>(i)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx) {
+  ML_CHECK_GE(a.rank(), 1);
+  const int64_t rows = a.dim(0);
+  const int64_t row_size = a.numel() / std::max<int64_t>(rows, 1);
+  std::vector<int64_t> out_dims = a.shape().dims();
+  out_dims[0] = static_cast<int64_t>(idx.size());
+  Tensor out{Shape(out_dims)};
+  const float* pa = a.data();
+  float* po = out.data();
+  for (size_t i = 0; i < idx.size(); ++i) {
+    int64_t r = idx[i];
+    ML_CHECK(r >= 0 && r < rows) << "GatherRows: index " << r << " out of range";
+    std::memcpy(po + static_cast<int64_t>(i) * row_size, pa + r * row_size,
+                sizeof(float) * static_cast<size_t>(row_size));
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  ML_CHECK(!parts.empty());
+  std::vector<int64_t> dims = parts[0].shape().dims();
+  ML_CHECK_GE(parts[0].rank(), 1);
+  int64_t total_rows = 0;
+  const int64_t row_size = parts[0].numel() / std::max<int64_t>(dims[0], 1);
+  for (const Tensor& p : parts) {
+    ML_CHECK_EQ(p.rank(), parts[0].rank());
+    for (int i = 1; i < p.rank(); ++i) ML_CHECK_EQ(p.dim(i), parts[0].dim(i));
+    total_rows += p.dim(0);
+  }
+  dims[0] = total_rows;
+  Tensor out{Shape(dims)};
+  float* po = out.data();
+  for (const Tensor& p : parts) {
+    std::memcpy(po, p.data(),
+                sizeof(float) * static_cast<size_t>(p.numel()));
+    po += p.numel();
+  }
+  (void)row_size;
+  return out;
+}
+
+Tensor OneHot(const std::vector<int64_t>& labels, int64_t num_classes) {
+  Tensor out{Shape{static_cast<int64_t>(labels.size()), num_classes}};
+  float* po = out.data();
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ML_CHECK(labels[i] >= 0 && labels[i] < num_classes)
+        << "OneHot: label out of range";
+    po[static_cast<int64_t>(i) * num_classes + labels[i]] = 1.0f;
+  }
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) {
+    float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+    if (std::isnan(pa[i]) != std::isnan(pb[i])) return false;
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  ML_CHECK(a.shape() == b.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float m = 0;
+  for (int64_t i = 0, n = a.numel(); i < n; ++i)
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  return m;
+}
+
+}  // namespace metalora

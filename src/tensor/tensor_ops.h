@@ -1,0 +1,104 @@
+// Elementwise, reduction, and layout kernels over Tensor.
+//
+// These are the non-differentiable building blocks; the autograd layer
+// composes them into differentiable ops. All functions allocate their
+// result unless the name ends in InPlace.
+#ifndef METALORA_TENSOR_TENSOR_OPS_H_
+#define METALORA_TENSOR_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metalora {
+
+// ---------------------------------------------------------------------------
+// Elementwise arithmetic. Shapes must match exactly unless stated otherwise.
+// ---------------------------------------------------------------------------
+
+/// c = a + b.
+Tensor Add(const Tensor& a, const Tensor& b);
+/// c = a - b.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// c = a * b (Hadamard).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// c = a / b.
+Tensor Div(const Tensor& a, const Tensor& b);
+/// c = a * s.
+Tensor Scale(const Tensor& a, float s);
+/// c = a + s.
+Tensor AddScalar(const Tensor& a, float s);
+/// dst += src (shapes must match).
+void AddInPlace(Tensor& dst, const Tensor& src);
+/// dst += alpha * src.
+void AxpyInPlace(Tensor& dst, float alpha, const Tensor& src);
+/// dst *= s.
+void ScaleInPlace(Tensor& dst, float s);
+
+/// c[i,j] = a[i,j] + bias[j] for a of shape [N, C] and bias of shape [C].
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias);
+
+/// Applies `f` to every element.
+Tensor Map(const Tensor& a, const std::function<float(float)>& f);
+/// Applies `f` pairwise (same shapes).
+Tensor Zip(const Tensor& a, const Tensor& b,
+           const std::function<float(float, float)>& f);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements.
+double SumAll(const Tensor& a);
+/// Mean of all elements.
+double MeanAll(const Tensor& a);
+/// Max of all elements (tensor must be non-empty).
+float MaxAll(const Tensor& a);
+/// Min of all elements.
+float MinAll(const Tensor& a);
+/// L2 norm of all elements.
+double Norm2(const Tensor& a);
+
+/// Reduces dimension `axis` by summation. Result rank is rank-1.
+Tensor SumAxis(const Tensor& a, int axis);
+/// Reduces dimension `axis` by mean.
+Tensor MeanAxis(const Tensor& a, int axis);
+
+/// For a of shape [N, C]: index of the max element in each row.
+std::vector<int64_t> ArgmaxRows(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Layout.
+// ---------------------------------------------------------------------------
+
+/// Transposes a 2-D tensor.
+Tensor Transpose2D(const Tensor& a);
+
+/// Permutes dimensions: out.dim(i) = a.dim(perm[i]).
+Tensor Permute(const Tensor& a, const std::vector<int>& perm);
+
+/// Selects rows (dimension 0) by index; out.shape = [idx.size(), rest...].
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& idx);
+
+/// Concatenates along dimension 0. All inputs must agree on trailing dims.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// One-hot encodes labels into shape [n, num_classes].
+Tensor OneHot(const std::vector<int64_t>& labels, int64_t num_classes);
+
+// ---------------------------------------------------------------------------
+// Comparisons (test helpers).
+// ---------------------------------------------------------------------------
+
+/// True if shapes match and elements differ by at most `atol + rtol * |b|`.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+/// Largest absolute elementwise difference (shapes must match).
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,165 @@
+#include "tn/contraction.h"
+
+#include <algorithm>
+
+#include "tensor/matmul.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace tn {
+
+namespace {
+
+Status ValidateAxes(const Tensor& a, const Tensor& b,
+                    const std::vector<int>& a_axes,
+                    const std::vector<int>& b_axes) {
+  if (a_axes.size() != b_axes.size()) {
+    return Status::InvalidArgument("contraction axis lists differ in length");
+  }
+  auto check = [](const Tensor& t, const std::vector<int>& axes,
+                  const char* which) -> Status {
+    std::vector<bool> seen(static_cast<size_t>(t.rank()), false);
+    for (int ax : axes) {
+      if (ax < 0 || ax >= t.rank()) {
+        return Status::InvalidArgument(std::string("axis out of range for ") +
+                                       which + ": " + std::to_string(ax));
+      }
+      if (seen[static_cast<size_t>(ax)]) {
+        return Status::InvalidArgument(std::string("duplicate axis for ") +
+                                       which);
+      }
+      seen[static_cast<size_t>(ax)] = true;
+    }
+    return Status::OK();
+  };
+  ML_RETURN_IF_ERROR(check(a, a_axes, "A"));
+  ML_RETURN_IF_ERROR(check(b, b_axes, "B"));
+  for (size_t i = 0; i < a_axes.size(); ++i) {
+    if (a.dim(a_axes[i]) != b.dim(b_axes[i])) {
+      return Status::InvalidArgument(
+          "contracted extents differ: A dim " + std::to_string(a_axes[i]) +
+          "=" + std::to_string(a.dim(a_axes[i])) + " vs B dim " +
+          std::to_string(b_axes[i]) + "=" + std::to_string(b.dim(b_axes[i])));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> FreeAxes(int rank, const std::vector<int>& contracted) {
+  std::vector<bool> used(static_cast<size_t>(rank), false);
+  for (int ax : contracted) used[static_cast<size_t>(ax)] = true;
+  std::vector<int> free;
+  for (int i = 0; i < rank; ++i)
+    if (!used[static_cast<size_t>(i)]) free.push_back(i);
+  return free;
+}
+
+}  // namespace
+
+Result<Tensor> Contract(const Tensor& a, const Tensor& b,
+                        const std::vector<int>& a_axes,
+                        const std::vector<int>& b_axes) {
+  ML_RETURN_IF_ERROR(ValidateAxes(a, b, a_axes, b_axes));
+
+  const std::vector<int> a_free = FreeAxes(a.rank(), a_axes);
+  const std::vector<int> b_free = FreeAxes(b.rank(), b_axes);
+
+  // Permute A to [free..., contracted...] and B to [contracted..., free...].
+  std::vector<int> a_perm = a_free;
+  a_perm.insert(a_perm.end(), a_axes.begin(), a_axes.end());
+  std::vector<int> b_perm(b_axes.begin(), b_axes.end());
+  b_perm.insert(b_perm.end(), b_free.begin(), b_free.end());
+
+  int64_t fa = 1, fb = 1, s = 1;
+  std::vector<int64_t> out_dims;
+  for (int ax : a_free) {
+    fa *= a.dim(ax);
+    out_dims.push_back(a.dim(ax));
+  }
+  for (int ax : a_axes) s *= a.dim(ax);
+  for (int ax : b_free) {
+    fb *= b.dim(ax);
+    out_dims.push_back(b.dim(ax));
+  }
+
+  Tensor a2 = Permute(a, a_perm).Reshape(Shape{fa, s});
+  Tensor b2 = Permute(b, b_perm).Reshape(Shape{s, fb});
+  Tensor c = Matmul(a2, b2);
+  return c.Reshape(Shape(out_dims));
+}
+
+Result<Tensor> ContractAxis(const Tensor& a, const Tensor& b, int a_axis,
+                            int b_axis) {
+  return Contract(a, b, {a_axis}, {b_axis});
+}
+
+Result<Tensor> ContractNaive(const Tensor& a, const Tensor& b,
+                             const std::vector<int>& a_axes,
+                             const std::vector<int>& b_axes) {
+  ML_RETURN_IF_ERROR(ValidateAxes(a, b, a_axes, b_axes));
+  const std::vector<int> a_free = FreeAxes(a.rank(), a_axes);
+  const std::vector<int> b_free = FreeAxes(b.rank(), b_axes);
+
+  std::vector<int64_t> out_dims;
+  for (int ax : a_free) out_dims.push_back(a.dim(ax));
+  for (int ax : b_free) out_dims.push_back(b.dim(ax));
+  std::vector<int64_t> sum_dims;
+  for (int ax : a_axes) sum_dims.push_back(a.dim(ax));
+
+  Tensor out{Shape(out_dims)};
+  auto a_strides = a.shape().Strides();
+  auto b_strides = b.shape().Strides();
+
+  const int out_rank = static_cast<int>(out_dims.size());
+  const int sum_rank = static_cast<int>(sum_dims.size());
+  std::vector<int64_t> oidx(static_cast<size_t>(out_rank), 0);
+
+  for (int64_t flat = 0, n = out.numel(); flat < n; ++flat) {
+    // Base offsets from the free indices.
+    int64_t a_base = 0, b_base = 0;
+    for (size_t i = 0; i < a_free.size(); ++i)
+      a_base += oidx[i] * a_strides[static_cast<size_t>(a_free[i])];
+    for (size_t i = 0; i < b_free.size(); ++i)
+      b_base += oidx[a_free.size() + i] *
+                b_strides[static_cast<size_t>(b_free[i])];
+
+    // Sum over the contracted multi-index.
+    double acc = 0;
+    std::vector<int64_t> sidx(static_cast<size_t>(sum_rank), 0);
+    for (;;) {
+      int64_t a_off = a_base, b_off = b_base;
+      for (int i = 0; i < sum_rank; ++i) {
+        a_off += sidx[static_cast<size_t>(i)] *
+                 a_strides[static_cast<size_t>(a_axes[static_cast<size_t>(i)])];
+        b_off += sidx[static_cast<size_t>(i)] *
+                 b_strides[static_cast<size_t>(b_axes[static_cast<size_t>(i)])];
+      }
+      acc += static_cast<double>(a.flat(a_off)) * b.flat(b_off);
+      int i = sum_rank - 1;
+      for (; i >= 0; --i) {
+        if (++sidx[static_cast<size_t>(i)] < sum_dims[static_cast<size_t>(i)])
+          break;
+        sidx[static_cast<size_t>(i)] = 0;
+      }
+      if (i < 0) break;
+    }
+    out.flat(flat) = static_cast<float>(acc);
+
+    for (int i = out_rank - 1; i >= 0; --i) {
+      if (++oidx[static_cast<size_t>(i)] < out_dims[static_cast<size_t>(i)])
+        break;
+      oidx[static_cast<size_t>(i)] = 0;
+    }
+  }
+  return out;
+}
+
+int64_t ContractionFlops(const Shape& a, const Shape& b,
+                         const std::vector<int>& a_axes) {
+  int64_t s = 1;
+  for (int ax : a_axes) s *= a.dim(ax);
+  return (a.numel() / s) * (b.numel() / s) * s;
+}
+
+}  // namespace tn
+}  // namespace metalora

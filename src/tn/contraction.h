@@ -1,0 +1,43 @@
+// General pairwise tensor contraction (paper Eq. 1).
+//
+// Contract(A, B, a_axes, b_axes) sums over the paired axes and returns a
+// tensor whose dimensions are A's free axes (in order) followed by B's free
+// axes. Implemented as permute -> reshape -> matmul -> reshape, so the heavy
+// lifting runs through the blocked matmul kernel.
+#ifndef METALORA_TN_CONTRACTION_H_
+#define METALORA_TN_CONTRACTION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace tn {
+
+/// Contracts `a` and `b` over axis pairs (a_axes[i], b_axes[i]).
+/// Axis lists must have equal length, contain no duplicates, and paired
+/// extents must match. An empty axis list yields the outer (tensor) product.
+Result<Tensor> Contract(const Tensor& a, const Tensor& b,
+                        const std::vector<int>& a_axes,
+                        const std::vector<int>& b_axes);
+
+/// Contraction in the paper's ×ₘⁿ notation: contracts axis `a_axis` of `a`
+/// with axis `b_axis` of `b` (both 0-based here; the paper is 1-based).
+Result<Tensor> ContractAxis(const Tensor& a, const Tensor& b, int a_axis,
+                            int b_axis);
+
+/// Reference implementation using explicit index loops; O(numel_a * numel_b /
+/// prod(contracted)) time. Exposed for property tests against Contract.
+Result<Tensor> ContractNaive(const Tensor& a, const Tensor& b,
+                             const std::vector<int>& a_axes,
+                             const std::vector<int>& b_axes);
+
+/// FLOP count (multiply-adds) of Contract for given shapes.
+int64_t ContractionFlops(const Shape& a, const Shape& b,
+                         const std::vector<int>& a_axes);
+
+}  // namespace tn
+}  // namespace metalora
+
+#endif  // METALORA_TN_CONTRACTION_H_

@@ -1,0 +1,116 @@
+#include "tn/cp_als.h"
+
+#include <cmath>
+
+#include "tensor/linalg.h"
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace tn {
+
+namespace {
+
+// Khatri-Rao chain of all factors except `skip`, ordered so that the
+// earliest mode varies fastest — matching the Kolda unfolding used by
+// Unfold(). Factors are [I_k, R].
+Tensor KhatriRaoExcept(const std::vector<Tensor>& factors, int skip) {
+  Tensor z;
+  for (int k = static_cast<int>(factors.size()) - 1; k >= 0; --k) {
+    if (k == skip) continue;
+    if (!z.defined()) {
+      z = factors[static_cast<size_t>(k)];
+    } else {
+      z = KhatriRao(z, factors[static_cast<size_t>(k)]);
+    }
+  }
+  return z;
+}
+
+}  // namespace
+
+Result<CpAlsResult> CpAls(const Tensor& x, int64_t rank,
+                          const CpAlsOptions& options) {
+  if (!x.defined() || x.rank() < 2) {
+    return Status::InvalidArgument("CpAls needs a tensor of order >= 2");
+  }
+  if (rank < 1) return Status::InvalidArgument("CP rank must be >= 1");
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("max_iterations must be >= 1");
+  }
+  const double x_norm = Norm2(x);
+  if (x_norm == 0.0) {
+    return Status::InvalidArgument("CpAls: input tensor is all zeros");
+  }
+
+  const int order = x.rank();
+  Rng rng(options.seed);
+  std::vector<Tensor> factors;
+  factors.reserve(static_cast<size_t>(order));
+  for (int n = 0; n < order; ++n) {
+    factors.push_back(RandomNormal(Shape{x.dim(n), rank}, rng, 0.0f, 1.0f));
+  }
+  std::vector<Tensor> unfoldings;
+  unfoldings.reserve(static_cast<size_t>(order));
+  for (int n = 0; n < order; ++n) unfoldings.push_back(Unfold(x, n));
+
+  CpAlsResult result{CpFormat(x.shape().dims(), rank)};
+  double prev_err = 2.0;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    for (int n = 0; n < order; ++n) {
+      // V = Hadamard of the Gram matrices of all other factors.
+      Tensor v = Tensor::Ones(Shape{rank, rank});
+      for (int k = 0; k < order; ++k) {
+        if (k == n) continue;
+        v = Mul(v, MatmulTransA(factors[static_cast<size_t>(k)],
+                                factors[static_cast<size_t>(k)]));
+      }
+      for (int64_t r = 0; r < rank; ++r) v.flat(r * rank + r) += options.ridge;
+      ML_ASSIGN_OR_RETURN(Tensor v_inv, SpdInverse(v));
+      Tensor z = KhatriRaoExcept(factors, n);
+      // A_n = X_(n) · Z · V^{-1}.
+      factors[static_cast<size_t>(n)] =
+          Matmul(Matmul(unfoldings[static_cast<size_t>(n)], z), v_inv);
+    }
+
+    // Normalize columns into lambda (keeps factors well-conditioned).
+    Tensor lambda = Tensor::Ones(Shape{rank});
+    for (int n = 0; n < order; ++n) {
+      Tensor& f = factors[static_cast<size_t>(n)];
+      for (int64_t r = 0; r < rank; ++r) {
+        double norm = 0;
+        for (int64_t i = 0; i < f.dim(0); ++i) {
+          norm += static_cast<double>(f.flat(i * rank + r)) *
+                  f.flat(i * rank + r);
+        }
+        norm = std::sqrt(norm);
+        if (norm > 1e-12) {
+          const float inv = static_cast<float>(1.0 / norm);
+          for (int64_t i = 0; i < f.dim(0); ++i) f.flat(i * rank + r) *= inv;
+          lambda.flat(r) *= static_cast<float>(norm);
+        }
+      }
+    }
+
+    // Assemble the model and measure fit.
+    CpFormat cp(x.shape().dims(), rank);
+    for (int n = 0; n < order; ++n) {
+      cp.mutable_factor(n).CopyDataFrom(factors[static_cast<size_t>(n)]);
+    }
+    cp.mutable_lambda().CopyDataFrom(lambda);
+    const double err = Norm2(Sub(x, cp.Reconstruct())) / x_norm;
+    result.cp = std::move(cp);
+    result.relative_error = err;
+    result.iterations = iter + 1;
+    if (std::fabs(prev_err - err) < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    prev_err = err;
+  }
+  return result;
+}
+
+}  // namespace tn
+}  // namespace metalora

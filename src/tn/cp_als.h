@@ -1,0 +1,42 @@
+// CP decomposition fitting via Alternating Least Squares (Kolda & Bader,
+// "Tensor Decompositions and Applications" — the paper's reference [19]).
+//
+// Fits X ≈ Σ_r λ_r a_r^(1) ⊗ … ⊗ a_r^(N) by cycling over modes, each step
+// solving a linear least-squares problem against the Khatri-Rao product of
+// the other factors. Used to *analyze* learned updates (e.g. how low-rank a
+// fine-tuning delta really is) and as the classical reference point for the
+// generated decompositions of MetaLoRA.
+#ifndef METALORA_TN_CP_ALS_H_
+#define METALORA_TN_CP_ALS_H_
+
+#include "common/result.h"
+#include "tn/cp_format.h"
+
+namespace metalora {
+namespace tn {
+
+struct CpAlsOptions {
+  int max_iterations = 100;
+  /// Stop when the relative fit improves by less than this between sweeps.
+  double tolerance = 1e-6;
+  uint64_t seed = 1;
+  float ridge = 1e-8f;  // regularization for the normal equations
+};
+
+struct CpAlsResult {
+  CpFormat cp;
+  /// Relative reconstruction error ‖X - X̂‖ / ‖X‖ after fitting.
+  double relative_error = 1.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fits a rank-`rank` CP model to `x` (order >= 2). Fails on invalid rank
+/// or degenerate input.
+Result<CpAlsResult> CpAls(const Tensor& x, int64_t rank,
+                          const CpAlsOptions& options = {});
+
+}  // namespace tn
+}  // namespace metalora
+
+#endif  // METALORA_TN_CP_ALS_H_

@@ -1,0 +1,104 @@
+#include "tn/cp_format.h"
+
+#include <cmath>
+
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace tn {
+
+CpFormat::CpFormat(std::vector<int64_t> mode_dims, int64_t rank)
+    : mode_dims_(std::move(mode_dims)), rank_(rank) {
+  ML_CHECK_GT(rank_, 0);
+  ML_CHECK(!mode_dims_.empty());
+  factors_.reserve(mode_dims_.size());
+  for (int64_t d : mode_dims_) {
+    ML_CHECK_GT(d, 0);
+    factors_.emplace_back(Shape{d, rank_});
+  }
+  lambda_ = Tensor::Ones(Shape{rank_});
+}
+
+CpFormat CpFormat::Random(std::vector<int64_t> mode_dims, int64_t rank,
+                          Rng& rng) {
+  CpFormat cp(std::move(mode_dims), rank);
+  const float stddev = 1.0f / std::sqrt(static_cast<float>(rank));
+  for (auto& f : cp.factors_) FillNormal(f, rng, 0.0f, stddev);
+  return cp;
+}
+
+const Tensor& CpFormat::factor(int n) const {
+  ML_CHECK(n >= 0 && n < order());
+  return factors_[static_cast<size_t>(n)];
+}
+
+Tensor& CpFormat::mutable_factor(int n) {
+  ML_CHECK(n >= 0 && n < order());
+  return factors_[static_cast<size_t>(n)];
+}
+
+Tensor CpFormat::Reconstruct() const {
+  // Accumulate rank-1 terms. For each r the term is the outer product of the
+  // factor columns scaled by λ_r; we expand mode by mode:
+  //   T_1 = λ_r * A^(1)[:, r]          (length I_1)
+  //   T_n = T_{n-1} ⊗ A^(n)[:, r]      (flattened outer product)
+  Tensor out{Shape(mode_dims_)};
+  const int n_modes = order();
+  std::vector<float> cur, next;
+  for (int64_t r = 0; r < rank_; ++r) {
+    cur.assign(1, lambda_.flat(r));
+    for (int m = 0; m < n_modes; ++m) {
+      const Tensor& f = factors_[static_cast<size_t>(m)];
+      const int64_t dim = mode_dims_[static_cast<size_t>(m)];
+      next.resize(cur.size() * static_cast<size_t>(dim));
+      size_t k = 0;
+      for (float cv : cur) {
+        for (int64_t i = 0; i < dim; ++i) {
+          next[k++] = cv * f.flat(i * rank_ + r);
+        }
+      }
+      cur.swap(next);
+    }
+    float* po = out.data();
+    for (size_t i = 0; i < cur.size(); ++i) po[i] += cur[i];
+  }
+  return out;
+}
+
+int64_t CpFormat::ParamCount() const {
+  int64_t n = rank_;
+  for (int64_t d : mode_dims_) n += d * rank_;
+  return n;
+}
+
+int64_t CpFormat::DenseParamCount() const {
+  int64_t n = 1;
+  for (int64_t d : mode_dims_) n *= d;
+  return n;
+}
+
+Result<Tensor> CpMatrix(const Tensor& a, const Tensor& b, const Tensor& c) {
+  if (a.rank() != 2 || b.rank() != 2 || c.rank() != 1) {
+    return Status::InvalidArgument("CpMatrix expects a[I,R], b[R,O], c[R]");
+  }
+  const int64_t i_dim = a.dim(0), r = a.dim(1);
+  if (b.dim(0) != r || c.dim(0) != r) {
+    return Status::InvalidArgument("CpMatrix rank mismatch: a has R=" +
+                                   std::to_string(r) + ", b has R=" +
+                                   std::to_string(b.dim(0)) + ", c has R=" +
+                                   std::to_string(c.dim(0)));
+  }
+  // (A · diag(c)) · B, fused: scale A's columns by c, then matmul.
+  Tensor scaled{Shape{i_dim, r}};
+  const float* pa = a.data();
+  const float* pc = c.data();
+  float* ps = scaled.data();
+  for (int64_t i = 0; i < i_dim; ++i) {
+    for (int64_t k = 0; k < r; ++k) ps[i * r + k] = pa[i * r + k] * pc[k];
+  }
+  return Matmul(scaled, b);
+}
+
+}  // namespace tn
+}  // namespace metalora

@@ -1,0 +1,68 @@
+// CANDECOMP/PARAFAC (CP) format (paper §II.D, Eq. 3–4).
+//
+// An N-th order tensor X ≈ Σ_r λ_r · a_r^(1) ⊗ … ⊗ a_r^(N), stored as N
+// factor matrices A^(n) ∈ R^{I_n × R} and a weight vector λ ∈ R^R. The
+// MetaLoRA (CP) update (Eq. 6) is exactly this format for a matrix with the
+// generated seed c playing the role of λ.
+#ifndef METALORA_TN_CP_FORMAT_H_
+#define METALORA_TN_CP_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace tn {
+
+class CpFormat {
+ public:
+  /// Builds an empty CP container of given mode extents and rank.
+  /// Factors are zero; lambda is all-ones (the identity diagonal tensor Λ of
+  /// Fig. 4).
+  CpFormat(std::vector<int64_t> mode_dims, int64_t rank);
+
+  /// Random initialization: factors ~ N(0, 1/sqrt(rank)), lambda = 1.
+  static CpFormat Random(std::vector<int64_t> mode_dims, int64_t rank,
+                         Rng& rng);
+
+  int64_t rank() const { return rank_; }
+  int order() const { return static_cast<int>(mode_dims_.size()); }
+  const std::vector<int64_t>& mode_dims() const { return mode_dims_; }
+
+  /// Factor matrix A^(n), shape [I_n, R]. Mutable access for training code.
+  const Tensor& factor(int n) const;
+  Tensor& mutable_factor(int n);
+
+  /// λ ∈ R^R. Setting this to a generated seed c turns the container into
+  /// the MetaLoRA (CP) update.
+  const Tensor& lambda() const { return lambda_; }
+  Tensor& mutable_lambda() { return lambda_; }
+
+  /// Materializes the full tensor: X[i1..iN] = Σ_r λ_r Π_n A^(n)[i_n, r].
+  Tensor Reconstruct() const;
+
+  /// Number of stored parameters: R + Σ_n I_n · R.
+  int64_t ParamCount() const;
+
+  /// Parameters of a dense tensor with the same mode extents.
+  int64_t DenseParamCount() const;
+
+ private:
+  std::vector<int64_t> mode_dims_;
+  int64_t rank_;
+  std::vector<Tensor> factors_;
+  Tensor lambda_;
+};
+
+/// Matrix CP reconstruction used on MetaLoRA's hot path:
+/// ΔW[i,o] = Σ_r a[i,r] · c[r] · b[r,o]  (Eq. 6).
+/// `a` is [I, R], `b` is [R, O], `c` is [R]. Returns [I, O].
+Result<Tensor> CpMatrix(const Tensor& a, const Tensor& b, const Tensor& c);
+
+}  // namespace tn
+}  // namespace metalora
+
+#endif  // METALORA_TN_CP_FORMAT_H_

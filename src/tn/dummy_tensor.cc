@@ -1,0 +1,92 @@
+#include "tn/dummy_tensor.h"
+
+#include "tn/contraction.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace tn {
+
+int64_t ConvOutExtent(int64_t alpha, int64_t beta, int64_t stride,
+                      int64_t padding) {
+  return (alpha + 2 * padding - beta) / stride + 1;
+}
+
+Tensor MakeDummyTensor(int64_t alpha, int64_t alpha_out, int64_t beta,
+                       int64_t stride, int64_t padding) {
+  ML_CHECK_GT(alpha, 0);
+  ML_CHECK_GT(alpha_out, 0);
+  ML_CHECK_GT(beta, 0);
+  ML_CHECK_GT(stride, 0);
+  Tensor p{Shape{alpha, alpha_out, beta}};
+  for (int64_t jp = 0; jp < alpha_out; ++jp) {
+    for (int64_t k = 0; k < beta; ++k) {
+      const int64_t j = stride * jp + k - padding;
+      if (j >= 0 && j < alpha) {
+        p.flat((j * alpha_out + jp) * beta + k) = 1.0f;
+      }
+    }
+  }
+  return p;
+}
+
+Result<Tensor> Conv1dViaDummy(const Tensor& a, const Tensor& b, int64_t stride,
+                              int64_t padding) {
+  if (a.rank() != 1 || b.rank() != 1) {
+    return Status::InvalidArgument("Conv1dViaDummy expects rank-1 inputs");
+  }
+  const int64_t alpha = a.dim(0), beta = b.dim(0);
+  const int64_t alpha_out = ConvOutExtent(alpha, beta, stride, padding);
+  if (alpha_out <= 0) return Status::InvalidArgument("empty conv output");
+  Tensor p = MakeDummyTensor(alpha, alpha_out, beta, stride, padding);
+  // y[j'] = Σ_{j,k} P[j,j',k] a[j] b[k]: contract a against axis 0, then b
+  // against the trailing kernel axis.
+  ML_ASSIGN_OR_RETURN(Tensor t, Contract(p, a, {0}, {0}));  // [alpha_out, beta]
+  return Contract(t, b, {1}, {0});                          // [alpha_out]
+}
+
+Tensor Conv1dDirect(const Tensor& a, const Tensor& b, int64_t stride,
+                    int64_t padding) {
+  const int64_t alpha = a.dim(0), beta = b.dim(0);
+  const int64_t alpha_out = ConvOutExtent(alpha, beta, stride, padding);
+  ML_CHECK_GT(alpha_out, 0);
+  Tensor y{Shape{alpha_out}};
+  for (int64_t jp = 0; jp < alpha_out; ++jp) {
+    double acc = 0;
+    for (int64_t k = 0; k < beta; ++k) {
+      const int64_t j = stride * jp + k - padding;
+      if (j >= 0 && j < alpha)
+        acc += static_cast<double>(a.flat(j)) * b.flat(k);
+    }
+    y.flat(jp) = static_cast<float>(acc);
+  }
+  return y;
+}
+
+Result<Tensor> Conv2dViaDummy(const Tensor& input, const Tensor& weight,
+                              const ConvGeom& geom) {
+  if (input.rank() != 4 || weight.rank() != 4) {
+    return Status::InvalidArgument("Conv2dViaDummy expects NCHW / OCKhKw");
+  }
+  const int64_t h = input.dim(2), w = input.dim(3);
+  const int64_t ho = geom.OutExtent(h, geom.kernel_h);
+  const int64_t wo = geom.OutExtent(w, geom.kernel_w);
+  if (ho <= 0 || wo <= 0) return Status::InvalidArgument("empty conv output");
+  if (weight.dim(1) != input.dim(1)) {
+    return Status::InvalidArgument("channel mismatch");
+  }
+
+  Tensor ph = MakeDummyTensor(h, ho, geom.kernel_h, geom.stride, geom.padding);
+  Tensor pw = MakeDummyTensor(w, wo, geom.kernel_w, geom.stride, geom.padding);
+
+  // X [N,C,H,W] ×_H P_h[H,Ho,Kh] -> [N,C,W,Ho,Kh]
+  ML_ASSIGN_OR_RETURN(Tensor t1, Contract(input, ph, {2}, {0}));
+  // ×_W P_w[W,Wo,Kw] -> [N,C,Ho,Kh,Wo,Kw]
+  ML_ASSIGN_OR_RETURN(Tensor t2, Contract(t1, pw, {2}, {0}));
+  // Contract (C,Kh,Kw) with weight's (C,Kh,Kw) -> [N,Ho,Wo,O]
+  ML_ASSIGN_OR_RETURN(Tensor t3, Contract(t2, weight, {1, 3, 5}, {1, 2, 3}));
+  // -> [N,O,Ho,Wo]
+  return Permute(t3, {0, 3, 1, 2});
+}
+
+}  // namespace tn
+}  // namespace metalora

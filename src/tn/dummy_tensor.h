@@ -1,0 +1,49 @@
+// Dummy tensors (paper §II.C, Fig. 1–2).
+//
+// A dummy tensor is the binary tensor P ∈ {0,1}^{α×α'×β} with
+// P[j, j', k] = 1 iff j = s·j' + k − p (stride s, padding p). Contracting an
+// input vector and a filter vector against P performs a 1-D convolution
+// (Eq. 2); two dummy tensors express a 2-D convolution as a pure tensor
+// network (Fig. 2). These constructions are exact and are verified against
+// the direct convolution kernels in tests and in bench/fig2_dummy_conv.
+#ifndef METALORA_TN_DUMMY_TENSOR_H_
+#define METALORA_TN_DUMMY_TENSOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "tensor/conv_ops.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace tn {
+
+/// Builds P of shape [alpha, alpha_out, beta] with P[j,j',k] = 1 iff
+/// j == stride*j' + k - padding.
+Tensor MakeDummyTensor(int64_t alpha, int64_t alpha_out, int64_t beta,
+                       int64_t stride, int64_t padding);
+
+/// Output extent of a 1-D convolution: floor((alpha + 2p - beta)/s) + 1.
+int64_t ConvOutExtent(int64_t alpha, int64_t beta, int64_t stride,
+                      int64_t padding);
+
+/// 1-D convolution via Eq. 2: y[j'] = Σ_{j,k} P[j,j',k] a[j] b[k].
+Result<Tensor> Conv1dViaDummy(const Tensor& a, const Tensor& b, int64_t stride,
+                              int64_t padding);
+
+/// Direct 1-D convolution reference.
+Tensor Conv1dDirect(const Tensor& a, const Tensor& b, int64_t stride,
+                    int64_t padding);
+
+/// 2-D convolution expressed as a tensor network with two dummy tensors
+/// (one per spatial axis), per Fig. 2.
+///   input  [N, C, H, W], weight [O, C, Kh, Kw] -> [N, O, Ho, Wo]
+/// Mathematically identical to Conv2dForward; cost is higher (it is a
+/// didactic construction), so use only in tests/benches.
+Result<Tensor> Conv2dViaDummy(const Tensor& input, const Tensor& weight,
+                              const ConvGeom& geom);
+
+}  // namespace tn
+}  // namespace metalora
+
+#endif  // METALORA_TN_DUMMY_TENSOR_H_

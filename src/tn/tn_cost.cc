@@ -1,0 +1,75 @@
+#include "tn/tn_cost.h"
+
+namespace metalora {
+namespace tn {
+
+int64_t DenseLinearParams(int64_t in, int64_t out) { return in * out; }
+
+int64_t LoraLinearParams(int64_t in, int64_t out, int64_t rank) {
+  return in * rank + rank * out;
+}
+
+int64_t MetaLoraCpLinearParams(int64_t in, int64_t out, int64_t rank) {
+  // Same stored factors as LoRA; the rank-wise seed c is produced by the
+  // shared mapping net and is not stored per layer.
+  return LoraLinearParams(in, out, rank);
+}
+
+int64_t MetaLoraTrLinearParams(int64_t in, int64_t out, int64_t rank) {
+  return rank * in * rank + rank * out * rank;
+}
+
+int64_t DenseConvParams(int64_t kernel, int64_t in_ch, int64_t out_ch) {
+  return kernel * kernel * in_ch * out_ch;
+}
+
+int64_t ConvLoraParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
+                       int64_t rank) {
+  return kernel * kernel * in_ch * rank + rank * out_ch;
+}
+
+int64_t MetaLoraTrConvParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
+                             int64_t rank) {
+  return rank * (kernel * kernel * in_ch) * rank + rank * out_ch * rank;
+}
+
+int64_t ConvFlops(int64_t kernel, int64_t in_ch, int64_t out_ch, int64_t h,
+                  int64_t w) {
+  return kernel * kernel * in_ch * out_ch * h * w;
+}
+
+int64_t ConvLoraFlops(int64_t kernel, int64_t in_ch, int64_t out_ch,
+                      int64_t rank, int64_t h, int64_t w) {
+  // Small conv to R channels, then 1x1 recovery to O channels (Fig. 3).
+  return kernel * kernel * in_ch * rank * h * w + rank * out_ch * h * w;
+}
+
+int64_t CpMatrixFlops(int64_t in, int64_t out, int64_t rank) {
+  // Column scaling (I*R) + matmul (I*R*O).
+  return in * rank + in * rank * out;
+}
+
+int64_t TrMatrixFlops(int64_t in, int64_t out, int64_t rank) {
+  // (A x B): R*I*R x R*O*R over one bond -> R*I*O*R entries, R madds each.
+  // Then contract the [R, I, O, R] intermediate with C over both bonds.
+  return rank * in * out * rank * rank + rank * in * out * rank;
+}
+
+int64_t TuckerMatrixParams(int64_t in, int64_t out, int64_t rank) {
+  return rank * rank + in * rank + out * rank;
+}
+
+int64_t TrParams(const std::vector<int64_t>& dims, int64_t rank) {
+  int64_t total = 0;
+  for (int64_t d : dims) total += rank * d * rank;
+  return total;
+}
+
+int64_t CpParams(const std::vector<int64_t>& dims, int64_t rank) {
+  int64_t total = rank;  // lambda
+  for (int64_t d : dims) total += d * rank;
+  return total;
+}
+
+}  // namespace tn
+}  // namespace metalora

@@ -1,0 +1,96 @@
+#include "tn/tr_format.h"
+
+#include <cmath>
+
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tn/contraction.h"
+
+namespace metalora {
+namespace tn {
+
+TrFormat::TrFormat(std::vector<int64_t> mode_dims, int64_t rank)
+    : mode_dims_(std::move(mode_dims)), rank_(rank) {
+  ML_CHECK_GT(rank_, 0);
+  ML_CHECK(!mode_dims_.empty());
+  cores_.reserve(mode_dims_.size());
+  for (int64_t d : mode_dims_) {
+    ML_CHECK_GT(d, 0);
+    cores_.emplace_back(Shape{rank_, d, rank_});
+  }
+}
+
+TrFormat TrFormat::Random(std::vector<int64_t> mode_dims, int64_t rank,
+                          Rng& rng) {
+  TrFormat tr(std::move(mode_dims), rank);
+  const float stddev = 1.0f / static_cast<float>(rank);
+  for (auto& c : tr.cores_) FillNormal(c, rng, 0.0f, stddev);
+  return tr;
+}
+
+const Tensor& TrFormat::core(int n) const {
+  ML_CHECK(n >= 0 && n < order());
+  return cores_[static_cast<size_t>(n)];
+}
+
+Tensor& TrFormat::mutable_core(int n) {
+  ML_CHECK(n >= 0 && n < order());
+  return cores_[static_cast<size_t>(n)];
+}
+
+Tensor TrFormat::Reconstruct() const {
+  // Chain the cores left-to-right, keeping the open ring bonds (r_0 on the
+  // left, r_n on the right):
+  //   T_1 = G^(1)                              [R, I_1, R]
+  //   T_n = T_{n-1} ·_{r} G^(n)                [R, I_1..I_n, R]
+  // and finally trace over the two open bonds.
+  Tensor t = cores_[0];
+  int64_t mid = mode_dims_[0];
+  for (int n = 1; n < order(); ++n) {
+    // [R*mid, R] x [R, I_n*R] -> [R*mid, I_n*R]
+    Tensor lhs = t.Reshape(Shape{rank_ * mid, rank_});
+    Tensor rhs =
+        cores_[static_cast<size_t>(n)].Reshape(Shape{rank_, mode_dims_[static_cast<size_t>(n)] * rank_});
+    t = Matmul(lhs, rhs);
+    mid *= mode_dims_[static_cast<size_t>(n)];
+    t = t.Reshape(Shape{rank_, mid, rank_});
+  }
+  // Trace: out[idx] = Σ_r T[r, idx, r].
+  Tensor out{Shape(mode_dims_)};
+  float* po = out.data();
+  for (int64_t r = 0; r < rank_; ++r) {
+    for (int64_t i = 0; i < mid; ++i) {
+      po[i] += t.flat((r * mid + i) * rank_ + r);
+    }
+  }
+  return out;
+}
+
+int64_t TrFormat::ParamCount() const {
+  int64_t n = 0;
+  for (int64_t d : mode_dims_) n += rank_ * d * rank_;
+  return n;
+}
+
+int64_t TrFormat::DenseParamCount() const {
+  int64_t n = 1;
+  for (int64_t d : mode_dims_) n *= d;
+  return n;
+}
+
+Result<Tensor> TrMatrix(const Tensor& a, const Tensor& b, const Tensor& c) {
+  if (a.rank() != 3 || b.rank() != 3 || c.rank() != 2) {
+    return Status::InvalidArgument("TrMatrix expects a[R,I,R], b[R,O,R], c[R,R]");
+  }
+  const int64_t r = a.dim(0);
+  if (a.dim(2) != r || b.dim(0) != r || b.dim(2) != r || c.dim(0) != r ||
+      c.dim(1) != r) {
+    return Status::InvalidArgument("TrMatrix bond-rank mismatch");
+  }
+  // (A ×_{r1} B) [r0, I, O, r2], then contract {r2, r0} against C[r2, r0].
+  ML_ASSIGN_OR_RETURN(Tensor t, Contract(a, b, {2}, {0}));
+  return Contract(t, c, {3, 0}, {0, 1});
+}
+
+}  // namespace tn
+}  // namespace metalora

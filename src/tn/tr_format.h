@@ -1,0 +1,64 @@
+// Tensor Ring (TR) format (paper §II.D and Eq. 7).
+//
+// An N-th order tensor is represented by ring-connected 3rd-order cores
+// G^(n) ∈ R^{r_{n-1} × I_n × r_n} with r_0 = r_N:
+//   X[i1..iN] = Trace( G^(1)[:,i1,:] · G^(2)[:,i2,:] · … · G^(N)[:,iN,:] ).
+// The MetaLoRA (TR) update (Eq. 7) is a three-node ring over a matrix whose
+// third core C ∈ R^{R×R} carries no free index and is generated per input.
+#ifndef METALORA_TN_TR_FORMAT_H_
+#define METALORA_TN_TR_FORMAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace tn {
+
+class TrFormat {
+ public:
+  /// Builds zero cores for extents `mode_dims` with uniform bond rank `rank`
+  /// (all r_n equal; the common square-ring case used by the paper).
+  TrFormat(std::vector<int64_t> mode_dims, int64_t rank);
+
+  /// Random initialization: cores ~ N(0, 1/rank) so the reconstruction has
+  /// O(1) scale.
+  static TrFormat Random(std::vector<int64_t> mode_dims, int64_t rank,
+                         Rng& rng);
+
+  int64_t rank() const { return rank_; }
+  int order() const { return static_cast<int>(mode_dims_.size()); }
+  const std::vector<int64_t>& mode_dims() const { return mode_dims_; }
+
+  /// Core G^(n), shape [R, I_n, R].
+  const Tensor& core(int n) const;
+  Tensor& mutable_core(int n);
+
+  /// Materializes the full tensor by sequential core contraction and a final
+  /// ring trace.
+  Tensor Reconstruct() const;
+
+  /// Number of stored parameters: Σ_n R · I_n · R.
+  int64_t ParamCount() const;
+
+  /// Parameters of a dense tensor with the same mode extents.
+  int64_t DenseParamCount() const;
+
+ private:
+  std::vector<int64_t> mode_dims_;
+  int64_t rank_;
+  std::vector<Tensor> cores_;
+};
+
+/// MetaLoRA (TR) matrix update (Eq. 7):
+///   ΔW[i,o] = Σ_{r0,r1,r2} A[r0,i,r1] · B[r1,o,r2] · C[r2,r0]
+/// `a` is [R,I,R], `b` is [R,O,R], `c` is [R,R]. Returns [I,O].
+Result<Tensor> TrMatrix(const Tensor& a, const Tensor& b, const Tensor& c);
+
+}  // namespace tn
+}  // namespace metalora
+
+#endif  // METALORA_TN_TR_FORMAT_H_

@@ -1,0 +1,103 @@
+#include "tn/tucker_format.h"
+
+#include <cmath>
+
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+#include "tn/contraction.h"
+
+namespace metalora {
+namespace tn {
+
+Result<Tensor> ModeProduct(const Tensor& x, const Tensor& u, int mode) {
+  if (u.rank() != 2) {
+    return Status::InvalidArgument("ModeProduct: factor must be a matrix");
+  }
+  if (mode < 0 || mode >= x.rank()) {
+    return Status::InvalidArgument("ModeProduct: bad mode");
+  }
+  if (u.dim(1) != x.dim(mode)) {
+    return Status::InvalidArgument("ModeProduct: extent mismatch");
+  }
+  // Contract x's `mode` axis against u's second axis; the contraction places
+  // the new axis (u's first) last, so rotate it back into position.
+  ML_ASSIGN_OR_RETURN(Tensor c, Contract(x, u, {mode}, {1}));
+  // c has x's free axes in order, then u's first axis last. Build the
+  // permutation that moves the last axis back to `mode`.
+  const int r = c.rank();
+  std::vector<int> perm;
+  perm.reserve(static_cast<size_t>(r));
+  int free_idx = 0;
+  for (int i = 0; i < r; ++i) {
+    if (i == mode) {
+      perm.push_back(r - 1);
+    } else {
+      perm.push_back(free_idx++);
+    }
+  }
+  return metalora::Permute(c, perm);
+}
+
+TuckerFormat::TuckerFormat(std::vector<int64_t> mode_dims,
+                           std::vector<int64_t> ranks)
+    : mode_dims_(std::move(mode_dims)), ranks_(std::move(ranks)) {
+  ML_CHECK(!mode_dims_.empty());
+  ML_CHECK_EQ(mode_dims_.size(), ranks_.size());
+  for (size_t n = 0; n < mode_dims_.size(); ++n) {
+    ML_CHECK(ranks_[n] >= 1 && ranks_[n] <= mode_dims_[n])
+        << "Tucker rank " << ranks_[n] << " invalid for mode of extent "
+        << mode_dims_[n];
+    factors_.emplace_back(Shape{mode_dims_[n], ranks_[n]});
+  }
+  core_ = Tensor{Shape(ranks_)};
+}
+
+TuckerFormat TuckerFormat::Random(std::vector<int64_t> mode_dims,
+                                  std::vector<int64_t> ranks, Rng& rng) {
+  TuckerFormat t(std::move(mode_dims), std::move(ranks));
+  for (size_t n = 0; n < t.factors_.size(); ++n) {
+    FillNormal(t.factors_[n], rng, 0.0f,
+               1.0f / std::sqrt(static_cast<float>(t.mode_dims_[n])));
+  }
+  FillNormal(t.core_, rng, 0.0f, 1.0f);
+  return t;
+}
+
+const Tensor& TuckerFormat::factor(int n) const {
+  ML_CHECK(n >= 0 && n < order());
+  return factors_[static_cast<size_t>(n)];
+}
+
+Tensor& TuckerFormat::mutable_factor(int n) {
+  ML_CHECK(n >= 0 && n < order());
+  return factors_[static_cast<size_t>(n)];
+}
+
+Tensor TuckerFormat::Reconstruct() const {
+  Tensor x = core_;
+  for (int n = 0; n < order(); ++n) {
+    auto r = ModeProduct(x, factors_[static_cast<size_t>(n)], n);
+    ML_CHECK(r.ok()) << r.status().ToString();
+    x = r.value();
+  }
+  return x;
+}
+
+int64_t TuckerFormat::ParamCount() const {
+  int64_t core = 1;
+  for (int64_t r : ranks_) core *= r;
+  int64_t total = core;
+  for (size_t n = 0; n < mode_dims_.size(); ++n) {
+    total += mode_dims_[n] * ranks_[n];
+  }
+  return total;
+}
+
+int64_t TuckerFormat::DenseParamCount() const {
+  int64_t n = 1;
+  for (int64_t d : mode_dims_) n *= d;
+  return n;
+}
+
+}  // namespace tn
+}  // namespace metalora

@@ -1,0 +1,60 @@
+// Tucker decomposition (paper §V related work: "CP decomposition and Tucker
+// decomposition effectively reduce model size").
+//
+// X ≈ G ×₁ U^(1) ×₂ U^(2) … ×_N U^(N): a small core tensor G ∈
+// R^{R_1×…×R_N} multiplied along every mode by factor matrices
+// U^(n) ∈ R^{I_n×R_n}. Completes the family of formats next to CP and TR so
+// the cost model and benches can compare all three.
+#ifndef METALORA_TN_TUCKER_FORMAT_H_
+#define METALORA_TN_TUCKER_FORMAT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace tn {
+
+class TuckerFormat {
+ public:
+  /// Zero-initialized container; ranks.size() must equal mode_dims.size()
+  /// and each R_n must satisfy 1 <= R_n <= I_n.
+  TuckerFormat(std::vector<int64_t> mode_dims, std::vector<int64_t> ranks);
+
+  /// Random init: factors ~ N(0, 1/sqrt(I_n)), core ~ N(0, 1).
+  static TuckerFormat Random(std::vector<int64_t> mode_dims,
+                             std::vector<int64_t> ranks, Rng& rng);
+
+  int order() const { return static_cast<int>(mode_dims_.size()); }
+  const std::vector<int64_t>& mode_dims() const { return mode_dims_; }
+  const std::vector<int64_t>& ranks() const { return ranks_; }
+
+  const Tensor& core() const { return core_; }
+  Tensor& mutable_core() { return core_; }
+  const Tensor& factor(int n) const;
+  Tensor& mutable_factor(int n);
+
+  /// Materializes the full tensor by successive mode products.
+  Tensor Reconstruct() const;
+
+  /// Π R_n + Σ I_n·R_n.
+  int64_t ParamCount() const;
+  int64_t DenseParamCount() const;
+
+ private:
+  std::vector<int64_t> mode_dims_;
+  std::vector<int64_t> ranks_;
+  Tensor core_;
+  std::vector<Tensor> factors_;
+};
+
+/// Mode-n product X ×_n U: contracts mode `n` of `x` with the second axis of
+/// `u` [J, I_n], producing a tensor whose mode n has extent J.
+Result<Tensor> ModeProduct(const Tensor& x, const Tensor& u, int mode);
+
+}  // namespace tn
+}  // namespace metalora
+
+#endif  // METALORA_TN_TUCKER_FORMAT_H_

@@ -1,0 +1,128 @@
+// Composite gradient checks: whole miniature networks (conv → norm → pool →
+// linear → loss, adapters included) verified against finite differences.
+// These catch cross-op bookkeeping bugs that single-op checks cannot
+// (gradient accumulation across residual branches, frozen-parameter
+// boundaries, per-sample seed fan-out).
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace autograd {
+namespace {
+
+Tensor Rand(Shape s, uint64_t seed, float lo = -1.0f, float hi = 1.0f) {
+  Rng rng(seed);
+  return RandomUniform(std::move(s), rng, lo, hi);
+}
+
+void ExpectGradOk(const ScalarFn& f, const std::vector<Tensor>& inputs,
+                  GradCheckOptions opts = {}) {
+  GradCheckReport r = CheckGradients(f, inputs, opts);
+  EXPECT_TRUE(r.passed) << "max rel err " << r.max_rel_error << " at input "
+                        << r.worst_input << " elem " << r.worst_element
+                        << " analytic " << r.analytic << " numeric "
+                        << r.numeric;
+}
+
+TEST(CompositeGradCheck, ConvReluPoolLinearCrossEntropy) {
+  // A miniature CNN trained end to end: every parameter participates.
+  const std::vector<int64_t> labels = {0, 1};
+  ConvGeom g{3, 3, 1, 1};
+  ConvGeom pool{2, 2, 2, 0};
+  ExpectGradOk(
+      [=](const std::vector<Variable>& v) {
+        Variable h = Conv2d(v[0], v[1], v[2], g);  // [2, 3, 4, 4]
+        h = Relu(h);
+        h = AvgPool2d(h, pool);                    // [2, 3, 2, 2]
+        h = Flatten2D(h);                          // [2, 12]
+        h = Linear(h, v[3], v[4]);                 // [2, 2]
+        return SoftmaxCrossEntropy(h, labels);
+      },
+      {Rand({2, 2, 4, 4}, 1), Rand({3, 2, 3, 3}, 2), Rand({3}, 3),
+       Rand({2, 12}, 4), Rand({2}, 5)});
+}
+
+TEST(CompositeGradCheck, ResidualBranchAccumulation) {
+  // y = relu(x + f(x)) with f sharing x — the BasicBlock pattern.
+  ExpectGradOk(
+      [](const std::vector<Variable>& v) {
+        Variable f = Linear(v[0], v[1], Variable());
+        Variable y = Relu(Add(v[0], f));
+        return SumAll(Mul(y, y));
+      },
+      {Rand({3, 4}, 6, 0.2f, 1.0f), Rand({4, 4}, 7)});
+}
+
+TEST(CompositeGradCheck, LayerNormMlpBlock) {
+  // The Mixer/Transformer channel-MLP block: LN → fc → gelu → fc → residual.
+  ExpectGradOk(
+      [](const std::vector<Variable>& v) {
+        Variable h = LayerNorm(v[0], v[1], v[2], 1e-5f);
+        h = Linear(h, v[3], Variable());
+        h = Gelu(h);
+        h = Linear(h, v[4], Variable());
+        Variable y = Add(v[0], h);
+        return SumAll(Mul(y, y));
+      },
+      {Rand({3, 6}, 8), Rand({6}, 9, 0.5f, 1.5f), Rand({6}, 10),
+       Rand({8, 6}, 11), Rand({6, 8}, 12)});
+}
+
+TEST(CompositeGradCheck, FrozenBaseTrainableAdapterBoundary) {
+  // Mirror of a LoRA layer: frozen W (no grad requested), trainable A, B.
+  // Gradcheck runs only over the trainable inputs; the frozen tensor is
+  // captured by value.
+  Tensor frozen_w = Rand({5, 4}, 13);
+  ExpectGradOk(
+      [frozen_w](const std::vector<Variable>& v) {
+        Variable w(frozen_w, /*requires_grad=*/false);
+        Variable base = Linear(v[0], w, Variable());
+        Variable h = Linear(v[0], v[1], Variable());   // [N, R]
+        Variable d = Linear(h, v[2], Variable());      // [N, O]
+        Variable y = Add(base, Scale(d, 2.0f));
+        return SumAll(Mul(y, y));
+      },
+      {Rand({3, 4}, 14), Rand({2, 4}, 15), Rand({5, 2}, 16)});
+}
+
+TEST(CompositeGradCheck, MetaSeedFanOutAcrossTwoAdapters) {
+  // One generated seed feeding two adapter sites (the MetaLoRA fan-out):
+  // gradient w.r.t. the seed must accumulate from both consumers.
+  ExpectGradOk(
+      [](const std::vector<Variable>& v) {
+        const Variable& x = v[0];     // [N, D]
+        const Variable& seed = v[1];  // [N, R]
+        const Variable& a1 = v[2];    // [R, D]
+        const Variable& a2 = v[3];    // [R, D]
+        Variable h1 = Mul(Linear(x, a1, Variable()), seed);
+        Variable h2 = Mul(Linear(x, a2, Variable()), seed);
+        Variable y = Add(SumAll(Mul(h1, h1)), SumAll(Mul(h2, h2)));
+        return y;
+      },
+      {Rand({2, 5}, 17), Rand({2, 3}, 18, 0.5f, 1.5f), Rand({3, 5}, 19),
+       Rand({3, 5}, 20)});
+}
+
+TEST(CompositeGradCheck, AttentionShapedPath) {
+  // Scaled dot-product attention on one head, built from public ops.
+  ExpectGradOk(
+      [](const std::vector<Variable>& v) {
+        const Variable& q = v[0];  // [B, S, D]
+        const Variable& k = v[1];
+        const Variable& val = v[2];
+        Variable kt = Permute(k, {0, 2, 1});
+        Variable scores = Scale(BatchedMatmul(q, kt), 0.5f);
+        Variable attn = SoftmaxLastDim(scores);
+        Variable ctx = BatchedMatmul(attn, val);
+        return SumAll(Mul(ctx, ctx));
+      },
+      {Rand({2, 3, 4}, 21), Rand({2, 3, 4}, 22), Rand({2, 3, 4}, 23)});
+}
+
+}  // namespace
+}  // namespace autograd
+}  // namespace metalora

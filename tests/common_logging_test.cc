@@ -1,0 +1,77 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace metalora {
+namespace {
+
+// Captures stderr for the duration of a scope.
+class StderrCapture {
+ public:
+  StderrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~StderrCapture() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::stringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsInfo) {
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, MessageContainsLevelFileAndText) {
+  StderrCapture cap;
+  ML_LOG(Warning) << "disk almost full: " << 93 << "%";
+  const std::string out = cap.str();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("common_logging_test.cc"), std::string::npos);
+  EXPECT_NE(out.find("disk almost full: 93%"), std::string::npos);
+}
+
+TEST_F(LoggingTest, BelowThresholdIsDropped) {
+  SetLogLevel(LogLevel::kError);
+  StderrCapture cap;
+  ML_LOG(Info) << "should not appear";
+  ML_LOG(Warning) << "also hidden";
+  EXPECT_TRUE(cap.str().empty());
+}
+
+TEST_F(LoggingTest, AtOrAboveThresholdIsEmitted) {
+  SetLogLevel(LogLevel::kWarning);
+  StderrCapture cap;
+  ML_LOG(Warning) << "visible";
+  ML_LOG(Error) << "very visible";
+  const std::string out = cap.str();
+  EXPECT_NE(out.find("visible"), std::string::npos);
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugHiddenByDefault) {
+  StderrCapture cap;
+  ML_LOG(Debug) << "debug detail";
+  EXPECT_TRUE(cap.str().empty());
+  SetLogLevel(LogLevel::kDebug);
+  ML_LOG(Debug) << "debug detail";
+  EXPECT_NE(cap.str().find("DEBUG"), std::string::npos);
+}
+
+TEST_F(LoggingTest, EachMessageEndsWithNewline) {
+  StderrCapture cap;
+  ML_LOG(Info) << "one";
+  ML_LOG(Info) << "two";
+  const std::string out = cap.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace metalora

@@ -1,0 +1,110 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace metalora {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rank");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rank");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rank");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 9; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+Status FailIf(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return Status::OK();
+}
+
+Status Propagates(bool fail) {
+  ML_RETURN_IF_ERROR(FailIf(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  Status s = Propagates(true);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+Result<int> MakeValue(bool fail) {
+  if (fail) return Status::NotFound("missing");
+  return 42;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = MakeValue(false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = MakeValue(true);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubled(bool fail) {
+  ML_ASSIGN_OR_RETURN(int v, MakeValue(fail));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = Doubled(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 84);
+  Result<int> err = Doubled(true);
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ValueOnErrorDies) {
+  Result<int> r = MakeValue(true);
+  EXPECT_DEATH(r.value(), "Result::value");
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  ML_CHECK(true) << "never shown";
+  ML_CHECK_EQ(1, 1);
+  ML_CHECK_LT(1, 2);
+  ML_CHECK_OK(Status::OK());
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH(ML_CHECK_EQ(1, 2) << "context", "1 == 2");
+  EXPECT_DEATH(ML_CHECK_OK(Status::IOError("disk gone")), "disk gone");
+}
+
+}  // namespace
+}  // namespace metalora

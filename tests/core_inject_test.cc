@@ -1,0 +1,260 @@
+#include "core/inject.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/graph.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "nn/mlp_mixer.h"
+#include "nn/resnet.h"
+#include "optim/adam.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace core {
+namespace {
+
+nn::ResNetConfig SmallResNet() {
+  nn::ResNetConfig c;
+  c.base_width = 4;
+  c.blocks_per_stage = 1;
+  c.num_classes = 3;
+  c.seed = 2;
+  return c;
+}
+
+nn::MlpMixerConfig SmallMixer() {
+  nn::MlpMixerConfig c;
+  c.image_size = 16;
+  c.patch_size = 4;
+  c.hidden_dim = 16;
+  c.token_mlp_dim = 8;
+  c.channel_mlp_dim = 32;
+  c.num_blocks = 1;
+  c.num_classes = 3;
+  c.seed = 2;
+  return c;
+}
+
+AdapterOptions Opts(AdapterKind kind) {
+  AdapterOptions o;
+  o.kind = kind;
+  o.rank = 2;
+  o.alpha = 4.0f;
+  o.num_tasks = 3;
+  o.feature_dim = 16;
+  o.mapping_hidden = 8;
+  o.seed = 3;
+  return o;
+}
+
+TEST(InjectTest, NullModelRejected) {
+  EXPECT_FALSE(InjectAdapters(nullptr, Opts(AdapterKind::kLora)).ok());
+}
+
+TEST(InjectTest, MetaLoraWithoutFeatureDimRejected) {
+  nn::ResNet net(SmallResNet());
+  AdapterOptions o = Opts(AdapterKind::kMetaLoraCp);
+  o.feature_dim = 0;
+  auto r = InjectAdapters(&net, o);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(InjectTest, BadRankRejected) {
+  nn::ResNet net(SmallResNet());
+  AdapterOptions o = Opts(AdapterKind::kLora);
+  o.rank = 0;
+  EXPECT_FALSE(InjectAdapters(&net, o).ok());
+}
+
+TEST(InjectTest, KindNoneOnlyFreezes) {
+  nn::ResNet net(SmallResNet());
+  EXPECT_GT(net.TrainableParamCount(), 0);
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kNone));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->adapters.empty());
+  EXPECT_EQ(net.TrainableParamCount(), 0);
+}
+
+TEST(InjectTest, ResNetConvsAreWrapped) {
+  nn::ResNet net(SmallResNet());
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kLora));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // stem + 3 stages × (conv1, conv2); projection shortcuts are skipped by
+  // the default filter; the classifier "fc" is skipped too.
+  EXPECT_EQ(r->num_wrapped_convs, 7);
+  EXPECT_EQ(r->num_wrapped_linears, 0);
+  EXPECT_EQ(net.TrainableParamCount(), r->adapter_param_count);
+}
+
+TEST(InjectTest, MixerLinearsAreWrapped) {
+  nn::MlpMixer net(SmallMixer());
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kLora));
+  ASSERT_TRUE(r.ok());
+  // One block: token_fc1, token_fc2, channel_fc1, channel_fc2. patch_embed
+  // (conv) and head fc are skipped by the default filter.
+  EXPECT_EQ(r->num_wrapped_linears, 4);
+  EXPECT_EQ(r->num_wrapped_convs, 0);
+}
+
+TEST(InjectTest, ForwardStillWorksAfterInjection) {
+  for (AdapterKind kind : {AdapterKind::kLora, AdapterKind::kMultiLora,
+                           AdapterKind::kMetaLoraCp, AdapterKind::kMetaLoraTr}) {
+    nn::ResNet net(SmallResNet());
+    net.SetTraining(false);
+    auto r = InjectAdapters(&net, Opts(kind));
+    ASSERT_TRUE(r.ok()) << AdapterKindName(kind);
+    Rng rng(4);
+    Tensor x = RandomNormal(Shape{2, 3, 16, 16}, rng);
+    Tensor feats = RandomNormal(Shape{2, 16}, rng);
+    r->BindFeatures(nn::Variable(feats, false));
+    r->BindTaskIds({0, 1});
+    autograd::NoGradGuard g;
+    nn::Variable y = net.Forward(nn::Variable(x, false));
+    EXPECT_EQ(y.shape(), Shape({2, 3})) << AdapterKindName(kind);
+  }
+}
+
+TEST(InjectTest, InjectionPreservesPretrainedFunction) {
+  // Adapters start as exact no-ops: logits before == logits after injection.
+  nn::ResNet reference(SmallResNet());
+  reference.SetTraining(false);
+  nn::ResNet injected(SmallResNet());
+  injected.SetTraining(false);
+  auto r = InjectAdapters(&injected, Opts(AdapterKind::kLora));
+  ASSERT_TRUE(r.ok());
+  Rng rng(5);
+  Tensor x = RandomNormal(Shape{2, 3, 16, 16}, rng);
+  autograd::NoGradGuard g;
+  Tensor y_ref = reference.Forward(nn::Variable(x, false)).value();
+  Tensor y_inj = injected.Forward(nn::Variable(x, false)).value();
+  EXPECT_TRUE(AllClose(y_ref, y_inj, 1e-5f, 1e-5f));
+}
+
+TEST(InjectTest, BaseWeightsUnchangedByAdapterTraining) {
+  nn::ResNet net(SmallResNet());
+  net.SetTraining(false);
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kLora));
+  ASSERT_TRUE(r.ok());
+
+  // Snapshot all frozen parameters.
+  std::map<std::string, Tensor> frozen_before;
+  for (auto& np : net.NamedParameters()) {
+    if (!np.variable->requires_grad()) {
+      frozen_before[np.name] = np.variable->value().Clone();
+    }
+  }
+  ASSERT_FALSE(frozen_before.empty());
+
+  // A few adapter training steps.
+  Rng rng(6);
+  std::vector<nn::Variable> trainable;
+  for (auto* p : net.TrainableParameters()) trainable.push_back(*p);
+  optim::Adam adam(trainable, optim::AdamOptions{.lr = 1e-2});
+  for (int step = 0; step < 3; ++step) {
+    net.ZeroGrad();
+    nn::Variable x(RandomNormal(Shape{4, 3, 16, 16}, rng), false);
+    nn::Variable loss =
+        autograd::SoftmaxCrossEntropy(net.Forward(x), {0, 1, 2, 0});
+    ASSERT_TRUE(autograd::Backward(loss).ok());
+    adam.Step();
+  }
+
+  for (auto& np : net.NamedParameters()) {
+    auto it = frozen_before.find(np.name);
+    if (it != frozen_before.end()) {
+      EXPECT_TRUE(AllClose(np.variable->value(), it->second, 0.0f, 0.0f))
+          << "frozen parameter " << np.name << " was modified";
+    }
+  }
+}
+
+TEST(InjectTest, AdapterTrainingChangesOutput) {
+  nn::ResNet net(SmallResNet());
+  net.SetTraining(false);
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kLora));
+  ASSERT_TRUE(r.ok());
+  Rng rng(7);
+  Tensor x = RandomNormal(Shape{2, 3, 16, 16}, rng);
+  Tensor before;
+  {
+    autograd::NoGradGuard g;
+    before = net.Forward(nn::Variable(x, false)).value().Clone();
+  }
+  std::vector<nn::Variable> trainable;
+  for (auto* p : net.TrainableParameters()) trainable.push_back(*p);
+  optim::Adam adam(trainable, optim::AdamOptions{.lr = 5e-2});
+  for (int step = 0; step < 3; ++step) {
+    net.ZeroGrad();
+    nn::Variable loss = autograd::SoftmaxCrossEntropy(
+        net.Forward(nn::Variable(x, false)), {1, 2});
+    ASSERT_TRUE(autograd::Backward(loss).ok());
+    adam.Step();
+  }
+  autograd::NoGradGuard g;
+  Tensor after = net.Forward(nn::Variable(x, false)).value();
+  EXPECT_FALSE(AllClose(after, before, 1e-4f, 1e-4f));
+}
+
+TEST(InjectTest, CustomFilterRestrictsTargets) {
+  nn::ResNet net(SmallResNet());
+  InjectionFilter filter;
+  filter.adapt_convs = false;
+  filter.adapt_linears = false;
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kLora), filter);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InjectTest, ParamAccountingMatchesSum) {
+  nn::ResNet net(SmallResNet());
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kMetaLoraTr));
+  ASSERT_TRUE(r.ok());
+  int64_t sum = 0;
+  for (Adapter* a : r->adapters) sum += a->AdapterParamCount();
+  EXPECT_EQ(sum, r->adapter_param_count);
+  EXPECT_EQ(net.TrainableParamCount(), sum);
+}
+
+TEST(InjectTest, BareMlpInjectionRoutesThroughAdapters) {
+  // Regression: Mlp used to cache raw child pointers, so injected adapters
+  // were silently bypassed (no gradients, no adaptation).
+  Rng rng(21);
+  nn::Mlp mlp({8, 16, 4}, nn::Activation::kRelu, 0.0f, rng);
+  AdapterOptions opts = Opts(AdapterKind::kLora);
+  InjectionFilter filter;
+  filter.skip_names = {};
+  auto r = InjectAdapters(&mlp, opts, filter);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_wrapped_linears, 2);
+
+  nn::Variable x(RandomNormal(Shape{3, 8}, rng), false);
+  nn::Variable y = mlp.Forward(x);
+  ASSERT_TRUE(
+      autograd::Backward(autograd::SumAll(autograd::Mul(y, y))).ok());
+  // Adapter params must receive gradients, proving Forward goes through
+  // the injected wrappers.
+  int adapters_with_grad = 0;
+  for (auto& np : mlp.NamedParameters()) {
+    if (np.name.find("lora_a") != std::string::npos &&
+        np.variable->grad().defined()) {
+      ++adapters_with_grad;
+    }
+  }
+  EXPECT_EQ(adapters_with_grad, 2);
+}
+
+TEST(InjectTest, AdaptersUseDistinctSeeds) {
+  nn::ResNet net(SmallResNet());
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kLora));
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->adapters.size(), 2u);
+  // conv1 of stage0 and conv2 of stage0 have the same shape; their A inits
+  // must differ because injection salts the seed per adapter.
+  EXPECT_NE(r->adapters[1]->options().seed, r->adapters[2]->options().seed);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metalora

@@ -1,0 +1,121 @@
+#include "data/synthetic_recsys.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace data {
+namespace {
+
+RecsysSpec Spec() {
+  RecsysSpec s;
+  s.num_users = 6;
+  s.item_dim = 10;
+  s.embedding_dim = 4;
+  return s;
+}
+
+TEST(RecsysTest, DatasetShapes) {
+  RecsysWorld world(Spec(), 1);
+  RecsysDataset ds = world.Sample(20, 2);
+  EXPECT_EQ(ds.size(), 120);
+  EXPECT_EQ(ds.items.shape(), Shape({120, 10}));
+  EXPECT_EQ(ds.user_embeddings.shape(), Shape({6, 4}));
+  EXPECT_EQ(ds.labels.size(), 120u);
+  EXPECT_EQ(ds.user_ids.size(), 120u);
+}
+
+TEST(RecsysTest, EveryUserRepresentedEqually) {
+  RecsysWorld world(Spec(), 1);
+  RecsysDataset ds = world.Sample(15, 3);
+  std::map<int64_t, int> counts;
+  for (int64_t u : ds.user_ids) ++counts[u];
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [u, c] : counts) EXPECT_EQ(c, 15);
+}
+
+TEST(RecsysTest, LabelsAreBinaryAndBalancedIsh) {
+  RecsysWorld world(Spec(), 4);
+  RecsysDataset ds = world.Sample(100, 5);
+  int64_t likes = 0;
+  for (int64_t y : ds.labels) {
+    ASSERT_TRUE(y == 0 || y == 1);
+    likes += y;
+  }
+  const double frac = static_cast<double>(likes) / ds.size();
+  EXPECT_GT(frac, 0.25);
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST(RecsysTest, SameWorldSharesGroundTruthAcrossSamples) {
+  RecsysWorld world(Spec(), 6);
+  RecsysDataset a = world.Sample(10, 7);
+  RecsysDataset b = world.Sample(10, 8);
+  // User embeddings identical across samples of the same world.
+  EXPECT_TRUE(AllClose(a.user_embeddings, b.user_embeddings, 0.0f, 0.0f));
+  // But the items differ (different seed).
+  EXPECT_FALSE(AllClose(a.items, b.items));
+}
+
+TEST(RecsysTest, DifferentWorldsDiffer) {
+  RecsysWorld w1(Spec(), 10), w2(Spec(), 11);
+  EXPECT_FALSE(AllClose(w1.Sample(5, 1).user_embeddings,
+                        w2.Sample(5, 1).user_embeddings));
+}
+
+TEST(RecsysTest, PerSampleEmbeddingsGatherByUser) {
+  RecsysWorld world(Spec(), 12);
+  RecsysDataset ds = world.Sample(3, 13);
+  Tensor per_sample = ds.PerSampleEmbeddings();
+  EXPECT_EQ(per_sample.shape(), Shape({ds.size(), 4}));
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    const int64_t u = ds.user_ids[static_cast<size_t>(i)];
+    for (int64_t e = 0; e < 4; ++e) {
+      EXPECT_EQ(per_sample.flat(i * 4 + e), ds.user_embeddings.flat(u * 4 + e));
+    }
+  }
+}
+
+TEST(RecsysTest, PersonalizationSignalExists) {
+  // A linear probe on the shared direction alone cannot reach per-user
+  // consistency: verify user-private components actually flip labels, i.e.
+  // two users disagree on a noticeable fraction of identical items.
+  RecsysSpec spec = Spec();
+  spec.private_strength = 1.5f;
+  RecsysWorld world(spec, 14);
+  // Sample many items for user statistics via fresh datasets; approximate
+  // disagreement by label-rate differences across users on random items.
+  RecsysDataset ds = world.Sample(400, 15);
+  std::map<int64_t, double> like_rate;
+  std::map<int64_t, int> n;
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    like_rate[ds.user_ids[static_cast<size_t>(i)]] +=
+        static_cast<double>(ds.labels[static_cast<size_t>(i)]);
+    n[ds.user_ids[static_cast<size_t>(i)]]++;
+  }
+  double min_rate = 1.0, max_rate = 0.0;
+  for (auto& [u, r] : like_rate) {
+    r /= n[u];
+    min_rate = std::min(min_rate, r);
+    max_rate = std::max(max_rate, r);
+  }
+  // Users' like rates hover around 0.5 but items are labeled differently
+  // per user; the invariant we can assert cheaply is bounded rates.
+  EXPECT_GT(min_rate, 0.2);
+  EXPECT_LT(max_rate, 0.8);
+}
+
+TEST(RecsysTest, InvalidSpecsDie) {
+  RecsysSpec bad = Spec();
+  bad.num_users = 0;
+  EXPECT_DEATH(RecsysWorld(bad, 1), "");
+  RecsysWorld world(Spec(), 1);
+  EXPECT_DEATH(world.Sample(0, 1), "");
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace metalora

@@ -1,0 +1,55 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace metalora {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 3}, {1, 2, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {1}), 0.0);
+  EXPECT_DEATH(Accuracy({}, {}), "");
+  EXPECT_DEATH(Accuracy({1}, {1, 2}), "");
+}
+
+TEST(MetricsTest, LogitsAccuracy) {
+  Tensor logits = Tensor::FromVector(Shape{2, 3}, {0, 5, 0, 9, 0, 0});
+  EXPECT_DOUBLE_EQ(LogitsAccuracy(logits, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(LogitsAccuracy(logits, {1, 2}), 0.5);
+}
+
+TEST(MetricsTest, ConfusionMatrixRowNormalized) {
+  // True 0 predicted {0, 0, 1}; true 1 predicted {1}.
+  Tensor cm = ConfusionMatrix({0, 0, 1, 1}, {0, 0, 0, 1}, 2);
+  EXPECT_NEAR(cm.at({0, 0}), 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(cm.at({0, 1}), 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(cm.at({1, 0}), 0.0, 1e-6);
+  EXPECT_NEAR(cm.at({1, 1}), 1.0, 1e-6);
+}
+
+TEST(MetricsTest, ConfusionMatrixEmptyClassRowIsZero) {
+  Tensor cm = ConfusionMatrix({0}, {0}, 3);
+  EXPECT_EQ(cm.at({2, 0}), 0.0f);
+  EXPECT_EQ(cm.at({2, 2}), 0.0f);
+}
+
+TEST(MetricsTest, PerClassAccuracy) {
+  auto acc = PerClassAccuracy({0, 1, 1, 2}, {0, 1, 2, 2}, 3);
+  EXPECT_DOUBLE_EQ(acc[0], 1.0);
+  EXPECT_DOUBLE_EQ(acc[1], 1.0);
+  EXPECT_DOUBLE_EQ(acc[2], 0.5);
+}
+
+TEST(MetricsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 6.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({3.0, 3.0, 3.0}), 0.0);
+  EXPECT_DEATH(Mean({}), "");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace metalora

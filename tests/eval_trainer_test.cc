@@ -1,0 +1,189 @@
+#include "eval/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/task_suite.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace eval {
+namespace {
+
+data::MultiTaskDataset TinyData(int64_t count, uint64_t seed) {
+  data::ImageSpec spec{3, 16, 16};
+  data::SyntheticImageGenerator gen(spec, 3);
+  return data::MakeBaseDataset(gen, count, seed);
+}
+
+nn::ResNetConfig TinyResNet() {
+  nn::ResNetConfig c;
+  c.base_width = 4;
+  c.num_classes = 3;
+  c.seed = 1;
+  return c;
+}
+
+TEST(BackboneFactoryTest, Names) {
+  EXPECT_EQ(BackboneKindName(BackboneKind::kResNet), "ResNet");
+  EXPECT_EQ(BackboneKindName(BackboneKind::kMlpMixer), "MLP-Mixer");
+  EXPECT_EQ(BackboneKindName(BackboneKind::kTransformer), "ViT");
+}
+
+TEST(BackboneFactoryTest, AllKindsProduceWorkingBackbones) {
+  std::vector<Backbone> backbones;
+  backbones.push_back(MakeResNetBackbone(TinyResNet()));
+  {
+    nn::MlpMixerConfig c;
+    c.image_size = 16;
+    c.patch_size = 4;
+    c.hidden_dim = 16;
+    c.token_mlp_dim = 8;
+    c.channel_mlp_dim = 32;
+    c.num_blocks = 1;
+    c.num_classes = 3;
+    c.seed = 1;
+    backbones.push_back(MakeMixerBackbone(c));
+  }
+  {
+    nn::TransformerConfig c;
+    c.image_size = 16;
+    c.patch_size = 4;
+    c.dim = 16;
+    c.num_heads = 2;
+    c.mlp_dim = 32;
+    c.num_blocks = 1;
+    c.num_classes = 3;
+    c.seed = 1;
+    backbones.push_back(MakeTransformerBackbone(c));
+  }
+  autograd::NoGradGuard g;
+  for (auto& bb : backbones) {
+    bb.module->SetTraining(false);
+    nn::Variable x(Tensor::Ones(Shape{2, 3, 16, 16}), false);
+    EXPECT_EQ(bb.forward_logits(x).shape(), Shape({2, 3}));
+    EXPECT_EQ(bb.forward_features(x).shape(), Shape({2, bb.feature_dim}));
+    EXPECT_GT(bb.feature_dim, 0);
+  }
+}
+
+TEST(TrainerTest, RejectsBadOptions) {
+  Backbone bb = MakeResNetBackbone(TinyResNet());
+  data::MultiTaskDataset data = TinyData(16, 2);
+  TrainOptions bad;
+  bad.epochs = 0;
+  EXPECT_FALSE(PretrainBackbone(bb, data, bad).ok());
+  bad.epochs = 1;
+  bad.batch_size = 0;
+  EXPECT_FALSE(PretrainBackbone(bb, data, bad).ok());
+}
+
+TEST(TrainerTest, AdaptRequiresContext) {
+  Backbone bb = MakeResNetBackbone(TinyResNet());
+  data::MultiTaskDataset data = TinyData(16, 3);
+  TrainOptions opts;
+  opts.epochs = 1;
+  EXPECT_EQ(AdaptModel(bb, data, opts, nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerTest, AdaptWithFullyFrozenModelFails) {
+  Backbone bb = MakeResNetBackbone(TinyResNet());
+  bb.module->SetTrainable(false);
+  data::MultiTaskDataset data = TinyData(16, 4);
+  TrainOptions opts;
+  opts.epochs = 1;
+  AdaptContext ctx;  // empty injection: nothing trainable
+  EXPECT_EQ(AdaptModel(bb, data, opts, &ctx).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TrainerTest, AdaptationKeepsBatchNormStatsFrozen) {
+  // During adapter fine-tuning the backbone stays in eval mode, so running
+  // statistics must not drift.
+  Backbone bb = MakeResNetBackbone(TinyResNet());
+  data::MultiTaskDataset base = TinyData(32, 5);
+  TrainOptions popts;
+  popts.epochs = 1;
+  popts.batch_size = 16;
+  ASSERT_TRUE(PretrainBackbone(bb, base, popts).ok());
+
+  core::AdapterOptions aopts;
+  aopts.kind = core::AdapterKind::kLora;
+  aopts.rank = 2;
+  auto injection = core::InjectAdapters(bb.module.get(), aopts);
+  ASSERT_TRUE(injection.ok());
+
+  // Snapshot running stats.
+  std::map<std::string, Tensor> stats_before;
+  for (const auto& [name, t] : bb.module->StateDict()) {
+    if (name.find("buf:running") != std::string::npos) {
+      stats_before[name] = t;
+    }
+  }
+  ASSERT_FALSE(stats_before.empty());
+
+  AdaptContext ctx;
+  ctx.injection = injection.value();
+  TrainOptions adapt_opts;
+  adapt_opts.epochs = 1;
+  adapt_opts.batch_size = 16;
+  ASSERT_TRUE(AdaptModel(bb, base, adapt_opts, &ctx).ok());
+
+  for (const auto& [name, t] : bb.module->StateDict()) {
+    auto it = stats_before.find(name);
+    if (it != stats_before.end()) {
+      EXPECT_TRUE(AllClose(t, it->second, 0.0f, 0.0f))
+          << name << " drifted during adaptation";
+    }
+  }
+}
+
+TEST(TrainerTest, PretrainingUpdatesBatchNormStats) {
+  Backbone bb = MakeResNetBackbone(TinyResNet());
+  std::map<std::string, Tensor> before;
+  for (const auto& [name, t] : bb.module->StateDict()) {
+    if (name.find("buf:running_mean") != std::string::npos) before[name] = t;
+  }
+  data::MultiTaskDataset base = TinyData(32, 6);
+  TrainOptions opts;
+  opts.epochs = 1;
+  opts.batch_size = 16;
+  ASSERT_TRUE(PretrainBackbone(bb, base, opts).ok());
+  bool changed = false;
+  for (const auto& [name, t] : bb.module->StateDict()) {
+    auto it = before.find(name);
+    if (it != before.end() && !AllClose(t, it->second, 0.0f, 0.0f)) {
+      changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(TrainerTest, ExtractFeaturesIsDeterministic) {
+  Backbone bb = MakeResNetBackbone(TinyResNet());
+  data::MultiTaskDataset data = TinyData(20, 7);
+  Tensor a = ExtractDatasetFeatures(bb, data, 8, nullptr);
+  Tensor b = ExtractDatasetFeatures(bb, data, 8, nullptr);
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+  // Batch size must not change the result.
+  Tensor c = ExtractDatasetFeatures(bb, data, 5, nullptr);
+  EXPECT_TRUE(AllClose(a, c, 1e-5f, 1e-5f));
+}
+
+TEST(TrainerTest, TrainStatsArePopulated) {
+  Backbone bb = MakeResNetBackbone(TinyResNet());
+  data::MultiTaskDataset data = TinyData(32, 8);
+  TrainOptions opts;
+  opts.epochs = 2;
+  opts.batch_size = 16;
+  auto stats = PretrainBackbone(bb, data, opts);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->epoch_losses.size(), 2u);
+  EXPECT_GT(stats->seconds, 0.0);
+  EXPECT_GE(stats->final_train_accuracy, 0.0);
+  EXPECT_LE(stats->final_train_accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace metalora

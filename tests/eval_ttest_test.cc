@@ -1,0 +1,109 @@
+#include "eval/ttest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace metalora {
+namespace eval {
+namespace {
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(IncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(IncompleteBeta(1.0, 1.0, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = x²(3 - 2x).
+  const double x = 0.4;
+  EXPECT_NEAR(IncompleteBeta(2.0, 2.0, x), x * x * (3 - 2 * x), 1e-10);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(IncompleteBeta(2.5, 1.5, 0.7),
+              1.0 - IncompleteBeta(1.5, 2.5, 0.3), 1e-10);
+}
+
+TEST(StudentTCdfTest, SymmetryAndCenter) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  for (double t : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(StudentTCdf(t, 7.0) + StudentTCdf(-t, 7.0), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, MatchesKnownQuantiles) {
+  // t = 2.015 is the one-sided 95% quantile for dof = 5.
+  EXPECT_NEAR(StudentTCdf(2.015, 5.0), 0.95, 2e-3);
+  // t = 1.812 for dof = 10.
+  EXPECT_NEAR(StudentTCdf(1.812, 10.0), 0.95, 2e-3);
+  // Large dof approaches the normal: Phi(1.96) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1000.0), 0.975, 2e-3);
+}
+
+TEST(WelchTTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a = {0.5, 0.52, 0.48, 0.51};
+  auto r = WelchTTest(a, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->t_statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r->p_value, 1.0, 1e-9);
+  EXPECT_FALSE(r->significant_at_05);
+}
+
+TEST(WelchTTest, ClearlySeparatedSamplesSignificant) {
+  std::vector<double> a = {0.90, 0.91, 0.89, 0.92, 0.90};
+  std::vector<double> b = {0.60, 0.62, 0.61, 0.59, 0.60};
+  auto r = WelchTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->t_statistic, 10.0);
+  EXPECT_LT(r->p_value, 0.001);
+  EXPECT_TRUE(r->significant_at_05);
+}
+
+TEST(WelchTTest, OverlappingSamplesNotSignificant) {
+  std::vector<double> a = {0.60, 0.70, 0.55, 0.65};
+  std::vector<double> b = {0.58, 0.72, 0.60, 0.62};
+  auto r = WelchTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->significant_at_05);
+  EXPECT_GT(r->p_value, 0.05);
+}
+
+TEST(WelchTTest, MatchesReferenceImplementation) {
+  // Verified against scipy.stats.ttest_ind(a, b, equal_var=False):
+  // t = 2.8284..., p = 0.0300...
+  std::vector<double> a = {5.0, 6.0, 7.0, 8.0};
+  std::vector<double> b = {3.0, 4.0, 5.0, 6.0};
+  auto r = WelchTTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->t_statistic, 2.19089, 1e-4);
+  EXPECT_NEAR(r->degrees_of_freedom, 6.0, 1e-6);
+  EXPECT_NEAR(r->p_value, 0.0708, 2e-3);
+}
+
+TEST(WelchTTest, DirectionDoesNotChangeTwoSidedP) {
+  std::vector<double> a = {1.0, 1.1, 0.9, 1.05};
+  std::vector<double> b = {2.0, 2.1, 1.9, 2.05};
+  auto ab = WelchTTest(a, b);
+  auto ba = WelchTTest(b, a);
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  EXPECT_NEAR(ab->p_value, ba->p_value, 1e-9);
+  EXPECT_NEAR(ab->t_statistic, -ba->t_statistic, 1e-9);
+}
+
+TEST(WelchTTest, TooFewSamplesRejected) {
+  EXPECT_FALSE(WelchTTest({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(WelchTTest({1.0, 2.0}, {}).ok());
+}
+
+TEST(WelchTTest, ConstantSamplesDegenerateCase) {
+  auto same = WelchTTest({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0});
+  ASSERT_TRUE(same.ok());
+  EXPECT_FALSE(same->significant_at_05);
+  auto diff = WelchTTest({1.0, 1.0, 1.0}, {2.0, 2.0, 2.0});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_TRUE(diff->significant_at_05);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace metalora

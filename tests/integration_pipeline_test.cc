@@ -1,0 +1,150 @@
+// End-to-end integration: the full pretrain -> inject -> adapt -> KNN
+// pipeline at miniature scale. These tests validate the wiring the Table-I
+// benches rely on, not final accuracy numbers.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/knn.h"
+
+namespace metalora {
+namespace eval {
+namespace {
+
+ExperimentConfig TinyConfig(BackboneKind kind) {
+  ExperimentConfig c;
+  c.backbone = kind;
+  c.image_size = 16;
+  c.num_classes = 3;
+  c.num_tasks = 2;
+  c.per_task_train = 24;
+  c.per_task_test = 12;
+  c.pretrain_samples = 48;
+  c.resnet_width = 4;
+  c.resnet_blocks = 1;
+  c.mixer_hidden = 16;
+  c.mixer_blocks = 1;
+  c.mixer_patch = 4;
+  c.rank = 2;
+  c.pretrain.epochs = 2;
+  c.pretrain.batch_size = 16;
+  c.adapt.epochs = 2;
+  c.adapt.batch_size = 16;
+  c.knn_ks = {5};
+  c.num_seeds = 1;
+  c.seed = 123;
+  return c;
+}
+
+TEST(PipelineTest, PretrainingReducesLoss) {
+  ExperimentConfig c = TinyConfig(BackboneKind::kResNet);
+  data::ImageSpec spec{3, c.image_size, c.image_size};
+  data::SyntheticImageGenerator gen(spec, c.num_classes);
+  data::MultiTaskDataset base = data::MakeBaseDataset(gen, 64, 9);
+  nn::ResNetConfig rc;
+  rc.base_width = 4;
+  rc.num_classes = c.num_classes;
+  rc.seed = 1;
+  Backbone bb = MakeResNetBackbone(rc);
+  TrainOptions opts;
+  opts.epochs = 4;
+  opts.batch_size = 16;
+  opts.lr = 3e-3;
+  auto stats = PretrainBackbone(bb, base, opts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_GE(stats->epoch_losses.size(), 2u);
+  EXPECT_LT(stats->epoch_losses.back(), stats->epoch_losses.front());
+}
+
+TEST(PipelineTest, EmptyDatasetRejected) {
+  nn::ResNetConfig rc;
+  rc.base_width = 4;
+  rc.seed = 1;
+  Backbone bb = MakeResNetBackbone(rc);
+  data::MultiTaskDataset empty;
+  TrainOptions opts;
+  EXPECT_FALSE(PretrainBackbone(bb, empty, opts).ok());
+}
+
+TEST(PipelineTest, SingleRunLoraCompletes) {
+  auto r = RunSingleAdaptation(TinyConfig(BackboneKind::kResNet),
+                               core::AdapterKind::kLora, 5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->knn.count(5));
+  EXPECT_GE(r->knn.at(5), 0.0);
+  EXPECT_LE(r->knn.at(5), 1.0);
+  EXPECT_GT(r->trainable_params, 0);
+  EXPECT_LT(r->trainable_params, r->total_params);
+  // Per-task breakdown covers both tasks.
+  EXPECT_EQ(r->per_task.size(), 2u);
+}
+
+TEST(PipelineTest, SingleRunMetaTrCompletesOnResNet) {
+  auto r = RunSingleAdaptation(TinyConfig(BackboneKind::kResNet),
+                               core::AdapterKind::kMetaLoraTr, 6);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->knn.at(5), 0.0);
+}
+
+TEST(PipelineTest, SingleRunMetaCpCompletesOnMixer) {
+  auto r = RunSingleAdaptation(TinyConfig(BackboneKind::kMlpMixer),
+                               core::AdapterKind::kMetaLoraCp, 7);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->knn.at(5), 0.0);
+}
+
+TEST(PipelineTest, OriginalNeedsNoTraining) {
+  auto r = RunSingleAdaptation(TinyConfig(BackboneKind::kResNet),
+                               core::AdapterKind::kNone, 8);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->trainable_params, 0);
+  EXPECT_EQ(r->adapt_seconds, 0.0);
+}
+
+TEST(PipelineTest, UnseenTaskExclusionRuns) {
+  auto r = RunSingleAdaptation(TinyConfig(BackboneKind::kResNet),
+                               core::AdapterKind::kLora, 9,
+                               /*exclude_task_from_adapt=*/1);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->per_task.count(1));
+}
+
+TEST(PipelineTest, Table1ExperimentProducesAllMethods) {
+  ExperimentConfig c = TinyConfig(BackboneKind::kResNet);
+  c.num_seeds = 2;  // enables the t-test path
+  std::vector<core::AdapterKind> methods = {
+      core::AdapterKind::kNone, core::AdapterKind::kLora,
+      core::AdapterKind::kMetaLoraTr};
+  auto table = RunTable1Experiment(c, methods);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->methods.size(), 3u);
+  for (const auto& m : table->methods) {
+    ASSERT_TRUE(m.mean_accuracy.count(5));
+    EXPECT_EQ(m.accuracies.at(5).size(), 2u);
+  }
+  // Significance comparison was produced for K=5.
+  EXPECT_TRUE(table->significance.count(5));
+  EXPECT_EQ(table->best_meta.at(5), core::AdapterKind::kMetaLoraTr);
+}
+
+TEST(PipelineTest, NoMethodsRejected) {
+  EXPECT_FALSE(
+      RunTable1Experiment(TinyConfig(BackboneKind::kResNet), {}).ok());
+}
+
+TEST(PipelineTest, ExtractDatasetFeaturesShape) {
+  ExperimentConfig c = TinyConfig(BackboneKind::kResNet);
+  data::ImageSpec spec{3, c.image_size, c.image_size};
+  data::SyntheticImageGenerator gen(spec, c.num_classes);
+  data::MultiTaskDataset ds = data::MakeBaseDataset(gen, 20, 3);
+  nn::ResNetConfig rc;
+  rc.base_width = 4;
+  rc.num_classes = c.num_classes;
+  rc.seed = 2;
+  Backbone bb = MakeResNetBackbone(rc);
+  Tensor feats = ExtractDatasetFeatures(bb, ds, 8, nullptr);
+  EXPECT_EQ(feats.shape(), Shape({20, bb.feature_dim}));
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace metalora

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/graph.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/norm.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace nn {
+namespace {
+
+TEST(LinearLayerTest, ShapeAndBias) {
+  Rng rng(1);
+  Linear fc(8, 3, /*bias=*/true, rng);
+  Variable x(Tensor::Ones(Shape{5, 8}), false);
+  Variable y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({5, 3}));
+  EXPECT_EQ(fc.ParamCount(), 8 * 3 + 3);
+}
+
+TEST(LinearLayerTest, MatchesManualAffineMap) {
+  Rng rng(2);
+  Linear fc(3, 2, true, rng);
+  Tensor x = RandomNormal(Shape{4, 3}, rng);
+  Variable y = fc.Forward(Variable(x, false));
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t o = 0; o < 2; ++o) {
+      double acc = fc.bias().value().flat(o);
+      for (int64_t j = 0; j < 3; ++j)
+        acc += static_cast<double>(x.flat(i * 3 + j)) *
+               fc.weight().value().flat(o * 3 + j);
+      EXPECT_NEAR(y.value().flat(i * 2 + o), acc, 1e-4);
+    }
+  }
+}
+
+TEST(LinearLayerTest, NoBiasHasFewerParams) {
+  Rng rng(3);
+  Linear fc(8, 3, /*bias=*/false, rng);
+  EXPECT_EQ(fc.ParamCount(), 24);
+  EXPECT_FALSE(fc.has_bias());
+}
+
+TEST(Conv2dLayerTest, ShapeWithStridePadding) {
+  Rng rng(4);
+  Conv2d conv(3, 8, 3, 2, 1, true, rng);
+  Variable x(Tensor::Ones(Shape{2, 3, 8, 8}), false);
+  Variable y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 4, 4}));
+  EXPECT_EQ(conv.ParamCount(), 8 * 3 * 9 + 8);
+}
+
+TEST(BatchNormLayerTest, TrainEvalConsistency) {
+  // After training on a fixed batch, eval statistics should roughly
+  // reproduce the training normalization for the same batch.
+  Rng rng(5);
+  BatchNorm2d bn(3, /*momentum=*/1.0f);  // running <- batch exactly
+  Tensor x = RandomNormal(Shape{8, 3, 4, 4}, rng, 2.0f, 3.0f);
+  bn.SetTraining(true);
+  Variable y_train = bn.Forward(Variable(x, false));
+  bn.SetTraining(false);
+  Variable y_eval = bn.Forward(Variable(x, false));
+  // Unbiased vs biased variance causes a small systematic gap; loose bound.
+  EXPECT_LT(MaxAbsDiff(y_train.value(), y_eval.value()), 0.05f);
+}
+
+TEST(LayerNormLayerTest, OutputShapeMatchesInput) {
+  LayerNorm ln(6);
+  Rng rng(6);
+  Variable x(RandomNormal(Shape{2, 5, 6}, rng), false);
+  Variable y = ln.Forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(ActivationLayersTest, ElementwiseValues) {
+  Variable x(Tensor::FromVector(Shape{3}, {-1.0f, 0.0f, 2.0f}), false);
+  EXPECT_EQ(Relu().Forward(x).value().ToVector(),
+            (std::vector<float>{0, 0, 2}));
+  Tensor sig = Sigmoid().Forward(x).value();
+  EXPECT_NEAR(sig.flat(1), 0.5f, 1e-6);
+  Tensor th = Tanh().Forward(x).value();
+  EXPECT_NEAR(th.flat(2), std::tanh(2.0f), 1e-6);
+  Tensor ge = Gelu().Forward(x).value();
+  EXPECT_NEAR(ge.flat(1), 0.0f, 1e-6);
+  EXPECT_GT(ge.flat(2), 1.9f);  // gelu(2) ~ 1.954
+}
+
+TEST(PoolingLayersTest, Shapes) {
+  Rng rng(7);
+  Variable x(RandomNormal(Shape{2, 3, 8, 8}, rng), false);
+  EXPECT_EQ(MaxPool2d(2, 2).Forward(x).shape(), Shape({2, 3, 4, 4}));
+  EXPECT_EQ(AvgPool2d(4, 4).Forward(x).shape(), Shape({2, 3, 2, 2}));
+  EXPECT_EQ(GlobalAvgPool().Forward(x).shape(), Shape({2, 3}));
+}
+
+TEST(SequentialTest, AppliesInOrder) {
+  Sequential seq;
+  Rng rng(8);
+  seq.Add(std::make_unique<Linear>(4, 8, true, rng));
+  seq.Add(std::make_unique<Relu>());
+  seq.Add(std::make_unique<Linear>(8, 2, true, rng));
+  Variable x(Tensor::Ones(Shape{3, 4}), false);
+  Variable y = seq.Forward(x);
+  EXPECT_EQ(y.shape(), Shape({3, 2}));
+  EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(MlpTest, DimsValidation) {
+  Rng rng(9);
+  EXPECT_DEATH(Mlp({4}, Activation::kRelu, 0.0f, rng), "at least");
+}
+
+TEST(MlpTest, ForwardShapeAndParamCount) {
+  Rng rng(10);
+  Mlp mlp({4, 16, 8, 2}, Activation::kGelu, 0.0f, rng);
+  Variable x(Tensor::Ones(Shape{5, 4}), false);
+  EXPECT_EQ(mlp.Forward(x).shape(), Shape({5, 2}));
+  EXPECT_EQ(mlp.ParamCount(),
+            (4 * 16 + 16) + (16 * 8 + 8) + (8 * 2 + 2));
+}
+
+TEST(MlpTest, DropoutOnlyInTraining) {
+  Rng rng(11);
+  Mlp mlp({8, 32, 8}, Activation::kRelu, 0.5f, rng);
+  Variable x(Tensor::Ones(Shape{2, 8}), false);
+  mlp.SetTraining(false);
+  Tensor a = mlp.Forward(x).value();
+  Tensor b = mlp.Forward(x).value();
+  EXPECT_TRUE(AllClose(a, b));  // deterministic in eval
+  mlp.SetTraining(true);
+  Tensor c = mlp.Forward(x).value();
+  Tensor d = mlp.Forward(x).value();
+  EXPECT_FALSE(AllClose(c, d));  // stochastic in training
+}
+
+TEST(LayerGradientTest, LinearTrainsOnLeastSquares) {
+  // One gradient step on y = Wx must reduce the loss.
+  Rng rng(12);
+  Linear fc(3, 1, true, rng);
+  Tensor x = RandomNormal(Shape{16, 3}, rng);
+  Tensor target = RandomNormal(Shape{16, 1}, rng);
+
+  auto loss_value = [&]() {
+    autograd::NoGradGuard g;
+    Variable y = fc.Forward(Variable(x, false));
+    return autograd::MseLoss(y, target).value().flat(0);
+  };
+  const float before = loss_value();
+  for (int step = 0; step < 20; ++step) {
+    fc.ZeroGrad();
+    Variable y = fc.Forward(Variable(x, false));
+    Variable loss = autograd::MseLoss(y, target);
+    ASSERT_TRUE(autograd::Backward(loss).ok());
+    for (auto* p : fc.TrainableParameters()) {
+      AxpyInPlace(p->mutable_value(), -0.1f, p->grad());
+    }
+  }
+  EXPECT_LT(loss_value(), before * 0.5f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace metalora

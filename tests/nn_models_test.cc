@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "autograd/graph.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/mlp_mixer.h"
+#include "nn/resnet.h"
+#include "optim/adam.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace nn {
+namespace {
+
+ResNetConfig SmallResNet() {
+  ResNetConfig c;
+  c.base_width = 4;
+  c.blocks_per_stage = 1;
+  c.num_classes = 3;
+  c.seed = 5;
+  return c;
+}
+
+MlpMixerConfig SmallMixer() {
+  MlpMixerConfig c;
+  c.image_size = 16;
+  c.patch_size = 4;
+  c.hidden_dim = 16;
+  c.token_mlp_dim = 8;
+  c.channel_mlp_dim = 32;
+  c.num_blocks = 2;
+  c.num_classes = 3;
+  c.seed = 5;
+  return c;
+}
+
+TEST(ResNetTest, ForwardShapes) {
+  ResNet net(SmallResNet());
+  Variable x(Tensor::Ones(Shape{2, 3, 16, 16}), false);
+  Variable feats = net.ForwardFeatures(x);
+  EXPECT_EQ(feats.shape(), Shape({2, net.feature_dim()}));
+  EXPECT_EQ(net.feature_dim(), 16);  // 4 * base_width
+  Variable logits = net.Forward(x);
+  EXPECT_EQ(logits.shape(), Shape({2, 3}));
+}
+
+TEST(ResNetTest, DifferentSeedsGiveDifferentWeights) {
+  ResNetConfig a = SmallResNet(), b = SmallResNet();
+  b.seed = 99;
+  ResNet na(a), nb(b);
+  auto sa = na.StateDict(), sb = nb.StateDict();
+  EXPECT_FALSE(AllClose(sa.at("stem/weight"), sb.at("stem/weight")));
+}
+
+TEST(ResNetTest, DeterministicConstruction) {
+  ResNet a(SmallResNet()), b(SmallResNet());
+  EXPECT_TRUE(AllClose(a.StateDict().at("stem/weight"),
+                       b.StateDict().at("stem/weight")));
+}
+
+TEST(ResNetTest, EvalForwardIsDeterministic) {
+  ResNet net(SmallResNet());
+  net.SetTraining(false);
+  Rng rng(1);
+  Tensor x = RandomNormal(Shape{2, 3, 16, 16}, rng);
+  autograd::NoGradGuard g;
+  Tensor y1 = net.Forward(Variable(x, false)).value();
+  Tensor y2 = net.Forward(Variable(x, false)).value();
+  EXPECT_TRUE(AllClose(y1, y2));
+}
+
+TEST(ResNetTest, GradientsReachEveryParameter) {
+  ResNet net(SmallResNet());
+  net.SetTraining(true);
+  Rng rng(2);
+  Variable x(RandomNormal(Shape{4, 3, 16, 16}, rng), false);
+  Variable loss = autograd::SoftmaxCrossEntropy(net.Forward(x), {0, 1, 2, 0});
+  ASSERT_TRUE(autograd::Backward(loss).ok());
+  for (auto& np : net.NamedParameters()) {
+    EXPECT_TRUE(np.variable->grad().defined()) << np.name;
+  }
+}
+
+TEST(ResNetTest, MultipleBlocksPerStage) {
+  ResNetConfig c = SmallResNet();
+  c.blocks_per_stage = 2;
+  ResNet net(c);
+  Variable x(Tensor::Ones(Shape{1, 3, 16, 16}), false);
+  EXPECT_EQ(net.Forward(x).shape(), Shape({1, 3}));
+}
+
+TEST(MixerTest, ForwardShapes) {
+  MlpMixer net(SmallMixer());
+  EXPECT_EQ(net.num_tokens(), 16);  // (16/4)²
+  Variable x(Tensor::Ones(Shape{2, 3, 16, 16}), false);
+  Variable feats = net.ForwardFeatures(x);
+  EXPECT_EQ(feats.shape(), Shape({2, 16}));
+  EXPECT_EQ(net.Forward(x).shape(), Shape({2, 3}));
+}
+
+TEST(MixerTest, PatchSizeMustDivide) {
+  MlpMixerConfig c = SmallMixer();
+  c.patch_size = 5;
+  EXPECT_DEATH(MlpMixer{c}, "divide");
+}
+
+TEST(MixerTest, GradientsReachEveryParameter) {
+  MlpMixer net(SmallMixer());
+  Rng rng(3);
+  Variable x(RandomNormal(Shape{2, 3, 16, 16}, rng), false);
+  Variable loss = autograd::SoftmaxCrossEntropy(net.Forward(x), {0, 2});
+  ASSERT_TRUE(autograd::Backward(loss).ok());
+  for (auto& np : net.NamedParameters()) {
+    EXPECT_TRUE(np.variable->grad().defined()) << np.name;
+  }
+}
+
+// Integration: both backbones must be able to fit a trivially separable
+// 2-class problem in a few Adam steps.
+template <typename Net>
+void TrainToSeparate(Net& net) {
+  Rng rng(4);
+  // Class 0: dark images; class 1: bright images.
+  const int64_t n = 16;
+  Tensor x{Shape{n, 3, 16, 16}};
+  std::vector<int64_t> labels(n);
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = i % 2;
+    const float base = (i % 2 == 0) ? 0.1f : 0.9f;
+    for (int64_t k = 0; k < 3 * 16 * 16; ++k) {
+      net.SetTraining(true);
+      x.flat(i * 3 * 16 * 16 + k) =
+          base + static_cast<float>(rng.Normal(0.0, 0.05));
+    }
+  }
+  std::vector<autograd::Variable> params;
+  for (auto* p : net.TrainableParameters()) params.push_back(*p);
+  optim::AdamOptions opts;
+  opts.lr = 5e-3;
+  optim::Adam adam(params, opts);
+  float final_loss = 1e9f;
+  for (int step = 0; step < 30; ++step) {
+    net.ZeroGrad();
+    autograd::Variable logits = net.Forward(autograd::Variable(x, false));
+    autograd::Variable loss = autograd::SoftmaxCrossEntropy(logits, labels);
+    ASSERT_TRUE(autograd::Backward(loss).ok());
+    adam.Step();
+    final_loss = loss.value().flat(0);
+  }
+  EXPECT_LT(final_loss, 0.3f);
+}
+
+TEST(ModelTrainingTest, ResNetFitsSeparableData) {
+  ResNetConfig c = SmallResNet();
+  c.num_classes = 2;
+  ResNet net(c);
+  TrainToSeparate(net);
+}
+
+TEST(ModelTrainingTest, MixerFitsSeparableData) {
+  MlpMixerConfig c = SmallMixer();
+  c.num_classes = 2;
+  MlpMixer net(c);
+  TrainToSeparate(net);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace metalora

@@ -1,0 +1,183 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace nn {
+namespace {
+
+// A tiny module with one param, one buffer, one child.
+class Probe : public Module {
+ public:
+  explicit Probe(bool with_child) : Module("Probe") {
+    w_ = RegisterParameter("w", Tensor::Ones(Shape{2, 2}));
+    RegisterBuffer("stats", Tensor::Zeros(Shape{2}));
+    if (with_child) {
+      RegisterModule("inner", std::make_unique<Probe>(false));
+    }
+  }
+  Variable Forward(const Variable& x) override { return x; }
+
+ private:
+  Variable w_;
+};
+
+TEST(ModuleTest, NamedParametersArePrefixed) {
+  Probe m(true);
+  auto named = m.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].name, "w");
+  EXPECT_EQ(named[1].name, "inner/w");
+}
+
+TEST(ModuleTest, ParamCounts) {
+  Probe m(true);
+  EXPECT_EQ(m.ParamCount(), 8);
+  EXPECT_EQ(m.TrainableParamCount(), 8);
+  m.SetTrainable(false);
+  EXPECT_EQ(m.TrainableParamCount(), 0);
+  EXPECT_EQ(m.ParamCount(), 8);
+}
+
+TEST(ModuleTest, DuplicateNamesDie) {
+  class Bad : public Module {
+   public:
+    Bad() : Module("Bad") {
+      RegisterParameter("p", Tensor::Ones(Shape{1}));
+      RegisterParameter("p", Tensor::Ones(Shape{1}));
+    }
+    Variable Forward(const Variable& x) override { return x; }
+  };
+  EXPECT_DEATH(Bad{}, "duplicate parameter");
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  Probe m(true);
+  EXPECT_TRUE(m.training());
+  m.SetTraining(false);
+  EXPECT_FALSE(m.training());
+  EXPECT_FALSE(m.Child("inner")->training());
+}
+
+TEST(ModuleTest, ZeroGradClearsSubtree) {
+  Probe m(true);
+  for (auto* p : m.Parameters()) {
+    p->AccumulateGrad(Tensor::Ones(p->shape()));
+  }
+  m.ZeroGrad();
+  for (auto* p : m.Parameters()) EXPECT_FALSE(p->grad().defined());
+}
+
+TEST(ModuleTest, StateDictContainsParamsAndBuffers) {
+  Probe m(true);
+  auto state = m.StateDict();
+  EXPECT_EQ(state.size(), 4u);  // 2 params + 2 buffers
+  EXPECT_TRUE(state.count("w"));
+  EXPECT_TRUE(state.count("buf:stats"));
+  EXPECT_TRUE(state.count("inner/w"));
+  EXPECT_TRUE(state.count("inner/buf:stats"));
+}
+
+TEST(ModuleTest, LoadStateDictRoundTrip) {
+  Rng rng(1);
+  Linear a(4, 3, /*bias=*/true, rng);
+  Linear b(4, 3, /*bias=*/true, rng);
+  EXPECT_FALSE(AllClose(a.weight().value(), b.weight().value()));
+  ASSERT_TRUE(b.LoadStateDict(a.StateDict()).ok());
+  EXPECT_TRUE(AllClose(a.weight().value(), b.weight().value()));
+}
+
+TEST(ModuleTest, LoadStateDictMissingKeyFails) {
+  Rng rng(2);
+  Linear a(4, 3, true, rng);
+  auto state = a.StateDict();
+  state.erase("bias");
+  EXPECT_EQ(a.LoadStateDict(state).code(), StatusCode::kNotFound);
+}
+
+TEST(ModuleTest, LoadStateDictExtraKeyFails) {
+  Rng rng(3);
+  Linear a(4, 3, true, rng);
+  auto state = a.StateDict();
+  state["bogus"] = Tensor::Ones(Shape{1});
+  EXPECT_EQ(a.LoadStateDict(state).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModuleTest, LoadStateDictShapeMismatchFails) {
+  Rng rng(4);
+  Linear a(4, 3, true, rng);
+  auto state = a.StateDict();
+  state["weight"] = Tensor::Ones(Shape{3, 5});
+  EXPECT_EQ(a.LoadStateDict(state).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModuleTest, CheckpointFileRoundTrip) {
+  const std::string path = "/tmp/ml_module_ckpt.bin";
+  Rng rng(5);
+  Conv2d a(3, 4, 3, 1, 1, true, rng);
+  Conv2d b(3, 4, 3, 1, 1, true, rng);
+  ASSERT_TRUE(a.SaveCheckpoint(path).ok());
+  ASSERT_TRUE(b.LoadCheckpoint(path).ok());
+  EXPECT_TRUE(AllClose(a.weight().value(), b.weight().value()));
+  std::remove(path.c_str());
+}
+
+TEST(ModuleTest, ReplaceChildSwapsAndReturnsOld) {
+  Sequential seq;
+  Rng rng(6);
+  seq.Add(std::make_unique<Linear>(4, 4, false, rng));
+  Module* original = seq.Child("0");
+  auto old = seq.ReplaceChild("0", std::make_unique<Linear>(4, 4, false, rng));
+  EXPECT_EQ(old.get(), original);
+  EXPECT_NE(seq.Child("0"), original);
+}
+
+TEST(ModuleTest, ReplaceUnknownChildDies) {
+  Sequential seq;
+  EXPECT_DEATH(
+      seq.ReplaceChild("nope", std::make_unique<Sequential>()),
+      "no child named");
+}
+
+TEST(ModuleTest, TakeAndAdoptChild) {
+  Sequential seq;
+  Rng rng(7);
+  seq.Add(std::make_unique<Linear>(2, 2, false, rng));
+  auto taken = seq.TakeChild("0");
+  EXPECT_EQ(seq.Child("0"), nullptr);
+  seq.AdoptChild("0", std::move(taken));
+  EXPECT_NE(seq.Child("0"), nullptr);
+}
+
+TEST(ModuleTest, NamedChildrenOrder) {
+  Sequential seq;
+  Rng rng(8);
+  seq.Add(std::make_unique<Linear>(2, 2, false, rng));
+  seq.Add(std::make_unique<Linear>(2, 2, false, rng));
+  auto children = seq.NamedChildren();
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].first, "0");
+  EXPECT_EQ(children[1].first, "1");
+}
+
+TEST(ModuleTest, BatchNormBuffersInStateDict) {
+  BatchNorm2d bn(4);
+  auto state = bn.StateDict();
+  EXPECT_TRUE(state.count("buf:running_mean"));
+  EXPECT_TRUE(state.count("buf:running_var"));
+  EXPECT_TRUE(state.count("gamma"));
+  EXPECT_TRUE(state.count("beta"));
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace metalora

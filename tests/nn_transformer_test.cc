@@ -1,0 +1,214 @@
+#include "nn/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/graph.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "core/inject.h"
+#include "nn/attention.h"
+#include "optim/adam.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace nn {
+namespace {
+
+TransformerConfig SmallVit() {
+  TransformerConfig c;
+  c.image_size = 16;
+  c.patch_size = 4;
+  c.dim = 16;
+  c.num_heads = 4;
+  c.mlp_dim = 32;
+  c.num_blocks = 2;
+  c.num_classes = 3;
+  c.seed = 5;
+  return c;
+}
+
+TEST(SoftmaxLastDimTest, SlicesSumToOne) {
+  Rng rng(1);
+  autograd::Variable x(RandomNormal(Shape{2, 3, 5}, rng), false);
+  autograd::Variable p = autograd::SoftmaxLastDim(x);
+  EXPECT_EQ(p.shape(), x.shape());
+  for (int64_t r = 0; r < 6; ++r) {
+    double sum = 0;
+    for (int64_t j = 0; j < 5; ++j) sum += p.value().flat(r * 5 + j);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxLastDimTest, GradientCheck) {
+  Rng rng(2);
+  Tensor x = RandomUniform(Shape{2, 3, 4}, rng, -1.0f, 1.0f);
+  auto report = autograd::CheckGradients(
+      [](const std::vector<autograd::Variable>& v) {
+        autograd::Variable p = autograd::SoftmaxLastDim(v[0]);
+        return autograd::SumAll(autograd::Mul(p, v[0]));
+      },
+      {x});
+  EXPECT_TRUE(report.passed) << report.max_rel_error;
+}
+
+TEST(AttentionTest, OutputShapeMatchesInput) {
+  Rng rng(3);
+  MultiHeadSelfAttention attn(16, 4, rng);
+  autograd::Variable x(RandomNormal(Shape{2, 9, 16}, rng), false);
+  autograd::Variable y = attn.Forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(AttentionTest, HeadConfigValidation) {
+  Rng rng(4);
+  EXPECT_DEATH(MultiHeadSelfAttention(15, 4, rng), "divisible");
+}
+
+TEST(AttentionTest, HasFourProjections) {
+  Rng rng(5);
+  MultiHeadSelfAttention attn(16, 2, rng);
+  EXPECT_NE(attn.Child("q_proj"), nullptr);
+  EXPECT_NE(attn.Child("k_proj"), nullptr);
+  EXPECT_NE(attn.Child("v_proj"), nullptr);
+  EXPECT_NE(attn.Child("out_proj"), nullptr);
+  // 4 projections of D x D each, plus biases.
+  EXPECT_EQ(attn.ParamCount(), 4 * (16 * 16 + 16));
+}
+
+TEST(AttentionTest, GradientsReachAllProjections) {
+  Rng rng(6);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  autograd::Variable x(RandomNormal(Shape{2, 4, 8}, rng), false);
+  autograd::Variable y = attn.Forward(x);
+  ASSERT_TRUE(
+      autograd::Backward(autograd::SumAll(autograd::Mul(y, y))).ok());
+  for (auto& np : attn.NamedParameters()) {
+    EXPECT_TRUE(np.variable->grad().defined()) << np.name;
+  }
+}
+
+TEST(AttentionTest, PermutationEquivariance) {
+  // Self-attention without positions is equivariant to token permutation:
+  // swapping two input tokens swaps the corresponding outputs.
+  Rng rng(7);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  attn.SetTraining(false);
+  Tensor x = RandomNormal(Shape{1, 3, 8}, rng);
+  Tensor x_swapped = x.Clone();
+  for (int64_t j = 0; j < 8; ++j) {
+    std::swap(x_swapped.flat(0 * 8 + j), x_swapped.flat(1 * 8 + j));
+  }
+  autograd::NoGradGuard g;
+  Tensor y = attn.Forward(autograd::Variable(x, false)).value();
+  Tensor y_swapped =
+      attn.Forward(autograd::Variable(x_swapped, false)).value();
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(y.flat(0 * 8 + j), y_swapped.flat(1 * 8 + j), 1e-4);
+    EXPECT_NEAR(y.flat(1 * 8 + j), y_swapped.flat(0 * 8 + j), 1e-4);
+    EXPECT_NEAR(y.flat(2 * 8 + j), y_swapped.flat(2 * 8 + j), 1e-4);
+  }
+}
+
+TEST(VisionTransformerTest, ForwardShapes) {
+  VisionTransformer vit(SmallVit());
+  autograd::Variable x(Tensor::Ones(Shape{2, 3, 16, 16}), false);
+  EXPECT_EQ(vit.num_tokens(), 16);
+  EXPECT_EQ(vit.ForwardFeatures(x).shape(), Shape({2, 16}));
+  EXPECT_EQ(vit.Forward(x).shape(), Shape({2, 3}));
+}
+
+TEST(VisionTransformerTest, PatchSizeMustDivide) {
+  TransformerConfig c = SmallVit();
+  c.patch_size = 5;
+  EXPECT_DEATH(VisionTransformer{c}, "divide");
+}
+
+TEST(VisionTransformerTest, GradientsReachEveryParameter) {
+  VisionTransformer vit(SmallVit());
+  Rng rng(8);
+  autograd::Variable x(RandomNormal(Shape{2, 3, 16, 16}, rng), false);
+  autograd::Variable loss =
+      autograd::SoftmaxCrossEntropy(vit.Forward(x), {0, 2});
+  ASSERT_TRUE(autograd::Backward(loss).ok());
+  for (auto& np : vit.NamedParameters()) {
+    EXPECT_TRUE(np.variable->grad().defined()) << np.name;
+  }
+}
+
+TEST(VisionTransformerTest, PositionalEmbeddingBreaksEquivariance) {
+  // Unlike bare attention, the ViT must distinguish token positions.
+  VisionTransformer vit(SmallVit());
+  vit.SetTraining(false);
+  Rng rng(9);
+  Tensor a = RandomNormal(Shape{1, 3, 16, 16}, rng);
+  // Flip the image horizontally: patch contents permute.
+  Tensor b = a.Clone();
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t y = 0; y < 16; ++y) {
+      for (int64_t x2 = 0; x2 < 8; ++x2) {
+        std::swap(b.flat((c * 16 + y) * 16 + x2),
+                  b.flat((c * 16 + y) * 16 + (15 - x2)));
+      }
+    }
+  }
+  autograd::NoGradGuard g;
+  Tensor fa = vit.ForwardFeatures(autograd::Variable(a, false)).value();
+  Tensor fb = vit.ForwardFeatures(autograd::Variable(b, false)).value();
+  EXPECT_FALSE(AllClose(fa, fb, 1e-3f, 1e-3f));
+}
+
+TEST(VisionTransformerTest, AdapterInjectionWrapsProjections) {
+  VisionTransformer vit(SmallVit());
+  core::AdapterOptions opts;
+  opts.kind = core::AdapterKind::kLora;
+  opts.rank = 2;
+  opts.seed = 3;
+  auto r = core::InjectAdapters(&vit, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Per block: q,k,v,out + mlp_fc1 + mlp_fc2 = 6 linears; 2 blocks = 12.
+  EXPECT_EQ(r->num_wrapped_linears, 12);
+  EXPECT_EQ(r->num_wrapped_convs, 0);  // patch_embed skipped by filter
+  // Model still runs.
+  autograd::NoGradGuard g;
+  autograd::Variable y =
+      vit.Forward(autograd::Variable(Tensor::Ones(Shape{1, 3, 16, 16}), false));
+  EXPECT_EQ(y.shape(), Shape({1, 3}));
+}
+
+TEST(VisionTransformerTest, FitsSeparableData) {
+  TransformerConfig c = SmallVit();
+  c.num_classes = 2;
+  c.num_blocks = 1;
+  VisionTransformer vit(c);
+  Rng rng(10);
+  const int64_t n = 16;
+  Tensor x{Shape{n, 3, 16, 16}};
+  std::vector<int64_t> labels(n);
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = i % 2;
+    const float base = (i % 2 == 0) ? 0.1f : 0.9f;
+    for (int64_t k = 0; k < 3 * 16 * 16; ++k) {
+      x.flat(i * 3 * 16 * 16 + k) =
+          base + static_cast<float>(rng.Normal(0.0, 0.05));
+    }
+  }
+  std::vector<autograd::Variable> params;
+  for (auto* p : vit.TrainableParameters()) params.push_back(*p);
+  optim::Adam adam(params, optim::AdamOptions{.lr = 5e-3});
+  float final_loss = 1e9f;
+  for (int step = 0; step < 40; ++step) {
+    vit.ZeroGrad();
+    autograd::Variable loss = autograd::SoftmaxCrossEntropy(
+        vit.Forward(autograd::Variable(x, false)), labels);
+    ASSERT_TRUE(autograd::Backward(loss).ok());
+    adam.Step();
+    final_loss = loss.value().flat(0);
+  }
+  EXPECT_LT(final_loss, 0.3f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace metalora

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/graph.h"
+#include "autograd/ops.h"
+#include "optim/adam.h"
+#include "optim/grad_clip.h"
+#include "optim/lr_scheduler.h"
+#include "optim/sgd.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace optim {
+namespace {
+
+using autograd::Variable;
+
+// One SGD step on f(w) = 0.5 w² has exact semantics: w' = w - lr * w.
+TEST(SgdTest, PlainStepMatchesClosedForm) {
+  Variable w(Tensor::Full(Shape{1}, 2.0f), true);
+  SgdOptions opts;
+  opts.lr = 0.1;
+  Sgd sgd({w}, opts);
+  w.AccumulateGrad(w.value());  // grad of 0.5 w² is w
+  sgd.Step();
+  EXPECT_NEAR(w.value().flat(0), 2.0f - 0.1f * 2.0f, 1e-6);
+}
+
+TEST(SgdTest, SkipsParamsWithoutGrad) {
+  Variable w(Tensor::Full(Shape{1}, 1.0f), true);
+  SgdOptions opts;
+  Sgd sgd({w}, opts);
+  sgd.Step();  // no grad accumulated
+  EXPECT_EQ(w.value().flat(0), 1.0f);
+}
+
+TEST(SgdTest, MomentumAcceleratesConstantGradient) {
+  Variable w(Tensor::Zeros(Shape{1}), true);
+  SgdOptions opts;
+  opts.lr = 1.0;
+  opts.momentum = 0.9;
+  Sgd sgd({w}, opts);
+  // Constant gradient 1: velocity 1, 1.9, 2.71...
+  w.AccumulateGrad(Tensor::Ones(Shape{1}));
+  sgd.Step();
+  EXPECT_NEAR(w.value().flat(0), -1.0f, 1e-6);
+  w.ZeroGrad();
+  w.AccumulateGrad(Tensor::Ones(Shape{1}));
+  sgd.Step();
+  EXPECT_NEAR(w.value().flat(0), -1.0f - 1.9f, 1e-5);
+}
+
+TEST(SgdTest, WeightDecayPullsTowardZero) {
+  Variable w(Tensor::Full(Shape{1}, 10.0f), true);
+  SgdOptions opts;
+  opts.lr = 0.1;
+  opts.weight_decay = 1.0;
+  Sgd sgd({w}, opts);
+  w.AccumulateGrad(Tensor::Zeros(Shape{1}));  // pure decay
+  sgd.Step();
+  EXPECT_NEAR(w.value().flat(0), 9.0f, 1e-5);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable w(Tensor::Full(Shape{4}, 5.0f), true);
+  SgdOptions opts;
+  opts.lr = 0.2;
+  opts.momentum = 0.5;
+  Sgd sgd({w}, opts);
+  for (int i = 0; i < 80; ++i) {
+    sgd.ZeroGrad();
+    w.AccumulateGrad(w.value());  // grad of 0.5|w|²
+    sgd.Step();
+  }
+  EXPECT_LT(Norm2(w.value()), 1e-3);
+}
+
+TEST(AdamTest, FirstStepHasLrMagnitude) {
+  // Adam's bias-corrected first step is lr * sign(grad) (for eps -> 0).
+  Variable w(Tensor::Zeros(Shape{1}), true);
+  AdamOptions opts;
+  opts.lr = 0.1;
+  Adam adam({w}, opts);
+  w.AccumulateGrad(Tensor::Full(Shape{1}, 123.0f));
+  adam.Step();
+  EXPECT_NEAR(w.value().flat(0), -0.1f, 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable w(Tensor::Full(Shape{8}, 3.0f), true);
+  AdamOptions opts;
+  opts.lr = 0.05;
+  Adam adam({w}, opts);
+  for (int i = 0; i < 400; ++i) {
+    adam.ZeroGrad();
+    w.AccumulateGrad(w.value());
+    adam.Step();
+  }
+  EXPECT_LT(Norm2(w.value()), 1e-2);
+}
+
+TEST(AdamTest, DecoupledWeightDecayShrinksWeights) {
+  Variable w(Tensor::Full(Shape{1}, 4.0f), true);
+  AdamOptions opts;
+  opts.lr = 0.1;
+  opts.weight_decay = 0.5;
+  opts.decoupled_weight_decay = true;
+  Adam adam({w}, opts);
+  w.AccumulateGrad(Tensor::Zeros(Shape{1}));
+  adam.Step();
+  // Pure decay: w -= lr * wd * w = 4 - 0.1*0.5*4.
+  EXPECT_NEAR(w.value().flat(0), 4.0f - 0.2f, 1e-4);
+}
+
+TEST(AdamTest, StepCountAdvances) {
+  Variable w(Tensor::Ones(Shape{1}), true);
+  Adam adam({w}, AdamOptions{});
+  EXPECT_EQ(adam.step_count(), 0);
+  w.AccumulateGrad(Tensor::Ones(Shape{1}));
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+TEST(CosineLrTest, AnnealsFromBaseToMin) {
+  Variable w(Tensor::Ones(Shape{1}), true);
+  Sgd sgd({w}, SgdOptions{.lr = 1.0});
+  CosineLr sched(&sgd, /*base=*/1.0, /*min=*/0.1, /*total=*/10);
+  sched.Step();
+  const double first = sgd.learning_rate();
+  EXPECT_LE(first, 1.0);
+  for (int i = 1; i < 10; ++i) sched.Step();
+  EXPECT_NEAR(sgd.learning_rate(), 0.1, 1e-9);
+}
+
+TEST(CosineLrTest, WarmupRampsLinearly) {
+  Variable w(Tensor::Ones(Shape{1}), true);
+  Sgd sgd({w}, SgdOptions{.lr = 0.0});
+  CosineLr sched(&sgd, 1.0, 0.0, 20, /*warmup=*/4);
+  sched.Step();
+  EXPECT_NEAR(sgd.learning_rate(), 0.25, 1e-9);
+  sched.Step();
+  EXPECT_NEAR(sgd.learning_rate(), 0.5, 1e-9);
+}
+
+TEST(StepLrTest, DropsEveryPeriod) {
+  Variable w(Tensor::Ones(Shape{1}), true);
+  Sgd sgd({w}, SgdOptions{.lr = 1.0});
+  StepLr sched(&sgd, 1.0, /*period=*/2, /*gamma=*/0.1);
+  sched.Step();  // step 1
+  EXPECT_NEAR(sgd.learning_rate(), 1.0, 1e-12);
+  sched.Step();  // step 2 -> one drop
+  EXPECT_NEAR(sgd.learning_rate(), 0.1, 1e-12);
+  sched.Step();
+  sched.Step();  // step 4 -> two drops
+  EXPECT_NEAR(sgd.learning_rate(), 0.01, 1e-12);
+}
+
+TEST(GradClipTest, NormClipScalesDown) {
+  Variable w(Tensor::Ones(Shape{4}), true);
+  w.AccumulateGrad(Tensor::Full(Shape{4}, 3.0f));  // norm 6
+  const double before = ClipGradNorm({w}, 3.0);
+  EXPECT_NEAR(before, 6.0, 1e-5);
+  EXPECT_NEAR(Norm2(w.grad()), 3.0, 1e-4);
+}
+
+TEST(GradClipTest, NormClipNoopWhenSmall) {
+  Variable w(Tensor::Ones(Shape{4}), true);
+  w.AccumulateGrad(Tensor::Full(Shape{4}, 0.1f));
+  ClipGradNorm({w}, 10.0);
+  EXPECT_NEAR(w.grad().flat(0), 0.1f, 1e-7);
+}
+
+TEST(GradClipTest, ValueClipClamps) {
+  Variable w(Tensor::Ones(Shape{3}), true);
+  w.AccumulateGrad(Tensor::FromVector(Shape{3}, {-5.0f, 0.5f, 7.0f}));
+  ClipGradValue({w}, 1.0);
+  EXPECT_EQ(w.grad().ToVector(), (std::vector<float>{-1.0f, 0.5f, 1.0f}));
+}
+
+}  // namespace
+}  // namespace optim
+}  // namespace metalora

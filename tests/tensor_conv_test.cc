@@ -1,0 +1,153 @@
+#include "tensor/conv_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace {
+
+struct ConvCase {
+  int64_t n, c, h, w, o, k, stride, pad;
+};
+
+class ConvGeometryTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometryTest, Im2ColConvMatchesDirect) {
+  const ConvCase p = GetParam();
+  Rng rng(static_cast<uint64_t>(p.k * 31 + p.stride * 7 + p.pad));
+  Tensor x = RandomNormal(Shape{p.n, p.c, p.h, p.w}, rng);
+  Tensor wgt = RandomNormal(Shape{p.o, p.c, p.k, p.k}, rng);
+  Tensor bias = RandomNormal(Shape{p.o}, rng);
+  ConvGeom g{p.k, p.k, p.stride, p.pad};
+  Tensor fast = Conv2dForward(x, wgt, bias, g);
+  Tensor ref = Conv2dDirect(x, wgt, bias, g);
+  EXPECT_TRUE(AllClose(fast, ref, 1e-4f, 1e-4f))
+      << "max diff " << MaxAbsDiff(fast, ref);
+}
+
+TEST_P(ConvGeometryTest, OutputShape) {
+  const ConvCase p = GetParam();
+  ConvGeom g{p.k, p.k, p.stride, p.pad};
+  Tensor x = Tensor::Zeros(Shape{p.n, p.c, p.h, p.w});
+  Tensor wgt = Tensor::Zeros(Shape{p.o, p.c, p.k, p.k});
+  Tensor out = Conv2dForward(x, wgt, Tensor(), g);
+  EXPECT_EQ(out.dim(0), p.n);
+  EXPECT_EQ(out.dim(1), p.o);
+  EXPECT_EQ(out.dim(2), g.OutExtent(p.h, p.k));
+  EXPECT_EQ(out.dim(3), g.OutExtent(p.w, p.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometryTest,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 0},
+                      ConvCase{2, 3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{1, 2, 9, 7, 3, 3, 2, 1},
+                      ConvCase{2, 4, 6, 6, 2, 1, 1, 0},
+                      ConvCase{1, 3, 8, 8, 5, 5, 1, 2},
+                      ConvCase{3, 1, 10, 10, 2, 3, 2, 0}));
+
+TEST(ConvOpsTest, KnownConvValue) {
+  // 3x3 input, 2x2 kernel of ones, stride 1, no pad: sliding-window sums.
+  Tensor x = Tensor::FromVector(Shape{1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor w = Tensor::Ones(Shape{1, 1, 2, 2});
+  ConvGeom g{2, 2, 1, 0};
+  Tensor y = Conv2dForward(x, w, Tensor(), g);
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{12, 16, 24, 28}));
+}
+
+TEST(ConvOpsTest, BiasIsAddedPerChannel) {
+  Tensor x = Tensor::Zeros(Shape{1, 1, 2, 2});
+  Tensor w = Tensor::Zeros(Shape{2, 1, 1, 1});
+  Tensor b = Tensor::FromVector(Shape{2}, {1.5f, -2.0f});
+  ConvGeom g{1, 1, 1, 0};
+  Tensor y = Conv2dForward(x, w, b, g);
+  EXPECT_EQ(y.at({0, 0, 1, 1}), 1.5f);
+  EXPECT_EQ(y.at({0, 1, 0, 0}), -2.0f);
+}
+
+TEST(ConvOpsTest, Im2ColCol2ImAdjoint) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> — the operators are adjoint.
+  Rng rng(5);
+  const int64_t c = 2, h = 6, w = 5;
+  ConvGeom g{3, 3, 2, 1};
+  const int64_t ho = g.OutExtent(h, 3), wo = g.OutExtent(w, 3);
+  Tensor x = RandomNormal(Shape{c, h, w}, rng);
+  Tensor y = RandomNormal(Shape{c * 9, ho * wo}, rng);
+  Tensor cols{Shape{c * 9, ho * wo}};
+  Im2Col(x.data(), c, h, w, g, cols.data());
+  Tensor xback{Shape{c, h, w}};
+  Col2Im(y.data(), c, h, w, g, xback.data());
+  double lhs = 0, rhs = 0;
+  for (int64_t i = 0; i < cols.numel(); ++i)
+    lhs += static_cast<double>(cols.flat(i)) * y.flat(i);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x.flat(i)) * xback.flat(i);
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(PoolingTest, MaxPoolValuesAndArgmax) {
+  Tensor x = Tensor::FromVector(Shape{1, 1, 4, 4},
+                                {1, 2, 3, 4,
+                                 5, 6, 7, 8,
+                                 9, 10, 11, 12,
+                                 13, 14, 15, 16});
+  ConvGeom g{2, 2, 2, 0};
+  std::vector<int64_t> argmax;
+  Tensor y = MaxPool2d(x, g, &argmax);
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{6, 8, 14, 16}));
+  EXPECT_EQ(argmax, (std::vector<int64_t>{5, 7, 13, 15}));
+}
+
+TEST(PoolingTest, MaxPoolBackwardScattersToArgmax) {
+  Tensor x = Tensor::FromVector(Shape{1, 1, 2, 2}, {1, 9, 2, 3});
+  ConvGeom g{2, 2, 2, 0};
+  std::vector<int64_t> argmax;
+  Tensor y = MaxPool2d(x, g, &argmax);
+  Tensor gy = Tensor::Full(y.shape(), 2.0f);
+  Tensor gx = MaxPool2dBackward(gy, x.shape(), argmax);
+  EXPECT_EQ(gx.ToVector(), (std::vector<float>{0, 2, 0, 0}));
+}
+
+TEST(PoolingTest, AvgPoolValue) {
+  Tensor x = Tensor::FromVector(Shape{1, 1, 2, 2}, {1, 3, 5, 7});
+  ConvGeom g{2, 2, 2, 0};
+  Tensor y = AvgPool2d(x, g);
+  EXPECT_EQ(y.numel(), 1);
+  EXPECT_EQ(y.flat(0), 4.0f);
+  Tensor gx = AvgPool2dBackward(Tensor::Full(y.shape(), 4.0f), x.shape(), g);
+  EXPECT_EQ(gx.ToVector(), (std::vector<float>{1, 1, 1, 1}));
+}
+
+TEST(PoolingTest, GlobalAvgPool) {
+  Tensor x = Tensor::FromVector(Shape{1, 2, 1, 2}, {1, 3, 10, 20});
+  Tensor y = GlobalAvgPool(x);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_EQ(y.ToVector(), (std::vector<float>{2, 15}));
+  Tensor gx = GlobalAvgPoolBackward(Tensor::FromVector(Shape{1, 2}, {2, 4}),
+                                    x.shape());
+  EXPECT_EQ(gx.ToVector(), (std::vector<float>{1, 1, 2, 2}));
+}
+
+TEST(ConvBackwardTest, GradBiasIsOutputSum) {
+  Rng rng(8);
+  Tensor x = RandomNormal(Shape{2, 2, 5, 5}, rng);
+  Tensor w = RandomNormal(Shape{3, 2, 3, 3}, rng);
+  ConvGeom g{3, 3, 1, 1};
+  Tensor y = Conv2dForward(x, w, Tensor(), g);
+  Tensor gy = Tensor::Ones(y.shape());
+  Tensor gx, gw, gb;
+  Conv2dBackward(x, w, gy, g, &gx, &gw, &gb, /*has_bias=*/true);
+  // With unit upstream grad, grad_bias[o] = count of output positions.
+  const float expected = static_cast<float>(2 * 5 * 5);
+  for (int64_t o = 0; o < 3; ++o) EXPECT_NEAR(gb.flat(o), expected, 1e-3);
+  EXPECT_EQ(gx.shape(), x.shape());
+  EXPECT_EQ(gw.shape(), w.shape());
+}
+
+}  // namespace
+}  // namespace metalora

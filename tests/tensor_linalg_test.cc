@@ -1,0 +1,134 @@
+#include "tensor/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace {
+
+// Builds a random SPD matrix A = Mᵀ·M + eps·I.
+Tensor RandomSpd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Tensor m = RandomNormal(Shape{n, n}, rng);
+  Tensor a = MatmulTransA(m, m);
+  for (int64_t i = 0; i < n; ++i) a.flat(i * n + i) += 0.1f;
+  return a;
+}
+
+TEST(CholeskyTest, FactorReproducesMatrix) {
+  Tensor a = RandomSpd(6, 1);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  Tensor llt = MatmulTransB(l.value(), l.value());
+  EXPECT_TRUE(AllClose(llt, a, 1e-3f, 1e-3f));
+}
+
+TEST(CholeskyTest, LowerTriangular) {
+  Tensor a = RandomSpd(5, 2);
+  Tensor l = Cholesky(a).ValueOrDie();
+  for (int64_t i = 0; i < 5; ++i)
+    for (int64_t j = i + 1; j < 5; ++j) EXPECT_EQ(l.flat(i * 5 + j), 0.0f);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Tensor a = Tensor::Zeros(Shape{3, 3});
+  a.flat(0) = -1.0f;
+  EXPECT_FALSE(Cholesky(a).ok());
+  EXPECT_FALSE(Cholesky(Tensor::Ones(Shape{2, 3})).ok());
+}
+
+TEST(CholeskySolveTest, SolvesLinearSystem) {
+  Tensor a = RandomSpd(5, 3);
+  Rng rng(4);
+  Tensor x_true = RandomNormal(Shape{5, 2}, rng);
+  Tensor b = Matmul(a, x_true);
+  Tensor l = Cholesky(a).ValueOrDie();
+  Tensor x = CholeskySolve(l, b);
+  EXPECT_TRUE(AllClose(x, x_true, 1e-2f, 1e-2f))
+      << "max diff " << MaxAbsDiff(x, x_true);
+}
+
+TEST(SpdInverseTest, ProducesInverse) {
+  Tensor a = RandomSpd(4, 5);
+  Tensor inv = SpdInverse(a).ValueOrDie();
+  Tensor prod = Matmul(a, inv);
+  Tensor eye{Shape{4, 4}};
+  for (int64_t i = 0; i < 4; ++i) eye.flat(i * 4 + i) = 1.0f;
+  EXPECT_TRUE(AllClose(prod, eye, 1e-2f, 1e-2f));
+}
+
+TEST(LeastSquaresTest, RecoversExactSolution) {
+  // Overdetermined consistent system.
+  Rng rng(6);
+  Tensor a = RandomNormal(Shape{12, 4}, rng);
+  Tensor x_true = RandomNormal(Shape{4, 3}, rng);
+  Tensor b = Matmul(a, x_true);
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(AllClose(x.value(), x_true, 1e-2f, 1e-2f));
+}
+
+TEST(LeastSquaresTest, ResidualIsOrthogonal) {
+  // For inconsistent systems the residual must be orthogonal to range(A).
+  Rng rng(7);
+  Tensor a = RandomNormal(Shape{10, 3}, rng);
+  Tensor b = RandomNormal(Shape{10, 1}, rng);
+  Tensor x = LeastSquares(a, b).ValueOrDie();
+  Tensor residual = Sub(b, Matmul(a, x));
+  Tensor proj = MatmulTransA(a, residual);  // Aᵀ r should be ~0
+  EXPECT_LT(MaxAll(Map(proj, [](float v) { return std::fabs(v); })), 1e-3f);
+}
+
+TEST(KhatriRaoTest, MatchesDefinition) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{3, 2}, {5, 6, 7, 8, 9, 10});
+  Tensor kr = KhatriRao(a, b);
+  EXPECT_EQ(kr.shape(), Shape({6, 2}));
+  // Row (i*3 + j) = a[i,:] * b[j,:].
+  EXPECT_EQ(kr.at({0, 0}), 5.0f);    // 1*5
+  EXPECT_EQ(kr.at({0, 1}), 12.0f);   // 2*6
+  EXPECT_EQ(kr.at({2, 0}), 9.0f);    // 1*9
+  EXPECT_EQ(kr.at({5, 1}), 40.0f);   // 4*10
+}
+
+TEST(UnfoldTest, Mode0OfOrder3) {
+  // X[i,j,k] = 100 i + 10 j + k over [2,2,2].
+  Tensor x{Shape{2, 2, 2}};
+  for (int64_t i = 0; i < 2; ++i)
+    for (int64_t j = 0; j < 2; ++j)
+      for (int64_t k = 0; k < 2; ++k)
+        x.at({i, j, k}) = static_cast<float>(100 * i + 10 * j + k);
+  Tensor u0 = Unfold(x, 0);
+  EXPECT_EQ(u0.shape(), Shape({2, 4}));
+  // Kolda: columns enumerate (j,k) with j (the earlier mode) fastest.
+  EXPECT_EQ(u0.at({0, 0}), 0.0f);    // j=0,k=0
+  EXPECT_EQ(u0.at({0, 1}), 10.0f);   // j=1,k=0
+  EXPECT_EQ(u0.at({0, 2}), 1.0f);    // j=0,k=1
+  EXPECT_EQ(u0.at({0, 3}), 11.0f);   // j=1,k=1
+  EXPECT_EQ(u0.at({1, 0}), 100.0f);
+}
+
+TEST(UnfoldTest, FoldIsInverse) {
+  Rng rng(8);
+  Tensor x = RandomNormal(Shape{3, 4, 2, 5}, rng);
+  for (int mode = 0; mode < 4; ++mode) {
+    Tensor folded = Fold(Unfold(x, mode), x.shape(), mode);
+    EXPECT_TRUE(AllClose(folded, x, 0.0f, 0.0f)) << "mode " << mode;
+  }
+}
+
+TEST(UnfoldTest, MatrixModesAreIdentityAndTranspose) {
+  Rng rng(9);
+  Tensor x = RandomNormal(Shape{3, 5}, rng);
+  EXPECT_TRUE(AllClose(Unfold(x, 0), x));
+  EXPECT_TRUE(AllClose(Unfold(x, 1), Transpose2D(x)));
+}
+
+}  // namespace
+}  // namespace metalora

@@ -1,0 +1,105 @@
+#include "tensor/matmul.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace {
+
+// Reference triple-loop matmul.
+Tensor MatmulNaive(const Tensor& a, const Tensor& b) {
+  const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  Tensor c{Shape{n, m}};
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < m; ++j) {
+      double acc = 0;
+      for (int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a.flat(i * k + p)) * b.flat(p * m + j);
+      c.flat(i * m + j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+TEST(MatmulTest, KnownSmallCase) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{2, 2}, {5, 6, 7, 8});
+  EXPECT_EQ(Matmul(a, b).ToVector(), (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(MatmulTest, IdentityIsNeutral) {
+  Rng rng(1);
+  Tensor a = RandomNormal(Shape{5, 5}, rng);
+  Tensor eye{Shape{5, 5}};
+  for (int i = 0; i < 5; ++i) eye.flat(i * 5 + i) = 1.0f;
+  EXPECT_TRUE(AllClose(Matmul(a, eye), a));
+  EXPECT_TRUE(AllClose(Matmul(eye, a), a));
+}
+
+TEST(MatmulTest, ShapeMismatchDies) {
+  Tensor a = Tensor::Ones(Shape{2, 3});
+  Tensor b = Tensor::Ones(Shape{2, 3});
+  EXPECT_DEATH(Matmul(a, b), "Matmul");
+}
+
+class MatmulSizesTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulSizesTest, MatchesNaive) {
+  auto [n, k, m] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 10007 + k * 101 + m));
+  Tensor a = RandomNormal(Shape{n, k}, rng);
+  Tensor b = RandomNormal(Shape{k, m}, rng);
+  EXPECT_TRUE(AllClose(Matmul(a, b), MatmulNaive(a, b), 1e-4f, 1e-4f));
+}
+
+TEST_P(MatmulSizesTest, TransAMatchesExplicitTranspose) {
+  auto [n, k, m] = GetParam();
+  Rng rng(static_cast<uint64_t>(n + k + m));
+  Tensor at = RandomNormal(Shape{k, n}, rng);  // stored transposed
+  Tensor b = RandomNormal(Shape{k, m}, rng);
+  EXPECT_TRUE(AllClose(MatmulTransA(at, b), Matmul(Transpose2D(at), b),
+                       1e-4f, 1e-4f));
+}
+
+TEST_P(MatmulSizesTest, TransBMatchesExplicitTranspose) {
+  auto [n, k, m] = GetParam();
+  Rng rng(static_cast<uint64_t>(3 * n + k + m));
+  Tensor a = RandomNormal(Shape{n, k}, rng);
+  Tensor bt = RandomNormal(Shape{m, k}, rng);  // stored transposed
+  EXPECT_TRUE(AllClose(MatmulTransB(a, bt), Matmul(a, Transpose2D(bt)),
+                       1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatmulSizesTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 65, 17), std::make_tuple(1, 64, 1),
+                      std::make_tuple(64, 1, 64)));
+
+TEST(MatVecTest, MatchesMatmul) {
+  Rng rng(9);
+  Tensor a = RandomNormal(Shape{6, 4}, rng);
+  Tensor x = RandomNormal(Shape{4}, rng);
+  Tensor y = MatVec(a, x);
+  Tensor x2 = x.Reshape(Shape{4, 1});
+  Tensor y2 = Matmul(a, x2).Reshape(Shape{6});
+  EXPECT_TRUE(AllClose(y, y2, 1e-5f, 1e-5f));
+}
+
+TEST(MatmulRawTest, AccumulatesIntoExistingOutput) {
+  Tensor a = Tensor::Ones(Shape{2, 2});
+  Tensor b = Tensor::Ones(Shape{2, 2});
+  Tensor c = Tensor::Ones(Shape{2, 2});
+  MatmulAccumulateRaw(a.data(), b.data(), c.data(), 2, 2, 2);
+  // c was 1 everywhere; a*b adds 2 everywhere.
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{3, 3, 3, 3}));
+}
+
+}  // namespace
+}  // namespace metalora

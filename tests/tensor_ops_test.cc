@@ -1,0 +1,185 @@
+#include "tensor/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace {
+
+Tensor T22(std::vector<float> v) { return Tensor::FromVector(Shape{2, 2}, v); }
+
+TEST(TensorOpsTest, ElementwiseArithmetic) {
+  Tensor a = T22({1, 2, 3, 4});
+  Tensor b = T22({5, 6, 7, 8});
+  EXPECT_EQ(Add(a, b).ToVector(), (std::vector<float>{6, 8, 10, 12}));
+  EXPECT_EQ(Sub(b, a).ToVector(), (std::vector<float>{4, 4, 4, 4}));
+  EXPECT_EQ(Mul(a, b).ToVector(), (std::vector<float>{5, 12, 21, 32}));
+  EXPECT_EQ(Div(b, a).ToVector(), (std::vector<float>{5, 3, 7.0f / 3, 2}));
+  EXPECT_EQ(Scale(a, 2.0f).ToVector(), (std::vector<float>{2, 4, 6, 8}));
+  EXPECT_EQ(AddScalar(a, 1.0f).ToVector(), (std::vector<float>{2, 3, 4, 5}));
+}
+
+TEST(TensorOpsTest, ShapeMismatchDies) {
+  Tensor a = T22({1, 2, 3, 4});
+  Tensor b = Tensor::Ones(Shape{4});
+  EXPECT_DEATH(Add(a, b), "shape mismatch");
+}
+
+TEST(TensorOpsTest, InPlaceOps) {
+  Tensor a = T22({1, 2, 3, 4});
+  AddInPlace(a, T22({1, 1, 1, 1}));
+  EXPECT_EQ(a.ToVector(), (std::vector<float>{2, 3, 4, 5}));
+  AxpyInPlace(a, 2.0f, T22({1, 0, 0, 1}));
+  EXPECT_EQ(a.ToVector(), (std::vector<float>{4, 3, 4, 7}));
+  ScaleInPlace(a, 0.5f);
+  EXPECT_EQ(a.ToVector(), (std::vector<float>{2, 1.5, 2, 3.5}));
+}
+
+TEST(TensorOpsTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {0, 0, 0, 1, 1, 1});
+  Tensor bias = Tensor::FromVector(Shape{3}, {10, 20, 30});
+  EXPECT_EQ(AddRowBroadcast(a, bias).ToVector(),
+            (std::vector<float>{10, 20, 30, 11, 21, 31}));
+}
+
+TEST(TensorOpsTest, MapAndZip) {
+  Tensor a = T22({1, -2, 3, -4});
+  Tensor m = Map(a, [](float v) { return std::fabs(v); });
+  EXPECT_EQ(m.ToVector(), (std::vector<float>{1, 2, 3, 4}));
+  Tensor z = Zip(a, m, [](float x, float y) { return x + y; });
+  EXPECT_EQ(z.ToVector(), (std::vector<float>{2, 0, 6, 0}));
+}
+
+TEST(TensorOpsTest, Reductions) {
+  Tensor a = T22({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(SumAll(a), 10.0);
+  EXPECT_DOUBLE_EQ(MeanAll(a), 2.5);
+  EXPECT_EQ(MaxAll(a), 4.0f);
+  EXPECT_EQ(MinAll(a), 1.0f);
+  EXPECT_NEAR(Norm2(a), std::sqrt(30.0), 1e-9);
+}
+
+TEST(TensorOpsTest, SumAxis) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = SumAxis(a, 0);
+  EXPECT_EQ(s0.shape(), Shape({3}));
+  EXPECT_EQ(s0.ToVector(), (std::vector<float>{5, 7, 9}));
+  Tensor s1 = SumAxis(a, 1);
+  EXPECT_EQ(s1.ToVector(), (std::vector<float>{6, 15}));
+  Tensor sm1 = SumAxis(a, -1);
+  EXPECT_EQ(sm1.ToVector(), s1.ToVector());
+}
+
+TEST(TensorOpsTest, SumAxisRank3Middle) {
+  // [2, 2, 2] summed over axis 1.
+  Tensor a = Tensor::FromVector(Shape{2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor s = SumAxis(a, 1);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_EQ(s.ToVector(), (std::vector<float>{4, 6, 12, 14}));
+}
+
+TEST(TensorOpsTest, MeanAxis) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {2, 4, 6, 8});
+  EXPECT_EQ(MeanAxis(a, 0).ToVector(), (std::vector<float>{4, 6}));
+}
+
+TEST(TensorOpsTest, ArgmaxRows) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {0, 5, 1, 9, 2, 3});
+  EXPECT_EQ(ArgmaxRows(a), (std::vector<int64_t>{1, 0}));
+}
+
+TEST(TensorOpsTest, Transpose2D) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose2D(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_EQ(t.ToVector(), (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(TensorOpsTest, PermuteMatchesTranspose) {
+  Rng rng(1);
+  Tensor a = RandomNormal(Shape{4, 5}, rng);
+  EXPECT_TRUE(AllClose(Permute(a, {1, 0}), Transpose2D(a)));
+}
+
+TEST(TensorOpsTest, PermuteRank3) {
+  Tensor a = Tensor::FromVector(Shape{2, 1, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor p = Permute(a, {2, 0, 1});
+  EXPECT_EQ(p.shape(), Shape({3, 2, 1}));
+  EXPECT_EQ(p.at({0, 0, 0}), 1.0f);
+  EXPECT_EQ(p.at({0, 1, 0}), 4.0f);
+  EXPECT_EQ(p.at({2, 1, 0}), 6.0f);
+}
+
+TEST(TensorOpsTest, PermuteRoundTrip) {
+  Rng rng(2);
+  Tensor a = RandomNormal(Shape{3, 4, 5}, rng);
+  Tensor p = Permute(a, {2, 0, 1});
+  Tensor back = Permute(p, {1, 2, 0});
+  EXPECT_TRUE(AllClose(back, a));
+}
+
+TEST(TensorOpsTest, PermuteInvalidDies) {
+  Tensor a = Tensor::Ones(Shape{2, 2});
+  EXPECT_DEATH(Permute(a, {0, 0}), "invalid permutation");
+  EXPECT_DEATH(Permute(a, {0}), "");
+}
+
+TEST(TensorOpsTest, GatherRows) {
+  Tensor a = Tensor::FromVector(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(g.shape(), Shape({3, 2}));
+  EXPECT_EQ(g.ToVector(), (std::vector<float>{5, 6, 1, 2, 5, 6}));
+  EXPECT_DEATH(GatherRows(a, {3}), "out of range");
+}
+
+TEST(TensorOpsTest, ConcatRows) {
+  Tensor a = Tensor::FromVector(Shape{1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector(Shape{2, 2}, {3, 4, 5, 6});
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.shape(), Shape({3, 2}));
+  EXPECT_EQ(c.ToVector(), (std::vector<float>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(TensorOpsTest, OneHot) {
+  Tensor oh = OneHot({1, 0, 2}, 3);
+  EXPECT_EQ(oh.shape(), Shape({3, 3}));
+  EXPECT_EQ(oh.ToVector(),
+            (std::vector<float>{0, 1, 0, 1, 0, 0, 0, 0, 1}));
+  EXPECT_DEATH(OneHot({3}, 3), "out of range");
+}
+
+TEST(TensorOpsTest, AllCloseAndMaxAbsDiff) {
+  Tensor a = T22({1, 2, 3, 4});
+  Tensor b = T22({1, 2, 3, 4.00001f});
+  EXPECT_TRUE(AllClose(a, b));
+  Tensor c = T22({1, 2, 3, 5});
+  EXPECT_FALSE(AllClose(a, c));
+  EXPECT_NEAR(MaxAbsDiff(a, c), 1.0f, 1e-6);
+  EXPECT_FALSE(AllClose(a, Tensor::Ones(Shape{4})));  // shape mismatch
+}
+
+TEST(RandomInitTest, KaimingVariance) {
+  Rng rng(3);
+  Tensor w{Shape{256, 64}};
+  KaimingNormal(w, rng, 64);
+  double sum_sq = 0;
+  for (int64_t i = 0; i < w.numel(); ++i)
+    sum_sq += static_cast<double>(w.flat(i)) * w.flat(i);
+  EXPECT_NEAR(sum_sq / w.numel(), 2.0 / 64.0, 0.003);
+}
+
+TEST(RandomInitTest, XavierBounds) {
+  Rng rng(4);
+  Tensor w{Shape{32, 32}};
+  XavierUniform(w, rng, 32, 32);
+  const float bound = std::sqrt(6.0f / 64.0f);
+  EXPECT_LE(MaxAll(w), bound);
+  EXPECT_GE(MinAll(w), -bound);
+}
+
+}  // namespace
+}  // namespace metalora

@@ -1,0 +1,113 @@
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace {
+
+TEST(SerializeTest, TensorRoundTrip) {
+  Rng rng(1);
+  Tensor t = RandomNormal(Shape{3, 4, 5}, rng);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, t).ok());
+  auto back = ReadTensor(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(AllClose(back.value(), t, 0.0f, 0.0f));
+}
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  Tensor t = Tensor::Scalar(3.5f);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, t).ok());
+  auto back = ReadTensor(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().rank(), 0);
+  EXPECT_EQ(back.value().flat(0), 3.5f);
+}
+
+TEST(SerializeTest, UndefinedTensorRejected) {
+  std::stringstream ss;
+  EXPECT_EQ(WriteTensor(ss, Tensor()).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, BadMagicIsCorruption) {
+  std::stringstream ss;
+  ss << "NOTATENSOR";
+  auto r = ReadTensor(ss);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, TruncatedDataIsCorruption) {
+  Tensor t = Tensor::Ones(Shape{10});
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, t).ok());
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 8);  // chop the tail
+  std::stringstream truncated(bytes);
+  auto r = ReadTensor(truncated);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, TensorMapRoundTrip) {
+  const std::string path = "/tmp/ml_ckpt_test.bin";
+  Rng rng(2);
+  std::map<std::string, Tensor> m;
+  m["weights/a"] = RandomNormal(Shape{4, 4}, rng);
+  m["weights/b"] = RandomNormal(Shape{7}, rng);
+  m["buf:stats"] = Tensor::Ones(Shape{2});
+  ASSERT_TRUE(SaveTensorMap(path, m).ok());
+  auto back = LoadTensorMap(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 3u);
+  for (const auto& [k, v] : m) {
+    ASSERT_TRUE(back.value().count(k)) << k;
+    EXPECT_TRUE(AllClose(back.value().at(k), v, 0.0f, 0.0f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  auto r = LoadTensorMap("/tmp/definitely_missing_ml_ckpt.bin");
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(SerializeTest, GarbageFileIsCorruption) {
+  const std::string path = "/tmp/ml_garbage_ckpt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "garbage contents here, definitely not a checkpoint";
+  }
+  auto r = LoadTensorMap(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedCheckpointIsCorruption) {
+  const std::string path = "/tmp/ml_trunc_ckpt.bin";
+  std::map<std::string, Tensor> m;
+  m["x"] = Tensor::Ones(Shape{100});
+  ASSERT_TRUE(SaveTensorMap(path, m).ok());
+  // Truncate the file.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  auto r = LoadTensorMap(path);
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace metalora

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace {
+
+TEST(ShapeTest, RankAndNumel) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(Shape{}.rank(), 0);
+  EXPECT_EQ(Shape{}.numel(), 1);  // scalar
+}
+
+TEST(ShapeTest, NegativeIndexing) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+  EXPECT_EQ(s[1], 3);
+}
+
+TEST(ShapeTest, OutOfRangeDies) {
+  Shape s{2, 3};
+  EXPECT_DEATH(s.dim(2), "out of range");
+  EXPECT_DEATH(s.dim(-3), "out of range");
+}
+
+TEST(ShapeTest, Strides) {
+  Shape s{2, 3, 4};
+  auto strides = s.Strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).ToString(), "[2, 3]");
+  EXPECT_EQ(Shape{}.ToString(), "[]");
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t{Shape{3, 3}};
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.flat(i), 0.0f);
+}
+
+TEST(TensorTest, Factories) {
+  EXPECT_EQ(Tensor::Ones(Shape{4}).flat(3), 1.0f);
+  EXPECT_EQ(Tensor::Full(Shape{2}, 2.5f).flat(1), 2.5f);
+  EXPECT_EQ(Tensor::Scalar(7.0f).numel(), 1);
+  EXPECT_EQ(Tensor::Scalar(7.0f).rank(), 0);
+  Tensor v = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(v.at({1, 0}), 3.0f);
+}
+
+TEST(TensorTest, FromVectorSizeMismatchDies) {
+  EXPECT_DEATH(Tensor::FromVector(Shape{2, 2}, {1, 2, 3}), "");
+}
+
+TEST(TensorTest, MultiIndexAccess) {
+  Tensor t = Tensor::FromVector(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+  t.at({1, 2}) = 10.0f;
+  EXPECT_EQ(t.flat(5), 10.0f);
+  EXPECT_DEATH(t.at({2, 0}), "out of range");
+  EXPECT_DEATH(t.at({0}), "");  // wrong arity
+}
+
+TEST(TensorTest, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::Ones(Shape{4});
+  Tensor b = a;  // shares buffer
+  EXPECT_TRUE(a.SharesBufferWith(b));
+  b.flat(0) = 5.0f;
+  EXPECT_EQ(a.flat(0), 5.0f);
+
+  Tensor c = a.Clone();
+  EXPECT_FALSE(a.SharesBufferWith(c));
+  c.flat(1) = 9.0f;
+  EXPECT_EQ(a.flat(1), 1.0f);
+}
+
+TEST(TensorTest, ReshapeSharesBuffer) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = a.Reshape(Shape{3, 2});
+  EXPECT_TRUE(a.SharesBufferWith(r));
+  EXPECT_EQ(r.at({2, 1}), 6.0f);
+  EXPECT_DEATH(a.Reshape(Shape{4, 2}), "reshape");
+}
+
+TEST(TensorTest, FillAndCopyDataFrom) {
+  Tensor a{Shape{2, 2}};
+  a.Fill(3.0f);
+  EXPECT_EQ(a.flat(3), 3.0f);
+  Tensor b{Shape{4}};
+  b.CopyDataFrom(a);  // numel match suffices
+  EXPECT_EQ(b.flat(0), 3.0f);
+}
+
+TEST(TensorTest, UndefinedTensor) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.ToString(), "Tensor(undefined)");
+}
+
+TEST(TensorTest, ToStringAbbreviatesLarge) {
+  Tensor big = Tensor::Ones(Shape{100});
+  EXPECT_NE(big.ToString().find("..."), std::string::npos);
+  Tensor small = Tensor::Ones(Shape{2});
+  EXPECT_EQ(small.ToString().find("..."), std::string::npos);
+}
+
+TEST(TensorTest, ToVectorRoundTrip) {
+  std::vector<float> vals = {1, 2, 3, 4};
+  Tensor t = Tensor::FromVector(Shape{4}, vals);
+  EXPECT_EQ(t.ToVector(), vals);
+}
+
+}  // namespace
+}  // namespace metalora

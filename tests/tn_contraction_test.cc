@@ -1,0 +1,135 @@
+#include "tn/contraction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace tn {
+namespace {
+
+TEST(ContractionTest, MatmulIsAContraction) {
+  Rng rng(1);
+  Tensor a = RandomNormal(Shape{4, 6}, rng);
+  Tensor b = RandomNormal(Shape{6, 5}, rng);
+  auto c = Contract(a, b, {1}, {0});
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(AllClose(c.value(), Matmul(a, b), 1e-4f, 1e-4f));
+}
+
+TEST(ContractionTest, InnerProduct) {
+  Tensor a = Tensor::FromVector(Shape{3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector(Shape{3}, {4, 5, 6});
+  auto c = Contract(a, b, {0}, {0});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->rank(), 0);
+  EXPECT_EQ(c->flat(0), 32.0f);
+}
+
+TEST(ContractionTest, OuterProduct) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2});
+  Tensor b = Tensor::FromVector(Shape{3}, {3, 4, 5});
+  auto c = Contract(a, b, {}, {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->shape(), Shape({2, 3}));
+  EXPECT_EQ(c->ToVector(), (std::vector<float>{3, 4, 5, 6, 8, 10}));
+}
+
+TEST(ContractionTest, PaperNotationContractAxis) {
+  // X ×₁¹ A in the paper's (1-based) notation is ContractAxis(..., 0, 0).
+  Rng rng(2);
+  Tensor x = RandomNormal(Shape{3, 4}, rng);
+  Tensor a = RandomNormal(Shape{3, 2}, rng);
+  auto c = ContractAxis(x, a, 0, 0);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->shape(), Shape({4, 2}));
+  EXPECT_TRUE(AllClose(c.value(), Matmul(Transpose2D(x), a), 1e-4f, 1e-4f));
+}
+
+struct ContractCase {
+  std::vector<int64_t> a_dims;
+  std::vector<int64_t> b_dims;
+  std::vector<int> a_axes;
+  std::vector<int> b_axes;
+};
+
+class ContractRandomTest : public ::testing::TestWithParam<ContractCase> {};
+
+TEST_P(ContractRandomTest, FastMatchesNaive) {
+  const auto& p = GetParam();
+  Rng rng(static_cast<uint64_t>(p.a_dims.size() * 37 + p.b_dims.size()));
+  Tensor a = RandomNormal(Shape(p.a_dims), rng);
+  Tensor b = RandomNormal(Shape(p.b_dims), rng);
+  auto fast = Contract(a, b, p.a_axes, p.b_axes);
+  auto slow = ContractNaive(a, b, p.a_axes, p.b_axes);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_TRUE(AllClose(fast.value(), slow.value(), 1e-4f, 1e-4f))
+      << "max diff " << MaxAbsDiff(fast.value(), slow.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ContractRandomTest,
+    ::testing::Values(
+        ContractCase{{3, 4}, {4, 5}, {1}, {0}},
+        ContractCase{{2, 3, 4}, {4, 3}, {2, 1}, {0, 1}},
+        ContractCase{{2, 3, 4}, {3, 5, 2}, {1, 0}, {0, 2}},
+        ContractCase{{5}, {5}, {0}, {0}},
+        ContractCase{{2, 2}, {3}, {}, {}},
+        ContractCase{{4, 3, 2, 2}, {2, 2, 3}, {2, 3, 1}, {0, 1, 2}},
+        ContractCase{{6, 2}, {2, 6}, {0, 1}, {1, 0}}));
+
+TEST(ContractionTest, OrderOfResultAxes) {
+  // Free axes of A come first (in A's order), then B's.
+  Rng rng(3);
+  Tensor a = RandomNormal(Shape{2, 5, 3}, rng);
+  Tensor b = RandomNormal(Shape{5, 7}, rng);
+  auto c = Contract(a, b, {1}, {0});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->shape(), Shape({2, 3, 7}));
+}
+
+TEST(ContractionTest, ErrorsAreStatusNotCrashes) {
+  Tensor a = Tensor::Ones(Shape{2, 3});
+  Tensor b = Tensor::Ones(Shape{4, 5});
+  // Mismatched extents.
+  EXPECT_EQ(Contract(a, b, {1}, {0}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Axis out of range.
+  EXPECT_EQ(Contract(a, b, {7}, {0}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate axis.
+  EXPECT_EQ(Contract(a, b, {0, 0}, {0, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Length mismatch between axis lists.
+  EXPECT_EQ(Contract(a, b, {0}, {0, 1}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ContractionTest, FlopsFormula) {
+  // [a, s] x [s, b] over s: a*b*s multiply-adds.
+  EXPECT_EQ(ContractionFlops(Shape{3, 4}, Shape{4, 5}, {1}), 3 * 5 * 4);
+  // Outer product: every pair.
+  EXPECT_EQ(ContractionFlops(Shape{3}, Shape{5}, {}), 15);
+}
+
+TEST(ContractionTest, AssociativityOfChainedContractions) {
+  // (A·B)·C == A·(B·C) expressed via Contract.
+  Rng rng(4);
+  Tensor a = RandomNormal(Shape{3, 4}, rng);
+  Tensor b = RandomNormal(Shape{4, 5}, rng);
+  Tensor c = RandomNormal(Shape{5, 2}, rng);
+  auto ab = Contract(a, b, {1}, {0});
+  auto left = Contract(ab.value(), c, {1}, {0});
+  auto bc = Contract(b, c, {1}, {0});
+  auto right = Contract(a, bc.value(), {1}, {0});
+  ASSERT_TRUE(left.ok() && right.ok());
+  EXPECT_TRUE(AllClose(left.value(), right.value(), 1e-3f, 1e-3f));
+}
+
+}  // namespace
+}  // namespace tn
+}  // namespace metalora

@@ -1,0 +1,164 @@
+#include "tn/cp_format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+#include "tn/tn_cost.h"
+
+namespace metalora {
+namespace tn {
+namespace {
+
+TEST(CpFormatTest, RankOneMatrixIsOuterProduct) {
+  CpFormat cp({3, 4}, 1);
+  for (int64_t i = 0; i < 3; ++i) cp.mutable_factor(0).flat(i) = static_cast<float>(i + 1);
+  for (int64_t j = 0; j < 4; ++j) cp.mutable_factor(1).flat(j) = static_cast<float>(j + 1);
+  Tensor x = cp.Reconstruct();
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 4; ++j)
+      EXPECT_EQ(x.at({i, j}), static_cast<float>((i + 1) * (j + 1)));
+}
+
+TEST(CpFormatTest, LambdaScalesComponents) {
+  CpFormat cp({2, 2}, 1);
+  cp.mutable_factor(0).Fill(1.0f);
+  cp.mutable_factor(1).Fill(1.0f);
+  cp.mutable_lambda().flat(0) = 3.0f;
+  Tensor x = cp.Reconstruct();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(x.flat(i), 3.0f);
+}
+
+TEST(CpFormatTest, MatrixCpEqualsFactorProduct) {
+  // For matrices, CP with lambda=1 is exactly A·Bᵀ with B = factor(1).
+  Rng rng(1);
+  CpFormat cp = CpFormat::Random({5, 7}, 3, rng);
+  Tensor x = cp.Reconstruct();
+  Tensor ref = MatmulTransB(cp.factor(0), cp.factor(1));  // [5,3]x[7,3]ᵀ
+  EXPECT_TRUE(AllClose(x, ref, 1e-4f, 1e-4f));
+}
+
+TEST(CpFormatTest, ThirdOrderAgainstExplicitSum) {
+  Rng rng(2);
+  CpFormat cp = CpFormat::Random({2, 3, 4}, 2, rng);
+  Tensor x = cp.Reconstruct();
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      for (int64_t k = 0; k < 4; ++k) {
+        double acc = 0;
+        for (int64_t r = 0; r < 2; ++r) {
+          acc += static_cast<double>(cp.lambda().flat(r)) *
+                 cp.factor(0).at({i, r}) * cp.factor(1).at({j, r}) *
+                 cp.factor(2).at({k, r});
+        }
+        EXPECT_NEAR(x.at({i, j, k}), acc, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(CpFormatTest, ParamCounts) {
+  CpFormat cp({10, 20, 30}, 4);
+  EXPECT_EQ(cp.ParamCount(), 4 + (10 + 20 + 30) * 4);
+  EXPECT_EQ(cp.DenseParamCount(), 10 * 20 * 30);
+}
+
+TEST(CpFormatTest, InvalidConstruction) {
+  EXPECT_DEATH(CpFormat({3, 4}, 0), "");
+  EXPECT_DEATH(CpFormat({0, 4}, 2), "");
+}
+
+TEST(CpMatrixTest, MatchesCpFormatReconstruction) {
+  // CpMatrix(A, B, c) must equal the generic CP reconstruct with lambda=c.
+  Rng rng(3);
+  const int64_t i_dim = 6, o_dim = 5, r = 3;
+  Tensor a = RandomNormal(Shape{i_dim, r}, rng);
+  Tensor b = RandomNormal(Shape{r, o_dim}, rng);
+  Tensor c = RandomNormal(Shape{r}, rng);
+
+  auto fast = CpMatrix(a, b, c);
+  ASSERT_TRUE(fast.ok());
+
+  CpFormat cp({i_dim, o_dim}, r);
+  cp.mutable_factor(0).CopyDataFrom(a);
+  cp.mutable_factor(1).CopyDataFrom(Transpose2D(b));  // factor is [O, R]
+  cp.mutable_lambda().CopyDataFrom(c);
+  Tensor ref = cp.Reconstruct();
+  EXPECT_TRUE(AllClose(fast.value(), ref, 1e-4f, 1e-4f));
+}
+
+TEST(CpMatrixTest, IdentitySeedReducesToPlainLora) {
+  // With c = 1 the update is exactly A·B (Eq. 6 degenerates to LoRA).
+  Rng rng(4);
+  Tensor a = RandomNormal(Shape{4, 2}, rng);
+  Tensor b = RandomNormal(Shape{2, 3}, rng);
+  auto with_ones = CpMatrix(a, b, Tensor::Ones(Shape{2}));
+  ASSERT_TRUE(with_ones.ok());
+  EXPECT_TRUE(AllClose(with_ones.value(), Matmul(a, b), 1e-5f, 1e-5f));
+}
+
+TEST(CpMatrixTest, SeedScalesRankComponents) {
+  // Doubling c doubles the update (linearity in the generated seed).
+  Rng rng(5);
+  Tensor a = RandomNormal(Shape{4, 2}, rng);
+  Tensor b = RandomNormal(Shape{2, 3}, rng);
+  Tensor c = RandomNormal(Shape{2}, rng);
+  auto base = CpMatrix(a, b, c);
+  auto doubled = CpMatrix(a, b, Scale(c, 2.0f));
+  ASSERT_TRUE(base.ok() && doubled.ok());
+  EXPECT_TRUE(AllClose(doubled.value(), Scale(base.value(), 2.0f), 1e-4f,
+                       1e-4f));
+}
+
+TEST(CpMatrixTest, ShapeErrorsReturnStatus) {
+  Tensor a = Tensor::Ones(Shape{4, 2});
+  Tensor b = Tensor::Ones(Shape{3, 3});  // rank mismatch
+  Tensor c = Tensor::Ones(Shape{2});
+  EXPECT_EQ(CpMatrix(a, b, c).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CpMatrix(a, Tensor::Ones(Shape{2, 3}), Tensor::Ones(Shape{5}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CpMatrix(Tensor::Ones(Shape{4}), b, c).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TnCostTest, LoraParamFormulas) {
+  EXPECT_EQ(DenseLinearParams(64, 128), 64 * 128);
+  EXPECT_EQ(LoraLinearParams(64, 128, 4), 64 * 4 + 4 * 128);
+  EXPECT_EQ(MetaLoraCpLinearParams(64, 128, 4), LoraLinearParams(64, 128, 4));
+  EXPECT_EQ(MetaLoraTrLinearParams(64, 128, 4), 4 * 64 * 4 + 4 * 128 * 4);
+  EXPECT_EQ(DenseConvParams(3, 16, 32), 9 * 16 * 32);
+  EXPECT_EQ(ConvLoraParams(3, 16, 32, 4), 9 * 16 * 4 + 4 * 32);
+}
+
+TEST(TnCostTest, LoraIsSmallerThanDense) {
+  // The parameter-efficiency claim: low-rank updates are far below dense.
+  for (int64_t r = 1; r <= 8; r *= 2) {
+    EXPECT_LT(LoraLinearParams(256, 256, r), DenseLinearParams(256, 256) / 4);
+    EXPECT_LT(ConvLoraParams(3, 64, 64, r), DenseConvParams(3, 64, 64) / 4);
+  }
+}
+
+TEST(TnCostTest, GenericFormatParamFormulas) {
+  std::vector<int64_t> dims = {16, 24, 8};
+  EXPECT_EQ(CpParams(dims, 3), 3 + (16 + 24 + 8) * 3);
+  EXPECT_EQ(TrParams(dims, 3), 9 * (16 + 24 + 8));
+  EXPECT_EQ(TuckerMatrixParams(16, 24, 3), 9 + 16 * 3 + 24 * 3);
+  // Cross-check against the format classes.
+  EXPECT_EQ(CpParams(dims, 3), CpFormat(dims, 3).ParamCount());
+}
+
+TEST(TnCostTest, FlopFormulas) {
+  EXPECT_EQ(ConvFlops(3, 8, 16, 10, 10), 9LL * 8 * 16 * 100);
+  EXPECT_EQ(ConvLoraFlops(3, 8, 16, 2, 10, 10),
+            9LL * 8 * 2 * 100 + 2LL * 16 * 100);
+  EXPECT_EQ(CpMatrixFlops(8, 16, 2), 8 * 2 + 8 * 2 * 16);
+  EXPECT_GT(TrMatrixFlops(8, 16, 2), 0);
+}
+
+}  // namespace
+}  // namespace tn
+}  // namespace metalora

@@ -1,0 +1,102 @@
+#include "tn/dummy_tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace tn {
+namespace {
+
+TEST(DummyTensorTest, StructureMatchesDefinition) {
+  // P[j, j', k] = 1 iff j == s*j' + k - p (paper Eq. 2).
+  const int64_t alpha = 6, beta = 3, stride = 2, pad = 1;
+  const int64_t alpha_out = ConvOutExtent(alpha, beta, stride, pad);
+  Tensor p = MakeDummyTensor(alpha, alpha_out, beta, stride, pad);
+  for (int64_t j = 0; j < alpha; ++j) {
+    for (int64_t jp = 0; jp < alpha_out; ++jp) {
+      for (int64_t k = 0; k < beta; ++k) {
+        const float expected = (j == stride * jp + k - pad) ? 1.0f : 0.0f;
+        EXPECT_EQ(p.at({j, jp, k}), expected)
+            << "j=" << j << " j'=" << jp << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(DummyTensorTest, BinaryEntriesOnly) {
+  Tensor p = MakeDummyTensor(8, 6, 3, 1, 0);
+  for (int64_t i = 0; i < p.numel(); ++i) {
+    EXPECT_TRUE(p.flat(i) == 0.0f || p.flat(i) == 1.0f);
+  }
+}
+
+class Conv1dDummyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Conv1dDummyTest, MatchesDirectConvolution) {
+  auto [alpha, beta, stride, pad] = GetParam();
+  if (ConvOutExtent(alpha, beta, stride, pad) <= 0) GTEST_SKIP();
+  Rng rng(static_cast<uint64_t>(alpha * 131 + beta * 17 + stride * 3 + pad));
+  Tensor a = RandomNormal(Shape{alpha}, rng);
+  Tensor b = RandomNormal(Shape{beta}, rng);
+  auto via_dummy = Conv1dViaDummy(a, b, stride, pad);
+  ASSERT_TRUE(via_dummy.ok()) << via_dummy.status().ToString();
+  Tensor direct = Conv1dDirect(a, b, stride, pad);
+  EXPECT_TRUE(AllClose(via_dummy.value(), direct, 1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Conv1dDummyTest,
+    ::testing::Values(std::make_tuple(8, 3, 1, 0), std::make_tuple(8, 3, 1, 1),
+                      std::make_tuple(9, 3, 2, 1), std::make_tuple(16, 5, 2, 2),
+                      std::make_tuple(5, 5, 1, 0),
+                      std::make_tuple(7, 2, 3, 0)));
+
+TEST(Conv2dDummyTest, MatchesIm2ColConvolution) {
+  Rng rng(7);
+  Tensor x = RandomNormal(Shape{2, 3, 6, 6}, rng);
+  Tensor w = RandomNormal(Shape{4, 3, 3, 3}, rng);
+  ConvGeom g{3, 3, 1, 1};
+  auto tn_conv = Conv2dViaDummy(x, w, g);
+  ASSERT_TRUE(tn_conv.ok()) << tn_conv.status().ToString();
+  Tensor ref = Conv2dForward(x, w, Tensor(), g);
+  EXPECT_TRUE(AllClose(tn_conv.value(), ref, 1e-3f, 1e-3f))
+      << "max diff " << MaxAbsDiff(tn_conv.value(), ref);
+}
+
+TEST(Conv2dDummyTest, StridedGeometry) {
+  Rng rng(8);
+  Tensor x = RandomNormal(Shape{1, 2, 8, 8}, rng);
+  Tensor w = RandomNormal(Shape{3, 2, 3, 3}, rng);
+  ConvGeom g{3, 3, 2, 1};
+  auto tn_conv = Conv2dViaDummy(x, w, g);
+  ASSERT_TRUE(tn_conv.ok());
+  Tensor ref = Conv2dForward(x, w, Tensor(), g);
+  EXPECT_TRUE(AllClose(tn_conv.value(), ref, 1e-3f, 1e-3f));
+}
+
+TEST(Conv2dDummyTest, BadInputsReturnStatus) {
+  ConvGeom g{3, 3, 1, 1};
+  EXPECT_FALSE(Conv2dViaDummy(Tensor::Ones(Shape{2, 2}),
+                              Tensor::Ones(Shape{1, 1, 3, 3}), g)
+                   .ok());
+  // Channel mismatch.
+  EXPECT_FALSE(Conv2dViaDummy(Tensor::Ones(Shape{1, 2, 6, 6}),
+                              Tensor::Ones(Shape{1, 3, 3, 3}), g)
+                   .ok());
+}
+
+TEST(Conv1dDummyTest, RankErrorsReturnStatus) {
+  EXPECT_FALSE(
+      Conv1dViaDummy(Tensor::Ones(Shape{2, 2}), Tensor::Ones(Shape{2}), 1, 0)
+          .ok());
+}
+
+}  // namespace
+}  // namespace tn
+}  // namespace metalora

@@ -1,0 +1,140 @@
+// CP-ALS fitting and Tucker format tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+#include "tn/cp_als.h"
+#include "tn/tucker_format.h"
+
+namespace metalora {
+namespace tn {
+namespace {
+
+TEST(CpAlsTest, RecoversExactLowRankMatrix) {
+  // Ground truth of true CP rank 2; fitting with rank 2 must reach ~0 error.
+  Rng rng(1);
+  CpFormat truth = CpFormat::Random({8, 6}, 2, rng);
+  Tensor x = truth.Reconstruct();
+  CpAlsOptions opts;
+  opts.seed = 2;
+  auto fit = CpAls(x, 2, opts);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_LT(fit->relative_error, 1e-3);
+}
+
+TEST(CpAlsTest, RecoversExactLowRankOrder3) {
+  Rng rng(3);
+  CpFormat truth = CpFormat::Random({6, 5, 4}, 3, rng);
+  Tensor x = truth.Reconstruct();
+  CpAlsOptions opts;
+  opts.seed = 4;
+  opts.max_iterations = 300;
+  auto fit = CpAls(x, 3, opts);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit->relative_error, 1e-2);
+}
+
+TEST(CpAlsTest, HigherRankFitsBetter) {
+  // A full-rank random tensor: error must decrease monotonically-ish in R.
+  Rng rng(5);
+  Tensor x = RandomNormal(Shape{6, 6, 6}, rng);
+  double prev = 1.0;
+  for (int64_t r : {1, 3, 6}) {
+    CpAlsOptions opts;
+    opts.seed = 6;
+    opts.max_iterations = 60;
+    auto fit = CpAls(x, r, opts);
+    ASSERT_TRUE(fit.ok());
+    EXPECT_LT(fit->relative_error, prev + 0.05);
+    prev = fit->relative_error;
+  }
+  EXPECT_LT(prev, 0.9);  // rank 6 explains a good chunk
+}
+
+TEST(CpAlsTest, ReportsIterationsAndConvergence) {
+  Rng rng(7);
+  CpFormat truth = CpFormat::Random({5, 5}, 1, rng);
+  auto fit = CpAls(truth.Reconstruct(), 1, CpAlsOptions{.seed = 8});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GE(fit->iterations, 1);
+  EXPECT_TRUE(fit->converged);
+}
+
+TEST(CpAlsTest, InvalidInputsAreStatusErrors) {
+  Tensor x = Tensor::Ones(Shape{4, 4});
+  EXPECT_FALSE(CpAls(x, 0).ok());
+  EXPECT_FALSE(CpAls(Tensor::Ones(Shape{4}), 2).ok());
+  EXPECT_FALSE(CpAls(Tensor::Zeros(Shape{4, 4}), 2).ok());
+  CpAlsOptions bad;
+  bad.max_iterations = 0;
+  EXPECT_FALSE(CpAls(x, 2, bad).ok());
+}
+
+TEST(ModeProductTest, MatrixCaseMatchesMatmul) {
+  Rng rng(9);
+  Tensor x = RandomNormal(Shape{4, 5}, rng);
+  Tensor u = RandomNormal(Shape{3, 4}, rng);
+  auto y = ModeProduct(x, u, 0);
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(y->shape(), Shape({3, 5}));
+  Tensor ref = Matmul(u, x);
+  EXPECT_TRUE(AllClose(y.value(), ref, 1e-4f, 1e-4f));
+}
+
+TEST(ModeProductTest, ErrorsAreStatus) {
+  Tensor x = Tensor::Ones(Shape{4, 5});
+  EXPECT_FALSE(ModeProduct(x, Tensor::Ones(Shape{3, 9}), 0).ok());
+  EXPECT_FALSE(ModeProduct(x, Tensor::Ones(Shape{3}), 0).ok());
+  EXPECT_FALSE(ModeProduct(x, Tensor::Ones(Shape{3, 4}), 5).ok());
+}
+
+TEST(TuckerFormatTest, IdentityFactorsReproduceCore) {
+  // With square identity factors, reconstruct == core.
+  TuckerFormat t({3, 4}, {3, 4});
+  Rng rng(10);
+  FillNormal(t.mutable_core(), rng, 0.0f, 1.0f);
+  for (int n = 0; n < 2; ++n) {
+    Tensor& f = t.mutable_factor(n);
+    for (int64_t i = 0; i < f.dim(0); ++i) f.flat(i * f.dim(1) + i) = 1.0f;
+  }
+  EXPECT_TRUE(AllClose(t.Reconstruct(), t.core(), 1e-5f, 1e-5f));
+}
+
+TEST(TuckerFormatTest, MatrixTuckerIsUSVt) {
+  // Order-2 Tucker: X = U1 · G · U2ᵀ.
+  Rng rng(11);
+  TuckerFormat t = TuckerFormat::Random({6, 5}, {2, 3}, rng);
+  Tensor x = t.Reconstruct();
+  Tensor ref = Matmul(Matmul(t.factor(0), t.core()),
+                      Transpose2D(t.factor(1)));
+  EXPECT_TRUE(AllClose(x, ref, 1e-4f, 1e-4f));
+}
+
+TEST(TuckerFormatTest, ReconstructShapeOrder3) {
+  Rng rng(12);
+  TuckerFormat t = TuckerFormat::Random({4, 5, 6}, {2, 2, 3}, rng);
+  EXPECT_EQ(t.Reconstruct().shape(), Shape({4, 5, 6}));
+}
+
+TEST(TuckerFormatTest, ParamCounts) {
+  TuckerFormat t({10, 20, 30}, {2, 3, 4});
+  EXPECT_EQ(t.ParamCount(), 2 * 3 * 4 + 10 * 2 + 20 * 3 + 30 * 4);
+  EXPECT_EQ(t.DenseParamCount(), 6000);
+}
+
+TEST(TuckerFormatTest, InvalidRanksDie) {
+  EXPECT_DEATH(TuckerFormat({4, 4}, {5, 2}), "invalid");
+  EXPECT_DEATH(TuckerFormat({4, 4}, {2}), "");
+  EXPECT_DEATH(TuckerFormat({4, 4}, {0, 2}), "invalid");
+}
+
+TEST(TuckerFormatTest, CompressionAtLowRanks) {
+  TuckerFormat t({64, 64}, {4, 4});
+  EXPECT_LT(t.ParamCount(), t.DenseParamCount() / 4);
+}
+
+}  // namespace
+}  // namespace tn
+}  // namespace metalora

@@ -1,0 +1,169 @@
+#include "tn/tr_format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor_ops.h"
+
+namespace metalora {
+namespace tn {
+namespace {
+
+// Brute-force TR reconstruction: X[i..] = Tr(Π G^(n)[:, i_n, :]).
+Tensor TrReconstructNaive(const TrFormat& tr) {
+  const auto& dims = tr.mode_dims();
+  const int64_t r = tr.rank();
+  Tensor out{Shape(dims)};
+  std::vector<int64_t> idx(dims.size(), 0);
+  for (int64_t flat = 0; flat < out.numel(); ++flat) {
+    // Chain product of slice matrices.
+    Tensor m{Shape{r, r}};
+    for (int64_t p = 0; p < r; ++p) m.flat(p * r + p) = 1.0f;  // identity
+    for (size_t n = 0; n < dims.size(); ++n) {
+      const Tensor& g = tr.core(static_cast<int>(n));
+      Tensor slice{Shape{r, r}};
+      for (int64_t p = 0; p < r; ++p)
+        for (int64_t q = 0; q < r; ++q)
+          slice.flat(p * r + q) = g.at({p, idx[n], q});
+      // m = m · slice
+      Tensor next{Shape{r, r}};
+      for (int64_t p = 0; p < r; ++p)
+        for (int64_t q = 0; q < r; ++q) {
+          double acc = 0;
+          for (int64_t s = 0; s < r; ++s)
+            acc += static_cast<double>(m.flat(p * r + s)) *
+                   slice.flat(s * r + q);
+          next.flat(p * r + q) = static_cast<float>(acc);
+        }
+      m = next;
+    }
+    double trace = 0;
+    for (int64_t p = 0; p < r; ++p) trace += m.flat(p * r + p);
+    out.flat(flat) = static_cast<float>(trace);
+    for (int i = static_cast<int>(dims.size()) - 1; i >= 0; --i) {
+      if (++idx[static_cast<size_t>(i)] < dims[static_cast<size_t>(i)]) break;
+      idx[static_cast<size_t>(i)] = 0;
+    }
+  }
+  return out;
+}
+
+TEST(TrFormatTest, ReconstructMatchesNaiveOrder2) {
+  Rng rng(1);
+  TrFormat tr = TrFormat::Random({4, 5}, 3, rng);
+  EXPECT_TRUE(AllClose(tr.Reconstruct(), TrReconstructNaive(tr), 1e-4f, 1e-4f));
+}
+
+TEST(TrFormatTest, ReconstructMatchesNaiveOrder3) {
+  Rng rng(2);
+  TrFormat tr = TrFormat::Random({3, 2, 4}, 2, rng);
+  EXPECT_TRUE(AllClose(tr.Reconstruct(), TrReconstructNaive(tr), 1e-4f, 1e-4f));
+}
+
+TEST(TrFormatTest, ReconstructMatchesNaiveOrder4) {
+  Rng rng(3);
+  TrFormat tr = TrFormat::Random({2, 3, 2, 2}, 2, rng);
+  EXPECT_TRUE(AllClose(tr.Reconstruct(), TrReconstructNaive(tr), 1e-4f, 1e-4f));
+}
+
+TEST(TrFormatTest, RankOneRingIsProductOfVectors) {
+  // With R = 1 each core is a vector and the ring is their outer product.
+  TrFormat tr({2, 3}, 1);
+  tr.mutable_core(0).CopyDataFrom(Tensor::FromVector(Shape{1, 2, 1}, {2, 3}));
+  tr.mutable_core(1).CopyDataFrom(
+      Tensor::FromVector(Shape{1, 3, 1}, {1, 10, 100}));
+  Tensor x = tr.Reconstruct();
+  EXPECT_EQ(x.ToVector(), (std::vector<float>{2, 20, 200, 3, 30, 300}));
+}
+
+TEST(TrFormatTest, ParamCounts) {
+  TrFormat tr({10, 20}, 3);
+  EXPECT_EQ(tr.ParamCount(), 3 * 10 * 3 + 3 * 20 * 3);
+  EXPECT_EQ(tr.DenseParamCount(), 200);
+}
+
+TEST(TrMatrixTest, MatchesExplicitSum) {
+  // Eq. 7 by brute force.
+  Rng rng(4);
+  const int64_t r = 2, i_dim = 3, o_dim = 4;
+  Tensor a = RandomNormal(Shape{r, i_dim, r}, rng);
+  Tensor b = RandomNormal(Shape{r, o_dim, r}, rng);
+  Tensor c = RandomNormal(Shape{r, r}, rng);
+  auto fast = TrMatrix(a, b, c);
+  ASSERT_TRUE(fast.ok());
+  for (int64_t i = 0; i < i_dim; ++i) {
+    for (int64_t o = 0; o < o_dim; ++o) {
+      double acc = 0;
+      for (int64_t r0 = 0; r0 < r; ++r0)
+        for (int64_t r1 = 0; r1 < r; ++r1)
+          for (int64_t r2 = 0; r2 < r; ++r2)
+            acc += static_cast<double>(a.at({r0, i, r1})) * b.at({r1, o, r2}) *
+                   c.at({r2, r0});
+      EXPECT_NEAR(fast->at({i, o}), acc, 1e-4);
+    }
+  }
+}
+
+TEST(TrMatrixTest, MatchesThreeCoreRingReconstruction) {
+  // TrMatrix(A, B, C) must equal the order-3 ring {A, B, C'} reconstructed
+  // and the dummy mode of C' marginalized — equivalently, a TrFormat over
+  // modes {I, O, 1} with the third core holding C.
+  Rng rng(5);
+  const int64_t r = 3, i_dim = 4, o_dim = 2;
+  Tensor a = RandomNormal(Shape{r, i_dim, r}, rng);
+  Tensor b = RandomNormal(Shape{r, o_dim, r}, rng);
+  Tensor c = RandomNormal(Shape{r, r}, rng);
+
+  TrFormat ring({i_dim, o_dim, 1}, r);
+  ring.mutable_core(0).CopyDataFrom(a);
+  ring.mutable_core(1).CopyDataFrom(b);
+  ring.mutable_core(2).CopyDataFrom(c.Reshape(Shape{r, 1, r}));
+  Tensor ref = ring.Reconstruct().Reshape(Shape{i_dim, o_dim});
+
+  auto fast = TrMatrix(a, b, c);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_TRUE(AllClose(fast.value(), ref, 1e-4f, 1e-4f));
+}
+
+TEST(TrMatrixTest, IdentityCoreGivesBondTrace) {
+  // With C = I the update is Σ_{r0,r1} A[r0,·,r1] B[r1,·,r0].
+  Rng rng(6);
+  const int64_t r = 2, i_dim = 2, o_dim = 2;
+  Tensor a = RandomNormal(Shape{r, i_dim, r}, rng);
+  Tensor b = RandomNormal(Shape{r, o_dim, r}, rng);
+  Tensor eye{Shape{r, r}};
+  for (int64_t p = 0; p < r; ++p) eye.flat(p * r + p) = 1.0f;
+  auto fast = TrMatrix(a, b, eye);
+  ASSERT_TRUE(fast.ok());
+  for (int64_t i = 0; i < i_dim; ++i) {
+    for (int64_t o = 0; o < o_dim; ++o) {
+      double acc = 0;
+      for (int64_t r0 = 0; r0 < r; ++r0)
+        for (int64_t r1 = 0; r1 < r; ++r1)
+          acc += static_cast<double>(a.at({r0, i, r1})) * b.at({r1, o, r0});
+      EXPECT_NEAR(fast->at({i, o}), acc, 1e-4);
+    }
+  }
+}
+
+TEST(TrMatrixTest, ShapeErrorsReturnStatus) {
+  Tensor a = Tensor::Ones(Shape{2, 3, 2});
+  Tensor b = Tensor::Ones(Shape{2, 4, 2});
+  EXPECT_FALSE(TrMatrix(a, b, Tensor::Ones(Shape{3, 3})).ok());
+  EXPECT_FALSE(TrMatrix(a, Tensor::Ones(Shape{3, 4, 2}),
+                        Tensor::Ones(Shape{2, 2}))
+                   .ok());
+  EXPECT_FALSE(
+      TrMatrix(Tensor::Ones(Shape{2, 3}), b, Tensor::Ones(Shape{2, 2})).ok());
+}
+
+TEST(TrFormatTest, TrBeatsDenseParamsAtLowRank) {
+  // The compression claim behind Eq. 7.
+  TrFormat tr({256, 256}, 4);
+  EXPECT_LT(tr.ParamCount(), tr.DenseParamCount() / 2);
+}
+
+}  // namespace
+}  // namespace tn
+}  // namespace metalora
