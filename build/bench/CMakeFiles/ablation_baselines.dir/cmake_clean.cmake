@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_baselines.dir/ablation_baselines.cc.o"
+  "CMakeFiles/ablation_baselines.dir/ablation_baselines.cc.o.d"
+  "ablation_baselines"
+  "ablation_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rank.dir/ablation_rank.cc.o"
+  "CMakeFiles/ablation_rank.dir/ablation_rank.cc.o.d"
+  "ablation_rank"
+  "ablation_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

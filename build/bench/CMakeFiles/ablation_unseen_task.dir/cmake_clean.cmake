@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_unseen_task.dir/ablation_unseen_task.cc.o"
+  "CMakeFiles/ablation_unseen_task.dir/ablation_unseen_task.cc.o.d"
+  "ablation_unseen_task"
+  "ablation_unseen_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unseen_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_contraction.dir/fig1_contraction.cc.o"
+  "CMakeFiles/fig1_contraction.dir/fig1_contraction.cc.o.d"
+  "fig1_contraction"
+  "fig1_contraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_contraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dummy_conv.dir/fig2_dummy_conv.cc.o"
+  "CMakeFiles/fig2_dummy_conv.dir/fig2_dummy_conv.cc.o.d"
+  "fig2_dummy_conv"
+  "fig2_dummy_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dummy_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

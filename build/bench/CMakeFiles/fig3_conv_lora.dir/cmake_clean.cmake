@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_conv_lora.dir/fig3_conv_lora.cc.o"
+  "CMakeFiles/fig3_conv_lora.dir/fig3_conv_lora.cc.o.d"
+  "fig3_conv_lora"
+  "fig3_conv_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_conv_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

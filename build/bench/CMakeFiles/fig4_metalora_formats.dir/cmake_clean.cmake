@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_metalora_formats.dir/fig4_metalora_formats.cc.o"
+  "CMakeFiles/fig4_metalora_formats.dir/fig4_metalora_formats.cc.o.d"
+  "fig4_metalora_formats"
+  "fig4_metalora_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_metalora_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_efficiency.dir/param_efficiency.cc.o"
+  "CMakeFiles/param_efficiency.dir/param_efficiency.cc.o.d"
+  "param_efficiency"
+  "param_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for param_efficiency.
+# This may be replaced when dependencies are built.

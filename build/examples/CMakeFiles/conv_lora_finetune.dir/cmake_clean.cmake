@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_lora_finetune.dir/conv_lora_finetune.cpp.o"
+  "CMakeFiles/conv_lora_finetune.dir/conv_lora_finetune.cpp.o.d"
+  "conv_lora_finetune"
+  "conv_lora_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_lora_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_adaptation.dir/meta_adaptation.cpp.o"
+  "CMakeFiles/meta_adaptation.dir/meta_adaptation.cpp.o.d"
+  "meta_adaptation"
+  "meta_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

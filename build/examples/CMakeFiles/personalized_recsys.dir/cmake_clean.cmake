@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_recsys.dir/personalized_recsys.cpp.o"
+  "CMakeFiles/personalized_recsys.dir/personalized_recsys.cpp.o.d"
+  "personalized_recsys"
+  "personalized_recsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_recsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for personalized_recsys.
+# This may be replaced when dependencies are built.

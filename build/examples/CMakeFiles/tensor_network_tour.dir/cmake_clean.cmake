@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_network_tour.dir/tensor_network_tour.cpp.o"
+  "CMakeFiles/tensor_network_tour.dir/tensor_network_tour.cpp.o.d"
+  "tensor_network_tour"
+  "tensor_network_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_network_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/gradcheck.cc" "src/CMakeFiles/ml_autograd.dir/autograd/gradcheck.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/gradcheck.cc.o.d"
+  "/root/repo/src/autograd/graph.cc" "src/CMakeFiles/ml_autograd.dir/autograd/graph.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/graph.cc.o.d"
+  "/root/repo/src/autograd/ops_basic.cc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_basic.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_basic.cc.o.d"
+  "/root/repo/src/autograd/ops_conv.cc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_conv.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_conv.cc.o.d"
+  "/root/repo/src/autograd/ops_loss.cc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_loss.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_loss.cc.o.d"
+  "/root/repo/src/autograd/ops_matmul.cc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_matmul.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_matmul.cc.o.d"
+  "/root/repo/src/autograd/ops_norm.cc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_norm.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_norm.cc.o.d"
+  "/root/repo/src/autograd/ops_shape.cc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_shape.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/ops_shape.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/ml_autograd.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/ml_autograd.dir/autograd/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

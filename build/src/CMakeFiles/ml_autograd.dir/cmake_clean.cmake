@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_autograd.dir/autograd/gradcheck.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/gradcheck.cc.o.d"
+  "CMakeFiles/ml_autograd.dir/autograd/graph.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/graph.cc.o.d"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_basic.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_basic.cc.o.d"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_conv.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_conv.cc.o.d"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_loss.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_loss.cc.o.d"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_matmul.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_matmul.cc.o.d"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_norm.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_norm.cc.o.d"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_shape.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/ops_shape.cc.o.d"
+  "CMakeFiles/ml_autograd.dir/autograd/variable.cc.o"
+  "CMakeFiles/ml_autograd.dir/autograd/variable.cc.o.d"
+  "libml_autograd.a"
+  "libml_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

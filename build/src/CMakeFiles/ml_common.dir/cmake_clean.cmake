@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_common.dir/common/cli.cc.o"
+  "CMakeFiles/ml_common.dir/common/cli.cc.o.d"
+  "CMakeFiles/ml_common.dir/common/csv.cc.o"
+  "CMakeFiles/ml_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/ml_common.dir/common/logging.cc.o"
+  "CMakeFiles/ml_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/ml_common.dir/common/rng.cc.o"
+  "CMakeFiles/ml_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/ml_common.dir/common/status.cc.o"
+  "CMakeFiles/ml_common.dir/common/status.cc.o.d"
+  "CMakeFiles/ml_common.dir/common/string_util.cc.o"
+  "CMakeFiles/ml_common.dir/common/string_util.cc.o.d"
+  "CMakeFiles/ml_common.dir/common/table_printer.cc.o"
+  "CMakeFiles/ml_common.dir/common/table_printer.cc.o.d"
+  "CMakeFiles/ml_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/ml_common.dir/common/thread_pool.cc.o.d"
+  "libml_common.a"
+  "libml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

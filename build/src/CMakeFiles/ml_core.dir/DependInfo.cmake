@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adapter_config.cc" "src/CMakeFiles/ml_core.dir/core/adapter_config.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/adapter_config.cc.o.d"
+  "/root/repo/src/core/conv_lora.cc" "src/CMakeFiles/ml_core.dir/core/conv_lora.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/conv_lora.cc.o.d"
+  "/root/repo/src/core/feature_extractor.cc" "src/CMakeFiles/ml_core.dir/core/feature_extractor.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/feature_extractor.cc.o.d"
+  "/root/repo/src/core/inject.cc" "src/CMakeFiles/ml_core.dir/core/inject.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/inject.cc.o.d"
+  "/root/repo/src/core/lora_linear.cc" "src/CMakeFiles/ml_core.dir/core/lora_linear.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/lora_linear.cc.o.d"
+  "/root/repo/src/core/mapping_net.cc" "src/CMakeFiles/ml_core.dir/core/mapping_net.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/mapping_net.cc.o.d"
+  "/root/repo/src/core/metalora_conv.cc" "src/CMakeFiles/ml_core.dir/core/metalora_conv.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/metalora_conv.cc.o.d"
+  "/root/repo/src/core/metalora_linear.cc" "src/CMakeFiles/ml_core.dir/core/metalora_linear.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/metalora_linear.cc.o.d"
+  "/root/repo/src/core/moe_lora.cc" "src/CMakeFiles/ml_core.dir/core/moe_lora.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/moe_lora.cc.o.d"
+  "/root/repo/src/core/multi_lora.cc" "src/CMakeFiles/ml_core.dir/core/multi_lora.cc.o" "gcc" "src/CMakeFiles/ml_core.dir/core/multi_lora.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_tn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_core.dir/core/adapter_config.cc.o"
+  "CMakeFiles/ml_core.dir/core/adapter_config.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/conv_lora.cc.o"
+  "CMakeFiles/ml_core.dir/core/conv_lora.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/feature_extractor.cc.o"
+  "CMakeFiles/ml_core.dir/core/feature_extractor.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/inject.cc.o"
+  "CMakeFiles/ml_core.dir/core/inject.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/lora_linear.cc.o"
+  "CMakeFiles/ml_core.dir/core/lora_linear.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/mapping_net.cc.o"
+  "CMakeFiles/ml_core.dir/core/mapping_net.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/metalora_conv.cc.o"
+  "CMakeFiles/ml_core.dir/core/metalora_conv.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/metalora_linear.cc.o"
+  "CMakeFiles/ml_core.dir/core/metalora_linear.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/moe_lora.cc.o"
+  "CMakeFiles/ml_core.dir/core/moe_lora.cc.o.d"
+  "CMakeFiles/ml_core.dir/core/multi_lora.cc.o"
+  "CMakeFiles/ml_core.dir/core/multi_lora.cc.o.d"
+  "libml_core.a"
+  "libml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libml_core.a"
+)

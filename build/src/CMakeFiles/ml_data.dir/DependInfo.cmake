@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataloader.cc" "src/CMakeFiles/ml_data.dir/data/dataloader.cc.o" "gcc" "src/CMakeFiles/ml_data.dir/data/dataloader.cc.o.d"
+  "/root/repo/src/data/synthetic_images.cc" "src/CMakeFiles/ml_data.dir/data/synthetic_images.cc.o" "gcc" "src/CMakeFiles/ml_data.dir/data/synthetic_images.cc.o.d"
+  "/root/repo/src/data/synthetic_recsys.cc" "src/CMakeFiles/ml_data.dir/data/synthetic_recsys.cc.o" "gcc" "src/CMakeFiles/ml_data.dir/data/synthetic_recsys.cc.o.d"
+  "/root/repo/src/data/task_suite.cc" "src/CMakeFiles/ml_data.dir/data/task_suite.cc.o" "gcc" "src/CMakeFiles/ml_data.dir/data/task_suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_data.dir/data/dataloader.cc.o"
+  "CMakeFiles/ml_data.dir/data/dataloader.cc.o.d"
+  "CMakeFiles/ml_data.dir/data/synthetic_images.cc.o"
+  "CMakeFiles/ml_data.dir/data/synthetic_images.cc.o.d"
+  "CMakeFiles/ml_data.dir/data/synthetic_recsys.cc.o"
+  "CMakeFiles/ml_data.dir/data/synthetic_recsys.cc.o.d"
+  "CMakeFiles/ml_data.dir/data/task_suite.cc.o"
+  "CMakeFiles/ml_data.dir/data/task_suite.cc.o.d"
+  "libml_data.a"
+  "libml_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/ml_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/ml_eval.dir/eval/knn.cc.o"
+  "CMakeFiles/ml_eval.dir/eval/knn.cc.o.d"
+  "CMakeFiles/ml_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/ml_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/ml_eval.dir/eval/trainer.cc.o"
+  "CMakeFiles/ml_eval.dir/eval/trainer.cc.o.d"
+  "CMakeFiles/ml_eval.dir/eval/ttest.cc.o"
+  "CMakeFiles/ml_eval.dir/eval/ttest.cc.o.d"
+  "libml_eval.a"
+  "libml_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

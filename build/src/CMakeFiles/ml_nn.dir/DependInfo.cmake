@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/ml_nn.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/ml_nn.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/CMakeFiles/ml_nn.dir/nn/conv2d.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/conv2d.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/ml_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/ml_nn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/mlp_mixer.cc" "src/CMakeFiles/ml_nn.dir/nn/mlp_mixer.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/mlp_mixer.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/ml_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/CMakeFiles/ml_nn.dir/nn/norm.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/norm.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/CMakeFiles/ml_nn.dir/nn/pooling.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/pooling.cc.o.d"
+  "/root/repo/src/nn/resnet.cc" "src/CMakeFiles/ml_nn.dir/nn/resnet.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/resnet.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/CMakeFiles/ml_nn.dir/nn/sequential.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/sequential.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/CMakeFiles/ml_nn.dir/nn/transformer.cc.o" "gcc" "src/CMakeFiles/ml_nn.dir/nn/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ml_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_nn.dir/nn/activation.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/activation.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/conv2d.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/conv2d.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/mlp.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/mlp.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/mlp_mixer.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/mlp_mixer.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/module.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/norm.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/norm.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/pooling.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/pooling.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/resnet.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/resnet.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/sequential.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/sequential.cc.o.d"
+  "CMakeFiles/ml_nn.dir/nn/transformer.cc.o"
+  "CMakeFiles/ml_nn.dir/nn/transformer.cc.o.d"
+  "libml_nn.a"
+  "libml_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/adam.cc" "src/CMakeFiles/ml_optim.dir/optim/adam.cc.o" "gcc" "src/CMakeFiles/ml_optim.dir/optim/adam.cc.o.d"
+  "/root/repo/src/optim/grad_clip.cc" "src/CMakeFiles/ml_optim.dir/optim/grad_clip.cc.o" "gcc" "src/CMakeFiles/ml_optim.dir/optim/grad_clip.cc.o.d"
+  "/root/repo/src/optim/lr_scheduler.cc" "src/CMakeFiles/ml_optim.dir/optim/lr_scheduler.cc.o" "gcc" "src/CMakeFiles/ml_optim.dir/optim/lr_scheduler.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/CMakeFiles/ml_optim.dir/optim/sgd.cc.o" "gcc" "src/CMakeFiles/ml_optim.dir/optim/sgd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

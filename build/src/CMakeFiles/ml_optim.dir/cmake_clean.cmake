@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_optim.dir/optim/adam.cc.o"
+  "CMakeFiles/ml_optim.dir/optim/adam.cc.o.d"
+  "CMakeFiles/ml_optim.dir/optim/grad_clip.cc.o"
+  "CMakeFiles/ml_optim.dir/optim/grad_clip.cc.o.d"
+  "CMakeFiles/ml_optim.dir/optim/lr_scheduler.cc.o"
+  "CMakeFiles/ml_optim.dir/optim/lr_scheduler.cc.o.d"
+  "CMakeFiles/ml_optim.dir/optim/sgd.cc.o"
+  "CMakeFiles/ml_optim.dir/optim/sgd.cc.o.d"
+  "libml_optim.a"
+  "libml_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

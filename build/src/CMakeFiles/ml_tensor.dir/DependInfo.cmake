@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/conv_ops.cc" "src/CMakeFiles/ml_tensor.dir/tensor/conv_ops.cc.o" "gcc" "src/CMakeFiles/ml_tensor.dir/tensor/conv_ops.cc.o.d"
+  "/root/repo/src/tensor/linalg.cc" "src/CMakeFiles/ml_tensor.dir/tensor/linalg.cc.o" "gcc" "src/CMakeFiles/ml_tensor.dir/tensor/linalg.cc.o.d"
+  "/root/repo/src/tensor/matmul.cc" "src/CMakeFiles/ml_tensor.dir/tensor/matmul.cc.o" "gcc" "src/CMakeFiles/ml_tensor.dir/tensor/matmul.cc.o.d"
+  "/root/repo/src/tensor/random_init.cc" "src/CMakeFiles/ml_tensor.dir/tensor/random_init.cc.o" "gcc" "src/CMakeFiles/ml_tensor.dir/tensor/random_init.cc.o.d"
+  "/root/repo/src/tensor/serialize.cc" "src/CMakeFiles/ml_tensor.dir/tensor/serialize.cc.o" "gcc" "src/CMakeFiles/ml_tensor.dir/tensor/serialize.cc.o.d"
+  "/root/repo/src/tensor/shape.cc" "src/CMakeFiles/ml_tensor.dir/tensor/shape.cc.o" "gcc" "src/CMakeFiles/ml_tensor.dir/tensor/shape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/ml_tensor.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/ml_tensor.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/tensor/tensor_ops.cc" "src/CMakeFiles/ml_tensor.dir/tensor/tensor_ops.cc.o" "gcc" "src/CMakeFiles/ml_tensor.dir/tensor/tensor_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tensor.dir/tensor/conv_ops.cc.o"
+  "CMakeFiles/ml_tensor.dir/tensor/conv_ops.cc.o.d"
+  "CMakeFiles/ml_tensor.dir/tensor/linalg.cc.o"
+  "CMakeFiles/ml_tensor.dir/tensor/linalg.cc.o.d"
+  "CMakeFiles/ml_tensor.dir/tensor/matmul.cc.o"
+  "CMakeFiles/ml_tensor.dir/tensor/matmul.cc.o.d"
+  "CMakeFiles/ml_tensor.dir/tensor/random_init.cc.o"
+  "CMakeFiles/ml_tensor.dir/tensor/random_init.cc.o.d"
+  "CMakeFiles/ml_tensor.dir/tensor/serialize.cc.o"
+  "CMakeFiles/ml_tensor.dir/tensor/serialize.cc.o.d"
+  "CMakeFiles/ml_tensor.dir/tensor/shape.cc.o"
+  "CMakeFiles/ml_tensor.dir/tensor/shape.cc.o.d"
+  "CMakeFiles/ml_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/ml_tensor.dir/tensor/tensor.cc.o.d"
+  "CMakeFiles/ml_tensor.dir/tensor/tensor_ops.cc.o"
+  "CMakeFiles/ml_tensor.dir/tensor/tensor_ops.cc.o.d"
+  "libml_tensor.a"
+  "libml_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tn/contraction.cc" "src/CMakeFiles/ml_tn.dir/tn/contraction.cc.o" "gcc" "src/CMakeFiles/ml_tn.dir/tn/contraction.cc.o.d"
+  "/root/repo/src/tn/cp_als.cc" "src/CMakeFiles/ml_tn.dir/tn/cp_als.cc.o" "gcc" "src/CMakeFiles/ml_tn.dir/tn/cp_als.cc.o.d"
+  "/root/repo/src/tn/cp_format.cc" "src/CMakeFiles/ml_tn.dir/tn/cp_format.cc.o" "gcc" "src/CMakeFiles/ml_tn.dir/tn/cp_format.cc.o.d"
+  "/root/repo/src/tn/dummy_tensor.cc" "src/CMakeFiles/ml_tn.dir/tn/dummy_tensor.cc.o" "gcc" "src/CMakeFiles/ml_tn.dir/tn/dummy_tensor.cc.o.d"
+  "/root/repo/src/tn/tn_cost.cc" "src/CMakeFiles/ml_tn.dir/tn/tn_cost.cc.o" "gcc" "src/CMakeFiles/ml_tn.dir/tn/tn_cost.cc.o.d"
+  "/root/repo/src/tn/tr_format.cc" "src/CMakeFiles/ml_tn.dir/tn/tr_format.cc.o" "gcc" "src/CMakeFiles/ml_tn.dir/tn/tr_format.cc.o.d"
+  "/root/repo/src/tn/tucker_format.cc" "src/CMakeFiles/ml_tn.dir/tn/tucker_format.cc.o" "gcc" "src/CMakeFiles/ml_tn.dir/tn/tucker_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

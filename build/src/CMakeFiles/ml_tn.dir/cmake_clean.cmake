@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tn.dir/tn/contraction.cc.o"
+  "CMakeFiles/ml_tn.dir/tn/contraction.cc.o.d"
+  "CMakeFiles/ml_tn.dir/tn/cp_als.cc.o"
+  "CMakeFiles/ml_tn.dir/tn/cp_als.cc.o.d"
+  "CMakeFiles/ml_tn.dir/tn/cp_format.cc.o"
+  "CMakeFiles/ml_tn.dir/tn/cp_format.cc.o.d"
+  "CMakeFiles/ml_tn.dir/tn/dummy_tensor.cc.o"
+  "CMakeFiles/ml_tn.dir/tn/dummy_tensor.cc.o.d"
+  "CMakeFiles/ml_tn.dir/tn/tn_cost.cc.o"
+  "CMakeFiles/ml_tn.dir/tn/tn_cost.cc.o.d"
+  "CMakeFiles/ml_tn.dir/tn/tr_format.cc.o"
+  "CMakeFiles/ml_tn.dir/tn/tr_format.cc.o.d"
+  "CMakeFiles/ml_tn.dir/tn/tucker_format.cc.o"
+  "CMakeFiles/ml_tn.dir/tn/tucker_format.cc.o.d"
+  "libml_tn.a"
+  "libml_tn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

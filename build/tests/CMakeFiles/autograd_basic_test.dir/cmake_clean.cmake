@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_basic_test.dir/autograd_basic_test.cc.o"
+  "CMakeFiles/autograd_basic_test.dir/autograd_basic_test.cc.o.d"
+  "autograd_basic_test"
+  "autograd_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autograd_composite_test.cc" "tests/CMakeFiles/autograd_composite_test.dir/autograd_composite_test.cc.o" "gcc" "tests/CMakeFiles/autograd_composite_test.dir/autograd_composite_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ml_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_tn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

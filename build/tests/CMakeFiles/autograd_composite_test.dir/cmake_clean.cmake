@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_composite_test.dir/autograd_composite_test.cc.o"
+  "CMakeFiles/autograd_composite_test.dir/autograd_composite_test.cc.o.d"
+  "autograd_composite_test"
+  "autograd_composite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_composite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

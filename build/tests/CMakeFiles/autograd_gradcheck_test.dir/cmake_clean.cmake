@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_gradcheck_test.dir/autograd_gradcheck_test.cc.o"
+  "CMakeFiles/autograd_gradcheck_test.dir/autograd_gradcheck_test.cc.o.d"
+  "autograd_gradcheck_test"
+  "autograd_gradcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_inject_test.dir/core_inject_test.cc.o"
+  "CMakeFiles/core_inject_test.dir/core_inject_test.cc.o.d"
+  "core_inject_test"
+  "core_inject_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_inject_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lora_test.dir/core_lora_test.cc.o"
+  "CMakeFiles/core_lora_test.dir/core_lora_test.cc.o.d"
+  "core_lora_test"
+  "core_lora_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lora_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_metalora_test.dir/core_metalora_test.cc.o"
+  "CMakeFiles/core_metalora_test.dir/core_metalora_test.cc.o.d"
+  "core_metalora_test"
+  "core_metalora_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_metalora_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_recsys_test.dir/data_recsys_test.cc.o"
+  "CMakeFiles/data_recsys_test.dir/data_recsys_test.cc.o.d"
+  "data_recsys_test"
+  "data_recsys_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_recsys_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_knn_test.dir/eval_knn_test.cc.o"
+  "CMakeFiles/eval_knn_test.dir/eval_knn_test.cc.o.d"
+  "eval_knn_test"
+  "eval_knn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_trainer_test.dir/eval_trainer_test.cc.o"
+  "CMakeFiles/eval_trainer_test.dir/eval_trainer_test.cc.o.d"
+  "eval_trainer_test"
+  "eval_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

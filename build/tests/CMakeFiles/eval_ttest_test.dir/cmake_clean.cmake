@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_ttest_test.dir/eval_ttest_test.cc.o"
+  "CMakeFiles/eval_ttest_test.dir/eval_ttest_test.cc.o.d"
+  "eval_ttest_test"
+  "eval_ttest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_ttest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_module_test.dir/nn_module_test.cc.o"
+  "CMakeFiles/nn_module_test.dir/nn_module_test.cc.o.d"
+  "nn_module_test"
+  "nn_module_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_transformer_test.dir/nn_transformer_test.cc.o"
+  "CMakeFiles/nn_transformer_test.dir/nn_transformer_test.cc.o.d"
+  "nn_transformer_test"
+  "nn_transformer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_transformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_conv_test.dir/tensor_conv_test.cc.o"
+  "CMakeFiles/tensor_conv_test.dir/tensor_conv_test.cc.o.d"
+  "tensor_conv_test"
+  "tensor_conv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

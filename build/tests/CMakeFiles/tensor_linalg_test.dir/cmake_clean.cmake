@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_linalg_test.dir/tensor_linalg_test.cc.o"
+  "CMakeFiles/tensor_linalg_test.dir/tensor_linalg_test.cc.o.d"
+  "tensor_linalg_test"
+  "tensor_linalg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_matmul_test.dir/tensor_matmul_test.cc.o"
+  "CMakeFiles/tensor_matmul_test.dir/tensor_matmul_test.cc.o.d"
+  "tensor_matmul_test"
+  "tensor_matmul_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_contraction_test.dir/tn_contraction_test.cc.o"
+  "CMakeFiles/tn_contraction_test.dir/tn_contraction_test.cc.o.d"
+  "tn_contraction_test"
+  "tn_contraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_contraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

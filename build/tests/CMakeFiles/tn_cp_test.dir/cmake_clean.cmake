@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_cp_test.dir/tn_cp_test.cc.o"
+  "CMakeFiles/tn_cp_test.dir/tn_cp_test.cc.o.d"
+  "tn_cp_test"
+  "tn_cp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_cp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_dummy_tensor_test.dir/tn_dummy_tensor_test.cc.o"
+  "CMakeFiles/tn_dummy_tensor_test.dir/tn_dummy_tensor_test.cc.o.d"
+  "tn_dummy_tensor_test"
+  "tn_dummy_tensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_dummy_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_fitting_test.dir/tn_fitting_test.cc.o"
+  "CMakeFiles/tn_fitting_test.dir/tn_fitting_test.cc.o.d"
+  "tn_fitting_test"
+  "tn_fitting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_fitting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tn_tr_test.dir/tn_tr_test.cc.o"
+  "CMakeFiles/tn_tr_test.dir/tn_tr_test.cc.o.d"
+  "tn_tr_test"
+  "tn_tr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tn_tr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
