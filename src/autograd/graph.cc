@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "autograd/op.h"
+#include "common/string_util.h"
 #include "tensor/tensor_ops.h"
 
 namespace metalora {
@@ -61,6 +63,7 @@ Status BackwardWithGrad(const Variable& root, const Tensor& seed) {
     return Status::InvalidArgument("seed gradient shape mismatch");
   }
 
+  RuntimeContext& ctx = RuntimeContext::Current();
   BackwardState state;
   CountConsumers(root.impl().get(), &state);
   state.grads.emplace(root.impl().get(), seed.Clone());
@@ -84,7 +87,7 @@ Status BackwardWithGrad(const Variable& root, const Tensor& seed) {
       continue;
     }
 
-    std::vector<Tensor> input_grads = v->producer->Backward(grad);
+    std::vector<Tensor> input_grads = v->producer->Backward(ctx, grad);
     const auto& inputs = v->producer->inputs();
     ML_CHECK_EQ(input_grads.size(), inputs.size())
         << "op " << v->producer->name()
@@ -114,6 +117,49 @@ Status Backward(const Variable& root) {
   }
   Tensor seed = Tensor::Ones(root.shape());
   return BackwardWithGrad(root, seed);
+}
+
+std::string GraphStats::ToString() const {
+  std::string out = StrFormat(
+      "GraphStats{nodes=%lld, saved=%lld B in %lld tensors, peak_arena=%lld B",
+      static_cast<long long>(node_count), static_cast<long long>(saved_bytes),
+      static_cast<long long>(saved_tensor_count),
+      static_cast<long long>(peak_arena_bytes));
+  for (const auto& [name, count] : per_op_counts) {
+    out += StrFormat(", %s=%lld", name.c_str(), static_cast<long long>(count));
+  }
+  out += "}";
+  return out;
+}
+
+GraphStats CollectGraphStats(const Variable& root) {
+  GraphStats stats;
+  if (const WorkspaceArena* arena = RuntimeContext::Current().arena()) {
+    stats.peak_arena_bytes = arena->peak_bytes();
+  }
+  if (!root.defined()) return stats;
+
+  std::unordered_set<const Op*> visited;
+  std::vector<const Op*> stack;
+  if (const Op* op = root.producer().get()) {
+    visited.insert(op);
+    stack.push_back(op);
+  }
+  while (!stack.empty()) {
+    const Op* op = stack.back();
+    stack.pop_back();
+    ++stats.node_count;
+    ++stats.per_op_counts[op->name()];
+    stats.saved_bytes += op->saved_bytes();
+    stats.saved_tensor_count += op->saved_tensor_count();
+    for (const Variable& in : op->inputs()) {
+      const Op* next = in.producer().get();
+      if (next != nullptr && visited.insert(next).second) {
+        stack.push_back(next);
+      }
+    }
+  }
+  return stats;
 }
 
 }  // namespace autograd

@@ -1,6 +1,10 @@
-// Reverse-mode backward pass over the implicit autograd graph.
+// Reverse-mode backward pass and graph introspection.
 #ifndef METALORA_AUTOGRAD_GRAPH_H_
 #define METALORA_AUTOGRAD_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
 
 #include "autograd/variable.h"
 #include "common/status.h"
@@ -15,6 +19,25 @@ Status Backward(const Variable& root);
 
 /// Same, but with an explicit seed gradient of the root's shape.
 Status BackwardWithGrad(const Variable& root, const Tensor& seed);
+
+/// A snapshot of the autograd graph reachable from one root: how many op
+/// nodes it holds, of which types, and how much memory their SavedTensors
+/// pin until backward frees them. `peak_arena_bytes` reports the current
+/// context's workspace high-water mark (0 when no arena is installed) so a
+/// single struct describes both execution modes.
+struct GraphStats {
+  int64_t node_count = 0;
+  std::map<std::string, int64_t> per_op_counts;
+  int64_t saved_bytes = 0;
+  int64_t saved_tensor_count = 0;
+  int64_t peak_arena_bytes = 0;
+
+  std::string ToString() const;
+};
+
+/// Walks producer edges from `root` and tallies the graph. Cheap relative to
+/// any forward pass (pointer-chasing only); safe to call every batch.
+GraphStats CollectGraphStats(const Variable& root);
 
 }  // namespace autograd
 }  // namespace metalora

@@ -1,69 +1,350 @@
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "autograd/op.h"
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
 
 namespace metalora {
 namespace autograd {
 
+namespace {
+
+// One gradient-pass-through edge per input (Add, AddScalar).
+class PassThroughOp final : public Op {
+ public:
+  PassThroughOp(const char* name, int64_t arity) : Op(name), arity_(arity) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return std::vector<Tensor>(static_cast<size_t>(arity_), g);
+  }
+
+ private:
+  int64_t arity_;
+};
+
+class SubOp final : public Op {
+ public:
+  SubOp() : Op("Sub") {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return {g, metalora::Scale(g, -1.0f)};
+  }
+};
+
+class MulOp final : public Op {
+ public:
+  MulOp(Tensor a, Tensor b)
+      : Op("Mul"), a_(Save(std::move(a))), b_(Save(std::move(b))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return {metalora::Mul(g, b_.get()), metalora::Mul(g, a_.get())};
+  }
+
+ private:
+  SavedTensor a_, b_;
+};
+
+class ScaleOp final : public Op {
+ public:
+  explicit ScaleOp(float s) : Op("Scale"), s_(s) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return {metalora::Scale(g, s_)};
+  }
+
+ private:
+  float s_;
+};
+
+class AddRowBroadcastOp final : public Op {
+ public:
+  AddRowBroadcastOp() : Op("AddRowBroadcast") {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return {g, SumAxis(g, 0)};
+  }
+};
+
+class MulRowBroadcastOp final : public Op {
+ public:
+  MulRowBroadcastOp(Tensor a, Tensor row)
+      : Op("MulRowBroadcast"), a_(Save(std::move(a))), row_(Save(std::move(row))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& av = a_.get();
+    const Tensor& rv = row_.get();
+    const int64_t n = av.dim(0), c = av.dim(1);
+    Tensor ga{av.shape()};
+    Tensor gr{rv.shape()};
+    const float* pg = g.data();
+    const float* pa = av.data();
+    const float* pr = rv.data();
+    float* pga = ga.data();
+    float* pgr = gr.data();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < c; ++j) {
+        pga[i * c + j] = pg[i * c + j] * pr[j];
+        pgr[j] += pg[i * c + j] * pa[i * c + j];
+      }
+    }
+    return {ga, gr};
+  }
+
+ private:
+  SavedTensor a_, row_;
+};
+
+class ScaleChannelsOp final : public Op {
+ public:
+  ScaleChannelsOp(Tensor a, Tensor s)
+      : Op("ScaleChannels"), a_(Save(std::move(a))), s_(Save(std::move(s))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& av = a_.get();
+    const Tensor& sv = s_.get();
+    const int64_t n = av.dim(0), c = av.dim(1),
+                  spatial = av.dim(2) * av.dim(3);
+    Tensor ga{av.shape()};
+    Tensor gs{sv.shape()};
+    const float* pg = g.data();
+    const float* pa = av.data();
+    const float* ps = sv.data();
+    float* pga = ga.data();
+    float* pgs = gs.data();
+    for (int64_t i = 0; i < n * c; ++i) {
+      const float scale = ps[i];
+      const float* gplane = pg + i * spatial;
+      const float* aplane = pa + i * spatial;
+      float* gaplane = pga + i * spatial;
+      float acc = 0.0f;
+      for (int64_t k = 0; k < spatial; ++k) {
+        gaplane[k] = gplane[k] * scale;
+        acc += gplane[k] * aplane[k];
+      }
+      pgs[i] = acc;
+    }
+    return {ga, gs};
+  }
+
+ private:
+  SavedTensor a_, s_;
+};
+
+class ScaleRowsOp final : public Op {
+ public:
+  ScaleRowsOp(Tensor a, Tensor s)
+      : Op("ScaleRows"), a_(Save(std::move(a))), s_(Save(std::move(s))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& av = a_.get();
+    const Tensor& sv = s_.get();
+    const int64_t n = av.dim(0);
+    const int64_t rest = av.numel() / std::max<int64_t>(n, 1);
+    Tensor ga{av.shape()};
+    Tensor gs{sv.shape()};
+    const float* pg = g.data();
+    const float* pa = av.data();
+    const float* ps = sv.data();
+    float* pga = ga.data();
+    float* pgs = gs.data();
+    for (int64_t i = 0; i < n; ++i) {
+      const float scale = ps[i];
+      float acc = 0.0f;
+      for (int64_t k = 0; k < rest; ++k) {
+        pga[i * rest + k] = pg[i * rest + k] * scale;
+        acc += pg[i * rest + k] * pa[i * rest + k];
+      }
+      pgs[i] = acc;
+    }
+    return {ga, gs};
+  }
+
+ private:
+  SavedTensor a_, s_;
+};
+
+class MulScalarVarOp final : public Op {
+ public:
+  MulScalarVarOp(Tensor a, float sv, Shape s_shape)
+      : Op("MulScalarVar"),
+        a_(Save(std::move(a))),
+        sv_(sv),
+        s_shape_(std::move(s_shape)) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& av = a_.get();
+    Tensor gs{s_shape_};
+    double acc = 0;
+    const float* pg = g.data();
+    const float* pa = av.data();
+    for (int64_t i = 0, n = g.numel(); i < n; ++i)
+      acc += static_cast<double>(pg[i]) * pa[i];
+    gs.flat(0) = static_cast<float>(acc);
+    return {metalora::Scale(g, sv_), gs};
+  }
+
+ private:
+  SavedTensor a_;
+  float sv_;
+  Shape s_shape_;
+};
+
+class RepeatRowsInterleavedOp final : public Op {
+ public:
+  RepeatRowsInterleavedOp(Shape in_shape, int64_t n, int64_t k, int64_t rest)
+      : Op("RepeatRowsInterleaved"),
+        in_shape_(std::move(in_shape)),
+        n_(n),
+        k_(k),
+        rest_(rest) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    Tensor ga{in_shape_};
+    const float* pg = g.data();
+    float* pga = ga.data();
+    for (int64_t i = 0; i < n_; ++i) {
+      float* dst = pga + i * rest_;
+      for (int64_t j = 0; j < k_; ++j) {
+        const float* src = pg + (i * k_ + j) * rest_;
+        for (int64_t t = 0; t < rest_; ++t) dst[t] += src[t];
+      }
+    }
+    return {ga};
+  }
+
+ private:
+  Shape in_shape_;
+  int64_t n_, k_, rest_;
+};
+
+// Elementwise op whose derivative is a function of the saved *input*.
+template <float (*Dfn)(float)>
+class UnaryFromInputOp final : public Op {
+ public:
+  UnaryFromInputOp(const char* name, Tensor input)
+      : Op(name), input_(Save(std::move(input))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return {Zip(g, input_.get(),
+                [](float gv, float x) { return gv * Dfn(x); })};
+  }
+
+ private:
+  SavedTensor input_;
+};
+
+// Elementwise op whose derivative is a function of the saved *output*.
+template <float (*Dfn)(float)>
+class UnaryFromOutputOp final : public Op {
+ public:
+  UnaryFromOutputOp(const char* name, Tensor output)
+      : Op(name), output_(Save(std::move(output))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return {Zip(g, output_.get(),
+                [](float gv, float y) { return gv * Dfn(y); })};
+  }
+
+ private:
+  SavedTensor output_;
+};
+
+class DropoutOp final : public Op {
+ public:
+  explicit DropoutOp(Tensor mask) : Op("Dropout"), mask_(Save(std::move(mask))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return {metalora::Mul(g, mask_.get())};
+  }
+
+ private:
+  SavedTensor mask_;
+};
+
+class FillLikeOp final : public Op {
+ public:
+  // SumAll broadcasts g; MeanAll additionally divides by numel (scale).
+  FillLikeOp(const char* name, Shape in_shape, float scale)
+      : Op(name), in_shape_(std::move(in_shape)), scale_(scale) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    return {Tensor::Full(in_shape_, g.flat(0) * scale_)};
+  }
+
+ private:
+  Shape in_shape_;
+  float scale_;
+};
+
+}  // namespace
+
 Variable Add(const Variable& a, const Variable& b) {
-  Tensor out = metalora::Add(a.value(), b.value());
-  return MakeOpResult(std::move(out), {a, b}, "Add",
-                      [](const Tensor& g) -> std::vector<Tensor> {
-                        return {g, g};
-                      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "Add");
+  Tensor out = ctx.AllocResult(a.shape());
+  metalora::AddInto(a.value(), b.value(), &out);
+  prof.set_output(out);
+  return MakeOpResult<PassThroughOp>(std::move(out), {a, b}, "Add", 2);
 }
 
 Variable Sub(const Variable& a, const Variable& b) {
-  Tensor out = metalora::Sub(a.value(), b.value());
-  return MakeOpResult(std::move(out), {a, b}, "Sub",
-                      [](const Tensor& g) -> std::vector<Tensor> {
-                        return {g, metalora::Scale(g, -1.0f)};
-                      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "Sub");
+  Tensor out = ctx.AllocResult(a.shape());
+  metalora::SubInto(a.value(), b.value(), &out);
+  prof.set_output(out);
+  return MakeOpResult<SubOp>(std::move(out), {a, b});
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
-  Tensor out = metalora::Mul(a.value(), b.value());
-  Tensor av = a.value(), bv = b.value();
-  return MakeOpResult(std::move(out), {a, b}, "Mul",
-                      [av, bv](const Tensor& g) -> std::vector<Tensor> {
-                        return {metalora::Mul(g, bv), metalora::Mul(g, av)};
-                      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "Mul");
+  Tensor out = ctx.AllocResult(a.shape());
+  metalora::MulInto(a.value(), b.value(), &out);
+  prof.set_output(out);
+  return MakeOpResult<MulOp>(std::move(out), {a, b}, a.value(), b.value());
 }
 
 Variable Scale(const Variable& a, float s) {
-  Tensor out = metalora::Scale(a.value(), s);
-  return MakeOpResult(std::move(out), {a}, "Scale",
-                      [s](const Tensor& g) -> std::vector<Tensor> {
-                        return {metalora::Scale(g, s)};
-                      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "Scale");
+  Tensor out = ctx.AllocResult(a.shape());
+  metalora::ScaleInto(a.value(), s, &out);
+  prof.set_output(out);
+  return MakeOpResult<ScaleOp>(std::move(out), {a}, s);
 }
 
 Variable AddScalar(const Variable& a, float s) {
-  Tensor out = metalora::AddScalar(a.value(), s);
-  return MakeOpResult(std::move(out), {a}, "AddScalar",
-                      [](const Tensor& g) -> std::vector<Tensor> {
-                        return {g};
-                      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "AddScalar");
+  Tensor out = ctx.AllocResult(a.shape());
+  metalora::AddScalarInto(a.value(), s, &out);
+  prof.set_output(out);
+  return MakeOpResult<PassThroughOp>(std::move(out), {a}, "AddScalar", 1);
 }
 
 Variable Neg(const Variable& a) { return Scale(a, -1.0f); }
 
 Variable AddRowBroadcast(const Variable& a, const Variable& bias) {
-  Tensor out = metalora::AddRowBroadcast(a.value(), bias.value());
-  return MakeOpResult(std::move(out), {a, bias}, "AddRowBroadcast",
-                      [](const Tensor& g) -> std::vector<Tensor> {
-                        return {g, SumAxis(g, 0)};
-                      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "AddRowBroadcast");
+  Tensor out = ctx.AllocResult(a.shape());
+  metalora::AddRowBroadcastInto(a.value(), bias.value(), &out);
+  prof.set_output(out);
+  return MakeOpResult<AddRowBroadcastOp>(std::move(out), {a, bias});
 }
 
 Variable MulRowBroadcast(const Variable& a, const Variable& row) {
   ML_CHECK_EQ(a.rank(), 2);
   ML_CHECK_EQ(row.rank(), 1);
   ML_CHECK_EQ(a.dim(1), row.dim(0));
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "MulRowBroadcast");
   const int64_t n = a.dim(0), c = a.dim(1);
-  Tensor out{a.shape()};
+  Tensor out = ctx.AllocResult(a.shape());
   {
     const float* pa = a.value().data();
     const float* pr = row.value().data();
@@ -71,25 +352,9 @@ Variable MulRowBroadcast(const Variable& a, const Variable& row) {
     for (int64_t i = 0; i < n; ++i)
       for (int64_t j = 0; j < c; ++j) po[i * c + j] = pa[i * c + j] * pr[j];
   }
-  Tensor av = a.value(), rv = row.value();
-  return MakeOpResult(
-      std::move(out), {a, row}, "MulRowBroadcast",
-      [av, rv, n, c](const Tensor& g) -> std::vector<Tensor> {
-        Tensor ga{av.shape()};
-        Tensor gr{rv.shape()};
-        const float* pg = g.data();
-        const float* pa = av.data();
-        const float* pr = rv.data();
-        float* pga = ga.data();
-        float* pgr = gr.data();
-        for (int64_t i = 0; i < n; ++i) {
-          for (int64_t j = 0; j < c; ++j) {
-            pga[i * c + j] = pg[i * c + j] * pr[j];
-            pgr[j] += pg[i * c + j] * pa[i * c + j];
-          }
-        }
-        return {ga, gr};
-      });
+  prof.set_output(out);
+  return MakeOpResult<MulRowBroadcastOp>(std::move(out), {a, row}, a.value(),
+                                         row.value());
 }
 
 Variable ScaleChannels(const Variable& a, const Variable& s) {
@@ -97,8 +362,10 @@ Variable ScaleChannels(const Variable& a, const Variable& s) {
   ML_CHECK_EQ(s.rank(), 2);
   ML_CHECK_EQ(a.dim(0), s.dim(0));
   ML_CHECK_EQ(a.dim(1), s.dim(1));
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "ScaleChannels");
   const int64_t n = a.dim(0), c = a.dim(1), spatial = a.dim(2) * a.dim(3);
-  Tensor out{a.shape()};
+  Tensor out = ctx.AllocResult(a.shape());
   {
     const float* pa = a.value().data();
     const float* ps = s.value().data();
@@ -110,40 +377,20 @@ Variable ScaleChannels(const Variable& a, const Variable& s) {
       for (int64_t k = 0; k < spatial; ++k) oplane[k] = plane[k] * sv;
     }
   }
-  Tensor av = a.value(), sv = s.value();
-  return MakeOpResult(
-      std::move(out), {a, s}, "ScaleChannels",
-      [av, sv, n, c, spatial](const Tensor& g) -> std::vector<Tensor> {
-        Tensor ga{av.shape()};
-        Tensor gs{sv.shape()};
-        const float* pg = g.data();
-        const float* pa = av.data();
-        const float* ps = sv.data();
-        float* pga = ga.data();
-        float* pgs = gs.data();
-        for (int64_t i = 0; i < n * c; ++i) {
-          const float scale = ps[i];
-          const float* gplane = pg + i * spatial;
-          const float* aplane = pa + i * spatial;
-          float* gaplane = pga + i * spatial;
-          float acc = 0.0f;
-          for (int64_t k = 0; k < spatial; ++k) {
-            gaplane[k] = gplane[k] * scale;
-            acc += gplane[k] * aplane[k];
-          }
-          pgs[i] = acc;
-        }
-        return {ga, gs};
-      });
+  prof.set_output(out);
+  return MakeOpResult<ScaleChannelsOp>(std::move(out), {a, s}, a.value(),
+                                       s.value());
 }
 
 Variable ScaleRows(const Variable& a, const Variable& s) {
   ML_CHECK_GE(a.rank(), 1);
   ML_CHECK_EQ(s.rank(), 1);
   ML_CHECK_EQ(a.dim(0), s.dim(0));
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "ScaleRows");
   const int64_t n = a.dim(0);
   const int64_t rest = a.numel() / std::max<int64_t>(n, 1);
-  Tensor out{a.shape()};
+  Tensor out = ctx.AllocResult(a.shape());
   {
     const float* pa = a.value().data();
     const float* ps = s.value().data();
@@ -154,59 +401,34 @@ Variable ScaleRows(const Variable& a, const Variable& s) {
         po[i * rest + k] = pa[i * rest + k] * sv;
     }
   }
-  Tensor av = a.value(), sv = s.value();
-  return MakeOpResult(
-      std::move(out), {a, s}, "ScaleRows",
-      [av, sv, n, rest](const Tensor& g) -> std::vector<Tensor> {
-        Tensor ga{av.shape()};
-        Tensor gs{sv.shape()};
-        const float* pg = g.data();
-        const float* pa = av.data();
-        const float* ps = sv.data();
-        float* pga = ga.data();
-        float* pgs = gs.data();
-        for (int64_t i = 0; i < n; ++i) {
-          const float scale = ps[i];
-          float acc = 0.0f;
-          for (int64_t k = 0; k < rest; ++k) {
-            pga[i * rest + k] = pg[i * rest + k] * scale;
-            acc += pg[i * rest + k] * pa[i * rest + k];
-          }
-          pgs[i] = acc;
-        }
-        return {ga, gs};
-      });
+  prof.set_output(out);
+  return MakeOpResult<ScaleRowsOp>(std::move(out), {a, s}, a.value(),
+                                   s.value());
 }
 
 Variable MulScalarVar(const Variable& a, const Variable& s) {
   ML_CHECK_EQ(s.numel(), 1);
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "MulScalarVar");
   const float sv = s.value().flat(0);
-  Tensor out = metalora::Scale(a.value(), sv);
-  Tensor av = a.value();
-  Shape s_shape = s.shape();
-  return MakeOpResult(
-      std::move(out), {a, s}, "MulScalarVar",
-      [av, sv, s_shape](const Tensor& g) -> std::vector<Tensor> {
-        Tensor gs{s_shape};
-        double acc = 0;
-        const float* pg = g.data();
-        const float* pa = av.data();
-        for (int64_t i = 0, n = g.numel(); i < n; ++i)
-          acc += static_cast<double>(pg[i]) * pa[i];
-        gs.flat(0) = static_cast<float>(acc);
-        return {metalora::Scale(g, sv), gs};
-      });
+  Tensor out = ctx.AllocResult(a.shape());
+  metalora::ScaleInto(a.value(), sv, &out);
+  prof.set_output(out);
+  return MakeOpResult<MulScalarVarOp>(std::move(out), {a, s}, a.value(), sv,
+                                      s.shape());
 }
 
 Variable RepeatRowsInterleaved(const Variable& a, int64_t k) {
   ML_CHECK_GE(a.rank(), 1);
   ML_CHECK_GT(k, 0);
   if (k == 1) return a;
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "RepeatRowsInterleaved");
   const int64_t n = a.dim(0);
   const int64_t rest = a.numel() / std::max<int64_t>(n, 1);
   std::vector<int64_t> out_dims = a.shape().dims();
   out_dims[0] = n * k;
-  Tensor out{Shape(out_dims)};
+  Tensor out = ctx.AllocResult(Shape(out_dims));
   {
     const float* pa = a.value().data();
     float* po = out.data();
@@ -217,36 +439,19 @@ Variable RepeatRowsInterleaved(const Variable& a, int64_t k) {
       }
     }
   }
-  Shape in_shape = a.shape();
-  return MakeOpResult(
-      std::move(out), {a}, "RepeatRowsInterleaved",
-      [in_shape, n, k, rest](const Tensor& g) -> std::vector<Tensor> {
-        Tensor ga{in_shape};
-        const float* pg = g.data();
-        float* pga = ga.data();
-        for (int64_t i = 0; i < n; ++i) {
-          float* dst = pga + i * rest;
-          for (int64_t j = 0; j < k; ++j) {
-            const float* src = pg + (i * k + j) * rest;
-            for (int64_t t = 0; t < rest; ++t) dst[t] += src[t];
-          }
-        }
-        return {ga};
-      });
-}
-
-Variable Relu(const Variable& a) {
-  Tensor out = Map(a.value(), [](float v) { return v > 0 ? v : 0.0f; });
-  Tensor av = a.value();
-  return MakeOpResult(std::move(out), {a}, "Relu",
-                      [av](const Tensor& g) -> std::vector<Tensor> {
-                        return {Zip(g, av, [](float gv, float x) {
-                          return x > 0 ? gv : 0.0f;
-                        })};
-                      });
+  prof.set_output(out);
+  return MakeOpResult<RepeatRowsInterleavedOp>(std::move(out), {a}, a.shape(),
+                                               n, k, rest);
 }
 
 namespace {
+
+inline float ReluBwd(float x) { return x > 0 ? 1.0f : 0.0f; }
+inline float SquareBwd(float x) { return 2.0f * x; }
+inline float TanhBwdFromOutput(float y) { return 1.0f - y * y; }
+inline float SigmoidBwdFromOutput(float y) { return y * (1.0f - y); }
+inline float ExpBwdFromOutput(float y) { return y; }
+
 // tanh-approximation GELU and its derivative.
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715f;
@@ -263,65 +468,68 @@ inline float GeluBwd(float x) {
   const float du = kGeluC * (1.0f + 3.0f * kGeluA * x * x);
   return 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
 }
+
+// Shared facade body for elementwise activations saving their input.
+template <float (*Dfn)(float), typename FwdFn>
+Variable UnaryFromInput(const Variable& a, const char* name, FwdFn fwd) {
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, name);
+  Tensor out = ctx.AllocResult(a.shape());
+  MapInto(a.value(), fwd, &out);
+  prof.set_output(out);
+  return MakeOpResult<UnaryFromInputOp<Dfn>>(std::move(out), {a}, name,
+                                             a.value());
+}
+
+// Shared facade body for elementwise activations saving their output.
+template <float (*Dfn)(float), typename FwdFn>
+Variable UnaryFromOutput(const Variable& a, const char* name, FwdFn fwd) {
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, name);
+  Tensor out = ctx.AllocResult(a.shape());
+  MapInto(a.value(), fwd, &out);
+  prof.set_output(out);
+  Tensor saved = out;  // O(1) shared-buffer copy
+  return MakeOpResult<UnaryFromOutputOp<Dfn>>(std::move(out), {a}, name,
+                                              std::move(saved));
+}
+
 }  // namespace
 
+Variable Relu(const Variable& a) {
+  return UnaryFromInput<ReluBwd>(a, "Relu",
+                                 [](float v) { return v > 0 ? v : 0.0f; });
+}
+
 Variable Gelu(const Variable& a) {
-  Tensor out = Map(a.value(), GeluFwd);
-  Tensor av = a.value();
-  return MakeOpResult(std::move(out), {a}, "Gelu",
-                      [av](const Tensor& g) -> std::vector<Tensor> {
-                        return {Zip(g, av, [](float gv, float x) {
-                          return gv * GeluBwd(x);
-                        })};
-                      });
+  return UnaryFromInput<GeluBwd>(a, "Gelu", GeluFwd);
 }
 
 Variable Tanh(const Variable& a) {
-  Tensor out = Map(a.value(), [](float v) { return std::tanh(v); });
-  Tensor ov = out;  // derivative uses the output
-  return MakeOpResult(std::move(out), {a}, "Tanh",
-                      [ov](const Tensor& g) -> std::vector<Tensor> {
-                        return {Zip(g, ov, [](float gv, float y) {
-                          return gv * (1.0f - y * y);
-                        })};
-                      });
+  return UnaryFromOutput<TanhBwdFromOutput>(
+      a, "Tanh", [](float v) { return std::tanh(v); });
 }
 
 Variable Sigmoid(const Variable& a) {
-  Tensor out =
-      Map(a.value(), [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
-  Tensor ov = out;
-  return MakeOpResult(std::move(out), {a}, "Sigmoid",
-                      [ov](const Tensor& g) -> std::vector<Tensor> {
-                        return {Zip(g, ov, [](float gv, float y) {
-                          return gv * y * (1.0f - y);
-                        })};
-                      });
+  return UnaryFromOutput<SigmoidBwdFromOutput>(
+      a, "Sigmoid", [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
 }
 
 Variable Square(const Variable& a) {
-  Tensor out = Map(a.value(), [](float v) { return v * v; });
-  Tensor av = a.value();
-  return MakeOpResult(std::move(out), {a}, "Square",
-                      [av](const Tensor& g) -> std::vector<Tensor> {
-                        return {Zip(g, av, [](float gv, float x) {
-                          return gv * 2.0f * x;
-                        })};
-                      });
+  return UnaryFromInput<SquareBwd>(a, "Square",
+                                   [](float v) { return v * v; });
 }
 
 Variable Exp(const Variable& a) {
-  Tensor out = Map(a.value(), [](float v) { return std::exp(v); });
-  Tensor ov = out;
-  return MakeOpResult(std::move(out), {a}, "Exp",
-                      [ov](const Tensor& g) -> std::vector<Tensor> {
-                        return {metalora::Mul(g, ov)};
-                      });
+  return UnaryFromOutput<ExpBwdFromOutput>(
+      a, "Exp", [](float v) { return std::exp(v); });
 }
 
 Variable Dropout(const Variable& a, float p, bool training, Rng& rng) {
   ML_CHECK(p >= 0.0f && p < 1.0f) << "dropout probability out of range";
   if (!training || p == 0.0f) return a;
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "Dropout");
   const float keep = 1.0f - p;
   const float inv_keep = 1.0f / keep;
   Tensor mask{a.shape()};
@@ -329,30 +537,31 @@ Variable Dropout(const Variable& a, float p, bool training, Rng& rng) {
   for (int64_t i = 0, n = mask.numel(); i < n; ++i) {
     pm[i] = rng.Bernoulli(keep) ? inv_keep : 0.0f;
   }
-  Tensor out = metalora::Mul(a.value(), mask);
-  return MakeOpResult(std::move(out), {a}, "Dropout",
-                      [mask](const Tensor& g) -> std::vector<Tensor> {
-                        return {metalora::Mul(g, mask)};
-                      });
+  Tensor out = ctx.AllocResult(a.shape());
+  metalora::MulInto(a.value(), mask, &out);
+  prof.set_output(out);
+  return MakeOpResult<DropoutOp>(std::move(out), {a}, std::move(mask));
 }
 
 Variable SumAll(const Variable& a) {
-  Tensor out = Tensor::Scalar(static_cast<float>(metalora::SumAll(a.value())));
-  Shape in_shape = a.shape();
-  return MakeOpResult(std::move(out), {a}, "SumAll",
-                      [in_shape](const Tensor& g) -> std::vector<Tensor> {
-                        return {Tensor::Full(in_shape, g.flat(0))};
-                      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "SumAll");
+  Tensor out = ctx.AllocResult(Shape{});
+  out.flat(0) = static_cast<float>(metalora::SumAll(a.value()));
+  prof.set_output(out);
+  return MakeOpResult<FillLikeOp>(std::move(out), {a}, "SumAll", a.shape(),
+                                  1.0f);
 }
 
 Variable MeanAll(const Variable& a) {
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "MeanAll");
   const float inv = 1.0f / static_cast<float>(a.numel());
-  Tensor out = Tensor::Scalar(static_cast<float>(metalora::MeanAll(a.value())));
-  Shape in_shape = a.shape();
-  return MakeOpResult(std::move(out), {a}, "MeanAll",
-                      [in_shape, inv](const Tensor& g) -> std::vector<Tensor> {
-                        return {Tensor::Full(in_shape, g.flat(0) * inv)};
-                      });
+  Tensor out = ctx.AllocResult(Shape{});
+  out.flat(0) = static_cast<float>(metalora::MeanAll(a.value()));
+  prof.set_output(out);
+  return MakeOpResult<FillLikeOp>(std::move(out), {a}, "MeanAll", a.shape(),
+                                  inv);
 }
 
 }  // namespace autograd

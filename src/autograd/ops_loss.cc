@@ -1,6 +1,9 @@
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "autograd/op.h"
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
 
@@ -9,12 +12,11 @@ namespace autograd {
 
 namespace {
 
-// Row-wise softmax of [N, C] into a fresh tensor (numerically stable).
-Tensor SoftmaxRows(const Tensor& logits) {
+// Row-wise softmax of [N, C] into `probs` (numerically stable).
+void SoftmaxRowsInto(const Tensor& logits, Tensor* probs) {
   const int64_t n = logits.dim(0), c = logits.dim(1);
-  Tensor probs{logits.shape()};
   const float* pl = logits.data();
-  float* pp = probs.data();
+  float* pp = probs->data();
   for (int64_t i = 0; i < n; ++i) {
     const float* row = pl + i * c;
     float* prow = pp + i * c;
@@ -29,69 +31,136 @@ Tensor SoftmaxRows(const Tensor& logits) {
     const float inv = static_cast<float>(1.0 / denom);
     for (int64_t j = 0; j < c; ++j) prow[j] *= inv;
   }
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  Tensor probs{logits.shape()};
+  SoftmaxRowsInto(logits, &probs);
   return probs;
 }
+
+// dx = p ⊙ (g - (g·p per row)) over `rows` rows of width `c`.
+void SoftmaxBackwardRows(const Tensor& g, const Tensor& probs, int64_t rows,
+                         int64_t c, Tensor* gx) {
+  const float* pg = g.data();
+  const float* pp = probs.data();
+  float* pgx = gx->data();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* grow = pg + i * c;
+    const float* prow = pp + i * c;
+    float* gxrow = pgx + i * c;
+    double dot = 0;
+    for (int64_t j = 0; j < c; ++j)
+      dot += static_cast<double>(grow[j]) * prow[j];
+    for (int64_t j = 0; j < c; ++j)
+      gxrow[j] = prow[j] * (grow[j] - static_cast<float>(dot));
+  }
+}
+
+class SoftmaxOp final : public Op {
+ public:
+  SoftmaxOp(const char* name, Tensor probs)
+      : Op(name), probs_(Save(std::move(probs))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& pv = probs_.get();
+    const int64_t c = pv.dim(-1);
+    const int64_t rows = pv.numel() / c;
+    Tensor gx{g.shape()};
+    SoftmaxBackwardRows(g, pv, rows, c, &gx);
+    return {gx};
+  }
+
+ private:
+  SavedTensor probs_;
+};
+
+class SoftmaxCrossEntropyOp final : public Op {
+ public:
+  SoftmaxCrossEntropyOp(Tensor probs, std::vector<int64_t> labels)
+      : Op("SoftmaxCrossEntropy"),
+        probs_(Save(std::move(probs))),
+        labels_(std::move(labels)) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    // d logits = (p - onehot(y)) * g / N.
+    const Tensor& pv = probs_.get();
+    const int64_t n = pv.dim(0), c = pv.dim(1);
+    const float scale = g.flat(0) / static_cast<float>(n);
+    Tensor gx = pv.Clone();
+    float* pgx = gx.data();
+    for (int64_t i = 0; i < n; ++i) {
+      pgx[i * c + labels_[static_cast<size_t>(i)]] -= 1.0f;
+    }
+    for (int64_t i = 0, total = n * c; i < total; ++i) pgx[i] *= scale;
+    return {gx};
+  }
+
+ private:
+  SavedTensor probs_;
+  std::vector<int64_t> labels_;
+};
+
+class MseLossOp final : public Op {
+ public:
+  MseLossOp(Tensor pred, Tensor target)
+      : Op("MseLoss"),
+        pred_(Save(std::move(pred))),
+        target_(Save(std::move(target))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& pv = pred_.get();
+    const Tensor& tv = target_.get();
+    const int64_t n = pv.numel();
+    const float scale = 2.0f * g.flat(0) / static_cast<float>(n);
+    Tensor gx{pv.shape()};
+    const float* pp = pv.data();
+    const float* pt = tv.data();
+    float* pgx = gx.data();
+    for (int64_t i = 0; i < n; ++i) pgx[i] = scale * (pp[i] - pt[i]);
+    return {gx};
+  }
+
+ private:
+  SavedTensor pred_, target_;
+};
 
 }  // namespace
 
 Variable Softmax(const Variable& logits) {
   ML_CHECK_EQ(logits.rank(), 2);
-  Tensor probs = SoftmaxRows(logits.value());
-  Tensor pv = probs;
-  const int64_t n = logits.dim(0), c = logits.dim(1);
-  return MakeOpResult(
-      std::move(probs), {logits}, "Softmax",
-      [pv, n, c](const Tensor& g) -> std::vector<Tensor> {
-        // dx = p ⊙ (g - (g·p per row)).
-        Tensor gx{g.shape()};
-        const float* pg = g.data();
-        const float* pp = pv.data();
-        float* pgx = gx.data();
-        for (int64_t i = 0; i < n; ++i) {
-          const float* grow = pg + i * c;
-          const float* prow = pp + i * c;
-          float* gxrow = pgx + i * c;
-          double dot = 0;
-          for (int64_t j = 0; j < c; ++j)
-            dot += static_cast<double>(grow[j]) * prow[j];
-          for (int64_t j = 0; j < c; ++j)
-            gxrow[j] = prow[j] * (grow[j] - static_cast<float>(dot));
-        }
-        return {gx};
-      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "Softmax");
+  Tensor probs = ctx.AllocResult(logits.shape());
+  SoftmaxRowsInto(logits.value(), &probs);
+  prof.set_output(probs);
+  Tensor saved = probs;  // O(1) shared-buffer copy
+  return MakeOpResult<SoftmaxOp>(std::move(probs), {logits}, "Softmax",
+                                 std::move(saved));
 }
 
 Variable SoftmaxLastDim(const Variable& logits) {
   ML_CHECK_GE(logits.rank(), 1);
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "SoftmaxLastDim");
   const int64_t c = logits.dim(-1);
   const int64_t rows = logits.numel() / c;
-  Tensor probs = SoftmaxRows(logits.value().Reshape(Shape{rows, c}))
-                     .Reshape(logits.shape());
-  Tensor pv = probs;
-  return MakeOpResult(
-      std::move(probs), {logits}, "SoftmaxLastDim",
-      [pv, rows, c](const Tensor& g) -> std::vector<Tensor> {
-        Tensor gx{g.shape()};
-        const float* pg = g.data();
-        const float* pp = pv.data();
-        float* pgx = gx.data();
-        for (int64_t i = 0; i < rows; ++i) {
-          const float* grow = pg + i * c;
-          const float* prow = pp + i * c;
-          float* gxrow = pgx + i * c;
-          double dot = 0;
-          for (int64_t j = 0; j < c; ++j)
-            dot += static_cast<double>(grow[j]) * prow[j];
-          for (int64_t j = 0; j < c; ++j)
-            gxrow[j] = prow[j] * (grow[j] - static_cast<float>(dot));
-        }
-        return {gx};
-      });
+  Tensor probs = ctx.AllocResult(logits.shape());
+  {
+    Tensor flat = probs.Reshape(Shape{rows, c});
+    SoftmaxRowsInto(logits.value().Reshape(Shape{rows, c}), &flat);
+  }
+  prof.set_output(probs);
+  Tensor saved = probs;
+  return MakeOpResult<SoftmaxOp>(std::move(probs), {logits}, "SoftmaxLastDim",
+                                 std::move(saved));
 }
 
 Variable SoftmaxCrossEntropy(const Variable& logits,
                              const std::vector<int64_t>& labels) {
   ML_CHECK_EQ(logits.rank(), 2);
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "SoftmaxCrossEntropy");
   const int64_t n = logits.dim(0), c = logits.dim(1);
   ML_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
   Tensor probs = SoftmaxRows(logits.value());
@@ -103,24 +172,15 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
     loss_acc -= std::log(std::max(probs.flat(i * c + y), 1e-30f));
   }
   Tensor loss = Tensor::Scalar(static_cast<float>(loss_acc / n));
-  Tensor pv = probs;
-  return MakeOpResult(
-      std::move(loss), {logits}, "SoftmaxCrossEntropy",
-      [pv, labels, n, c](const Tensor& g) -> std::vector<Tensor> {
-        // d logits = (p - onehot(y)) * g / N.
-        const float scale = g.flat(0) / static_cast<float>(n);
-        Tensor gx = pv.Clone();
-        float* pgx = gx.data();
-        for (int64_t i = 0; i < n; ++i) {
-          pgx[i * c + labels[static_cast<size_t>(i)]] -= 1.0f;
-        }
-        for (int64_t i = 0, total = n * c; i < total; ++i) pgx[i] *= scale;
-        return {gx};
-      });
+  prof.set_output(loss);
+  return MakeOpResult<SoftmaxCrossEntropyOp>(std::move(loss), {logits},
+                                             std::move(probs), labels);
 }
 
 Variable MseLoss(const Variable& pred, const Tensor& target) {
   ML_CHECK(pred.shape() == target.shape());
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "MseLoss");
   const int64_t n = pred.numel();
   double acc = 0;
   const float* pp = pred.value().data();
@@ -130,18 +190,9 @@ Variable MseLoss(const Variable& pred, const Tensor& target) {
     acc += d * d;
   }
   Tensor loss = Tensor::Scalar(static_cast<float>(acc / n));
-  Tensor pv = pred.value();
-  return MakeOpResult(
-      std::move(loss), {pred}, "MseLoss",
-      [pv, target, n](const Tensor& g) -> std::vector<Tensor> {
-        const float scale = 2.0f * g.flat(0) / static_cast<float>(n);
-        Tensor gx{pv.shape()};
-        const float* pp = pv.data();
-        const float* pt = target.data();
-        float* pgx = gx.data();
-        for (int64_t i = 0; i < n; ++i) pgx[i] = scale * (pp[i] - pt[i]);
-        return {gx};
-      });
+  prof.set_output(loss);
+  return MakeOpResult<MseLossOp>(std::move(loss), {pred}, pred.value(),
+                                 target);
 }
 
 }  // namespace autograd

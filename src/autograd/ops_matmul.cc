@@ -1,3 +1,7 @@
+#include <utility>
+#include <vector>
+
+#include "autograd/op.h"
 #include "autograd/ops.h"
 #include "tensor/matmul.h"
 #include "tensor/tensor_ops.h"
@@ -5,53 +9,48 @@
 namespace metalora {
 namespace autograd {
 
-Variable Matmul(const Variable& a, const Variable& b) {
-  Tensor out = metalora::Matmul(a.value(), b.value());
-  Tensor av = a.value(), bv = b.value();
-  return MakeOpResult(
-      std::move(out), {a, b}, "Matmul",
-      [av, bv](const Tensor& g) -> std::vector<Tensor> {
-        // dA = g · Bᵀ ; dB = Aᵀ · g.
-        return {MatmulTransB(g, bv), MatmulTransA(av, g)};
-      });
-}
-
-Variable Linear(const Variable& x, const Variable& weight,
-                const Variable& bias) {
-  ML_CHECK_EQ(x.rank(), 2);
-  ML_CHECK_EQ(weight.rank(), 2);
-  ML_CHECK_EQ(x.dim(1), weight.dim(1))
-      << "Linear: x " << x.shape().ToString() << " vs W "
-      << weight.shape().ToString();
-  // y = x · Wᵀ (+ b).
-  Tensor out = MatmulTransB(x.value(), weight.value());
-  const bool has_bias = bias.defined();
-  if (has_bias) {
-    ML_CHECK_EQ(bias.rank(), 1);
-    ML_CHECK_EQ(bias.dim(0), weight.dim(0));
-    out = metalora::AddRowBroadcast(out, bias.value());
-  }
-  Tensor xv = x.value(), wv = weight.value();
-  std::vector<Variable> inputs = has_bias
-                                     ? std::vector<Variable>{x, weight, bias}
-                                     : std::vector<Variable>{x, weight};
-  return MakeOpResult(
-      std::move(out), std::move(inputs), "Linear",
-      [xv, wv, has_bias](const Tensor& g) -> std::vector<Tensor> {
-        // dx = g · W ; dW = gᵀ · x ; db = Σ_rows g.
-        std::vector<Tensor> grads;
-        grads.push_back(metalora::Matmul(g, wv));
-        grads.push_back(MatmulTransA(g, xv));
-        if (has_bias) grads.push_back(SumAxis(g, 0));
-        return grads;
-      });
-}
-
 namespace {
 
+class MatmulOp final : public Op {
+ public:
+  MatmulOp(Tensor a, Tensor b)
+      : Op("Matmul"), a_(Save(std::move(a))), b_(Save(std::move(b))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    // dA = g · Bᵀ ; dB = Aᵀ · g.
+    return {MatmulTransB(g, b_.get()), MatmulTransA(a_.get(), g)};
+  }
+
+ private:
+  SavedTensor a_, b_;
+};
+
+class LinearOp final : public Op {
+ public:
+  LinearOp(Tensor x, Tensor w, bool has_bias)
+      : Op("Linear"),
+        x_(Save(std::move(x))),
+        w_(Save(std::move(w))),
+        has_bias_(has_bias) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    // dx = g · W ; dW = gᵀ · x ; db = Σ_rows g.
+    std::vector<Tensor> grads;
+    grads.push_back(metalora::Matmul(g, w_.get()));
+    grads.push_back(MatmulTransA(g, x_.get()));
+    if (has_bias_) grads.push_back(SumAxis(g, 0));
+    return grads;
+  }
+
+ private:
+  SavedTensor x_, w_;
+  bool has_bias_;
+};
+
 // C[n] = A[n] · B[n] for 2-D blocks, optionally transposing either operand.
-Tensor BatchedMatmulRaw(const Tensor& a, const Tensor& b, bool trans_a,
-                        bool trans_b) {
+// `out` must be a pre-zeroed [batch, n, m] tensor.
+void BatchedMatmulRawInto(const Tensor& a, const Tensor& b, bool trans_a,
+                          bool trans_b, Tensor* out) {
   const int64_t batch = a.dim(0);
   const int64_t ar = a.dim(1), ac = a.dim(2);
   const int64_t br = b.dim(1), bc = b.dim(2);
@@ -61,11 +60,11 @@ Tensor BatchedMatmulRaw(const Tensor& a, const Tensor& b, bool trans_a,
   const int64_t m = trans_b ? br : bc;
   ML_CHECK_EQ(k, k2);
   ML_CHECK_EQ(b.dim(0), batch);
-  Tensor out{Shape{batch, n, m}};
+  ML_CHECK((out->shape() == Shape{batch, n, m}));
   for (int64_t s = 0; s < batch; ++s) {
     const float* pa = a.data() + s * ar * ac;
     const float* pb = b.data() + s * br * bc;
-    float* pc = out.data() + s * n * m;
+    float* pc = out->data() + s * n * m;
     for (int64_t i = 0; i < n; ++i) {
       for (int64_t p = 0; p < k; ++p) {
         const float av = trans_a ? pa[p * ac + i] : pa[i * ac + p];
@@ -79,25 +78,135 @@ Tensor BatchedMatmulRaw(const Tensor& a, const Tensor& b, bool trans_a,
       }
     }
   }
+}
+
+Tensor BatchedMatmulRaw(const Tensor& a, const Tensor& b, bool trans_a,
+                        bool trans_b) {
+  const int64_t n = trans_a ? a.dim(2) : a.dim(1);
+  const int64_t m = trans_b ? b.dim(1) : b.dim(2);
+  Tensor out{Shape{a.dim(0), n, m}};
+  BatchedMatmulRawInto(a, b, trans_a, trans_b, &out);
   return out;
 }
 
+class BatchedMatmulOp final : public Op {
+ public:
+  BatchedMatmulOp(Tensor a, Tensor b)
+      : Op("BatchedMatmul"), a_(Save(std::move(a))), b_(Save(std::move(b))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    // dA[n] = g[n] · B[n]ᵀ ; dB[n] = A[n]ᵀ · g[n].
+    return {BatchedMatmulRaw(g, b_.get(), false, true),
+            BatchedMatmulRaw(a_.get(), g, true, false)};
+  }
+
+ private:
+  SavedTensor a_, b_;
+};
+
+class PerSamplePointwiseConvOp final : public Op {
+ public:
+  PerSamplePointwiseConvOp(Tensor x, Tensor w)
+      : Op("PerSamplePointwiseConv"),
+        x_(Save(std::move(x))),
+        w_(Save(std::move(w))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& xv = x_.get();
+    const Tensor& wv = w_.get();
+    const int64_t n = xv.dim(0), q = xv.dim(1),
+                  spatial = xv.dim(2) * xv.dim(3);
+    const int64_t o = wv.dim(1);
+    Tensor gx{xv.shape()};
+    Tensor gw{wv.shape()};
+    const float* pg = g.data();
+    const float* px = xv.data();
+    const float* pw = wv.data();
+    float* pgx = gx.data();
+    float* pgw = gw.data();
+    for (int64_t s = 0; s < n; ++s) {
+      const float* gs = pg + s * o * spatial;  // [O, S]
+      const float* xs = px + s * q * spatial;  // [Q, S]
+      const float* ws = pw + s * o * q;        // [O, Q]
+      float* gxs = pgx + s * q * spatial;      // [Q, S]
+      float* gws = pgw + s * o * q;            // [O, Q]
+      // gx = wᵀ · g : [Q,O]·[O,S]
+      for (int64_t oc = 0; oc < o; ++oc) {
+        const float* grow = gs + oc * spatial;
+        for (int64_t qc = 0; qc < q; ++qc) {
+          const float wvv = ws[oc * q + qc];
+          if (wvv != 0.0f) {
+            float* gxrow = gxs + qc * spatial;
+            for (int64_t k = 0; k < spatial; ++k) gxrow[k] += wvv * grow[k];
+          }
+          // gw[o,q] = Σ_s g[o,s] x[q,s]
+          const float* xrow = xs + qc * spatial;
+          float acc = 0.0f;
+          for (int64_t k = 0; k < spatial; ++k) acc += grow[k] * xrow[k];
+          gws[oc * q + qc] += acc;
+        }
+      }
+    }
+    return {gx, gw};
+  }
+
+ private:
+  SavedTensor x_, w_;
+};
+
 }  // namespace
+
+Variable Matmul(const Variable& a, const Variable& b) {
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "Matmul");
+  Tensor out = ctx.AllocResult(Shape{a.dim(0), b.dim(1)});
+  MatmulInto(a.value(), b.value(), &out);
+  prof.set_output(out);
+  return MakeOpResult<MatmulOp>(std::move(out), {a, b}, a.value(), b.value());
+}
+
+Variable Linear(const Variable& x, const Variable& weight,
+                const Variable& bias) {
+  ML_CHECK_EQ(x.rank(), 2);
+  ML_CHECK_EQ(weight.rank(), 2);
+  ML_CHECK_EQ(x.dim(1), weight.dim(1))
+      << "Linear: x " << x.shape().ToString() << " vs W "
+      << weight.shape().ToString();
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "Linear");
+  // y = x · Wᵀ (+ b).
+  Tensor out = ctx.AllocResult(Shape{x.dim(0), weight.dim(0)});
+  MatmulTransBInto(x.value(), weight.value(), &out);
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    ML_CHECK_EQ(bias.rank(), 1);
+    ML_CHECK_EQ(bias.dim(0), weight.dim(0));
+    const float* pb = bias.value().data();
+    float* po = out.data();
+    const int64_t n = out.dim(0), c = out.dim(1);
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < c; ++j) po[i * c + j] += pb[j];
+  }
+  prof.set_output(out);
+  std::vector<Variable> inputs = has_bias
+                                     ? std::vector<Variable>{x, weight, bias}
+                                     : std::vector<Variable>{x, weight};
+  return MakeOpResult<LinearOp>(std::move(out), std::move(inputs), x.value(),
+                                weight.value(), has_bias);
+}
 
 Variable BatchedMatmul(const Variable& a, const Variable& b) {
   ML_CHECK_EQ(a.rank(), 3);
   ML_CHECK_EQ(b.rank(), 3);
   ML_CHECK_EQ(a.dim(0), b.dim(0));
   ML_CHECK_EQ(a.dim(2), b.dim(1));
-  Tensor out = BatchedMatmulRaw(a.value(), b.value(), false, false);
-  Tensor av = a.value(), bv = b.value();
-  return MakeOpResult(
-      std::move(out), {a, b}, "BatchedMatmul",
-      [av, bv](const Tensor& g) -> std::vector<Tensor> {
-        // dA[n] = g[n] · B[n]ᵀ ; dB[n] = A[n]ᵀ · g[n].
-        return {BatchedMatmulRaw(g, bv, false, true),
-                BatchedMatmulRaw(av, g, true, false)};
-      });
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "BatchedMatmul");
+  Tensor out = ctx.AllocResult(Shape{a.dim(0), a.dim(1), b.dim(2)});
+  BatchedMatmulRawInto(a.value(), b.value(), false, false, &out);
+  prof.set_output(out);
+  return MakeOpResult<BatchedMatmulOp>(std::move(out), {a, b}, a.value(),
+                                       b.value());
 }
 
 Variable PerSamplePointwiseConv(const Variable& x, const Variable& w) {
@@ -107,10 +216,12 @@ Variable PerSamplePointwiseConv(const Variable& x, const Variable& w) {
   const int64_t o = w.dim(1);
   ML_CHECK_EQ(w.dim(0), n);
   ML_CHECK_EQ(w.dim(2), q);
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "PerSamplePointwiseConv");
   const int64_t spatial = h * wd;
 
   // y[n] = w[n] [O,Q] · x[n] [Q, S]  (per-sample matmul over flattened space)
-  Tensor out{Shape{n, o, h, wd}};
+  Tensor out = ctx.AllocResult(Shape{n, o, h, wd});
   {
     const float* px = x.value().data();
     const float* pw = w.value().data();
@@ -122,43 +233,9 @@ Variable PerSamplePointwiseConv(const Variable& x, const Variable& w) {
       MatmulAccumulateRaw(ws, xs, ys, o, q, spatial);
     }
   }
-  Tensor xv = x.value(), wv = w.value();
-  return MakeOpResult(
-      std::move(out), {x, w}, "PerSamplePointwiseConv",
-      [xv, wv, n, q, o, spatial](const Tensor& g) -> std::vector<Tensor> {
-        Tensor gx{xv.shape()};
-        Tensor gw{wv.shape()};
-        const float* pg = g.data();
-        const float* px = xv.data();
-        const float* pw = wv.data();
-        float* pgx = gx.data();
-        float* pgw = gw.data();
-        for (int64_t s = 0; s < n; ++s) {
-          const float* gs = pg + s * o * spatial;  // [O, S]
-          const float* xs = px + s * q * spatial;  // [Q, S]
-          const float* ws = pw + s * o * q;        // [O, Q]
-          float* gxs = pgx + s * q * spatial;      // [Q, S]
-          float* gws = pgw + s * o * q;            // [O, Q]
-          // gx = wᵀ · g : [Q,O]·[O,S]
-          for (int64_t oc = 0; oc < o; ++oc) {
-            const float* grow = gs + oc * spatial;
-            for (int64_t qc = 0; qc < q; ++qc) {
-              const float wvv = ws[oc * q + qc];
-              if (wvv != 0.0f) {
-                float* gxrow = gxs + qc * spatial;
-                for (int64_t k = 0; k < spatial; ++k)
-                  gxrow[k] += wvv * grow[k];
-              }
-              // gw[o,q] = Σ_s g[o,s] x[q,s]
-              const float* xrow = xs + qc * spatial;
-              float acc = 0.0f;
-              for (int64_t k = 0; k < spatial; ++k) acc += grow[k] * xrow[k];
-              gws[oc * q + qc] += acc;
-            }
-          }
-        }
-        return {gx, gw};
-      });
+  prof.set_output(out);
+  return MakeOpResult<PerSamplePointwiseConvOp>(std::move(out), {x, w},
+                                                x.value(), w.value());
 }
 
 }  // namespace autograd

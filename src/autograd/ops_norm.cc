@@ -1,10 +1,135 @@
 #include <cmath>
+#include <utility>
+#include <vector>
 
+#include "autograd/op.h"
 #include "autograd/ops.h"
 #include "tensor/tensor_ops.h"
 
 namespace metalora {
 namespace autograd {
+
+namespace {
+
+class BatchNorm2dOp final : public Op {
+ public:
+  BatchNorm2dOp(Tensor xhat, Tensor inv_std, Tensor gamma, int64_t m,
+                bool training)
+      : Op("BatchNorm2d"),
+        xhat_(Save(std::move(xhat))),
+        inv_std_(Save(std::move(inv_std))),
+        gamma_(Save(std::move(gamma))),
+        m_(m),
+        training_(training) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& xhat = xhat_.get();
+    const Tensor& inv_std = inv_std_.get();
+    const Tensor& gamma_v = gamma_.get();
+    const int64_t n = xhat.dim(0), c = xhat.dim(1),
+                  spatial = xhat.dim(2) * xhat.dim(3);
+    Tensor gx{g.shape()};
+    Tensor ggamma{Shape{c}};
+    Tensor gbeta{Shape{c}};
+    const float* pg = g.data();
+    const float* pxh = xhat.data();
+    float* pgx = gx.data();
+    for (int64_t ch = 0; ch < c; ++ch) {
+      // Channel-wise sums: Σg and Σ(g·x̂).
+      double sum_g = 0, sum_gx = 0;
+      for (int64_t i = 0; i < n; ++i) {
+        const float* gp = pg + (i * c + ch) * spatial;
+        const float* xp = pxh + (i * c + ch) * spatial;
+        for (int64_t k = 0; k < spatial; ++k) {
+          sum_g += gp[k];
+          sum_gx += static_cast<double>(gp[k]) * xp[k];
+        }
+      }
+      gbeta.flat(ch) = static_cast<float>(sum_g);
+      ggamma.flat(ch) = static_cast<float>(sum_gx);
+      const float gm = gamma_v.flat(ch);
+      const float is = inv_std.flat(ch);
+      if (training_) {
+        const float inv_m = 1.0f / static_cast<float>(m_);
+        const float mean_g = static_cast<float>(sum_g) * inv_m;
+        const float mean_gx = static_cast<float>(sum_gx) * inv_m;
+        for (int64_t i = 0; i < n; ++i) {
+          const float* gp = pg + (i * c + ch) * spatial;
+          const float* xp = pxh + (i * c + ch) * spatial;
+          float* gxp = pgx + (i * c + ch) * spatial;
+          for (int64_t k = 0; k < spatial; ++k) {
+            gxp[k] = gm * is * (gp[k] - mean_g - xp[k] * mean_gx);
+          }
+        }
+      } else {
+        for (int64_t i = 0; i < n; ++i) {
+          const float* gp = pg + (i * c + ch) * spatial;
+          float* gxp = pgx + (i * c + ch) * spatial;
+          for (int64_t k = 0; k < spatial; ++k) gxp[k] = gm * is * gp[k];
+        }
+      }
+    }
+    return {gx, ggamma, gbeta};
+  }
+
+ private:
+  SavedTensor xhat_, inv_std_, gamma_;
+  int64_t m_;
+  bool training_;
+};
+
+class LayerNormOp final : public Op {
+ public:
+  LayerNormOp(Tensor xhat, Tensor inv_std, Tensor gamma)
+      : Op("LayerNorm"),
+        xhat_(Save(std::move(xhat))),
+        inv_std_(Save(std::move(inv_std))),
+        gamma_(Save(std::move(gamma))) {}
+
+  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+    const Tensor& xhat = xhat_.get();
+    const Tensor& inv_std = inv_std_.get();
+    const Tensor& gamma_v = gamma_.get();
+    const int64_t c = gamma_v.dim(0);
+    const int64_t rows = xhat.numel() / c;
+    Tensor gx{g.shape()};
+    Tensor ggamma{Shape{c}};
+    Tensor gbeta{Shape{c}};
+    const float* pg = g.data();
+    const float* pxh = xhat.data();
+    const float* pgm = gamma_v.data();
+    float* pgx = gx.data();
+    float* pgg = ggamma.data();
+    float* pgb = gbeta.data();
+    const float inv_c = 1.0f / static_cast<float>(c);
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* grow = pg + r * c;
+      const float* xrow = pxh + r * c;
+      float* gxrow = pgx + r * c;
+      double sum_dxh = 0, sum_dxh_x = 0;
+      for (int64_t j = 0; j < c; ++j) {
+        const float dxh = grow[j] * pgm[j];
+        sum_dxh += dxh;
+        sum_dxh_x += static_cast<double>(dxh) * xrow[j];
+        pgg[j] += grow[j] * xrow[j];
+        pgb[j] += grow[j];
+      }
+      const float is = inv_std.flat(r);
+      const float mean_dxh = static_cast<float>(sum_dxh) * inv_c;
+      const float mean_dxh_x = static_cast<float>(sum_dxh_x) * inv_c;
+      for (int64_t j = 0; j < c; ++j) {
+        const float dxh = grow[j] * pgm[j];
+        gxrow[j] = is * (dxh - mean_dxh - xrow[j] * mean_dxh_x);
+      }
+    }
+    return {gx, ggamma, gbeta};
+  }
+
+ private:
+  SavedTensor xhat_, inv_std_, gamma_;
+};
+
+}  // namespace
 
 Variable BatchNorm2d(const Variable& x, const Variable& gamma,
                      const Variable& beta, Tensor& running_mean,
@@ -16,10 +141,12 @@ Variable BatchNorm2d(const Variable& x, const Variable& gamma,
   ML_CHECK_EQ(beta.dim(0), c);
   ML_CHECK_EQ(running_mean.dim(0), c);
   ML_CHECK_EQ(running_var.dim(0), c);
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "BatchNorm2d");
   const int64_t m = n * spatial;
 
-  Tensor mean{Shape{c}};
-  Tensor inv_std{Shape{c}};
+  Tensor mean = ctx.AllocResult(Shape{c});
+  Tensor inv_std = ctx.AllocResult(Shape{c});
   const float* px = x.value().data();
 
   if (training) {
@@ -52,17 +179,18 @@ Variable BatchNorm2d(const Variable& x, const Variable& gamma,
   } else {
     for (int64_t ch = 0; ch < c; ++ch) {
       mean.flat(ch) = running_mean.flat(ch);
-      inv_std.flat(ch) =
-          1.0f / std::sqrt(running_var.flat(ch) + eps);
+      inv_std.flat(ch) = 1.0f / std::sqrt(running_var.flat(ch) + eps);
     }
   }
 
-  // Normalize and apply affine.
-  Tensor xhat{x.shape()};
-  Tensor out{x.shape()};
+  // Normalize and apply affine. x̂ is only materialized when the backward
+  // pass will need it.
+  const bool record = AnyRequiresGrad({x, gamma, beta});
+  Tensor xhat = record ? Tensor{x.shape()} : Tensor();
+  Tensor out = ctx.AllocResult(x.shape());
   const float* pg_gamma = gamma.value().data();
   const float* pg_beta = beta.value().data();
-  float* pxh = xhat.data();
+  float* pxh = record ? xhat.data() : nullptr;
   float* po = out.data();
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t ch = 0; ch < c; ++ch) {
@@ -71,64 +199,26 @@ Variable BatchNorm2d(const Variable& x, const Variable& gamma,
       const float gm = pg_gamma[ch];
       const float bt = pg_beta[ch];
       const float* plane = px + (i * c + ch) * spatial;
-      float* xh = pxh + (i * c + ch) * spatial;
       float* op = po + (i * c + ch) * spatial;
-      for (int64_t k = 0; k < spatial; ++k) {
-        const float v = (plane[k] - mu) * is;
-        xh[k] = v;
-        op[k] = gm * v + bt;
+      if (pxh != nullptr) {
+        float* xh = pxh + (i * c + ch) * spatial;
+        for (int64_t k = 0; k < spatial; ++k) {
+          const float v = (plane[k] - mu) * is;
+          xh[k] = v;
+          op[k] = gm * v + bt;
+        }
+      } else {
+        for (int64_t k = 0; k < spatial; ++k) {
+          op[k] = gm * (plane[k] - mu) * is + bt;
+        }
       }
     }
   }
 
-  Tensor gamma_v = gamma.value();
-  return MakeOpResult(
-      std::move(out), {x, gamma, beta}, "BatchNorm2d",
-      [xhat, inv_std, gamma_v, n, c, spatial, m,
-       training](const Tensor& g) -> std::vector<Tensor> {
-        Tensor gx{g.shape()};
-        Tensor ggamma{Shape{c}};
-        Tensor gbeta{Shape{c}};
-        const float* pg = g.data();
-        const float* pxh = xhat.data();
-        float* pgx = gx.data();
-        for (int64_t ch = 0; ch < c; ++ch) {
-          // Channel-wise sums: Σg and Σ(g·x̂).
-          double sum_g = 0, sum_gx = 0;
-          for (int64_t i = 0; i < n; ++i) {
-            const float* gp = pg + (i * c + ch) * spatial;
-            const float* xp = pxh + (i * c + ch) * spatial;
-            for (int64_t k = 0; k < spatial; ++k) {
-              sum_g += gp[k];
-              sum_gx += static_cast<double>(gp[k]) * xp[k];
-            }
-          }
-          gbeta.flat(ch) = static_cast<float>(sum_g);
-          ggamma.flat(ch) = static_cast<float>(sum_gx);
-          const float gm = gamma_v.flat(ch);
-          const float is = inv_std.flat(ch);
-          if (training) {
-            const float inv_m = 1.0f / static_cast<float>(m);
-            const float mean_g = static_cast<float>(sum_g) * inv_m;
-            const float mean_gx = static_cast<float>(sum_gx) * inv_m;
-            for (int64_t i = 0; i < n; ++i) {
-              const float* gp = pg + (i * c + ch) * spatial;
-              const float* xp = pxh + (i * c + ch) * spatial;
-              float* gxp = pgx + (i * c + ch) * spatial;
-              for (int64_t k = 0; k < spatial; ++k) {
-                gxp[k] = gm * is * (gp[k] - mean_g - xp[k] * mean_gx);
-              }
-            }
-          } else {
-            for (int64_t i = 0; i < n; ++i) {
-              const float* gp = pg + (i * c + ch) * spatial;
-              float* gxp = pgx + (i * c + ch) * spatial;
-              for (int64_t k = 0; k < spatial; ++k) gxp[k] = gm * is * gp[k];
-            }
-          }
-        }
-        return {gx, ggamma, gbeta};
-      });
+  prof.set_output(out);
+  return MakeOpResult<BatchNorm2dOp>(std::move(out), {x, gamma, beta},
+                                     std::move(xhat), std::move(inv_std),
+                                     gamma.value(), m, training);
 }
 
 Variable LayerNorm(const Variable& x, const Variable& gamma,
@@ -137,15 +227,18 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   const int64_t c = x.dim(-1);
   ML_CHECK_EQ(gamma.dim(0), c);
   ML_CHECK_EQ(beta.dim(0), c);
+  RuntimeContext& ctx = RuntimeContext::Current();
+  ProfileScope prof(ctx, "LayerNorm");
   const int64_t rows = x.numel() / c;
 
-  Tensor xhat{x.shape()};
-  Tensor inv_std{Shape{rows}};
-  Tensor out{x.shape()};
+  const bool record = AnyRequiresGrad({x, gamma, beta});
+  Tensor xhat = record ? Tensor{x.shape()} : Tensor();
+  Tensor inv_std = ctx.AllocResult(Shape{rows});
+  Tensor out = ctx.AllocResult(x.shape());
   const float* px = x.value().data();
   const float* pgm = gamma.value().data();
   const float* pbt = beta.value().data();
-  float* pxh = xhat.data();
+  float* pxh = record ? xhat.data() : nullptr;
   float* po = out.data();
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = px + r * c;
@@ -157,54 +250,20 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
       const double d = row[j] - mu;
       var_acc += d * d;
     }
-    const float is =
-        static_cast<float>(1.0 / std::sqrt(var_acc / c + eps));
+    const float is = static_cast<float>(1.0 / std::sqrt(var_acc / c + eps));
     inv_std.flat(r) = is;
-    float* xh = pxh + r * c;
     float* op = po + r * c;
     for (int64_t j = 0; j < c; ++j) {
       const float v = (row[j] - static_cast<float>(mu)) * is;
-      xh[j] = v;
+      if (pxh != nullptr) pxh[r * c + j] = v;
       op[j] = pgm[j] * v + pbt[j];
     }
   }
 
-  Tensor gamma_v = gamma.value();
-  return MakeOpResult(
-      std::move(out), {x, gamma, beta}, "LayerNorm",
-      [xhat, inv_std, gamma_v, rows, c](const Tensor& g) -> std::vector<Tensor> {
-        Tensor gx{g.shape()};
-        Tensor ggamma{Shape{c}};
-        Tensor gbeta{Shape{c}};
-        const float* pg = g.data();
-        const float* pxh = xhat.data();
-        const float* pgm = gamma_v.data();
-        float* pgx = gx.data();
-        float* pgg = ggamma.data();
-        float* pgb = gbeta.data();
-        const float inv_c = 1.0f / static_cast<float>(c);
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* grow = pg + r * c;
-          const float* xrow = pxh + r * c;
-          float* gxrow = pgx + r * c;
-          double sum_dxh = 0, sum_dxh_x = 0;
-          for (int64_t j = 0; j < c; ++j) {
-            const float dxh = grow[j] * pgm[j];
-            sum_dxh += dxh;
-            sum_dxh_x += static_cast<double>(dxh) * xrow[j];
-            pgg[j] += grow[j] * xrow[j];
-            pgb[j] += grow[j];
-          }
-          const float is = inv_std.flat(r);
-          const float mean_dxh = static_cast<float>(sum_dxh) * inv_c;
-          const float mean_dxh_x = static_cast<float>(sum_dxh_x) * inv_c;
-          for (int64_t j = 0; j < c; ++j) {
-            const float dxh = grow[j] * pgm[j];
-            gxrow[j] = is * (dxh - mean_dxh - xrow[j] * mean_dxh_x);
-          }
-        }
-        return {gx, ggamma, gbeta};
-      });
+  prof.set_output(out);
+  return MakeOpResult<LayerNormOp>(std::move(out), {x, gamma, beta},
+                                   std::move(xhat), std::move(inv_std),
+                                   gamma.value());
 }
 
 }  // namespace autograd

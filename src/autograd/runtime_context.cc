@@ -1,0 +1,95 @@
+#include "autograd/runtime_context.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace metalora {
+namespace autograd {
+
+namespace {
+
+RuntimeContext*& CurrentContextSlot() {
+  static thread_local RuntimeContext default_context;
+  static thread_local RuntimeContext* current = &default_context;
+  return current;
+}
+
+}  // namespace
+
+WorkspaceArena::WorkspaceArena(int64_t initial_floats)
+    : next_block_floats_(std::max<int64_t>(initial_floats, 1)) {}
+
+Tensor WorkspaceArena::Allocate(Shape shape) {
+  const int64_t numel = shape.numel();
+  ++alloc_count_;
+  // First block with room wins; blocks stay small in count because each new
+  // one doubles, so the scan is effectively O(1).
+  for (Block& block : blocks_) {
+    const int64_t capacity = static_cast<int64_t>(block.data->size());
+    if (block.used + numel <= capacity) {
+      const int64_t offset = block.used;
+      block.used += numel;
+      used_floats_ += numel;
+      peak_floats_ = std::max(peak_floats_, used_floats_);
+      Tensor view = Tensor::WrapBuffer(block.data, offset, std::move(shape));
+      view.Zero();  // callers assume freshly allocated tensors are zeroed
+      return view;
+    }
+  }
+  const int64_t block_floats = std::max(next_block_floats_, numel);
+  next_block_floats_ = block_floats * 2;
+  Block block;
+  block.data = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(block_floats), 0.0f);
+  block.used = numel;
+  capacity_floats_ += block_floats;
+  used_floats_ += numel;
+  peak_floats_ = std::max(peak_floats_, used_floats_);
+  blocks_.push_back(block);
+  return Tensor::WrapBuffer(block.data, 0, std::move(shape));
+}
+
+void WorkspaceArena::Reset() {
+  for (Block& block : blocks_) block.used = 0;
+  used_floats_ = 0;
+}
+
+RuntimeContext& RuntimeContext::Current() { return *CurrentContextSlot(); }
+
+RuntimeContextScope::RuntimeContextScope(RuntimeContext* ctx)
+    : prev_(CurrentContextSlot()) {
+  ML_CHECK(ctx != nullptr);
+  CurrentContextSlot() = ctx;
+}
+
+RuntimeContextScope::~RuntimeContextScope() { CurrentContextSlot() = prev_; }
+
+namespace {
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+ProfileScope::ProfileScope(RuntimeContext& ctx, const char* name)
+    : ctx_(ctx), name_(name), enabled_(ctx.profiling()) {
+  if (enabled_) start_nanos_ = MonotonicNanos();
+}
+
+ProfileScope::~ProfileScope() {
+  if (!enabled_) return;
+  ctx_.RecordForward(name_, output_bytes_, MonotonicNanos() - start_nanos_);
+}
+
+bool GradEnabled() { return RuntimeContext::Current().grad_enabled(); }
+
+NoGradGuard::NoGradGuard()
+    : ctx_(&RuntimeContext::Current()), prev_(ctx_->grad_enabled()) {
+  ctx_->set_grad_enabled(false);
+}
+
+NoGradGuard::~NoGradGuard() { ctx_->set_grad_enabled(prev_); }
+
+}  // namespace autograd
+}  // namespace metalora

@@ -1,0 +1,204 @@
+// Per-execution runtime state for the autograd op layer.
+//
+// A RuntimeContext carries everything an op invocation needs beyond its
+// tensor arguments: whether gradients are being recorded, an optional
+// bump-allocated workspace arena for intermediate tensors (the inference
+// fast path), and per-op execution counters. There is always a current
+// context per thread (a default one exists from the start); scopes push a
+// replacement for a region of code, which is how the dataset-scale
+// consumers (feature extraction, KNN evaluation) opt into the arena.
+//
+// Modeled after the per-execution RuntimeContext of Hetu's OperatorDef and
+// the grad-mode TLS of PyTorch, collapsed into one object because this
+// library is single-stream per thread.
+#ifndef METALORA_AUTOGRAD_RUNTIME_CONTEXT_H_
+#define METALORA_AUTOGRAD_RUNTIME_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace autograd {
+
+/// A bump allocator for intermediate tensors. Allocate() carves
+/// zero-initialized views out of geometrically grown blocks; Reset() makes
+/// the whole capacity reusable without returning memory to the heap. Views
+/// share ownership of their block, so a tensor outliving the arena never
+/// dangles — but its contents are clobbered by allocations after a Reset,
+/// so results that escape an arena scope must be Clone()d out first.
+class WorkspaceArena {
+ public:
+  /// `initial_floats` sizes the first block (later blocks double).
+  explicit WorkspaceArena(int64_t initial_floats = 1 << 16);
+
+  /// Returns a zero-filled tensor of `shape` carved from the arena.
+  Tensor Allocate(Shape shape);
+
+  /// Reclaims every allocation at once; blocks are kept for reuse.
+  void Reset();
+
+  /// Floats currently handed out (since the last Reset), in bytes.
+  int64_t used_bytes() const { return used_floats_ * kFloatBytes; }
+  /// High-water mark of used_bytes() across the arena's lifetime.
+  int64_t peak_bytes() const { return peak_floats_ * kFloatBytes; }
+  /// Total block capacity owned by the arena, in bytes.
+  int64_t capacity_bytes() const { return capacity_floats_ * kFloatBytes; }
+  /// Number of Allocate() calls served over the arena's lifetime.
+  int64_t alloc_count() const { return alloc_count_; }
+
+ private:
+  static constexpr int64_t kFloatBytes = static_cast<int64_t>(sizeof(float));
+
+  struct Block {
+    std::shared_ptr<std::vector<float>> data;
+    int64_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  int64_t next_block_floats_;
+  int64_t used_floats_ = 0;
+  int64_t peak_floats_ = 0;
+  int64_t capacity_floats_ = 0;
+  int64_t alloc_count_ = 0;
+};
+
+/// Forward execution counters, bucketed per op name. Byte counts are output
+/// sizes. Counters are only populated while profiling is enabled on the
+/// context — the fast path skips both the clock read and the map update.
+struct OpProfile {
+  int64_t calls = 0;
+  int64_t output_bytes = 0;
+  int64_t nanos = 0;
+};
+
+class RuntimeContext {
+ public:
+  RuntimeContext() = default;
+  RuntimeContext(const RuntimeContext&) = delete;
+  RuntimeContext& operator=(const RuntimeContext&) = delete;
+
+  /// The thread's current context. Never null: a default context with
+  /// grad recording on and no arena exists per thread.
+  static RuntimeContext& Current();
+
+  bool grad_enabled() const { return grad_enabled_; }
+  void set_grad_enabled(bool enabled) { grad_enabled_ = enabled; }
+
+  WorkspaceArena* arena() const { return arena_; }
+  void set_arena(WorkspaceArena* arena) { arena_ = arena; }
+
+  bool profiling() const { return profiling_; }
+  void set_profiling(bool enabled) { profiling_ = enabled; }
+
+  /// Allocates an op result: from the arena on the no-grad fast path,
+  /// from the heap whenever a graph is being recorded (graph-referenced
+  /// tensors must survive arbitrary arena resets).
+  Tensor AllocResult(const Shape& shape) {
+    if (!grad_enabled_ && arena_ != nullptr) return arena_->Allocate(shape);
+    return Tensor(shape);
+  }
+
+  /// Called once per graph node recorded while this context is current.
+  void RecordNode(int64_t saved_bytes) {
+    ++nodes_recorded_;
+    saved_bytes_recorded_ += saved_bytes;
+  }
+
+  /// Called once per facade op invocation.
+  void RecordForward(const char* name, int64_t output_bytes, int64_t nanos) {
+    OpProfile& p = op_profiles_[name];
+    ++p.calls;
+    p.output_bytes += output_bytes;
+    p.nanos += nanos;
+  }
+
+  /// Graph nodes recorded while this context was current (0 on a pure
+  /// no-grad pass — the acceptance invariant of the fast path).
+  int64_t nodes_recorded() const { return nodes_recorded_; }
+  /// Bytes pinned by SavedTensors of those nodes.
+  int64_t saved_bytes_recorded() const { return saved_bytes_recorded_; }
+
+  const std::map<std::string, OpProfile>& op_profiles() const {
+    return op_profiles_;
+  }
+
+  /// Clears counters (not the arena).
+  void ResetStats() {
+    nodes_recorded_ = 0;
+    saved_bytes_recorded_ = 0;
+    op_profiles_.clear();
+  }
+
+ private:
+  bool grad_enabled_ = true;
+  bool profiling_ = false;
+  WorkspaceArena* arena_ = nullptr;
+  int64_t nodes_recorded_ = 0;
+  int64_t saved_bytes_recorded_ = 0;
+  std::map<std::string, OpProfile> op_profiles_;
+};
+
+/// RAII: makes `ctx` the thread's current context for the scope's lifetime.
+class RuntimeContextScope {
+ public:
+  explicit RuntimeContextScope(RuntimeContext* ctx);
+  ~RuntimeContextScope();
+  RuntimeContextScope(const RuntimeContextScope&) = delete;
+  RuntimeContextScope& operator=(const RuntimeContextScope&) = delete;
+
+ private:
+  RuntimeContext* prev_;
+};
+
+/// RAII hook placed at the top of each facade op: while profiling is
+/// enabled on `ctx`, times the op body and books one RecordForward entry at
+/// scope exit. Call set_output(out) once the result tensor exists so the
+/// entry carries its byte size. Free when profiling is off.
+class ProfileScope {
+ public:
+  ProfileScope(RuntimeContext& ctx, const char* name);
+  ~ProfileScope();
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  void set_output(const Tensor& out) {
+    if (enabled_) {
+      output_bytes_ = out.numel() * static_cast<int64_t>(sizeof(float));
+    }
+  }
+
+ private:
+  RuntimeContext& ctx_;
+  const char* name_;
+  bool enabled_;
+  int64_t output_bytes_ = 0;
+  int64_t start_nanos_ = 0;
+};
+
+/// True while gradient recording is enabled on the current context.
+bool GradEnabled();
+
+/// RAII guard disabling gradient recording (feature extraction, evaluation).
+/// Toggles the context that is current at construction; do not interleave
+/// with RuntimeContextScope push/pop across the guard's lifetime.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  RuntimeContext* ctx_;
+  bool prev_;
+};
+
+}  // namespace autograd
+}  // namespace metalora
+
+#endif  // METALORA_AUTOGRAD_RUNTIME_CONTEXT_H_

@@ -1,13 +1,10 @@
 #include "autograd/variable.h"
 
+#include "autograd/op.h"
 #include "tensor/tensor_ops.h"
 
 namespace metalora {
 namespace autograd {
-
-namespace {
-thread_local bool g_grad_enabled = true;
-}  // namespace
 
 Variable::Variable(Tensor value, bool requires_grad) {
   impl_ = std::make_shared<VariableImpl>();
@@ -64,21 +61,16 @@ Variable Variable::Detach() const {
   return Variable(impl_->value, /*requires_grad=*/false);
 }
 
-const std::shared_ptr<Node>& Variable::producer() const {
-  static const std::shared_ptr<Node> kNull;
+const std::shared_ptr<Op>& Variable::producer() const {
+  static const std::shared_ptr<Op> kNull;
   return impl_ ? impl_->producer : kNull;
 }
 
-Variable Variable::FromOp(Tensor value, std::shared_ptr<Node> producer) {
+Variable Variable::FromOp(Tensor value, std::shared_ptr<Op> producer) {
   Variable v(std::move(value), /*requires_grad=*/true);
   v.impl_->producer = std::move(producer);
   return v;
 }
-
-bool GradEnabled() { return g_grad_enabled; }
-
-NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
-NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
 
 bool AnyRequiresGrad(const std::vector<Variable>& inputs) {
   if (!GradEnabled()) return false;
@@ -86,16 +78,6 @@ bool AnyRequiresGrad(const std::vector<Variable>& inputs) {
     if (v.requires_grad()) return true;
   }
   return false;
-}
-
-Variable MakeOpResult(Tensor value, std::vector<Variable> inputs,
-                      std::string name, LambdaNode::BackwardFn backward) {
-  if (!AnyRequiresGrad(inputs)) {
-    return Variable(std::move(value), /*requires_grad=*/false);
-  }
-  auto node = std::make_shared<LambdaNode>(std::move(name), std::move(backward));
-  node->set_inputs(std::move(inputs));
-  return Variable::FromOp(std::move(value), std::move(node));
 }
 
 }  // namespace autograd

@@ -1,10 +1,11 @@
 // Variable: a Tensor plus reverse-mode autodiff bookkeeping.
 //
 // The autograd graph is implicit: every differentiable op returns a Variable
-// whose `producer` node records the op's inputs and backward function.
-// Backward(root) topologically sorts producers and accumulates gradients
-// into leaf Variables (parameters). There is no global tape, so graphs are
-// freed as soon as the Variables referencing them go out of scope.
+// whose `producer` records the typed op node (see op.h) holding the op's
+// input edges, saved tensors, and backward rule. Backward(root) sweeps
+// producers in dependency order and accumulates gradients into leaf
+// Variables (parameters). There is no global tape, so graphs are freed as
+// soon as the Variables referencing them go out of scope.
 //
 // MetaLoRA note: the whole point of the tape design is that gradients flow
 // from the adapted backbone's loss back through the generated seed c into
@@ -13,23 +14,23 @@
 #ifndef METALORA_AUTOGRAD_VARIABLE_H_
 #define METALORA_AUTOGRAD_VARIABLE_H_
 
-#include <functional>
 #include <memory>
-#include <string>
-#include <vector>
 
+// Grad-mode state (GradEnabled, NoGradGuard) lives with the runtime context;
+// included here because Variable users historically found it in this header.
+#include "autograd/runtime_context.h"
 #include "tensor/tensor.h"
 
 namespace metalora {
 namespace autograd {
 
-class Node;
+class Op;
 
 struct VariableImpl {
   Tensor value;
   Tensor grad;  // undefined until first accumulation
   bool requires_grad = false;
-  std::shared_ptr<Node> producer;  // null for leaves
+  std::shared_ptr<Op> producer;  // null for leaves
 };
 
 /// A handle to a node in the autograd graph. Copies share state.
@@ -73,76 +74,16 @@ class Variable {
   /// Leaf view of the same value without graph history.
   Variable Detach() const;
 
-  const std::shared_ptr<Node>& producer() const;
+  const std::shared_ptr<Op>& producer() const;
 
   std::shared_ptr<VariableImpl> impl() const { return impl_; }
 
-  /// Internal: constructs a non-leaf result. Used by op implementations.
-  static Variable FromOp(Tensor value, std::shared_ptr<Node> producer);
+  /// Internal: constructs a non-leaf result. Used by MakeOpResult.
+  static Variable FromOp(Tensor value, std::shared_ptr<Op> producer);
 
  private:
   std::shared_ptr<VariableImpl> impl_;
 };
-
-/// An op node: keeps its inputs alive and knows how to map the output
-/// gradient to input gradients.
-class Node {
- public:
-  explicit Node(std::string name) : name_(std::move(name)) {}
-  virtual ~Node() = default;
-
-  /// Returns one gradient per input (undefined Tensor for inputs that do not
-  /// require grad — they are skipped during accumulation).
-  virtual std::vector<Tensor> Backward(const Tensor& grad_output) = 0;
-
-  const std::string& name() const { return name_; }
-  const std::vector<Variable>& inputs() const { return inputs_; }
-  void set_inputs(std::vector<Variable> inputs) { inputs_ = std::move(inputs); }
-
- private:
-  std::string name_;
-  std::vector<Variable> inputs_;
-};
-
-/// A Node whose backward is a lambda. Most ops use this.
-class LambdaNode : public Node {
- public:
-  using BackwardFn = std::function<std::vector<Tensor>(const Tensor&)>;
-
-  LambdaNode(std::string name, BackwardFn fn)
-      : Node(std::move(name)), fn_(std::move(fn)) {}
-
-  std::vector<Tensor> Backward(const Tensor& grad_output) override {
-    return fn_(grad_output);
-  }
-
- private:
-  BackwardFn fn_;
-};
-
-/// True while gradient recording is enabled (default). Ops consult this; in
-/// no-grad mode they return leaf results and skip node construction.
-bool GradEnabled();
-
-/// RAII guard disabling gradient recording (feature extraction, evaluation).
-class NoGradGuard {
- public:
-  NoGradGuard();
-  ~NoGradGuard();
-  NoGradGuard(const NoGradGuard&) = delete;
-  NoGradGuard& operator=(const NoGradGuard&) = delete;
-
- private:
-  bool prev_;
-};
-
-/// Helper used by every op: true if recording is on and any input needs grad.
-bool AnyRequiresGrad(const std::vector<Variable>& inputs);
-
-/// Builds the result Variable for an op: attaches a LambdaNode if gradients
-/// are being recorded and some input requires them, otherwise returns a leaf.
-Variable MakeOpResult(Tensor value, std::vector<Variable> inputs,
-                      std::string name, LambdaNode::BackwardFn backward);
 
 }  // namespace autograd
 }  // namespace metalora

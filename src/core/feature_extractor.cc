@@ -17,11 +17,18 @@ FeatureExtractor::FeatureExtractor(ForwardFn forward, int64_t feature_dim)
 }
 
 Tensor FeatureExtractor::Extract(const Tensor& images) const {
-  autograd::NoGradGuard guard;
+  // Arena-backed inference fast path: no gradients means no graph nodes, so
+  // every intermediate can live in the bump allocator and be reclaimed in
+  // one Reset. The result must be cloned out — the next Extract clobbers it.
+  autograd::RuntimeContext rctx;
+  rctx.set_grad_enabled(false);
+  rctx.set_arena(&arena_);
+  arena_.Reset();
+  autograd::RuntimeContextScope scope(&rctx);
   nn::Variable out = forward_(nn::Variable(images, /*requires_grad=*/false));
   ML_CHECK_EQ(out.rank(), 2);
   ML_CHECK_EQ(out.dim(1), feature_dim_);
-  return out.value();
+  return out.value().Clone();
 }
 
 Tensor FeatureExtractor::ExtractAll(const Tensor& images,

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 
+#include "autograd/runtime_context.h"
 #include "nn/module.h"
 #include "tensor/tensor.h"
 
@@ -25,7 +26,9 @@ class FeatureExtractor {
   /// Extract additionally runs under NoGrad.
   FeatureExtractor(ForwardFn forward, int64_t feature_dim);
 
-  /// Embeds a [N, C, H, W] batch into [N, feature_dim]. No gradients.
+  /// Embeds a [N, C, H, W] batch into [N, feature_dim]. No gradients, no
+  /// graph nodes: the forward runs on the arena fast path and only the
+  /// returned feature matrix is copied out to the heap.
   Tensor Extract(const Tensor& images) const;
 
   /// Embeds in mini-batches to bound memory (batch_size rows at a time).
@@ -36,6 +39,9 @@ class FeatureExtractor {
  private:
   ForwardFn forward_;
   int64_t feature_dim_;
+  // Reused across Extract calls; reset before each forward. Mutable because
+  // extraction is logically const — the arena is scratch space, not state.
+  mutable autograd::WorkspaceArena arena_;
 };
 
 }  // namespace core

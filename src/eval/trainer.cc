@@ -119,6 +119,16 @@ Result<TrainStats> RunTraining(Backbone& backbone,
       nn::Variable logits = backbone.forward_logits(x);
       nn::Variable loss = autograd::SoftmaxCrossEntropy(logits, batch.labels);
 
+      if (epoch == 0 && b == 0) {
+        // One step's graph is representative of them all (same architecture,
+        // same batch shape); collect it once while it is still alive.
+        stats.graph = autograd::CollectGraphStats(loss);
+        if (options.verbose) {
+          ML_LOG(Info) << (adapting ? "adapt" : "pretrain") << " graph "
+                       << stats.graph.ToString();
+        }
+      }
+
       backbone.module->ZeroGrad();
       ML_RETURN_IF_ERROR(autograd::Backward(loss));
       if (options.clip_norm > 0) {
@@ -172,8 +182,19 @@ Tensor ExtractDatasetFeatures(Backbone& backbone,
   backbone.module->SetTraining(false);
   Tensor out{Shape{ds.size(), backbone.feature_dim}};
   data::DataLoader loader(ds, batch_size, /*shuffle=*/false, /*seed=*/0);
+
+  // Dataset-scale inference: run every batch on the arena fast path. One
+  // Reset per batch reclaims all intermediates; the feature rows are copied
+  // into `out` (heap) before the next batch reuses the space.
+  autograd::WorkspaceArena arena;
+  autograd::RuntimeContext rctx;
+  rctx.set_grad_enabled(false);
+  rctx.set_arena(&arena);
+  autograd::RuntimeContextScope scope(&rctx);
+
   int64_t row = 0;
   for (int64_t b = 0; b < loader.num_batches(); ++b) {
+    arena.Reset();
     data::Batch batch = loader.GetBatch(b);
     if (ctx != nullptr) {
       if (ctx->extractor != nullptr) {
@@ -183,7 +204,6 @@ Tensor ExtractDatasetFeatures(Backbone& backbone,
       }
       ctx->injection.BindTaskIds(batch.task_ids);
     }
-    autograd::NoGradGuard guard;
     nn::Variable f = backbone.forward_features(
         nn::Variable(batch.images, /*requires_grad=*/false));
     std::memcpy(out.data() + row * backbone.feature_dim, f.value().data(),

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "autograd/graph.h"
 #include "common/result.h"
 #include "core/feature_extractor.h"
 #include "core/inject.h"
@@ -55,6 +56,10 @@ struct TrainStats {
   std::vector<double> epoch_losses;
   double final_train_accuracy = 0.0;
   double seconds = 0.0;
+  /// Autograd graph shape of one training step (collected on the first
+  /// batch): node count per op, bytes pinned for backward. Verbose runs log
+  /// it; benches report it.
+  autograd::GraphStats graph;
 };
 
 /// Supervised pre-training of all backbone parameters with Adam +

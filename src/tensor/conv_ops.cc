@@ -64,8 +64,8 @@ void Col2Im(const float* columns, int64_t channels, int64_t h, int64_t w,
   }
 }
 
-Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
-                     const Tensor& bias, const ConvGeom& g) {
+void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
+                       const Tensor& bias, const ConvGeom& g, Tensor* out) {
   ML_CHECK_EQ(input.rank(), 4);
   ML_CHECK_EQ(weight.rank(), 4);
   const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
@@ -77,6 +77,7 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
   const int64_t ho = g.OutExtent(h, g.kernel_h);
   const int64_t wo = g.OutExtent(w, g.kernel_w);
   ML_CHECK(ho > 0 && wo > 0) << "Conv2dForward: empty output";
+  ML_CHECK((out->shape() == Shape{n, o, ho, wo}));
   if (bias.defined()) {
     ML_CHECK_EQ(bias.rank(), 1);
     ML_CHECK_EQ(bias.dim(0), o);
@@ -84,15 +85,14 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
 
   const int64_t col_rows = c * g.kernel_h * g.kernel_w;
   const int64_t col_cols = ho * wo;
-  Tensor out{Shape{n, o, ho, wo}};
   std::vector<float> columns(static_cast<size_t>(col_rows * col_cols));
 
   // weight viewed as [O, C*Kh*Kw]; per-sample: out_n = W_mat · cols.
   const float* wmat = weight.data();
   for (int64_t i = 0; i < n; ++i) {
     Im2Col(input.data() + i * c * h * w, c, h, w, g, columns.data());
-    float* out_n = out.data() + i * o * col_cols;
-    // out_n is zero-initialized by the Tensor constructor.
+    float* out_n = out->data() + i * o * col_cols;
+    // out_n is zero-initialized by the caller's allocation.
     MatmulAccumulateRaw(wmat, columns.data(), out_n, o, col_rows, col_cols);
     if (bias.defined()) {
       const float* pb = bias.data();
@@ -103,6 +103,14 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
       }
     }
   }
+}
+
+Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
+                     const Tensor& bias, const ConvGeom& g) {
+  const int64_t ho = g.OutExtent(input.dim(2), g.kernel_h);
+  const int64_t wo = g.OutExtent(input.dim(3), g.kernel_w);
+  Tensor out{Shape{input.dim(0), weight.dim(0), ho, wo}};
+  Conv2dForwardInto(input, weight, bias, g, &out);
   return out;
 }
 
@@ -216,16 +224,16 @@ Tensor Conv2dDirect(const Tensor& input, const Tensor& weight,
   return out;
 }
 
-Tensor MaxPool2d(const Tensor& input, const ConvGeom& g,
-                 std::vector<int64_t>* argmax) {
+void MaxPool2dInto(const Tensor& input, const ConvGeom& g,
+                   std::vector<int64_t>* argmax, Tensor* out) {
   const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                 w = input.dim(3);
   const int64_t ho = g.OutExtent(h, g.kernel_h);
   const int64_t wo = g.OutExtent(w, g.kernel_w);
-  Tensor out{Shape{n, c, ho, wo}};
-  if (argmax) argmax->assign(static_cast<size_t>(out.numel()), -1);
+  ML_CHECK((out->shape() == Shape{n, c, ho, wo}));
+  if (argmax) argmax->assign(static_cast<size_t>(out->numel()), -1);
   const float* pin = input.data();
-  float* pout = out.data();
+  float* pout = out->data();
   int64_t out_idx = 0;
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t ch = 0; ch < c; ++ch) {
@@ -254,6 +262,14 @@ Tensor MaxPool2d(const Tensor& input, const ConvGeom& g,
       }
     }
   }
+}
+
+Tensor MaxPool2d(const Tensor& input, const ConvGeom& g,
+                 std::vector<int64_t>* argmax) {
+  const int64_t ho = g.OutExtent(input.dim(2), g.kernel_h);
+  const int64_t wo = g.OutExtent(input.dim(3), g.kernel_w);
+  Tensor out{Shape{input.dim(0), input.dim(1), ho, wo}};
+  MaxPool2dInto(input, g, argmax, &out);
   return out;
 }
 
@@ -269,15 +285,15 @@ Tensor MaxPool2dBackward(const Tensor& grad_output, const Shape& input_shape,
   return grad_input;
 }
 
-Tensor AvgPool2d(const Tensor& input, const ConvGeom& g) {
+void AvgPool2dInto(const Tensor& input, const ConvGeom& g, Tensor* out) {
   const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
                 w = input.dim(3);
   const int64_t ho = g.OutExtent(h, g.kernel_h);
   const int64_t wo = g.OutExtent(w, g.kernel_w);
   const float inv = 1.0f / static_cast<float>(g.kernel_h * g.kernel_w);
-  Tensor out{Shape{n, c, ho, wo}};
+  ML_CHECK((out->shape() == Shape{n, c, ho, wo}));
   const float* pin = input.data();
-  float* pout = out.data();
+  float* pout = out->data();
   int64_t out_idx = 0;
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t ch = 0; ch < c; ++ch) {
@@ -299,6 +315,13 @@ Tensor AvgPool2d(const Tensor& input, const ConvGeom& g) {
       }
     }
   }
+}
+
+Tensor AvgPool2d(const Tensor& input, const ConvGeom& g) {
+  const int64_t ho = g.OutExtent(input.dim(2), g.kernel_h);
+  const int64_t wo = g.OutExtent(input.dim(3), g.kernel_w);
+  Tensor out{Shape{input.dim(0), input.dim(1), ho, wo}};
+  AvgPool2dInto(input, g, &out);
   return out;
 }
 
@@ -335,20 +358,25 @@ Tensor AvgPool2dBackward(const Tensor& grad_output, const Shape& input_shape,
   return grad_input;
 }
 
-Tensor GlobalAvgPool(const Tensor& input) {
+void GlobalAvgPoolInto(const Tensor& input, Tensor* out) {
   ML_CHECK_EQ(input.rank(), 4);
   const int64_t n = input.dim(0), c = input.dim(1),
                 spatial = input.dim(2) * input.dim(3);
   const float inv = 1.0f / static_cast<float>(spatial);
-  Tensor out{Shape{n, c}};
+  ML_CHECK((out->shape() == Shape{n, c}));
   const float* pin = input.data();
-  float* pout = out.data();
+  float* pout = out->data();
   for (int64_t i = 0; i < n * c; ++i) {
     const float* plane = pin + i * spatial;
     float acc = 0.0f;
     for (int64_t s = 0; s < spatial; ++s) acc += plane[s];
     pout[i] = acc * inv;
   }
+}
+
+Tensor GlobalAvgPool(const Tensor& input) {
+  Tensor out{Shape{input.dim(0), input.dim(1)}};
+  GlobalAvgPoolInto(input, &out);
   return out;
 }
 

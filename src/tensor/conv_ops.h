@@ -44,6 +44,11 @@ void Col2Im(const float* columns, int64_t channels, int64_t h, int64_t w,
 Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
                      const Tensor& bias, const ConvGeom& g);
 
+/// Same, accumulating into a caller-provided, pre-zeroed [N, O, Ho, Wo]
+/// tensor (workspace-arena fast path; no output allocation).
+void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
+                       const Tensor& bias, const ConvGeom& g, Tensor* out);
+
 /// Gradients of Conv2dForward. `grad_bias` is filled only if `has_bias`.
 void Conv2dBackward(const Tensor& input, const Tensor& weight,
                     const Tensor& grad_output, const ConvGeom& g,
@@ -59,6 +64,10 @@ Tensor Conv2dDirect(const Tensor& input, const Tensor& weight,
 Tensor MaxPool2d(const Tensor& input, const ConvGeom& g,
                  std::vector<int64_t>* argmax);
 
+/// Same, writing into a caller-provided [N, C, Ho, Wo] tensor.
+void MaxPool2dInto(const Tensor& input, const ConvGeom& g,
+                   std::vector<int64_t>* argmax, Tensor* out);
+
 /// Scatters grad_output back through the recorded argmax indices.
 Tensor MaxPool2dBackward(const Tensor& grad_output, const Shape& input_shape,
                          const std::vector<int64_t>& argmax);
@@ -66,12 +75,18 @@ Tensor MaxPool2dBackward(const Tensor& grad_output, const Shape& input_shape,
 /// Average pooling.
 Tensor AvgPool2d(const Tensor& input, const ConvGeom& g);
 
+/// Same, writing into a caller-provided [N, C, Ho, Wo] tensor.
+void AvgPool2dInto(const Tensor& input, const ConvGeom& g, Tensor* out);
+
 /// Backward of average pooling.
 Tensor AvgPool2dBackward(const Tensor& grad_output, const Shape& input_shape,
                          const ConvGeom& g);
 
 /// Global average pooling: [N, C, H, W] -> [N, C].
 Tensor GlobalAvgPool(const Tensor& input);
+
+/// Same, writing into a caller-provided [N, C] tensor.
+void GlobalAvgPoolInto(const Tensor& input, Tensor* out);
 
 /// Backward of global average pooling.
 Tensor GlobalAvgPoolBackward(const Tensor& grad_output,

@@ -34,14 +34,19 @@ void MatmulAccumulateRaw(const float* a, const float* b, float* c, int64_t n,
   });
 }
 
-Tensor Matmul(const Tensor& a, const Tensor& b) {
+void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out) {
   ML_CHECK_EQ(a.rank(), 2);
   ML_CHECK_EQ(b.rank(), 2);
   ML_CHECK_EQ(a.dim(1), b.dim(0))
       << "Matmul: " << a.shape().ToString() << " x " << b.shape().ToString();
   const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
-  Tensor out{Shape{n, m}};
-  MatmulAccumulateRaw(a.data(), b.data(), out.data(), n, k, m);
+  ML_CHECK((out->shape() == Shape{n, m}));
+  MatmulAccumulateRaw(a.data(), b.data(), out->data(), n, k, m);
+}
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  Tensor out{Shape{a.dim(0), b.dim(1)}};
+  MatmulInto(a, b, &out);
   return out;
 }
 
@@ -71,7 +76,7 @@ Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
+void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor* out) {
   // C[n,m] = sum_p A[n,p] * B[m,p]; rows of both inputs are contiguous, so a
   // dot-product inner loop is natural.
   ML_CHECK_EQ(a.rank(), 2);
@@ -80,10 +85,10 @@ Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
       << "MatmulTransB: " << a.shape().ToString() << " x "
       << b.shape().ToString();
   const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
-  Tensor out{Shape{n, m}};
+  ML_CHECK((out->shape() == Shape{n, m}));
   const float* pa = a.data();
   const float* pb = b.data();
-  float* c = out.data();
+  float* c = out->data();
   ParallelFor(0, n, kBlockI, [&](int64_t i_lo, int64_t i_hi) {
     for (int64_t i = i_lo; i < i_hi; ++i) {
       const float* arow = pa + i * k;
@@ -96,6 +101,11 @@ Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
       }
     }
   });
+}
+
+Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
+  Tensor out{Shape{a.dim(0), b.dim(0)}};
+  MatmulTransBInto(a, b, &out);
   return out;
 }
 

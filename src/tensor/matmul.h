@@ -22,6 +22,12 @@ Tensor MatmulTransB(const Tensor& a, const Tensor& b);
 /// y[n] = A[n,k] · x[k].
 Tensor MatVec(const Tensor& a, const Tensor& x);
 
+/// Out-parameter variants writing into a caller-provided [n, m] tensor
+/// (workspace-arena fast path; no allocation). MatmulInto accumulates and
+/// requires `out` pre-zeroed; MatmulTransBInto overwrites.
+void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor* out);
+
 /// Raw kernel: C[n,m] += A[n,k] · B[k,m], all row-major contiguous.
 /// Exposed for im2col convolution and benchmarks.
 void MatmulAccumulateRaw(const float* a, const float* b, float* c, int64_t n,

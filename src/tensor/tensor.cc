@@ -7,15 +7,33 @@
 
 namespace metalora {
 
+namespace {
+thread_local int64_t g_heap_allocations = 0;
+}  // namespace
+
 Tensor::Tensor(Shape shape)
     : buffer_(std::make_shared<Buffer>(static_cast<size_t>(shape.numel()), 0.0f)),
       shape_(std::move(shape)),
-      numel_(shape_.numel()) {}
-
-Tensor::Tensor(std::shared_ptr<Buffer> buffer, Shape shape)
-    : buffer_(std::move(buffer)), shape_(std::move(shape)), numel_(shape_.numel()) {
-  ML_CHECK_EQ(static_cast<int64_t>(buffer_->size()), numel_);
+      numel_(shape_.numel()) {
+  ++g_heap_allocations;
 }
+
+Tensor::Tensor(std::shared_ptr<Buffer> buffer, int64_t offset, Shape shape)
+    : buffer_(std::move(buffer)),
+      shape_(std::move(shape)),
+      offset_(offset),
+      numel_(shape_.numel()) {
+  ML_CHECK(offset_ >= 0 &&
+           offset_ + numel_ <= static_cast<int64_t>(buffer_->size()));
+}
+
+Tensor Tensor::WrapBuffer(std::shared_ptr<std::vector<float>> buffer,
+                          int64_t offset, Shape shape) {
+  ML_CHECK(buffer != nullptr);
+  return Tensor(std::move(buffer), offset, std::move(shape));
+}
+
+int64_t Tensor::HeapAllocations() { return g_heap_allocations; }
 
 Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
 
@@ -70,7 +88,19 @@ Tensor Tensor::Reshape(Shape new_shape) const {
   ML_CHECK(defined());
   ML_CHECK_EQ(new_shape.numel(), numel_)
       << "reshape " << shape_.ToString() << " -> " << new_shape.ToString();
-  return Tensor(buffer_, std::move(new_shape));
+  return Tensor(buffer_, offset_, std::move(new_shape));
+}
+
+Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
+  ML_CHECK(defined());
+  ML_CHECK_GE(rank(), 1);
+  const int64_t n = shape_.dim(0);
+  ML_CHECK(begin >= 0 && begin <= end && end <= n)
+      << "SliceRows [" << begin << ", " << end << ") of " << n << " rows";
+  const int64_t row = n > 0 ? numel_ / n : 0;
+  std::vector<int64_t> dims = shape_.dims();
+  dims[0] = end - begin;
+  return Tensor(buffer_, offset_ + begin * row, Shape(std::move(dims)));
 }
 
 void Tensor::CopyDataFrom(const Tensor& src) {
@@ -81,12 +111,12 @@ void Tensor::CopyDataFrom(const Tensor& src) {
 
 void Tensor::Fill(float value) {
   ML_CHECK(defined());
-  std::fill(buffer_->begin(), buffer_->end(), value);
+  std::fill(data(), data() + numel_, value);
 }
 
 std::vector<float> Tensor::ToVector() const {
   ML_CHECK(defined());
-  return *buffer_;
+  return std::vector<float>(data(), data() + numel_);
 }
 
 std::string Tensor::ToString() const {

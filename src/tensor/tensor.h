@@ -39,6 +39,21 @@ class Tensor {
   /// Factory: copies `values` (size must equal shape.numel()).
   static Tensor FromVector(Shape shape, const std::vector<float>& values);
 
+  /// Internal: wraps a view of `shape.numel()` floats starting at `offset`
+  /// inside an existing buffer. Used by the autograd workspace arena to hand
+  /// out tensors that live inside a bump-allocated block; the view shares
+  /// ownership of the block, so it can never dangle (but its contents are
+  /// reused once the arena is Reset).
+  static Tensor WrapBuffer(std::shared_ptr<std::vector<float>> buffer,
+                           int64_t offset, Shape shape);
+
+  /// Number of heap buffer allocations made by this thread since process
+  /// start. O(1) tensor copies, reshapes, and arena views do not count; every
+  /// `Tensor(Shape)` construction (and the factories built on it) does.
+  /// Benchmarks diff this counter to compare allocation behaviour of the
+  /// grad-mode and no-grad execution paths.
+  static int64_t HeapAllocations();
+
   bool defined() const { return buffer_ != nullptr; }
 
   const Shape& shape() const { return shape_; }
@@ -46,8 +61,10 @@ class Tensor {
   int64_t dim(int i) const { return shape_.dim(i); }
   int64_t numel() const { return numel_; }
 
-  float* data() { return buffer_ ? buffer_->data() : nullptr; }
-  const float* data() const { return buffer_ ? buffer_->data() : nullptr; }
+  float* data() { return buffer_ ? buffer_->data() + offset_ : nullptr; }
+  const float* data() const {
+    return buffer_ ? buffer_->data() + offset_ : nullptr;
+  }
 
   /// Element accessors for tests and slow paths. Multi-index must match rank.
   float& at(std::initializer_list<int64_t> idx);
@@ -56,11 +73,11 @@ class Tensor {
   /// Flat accessor.
   float& flat(int64_t i) {
     ML_DCHECK(i >= 0 && i < numel_);
-    return (*buffer_)[static_cast<size_t>(i)];
+    return (*buffer_)[static_cast<size_t>(offset_ + i)];
   }
   float flat(int64_t i) const {
     ML_DCHECK(i >= 0 && i < numel_);
-    return (*buffer_)[static_cast<size_t>(i)];
+    return (*buffer_)[static_cast<size_t>(offset_ + i)];
   }
 
   /// Deep copy.
@@ -69,9 +86,13 @@ class Tensor {
   /// Shares the buffer under a new shape; numel must match.
   Tensor Reshape(Shape new_shape) const;
 
-  /// True if the two tensors share the same buffer.
+  /// O(1) view of rows [begin, end) along dimension 0 (shares the buffer).
+  Tensor SliceRows(int64_t begin, int64_t end) const;
+
+  /// True if the two tensors share the same storage (same buffer and start).
   bool SharesBufferWith(const Tensor& other) const {
-    return buffer_ != nullptr && buffer_ == other.buffer_;
+    return buffer_ != nullptr && buffer_ == other.buffer_ &&
+           offset_ == other.offset_;
   }
 
   /// Copies `src`'s contents into this tensor (shapes must have equal numel).
@@ -92,10 +113,11 @@ class Tensor {
  private:
   using Buffer = std::vector<float>;
 
-  Tensor(std::shared_ptr<Buffer> buffer, Shape shape);
+  Tensor(std::shared_ptr<Buffer> buffer, int64_t offset, Shape shape);
 
   std::shared_ptr<Buffer> buffer_;
   Shape shape_;
+  int64_t offset_ = 0;
   int64_t numel_ = 0;
 };
 

@@ -16,33 +16,48 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 
 }  // namespace
 
-Tensor Add(const Tensor& a, const Tensor& b) {
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckSameShape(a, b, "Add");
-  Tensor out(a.shape());
+  CheckSameShape(a, *out, "AddInto(out)");
   const float* pa = a.data();
   const float* pb = b.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out(a.shape());
+  AddInto(a, b, &out);
   return out;
+}
+
+void SubInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckSameShape(a, b, "Sub");
+  CheckSameShape(a, *out, "SubInto(out)");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] - pb[i];
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b, "Sub");
   Tensor out(a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] - pb[i];
+  SubInto(a, b, &out);
   return out;
 }
 
-Tensor Mul(const Tensor& a, const Tensor& b) {
+void MulInto(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckSameShape(a, b, "Mul");
-  Tensor out(a.shape());
+  CheckSameShape(a, *out, "MulInto(out)");
   const float* pa = a.data();
   const float* pb = b.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * pb[i];
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.shape());
+  MulInto(a, b, &out);
   return out;
 }
 
@@ -56,19 +71,29 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+void ScaleInto(const Tensor& a, float s, Tensor* out) {
+  CheckSameShape(a, *out, "ScaleInto(out)");
+  const float* pa = a.data();
+  float* po = out->data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * s;
+}
+
 Tensor Scale(const Tensor& a, float s) {
   Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] * s;
+  ScaleInto(a, s, &out);
   return out;
+}
+
+void AddScalarInto(const Tensor& a, float s, Tensor* out) {
+  CheckSameShape(a, *out, "AddScalarInto(out)");
+  const float* pa = a.data();
+  float* po = out->data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] + s;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
   Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = pa[i] + s;
+  AddScalarInto(a, s, &out);
   return out;
 }
 
@@ -91,39 +116,56 @@ void ScaleInPlace(Tensor& dst, float s) {
   for (int64_t i = 0, n = dst.numel(); i < n; ++i) pd[i] *= s;
 }
 
-Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+void AddRowBroadcastInto(const Tensor& a, const Tensor& bias, Tensor* out) {
   ML_CHECK_EQ(a.rank(), 2);
   ML_CHECK_EQ(bias.rank(), 1);
   ML_CHECK_EQ(a.dim(1), bias.dim(0));
+  CheckSameShape(a, *out, "AddRowBroadcastInto(out)");
   const int64_t n = a.dim(0), c = a.dim(1);
-  Tensor out(a.shape());
   const float* pa = a.data();
   const float* pb = bias.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t i = 0; i < n; ++i) {
     const float* row = pa + i * c;
     float* orow = po + i * c;
     for (int64_t j = 0; j < c; ++j) orow[j] = row[j] + pb[j];
   }
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  Tensor out(a.shape());
+  AddRowBroadcastInto(a, bias, &out);
   return out;
+}
+
+void MapInto(const Tensor& a, const std::function<float(float)>& f,
+             Tensor* out) {
+  CheckSameShape(a, *out, "MapInto(out)");
+  const float* pa = a.data();
+  float* po = out->data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = f(pa[i]);
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
   Tensor out(a.shape());
-  const float* pa = a.data();
-  float* po = out.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = f(pa[i]);
+  MapInto(a, f, &out);
   return out;
+}
+
+void ZipInto(const Tensor& a, const Tensor& b,
+             const std::function<float(float, float)>& f, Tensor* out) {
+  CheckSameShape(a, b, "Zip");
+  CheckSameShape(a, *out, "ZipInto(out)");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = f(pa[i], pb[i]);
 }
 
 Tensor Zip(const Tensor& a, const Tensor& b,
            const std::function<float(float, float)>& f) {
-  CheckSameShape(a, b, "Zip");
   Tensor out(a.shape());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (int64_t i = 0, n = a.numel(); i < n; ++i) po[i] = f(pa[i], pb[i]);
+  ZipInto(a, b, f, &out);
   return out;
 }
 

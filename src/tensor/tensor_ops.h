@@ -46,6 +46,20 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& f);
 Tensor Zip(const Tensor& a, const Tensor& b,
            const std::function<float(float, float)>& f);
 
+// Out-parameter variants writing into a caller-provided tensor of the
+// result shape (workspace-arena fast path; no allocation). `out` may not
+// alias an input.
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out);
+void SubInto(const Tensor& a, const Tensor& b, Tensor* out);
+void MulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void ScaleInto(const Tensor& a, float s, Tensor* out);
+void AddScalarInto(const Tensor& a, float s, Tensor* out);
+void AddRowBroadcastInto(const Tensor& a, const Tensor& bias, Tensor* out);
+void MapInto(const Tensor& a, const std::function<float(float)>& f,
+             Tensor* out);
+void ZipInto(const Tensor& a, const Tensor& b,
+             const std::function<float(float, float)>& f, Tensor* out);
+
 // ---------------------------------------------------------------------------
 // Reductions.
 // ---------------------------------------------------------------------------

@@ -171,7 +171,7 @@ TEST(ThreadPoolTest, EmptyRangeIsNoop) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double x = 0;
-  for (int i = 0; i < 100000; ++i) x += i;
+  for (int i = 0; i < 100000; ++i) x = x + i;
   EXPECT_GE(t.Seconds(), 0.0);
   EXPECT_GE(t.Micros(), t.Millis());
 }

@@ -104,8 +104,9 @@ TEST(MoeLoraLinearTest, GradientsReachGateAndExperts) {
       gate_grad = true;
     if (np.name == "lora_a0" && np.variable->grad().defined())
       expert_grad = true;
-    if (np.name.rfind("base/", 0) == 0)
+    if (np.name.rfind("base/", 0) == 0) {
       EXPECT_FALSE(np.variable->grad().defined()) << np.name;
+    }
   }
   EXPECT_TRUE(gate_grad);
   EXPECT_TRUE(expert_grad);
