@@ -8,8 +8,10 @@
 // comparison table and writes the raw numbers to BENCH_autograd.json.
 //
 // The acceptance invariants of the fast path are checked here, not just
-// reported: the no-grad pass must record zero graph nodes and must touch
-// the heap allocator strictly less often than the recording pass.
+// reported: the no-grad pass must record zero graph nodes, must touch the
+// heap allocator strictly less often than the recording pass, and must not
+// be slower per iteration (full-overwrite ops allocate uninitialized arena
+// blocks, so reuse no longer pays a memset per intermediate).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -128,10 +130,17 @@ int main() {
               << grad.heap_allocs_per_iter << "\n";
     ok = false;
   }
+  if (fast.micros_per_iter > grad.micros_per_iter) {
+    std::cout << "\nFAIL: fast path took " << fast.micros_per_iter
+              << " us/iter, slower than grad mode's " << grad.micros_per_iter
+              << " — the arena must not cost more than graph recording\n";
+    ok = false;
+  }
   if (ok) {
-    std::cout << "\nOK: no-grad pass recorded 0 nodes and cut heap "
+    std::cout << "\nOK: no-grad pass recorded 0 nodes, cut heap "
               << "allocations from " << grad.heap_allocs_per_iter << " to "
-              << fast.heap_allocs_per_iter << " per forward\n";
+              << fast.heap_allocs_per_iter << " per forward, and ran no "
+              << "slower than the recording pass\n";
   }
 
   std::ofstream json("BENCH_autograd.json");

@@ -284,7 +284,7 @@ class FillLikeOp final : public Op {
 Variable Add(const Variable& a, const Variable& b) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "Add");
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   metalora::AddInto(a.value(), b.value(), &out);
   prof.set_output(out);
   return MakeOpResult<PassThroughOp>(std::move(out), {a, b}, "Add", 2);
@@ -293,7 +293,7 @@ Variable Add(const Variable& a, const Variable& b) {
 Variable Sub(const Variable& a, const Variable& b) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "Sub");
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   metalora::SubInto(a.value(), b.value(), &out);
   prof.set_output(out);
   return MakeOpResult<SubOp>(std::move(out), {a, b});
@@ -302,7 +302,7 @@ Variable Sub(const Variable& a, const Variable& b) {
 Variable Mul(const Variable& a, const Variable& b) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "Mul");
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   metalora::MulInto(a.value(), b.value(), &out);
   prof.set_output(out);
   return MakeOpResult<MulOp>(std::move(out), {a, b}, a.value(), b.value());
@@ -311,7 +311,7 @@ Variable Mul(const Variable& a, const Variable& b) {
 Variable Scale(const Variable& a, float s) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "Scale");
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   metalora::ScaleInto(a.value(), s, &out);
   prof.set_output(out);
   return MakeOpResult<ScaleOp>(std::move(out), {a}, s);
@@ -320,7 +320,7 @@ Variable Scale(const Variable& a, float s) {
 Variable AddScalar(const Variable& a, float s) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "AddScalar");
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   metalora::AddScalarInto(a.value(), s, &out);
   prof.set_output(out);
   return MakeOpResult<PassThroughOp>(std::move(out), {a}, "AddScalar", 1);
@@ -331,7 +331,7 @@ Variable Neg(const Variable& a) { return Scale(a, -1.0f); }
 Variable AddRowBroadcast(const Variable& a, const Variable& bias) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "AddRowBroadcast");
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   metalora::AddRowBroadcastInto(a.value(), bias.value(), &out);
   prof.set_output(out);
   return MakeOpResult<AddRowBroadcastOp>(std::move(out), {a, bias});
@@ -344,7 +344,7 @@ Variable MulRowBroadcast(const Variable& a, const Variable& row) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "MulRowBroadcast");
   const int64_t n = a.dim(0), c = a.dim(1);
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   {
     const float* pa = a.value().data();
     const float* pr = row.value().data();
@@ -365,7 +365,7 @@ Variable ScaleChannels(const Variable& a, const Variable& s) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "ScaleChannels");
   const int64_t n = a.dim(0), c = a.dim(1), spatial = a.dim(2) * a.dim(3);
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   {
     const float* pa = a.value().data();
     const float* ps = s.value().data();
@@ -390,7 +390,7 @@ Variable ScaleRows(const Variable& a, const Variable& s) {
   ProfileScope prof(ctx, "ScaleRows");
   const int64_t n = a.dim(0);
   const int64_t rest = a.numel() / std::max<int64_t>(n, 1);
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   {
     const float* pa = a.value().data();
     const float* ps = s.value().data();
@@ -411,7 +411,7 @@ Variable MulScalarVar(const Variable& a, const Variable& s) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "MulScalarVar");
   const float sv = s.value().flat(0);
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   metalora::ScaleInto(a.value(), sv, &out);
   prof.set_output(out);
   return MakeOpResult<MulScalarVarOp>(std::move(out), {a, s}, a.value(), sv,
@@ -428,7 +428,7 @@ Variable RepeatRowsInterleaved(const Variable& a, int64_t k) {
   const int64_t rest = a.numel() / std::max<int64_t>(n, 1);
   std::vector<int64_t> out_dims = a.shape().dims();
   out_dims[0] = n * k;
-  Tensor out = ctx.AllocResult(Shape(out_dims));
+  Tensor out = ctx.AllocResultUninit(Shape(out_dims));
   {
     const float* pa = a.value().data();
     float* po = out.data();
@@ -474,7 +474,7 @@ template <float (*Dfn)(float), typename FwdFn>
 Variable UnaryFromInput(const Variable& a, const char* name, FwdFn fwd) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, name);
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   MapInto(a.value(), fwd, &out);
   prof.set_output(out);
   return MakeOpResult<UnaryFromInputOp<Dfn>>(std::move(out), {a}, name,
@@ -486,7 +486,7 @@ template <float (*Dfn)(float), typename FwdFn>
 Variable UnaryFromOutput(const Variable& a, const char* name, FwdFn fwd) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, name);
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   MapInto(a.value(), fwd, &out);
   prof.set_output(out);
   Tensor saved = out;  // O(1) shared-buffer copy
@@ -537,7 +537,7 @@ Variable Dropout(const Variable& a, float p, bool training, Rng& rng) {
   for (int64_t i = 0, n = mask.numel(); i < n; ++i) {
     pm[i] = rng.Bernoulli(keep) ? inv_keep : 0.0f;
   }
-  Tensor out = ctx.AllocResult(a.shape());
+  Tensor out = ctx.AllocResultUninit(a.shape());
   metalora::MulInto(a.value(), mask, &out);
   prof.set_output(out);
   return MakeOpResult<DropoutOp>(std::move(out), {a}, std::move(mask));
@@ -546,7 +546,7 @@ Variable Dropout(const Variable& a, float p, bool training, Rng& rng) {
 Variable SumAll(const Variable& a) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "SumAll");
-  Tensor out = ctx.AllocResult(Shape{});
+  Tensor out = ctx.AllocResultUninit(Shape{});
   out.flat(0) = static_cast<float>(metalora::SumAll(a.value()));
   prof.set_output(out);
   return MakeOpResult<FillLikeOp>(std::move(out), {a}, "SumAll", a.shape(),
@@ -557,7 +557,7 @@ Variable MeanAll(const Variable& a) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "MeanAll");
   const float inv = 1.0f / static_cast<float>(a.numel());
-  Tensor out = ctx.AllocResult(Shape{});
+  Tensor out = ctx.AllocResultUninit(Shape{});
   out.flat(0) = static_cast<float>(metalora::MeanAll(a.value()));
   prof.set_output(out);
   return MakeOpResult<FillLikeOp>(std::move(out), {a}, "MeanAll", a.shape(),

@@ -102,7 +102,7 @@ Variable MaxPool2d(const Variable& x, const ConvGeom& geom) {
   ProfileScope prof(ctx, "MaxPool2d");
   const int64_t ho = geom.OutExtent(x.dim(2), geom.kernel_h);
   const int64_t wo = geom.OutExtent(x.dim(3), geom.kernel_w);
-  Tensor out = ctx.AllocResult(Shape{x.dim(0), x.dim(1), ho, wo});
+  Tensor out = ctx.AllocResultUninit(Shape{x.dim(0), x.dim(1), ho, wo});
   std::vector<int64_t> argmax;
   MaxPool2dInto(x.value(), geom, &argmax, &out);
   prof.set_output(out);
@@ -115,7 +115,7 @@ Variable AvgPool2d(const Variable& x, const ConvGeom& geom) {
   ProfileScope prof(ctx, "AvgPool2d");
   const int64_t ho = geom.OutExtent(x.dim(2), geom.kernel_h);
   const int64_t wo = geom.OutExtent(x.dim(3), geom.kernel_w);
-  Tensor out = ctx.AllocResult(Shape{x.dim(0), x.dim(1), ho, wo});
+  Tensor out = ctx.AllocResultUninit(Shape{x.dim(0), x.dim(1), ho, wo});
   AvgPool2dInto(x.value(), geom, &out);
   prof.set_output(out);
   return MakeOpResult<AvgPool2dOp>(std::move(out), {x}, x.shape(), geom);
@@ -124,7 +124,7 @@ Variable AvgPool2d(const Variable& x, const ConvGeom& geom) {
 Variable GlobalAvgPool(const Variable& x) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "GlobalAvgPool");
-  Tensor out = ctx.AllocResult(Shape{x.dim(0), x.dim(1)});
+  Tensor out = ctx.AllocResultUninit(Shape{x.dim(0), x.dim(1)});
   GlobalAvgPoolInto(x.value(), &out);
   prof.set_output(out);
   return MakeOpResult<GlobalAvgPoolOp>(std::move(out), {x}, x.shape());

@@ -131,7 +131,7 @@ Variable Softmax(const Variable& logits) {
   ML_CHECK_EQ(logits.rank(), 2);
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "Softmax");
-  Tensor probs = ctx.AllocResult(logits.shape());
+  Tensor probs = ctx.AllocResultUninit(logits.shape());
   SoftmaxRowsInto(logits.value(), &probs);
   prof.set_output(probs);
   Tensor saved = probs;  // O(1) shared-buffer copy
@@ -145,7 +145,7 @@ Variable SoftmaxLastDim(const Variable& logits) {
   ProfileScope prof(ctx, "SoftmaxLastDim");
   const int64_t c = logits.dim(-1);
   const int64_t rows = logits.numel() / c;
-  Tensor probs = ctx.AllocResult(logits.shape());
+  Tensor probs = ctx.AllocResultUninit(logits.shape());
   {
     Tensor flat = probs.Reshape(Shape{rows, c});
     SoftmaxRowsInto(logits.value().Reshape(Shape{rows, c}), &flat);

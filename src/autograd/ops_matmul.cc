@@ -175,7 +175,7 @@ Variable Linear(const Variable& x, const Variable& weight,
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "Linear");
   // y = x · Wᵀ (+ b).
-  Tensor out = ctx.AllocResult(Shape{x.dim(0), weight.dim(0)});
+  Tensor out = ctx.AllocResultUninit(Shape{x.dim(0), weight.dim(0)});
   MatmulTransBInto(x.value(), weight.value(), &out);
   const bool has_bias = bias.defined();
   if (has_bias) {

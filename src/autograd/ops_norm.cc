@@ -145,8 +145,8 @@ Variable BatchNorm2d(const Variable& x, const Variable& gamma,
   ProfileScope prof(ctx, "BatchNorm2d");
   const int64_t m = n * spatial;
 
-  Tensor mean = ctx.AllocResult(Shape{c});
-  Tensor inv_std = ctx.AllocResult(Shape{c});
+  Tensor mean = ctx.AllocResultUninit(Shape{c});
+  Tensor inv_std = ctx.AllocResultUninit(Shape{c});
   const float* px = x.value().data();
 
   if (training) {
@@ -187,7 +187,7 @@ Variable BatchNorm2d(const Variable& x, const Variable& gamma,
   // pass will need it.
   const bool record = AnyRequiresGrad({x, gamma, beta});
   Tensor xhat = record ? Tensor{x.shape()} : Tensor();
-  Tensor out = ctx.AllocResult(x.shape());
+  Tensor out = ctx.AllocResultUninit(x.shape());
   const float* pg_gamma = gamma.value().data();
   const float* pg_beta = beta.value().data();
   float* pxh = record ? xhat.data() : nullptr;
@@ -233,8 +233,8 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
 
   const bool record = AnyRequiresGrad({x, gamma, beta});
   Tensor xhat = record ? Tensor{x.shape()} : Tensor();
-  Tensor inv_std = ctx.AllocResult(Shape{rows});
-  Tensor out = ctx.AllocResult(x.shape());
+  Tensor inv_std = ctx.AllocResultUninit(Shape{rows});
+  Tensor out = ctx.AllocResultUninit(x.shape());
   const float* px = x.value().data();
   const float* pgm = gamma.value().data();
   const float* pbt = beta.value().data();

@@ -19,7 +19,7 @@ RuntimeContext*& CurrentContextSlot() {
 WorkspaceArena::WorkspaceArena(int64_t initial_floats)
     : next_block_floats_(std::max<int64_t>(initial_floats, 1)) {}
 
-Tensor WorkspaceArena::Allocate(Shape shape) {
+Tensor WorkspaceArena::AllocateImpl(Shape shape, bool zero) {
   const int64_t numel = shape.numel();
   ++alloc_count_;
   // First block with room wins; blocks stay small in count because each new
@@ -32,7 +32,9 @@ Tensor WorkspaceArena::Allocate(Shape shape) {
       used_floats_ += numel;
       peak_floats_ = std::max(peak_floats_, used_floats_);
       Tensor view = Tensor::WrapBuffer(block.data, offset, std::move(shape));
-      view.Zero();  // callers assume freshly allocated tensors are zeroed
+      // Reused block bytes are stale; Allocate() callers assume zeroed,
+      // AllocateUninitialized() callers overwrite every element themselves.
+      if (zero) view.Zero();
       return view;
     }
   }
@@ -46,7 +48,16 @@ Tensor WorkspaceArena::Allocate(Shape shape) {
   used_floats_ += numel;
   peak_floats_ = std::max(peak_floats_, used_floats_);
   blocks_.push_back(block);
+  // Fresh blocks are value-initialized, so no explicit zeroing is needed.
   return Tensor::WrapBuffer(block.data, 0, std::move(shape));
+}
+
+Tensor WorkspaceArena::Allocate(Shape shape) {
+  return AllocateImpl(std::move(shape), /*zero=*/true);
+}
+
+Tensor WorkspaceArena::AllocateUninitialized(Shape shape) {
+  return AllocateImpl(std::move(shape), /*zero=*/false);
 }
 
 void WorkspaceArena::Reset() {

@@ -39,6 +39,13 @@ class WorkspaceArena {
   /// Returns a zero-filled tensor of `shape` carved from the arena.
   Tensor Allocate(Shape shape);
 
+  /// Like Allocate() but the contents are unspecified on reused blocks
+  /// (stale bytes from before the last Reset). For ops that overwrite every
+  /// element of their output — zero-filling those would pay one full memset
+  /// per intermediate per iteration, which made the "fast" no-grad path
+  /// slower than the grad-recording path (see BENCH_autograd.json history).
+  Tensor AllocateUninitialized(Shape shape);
+
   /// Reclaims every allocation at once; blocks are kept for reuse.
   void Reset();
 
@@ -53,6 +60,8 @@ class WorkspaceArena {
 
  private:
   static constexpr int64_t kFloatBytes = static_cast<int64_t>(sizeof(float));
+
+  Tensor AllocateImpl(Shape shape, bool zero);
 
   struct Block {
     std::shared_ptr<std::vector<float>> data;
@@ -103,6 +112,18 @@ class RuntimeContext {
     return Tensor(shape);
   }
 
+  /// AllocResult for ops that assign every element of their output: skips
+  /// the zero-fill on arena reuse. Accumulating kernels (Matmul, Conv2d,
+  /// BatchedMatmul, PerSamplePointwiseConv) must keep using AllocResult.
+  /// The heap path stays zeroed — Tensor(Shape) value-initializes — so this
+  /// only changes arena-block reuse, where the saved memset is the win.
+  Tensor AllocResultUninit(const Shape& shape) {
+    if (!grad_enabled_ && arena_ != nullptr) {
+      return arena_->AllocateUninitialized(shape);
+    }
+    return Tensor(shape);
+  }
+
   /// Called once per graph node recorded while this context is current.
   void RecordNode(int64_t saved_bytes) {
     ++nodes_recorded_;
@@ -115,6 +136,20 @@ class RuntimeContext {
     ++p.calls;
     p.output_bytes += output_bytes;
     p.nanos += nanos;
+  }
+
+  /// Folds the counters of a child context (a dispatcher branch that ran on
+  /// another thread) into this one. Called at join points in deterministic
+  /// spawn order, so merged stats are independent of execution interleaving.
+  void MergeChildStats(const RuntimeContext& child) {
+    nodes_recorded_ += child.nodes_recorded_;
+    saved_bytes_recorded_ += child.saved_bytes_recorded_;
+    for (const auto& [name, p] : child.op_profiles_) {
+      OpProfile& mine = op_profiles_[name];
+      mine.calls += p.calls;
+      mine.output_bytes += p.output_bytes;
+      mine.nanos += p.nanos;
+    }
   }
 
   /// Graph nodes recorded while this context was current (0 on a pure

@@ -1,11 +1,17 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
+#include <utility>
 
 #include "common/check.h"
 
 namespace metalora {
+
+namespace {
+// Set while a worker executes a task, so nested ParallelFor calls (and the
+// dispatcher's branch bodies) run inline instead of re-entering the queue.
+thread_local bool tls_in_worker_task = false;
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   ML_CHECK_GE(num_threads, 0);
@@ -24,6 +30,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::InWorkerThread() { return tls_in_worker_task; }
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -34,8 +42,23 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    tls_in_worker_task = true;
     task();
+    tls_in_worker_task = false;
   }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  ML_CHECK(task != nullptr);
+  if (num_threads() == 0) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
@@ -45,7 +68,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t n = end - begin;
   if (n == 0) return;
   const int nthreads = num_threads();
-  if (nthreads == 0 || n <= grain) {
+  if (nthreads == 0 || n <= grain || tls_in_worker_task) {
     fn(begin, end);
     return;
   }
@@ -53,29 +76,23 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t num_chunks = std::min<int64_t>(max_chunks, nthreads + 1);
   const int64_t chunk = (n + num_chunks - 1) / num_chunks;
 
-  std::atomic<int64_t> remaining{num_chunks};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-
+  // The latch is heap-shared with every task: even if the caller wakes and
+  // returns the instant the count hits zero, the last worker still holds a
+  // live object while it finishes CountDown().
+  auto latch = std::make_shared<Latch>(num_chunks - 1);
   for (int64_t c = 1; c < num_chunks; ++c) {
     const int64_t lo = begin + c * chunk;
     const int64_t hi = std::min(end, lo + chunk);
     std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push([&, lo, hi] {
+    tasks_.push([&fn, latch, lo, hi] {
       fn(lo, hi);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> dl(done_mu);
-        done_cv.notify_one();
-      }
+      latch->CountDown();
     });
     cv_.notify_one();
   }
   // The calling thread takes the first chunk.
   fn(begin, std::min(end, begin + chunk));
-  if (remaining.fetch_sub(1) != 1) {
-    std::unique_lock<std::mutex> dl(done_mu);
-    done_cv.wait(dl, [&] { return remaining.load() == 0; });
-  }
+  latch->Wait();
 }
 
 ThreadPool& GlobalThreadPool() {

@@ -1,21 +1,61 @@
 // A small fixed-size thread pool plus a ParallelFor helper.
 //
 // Kernels call ParallelFor with a grain size; on single-core machines (or
-// when the pool has one thread) the loop runs inline with zero overhead.
-// The global pool defaults to hardware_concurrency() threads and can be
-// resized once at program start.
+// when the pool has no workers) the loop runs inline with zero overhead.
+// Code already running inside a pool task also runs ParallelFor inline:
+// a blocked fork from a worker could otherwise wait on chunks that sit in
+// the queue behind the very tasks occupying every worker (deadlock), and
+// inline nesting keeps per-task work deterministic for the op dispatcher
+// built on Schedule() (src/autograd/parallel.h).
 #ifndef METALORA_COMMON_THREAD_POOL_H_
 #define METALORA_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace metalora {
+
+/// A count-down completion latch. The counter decrement happens under the
+/// latch mutex, so a waiter that observes zero holds the same lock the last
+/// CountDown() notified under — there is no window where the waiter can
+/// return (and destroy the latch) between a worker's decrement and its
+/// notify. Share via std::shared_ptr when workers may outlive the waiting
+/// stack frame.
+class Latch {
+ public:
+  explicit Latch(int64_t count) : count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  /// Decrements the counter; the final decrement wakes all waiters.
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  /// Blocks until the counter reaches zero.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  /// Non-blocking completion check.
+  bool Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t count_;
+};
 
 class ThreadPool {
  public:
@@ -29,11 +69,21 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  /// Enqueues one task. With zero workers the task runs inline before the
+  /// call returns; otherwise it runs on some worker at an arbitrary later
+  /// time — pair with a Latch to wait for completion.
+  void Schedule(std::function<void()> task);
+
   /// Runs fn(begin..end) partitioned into contiguous chunks across the pool,
   /// blocking until all chunks finish. `grain` is the minimum chunk size;
-  /// small ranges run inline.
+  /// small ranges, zero-worker pools, and calls made from inside a pool task
+  /// run inline.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& fn);
+
+  /// True while the calling thread is executing a task scheduled on *any*
+  /// ThreadPool (workers mark themselves for the duration of each task).
+  static bool InWorkerThread();
 
  private:
   void WorkerLoop();

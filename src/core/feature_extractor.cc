@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "autograd/parallel.h"
 #include "autograd/variable.h"
 #include "common/check.h"
 #include "tensor/tensor_ops.h"
@@ -38,17 +39,26 @@ Tensor FeatureExtractor::ExtractAll(const Tensor& images,
   const int64_t n = images.dim(0);
   const int64_t row = images.numel() / std::max<int64_t>(n, 1);
   Tensor out{Shape{n, feature_dim_}};
-  std::vector<int64_t> dims = images.shape().dims();
-  for (int64_t lo = 0; lo < n; lo += batch_size) {
-    const int64_t hi = std::min(n, lo + batch_size);
-    dims[0] = hi - lo;
-    Tensor chunk{Shape(dims)};
-    std::memcpy(chunk.data(), images.data() + lo * row,
-                sizeof(float) * static_cast<size_t>((hi - lo) * row));
-    Tensor feats = Extract(chunk);
-    std::memcpy(out.data() + lo * feature_dim_, feats.data(),
-                sizeof(float) * static_cast<size_t>((hi - lo) * feature_dim_));
-  }
+  const std::vector<int64_t> base_dims = images.shape().dims();
+  // Batches are independent inferences writing disjoint rows of `out`, so
+  // they dispatch as no-grad blocks: each worker gets its own context and
+  // scratch arena, and block boundaries are fixed by batch_size alone.
+  autograd::ParallelApplyNoGrad(
+      0, n, batch_size,
+      [&](int64_t lo, int64_t hi, autograd::RuntimeContext&) {
+        std::vector<int64_t> dims = base_dims;
+        dims[0] = hi - lo;
+        Tensor chunk{Shape(dims)};
+        std::memcpy(chunk.data(), images.data() + lo * row,
+                    sizeof(float) * static_cast<size_t>((hi - lo) * row));
+        nn::Variable feats =
+            forward_(nn::Variable(chunk, /*requires_grad=*/false));
+        ML_CHECK_EQ(feats.rank(), 2);
+        ML_CHECK_EQ(feats.dim(1), feature_dim_);
+        std::memcpy(
+            out.data() + lo * feature_dim_, feats.value().data(),
+            sizeof(float) * static_cast<size_t>((hi - lo) * feature_dim_));
+      });
   return out;
 }
 

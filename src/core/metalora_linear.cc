@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "autograd/parallel.h"
 #include "tensor/matmul.h"
 #include "tensor/random_init.h"
 #include "tensor/tensor_ops.h"
@@ -63,13 +64,20 @@ Variable AlignSeedToRows(const Variable& seed, int64_t x_rows) {
 Variable MetaLoraCpLinear::Forward(const Variable& x) {
   ML_CHECK(features_.defined())
       << "MetaLoraCpLinear: SetFeatures must be called before Forward";
-  Variable y = base_->Forward(x);
-  Variable c = AlignSeedToRows(mapping_->Forward(features_),
-                               x.dim(0));                   // [N, R]
-  Variable h = autograd::Linear(x, lora_a_, Variable());    // [N, R]
-  h = autograd::Mul(h, c);                                  // per-sample Eq. 6
-  Variable d = autograd::Linear(h, lora_b_, Variable());    // [N, O]
-  return autograd::Add(y, autograd::Scale(d, scaling_));
+  // Branch 1 is the frozen base matmul; branch 2 generates the seed with
+  // the mapping net and applies the CP-factored update (Eq. 6). The two
+  // subgraphs only share leaves (x, parameters, features).
+  autograd::ParallelScope ps;
+  ps.Spawn([&] { return base_->Forward(x); });
+  ps.Spawn([&] {
+    Variable c = AlignSeedToRows(mapping_->Forward(features_),
+                                 x.dim(0));                 // [N, R]
+    Variable h = autograd::Linear(x, lora_a_, Variable());  // [N, R]
+    h = autograd::Mul(h, c);                                // per-sample Eq. 6
+    return autograd::Linear(h, lora_b_, Variable());        // [N, O]
+  });
+  std::vector<Variable> r = ps.Join();
+  return autograd::Add(r[0], autograd::Scale(r[1], scaling_));
 }
 
 int64_t MetaLoraCpLinear::AdapterParamCount() const {
@@ -133,26 +141,31 @@ Variable MetaLoraTrLinear::Forward(const Variable& x) {
   const int64_t out = base_->out_features();
   const int64_t r = options_.rank;
 
-  Variable y = base_->Forward(x);
-  Variable core_c = AlignSeedToRows(mapping_->Forward(features_),
-                                    n);            // [N, R(r2), R(r0)]
+  // Branch 1: frozen base matmul. Branch 2: mapping-net seed generation
+  // plus the TR contraction chain (Eq. 7). Only leaves are shared.
+  autograd::ParallelScope ps;
+  ps.Spawn([&] { return base_->Forward(x); });
+  ps.Spawn([&] {
+    Variable core_c = AlignSeedToRows(mapping_->Forward(features_),
+                                      n);          // [N, R(r2), R(r0)]
 
-  // U[n, r0, r1] = Σ_i x[n,i] A[r0, i, r1].
-  Variable a_mat = autograd::Reshape(
-      autograd::Permute(core_a_, {1, 0, 2}), Shape{in, r * r});
-  Variable u = autograd::Reshape(autograd::Matmul(x, a_mat), Shape{n, r, r});
+    // U[n, r0, r1] = Σ_i x[n,i] A[r0, i, r1].
+    Variable a_mat = autograd::Reshape(
+        autograd::Permute(core_a_, {1, 0, 2}), Shape{in, r * r});
+    Variable u = autograd::Reshape(autograd::Matmul(x, a_mat), Shape{n, r, r});
 
-  // V[n, r1, r2] = Σ_{r0} U[n, r0, r1] C[n, r2, r0].
-  Variable u_t = autograd::Permute(u, {0, 2, 1});       // [N, r1, r0]
-  Variable c_t = autograd::Permute(core_c, {0, 2, 1});  // [N, r0, r2]
-  Variable v = autograd::BatchedMatmul(u_t, c_t);       // [N, r1, r2]
+    // V[n, r1, r2] = Σ_{r0} U[n, r0, r1] C[n, r2, r0].
+    Variable u_t = autograd::Permute(u, {0, 2, 1});       // [N, r1, r0]
+    Variable c_t = autograd::Permute(core_c, {0, 2, 1});  // [N, r0, r2]
+    Variable v = autograd::BatchedMatmul(u_t, c_t);       // [N, r1, r2]
 
-  // d[n, o] = Σ_{r1, r2} V[n, r1, r2] B[r1, o, r2].
-  Variable b_mat = autograd::Reshape(
-      autograd::Permute(core_b_, {0, 2, 1}), Shape{r * r, out});
-  Variable d = autograd::Matmul(autograd::Reshape(v, Shape{n, r * r}), b_mat);
-
-  return autograd::Add(y, autograd::Scale(d, scaling_));
+    // d[n, o] = Σ_{r1, r2} V[n, r1, r2] B[r1, o, r2].
+    Variable b_mat = autograd::Reshape(
+        autograd::Permute(core_b_, {0, 2, 1}), Shape{r * r, out});
+    return autograd::Matmul(autograd::Reshape(v, Shape{n, r * r}), b_mat);
+  });
+  std::vector<Variable> branch = ps.Join();
+  return autograd::Add(branch[0], autograd::Scale(branch[1], scaling_));
 }
 
 int64_t MetaLoraTrLinear::AdapterParamCount() const {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "autograd/parallel.h"
 #include "autograd/runtime_context.h"
 #include "tensor/matmul.h"
 
@@ -42,67 +43,75 @@ Result<KnnResult> KnnClassify(const Tensor& ref_features,
   }
 
   // Cross products [N, D] x [M, D]ᵀ, computed in query blocks so peak memory
-  // is block×M rather than N×M. The block buffer comes from a workspace
-  // arena and is recycled between blocks.
+  // is block×M rather than N×M. Blocks are independent — each writes a
+  // disjoint slice of predictions — so they dispatch across the pool, one
+  // scratch arena per worker; the block buffer is recycled between blocks.
   constexpr int64_t kQueryBlock = 256;
-  autograd::WorkspaceArena arena;
 
   KnnResult result;
   result.predictions.resize(static_cast<size_t>(n));
-  int64_t correct = 0;
+  const int64_t nblocks = (n + kQueryBlock - 1) / kQueryBlock;
+  std::vector<int64_t> block_correct(
+      static_cast<size_t>(std::max<int64_t>(nblocks, 0)), 0);
   const float* pq = query_features.data();
-  std::vector<std::pair<double, int64_t>> cand;
-  for (int64_t lo = 0; lo < n; lo += kQueryBlock) {
-    const int64_t hi = std::min(n, lo + kQueryBlock);
-    arena.Reset();
-    Tensor dots = arena.Allocate(Shape{hi - lo, m});
-    MatmulTransBInto(query_features.SliceRows(lo, hi), ref_features, &dots);
-    const float* pd = dots.data();
-    for (int64_t q = lo; q < hi; ++q) {
-      double qn = 0;
-      const float* qrow = pq + q * d;
-      for (int64_t j = 0; j < d; ++j) {
-        qn += static_cast<double>(qrow[j]) * qrow[j];
-      }
+  autograd::ParallelApplyNoGrad(
+      0, n, kQueryBlock,
+      [&](int64_t lo, int64_t hi, autograd::RuntimeContext& ctx) {
+        Tensor dots = ctx.arena()->AllocateUninitialized(Shape{hi - lo, m});
+        MatmulTransBInto(query_features.SliceRows(lo, hi), ref_features,
+                         &dots);
+        const float* pd = dots.data();
+        int64_t correct = 0;
+        std::vector<std::pair<double, int64_t>> cand;
+        for (int64_t q = lo; q < hi; ++q) {
+          double qn = 0;
+          const float* qrow = pq + q * d;
+          for (int64_t j = 0; j < d; ++j) {
+            qn += static_cast<double>(qrow[j]) * qrow[j];
+          }
 
-      cand.clear();
-      cand.reserve(static_cast<size_t>(m));
-      const float* drow = pd + (q - lo) * m;
-      for (int64_t i = 0; i < m; ++i) {
-        double dist;
-        if (options.metric == KnnMetric::kL2) {
-          dist = qn + ref_norm[static_cast<size_t>(i)] - 2.0 * drow[i];
-        } else {
-          const double denom =
-              std::sqrt(std::max(qn, 1e-12)) *
-              std::sqrt(std::max(ref_norm[static_cast<size_t>(i)], 1e-12));
-          dist = 1.0 - static_cast<double>(drow[i]) / denom;
-        }
-        cand.emplace_back(dist, i);
-      }
-      std::partial_sort(cand.begin(), cand.begin() + k, cand.end());
+          cand.clear();
+          cand.reserve(static_cast<size_t>(m));
+          const float* drow = pd + (q - lo) * m;
+          for (int64_t i = 0; i < m; ++i) {
+            double dist;
+            if (options.metric == KnnMetric::kL2) {
+              dist = qn + ref_norm[static_cast<size_t>(i)] - 2.0 * drow[i];
+            } else {
+              const double denom =
+                  std::sqrt(std::max(qn, 1e-12)) *
+                  std::sqrt(std::max(ref_norm[static_cast<size_t>(i)], 1e-12));
+              dist = 1.0 - static_cast<double>(drow[i]) / denom;
+            }
+            cand.emplace_back(dist, i);
+          }
+          std::partial_sort(cand.begin(), cand.begin() + k, cand.end());
 
-      // Majority vote; ties resolved toward the class of the nearest member.
-      std::map<int64_t, int> votes;
-      for (int i = 0; i < k; ++i) {
-        ++votes[ref_labels[static_cast<size_t>(
-            cand[static_cast<size_t>(i)].second)]];
-      }
-      int best_count = -1;
-      int64_t best_label = -1;
-      for (int i = 0; i < k; ++i) {
-        const int64_t label =
-            ref_labels[static_cast<size_t>(cand[static_cast<size_t>(i)].second)];
-        const int count = votes[label];
-        if (count > best_count) {
-          best_count = count;
-          best_label = label;
+          // Majority vote; ties resolved toward the class of the nearest
+          // member.
+          std::map<int64_t, int> votes;
+          for (int i = 0; i < k; ++i) {
+            ++votes[ref_labels[static_cast<size_t>(
+                cand[static_cast<size_t>(i)].second)]];
+          }
+          int best_count = -1;
+          int64_t best_label = -1;
+          for (int i = 0; i < k; ++i) {
+            const int64_t label = ref_labels[static_cast<size_t>(
+                cand[static_cast<size_t>(i)].second)];
+            const int count = votes[label];
+            if (count > best_count) {
+              best_count = count;
+              best_label = label;
+            }
+          }
+          result.predictions[static_cast<size_t>(q)] = best_label;
+          if (best_label == query_labels[static_cast<size_t>(q)]) ++correct;
         }
-      }
-      result.predictions[static_cast<size_t>(q)] = best_label;
-      if (best_label == query_labels[static_cast<size_t>(q)]) ++correct;
-    }
-  }
+        block_correct[static_cast<size_t>(lo / kQueryBlock)] = correct;
+      });
+  int64_t correct = 0;
+  for (int64_t c : block_correct) correct += c;
   result.accuracy = n > 0 ? static_cast<double>(correct) / n : 0.0;
   return result;
 }

@@ -1,0 +1,165 @@
+// ThreadPool correctness, with emphasis on completion-signalling: the
+// original ParallelFor synchronized on a stack-local mutex/cv pair that the
+// caller could destroy between a worker's counter decrement and its notify
+// (use-after-scope). The stress tests here hammer that window; run them
+// under TSan (see the tsan CI job) to make the regression loud.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace metalora {
+namespace {
+
+TEST(LatchTest, CountsDownToZero) {
+  Latch latch(3);
+  EXPECT_FALSE(latch.Done());
+  latch.CountDown();
+  latch.CountDown();
+  EXPECT_FALSE(latch.Done());
+  latch.CountDown();
+  EXPECT_TRUE(latch.Done());
+  latch.Wait();  // already zero: returns immediately
+}
+
+TEST(LatchTest, WaitBlocksUntilLastCountDown) {
+  Latch latch(1);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    latch.Wait();
+    released.store(true);
+  });
+  EXPECT_FALSE(released.load());
+  latch.CountDown();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(ThreadPoolTest, ScheduleRunsEveryTask) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  auto latch = std::make_shared<Latch>(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Schedule([&ran, latch] {
+      ran.fetch_add(1);
+      latch->CountDown();
+    });
+  }
+  latch->Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsScheduleInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.Schedule([&] {
+    ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  // Inline execution: complete before Schedule returns, no latch needed.
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsParallelForInline) {
+  ThreadPool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> hits(16, 0);
+  pool.ParallelFor(0, 16, 1, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (int64_t i = lo; i < hi; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, kN, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1);
+}
+
+// Regression stress for the completion race: thousands of short ParallelFor
+// calls whose caller returns (and would have destroyed the old stack-local
+// mutex/cv) the instant the counter hits zero, while the last worker may
+// still be inside the notify. With the shared-latch fix TSan stays quiet
+// and nothing crashes.
+TEST(ThreadPoolTest, ParallelForCompletionStress) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int iter = 0; iter < 4000; ++iter) {
+    pool.ParallelFor(0, 8, 1, [&](int64_t lo, int64_t hi) {
+      total.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 4000 * 8);
+}
+
+// Concurrent callers from several external threads, each issuing short
+// ParallelFor calls against one shared pool — the pattern the op dispatcher
+// produces when branch bodies fan their kernels out.
+TEST(ThreadPoolTest, ParallelForConcurrentCallersStress) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 3;
+  constexpr int kIters = 500;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int iter = 0; iter < kIters; ++iter) {
+        pool.ParallelFor(0, 16, 1, [&](int64_t lo, int64_t hi) {
+          total.fetch_add(hi - lo, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), int64_t{kCallers} * kIters * 16);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadMarksTaskExecution) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  ThreadPool pool(2);
+  std::atomic<bool> marked{false};
+  auto latch = std::make_shared<Latch>(1);
+  pool.Schedule([&marked, latch] {
+    marked.store(ThreadPool::InWorkerThread());
+    latch->CountDown();
+  });
+  latch->Wait();
+  EXPECT_TRUE(marked.load());
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+// A ParallelFor issued from inside a pool task must run inline on that
+// worker: if it forked, its chunks would queue behind the tasks already
+// occupying every worker and the fork could deadlock. This test would hang
+// without the inline guard (1 worker, task forks from inside it).
+TEST(ThreadPoolTest, NestedParallelForRunsInlineOnWorker) {
+  ThreadPool pool(1);
+  std::atomic<int64_t> sum{0};
+  auto latch = std::make_shared<Latch>(1);
+  pool.Schedule([&sum, &pool, latch] {
+    const std::thread::id worker = std::this_thread::get_id();
+    pool.ParallelFor(0, 32, 1, [&](int64_t lo, int64_t hi) {
+      EXPECT_EQ(std::this_thread::get_id(), worker);
+      sum.fetch_add(hi - lo);
+    });
+    latch->CountDown();
+  });
+  latch->Wait();
+  EXPECT_EQ(sum.load(), 32);
+}
+
+}  // namespace
+}  // namespace metalora
