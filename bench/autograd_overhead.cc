@@ -19,6 +19,7 @@
 #include "autograd/graph.h"
 #include "autograd/ops.h"
 #include "autograd/runtime_context.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
@@ -50,10 +51,12 @@ autograd::Variable Forward(const autograd::Variable& x,
 }
 
 ModeResult RunMode(bool grad, int iters, const Tensor& x, const Tensor& w1,
-                   const Tensor& b1, const Tensor& w2, const Tensor& b2) {
+                   const Tensor& b1, const Tensor& w2, const Tensor& b2,
+                   autograd::RuntimeContext* profile_sink) {
   autograd::WorkspaceArena arena;
   autograd::RuntimeContext rctx;
   rctx.set_grad_enabled(grad);
+  rctx.set_profiling(profile_sink != nullptr);
   if (!grad) rctx.set_arena(&arena);
   autograd::RuntimeContextScope scope(&rctx);
 
@@ -83,12 +86,32 @@ ModeResult RunMode(bool grad, int iters, const Tensor& x, const Tensor& w1,
   r.nodes_per_iter = rctx.nodes_recorded() / iters;
   r.saved_bytes_per_iter = rctx.saved_bytes_recorded() / iters;
   r.peak_arena_bytes = arena.peak_bytes();
+  // Fold this mode's op counters into the caller's sink so a single table
+  // at exit covers both modes.
+  if (profile_sink != nullptr) profile_sink->MergeChildStats(rctx);
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CommandLine cli;
+  cli.AddBool("profile", false,
+              "enable RuntimeContext op profiling and dump the per-op "
+              "table at exit");
+  Status st = cli.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << cli.Usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.Usage(argv[0]);
+    return 0;
+  }
+  autograd::RuntimeContext profile_sink;
+  autograd::RuntimeContext* sink =
+      cli.GetBool("profile") ? &profile_sink : nullptr;
+
   std::cout << "=== Autograd overhead: graph recording vs arena fast path "
                "===\n\n";
   Rng rng(7);
@@ -100,8 +123,8 @@ int main() {
   Tensor b2{Shape{classes}};
 
   const int iters = 200;
-  ModeResult grad = RunMode(/*grad=*/true, iters, x, w1, b1, w2, b2);
-  ModeResult fast = RunMode(/*grad=*/false, iters, x, w1, b1, w2, b2);
+  ModeResult grad = RunMode(/*grad=*/true, iters, x, w1, b1, w2, b2, sink);
+  ModeResult fast = RunMode(/*grad=*/false, iters, x, w1, b1, w2, b2, sink);
 
   TablePrinter table("autograd overhead");
   table.SetHeader({"mode", "nodes/iter", "saved KiB", "heap allocs/iter",
@@ -160,5 +183,10 @@ int main() {
        << "  \"ok\": " << (ok ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote BENCH_autograd.json\n";
+
+  if (sink != nullptr) {
+    std::cout << "\n";
+    autograd::PrintOpProfileTable(*sink, std::cout);
+  }
   return ok ? 0 : 1;
 }

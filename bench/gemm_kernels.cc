@@ -1,0 +1,239 @@
+// Packed GEMM engine throughput vs the retained naive reference.
+//
+// Times GemmPacked against GemmReference on paper-relevant shapes — LoRA
+// rank-R skinny matmuls (Eq. 5 adapters), ResNet conv-as-GEMM panels, KNN
+// distance matrices, and square controls — reporting GFLOP/s per shape
+// and writing BENCH_gemm.json. Two contracts are enforced:
+//
+//   1. Correctness (always, including --smoke): the packed engine must be
+//      bit-identical to the reference for every shape/layout here. This is
+//      the CI guard for the vectorized path.
+//   2. Throughput (skipped under --smoke so weak CI runners don't flake):
+//      the 512×512×512 case must beat the naive reference by >= 2x.
+//
+// Flags: --smoke (1 rep, no perf assertion), --reps=N (packed-kernel rep
+// override), --profile (per-shape RuntimeContext op table at exit).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/runtime_context.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "tensor/gemm.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor.h"
+
+using namespace metalora;  // NOLINT
+
+namespace {
+
+struct GemmCase {
+  const char* name;
+  int64_t n, k, m;
+  bool trans_a, trans_b;
+};
+
+// Shapes mirror the library's hot paths: LoRA down/up projections run as
+// x·Wᵀ (trans_b, like autograd::Linear), conv-as-GEMM panels as W·cols,
+// KNN distance blocks as Q·Rᵀ, and backward dW as gᵀ·x (trans_a).
+constexpr GemmCase kCases[] = {
+    {"square_256", 256, 256, 256, false, false},
+    {"square_512", 512, 512, 512, false, false},
+    {"lora_down_r8", 64, 1024, 8, false, true},
+    {"lora_up_r8", 64, 8, 1024, false, true},
+    {"lora_down_r1", 64, 1024, 1, false, true},
+    {"conv3x3_gemm", 64, 576, 196, false, false},
+    {"knn_dist", 128, 64, 2048, false, true},
+    {"backward_dW_transA", 256, 64, 256, true, false},
+};
+
+struct CaseResult {
+  double ref_gflops = 0.0;
+  double packed_gflops = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+};
+
+double TimeKernel(const std::function<void()>& run, int reps) {
+  run();  // warm-up: settles packing scratch capacity
+  Timer t;
+  for (int i = 0; i < reps; ++i) run();
+  return t.Seconds() / reps;
+}
+
+CaseResult RunCase(const GemmCase& c, int packed_reps, int ref_reps,
+                   autograd::RuntimeContext& ctx) {
+  Rng rng(static_cast<uint64_t>(c.n * 131 + c.k * 17 + c.m));
+  const Shape a_shape = c.trans_a ? Shape{c.k, c.n} : Shape{c.n, c.k};
+  const Shape b_shape = c.trans_b ? Shape{c.m, c.k} : Shape{c.k, c.m};
+  Tensor a = RandomNormal(a_shape, rng);
+  Tensor b = RandomNormal(b_shape, rng);
+  Tensor c_ref{Shape{c.n, c.m}};
+  Tensor c_packed{Shape{c.n, c.m}};
+
+  const double flops = 2.0 * static_cast<double>(c.n) *
+                       static_cast<double>(c.k) * static_cast<double>(c.m);
+
+  const double ref_sec = TimeKernel(
+      [&] {
+        GemmReference(a.data(), c.trans_a, b.data(), c.trans_b, c_ref.data(),
+                      c.n, c.k, c.m, /*accumulate=*/false);
+      },
+      ref_reps);
+
+  Timer packed_timer;
+  const double packed_sec = TimeKernel(
+      [&] {
+        GemmPacked(a.data(), c.trans_a, b.data(), c.trans_b, c_packed.data(),
+                   c.n, c.k, c.m, /*accumulate=*/false);
+      },
+      packed_reps);
+  if (ctx.profiling()) {
+    ctx.RecordForward(c.name,
+                      c.n * c.m * static_cast<int64_t>(sizeof(float)),
+                      static_cast<int64_t>(packed_timer.Seconds() * 1e9));
+  }
+
+  CaseResult r;
+  r.ref_gflops = flops / ref_sec * 1e-9;
+  r.packed_gflops = flops / packed_sec * 1e-9;
+  r.speedup = ref_sec / packed_sec;
+  r.bit_identical = true;
+  for (int64_t i = 0; i < c_ref.numel(); ++i) {
+    if (c_ref.flat(i) != c_packed.flat(i)) {
+      r.bit_identical = false;
+      std::cout << "MISMATCH " << c.name << " at flat index " << i << ": ref "
+                << c_ref.flat(i) << " vs packed " << c_packed.flat(i) << "\n";
+      break;
+    }
+  }
+  return r;
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli;
+  cli.AddBool("smoke", false,
+              "1 rep per kernel, skip throughput assertions (CI correctness "
+              "guard on weak runners)");
+  cli.AddInt("reps", 0, "override packed-kernel reps (0 = auto by FLOPs)");
+  cli.AddBool("profile", false,
+              "record per-shape timings in the RuntimeContext and dump the "
+              "op table at exit");
+  Status st = cli.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << cli.Usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.Usage(argv[0]);
+    return 0;
+  }
+  const bool smoke = cli.GetBool("smoke");
+  const bool profile = cli.GetBool("profile");
+
+  autograd::RuntimeContext ctx;
+  ctx.set_profiling(profile);
+  autograd::RuntimeContextScope scope(&ctx);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "=== Packed GEMM engine vs naive reference ===\n\n"
+            << "hardware threads: " << hw << (smoke ? " (smoke mode)" : "")
+            << "\n\n";
+
+  TablePrinter table("gemm kernels");
+  table.SetHeader({"shape", "n", "k", "m", "layout", "ref GF/s", "packed GF/s",
+                   "speedup", "bit-identical"});
+
+  bool all_identical = true;
+  double square512_speedup = 0.0;
+  std::vector<CaseResult> results;
+  for (const GemmCase& c : kCases) {
+    const double flops = 2.0 * static_cast<double>(c.n) *
+                         static_cast<double>(c.k) * static_cast<double>(c.m);
+    int packed_reps = static_cast<int>(cli.GetInt("reps"));
+    if (packed_reps <= 0) {
+      packed_reps = std::max(3, static_cast<int>(4e8 / flops));
+    }
+    const int ref_reps = smoke ? 1 : std::max(1, packed_reps / 8);
+    if (smoke) packed_reps = 1;
+    const CaseResult r = RunCase(c, packed_reps, ref_reps, ctx);
+    results.push_back(r);
+    all_identical = all_identical && r.bit_identical;
+    if (std::string(c.name) == "square_512") square512_speedup = r.speedup;
+    const char* layout = c.trans_a ? "Tᵀ·B" : (c.trans_b ? "A·Bᵀ" : "A·B");
+    table.AddRow({c.name, std::to_string(c.n), std::to_string(c.k),
+                  std::to_string(c.m), layout, Fmt(r.ref_gflops),
+                  Fmt(r.packed_gflops), Fmt(r.speedup),
+                  r.bit_identical ? "yes" : "NO"});
+  }
+  table.Print(std::cout);
+
+  bool ok = true;
+  if (!all_identical) {
+    std::cout << "\nFAIL: packed engine diverges bit-wise from the naive "
+                 "reference\n";
+    ok = false;
+  }
+  const bool assert_speedup = !smoke;
+  if (assert_speedup && square512_speedup < 2.0) {
+    std::cout << "\nFAIL: square_512 speedup " << Fmt(square512_speedup)
+              << "x < 2x over the naive reference\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "\nOK: all shapes bit-identical"
+              << (assert_speedup
+                      ? ", square_512 speedup " + Fmt(square512_speedup) + "x"
+                      : " (throughput assertion skipped in smoke mode)")
+              << "\n";
+  }
+
+  std::ofstream json("BENCH_gemm.json");
+  json << "{\n"
+       << "  \"hardware_threads\": " << hw << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"shapes\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const GemmCase& c = kCases[i];
+    const CaseResult& r = results[i];
+    json << "    {\"name\": \"" << c.name << "\", \"n\": " << c.n
+         << ", \"k\": " << c.k << ", \"m\": " << c.m
+         << ", \"trans_a\": " << (c.trans_a ? "true" : "false")
+         << ", \"trans_b\": " << (c.trans_b ? "true" : "false")
+         << ", \"ref_gflops\": " << r.ref_gflops
+         << ", \"packed_gflops\": " << r.packed_gflops
+         << ", \"speedup\": " << r.speedup << ", \"bit_identical\": "
+         << (r.bit_identical ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"square512_speedup\": " << square512_speedup << ",\n"
+       << "  \"speedup_asserted\": " << (assert_speedup ? "true" : "false")
+       << ",\n"
+       << "  \"ok\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote BENCH_gemm.json\n";
+
+  if (profile) {
+    std::cout << "\n";
+    autograd::PrintOpProfileTable(ctx, std::cout);
+  }
+  return ok ? 0 : 1;
+}

@@ -22,6 +22,8 @@
 #include "autograd/graph.h"
 #include "autograd/ops.h"
 #include "autograd/parallel.h"
+#include "autograd/runtime_context.h"
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
@@ -78,7 +80,26 @@ double TimeForward(core::LoraLinear& lora, const autograd::Variable& x,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  CommandLine cli;
+  cli.AddBool("profile", false,
+              "enable RuntimeContext op profiling and dump the per-op "
+              "table at exit");
+  Status st = cli.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << cli.Usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.Usage(argv[0]);
+    return 0;
+  }
+  const bool profile = cli.GetBool("profile");
+  // Branch contexts inherit the profiling bit through ParallelScope and
+  // fold their counters back at the join, so the table covers both the
+  // serial and the dispatched forwards.
+  autograd::RuntimeContext::Current().set_profiling(profile);
+
   std::cout << "=== Parallel dispatch: two-branch adapter forward ===\n\n";
   const unsigned hw = std::thread::hardware_concurrency();
   // The dispatcher needs real workers to overlap branches; on small
@@ -161,6 +182,11 @@ int main() {
        << "  \"ok\": " << (ok ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote BENCH_parallel_dispatch.json\n";
+  if (profile) {
+    std::cout << "\n";
+    autograd::PrintOpProfileTable(autograd::RuntimeContext::Current(),
+                                  std::cout);
+  }
   autograd::SetParallelDispatchPool(nullptr);
   return ok ? 0 : 1;
 }

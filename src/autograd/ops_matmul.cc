@@ -3,6 +3,7 @@
 
 #include "autograd/op.h"
 #include "autograd/ops.h"
+#include "tensor/gemm.h"
 #include "tensor/matmul.h"
 #include "tensor/tensor_ops.h"
 
@@ -61,22 +62,12 @@ void BatchedMatmulRawInto(const Tensor& a, const Tensor& b, bool trans_a,
   ML_CHECK_EQ(k, k2);
   ML_CHECK_EQ(b.dim(0), batch);
   ML_CHECK((out->shape() == Shape{batch, n, m}));
+  // Each 2-D block goes through the packed engine; the stored-transposed
+  // operand layouts ([k,n] / [m,k]) are exactly the engine's trans flags.
   for (int64_t s = 0; s < batch; ++s) {
-    const float* pa = a.data() + s * ar * ac;
-    const float* pb = b.data() + s * br * bc;
-    float* pc = out->data() + s * n * m;
-    for (int64_t i = 0; i < n; ++i) {
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = trans_a ? pa[p * ac + i] : pa[i * ac + p];
-        if (av == 0.0f) continue;
-        if (trans_b) {
-          for (int64_t j = 0; j < m; ++j) pc[i * m + j] += av * pb[j * bc + p];
-        } else {
-          const float* brow = pb + p * bc;
-          for (int64_t j = 0; j < m; ++j) pc[i * m + j] += av * brow[j];
-        }
-      }
-    }
+    GemmPacked(a.data() + s * ar * ac, trans_a, b.data() + s * br * bc,
+               trans_b, out->data() + s * n * m, n, k, m,
+               /*accumulate=*/true);
   }
 }
 
@@ -130,22 +121,12 @@ class PerSamplePointwiseConvOp final : public Op {
       const float* ws = pw + s * o * q;        // [O, Q]
       float* gxs = pgx + s * q * spatial;      // [Q, S]
       float* gws = pgw + s * o * q;            // [O, Q]
-      // gx = wᵀ · g : [Q,O]·[O,S]
-      for (int64_t oc = 0; oc < o; ++oc) {
-        const float* grow = gs + oc * spatial;
-        for (int64_t qc = 0; qc < q; ++qc) {
-          const float wvv = ws[oc * q + qc];
-          if (wvv != 0.0f) {
-            float* gxrow = gxs + qc * spatial;
-            for (int64_t k = 0; k < spatial; ++k) gxrow[k] += wvv * grow[k];
-          }
-          // gw[o,q] = Σ_s g[o,s] x[q,s]
-          const float* xrow = xs + qc * spatial;
-          float acc = 0.0f;
-          for (int64_t k = 0; k < spatial; ++k) acc += grow[k] * xrow[k];
-          gws[oc * q + qc] += acc;
-        }
-      }
+      // gx [Q,S] = wᵀ (w stored [O,Q]) · g [O,S].
+      GemmPacked(ws, /*trans_a=*/true, gs, /*trans_b=*/false, gxs, q, o,
+                 spatial, /*accumulate=*/true);
+      // gw [O,Q] = g [O,S] · xᵀ (x stored [Q,S]).
+      GemmPacked(gs, /*trans_a=*/false, xs, /*trans_b=*/true, gws, o, spatial,
+                 q, /*accumulate=*/true);
     }
     return {gx, gw};
   }

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "common/table_printer.h"
 
 namespace metalora {
 namespace autograd {
@@ -91,6 +97,40 @@ ProfileScope::ProfileScope(RuntimeContext& ctx, const char* name)
 ProfileScope::~ProfileScope() {
   if (!enabled_) return;
   ctx_.RecordForward(name_, output_bytes_, MonotonicNanos() - start_nanos_);
+}
+
+void PrintOpProfileTable(const RuntimeContext& ctx, std::ostream& os) {
+  const auto& profiles = ctx.op_profiles();
+  if (profiles.empty()) {
+    os << "(no op profiles recorded — was set_profiling(true) active?)\n";
+    return;
+  }
+  std::vector<std::pair<std::string, OpProfile>> rows(profiles.begin(),
+                                                      profiles.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.nanos > b.second.nanos;
+  });
+  TablePrinter table("op profile");
+  table.SetHeader({"op", "calls", "total ms", "us/call", "out MiB"});
+  char buf[32];
+  for (const auto& [name, p] : rows) {
+    std::vector<std::string> row;
+    row.push_back(name);
+    row.push_back(std::to_string(p.calls));
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(p.nanos) / 1e6);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  p.calls > 0
+                      ? static_cast<double>(p.nanos) / 1e3 /
+                            static_cast<double>(p.calls)
+                      : 0.0);
+    row.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%.2f",
+                  static_cast<double>(p.output_bytes) / (1024.0 * 1024.0));
+    row.push_back(buf);
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
 }
 
 bool GradEnabled() { return RuntimeContext::Current().grad_enabled(); }

@@ -15,6 +15,7 @@
 #define METALORA_AUTOGRAD_RUNTIME_CONTEXT_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -214,6 +215,12 @@ class ProfileScope {
   int64_t output_bytes_ = 0;
   int64_t start_nanos_ = 0;
 };
+
+/// Renders ctx.op_profiles() as a table (op, calls, total ms, us/call,
+/// output MiB), sorted by total time descending. The sink for the bench
+/// harnesses' --profile flag; prints a placeholder line when profiling
+/// never recorded anything.
+void PrintOpProfileTable(const RuntimeContext& ctx, std::ostream& os);
 
 /// True while gradient recording is enabled on the current context.
 bool GradEnabled();

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/check.h"
@@ -11,6 +12,10 @@ namespace {
 // Set while a worker executes a task, so nested ParallelFor calls (and the
 // dispatcher's branch bodies) run inline instead of re-entering the queue.
 thread_local bool tls_in_worker_task = false;
+
+// Monotonic process-wide instrumentation (see the header accessors).
+std::atomic<int64_t> g_parallel_for_calls{0};
+std::atomic<int64_t> g_tasks_scheduled{0};
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -31,6 +36,14 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::InWorkerThread() { return tls_in_worker_task; }
+
+int64_t ThreadPool::TotalParallelForCalls() {
+  return g_parallel_for_calls.load(std::memory_order_relaxed);
+}
+
+int64_t ThreadPool::TotalTasksScheduled() {
+  return g_tasks_scheduled.load(std::memory_order_relaxed);
+}
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
@@ -54,6 +67,7 @@ void ThreadPool::Schedule(std::function<void()> task) {
     task();
     return;
   }
+  g_tasks_scheduled.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
@@ -67,6 +81,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   ML_CHECK_GT(grain, 0);
   const int64_t n = end - begin;
   if (n == 0) return;
+  g_parallel_for_calls.fetch_add(1, std::memory_order_relaxed);
   const int nthreads = num_threads();
   if (nthreads == 0 || n <= grain || tls_in_worker_task) {
     fn(begin, end);
@@ -79,6 +94,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // The latch is heap-shared with every task: even if the caller wakes and
   // returns the instant the count hits zero, the last worker still holds a
   // live object while it finishes CountDown().
+  g_tasks_scheduled.fetch_add(num_chunks - 1, std::memory_order_relaxed);
   auto latch = std::make_shared<Latch>(num_chunks - 1);
   for (int64_t c = 1; c < num_chunks; ++c) {
     const int64_t lo = begin + c * chunk;

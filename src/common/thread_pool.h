@@ -85,6 +85,17 @@ class ThreadPool {
   /// ThreadPool (workers mark themselves for the duration of each task).
   static bool InWorkerThread();
 
+  /// Process-wide count of ParallelFor invocations across every pool,
+  /// including calls that ran inline (small ranges, zero workers, nested).
+  /// Lets tests assert that a kernel routes through ParallelFor without
+  /// depending on the machine's core count.
+  static int64_t TotalParallelForCalls();
+
+  /// Process-wide count of tasks handed to workers across every pool:
+  /// Schedule() calls plus the chunk tasks ParallelFor enqueues. Inline
+  /// executions (zero-worker pools, inline ParallelFor) are not counted.
+  static int64_t TotalTasksScheduled();
+
  private:
   void WorkerLoop();
 

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "common/thread_pool.h"
+#include "tensor/gemm.h"
 #include "tensor/matmul.h"
 #include "tensor/tensor_ops.h"
 
@@ -15,29 +17,33 @@ void Im2Col(const float* input, int64_t channels, int64_t h, int64_t w,
   const int64_t wo = g.OutExtent(w, g.kernel_w);
   const int64_t out_spatial = ho * wo;
   // Row r of `columns` corresponds to (c, kh, kw); column to (oh, ow).
-  int64_t row = 0;
-  for (int64_t c = 0; c < channels; ++c) {
-    const float* chan = input + c * h * w;
-    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        float* out_row = columns + row * out_spatial;
-        for (int64_t oh = 0; oh < ho; ++oh) {
-          const int64_t ih = oh * g.stride + kh - g.padding;
-          if (ih < 0 || ih >= h) {
-            std::memset(out_row + oh * wo, 0,
-                        sizeof(float) * static_cast<size_t>(wo));
-            continue;
-          }
-          const float* in_row = chan + ih * w;
-          for (int64_t ow = 0; ow < wo; ++ow) {
-            const int64_t iw = ow * g.stride + kw - g.padding;
-            out_row[oh * wo + ow] =
-                (iw >= 0 && iw < w) ? in_row[iw] : 0.0f;
+  // Channel c owns rows [c·Kh·Kw, (c+1)·Kh·Kw): writes are disjoint per
+  // channel, so channels fan out onto the pool.
+  ParallelFor(0, channels, 1, [=, &g](int64_t c_lo, int64_t c_hi) {
+    for (int64_t c = c_lo; c < c_hi; ++c) {
+      const float* chan = input + c * h * w;
+      int64_t row = c * g.kernel_h * g.kernel_w;
+      for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+        for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+          float* out_row = columns + row * out_spatial;
+          for (int64_t oh = 0; oh < ho; ++oh) {
+            const int64_t ih = oh * g.stride + kh - g.padding;
+            if (ih < 0 || ih >= h) {
+              std::memset(out_row + oh * wo, 0,
+                          sizeof(float) * static_cast<size_t>(wo));
+              continue;
+            }
+            const float* in_row = chan + ih * w;
+            for (int64_t ow = 0; ow < wo; ++ow) {
+              const int64_t iw = ow * g.stride + kw - g.padding;
+              out_row[oh * wo + ow] =
+                  (iw >= 0 && iw < w) ? in_row[iw] : 0.0f;
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 void Col2Im(const float* columns, int64_t channels, int64_t h, int64_t w,
@@ -45,23 +51,30 @@ void Col2Im(const float* columns, int64_t channels, int64_t h, int64_t w,
   const int64_t ho = g.OutExtent(h, g.kernel_h);
   const int64_t wo = g.OutExtent(w, g.kernel_w);
   const int64_t out_spatial = ho * wo;
-  int64_t row = 0;
-  for (int64_t c = 0; c < channels; ++c) {
-    float* chan = input_grad + c * h * w;
-    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
-      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
-        const float* in_row = columns + row * out_spatial;
-        for (int64_t oh = 0; oh < ho; ++oh) {
-          const int64_t ih = oh * g.stride + kh - g.padding;
-          if (ih < 0 || ih >= h) continue;
-          for (int64_t ow = 0; ow < wo; ++ow) {
-            const int64_t iw = ow * g.stride + kw - g.padding;
-            if (iw >= 0 && iw < w) chan[ih * w + iw] += in_row[oh * wo + ow];
+  // Kernel positions of one channel overlap in the input plane, but the
+  // channels themselves write disjoint planes: channel c accumulates only
+  // into input_grad[c·h·w, (c+1)·h·w) from its own row block. Within a
+  // channel the accumulation order is the serial order, so results are
+  // bit-identical to a serial pass for any thread count.
+  ParallelFor(0, channels, 1, [=, &g](int64_t c_lo, int64_t c_hi) {
+    for (int64_t c = c_lo; c < c_hi; ++c) {
+      float* chan = input_grad + c * h * w;
+      int64_t row = c * g.kernel_h * g.kernel_w;
+      for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+        for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+          const float* in_row = columns + row * out_spatial;
+          for (int64_t oh = 0; oh < ho; ++oh) {
+            const int64_t ih = oh * g.stride + kh - g.padding;
+            if (ih < 0 || ih >= h) continue;
+            for (int64_t ow = 0; ow < wo; ++ow) {
+              const int64_t iw = ow * g.stride + kw - g.padding;
+              if (iw >= 0 && iw < w) chan[ih * w + iw] += in_row[oh * wo + ow];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
@@ -143,34 +156,18 @@ void Conv2dBackward(const Tensor& input, const Tensor& weight,
     const float* gout = grad_output.data() + i * o * col_cols;
 
     if (grad_weight) {
-      // dW += gout [o, S] · colsᵀ [S, col_rows].
+      // dW [o, col_rows] += gout [o, S] · colsᵀ (cols stored [col_rows, S]).
       Im2Col(input.data() + i * c * h * w, c, h, w, g, columns.data());
-      float* gw = grad_weight->data();
-      for (int64_t oc = 0; oc < o; ++oc) {
-        const float* grow = gout + oc * col_cols;
-        float* gwrow = gw + oc * col_rows;
-        for (int64_t r = 0; r < col_rows; ++r) {
-          const float* crow = columns.data() + r * col_cols;
-          float acc = 0.0f;
-          for (int64_t s = 0; s < col_cols; ++s) acc += grow[s] * crow[s];
-          gwrow[r] += acc;
-        }
-      }
+      GemmPacked(gout, /*trans_a=*/false, columns.data(), /*trans_b=*/true,
+                 grad_weight->data(), o, col_cols, col_rows,
+                 /*accumulate=*/true);
     }
 
     if (grad_input) {
-      // col_grad [col_rows, S] = Wᵀ [col_rows, o] · gout [o, S].
-      std::memset(col_grad.data(), 0, sizeof(float) * col_grad.size());
-      for (int64_t oc = 0; oc < o; ++oc) {
-        const float* wrow = wmat + oc * col_rows;
-        const float* grow = gout + oc * col_cols;
-        for (int64_t r = 0; r < col_rows; ++r) {
-          const float wv = wrow[r];
-          if (wv == 0.0f) continue;
-          float* crow = col_grad.data() + r * col_cols;
-          for (int64_t s = 0; s < col_cols; ++s) crow[s] += wv * grow[s];
-        }
-      }
+      // col_grad [col_rows, S] = Wᵀ (W stored [o, col_rows]) · gout [o, S].
+      GemmPacked(wmat, /*trans_a=*/true, gout, /*trans_b=*/false,
+                 col_grad.data(), col_rows, o, col_cols,
+                 /*accumulate=*/false);
       Col2Im(col_grad.data(), c, h, w, g,
              grad_input->data() + i * c * h * w);
     }

@@ -1,0 +1,349 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace metalora {
+
+namespace {
+
+// Packing scratch, one pair per thread. Workers are long-lived, so the
+// buffers amortize to zero allocations in steady state — the same
+// grow-once-reuse-forever contract as the autograd WorkspaceArena, held
+// here because the tensor layer sits below autograd and cannot see it.
+// The B buffer belongs to the thread driving the GEMM (workers read it
+// through a captured pointer); the A buffer belongs to whichever thread
+// packs the row panel.
+thread_local std::vector<float> tls_pack_a;
+thread_local std::vector<float> tls_pack_b;
+
+// A(i, p) of op(A): row-major [n,k], or stored [k,n] when transposed.
+inline int64_t AIndex(bool trans_a, int64_t n, int64_t k, int64_t i,
+                      int64_t p) {
+  return trans_a ? p * n + i : i * k + p;
+}
+
+// B(p, j) of op(B): row-major [k,m], or stored [m,k] when transposed.
+inline int64_t BIndex(bool trans_b, int64_t k, int64_t m, int64_t p,
+                      int64_t j) {
+  return trans_b ? j * k + p : p * m + j;
+}
+
+// One accumulation step of the serial reference and the GEMV path. When
+// the build enables FMA the micro-kernel issues fused multiply-adds, so
+// the reference must fuse too or the two sides round differently in the
+// last bit; without FMA the target has no fused instruction and both
+// sides are plain mul-then-add. This is what keeps GemmReference
+// bit-identical to GemmPacked in *both* build modes.
+inline float MulAddStep(float a, float b, float acc) {
+#if defined(__FMA__)
+  return std::fmaf(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+// Packs the mc×kc block of op(A) at (ic, pc) into micro-panels of kGemmMR
+// rows: panel q holds rows [q·MR, q·MR+MR) as kc steps of MR contiguous
+// floats (ap[q·kc·MR + p·MR + r]), zero-padded past mc so the micro-kernel
+// never branches on the row tail.
+void PackA(const float* a, bool trans_a, int64_t n, int64_t k, int64_t ic,
+           int64_t mc, int64_t pc, int64_t kc, float* ap) {
+  const int64_t panels = (mc + kGemmMR - 1) / kGemmMR;
+  for (int64_t q = 0; q < panels; ++q) {
+    const int64_t row0 = ic + q * kGemmMR;
+    const int64_t rows = std::min(kGemmMR, mc - q * kGemmMR);
+    float* dst = ap + q * kc * kGemmMR;
+    if (trans_a) {
+      // Source rows are contiguous in i: one strided copy per k step.
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (pc + p) * n + row0;
+        float* d = dst + p * kGemmMR;
+        for (int64_t r = 0; r < rows; ++r) d[r] = src[r];
+        for (int64_t r = rows; r < kGemmMR; ++r) d[r] = 0.0f;
+      }
+    } else {
+      for (int64_t p = 0; p < kc; ++p) {
+        float* d = dst + p * kGemmMR;
+        for (int64_t r = 0; r < rows; ++r) d[r] = a[(row0 + r) * k + pc + p];
+        for (int64_t r = rows; r < kGemmMR; ++r) d[r] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs the kc×nc block of op(B) at (pc, jc) into micro-panels of kGemmNR
+// columns: panel t holds columns [t·NR, t·NR+NR) as kc steps of NR
+// contiguous floats (bp[t·kc·NR + p·NR + j]), zero-padded past nc.
+void PackB(const float* b, bool trans_b, int64_t k, int64_t m, int64_t pc,
+           int64_t kc, int64_t jc, int64_t nc, float* bp) {
+  const int64_t panels = (nc + kGemmNR - 1) / kGemmNR;
+  for (int64_t t = 0; t < panels; ++t) {
+    const int64_t col0 = jc + t * kGemmNR;
+    const int64_t cols = std::min(kGemmNR, nc - t * kGemmNR);
+    float* dst = bp + t * kc * kGemmNR;
+    if (trans_b) {
+      for (int64_t p = 0; p < kc; ++p) {
+        float* d = dst + p * kGemmNR;
+        for (int64_t j = 0; j < cols; ++j) d[j] = b[(col0 + j) * k + pc + p];
+        for (int64_t j = cols; j < kGemmNR; ++j) d[j] = 0.0f;
+      }
+    } else {
+      // Source columns are contiguous in j: one memcpy-shaped copy per k.
+      for (int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (pc + p) * m + col0;
+        float* d = dst + p * kGemmNR;
+        for (int64_t j = 0; j < cols; ++j) d[j] = src[j];
+        for (int64_t j = cols; j < kGemmNR; ++j) d[j] = 0.0f;
+      }
+    }
+  }
+}
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+// AVX2+FMA micro-kernel: 6 rows × 2 ymm columns of accumulators (12 of
+// the 16 vector registers), one broadcast and two B loads per k step.
+void MicroKernel(const float* ap, const float* bp, int64_t kc, float* c,
+                 int64_t ldc, bool accumulate) {
+  __m256 acc[kGemmMR][2];
+  if (accumulate) {
+    for (int64_t r = 0; r < kGemmMR; ++r) {
+      acc[r][0] = _mm256_loadu_ps(c + r * ldc);
+      acc[r][1] = _mm256_loadu_ps(c + r * ldc + 8);
+    }
+  } else {
+    for (int64_t r = 0; r < kGemmMR; ++r) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    }
+  }
+  for (int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kGemmNR);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kGemmNR + 8);
+    const float* av = ap + p * kGemmMR;
+    for (int64_t r = 0; r < kGemmMR; ++r) {
+      const __m256 ar = _mm256_broadcast_ss(av + r);
+      acc[r][0] = _mm256_fmadd_ps(ar, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(ar, b1, acc[r][1]);
+    }
+  }
+  for (int64_t r = 0; r < kGemmMR; ++r) {
+    _mm256_storeu_ps(c + r * ldc, acc[r][0]);
+    _mm256_storeu_ps(c + r * ldc + 8, acc[r][1]);
+  }
+}
+
+#elif defined(__GNUC__) || defined(__clang__)
+
+// Portable SIMD micro-kernel via GCC/Clang generic vector extensions:
+// compiles to SSE on baseline x86-64, NEON on AArch64. The 6×16 tile is
+// computed as two independent 6×8 half-tiles of *named* 4-lane
+// accumulators — 12 vector registers, within the 16 of SSE/NEON. (An
+// accumulator array, even a fixed-bound one, is not reliably
+// register-promoted by GCC 12 and the resulting per-k-step spills made
+// the kernel slower than the naive loop.) Per output element the
+// accumulation stays a single mul-then-add chain in p order, matching
+// GemmReference bit-for-bit; the halves touch disjoint columns.
+typedef float V4f __attribute__((vector_size(16)));
+
+inline V4f V4Load(const float* p) {
+  V4f v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+inline void V4Store(float* p, V4f v) { __builtin_memcpy(p, &v, sizeof(v)); }
+inline V4f V4Splat(float s) { return V4f{s, s, s, s}; }
+
+void MicroKernel(const float* __restrict__ ap, const float* __restrict__ bp,
+                 int64_t kc, float* __restrict__ c, int64_t ldc,
+                 bool accumulate) {
+  static_assert(kGemmMR == 6 && kGemmNR == 16,
+                "micro-kernel is hand-unrolled for a 6x16 tile");
+  for (int64_t j0 = 0; j0 < kGemmNR; j0 += 8) {
+    V4f c00, c01, c10, c11, c20, c21, c30, c31, c40, c41, c50, c51;
+    if (accumulate) {
+      c00 = V4Load(c + 0 * ldc + j0), c01 = V4Load(c + 0 * ldc + j0 + 4);
+      c10 = V4Load(c + 1 * ldc + j0), c11 = V4Load(c + 1 * ldc + j0 + 4);
+      c20 = V4Load(c + 2 * ldc + j0), c21 = V4Load(c + 2 * ldc + j0 + 4);
+      c30 = V4Load(c + 3 * ldc + j0), c31 = V4Load(c + 3 * ldc + j0 + 4);
+      c40 = V4Load(c + 4 * ldc + j0), c41 = V4Load(c + 4 * ldc + j0 + 4);
+      c50 = V4Load(c + 5 * ldc + j0), c51 = V4Load(c + 5 * ldc + j0 + 4);
+    } else {
+      c00 = c01 = c10 = c11 = c20 = c21 = V4f{};
+      c30 = c31 = c40 = c41 = c50 = c51 = V4f{};
+    }
+    const float* bh = bp + j0;
+    for (int64_t p = 0; p < kc; ++p) {
+      const V4f b0 = V4Load(bh + p * kGemmNR);
+      const V4f b1 = V4Load(bh + p * kGemmNR + 4);
+      const float* av = ap + p * kGemmMR;
+      V4f ar;
+      ar = V4Splat(av[0]), c00 += ar * b0, c01 += ar * b1;
+      ar = V4Splat(av[1]), c10 += ar * b0, c11 += ar * b1;
+      ar = V4Splat(av[2]), c20 += ar * b0, c21 += ar * b1;
+      ar = V4Splat(av[3]), c30 += ar * b0, c31 += ar * b1;
+      ar = V4Splat(av[4]), c40 += ar * b0, c41 += ar * b1;
+      ar = V4Splat(av[5]), c50 += ar * b0, c51 += ar * b1;
+    }
+    V4Store(c + 0 * ldc + j0, c00), V4Store(c + 0 * ldc + j0 + 4, c01);
+    V4Store(c + 1 * ldc + j0, c10), V4Store(c + 1 * ldc + j0 + 4, c11);
+    V4Store(c + 2 * ldc + j0, c20), V4Store(c + 2 * ldc + j0 + 4, c21);
+    V4Store(c + 3 * ldc + j0, c30), V4Store(c + 3 * ldc + j0 + 4, c31);
+    V4Store(c + 4 * ldc + j0, c40), V4Store(c + 4 * ldc + j0 + 4, c41);
+    V4Store(c + 5 * ldc + j0, c50), V4Store(c + 5 * ldc + j0 + 4, c51);
+  }
+}
+
+#else
+
+// Scalar fallback for compilers without vector extensions. Fixed-bound
+// loops over a local accumulator tile; same p-ordered accumulation chain.
+void MicroKernel(const float* ap, const float* bp, int64_t kc, float* c,
+                 int64_t ldc, bool accumulate) {
+  constexpr int64_t kHalf = kGemmNR / 2;
+  for (int64_t j0 = 0; j0 < kGemmNR; j0 += kHalf) {
+    float acc[kGemmMR][kHalf];
+    if (accumulate) {
+      for (int64_t r = 0; r < kGemmMR; ++r)
+        for (int64_t j = 0; j < kHalf; ++j) acc[r][j] = c[r * ldc + j0 + j];
+    } else {
+      for (int64_t r = 0; r < kGemmMR; ++r)
+        for (int64_t j = 0; j < kHalf; ++j) acc[r][j] = 0.0f;
+    }
+    const float* bh = bp + j0;
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* av = ap + p * kGemmMR;
+      const float* bv = bh + p * kGemmNR;
+      for (int64_t r = 0; r < kGemmMR; ++r) {
+        const float ar = av[r];
+        for (int64_t j = 0; j < kHalf; ++j) acc[r][j] += ar * bv[j];
+      }
+    }
+    for (int64_t r = 0; r < kGemmMR; ++r)
+      for (int64_t j = 0; j < kHalf; ++j) c[r * ldc + j0 + j] = acc[r][j];
+  }
+}
+
+#endif  // __AVX2__ && __FMA__
+
+// Full tiles write straight to C; tail tiles run the same kernel on a
+// padded scratch tile (padded operand entries are zero, so the extra
+// lanes compute garbage-free zeros) and copy the valid region out.
+void MicroTile(const float* ap, const float* bp, int64_t kc, float* c,
+               int64_t ldc, int64_t mr, int64_t nr, bool accumulate) {
+  if (mr == kGemmMR && nr == kGemmNR) {
+    MicroKernel(ap, bp, kc, c, ldc, accumulate);
+    return;
+  }
+  float tile[kGemmMR * kGemmNR];
+  if (accumulate) {
+    std::memset(tile, 0, sizeof(tile));
+    for (int64_t r = 0; r < mr; ++r)
+      for (int64_t j = 0; j < nr; ++j) tile[r * kGemmNR + j] = c[r * ldc + j];
+    MicroKernel(ap, bp, kc, tile, kGemmNR, /*accumulate=*/true);
+  } else {
+    MicroKernel(ap, bp, kc, tile, kGemmNR, /*accumulate=*/false);
+  }
+  for (int64_t r = 0; r < mr; ++r)
+    for (int64_t j = 0; j < nr; ++j) c[r * ldc + j] = tile[r * kGemmNR + j];
+}
+
+// GEMV fast path (m == 1): packing would double the memory traffic of an
+// already bandwidth-bound kernel, so run parallel row dots directly. The
+// vector operand is contiguous under both storage layouts ([k,1] and
+// [1,k]). Accumulation order per element is p = 0..k-1, same as the
+// blocked path and the reference.
+void GemvPath(const float* a, bool trans_a, const float* x, float* y,
+              int64_t n, int64_t k, bool accumulate) {
+  ParallelFor(0, n, 64, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float acc = accumulate ? y[i] : 0.0f;
+      if (trans_a) {
+        for (int64_t p = 0; p < k; ++p) acc = MulAddStep(a[p * n + i], x[p], acc);
+      } else {
+        const float* row = a + i * k;
+        for (int64_t p = 0; p < k; ++p) acc = MulAddStep(row[p], x[p], acc);
+      }
+      y[i] = acc;
+    }
+  });
+}
+
+}  // namespace
+
+void GemmPacked(const float* a, bool trans_a, const float* b, bool trans_b,
+                float* c, int64_t n, int64_t k, int64_t m, bool accumulate) {
+  ML_DCHECK(n >= 0 && k >= 0 && m >= 0);
+  if (n == 0 || m == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::fill(c, c + n * m, 0.0f);
+    return;
+  }
+  if (m == 1) {
+    GemvPath(a, trans_a, b, c, n, k, accumulate);
+    return;
+  }
+
+  for (int64_t jc = 0; jc < m; jc += kGemmNC) {
+    const int64_t nc = std::min(kGemmNC, m - jc);
+    const int64_t b_panels = (nc + kGemmNR - 1) / kGemmNR;
+    for (int64_t pc = 0; pc < k; pc += kGemmKC) {
+      const int64_t kc = std::min(kGemmKC, k - pc);
+      // Panels after the first accumulate onto the partial sums already
+      // stored in C; storing and reloading float32 is exact, so the
+      // per-element accumulation chain stays p = 0..k-1 in order.
+      const bool acc_panel = accumulate || pc > 0;
+      tls_pack_b.resize(static_cast<size_t>(b_panels * kc * kGemmNR));
+      PackB(b, trans_b, k, m, pc, kc, jc, nc, tls_pack_b.data());
+      const float* bp = tls_pack_b.data();
+
+      ParallelFor(0, n, kGemmMC, [=](int64_t i_lo, int64_t i_hi) {
+        // Worker-local A scratch: re-resolve the TLS inside the task.
+        std::vector<float>& abuf = tls_pack_a;
+        for (int64_t ic = i_lo; ic < i_hi; ic += kGemmMC) {
+          const int64_t mc = std::min(kGemmMC, i_hi - ic);
+          const int64_t a_panels = (mc + kGemmMR - 1) / kGemmMR;
+          abuf.resize(static_cast<size_t>(a_panels * kc * kGemmMR));
+          PackA(a, trans_a, n, k, ic, mc, pc, kc, abuf.data());
+          for (int64_t jr = 0; jr < nc; jr += kGemmNR) {
+            const int64_t nr = std::min(kGemmNR, nc - jr);
+            const float* bpanel = bp + (jr / kGemmNR) * kc * kGemmNR;
+            for (int64_t ir = 0; ir < mc; ir += kGemmMR) {
+              const int64_t mr = std::min(kGemmMR, mc - ir);
+              MicroTile(abuf.data() + (ir / kGemmMR) * kc * kGemmMR, bpanel,
+                        kc, c + (ic + ir) * m + jc + jr, m, mr, nr,
+                        acc_panel);
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+void GemmReference(const float* a, bool trans_a, const float* b, bool trans_b,
+                   float* c, int64_t n, int64_t k, int64_t m,
+                   bool accumulate) {
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      float acc = accumulate ? c[i * m + j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc = MulAddStep(a[AIndex(trans_a, n, k, i, p)],
+                         b[BIndex(trans_b, k, m, p, j)], acc);
+      }
+      c[i * m + j] = acc;
+    }
+  }
+}
+
+}  // namespace metalora

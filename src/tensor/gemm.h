@@ -1,0 +1,62 @@
+// Packed, register-blocked single-precision GEMM engine.
+//
+// One engine serves every dense matmul layout in the library:
+//
+//   C[n,m] (+)= op(A) · op(B)
+//
+// where op(A) is n×k — stored row-major [n,k], or, with trans_a, stored
+// [k,n] — and op(B) is k×m — stored [k,m], or, with trans_b, [m,k].
+// Transposition is absorbed at pack time: panels of A and B are copied
+// into contiguous cache-blocked buffers in the exact order the
+// micro-kernel consumes them, so the inner loop never sees a stride and
+// all four layouts (Matmul, MatmulTransA, MatmulTransB, MatVec) share
+// one code path.
+//
+// The micro-kernel is a kGemmMR × kGemmNR register accumulator tile
+// driven over a kGemmKC-deep panel (BLIS/oneDNN design). A portable
+// auto-vectorizable version is always built; an AVX2+FMA version is
+// compiled in when the translation unit is built with those ISA flags
+// (-march=native / -mavx2 -mfma) and selected at compile time.
+//
+// Determinism contract: for every output element the accumulation runs
+// p = 0..k-1 in order into a single accumulator (k-panels store and
+// reload the partial sum, which is exact), so GemmPacked is bit-identical
+// to GemmReference in the same build — there is no reassociation and no
+// split partial sums. Tail tiles compute into a padded scratch tile with
+// zero-padded operands and copy the valid region out, which preserves
+// the same per-element operation sequence.
+#ifndef METALORA_TENSOR_GEMM_H_
+#define METALORA_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace metalora {
+
+/// Micro-tile rows (register accumulator height).
+inline constexpr int64_t kGemmMR = 6;
+/// Micro-tile columns (register accumulator width; two 8-lane vectors).
+inline constexpr int64_t kGemmNR = 16;
+/// Row-panel cache block: rows of C packed and processed per task.
+inline constexpr int64_t kGemmMC = 96;
+/// Depth cache block: k-extent of one packed A/B panel (L1-resident).
+inline constexpr int64_t kGemmKC = 256;
+/// Column cache block: m-extent of one packed B panel.
+inline constexpr int64_t kGemmNC = 1024;
+
+/// C[n,m] (+)= op(A) · op(B) through the packed engine. With
+/// `accumulate` the product is added to the existing contents of C;
+/// without it C is overwritten (C may be uninitialized). Parallelizes
+/// over output-row panels via the global thread pool's ParallelFor.
+void GemmPacked(const float* a, bool trans_a, const float* b, bool trans_b,
+                float* c, int64_t n, int64_t k, int64_t m, bool accumulate);
+
+/// Retained naive reference: a serial i-j-p triple loop with one scalar
+/// accumulator per output element. The correctness oracle for tests and
+/// the baseline for bench/gemm_kernels speedup assertions; GemmPacked
+/// must agree with it bit-for-bit in the same build.
+void GemmReference(const float* a, bool trans_a, const float* b, bool trans_b,
+                   float* c, int64_t n, int64_t k, int64_t m, bool accumulate);
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_GEMM_H_

@@ -1,37 +1,18 @@
 #include "tensor/matmul.h"
 
-#include <algorithm>
-
-#include "common/thread_pool.h"
+#include "tensor/gemm.h"
 
 namespace metalora {
 
-namespace {
-// Block sizes tuned for L1/L2 on commodity x86; the exact values matter
-// little at the model sizes used here.
-constexpr int64_t kBlockI = 64;
-constexpr int64_t kBlockK = 256;
-}  // namespace
+// All four layouts route through the packed GEMM engine (tensor/gemm.h);
+// transposition is absorbed when the engine packs its panels, so none of
+// these entry points materializes a transpose or carries its own loop
+// nest.
 
 void MatmulAccumulateRaw(const float* a, const float* b, float* c, int64_t n,
                          int64_t k, int64_t m) {
-  // i-k-j ordering: the inner loop is a contiguous saxpy over C's row,
-  // which vectorizes well.
-  ParallelFor(0, n, kBlockI, [&](int64_t i_lo, int64_t i_hi) {
-    for (int64_t kk = 0; kk < k; kk += kBlockK) {
-      const int64_t k_hi = std::min(k, kk + kBlockK);
-      for (int64_t i = i_lo; i < i_hi; ++i) {
-        const float* arow = a + i * k;
-        float* crow = c + i * m;
-        for (int64_t p = kk; p < k_hi; ++p) {
-          const float av = arow[p];
-          if (av == 0.0f) continue;
-          const float* brow = b + p * m;
-          for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  });
+  GemmPacked(a, /*trans_a=*/false, b, /*trans_b=*/false, c, n, k, m,
+             /*accumulate=*/true);
 }
 
 void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -41,7 +22,8 @@ void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out) {
       << "Matmul: " << a.shape().ToString() << " x " << b.shape().ToString();
   const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   ML_CHECK((out->shape() == Shape{n, m}));
-  MatmulAccumulateRaw(a.data(), b.data(), out->data(), n, k, m);
+  GemmPacked(a.data(), false, b.data(), false, out->data(), n, k, m,
+             /*accumulate=*/true);
 }
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {
@@ -59,26 +41,13 @@ Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
       << b.shape().ToString();
   const int64_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
   Tensor out{Shape{n, m}};
-  float* c = out.data();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  // p-i-j ordering keeps both input rows contiguous.
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = pa + p * n;
-    const float* brow = pb + p * m;
-    for (int64_t i = 0; i < n; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * m;
-      for (int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
+  GemmPacked(a.data(), /*trans_a=*/true, b.data(), false, out.data(), n, k, m,
+             /*accumulate=*/false);
   return out;
 }
 
 void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor* out) {
-  // C[n,m] = sum_p A[n,p] * B[m,p]; rows of both inputs are contiguous, so a
-  // dot-product inner loop is natural.
+  // C[n,m] = A[n,k] · Bᵀ with B stored [m,k]. Overwrites `out`.
   ML_CHECK_EQ(a.rank(), 2);
   ML_CHECK_EQ(b.rank(), 2);
   ML_CHECK_EQ(a.dim(1), b.dim(1))
@@ -86,21 +55,8 @@ void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor* out) {
       << b.shape().ToString();
   const int64_t n = a.dim(0), k = a.dim(1), m = b.dim(0);
   ML_CHECK((out->shape() == Shape{n, m}));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* c = out->data();
-  ParallelFor(0, n, kBlockI, [&](int64_t i_lo, int64_t i_hi) {
-    for (int64_t i = i_lo; i < i_hi; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = c + i * m;
-      for (int64_t j = 0; j < m; ++j) {
-        const float* brow = pb + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] = acc;
-      }
-    }
-  });
+  GemmPacked(a.data(), false, b.data(), /*trans_b=*/true, out->data(), n, k,
+             m, /*accumulate=*/false);
 }
 
 Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
@@ -115,15 +71,8 @@ Tensor MatVec(const Tensor& a, const Tensor& x) {
   ML_CHECK_EQ(a.dim(1), x.dim(0));
   const int64_t n = a.dim(0), k = a.dim(1);
   Tensor out{Shape{n}};
-  const float* pa = a.data();
-  const float* px = x.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* row = pa + i * k;
-    float acc = 0.0f;
-    for (int64_t p = 0; p < k; ++p) acc += row[p] * px[p];
-    po[i] = acc;
-  }
+  GemmPacked(a.data(), false, x.data(), false, out.data(), n, k, /*m=*/1,
+             /*accumulate=*/false);
   return out;
 }
 

@@ -1,7 +1,9 @@
-// Dense single-precision matrix multiplication kernels.
+// Dense single-precision matrix multiplication entry points.
 //
-// The kernel is a cache-blocked i-k-j loop; good enough for the model sizes
-// in this library (hundreds of units) without an external BLAS.
+// Thin shape-checked facades over the packed register-blocked GEMM engine
+// (tensor/gemm.h). All four layouts — plain, transposed-A, transposed-B,
+// and matrix-vector — share the engine's packing + micro-kernel path and
+// its ParallelFor row-panel parallelism.
 #ifndef METALORA_TENSOR_MATMUL_H_
 #define METALORA_TENSOR_MATMUL_H_
 

@@ -133,6 +133,87 @@ TEST(PoolingTest, GlobalAvgPool) {
   EXPECT_EQ(gx.ToVector(), (std::vector<float>{1, 1, 2, 2}));
 }
 
+// Serial references for the channel-parallel Im2Col/Col2Im: plain loops
+// with the same per-element semantics and, for Col2Im, the same per-plane
+// accumulation order. Channels own disjoint row-blocks (Im2Col) and
+// disjoint input planes (Col2Im), so the threaded versions must match
+// these bit-for-bit — and any cross-channel write overlap is a data race
+// for the TSan job to catch in the stress loops below.
+void Im2ColSerial(const float* input, int64_t channels, int64_t h, int64_t w,
+                  const ConvGeom& g, float* columns) {
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  for (int64_t c = 0; c < channels; ++c)
+    for (int64_t ki = 0; ki < g.kernel_h; ++ki)
+      for (int64_t kj = 0; kj < g.kernel_w; ++kj) {
+        const int64_t row = (c * g.kernel_h + ki) * g.kernel_w + kj;
+        for (int64_t oi = 0; oi < ho; ++oi)
+          for (int64_t oj = 0; oj < wo; ++oj) {
+            const int64_t ii = oi * g.stride - g.padding + ki;
+            const int64_t jj = oj * g.stride - g.padding + kj;
+            const bool in = ii >= 0 && ii < h && jj >= 0 && jj < w;
+            columns[row * ho * wo + oi * wo + oj] =
+                in ? input[(c * h + ii) * w + jj] : 0.0f;
+          }
+      }
+}
+
+void Col2ImSerial(const float* columns, int64_t channels, int64_t h,
+                  int64_t w, const ConvGeom& g, float* input_grad) {
+  const int64_t ho = g.OutExtent(h, g.kernel_h);
+  const int64_t wo = g.OutExtent(w, g.kernel_w);
+  for (int64_t c = 0; c < channels; ++c)
+    for (int64_t ki = 0; ki < g.kernel_h; ++ki)
+      for (int64_t kj = 0; kj < g.kernel_w; ++kj) {
+        const int64_t row = (c * g.kernel_h + ki) * g.kernel_w + kj;
+        for (int64_t oi = 0; oi < ho; ++oi)
+          for (int64_t oj = 0; oj < wo; ++oj) {
+            const int64_t ii = oi * g.stride - g.padding + ki;
+            const int64_t jj = oj * g.stride - g.padding + kj;
+            if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+              input_grad[(c * h + ii) * w + jj] +=
+                  columns[row * ho * wo + oi * wo + oj];
+            }
+          }
+      }
+}
+
+TEST(ConvThreadingStressTest, Im2ColMatchesSerialUnderRepetition) {
+  const int64_t c = 8, h = 13, w = 11;
+  const ConvGeom g{3, 3, 2, 1};
+  const int64_t rows = c * 9;
+  const int64_t cols = g.OutExtent(h, 3) * g.OutExtent(w, 3);
+  for (int iter = 0; iter < 50; ++iter) {
+    Rng rng(static_cast<uint64_t>(iter + 1));
+    Tensor x = RandomNormal(Shape{c, h, w}, rng);
+    Tensor got{Shape{rows, cols}};
+    Tensor want{Shape{rows, cols}};
+    Im2Col(x.data(), c, h, w, g, got.data());
+    Im2ColSerial(x.data(), c, h, w, g, want.data());
+    for (int64_t i = 0; i < got.numel(); ++i) {
+      ASSERT_EQ(want.flat(i), got.flat(i)) << "iter " << iter << " idx " << i;
+    }
+  }
+}
+
+TEST(ConvThreadingStressTest, Col2ImMatchesSerialUnderRepetition) {
+  const int64_t c = 8, h = 13, w = 11;
+  const ConvGeom g{3, 3, 2, 1};
+  const int64_t rows = c * 9;
+  const int64_t cols = g.OutExtent(h, 3) * g.OutExtent(w, 3);
+  for (int iter = 0; iter < 50; ++iter) {
+    Rng rng(static_cast<uint64_t>(100 + iter));
+    Tensor y = RandomNormal(Shape{rows, cols}, rng);
+    Tensor got = Tensor::Zeros(Shape{c, h, w});
+    Tensor want = Tensor::Zeros(Shape{c, h, w});
+    Col2Im(y.data(), c, h, w, g, got.data());
+    Col2ImSerial(y.data(), c, h, w, g, want.data());
+    for (int64_t i = 0; i < got.numel(); ++i) {
+      ASSERT_EQ(want.flat(i), got.flat(i)) << "iter " << iter << " idx " << i;
+    }
+  }
+}
+
 TEST(ConvBackwardTest, GradBiasIsOutputSum) {
   Rng rng(8);
   Tensor x = RandomNormal(Shape{2, 2, 5, 5}, rng);

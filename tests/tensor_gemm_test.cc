@@ -1,0 +1,194 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tensor/conv_ops.h"
+#include "tensor/matmul.h"
+#include "tensor/random_init.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace {
+
+// The engine's contract is *bit* identity with the serial reference, not
+// approximate agreement: both run the same per-element mul-then-add chain
+// in k order, so any divergence is a packing or tail-handling bug.
+void ExpectBitIdentical(const std::vector<float>& ref,
+                        const std::vector<float>& got,
+                        const std::string& what) {
+  ASSERT_EQ(ref.size(), got.size()) << what;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ref[i], got[i]) << what << " diverges at flat index " << i;
+  }
+}
+
+void CheckShape(int64_t n, int64_t k, int64_t m, bool trans_a, bool trans_b,
+                bool accumulate) {
+  Rng rng(static_cast<uint64_t>(n * 10007 + k * 101 + m * 7 +
+                                (trans_a ? 2 : 0) + (trans_b ? 1 : 0)));
+  Tensor a = RandomNormal(trans_a ? Shape{k, n} : Shape{n, k}, rng);
+  Tensor b = RandomNormal(trans_b ? Shape{m, k} : Shape{k, m}, rng);
+  Tensor seed = RandomNormal(Shape{n, m}, rng);
+  Tensor c_ref = seed.Clone();
+  Tensor c_packed = seed.Clone();
+  GemmReference(a.data(), trans_a, b.data(), trans_b, c_ref.data(), n, k, m,
+                accumulate);
+  GemmPacked(a.data(), trans_a, b.data(), trans_b, c_packed.data(), n, k, m,
+             accumulate);
+  const std::string what = "n=" + std::to_string(n) + " k=" +
+                           std::to_string(k) + " m=" + std::to_string(m) +
+                           (trans_a ? " transA" : "") +
+                           (trans_b ? " transB" : "") +
+                           (accumulate ? " accumulate" : "");
+  ExpectBitIdentical(c_ref.ToVector(), c_packed.ToVector(), what);
+}
+
+// Odd extents straddle every tail path: sub-MR row panels, sub-NR column
+// panels, single-element edges, and extents just below/above the 64-ish
+// cache-line multiples (63, 65).
+constexpr int64_t kOddExtents[] = {1, 3, 7, 17, 63, 65};
+
+TEST(GemmPackedTest, OddShapesAllLayoutsBitIdentical) {
+  for (int64_t n : kOddExtents) {
+    for (int64_t k : kOddExtents) {
+      for (int64_t m : kOddExtents) {
+        for (int layout = 0; layout < 4; ++layout) {
+          CheckShape(n, k, m, (layout & 2) != 0, (layout & 1) != 0,
+                     /*accumulate=*/false);
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmPackedTest, OddShapesAccumulateBitIdentical) {
+  for (int64_t n : kOddExtents) {
+    for (int64_t m : kOddExtents) {
+      for (int layout = 0; layout < 4; ++layout) {
+        CheckShape(n, /*k=*/17, m, (layout & 2) != 0, (layout & 1) != 0,
+                   /*accumulate=*/true);
+      }
+    }
+  }
+}
+
+TEST(GemmPackedTest, BlockedShapesCrossPanelBoundaries) {
+  // Extents spanning multiple KC/MC/NR blocks so k-panel store/reload and
+  // B-panel reuse are exercised (KC=256, MC=96, NR=16).
+  CheckShape(97, 257, 33, false, false, false);
+  CheckShape(97, 257, 33, false, false, true);
+  CheckShape(192, 300, 17, true, false, false);
+  CheckShape(13, 513, 160, false, true, false);
+}
+
+TEST(GemmPackedTest, LoraAdapterShapes) {
+  // Rank-R adapter projections as run by LoraLinear: x[b,d]·Aᵀ[d,r] down,
+  // then ·Bᵀ[r,d] up, including rank 1 (the GEMV-shaped edge).
+  for (int64_t rank : {1, 2, 4, 8}) {
+    CheckShape(/*n=*/33, /*k=*/129, /*m=*/rank, false, true, false);
+    CheckShape(/*n=*/33, /*k=*/rank, /*m=*/129, false, true, false);
+  }
+}
+
+TEST(GemmPackedTest, KZeroZeroFillsOrPreserves) {
+  Tensor c = Tensor::Ones(Shape{3, 5});
+  GemmPacked(nullptr, false, nullptr, false, c.data(), 3, 0, 5,
+             /*accumulate=*/true);
+  EXPECT_EQ(c.ToVector(), Tensor::Ones(Shape{3, 5}).ToVector());
+  GemmPacked(nullptr, false, nullptr, false, c.data(), 3, 0, 5,
+             /*accumulate=*/false);
+  EXPECT_EQ(c.ToVector(), std::vector<float>(15, 0.0f));
+}
+
+// The perf_opt contract for the facades: every layout, including the
+// backward-pass MatmulTransA and the classifier-head MatVec, must route
+// through the engine's ParallelFor row-panel path rather than a private
+// serial loop. ParallelFor counts entries even when it degrades to inline
+// execution, so the assertion holds on single-core machines.
+TEST(GemmRoutingTest, MatmulTransAEntersParallelFor) {
+  Rng rng(11);
+  Tensor at = RandomNormal(Shape{64, 48}, rng);
+  Tensor b = RandomNormal(Shape{64, 32}, rng);
+  const int64_t before = ThreadPool::TotalParallelForCalls();
+  Tensor c = MatmulTransA(at, b);
+  EXPECT_GT(ThreadPool::TotalParallelForCalls(), before);
+  Tensor c_ref{Shape{48, 32}};
+  GemmReference(at.data(), true, b.data(), false, c_ref.data(), 48, 64, 32,
+                false);
+  ExpectBitIdentical(c_ref.ToVector(), c.ToVector(), "MatmulTransA facade");
+}
+
+TEST(GemmRoutingTest, MatVecEntersParallelFor) {
+  Rng rng(12);
+  Tensor a = RandomNormal(Shape{96, 80}, rng);
+  Tensor x = RandomNormal(Shape{80}, rng);
+  const int64_t before = ThreadPool::TotalParallelForCalls();
+  Tensor y = MatVec(a, x);
+  EXPECT_GT(ThreadPool::TotalParallelForCalls(), before);
+  Tensor y_ref{Shape{96}};
+  GemmReference(a.data(), false, x.data(), false, y_ref.data(), 96, 80, 1,
+                false);
+  ExpectBitIdentical(y_ref.ToVector(), y.ToVector(), "MatVec facade");
+}
+
+TEST(GemmRoutingTest, MatmulAndTransBEnterParallelFor) {
+  Rng rng(13);
+  Tensor a = RandomNormal(Shape{40, 24}, rng);
+  Tensor b = RandomNormal(Shape{24, 56}, rng);
+  Tensor bt = RandomNormal(Shape{56, 24}, rng);
+  int64_t before = ThreadPool::TotalParallelForCalls();
+  Matmul(a, b);
+  EXPECT_GT(ThreadPool::TotalParallelForCalls(), before);
+  before = ThreadPool::TotalParallelForCalls();
+  MatmulTransB(a, bt);
+  EXPECT_GT(ThreadPool::TotalParallelForCalls(), before);
+}
+
+// Conv-as-GEMM: unfold real padded/strided geometries with Im2Col, then
+// drive the packed engine over the resulting column matrices exactly as
+// Conv2dForward does (accumulating into a zeroed output).
+TEST(GemmConvTest, PaddedStridedGeometriesBitIdentical) {
+  struct Geo {
+    int64_t c, h, w, o;
+    ConvGeom g;
+  };
+  const Geo geos[] = {
+      {3, 9, 9, 5, {3, 3, 1, 1}},   // same-size 3x3
+      {2, 11, 7, 4, {3, 3, 2, 1}},  // strided, rectangular input
+      {1, 8, 8, 3, {5, 5, 1, 2}},   // large kernel, heavy padding
+      {4, 7, 7, 6, {1, 1, 2, 0}},   // pointwise strided
+  };
+  Rng rng(21);
+  for (const Geo& geo : geos) {
+    const int64_t oh = geo.g.OutExtent(geo.h, geo.g.kernel_h);
+    const int64_t ow = geo.g.OutExtent(geo.w, geo.g.kernel_w);
+    const int64_t col_rows = geo.c * geo.g.kernel_h * geo.g.kernel_w;
+    const int64_t col_cols = oh * ow;
+    Tensor input = RandomNormal(Shape{geo.c, geo.h, geo.w}, rng);
+    Tensor weight = RandomNormal(Shape{geo.o, col_rows}, rng);
+    Tensor columns{Shape{col_rows, col_cols}};
+    Im2Col(input.data(), geo.c, geo.h, geo.w, geo.g, columns.data());
+
+    Tensor out_ref{Shape{geo.o, col_cols}};
+    Tensor out_packed{Shape{geo.o, col_cols}};
+    GemmReference(weight.data(), false, columns.data(), false, out_ref.data(),
+                  geo.o, col_rows, col_cols, /*accumulate=*/true);
+    GemmPacked(weight.data(), false, columns.data(), false, out_packed.data(),
+               geo.o, col_rows, col_cols, /*accumulate=*/true);
+    ExpectBitIdentical(
+        out_ref.ToVector(), out_packed.ToVector(),
+        "conv gemm c=" + std::to_string(geo.c) + " k=" +
+            std::to_string(geo.g.kernel_h) + " s=" +
+            std::to_string(geo.g.stride) + " p=" +
+            std::to_string(geo.g.padding));
+  }
+}
+
+}  // namespace
+}  // namespace metalora
