@@ -35,6 +35,7 @@ struct ModeResult {
   int64_t heap_allocs_per_iter = 0;
   double micros_per_iter = 0.0;
   int64_t peak_arena_bytes = 0;
+  double arena_hit_rate = 0.0;
   float checksum = 0.0f;  // guards against the forward being optimized away
 };
 
@@ -50,14 +51,15 @@ autograd::Variable Forward(const autograd::Variable& x,
   return autograd::MeanAll(autograd::SoftmaxLastDim(logits));
 }
 
-ModeResult RunMode(bool grad, int iters, const Tensor& x, const Tensor& w1,
-                   const Tensor& b1, const Tensor& w2, const Tensor& b2,
-                   autograd::RuntimeContext* profile_sink) {
+ModeResult RunMode(bool grad, bool step_arena, int iters, const Tensor& x,
+                   const Tensor& w1, const Tensor& b1, const Tensor& w2,
+                   const Tensor& b2, autograd::RuntimeContext* profile_sink) {
   autograd::WorkspaceArena arena;
   autograd::RuntimeContext rctx;
   rctx.set_grad_enabled(grad);
   rctx.set_profiling(profile_sink != nullptr);
-  if (!grad) rctx.set_arena(&arena);
+  if (!grad || step_arena) rctx.set_arena(&arena);
+  if (step_arena) rctx.set_arena_serves_grad(true);
   autograd::RuntimeContextScope scope(&rctx);
 
   autograd::Variable vx(x, /*requires_grad=*/false);
@@ -68,7 +70,7 @@ ModeResult RunMode(bool grad, int iters, const Tensor& x, const Tensor& w1,
 
   // Warm-up settles the arena capacity so the timed loop measures the
   // steady state (no block growth).
-  arena.Reset();
+  arena.NextGeneration();
   autograd::Variable warm = Forward(vx, vw1, vb1, vw2, vb2);
 
   ModeResult r;
@@ -77,7 +79,7 @@ ModeResult RunMode(bool grad, int iters, const Tensor& x, const Tensor& w1,
   const int64_t heap0 = Tensor::HeapAllocations();
   Timer t;
   for (int i = 0; i < iters; ++i) {
-    arena.Reset();
+    arena.NextGeneration();
     autograd::Variable out = Forward(vx, vw1, vb1, vw2, vb2);
     r.checksum += out.value().flat(0);
   }
@@ -86,6 +88,7 @@ ModeResult RunMode(bool grad, int iters, const Tensor& x, const Tensor& w1,
   r.nodes_per_iter = rctx.nodes_recorded() / iters;
   r.saved_bytes_per_iter = rctx.saved_bytes_recorded() / iters;
   r.peak_arena_bytes = arena.peak_bytes();
+  r.arena_hit_rate = rctx.ArenaHitRate();
   // Fold this mode's op counters into the caller's sink so a single table
   // at exit covers both modes.
   if (profile_sink != nullptr) profile_sink->MergeChildStats(rctx);
@@ -123,8 +126,13 @@ int main(int argc, char** argv) {
   Tensor b2{Shape{classes}};
 
   const int iters = 200;
-  ModeResult grad = RunMode(/*grad=*/true, iters, x, w1, b1, w2, b2, sink);
-  ModeResult fast = RunMode(/*grad=*/false, iters, x, w1, b1, w2, b2, sink);
+  ModeResult grad =
+      RunMode(/*grad=*/true, /*step_arena=*/false, iters, x, w1, b1, w2, b2,
+              sink);
+  ModeResult ga = RunMode(/*grad=*/true, /*step_arena=*/true, iters, x, w1,
+                          b1, w2, b2, sink);
+  ModeResult fast = RunMode(/*grad=*/false, /*step_arena=*/false, iters, x,
+                            w1, b1, w2, b2, sink);
 
   TablePrinter table("autograd overhead");
   table.SetHeader({"mode", "nodes/iter", "saved KiB", "heap allocs/iter",
@@ -134,6 +142,11 @@ int main(int argc, char** argv) {
                 std::to_string(grad.heap_allocs_per_iter),
                 std::to_string(grad.micros_per_iter),
                 std::to_string(grad.peak_arena_bytes / 1024)});
+  table.AddRow({"grad+step-arena", std::to_string(ga.nodes_per_iter),
+                std::to_string(ga.saved_bytes_per_iter / 1024),
+                std::to_string(ga.heap_allocs_per_iter),
+                std::to_string(ga.micros_per_iter),
+                std::to_string(ga.peak_arena_bytes / 1024)});
   table.AddRow({"no-grad+arena", std::to_string(fast.nodes_per_iter),
                 std::to_string(fast.saved_bytes_per_iter / 1024),
                 std::to_string(fast.heap_allocs_per_iter),
@@ -159,6 +172,21 @@ int main(int argc, char** argv) {
               << " — the arena must not cost more than graph recording\n";
     ok = false;
   }
+  if (ga.heap_allocs_per_iter >= grad.heap_allocs_per_iter) {
+    std::cout << "\nFAIL: step-arena grad mode made "
+              << ga.heap_allocs_per_iter
+              << " heap allocations per iteration, not fewer than plain "
+              << "grad mode's " << grad.heap_allocs_per_iter << "\n";
+    ok = false;
+  }
+  if (ga.nodes_per_iter != grad.nodes_per_iter ||
+      ga.checksum != grad.checksum) {
+    std::cout << "\nFAIL: step-arena grad mode diverged from plain grad "
+              << "mode (nodes " << ga.nodes_per_iter << " vs "
+              << grad.nodes_per_iter << ", checksum " << ga.checksum
+              << " vs " << grad.checksum << ")\n";
+    ok = false;
+  }
   if (ok) {
     std::cout << "\nOK: no-grad pass recorded 0 nodes, cut heap "
               << "allocations from " << grad.heap_allocs_per_iter << " to "
@@ -175,11 +203,18 @@ int main(int argc, char** argv) {
        << ", \"saved_bytes_per_iter\": " << grad.saved_bytes_per_iter
        << ", \"heap_allocs_per_iter\": " << grad.heap_allocs_per_iter
        << ", \"micros_per_iter\": " << grad.micros_per_iter << "},\n"
+       << "  \"grad_step_arena\": {\"nodes_per_iter\": " << ga.nodes_per_iter
+       << ", \"saved_bytes_per_iter\": " << ga.saved_bytes_per_iter
+       << ", \"heap_allocs_per_iter\": " << ga.heap_allocs_per_iter
+       << ", \"micros_per_iter\": " << ga.micros_per_iter
+       << ", \"peak_arena_bytes\": " << ga.peak_arena_bytes
+       << ", \"arena_hit_rate\": " << ga.arena_hit_rate << "},\n"
        << "  \"nograd_arena\": {\"nodes_per_iter\": " << fast.nodes_per_iter
        << ", \"saved_bytes_per_iter\": " << fast.saved_bytes_per_iter
        << ", \"heap_allocs_per_iter\": " << fast.heap_allocs_per_iter
        << ", \"micros_per_iter\": " << fast.micros_per_iter
-       << ", \"peak_arena_bytes\": " << fast.peak_arena_bytes << "},\n"
+       << ", \"peak_arena_bytes\": " << fast.peak_arena_bytes
+       << ", \"arena_hit_rate\": " << fast.arena_hit_rate << "},\n"
        << "  \"ok\": " << (ok ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote BENCH_autograd.json\n";

@@ -155,7 +155,14 @@ int main(int argc, char** argv) {
   const unsigned hw = std::thread::hardware_concurrency();
   std::cout << "=== Packed GEMM engine vs naive reference ===\n\n"
             << "hardware threads: " << hw << (smoke ? " (smoke mode)" : "")
-            << "\n\n";
+            << "\n";
+
+  // Run the tile sweep up front so every timed shape below uses the chosen
+  // blocking (the lazy trigger would otherwise fold the sweep into the
+  // first large case's warm-up).
+  const GemmTiles tiles = AutotuneGemmTiles();
+  std::cout << "autotuned tiles: MC=" << tiles.mc << " KC=" << tiles.kc
+            << " NC=" << tiles.nc << "\n\n";
 
   TablePrinter table("gemm kernels");
   table.SetHeader({"shape", "n", "k", "m", "layout", "ref GF/s", "packed GF/s",
@@ -209,6 +216,8 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"hardware_threads\": " << hw << ",\n"
        << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"autotuned_tiles\": {\"mc\": " << tiles.mc
+       << ", \"kc\": " << tiles.kc << ", \"nc\": " << tiles.nc << "},\n"
        << "  \"shapes\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const GemmCase& c = kCases[i];

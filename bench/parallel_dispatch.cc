@@ -35,6 +35,10 @@ using namespace metalora;  // NOLINT
 
 namespace {
 
+// The bench runs every forward/backward under a step arena (the trainer's
+// configuration); each iteration is one generation.
+autograd::WorkspaceArena* g_step_arena = nullptr;
+
 struct GradSnapshot {
   Tensor value;
   Tensor grad_a;
@@ -43,6 +47,7 @@ struct GradSnapshot {
 
 GradSnapshot ForwardBackward(core::LoraLinear& lora,
                              const autograd::Variable& x) {
+  if (g_step_arena != nullptr) g_step_arena->NextGeneration();
   autograd::Variable y = lora.Forward(x);
   autograd::Variable loss = autograd::SumAll(autograd::Mul(y, y));
   if (!autograd::Backward(loss).ok()) {
@@ -70,9 +75,13 @@ bool BitIdentical(const Tensor& a, const Tensor& b) {
 double TimeForward(core::LoraLinear& lora, const autograd::Variable& x,
                    int iters) {
   float sink = 0.0f;
-  for (int i = 0; i < 3; ++i) sink += lora.Forward(x).value().flat(0);
+  auto step = [&] {
+    if (g_step_arena != nullptr) g_step_arena->NextGeneration();
+    sink += lora.Forward(x).value().flat(0);
+  };
+  for (int i = 0; i < 3; ++i) step();
   Timer t;
-  for (int i = 0; i < iters; ++i) sink += lora.Forward(x).value().flat(0);
+  for (int i = 0; i < iters; ++i) step();
   const double us = t.Micros() / iters;
   if (!std::isfinite(sink)) std::cerr << "non-finite checksum\n";
   return us;
@@ -97,8 +106,17 @@ int main(int argc, char** argv) {
   const bool profile = cli.GetBool("profile");
   // Branch contexts inherit the profiling bit through ParallelScope and
   // fold their counters back at the join, so the table covers both the
-  // serial and the dispatched forwards.
-  autograd::RuntimeContext::Current().set_profiling(profile);
+  // serial and the dispatched forwards. The bench context mirrors the
+  // trainer: a generation-tagged arena serves the grad-recording graph,
+  // bumped once per iteration. Dispatched branches run on their own
+  // contexts (heap) and merge counters back at the join.
+  autograd::WorkspaceArena step_arena;
+  autograd::RuntimeContext rctx;
+  rctx.set_profiling(profile);
+  rctx.set_arena(&step_arena);
+  rctx.set_arena_serves_grad(true);
+  autograd::RuntimeContextScope rctx_scope(&rctx);
+  g_step_arena = &step_arena;
 
   std::cout << "=== Parallel dispatch: two-branch adapter forward ===\n\n";
   const unsigned hw = std::thread::hardware_concurrency();
@@ -179,13 +197,17 @@ int main(int argc, char** argv) {
        << ",\n"
        << "  \"speedup_asserted\": " << (assert_speedup ? "true" : "false")
        << ",\n"
+       << "  \"arena\": {\"hit_rate\": " << rctx.ArenaHitRate()
+       << ", \"pins\": " << rctx.pin_count()
+       << ", \"pin_bytes\": " << rctx.pin_bytes()
+       << ", \"generation\": " << step_arena.generation()
+       << ", \"peak_bytes\": " << step_arena.peak_bytes() << "},\n"
        << "  \"ok\": " << (ok ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote BENCH_parallel_dispatch.json\n";
   if (profile) {
     std::cout << "\n";
-    autograd::PrintOpProfileTable(autograd::RuntimeContext::Current(),
-                                  std::cout);
+    autograd::PrintOpProfileTable(rctx, std::cout);
   }
   autograd::SetParallelDispatchPool(nullptr);
   return ok ? 0 : 1;

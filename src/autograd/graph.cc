@@ -40,10 +40,13 @@ void CountConsumers(VariableImpl* root, BackwardState* state) {
   }
 }
 
-void Accumulate(BackwardState* state, VariableImpl* v, const Tensor& g) {
+void Accumulate(BackwardState* state, RuntimeContext& ctx, VariableImpl* v,
+                const Tensor& g) {
   auto it = state->grads.find(v);
   if (it == state->grads.end()) {
-    state->grads.emplace(v, g.Clone());
+    // The first contribution becomes the mutable accumulator; in step-arena
+    // mode it lives in the current generation like the rest of the sweep.
+    state->grads.emplace(v, ctx.CloneForBackward(g));
   } else {
     AddInPlace(it->second, g);
   }
@@ -66,7 +69,7 @@ Status BackwardWithGrad(const Variable& root, const Tensor& seed) {
   RuntimeContext& ctx = RuntimeContext::Current();
   BackwardState state;
   CountConsumers(root.impl().get(), &state);
-  state.grads.emplace(root.impl().get(), seed.Clone());
+  state.grads.emplace(root.impl().get(), ctx.CloneForBackward(seed));
 
   std::deque<VariableImpl*> ready = {root.impl().get()};
   while (!ready.empty()) {
@@ -78,9 +81,13 @@ Status BackwardWithGrad(const Variable& root, const Tensor& seed) {
     state.grads.erase(git);
 
     if (!v->producer) {
-      // Leaf: accumulate into the persistent .grad buffer.
+      // Leaf: accumulate into the persistent .grad buffer. In step-arena
+      // mode the swept gradient lives in the current arena generation, but
+      // .grad must survive past the step (the optimizer reads it), so the
+      // first contribution is pinned out to the heap. Later contributions
+      // AddInPlace into that heap buffer.
       if (!v->grad.defined()) {
-        v->grad = std::move(grad);
+        v->grad = ctx.arena_backward() ? ctx.PinToHeap(grad) : std::move(grad);
       } else {
         AddInPlace(v->grad, grad);
       }
@@ -98,7 +105,7 @@ Status BackwardWithGrad(const Variable& root, const Tensor& seed) {
       ML_CHECK(input_grads[i].defined())
           << "op " << v->producer->name() << " produced no gradient for input "
           << i << " which requires grad";
-      Accumulate(&state, vi, input_grads[i]);
+      Accumulate(&state, ctx, vi, input_grads[i]);
       auto pit = state.pending.find(vi);
       ML_CHECK(pit != state.pending.end());
       if (--pit->second == 0) ready.push_back(vi);

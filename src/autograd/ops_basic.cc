@@ -29,8 +29,10 @@ class SubOp final : public Op {
  public:
   SubOp() : Op("Sub") {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {g, metalora::Scale(g, -1.0f)};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    Tensor gb = ctx.AllocBackwardUninit(g.shape());
+    metalora::ScaleInto(g, -1.0f, &gb);
+    return {g, gb};
   }
 };
 
@@ -39,8 +41,12 @@ class MulOp final : public Op {
   MulOp(Tensor a, Tensor b)
       : Op("Mul"), a_(Save(std::move(a))), b_(Save(std::move(b))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {metalora::Mul(g, b_.get()), metalora::Mul(g, a_.get())};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    Tensor ga = ctx.AllocBackwardUninit(g.shape());
+    metalora::MulInto(g, b_.get(), &ga);
+    Tensor gb = ctx.AllocBackwardUninit(g.shape());
+    metalora::MulInto(g, a_.get(), &gb);
+    return {ga, gb};
   }
 
  private:
@@ -51,8 +57,10 @@ class ScaleOp final : public Op {
  public:
   explicit ScaleOp(float s) : Op("Scale"), s_(s) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {metalora::Scale(g, s_)};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    Tensor ga = ctx.AllocBackwardUninit(g.shape());
+    metalora::ScaleInto(g, s_, &ga);
+    return {ga};
   }
 
  private:
@@ -63,8 +71,10 @@ class AddRowBroadcastOp final : public Op {
  public:
   AddRowBroadcastOp() : Op("AddRowBroadcast") {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {g, SumAxis(g, 0)};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    Tensor gb = ctx.AllocBackwardUninit(Shape{g.dim(1)});
+    SumAxisInto(g, 0, &gb);
+    return {g, gb};
   }
 };
 
@@ -73,12 +83,13 @@ class MulRowBroadcastOp final : public Op {
   MulRowBroadcastOp(Tensor a, Tensor row)
       : Op("MulRowBroadcast"), a_(Save(std::move(a))), row_(Save(std::move(row))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& av = a_.get();
     const Tensor& rv = row_.get();
     const int64_t n = av.dim(0), c = av.dim(1);
-    Tensor ga{av.shape()};
-    Tensor gr{rv.shape()};
+    Tensor ga = ctx.AllocBackwardUninit(av.shape());
+    // gr accumulates row contributions with +=: zeroed buffer required.
+    Tensor gr = ctx.AllocBackward(rv.shape());
     const float* pg = g.data();
     const float* pa = av.data();
     const float* pr = rv.data();
@@ -102,13 +113,13 @@ class ScaleChannelsOp final : public Op {
   ScaleChannelsOp(Tensor a, Tensor s)
       : Op("ScaleChannels"), a_(Save(std::move(a))), s_(Save(std::move(s))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& av = a_.get();
     const Tensor& sv = s_.get();
     const int64_t n = av.dim(0), c = av.dim(1),
                   spatial = av.dim(2) * av.dim(3);
-    Tensor ga{av.shape()};
-    Tensor gs{sv.shape()};
+    Tensor ga = ctx.AllocBackwardUninit(av.shape());
+    Tensor gs = ctx.AllocBackwardUninit(sv.shape());
     const float* pg = g.data();
     const float* pa = av.data();
     const float* ps = sv.data();
@@ -138,13 +149,13 @@ class ScaleRowsOp final : public Op {
   ScaleRowsOp(Tensor a, Tensor s)
       : Op("ScaleRows"), a_(Save(std::move(a))), s_(Save(std::move(s))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& av = a_.get();
     const Tensor& sv = s_.get();
     const int64_t n = av.dim(0);
     const int64_t rest = av.numel() / std::max<int64_t>(n, 1);
-    Tensor ga{av.shape()};
-    Tensor gs{sv.shape()};
+    Tensor ga = ctx.AllocBackwardUninit(av.shape());
+    Tensor gs = ctx.AllocBackwardUninit(sv.shape());
     const float* pg = g.data();
     const float* pa = av.data();
     const float* ps = sv.data();
@@ -174,16 +185,18 @@ class MulScalarVarOp final : public Op {
         sv_(sv),
         s_shape_(std::move(s_shape)) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& av = a_.get();
-    Tensor gs{s_shape_};
+    Tensor gs = ctx.AllocBackwardUninit(s_shape_);
     double acc = 0;
     const float* pg = g.data();
     const float* pa = av.data();
     for (int64_t i = 0, n = g.numel(); i < n; ++i)
       acc += static_cast<double>(pg[i]) * pa[i];
     gs.flat(0) = static_cast<float>(acc);
-    return {metalora::Scale(g, sv_), gs};
+    Tensor ga = ctx.AllocBackwardUninit(g.shape());
+    metalora::ScaleInto(g, sv_, &ga);
+    return {ga, gs};
   }
 
  private:
@@ -201,8 +214,9 @@ class RepeatRowsInterleavedOp final : public Op {
         k_(k),
         rest_(rest) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    Tensor ga{in_shape_};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    // Accumulates the k repeats with +=: zeroed buffer required.
+    Tensor ga = ctx.AllocBackward(in_shape_);
     const float* pg = g.data();
     float* pga = ga.data();
     for (int64_t i = 0; i < n_; ++i) {
@@ -227,9 +241,11 @@ class UnaryFromInputOp final : public Op {
   UnaryFromInputOp(const char* name, Tensor input)
       : Op(name), input_(Save(std::move(input))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {Zip(g, input_.get(),
-                [](float gv, float x) { return gv * Dfn(x); })};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    Tensor ga = ctx.AllocBackwardUninit(g.shape());
+    ZipInto(g, input_.get(), [](float gv, float x) { return gv * Dfn(x); },
+            &ga);
+    return {ga};
   }
 
  private:
@@ -243,9 +259,11 @@ class UnaryFromOutputOp final : public Op {
   UnaryFromOutputOp(const char* name, Tensor output)
       : Op(name), output_(Save(std::move(output))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {Zip(g, output_.get(),
-                [](float gv, float y) { return gv * Dfn(y); })};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    Tensor ga = ctx.AllocBackwardUninit(g.shape());
+    ZipInto(g, output_.get(), [](float gv, float y) { return gv * Dfn(y); },
+            &ga);
+    return {ga};
   }
 
  private:
@@ -256,8 +274,10 @@ class DropoutOp final : public Op {
  public:
   explicit DropoutOp(Tensor mask) : Op("Dropout"), mask_(Save(std::move(mask))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {metalora::Mul(g, mask_.get())};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    Tensor ga = ctx.AllocBackwardUninit(g.shape());
+    metalora::MulInto(g, mask_.get(), &ga);
+    return {ga};
   }
 
  private:
@@ -270,8 +290,10 @@ class FillLikeOp final : public Op {
   FillLikeOp(const char* name, Shape in_shape, float scale)
       : Op(name), in_shape_(std::move(in_shape)), scale_(scale) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {Tensor::Full(in_shape_, g.flat(0) * scale_)};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    Tensor ga = ctx.AllocBackwardUninit(in_shape_);
+    ga.Fill(g.flat(0) * scale_);
+    return {ga};
   }
 
  private:

@@ -33,12 +33,6 @@ void SoftmaxRowsInto(const Tensor& logits, Tensor* probs) {
   }
 }
 
-Tensor SoftmaxRows(const Tensor& logits) {
-  Tensor probs{logits.shape()};
-  SoftmaxRowsInto(logits, &probs);
-  return probs;
-}
-
 // dx = p ⊙ (g - (g·p per row)) over `rows` rows of width `c`.
 void SoftmaxBackwardRows(const Tensor& g, const Tensor& probs, int64_t rows,
                          int64_t c, Tensor* gx) {
@@ -62,11 +56,11 @@ class SoftmaxOp final : public Op {
   SoftmaxOp(const char* name, Tensor probs)
       : Op(name), probs_(Save(std::move(probs))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& pv = probs_.get();
     const int64_t c = pv.dim(-1);
     const int64_t rows = pv.numel() / c;
-    Tensor gx{g.shape()};
+    Tensor gx = ctx.AllocBackwardUninit(g.shape());
     SoftmaxBackwardRows(g, pv, rows, c, &gx);
     return {gx};
   }
@@ -82,12 +76,13 @@ class SoftmaxCrossEntropyOp final : public Op {
         probs_(Save(std::move(probs))),
         labels_(std::move(labels)) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     // d logits = (p - onehot(y)) * g / N.
     const Tensor& pv = probs_.get();
     const int64_t n = pv.dim(0), c = pv.dim(1);
     const float scale = g.flat(0) / static_cast<float>(n);
-    Tensor gx = pv.Clone();
+    Tensor gx = ctx.AllocBackwardUninit(pv.shape());
+    gx.CopyDataFrom(pv);
     float* pgx = gx.data();
     for (int64_t i = 0; i < n; ++i) {
       pgx[i * c + labels_[static_cast<size_t>(i)]] -= 1.0f;
@@ -108,12 +103,12 @@ class MseLossOp final : public Op {
         pred_(Save(std::move(pred))),
         target_(Save(std::move(target))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& pv = pred_.get();
     const Tensor& tv = target_.get();
     const int64_t n = pv.numel();
     const float scale = 2.0f * g.flat(0) / static_cast<float>(n);
-    Tensor gx{pv.shape()};
+    Tensor gx = ctx.AllocBackwardUninit(pv.shape());
     const float* pp = pv.data();
     const float* pt = tv.data();
     float* pgx = gx.data();
@@ -163,7 +158,10 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
   ProfileScope prof(ctx, "SoftmaxCrossEntropy");
   const int64_t n = logits.dim(0), c = logits.dim(1);
   ML_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
-  Tensor probs = SoftmaxRows(logits.value());
+  // The saved probs live exactly as long as the graph, so in step-arena
+  // mode they can share the step's generation.
+  Tensor probs = ctx.AllocResultUninit(logits.shape());
+  SoftmaxRowsInto(logits.value(), &probs);
   double loss_acc = 0;
   for (int64_t i = 0; i < n; ++i) {
     const int64_t y = labels[static_cast<size_t>(i)];

@@ -17,9 +17,15 @@ class MatmulOp final : public Op {
   MatmulOp(Tensor a, Tensor b)
       : Op("Matmul"), a_(Save(std::move(a))), b_(Save(std::move(b))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    // dA = g · Bᵀ ; dB = Aᵀ · g.
-    return {MatmulTransB(g, b_.get()), MatmulTransA(a_.get(), g)};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    // dA = g · Bᵀ ; dB = Aᵀ · g. Both kernels overwrite their output.
+    const Tensor& av = a_.get();
+    const Tensor& bv = b_.get();
+    Tensor da = ctx.AllocBackwardUninit(av.shape());
+    MatmulTransBInto(g, bv, &da);
+    Tensor db = ctx.AllocBackwardUninit(bv.shape());
+    MatmulTransAInto(av, g, &db);
+    return {da, db};
   }
 
  private:
@@ -34,12 +40,23 @@ class LinearOp final : public Op {
         w_(Save(std::move(w))),
         has_bias_(has_bias) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    // dx = g · W ; dW = gᵀ · x ; db = Σ_rows g.
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    // dx = g · W ; dW = gᵀ · x ; db = Σ_rows g. MatmulInto accumulates, so
+    // dx uses the zeroed variant; the others overwrite.
     std::vector<Tensor> grads;
-    grads.push_back(metalora::Matmul(g, w_.get()));
-    grads.push_back(MatmulTransA(g, x_.get()));
-    if (has_bias_) grads.push_back(SumAxis(g, 0));
+    const Tensor& xv = x_.get();
+    const Tensor& wv = w_.get();
+    Tensor dx = ctx.AllocBackward(xv.shape());
+    MatmulInto(g, wv, &dx);
+    grads.push_back(std::move(dx));
+    Tensor dw = ctx.AllocBackwardUninit(wv.shape());
+    MatmulTransAInto(g, xv, &dw);
+    grads.push_back(std::move(dw));
+    if (has_bias_) {
+      Tensor db = ctx.AllocBackwardUninit(Shape{g.dim(1)});
+      SumAxisInto(g, 0, &db);
+      grads.push_back(std::move(db));
+    }
     return grads;
   }
 
@@ -71,24 +88,21 @@ void BatchedMatmulRawInto(const Tensor& a, const Tensor& b, bool trans_a,
   }
 }
 
-Tensor BatchedMatmulRaw(const Tensor& a, const Tensor& b, bool trans_a,
-                        bool trans_b) {
-  const int64_t n = trans_a ? a.dim(2) : a.dim(1);
-  const int64_t m = trans_b ? b.dim(1) : b.dim(2);
-  Tensor out{Shape{a.dim(0), n, m}};
-  BatchedMatmulRawInto(a, b, trans_a, trans_b, &out);
-  return out;
-}
-
 class BatchedMatmulOp final : public Op {
  public:
   BatchedMatmulOp(Tensor a, Tensor b)
       : Op("BatchedMatmul"), a_(Save(std::move(a))), b_(Save(std::move(b))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    // dA[n] = g[n] · B[n]ᵀ ; dB[n] = A[n]ᵀ · g[n].
-    return {BatchedMatmulRaw(g, b_.get(), false, true),
-            BatchedMatmulRaw(a_.get(), g, true, false)};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    // dA[n] = g[n] · B[n]ᵀ ; dB[n] = A[n]ᵀ · g[n]. The batched kernel
+    // accumulates, so both outputs need the zeroed variant.
+    const Tensor& av = a_.get();
+    const Tensor& bv = b_.get();
+    Tensor da = ctx.AllocBackward(av.shape());
+    BatchedMatmulRawInto(g, bv, false, true, &da);
+    Tensor db = ctx.AllocBackward(bv.shape());
+    BatchedMatmulRawInto(av, g, true, false, &db);
+    return {da, db};
   }
 
  private:
@@ -102,14 +116,15 @@ class PerSamplePointwiseConvOp final : public Op {
         x_(Save(std::move(x))),
         w_(Save(std::move(w))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& xv = x_.get();
     const Tensor& wv = w_.get();
     const int64_t n = xv.dim(0), q = xv.dim(1),
                   spatial = xv.dim(2) * xv.dim(3);
     const int64_t o = wv.dim(1);
-    Tensor gx{xv.shape()};
-    Tensor gw{wv.shape()};
+    // Both per-sample GEMMs below accumulate: zeroed buffers required.
+    Tensor gx = ctx.AllocBackward(xv.shape());
+    Tensor gw = ctx.AllocBackward(wv.shape());
     const float* pg = g.data();
     const float* px = xv.data();
     const float* pw = wv.data();

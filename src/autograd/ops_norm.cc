@@ -22,15 +22,16 @@ class BatchNorm2dOp final : public Op {
         m_(m),
         training_(training) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& xhat = xhat_.get();
     const Tensor& inv_std = inv_std_.get();
     const Tensor& gamma_v = gamma_.get();
     const int64_t n = xhat.dim(0), c = xhat.dim(1),
                   spatial = xhat.dim(2) * xhat.dim(3);
-    Tensor gx{g.shape()};
-    Tensor ggamma{Shape{c}};
-    Tensor gbeta{Shape{c}};
+    // gx and the per-channel sums are fully assigned below.
+    Tensor gx = ctx.AllocBackwardUninit(g.shape());
+    Tensor ggamma = ctx.AllocBackwardUninit(Shape{c});
+    Tensor gbeta = ctx.AllocBackwardUninit(Shape{c});
     const float* pg = g.data();
     const float* pxh = xhat.data();
     float* pgx = gx.data();
@@ -86,15 +87,16 @@ class LayerNormOp final : public Op {
         inv_std_(Save(std::move(inv_std))),
         gamma_(Save(std::move(gamma))) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     const Tensor& xhat = xhat_.get();
     const Tensor& inv_std = inv_std_.get();
     const Tensor& gamma_v = gamma_.get();
     const int64_t c = gamma_v.dim(0);
     const int64_t rows = xhat.numel() / c;
-    Tensor gx{g.shape()};
-    Tensor ggamma{Shape{c}};
-    Tensor gbeta{Shape{c}};
+    Tensor gx = ctx.AllocBackwardUninit(g.shape());
+    // ggamma/gbeta accumulate across rows with +=: zeroed buffers required.
+    Tensor ggamma = ctx.AllocBackward(Shape{c});
+    Tensor gbeta = ctx.AllocBackward(Shape{c});
     const float* pg = g.data();
     const float* pxh = xhat.data();
     const float* pgm = gamma_v.data();
@@ -184,9 +186,10 @@ Variable BatchNorm2d(const Variable& x, const Variable& gamma,
   }
 
   // Normalize and apply affine. x̂ is only materialized when the backward
-  // pass will need it.
+  // pass will need it; it lives exactly as long as the graph, so it can
+  // share the step arena's generation.
   const bool record = AnyRequiresGrad({x, gamma, beta});
-  Tensor xhat = record ? Tensor{x.shape()} : Tensor();
+  Tensor xhat = record ? ctx.AllocResultUninit(x.shape()) : Tensor();
   Tensor out = ctx.AllocResultUninit(x.shape());
   const float* pg_gamma = gamma.value().data();
   const float* pg_beta = beta.value().data();
@@ -232,7 +235,7 @@ Variable LayerNorm(const Variable& x, const Variable& gamma,
   const int64_t rows = x.numel() / c;
 
   const bool record = AnyRequiresGrad({x, gamma, beta});
-  Tensor xhat = record ? Tensor{x.shape()} : Tensor();
+  Tensor xhat = record ? ctx.AllocResultUninit(x.shape()) : Tensor();
   Tensor inv_std = ctx.AllocResultUninit(Shape{rows});
   Tensor out = ctx.AllocResultUninit(x.shape());
   const float* px = x.value().data();

@@ -29,8 +29,14 @@ class PermuteOp final : public Op {
   explicit PermuteOp(std::vector<int> inv_perm)
       : Op("Permute"), inv_perm_(std::move(inv_perm)) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
-    return {metalora::Permute(g, inv_perm_)};
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
+    std::vector<int64_t> in_dims(inv_perm_.size());
+    for (size_t i = 0; i < inv_perm_.size(); ++i) {
+      in_dims[i] = g.dim(inv_perm_[i]);
+    }
+    Tensor ga = ctx.AllocBackwardUninit(Shape(in_dims));
+    metalora::PermuteInto(g, inv_perm_, &ga);
+    return {ga};
   }
 
  private:
@@ -46,11 +52,11 @@ class ConcatRowsOp final : public Op {
         shapes_(std::move(shapes)),
         row_size_(row_size) {}
 
-  std::vector<Tensor> Backward(RuntimeContext&, const Tensor& g) override {
+  std::vector<Tensor> Backward(RuntimeContext& ctx, const Tensor& g) override {
     std::vector<Tensor> grads;
     const float* pg = g.data();
     for (size_t i = 0; i < row_counts_.size(); ++i) {
-      Tensor gi{shapes_[i]};
+      Tensor gi = ctx.AllocBackwardUninit(shapes_[i]);
       const int64_t count = row_counts_[i] * row_size_;
       std::copy(pg, pg + count, gi.data());
       pg += count;

@@ -106,7 +106,7 @@ std::vector<Variable> ParallelScope::Join() {
     slot->ctx.set_profiling(parent.profiling());
     if (scratch_arenas) {
       slot->arena = AcquireScratchArena();
-      slot->arena->Reset();
+      slot->arena->NextGeneration();
       slot->ctx.set_arena(slot->arena.get());
     }
     slots_.push_back(std::move(slot));
@@ -186,7 +186,7 @@ void ParallelApplyNoGrad(
     for (int64_t b = blk_lo; b < blk_hi; ++b) {
       const int64_t lo = begin + b * block;
       const int64_t hi = std::min(end, lo + block);
-      state.arena->Reset();
+      state.arena->NextGeneration();
       fn(lo, hi, state.ctx);
     }
   };

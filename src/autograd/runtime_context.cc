@@ -37,6 +37,7 @@ Tensor WorkspaceArena::AllocateImpl(Shape shape, bool zero) {
       block.used += numel;
       used_floats_ += numel;
       peak_floats_ = std::max(peak_floats_, used_floats_);
+      ++block_hits_;
       Tensor view = Tensor::WrapBuffer(block.data, offset, std::move(shape));
       // Reused block bytes are stale; Allocate() callers assume zeroed,
       // AllocateUninitialized() callers overwrite every element themselves.
@@ -44,6 +45,7 @@ Tensor WorkspaceArena::AllocateImpl(Shape shape, bool zero) {
       return view;
     }
   }
+  ++block_misses_;
   const int64_t block_floats = std::max(next_block_floats_, numel);
   next_block_floats_ = block_floats * 2;
   Block block;
@@ -99,10 +101,34 @@ ProfileScope::~ProfileScope() {
   ctx_.RecordForward(name_, output_bytes_, MonotonicNanos() - start_nanos_);
 }
 
+namespace {
+
+// Allocator trailer under the per-op table: arena vs heap service counts,
+// leaf pins, and the arena's own block behavior when one is installed.
+void PrintArenaTrailer(const RuntimeContext& ctx, std::ostream& os) {
+  const int64_t total = ctx.arena_served() + ctx.heap_served();
+  if (total == 0 && ctx.pin_count() == 0) return;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", ctx.ArenaHitRate());
+  os << "allocator: arena " << ctx.arena_served() << " / heap "
+     << ctx.heap_served() << " (hit rate " << buf << "), pins "
+     << ctx.pin_count() << " (" << ctx.pin_bytes() << " B)\n";
+  const WorkspaceArena* arena = ctx.arena();
+  if (arena != nullptr) {
+    os << "arena: generation " << arena->generation() << ", block hits "
+       << arena->block_hits() << ", block misses " << arena->block_misses()
+       << ", capacity " << arena->capacity_bytes() << " B, peak "
+       << arena->peak_bytes() << " B\n";
+  }
+}
+
+}  // namespace
+
 void PrintOpProfileTable(const RuntimeContext& ctx, std::ostream& os) {
   const auto& profiles = ctx.op_profiles();
   if (profiles.empty()) {
     os << "(no op profiles recorded — was set_profiling(true) active?)\n";
+    PrintArenaTrailer(ctx, os);
     return;
   }
   std::vector<std::pair<std::string, OpProfile>> rows(profiles.begin(),
@@ -131,6 +157,7 @@ void PrintOpProfileTable(const RuntimeContext& ctx, std::ostream& os) {
     table.AddRow(std::move(row));
   }
   table.Print(os);
+  PrintArenaTrailer(ctx, os);
 }
 
 bool GradEnabled() { return RuntimeContext::Current().grad_enabled(); }

@@ -26,12 +26,19 @@
 namespace metalora {
 namespace autograd {
 
-/// A bump allocator for intermediate tensors. Allocate() carves
-/// zero-initialized views out of geometrically grown blocks; Reset() makes
-/// the whole capacity reusable without returning memory to the heap. Views
-/// share ownership of their block, so a tensor outliving the arena never
-/// dangles — but its contents are clobbered by allocations after a Reset,
-/// so results that escape an arena scope must be Clone()d out first.
+/// A generation-tagged bump allocator for intermediate tensors. Allocate()
+/// carves zero-initialized views out of geometrically grown blocks; Reset()
+/// makes the whole capacity reusable without returning memory to the heap.
+/// Views share ownership of their block, so a tensor outliving the arena
+/// never dangles — but its contents are clobbered by allocations after a
+/// Reset, so results that escape an arena scope must be Clone()d out first.
+///
+/// Each Reset()/NextGeneration() starts a new generation: every view handed
+/// out belongs to the generation that was current at allocation time and is
+/// invalid (contents-wise) once a newer generation starts allocating. The
+/// trainer bumps the generation once per optimizer step, which is what lets
+/// one arena serve the grad-recording forward AND backward of a step — the
+/// whole graph dies together at the step boundary.
 class WorkspaceArena {
  public:
   /// `initial_floats` sizes the first block (later blocks double).
@@ -50,6 +57,15 @@ class WorkspaceArena {
   /// Reclaims every allocation at once; blocks are kept for reuse.
   void Reset();
 
+  /// Reset() plus a generation bump. Call at step boundaries.
+  void NextGeneration() {
+    Reset();
+    ++generation_;
+  }
+
+  /// Generation counter: number of NextGeneration() calls so far.
+  uint64_t generation() const { return generation_; }
+
   /// Floats currently handed out (since the last Reset), in bytes.
   int64_t used_bytes() const { return used_floats_ * kFloatBytes; }
   /// High-water mark of used_bytes() across the arena's lifetime.
@@ -58,6 +74,10 @@ class WorkspaceArena {
   int64_t capacity_bytes() const { return capacity_floats_ * kFloatBytes; }
   /// Number of Allocate() calls served over the arena's lifetime.
   int64_t alloc_count() const { return alloc_count_; }
+  /// Allocations served from an already-owned block (steady state).
+  int64_t block_hits() const { return block_hits_; }
+  /// Allocations that had to grow a new block (warm-up / high-water).
+  int64_t block_misses() const { return block_misses_; }
 
  private:
   static constexpr int64_t kFloatBytes = static_cast<int64_t>(sizeof(float));
@@ -75,6 +95,9 @@ class WorkspaceArena {
   int64_t peak_floats_ = 0;
   int64_t capacity_floats_ = 0;
   int64_t alloc_count_ = 0;
+  int64_t block_hits_ = 0;
+  int64_t block_misses_ = 0;
+  uint64_t generation_ = 0;
 };
 
 /// Forward execution counters, bucketed per op name. Byte counts are output
@@ -105,11 +128,30 @@ class RuntimeContext {
   bool profiling() const { return profiling_; }
   void set_profiling(bool enabled) { profiling_ = enabled; }
 
-  /// Allocates an op result: from the arena on the no-grad fast path,
-  /// from the heap whenever a graph is being recorded (graph-referenced
-  /// tensors must survive arbitrary arena resets).
+  /// When set (and an arena is installed), the arena also serves
+  /// grad-recording forward intermediates and backward scratch. Only safe
+  /// when the owner bumps the arena generation at step boundaries AND
+  /// nothing outside the step keeps references into the graph — the trainer
+  /// loop's contract. Leaf gradients are exempt: Backward() pins them to the
+  /// heap because optimizers read them after the step.
+  bool arena_serves_grad() const { return arena_serves_grad_; }
+  void set_arena_serves_grad(bool enabled) { arena_serves_grad_ = enabled; }
+
+  /// True when backward scratch comes from the arena on this context.
+  bool arena_backward() const {
+    return arena_ != nullptr && arena_serves_grad_;
+  }
+
+  /// Allocates an op result: from the arena on the no-grad fast path (or in
+  /// step-arena mode, where the whole step's graph shares one generation),
+  /// from the heap whenever graph-referenced tensors must survive arbitrary
+  /// arena resets.
   Tensor AllocResult(const Shape& shape) {
-    if (!grad_enabled_ && arena_ != nullptr) return arena_->Allocate(shape);
+    if (arena_ != nullptr && (!grad_enabled_ || arena_serves_grad_)) {
+      ++arena_served_;
+      return arena_->Allocate(shape);
+    }
+    ++heap_served_;
     return Tensor(shape);
   }
 
@@ -119,10 +161,57 @@ class RuntimeContext {
   /// The heap path stays zeroed — Tensor(Shape) value-initializes — so this
   /// only changes arena-block reuse, where the saved memset is the win.
   Tensor AllocResultUninit(const Shape& shape) {
-    if (!grad_enabled_ && arena_ != nullptr) {
+    if (arena_ != nullptr && (!grad_enabled_ || arena_serves_grad_)) {
+      ++arena_served_;
       return arena_->AllocateUninitialized(shape);
     }
+    ++heap_served_;
     return Tensor(shape);
+  }
+
+  /// Allocates a zero-filled backward gradient/scratch buffer: from the
+  /// arena in step-arena mode, from the heap otherwise. Accumulating
+  /// backward kernels (`+=` into the buffer) must use this zeroed variant.
+  Tensor AllocBackward(const Shape& shape) {
+    if (arena_backward()) {
+      ++arena_served_;
+      return arena_->Allocate(shape);
+    }
+    ++heap_served_;
+    return Tensor(shape);
+  }
+
+  /// AllocBackward for backward kernels that assign every element.
+  Tensor AllocBackwardUninit(const Shape& shape) {
+    if (arena_backward()) {
+      ++arena_served_;
+      return arena_->AllocateUninitialized(shape);
+    }
+    ++heap_served_;
+    return Tensor(shape);
+  }
+
+  /// Copies a gradient contribution into backward storage (arena in
+  /// step-arena mode). Used by the accumulation sweep, which needs an owned
+  /// mutable copy of the first contribution per variable.
+  Tensor CloneForBackward(const Tensor& t) {
+    if (arena_backward()) {
+      ++arena_served_;
+      Tensor out = arena_->AllocateUninitialized(t.shape());
+      out.CopyDataFrom(t);
+      return out;
+    }
+    ++heap_served_;
+    return t.Clone();
+  }
+
+  /// Copies a tensor that must outlive the arena generation (leaf
+  /// gradients handed to the optimizer) to a heap buffer, and books it in
+  /// the pin counters.
+  Tensor PinToHeap(const Tensor& t) {
+    ++pin_count_;
+    pin_bytes_ += t.numel() * static_cast<int64_t>(sizeof(float));
+    return t.Clone();
   }
 
   /// Called once per graph node recorded while this context is current.
@@ -145,6 +234,10 @@ class RuntimeContext {
   void MergeChildStats(const RuntimeContext& child) {
     nodes_recorded_ += child.nodes_recorded_;
     saved_bytes_recorded_ += child.saved_bytes_recorded_;
+    arena_served_ += child.arena_served_;
+    heap_served_ += child.heap_served_;
+    pin_count_ += child.pin_count_;
+    pin_bytes_ += child.pin_bytes_;
     for (const auto& [name, p] : child.op_profiles_) {
       OpProfile& mine = op_profiles_[name];
       mine.calls += p.calls;
@@ -158,6 +251,21 @@ class RuntimeContext {
   int64_t nodes_recorded() const { return nodes_recorded_; }
   /// Bytes pinned by SavedTensors of those nodes.
   int64_t saved_bytes_recorded() const { return saved_bytes_recorded_; }
+  /// Result/backward allocations served from the arena.
+  int64_t arena_served() const { return arena_served_; }
+  /// Result/backward allocations that fell back to the heap.
+  int64_t heap_served() const { return heap_served_; }
+  /// Leaf-gradient pins (arena -> heap copies that outlive the step).
+  int64_t pin_count() const { return pin_count_; }
+  /// Bytes copied out by those pins.
+  int64_t pin_bytes() const { return pin_bytes_; }
+  /// Fraction of result/backward allocations served from the arena.
+  double ArenaHitRate() const {
+    const int64_t total = arena_served_ + heap_served_;
+    return total > 0 ? static_cast<double>(arena_served_) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
 
   const std::map<std::string, OpProfile>& op_profiles() const {
     return op_profiles_;
@@ -167,15 +275,24 @@ class RuntimeContext {
   void ResetStats() {
     nodes_recorded_ = 0;
     saved_bytes_recorded_ = 0;
+    arena_served_ = 0;
+    heap_served_ = 0;
+    pin_count_ = 0;
+    pin_bytes_ = 0;
     op_profiles_.clear();
   }
 
  private:
   bool grad_enabled_ = true;
   bool profiling_ = false;
+  bool arena_serves_grad_ = false;
   WorkspaceArena* arena_ = nullptr;
   int64_t nodes_recorded_ = 0;
   int64_t saved_bytes_recorded_ = 0;
+  int64_t arena_served_ = 0;
+  int64_t heap_served_ = 0;
+  int64_t pin_count_ = 0;
+  int64_t pin_bytes_ = 0;
   std::map<std::string, OpProfile> op_profiles_;
 };
 
@@ -217,9 +334,11 @@ class ProfileScope {
 };
 
 /// Renders ctx.op_profiles() as a table (op, calls, total ms, us/call,
-/// output MiB), sorted by total time descending. The sink for the bench
-/// harnesses' --profile flag; prints a placeholder line when profiling
-/// never recorded anything.
+/// output MiB), sorted by total time descending, followed by an allocator
+/// trailer (arena hit rate, heap fallbacks, leaf pins, and — when the ctx
+/// has an arena — its generation and block hit/miss counters). The sink for
+/// the bench harnesses' --profile flag; prints a placeholder line when
+/// profiling never recorded anything.
 void PrintOpProfileTable(const RuntimeContext& ctx, std::ostream& os);
 
 /// True while gradient recording is enabled on the current context.

@@ -1,10 +1,25 @@
 #include "autograd/variable.h"
 
+#include <atomic>
+
 #include "autograd/op.h"
 #include "tensor/tensor_ops.h"
 
 namespace metalora {
 namespace autograd {
+
+namespace {
+// Starts at 1 so 0 can mean "never stamped" in cache entries.
+std::atomic<uint64_t> g_parameter_version{1};
+}  // namespace
+
+uint64_t GlobalParameterVersion() {
+  return g_parameter_version.load(std::memory_order_acquire);
+}
+
+void BumpParameterVersion() {
+  g_parameter_version.fetch_add(1, std::memory_order_acq_rel);
+}
 
 Variable::Variable(Tensor value, bool requires_grad) {
   impl_ = std::make_shared<VariableImpl>();

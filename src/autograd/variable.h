@@ -85,6 +85,19 @@ class Variable {
   std::shared_ptr<VariableImpl> impl_;
 };
 
+/// Monotonic process-wide version of all trainable parameter values.
+/// Optimizers bump it once per Step(); derived-value caches (the MetaLoRA
+/// conditioning cache) stamp entries with the version at insert time and
+/// treat any entry with an older stamp as stale. Coarse by design: one
+/// counter for every parameter means an optimizer step over any module
+/// invalidates all caches, which is exactly the conservative behavior the
+/// bit-identity contract needs.
+uint64_t GlobalParameterVersion();
+
+/// Bumps GlobalParameterVersion(). Called by optimizer Step(); callers that
+/// mutate parameter values by hand (tests, manual loading) should bump too.
+void BumpParameterVersion();
+
 }  // namespace autograd
 }  // namespace metalora
 

@@ -1,0 +1,101 @@
+// Conditioning-keyed cache for MetaLoRA's generated weights.
+//
+// MetaLoRA recomputes the mapping-net seed c/C (paper Eq. 6/7) and the rank
+// contraction on every forward, even when the conditioning features are
+// unchanged — the common case in repeated evaluation sweeps, where the same
+// extracted features drive many adapter forwards. Each adapter instance
+// owns one ConditioningCache keyed on the feature tensor (FNV-1a checksum
+// for the bucket, full byte comparison on hit, so a hash collision can
+// never alias two feature sets) plus a per-adapter salt for isolation.
+//
+// Invalidation: entries are stamped with autograd::GlobalParameterVersion()
+// at insert; optimizers bump that version on every Step(), so any
+// mapping-net or factor update makes every cached entry stale. Stale
+// entries are dropped on lookup.
+//
+// Bit-identity contract: entries store heap Clone()s of tensors the cold
+// path computed, and hits return those exact bytes — a warm forward replays
+// the identical downstream op sequence on identical inputs, so outputs are
+// byte-identical to the cold path.
+//
+// Thread safety: Lookup/Insert/Clear are mutex-protected; cached tensors
+// are immutable after insert, so concurrent ParallelScope branches may read
+// the same entry's tensors without synchronization.
+#ifndef METALORA_CORE_CONDITIONING_CACHE_H_
+#define METALORA_CORE_CONDITIONING_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace core {
+
+/// FNV-1a over the feature bytes, shape, and a per-adapter salt.
+uint64_t ConditioningChecksum(const Tensor& features, uint64_t salt);
+
+/// A fresh process-unique salt; each adapter instance takes one at
+/// construction so identical features never cross adapter boundaries.
+uint64_t NextAdapterCacheSalt();
+
+/// One cached generation: the mapping-net seed (c [N,R] or core C [N,R,R])
+/// and, for TR variants, the contracted per-sample recovery weights that
+/// only depend on (features, factors).
+struct ConditioningEntry {
+  Tensor features;  // heap clone; verified bytewise on lookup
+  Tensor seed;      // heap clone of the generated seed
+  Tensor delta;     // heap clone of the contracted ΔW form; may be undefined
+  uint64_t param_version = 0;
+};
+
+struct ConditioningCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t invalidations = 0;  // entries dropped because a param changed
+};
+
+class ConditioningCache {
+ public:
+  /// `max_entries` bounds memory; on overflow the cache clears wholesale
+  /// (entries are cheap to regenerate and sweeps reuse few distinct keys).
+  explicit ConditioningCache(int64_t max_entries = 64);
+
+  /// True and fills `out` when `key` holds an entry whose features match
+  /// `features` bytewise and whose stamp is the current parameter version.
+  /// Stale entries are erased (counted as invalidation + miss).
+  bool Lookup(uint64_t key, const Tensor& features, ConditioningEntry* out);
+
+  /// Stores heap clones of (features, seed, delta) under `key`, stamped
+  /// with the current parameter version. `delta` may be undefined.
+  void Insert(uint64_t key, const Tensor& features, const Tensor& seed,
+              const Tensor& delta);
+
+  void Clear();
+
+  ConditioningCacheStats stats() const;
+  int64_t size() const;
+
+  /// Seed-only convenience used by the CP adapters: returns the cached seed
+  /// for `features` when valid, otherwise computes it via `compute` and
+  /// inserts. Grad-enabled calls bypass the cache entirely — training must
+  /// differentiate through the mapping net, so a detached cached seed would
+  /// be wrong there.
+  autograd::Variable SeedOrCompute(
+      uint64_t salt, const autograd::Variable& features,
+      const std::function<autograd::Variable()>& compute);
+
+ private:
+  mutable std::mutex mu_;
+  int64_t max_entries_;
+  std::unordered_map<uint64_t, ConditioningEntry> entries_;
+  ConditioningCacheStats stats_;
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_CONDITIONING_CACHE_H_

@@ -24,7 +24,7 @@ Tensor FeatureExtractor::Extract(const Tensor& images) const {
   autograd::RuntimeContext rctx;
   rctx.set_grad_enabled(false);
   rctx.set_arena(&arena_);
-  arena_.Reset();
+  arena_.NextGeneration();
   autograd::RuntimeContextScope scope(&rctx);
   nn::Variable out = forward_(nn::Variable(images, /*requires_grad=*/false));
   ML_CHECK_EQ(out.rank(), 2);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "autograd/variable.h"
 #include "tensor/random_init.h"
 #include "tensor/tensor_ops.h"
 
@@ -45,7 +46,9 @@ Variable MetaLoraCpConv::Forward(const Variable& x) {
       << "MetaLoraCpConv: SetFeatures must be called before Forward";
   ML_CHECK_EQ(features_.dim(0), x.dim(0));
   Variable y = base_->Forward(x);
-  Variable c = mapping_->Forward(features_);  // [N, R]
+  Variable c = cache_.SeedOrCompute(
+      cache_salt_, features_,
+      [&] { return mapping_->Forward(features_); });  // [N, R]
 
   Variable h = autograd::Conv2d(x, lora_a_, Variable(), base_->geom());
   h = autograd::ScaleChannels(h, c);  // per-sample rank scaling (Eq. 6)
@@ -126,20 +129,39 @@ Variable MetaLoraTrConv::Forward(const Variable& x) {
   const int64_t r = options_.rank;
 
   Variable y = base_->Forward(x);
-  Variable core_c = mapping_->Forward(features_);  // [N, r2, r0]
+
+  // Per-sample recovery weights W2[n, o, (r0,r1)] = Σ_{r2} C[n,r2,r0]·B[r1,o,r2]
+  // depend only on (features, core_b): the conditioning cache stores them so
+  // a warm no-grad forward skips the mapping net and this contraction.
+  auto contract_recovery = [&](const Variable& core_c) {
+    Variable c_t = autograd::Permute(core_c, {0, 2, 1});          // [N, r0, r2]
+    Variable c_flat = autograd::Reshape(c_t, Shape{n * r, r});    // [(n,r0), r2]
+    Variable b_mat = autograd::Reshape(
+        autograd::Permute(core_b_, {2, 0, 1}),
+        Shape{r, r * out});                                     // [r2,(r1,o)]
+    Variable t = autograd::Matmul(c_flat, b_mat);               // [(n,r0),(r1,o)]
+    t = autograd::Reshape(t, Shape{n, r, r, out});              // [n,r0,r1,o]
+    Variable w2 = autograd::Permute(t, {0, 3, 1, 2});           // [n,o,r0,r1]
+    return autograd::Reshape(w2, Shape{n, out, r * r});         // q = r0*R + r1
+  };
+
+  Variable w2;  // [N, O, R*R]
+  if (!autograd::GradEnabled()) {
+    const uint64_t key = ConditioningChecksum(features_.value(), cache_salt_);
+    ConditioningEntry e;
+    if (cache_.Lookup(key, features_.value(), &e)) {
+      w2 = Variable(e.delta, /*requires_grad=*/false);
+    } else {
+      Variable core_c = mapping_->Forward(features_);  // [N, r2, r0]
+      w2 = contract_recovery(core_c);
+      cache_.Insert(key, features_.value(), core_c.value(), w2.value());
+    }
+  } else {
+    w2 = contract_recovery(mapping_->Forward(features_));
+  }
 
   // U[n, (r0,r1), h, w]: conv with the first ring core.
   Variable u = autograd::Conv2d(x, core_a_, Variable(), base_->geom());
-
-  // Per-sample recovery weights W2[n, o, (r0,r1)] = Σ_{r2} C[n,r2,r0]·B[r1,o,r2].
-  Variable c_t = autograd::Permute(core_c, {0, 2, 1});          // [N, r0, r2]
-  Variable c_flat = autograd::Reshape(c_t, Shape{n * r, r});    // [(n,r0), r2]
-  Variable b_mat = autograd::Reshape(
-      autograd::Permute(core_b_, {2, 0, 1}), Shape{r, r * out});  // [r2,(r1,o)]
-  Variable t = autograd::Matmul(c_flat, b_mat);                 // [(n,r0),(r1,o)]
-  t = autograd::Reshape(t, Shape{n, r, r, out});                // [n,r0,r1,o]
-  Variable w2 = autograd::Permute(t, {0, 3, 1, 2});             // [n,o,r0,r1]
-  w2 = autograd::Reshape(w2, Shape{n, out, r * r});             // q = r0*R + r1
 
   Variable d = autograd::PerSamplePointwiseConv(u, w2);
   return autograd::Add(y, autograd::Scale(d, scaling_));

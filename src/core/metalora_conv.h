@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "core/adapter_config.h"
+#include "core/conditioning_cache.h"
 #include "core/mapping_net.h"
 #include "nn/conv2d.h"
 
@@ -33,6 +34,9 @@ class MetaLoraCpConv : public Adapter {
 
   MappingNet* mapping_net() { return mapping_; }
 
+  /// Seed cache consulted by no-grad forwards (see conditioning_cache.h).
+  ConditioningCache* conditioning_cache() { return &cache_; }
+
  private:
   nn::Conv2d* base_;
   MappingNet* mapping_;
@@ -40,6 +44,8 @@ class MetaLoraCpConv : public Adapter {
   Variable lora_b_;  // [O, R]
   float scaling_;
   Variable features_;
+  ConditioningCache cache_;
+  uint64_t cache_salt_ = NextAdapterCacheSalt();
 };
 
 class MetaLoraTrConv : public Adapter {
@@ -53,6 +59,9 @@ class MetaLoraTrConv : public Adapter {
 
   MappingNet* mapping_net() { return mapping_; }
 
+  /// Seed + recovery-weight cache consulted by no-grad forwards.
+  ConditioningCache* conditioning_cache() { return &cache_; }
+
  private:
   nn::Conv2d* base_;
   MappingNet* mapping_;
@@ -60,6 +69,8 @@ class MetaLoraTrConv : public Adapter {
   Variable core_b_;  // [R(r1), O, R(r2)]
   float scaling_;
   Variable features_;
+  ConditioningCache cache_;
+  uint64_t cache_salt_ = NextAdapterCacheSalt();
 };
 
 }  // namespace core

@@ -4,6 +4,7 @@
 
 #include "autograd/ops.h"
 #include "autograd/parallel.h"
+#include "autograd/variable.h"
 #include "tensor/matmul.h"
 #include "tensor/random_init.h"
 #include "tensor/tensor_ops.h"
@@ -70,8 +71,10 @@ Variable MetaLoraCpLinear::Forward(const Variable& x) {
   autograd::ParallelScope ps;
   ps.Spawn([&] { return base_->Forward(x); });
   ps.Spawn([&] {
-    Variable c = AlignSeedToRows(mapping_->Forward(features_),
-                                 x.dim(0));                 // [N, R]
+    Variable seed = cache_.SeedOrCompute(
+        cache_salt_, features_,
+        [&] { return mapping_->Forward(features_); });      // [N, R]
+    Variable c = AlignSeedToRows(seed, x.dim(0));
     Variable h = autograd::Linear(x, lora_a_, Variable());  // [N, R]
     h = autograd::Mul(h, c);                                // per-sample Eq. 6
     return autograd::Linear(h, lora_b_, Variable());        // [N, O]
@@ -143,26 +146,51 @@ Variable MetaLoraTrLinear::Forward(const Variable& x) {
 
   // Branch 1: frozen base matmul. Branch 2: mapping-net seed generation
   // plus the TR contraction chain (Eq. 7). Only leaves are shared.
+  //
+  // The chain is ordered so everything that depends only on (features,
+  // factors) — and not on x — contracts into per-feature recovery weights
+  // M[n, (r0,r1), o] = Σ_{r2} C[n,r2,r0]·B[r1,o,r2] first. M is what the
+  // conditioning cache stores: a warm no-grad forward skips the mapping net
+  // and the B-side contraction entirely.
   autograd::ParallelScope ps;
   ps.Spawn([&] { return base_->Forward(x); });
   ps.Spawn([&] {
-    Variable core_c = AlignSeedToRows(mapping_->Forward(features_),
-                                      n);          // [N, R(r2), R(r0)]
+    // Recovery weights from a generated core batch [N_f, R(r2), R(r0)].
+    auto contract_recovery = [&](const Variable& core_c) {
+      const int64_t nf = core_c.dim(0);
+      Variable c_t = autograd::Permute(core_c, {0, 2, 1});  // [N_f, r0, r2]
+      Variable c_flat = autograd::Reshape(c_t, Shape{nf * r, r});
+      Variable b_mat = autograd::Reshape(
+          autograd::Permute(core_b_, {2, 0, 1}), Shape{r, r * out});
+      // Row q = r0*R + r1 matches the bond order of U below.
+      return autograd::Reshape(autograd::Matmul(c_flat, b_mat),
+                               Shape{nf, r * r, out});
+    };
 
-    // U[n, r0, r1] = Σ_i x[n,i] A[r0, i, r1].
+    Variable m;  // [N_f, R*R, O]
+    if (!autograd::GradEnabled()) {
+      const uint64_t key = ConditioningChecksum(features_.value(), cache_salt_);
+      ConditioningEntry e;
+      if (cache_.Lookup(key, features_.value(), &e)) {
+        m = Variable(e.delta, /*requires_grad=*/false);
+      } else {
+        Variable core_c = mapping_->Forward(features_);
+        m = contract_recovery(core_c);
+        cache_.Insert(key, features_.value(), core_c.value(), m.value());
+      }
+    } else {
+      m = contract_recovery(mapping_->Forward(features_));
+    }
+
+    // U[n, r0, r1] = Σ_i x[n,i] A[r0, i, r1], flattened to q = r0*R + r1.
     Variable a_mat = autograd::Reshape(
         autograd::Permute(core_a_, {1, 0, 2}), Shape{in, r * r});
-    Variable u = autograd::Reshape(autograd::Matmul(x, a_mat), Shape{n, r, r});
+    Variable u = autograd::Reshape(autograd::Matmul(x, a_mat),
+                                   Shape{n, 1, r * r});
 
-    // V[n, r1, r2] = Σ_{r0} U[n, r0, r1] C[n, r2, r0].
-    Variable u_t = autograd::Permute(u, {0, 2, 1});       // [N, r1, r0]
-    Variable c_t = autograd::Permute(core_c, {0, 2, 1});  // [N, r0, r2]
-    Variable v = autograd::BatchedMatmul(u_t, c_t);       // [N, r1, r2]
-
-    // d[n, o] = Σ_{r1, r2} V[n, r1, r2] B[r1, o, r2].
-    Variable b_mat = autograd::Reshape(
-        autograd::Permute(core_b_, {0, 2, 1}), Shape{r * r, out});
-    return autograd::Matmul(autograd::Reshape(v, Shape{n, r * r}), b_mat);
+    // d[n, o] = Σ_q U[n, q] M[n, q, o].
+    Variable d = autograd::BatchedMatmul(u, AlignSeedToRows(m, n));
+    return autograd::Reshape(d, Shape{n, out});
   });
   std::vector<Variable> branch = ps.Join();
   return autograd::Add(branch[0], autograd::Scale(branch[1], scaling_));

@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "core/adapter_config.h"
+#include "core/conditioning_cache.h"
 #include "core/mapping_net.h"
 #include "nn/linear.h"
 
@@ -36,6 +37,9 @@ class MetaLoraCpLinear : public Adapter {
 
   MappingNet* mapping_net() { return mapping_; }
 
+  /// Seed cache consulted by no-grad forwards (see conditioning_cache.h).
+  ConditioningCache* conditioning_cache() { return &cache_; }
+
  private:
   nn::Linear* base_;
   MappingNet* mapping_;
@@ -43,6 +47,8 @@ class MetaLoraCpLinear : public Adapter {
   Variable lora_b_;  // [O, R] (paper's B^{R×O} transposed)
   float scaling_;
   Variable features_;
+  ConditioningCache cache_;
+  uint64_t cache_salt_ = NextAdapterCacheSalt();
 };
 
 class MetaLoraTrLinear : public Adapter {
@@ -61,6 +67,9 @@ class MetaLoraTrLinear : public Adapter {
 
   MappingNet* mapping_net() { return mapping_; }
 
+  /// Seed + recovery-weight cache consulted by no-grad forwards.
+  ConditioningCache* conditioning_cache() { return &cache_; }
+
  private:
   nn::Linear* base_;
   MappingNet* mapping_;
@@ -68,6 +77,8 @@ class MetaLoraTrLinear : public Adapter {
   Variable core_b_;  // [R, O, R]
   float scaling_;
   Variable features_;
+  ConditioningCache cache_;
+  uint64_t cache_salt_ = NextAdapterCacheSalt();
 };
 
 }  // namespace core

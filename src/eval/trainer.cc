@@ -1,9 +1,11 @@
 #include "eval/trainer.h"
 
 #include <cstring>
+#include <optional>
 
 #include "autograd/graph.h"
 #include "autograd/ops.h"
+#include "autograd/runtime_context.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "eval/metrics.h"
@@ -97,6 +99,23 @@ Result<TrainStats> RunTraining(Backbone& backbone,
 
   data::DataLoader loader(train, options.batch_size, /*shuffle=*/true,
                           options.seed);
+
+  // Step-scoped arena: one batch's whole graph — forward intermediates,
+  // saved tensors, backward scratch — lives in generation-tagged blocks
+  // reclaimed wholesale by NextGeneration() at the next batch boundary.
+  // Everything the loop reads after the step either lives on the heap
+  // already (loss/logits are read before the bump) or is pinned there by
+  // Backward (leaf gradients, for the optimizer).
+  autograd::WorkspaceArena step_arena;
+  autograd::RuntimeContext arena_ctx;
+  std::optional<autograd::RuntimeContextScope> arena_scope;
+  if (options.step_arena) {
+    arena_ctx.set_profiling(autograd::RuntimeContext::Current().profiling());
+    arena_ctx.set_arena(&step_arena);
+    arena_ctx.set_arena_serves_grad(true);
+    arena_scope.emplace(&arena_ctx);
+  }
+
   TrainStats stats;
   Timer timer;
   double last_acc = 0.0;
@@ -104,6 +123,7 @@ Result<TrainStats> RunTraining(Backbone& backbone,
     double loss_acc = 0.0;
     int64_t seen = 0, correct = 0;
     for (int64_t b = 0; b < loader.num_batches(); ++b) {
+      if (options.step_arena) step_arena.NextGeneration();
       data::Batch batch = loader.GetBatch(b);
       nn::Variable x(batch.images, /*requires_grad=*/false);
 
@@ -155,6 +175,11 @@ Result<TrainStats> RunTraining(Backbone& backbone,
   }
   stats.final_train_accuracy = last_acc;
   stats.seconds = timer.Seconds();
+  if (options.step_arena) {
+    stats.arena_hit_rate = arena_ctx.ArenaHitRate();
+    stats.arena_pin_count = arena_ctx.pin_count();
+    stats.arena_peak_bytes = step_arena.peak_bytes();
+  }
   return stats;
 }
 
@@ -194,7 +219,7 @@ Tensor ExtractDatasetFeatures(Backbone& backbone,
 
   int64_t row = 0;
   for (int64_t b = 0; b < loader.num_batches(); ++b) {
-    arena.Reset();
+    arena.NextGeneration();
     data::Batch batch = loader.GetBatch(b);
     if (ctx != nullptr) {
       if (ctx->extractor != nullptr) {

@@ -50,6 +50,11 @@ struct TrainOptions {
   double clip_norm = 5.0;  // <= 0 disables
   uint64_t seed = 11;
   bool verbose = false;
+  /// Serve each step's whole graph — forward intermediates, saved tensors,
+  /// backward scratch — from a generation-tagged arena bumped once per
+  /// batch. Leaf gradients are pinned to the heap for the optimizer.
+  /// Numerically identical to heap allocation; off only for A/B benches.
+  bool step_arena = true;
 };
 
 struct TrainStats {
@@ -60,6 +65,10 @@ struct TrainStats {
   /// batch): node count per op, bytes pinned for backward. Verbose runs log
   /// it; benches report it.
   autograd::GraphStats graph;
+  /// Step-arena telemetry (zeros when options.step_arena is false).
+  double arena_hit_rate = 0.0;
+  int64_t arena_pin_count = 0;
+  int64_t arena_peak_bytes = 0;
 };
 
 /// Supervised pre-training of all backbone parameters with Adam +

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "autograd/variable.h"
 #include "tensor/tensor_ops.h"
 
 namespace metalora {
@@ -13,6 +14,8 @@ Adam::Adam(std::vector<Variable> params, const AdamOptions& options)
 }
 
 void Adam::Step() {
+  // Parameter values change below: invalidate conditioning-keyed caches.
+  autograd::BumpParameterVersion();
   ++t_;
   const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));

@@ -1,5 +1,6 @@
 #include "optim/sgd.h"
 
+#include "autograd/variable.h"
 #include "tensor/tensor_ops.h"
 
 namespace metalora {
@@ -11,6 +12,8 @@ Sgd::Sgd(std::vector<Variable> params, const SgdOptions& options)
 }
 
 void Sgd::Step() {
+  // Parameter values change below: invalidate conditioning-keyed caches.
+  autograd::BumpParameterVersion();
   for (auto& p : params_) {
     if (!p.grad().defined()) continue;
     Tensor grad = p.grad();

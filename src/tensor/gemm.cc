@@ -1,8 +1,12 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <mutex>
 #include <vector>
 
 #if defined(__AVX2__) && defined(__FMA__)
@@ -279,26 +283,28 @@ void GemvPath(const float* a, bool trans_a, const float* x, float* y,
   });
 }
 
-}  // namespace
+// Tile publication: readers acquire-load a pointer to an immutable triple,
+// so the sweep can swap in its winner while other threads are mid-GEMM
+// without a data race. Until the sweep runs, everyone sees the defaults.
+constexpr GemmTiles kDefaultTiles{};
+std::atomic<const GemmTiles*> g_tiles{&kDefaultTiles};
+std::atomic<bool> g_autotuned{false};
+std::once_flag g_autotune_once;
 
-void GemmPacked(const float* a, bool trans_a, const float* b, bool trans_b,
-                float* c, int64_t n, int64_t k, int64_t m, bool accumulate) {
-  ML_DCHECK(n >= 0 && k >= 0 && m >= 0);
-  if (n == 0 || m == 0) return;
-  if (k == 0) {
-    if (!accumulate) std::fill(c, c + n * m, 0.0f);
-    return;
-  }
-  if (m == 1) {
-    GemvPath(a, trans_a, b, c, n, k, accumulate);
-    return;
-  }
+// First GEMM at or above this flop count (2·n·k·m) triggers the sweep:
+// roughly a 204³ product. Unit-test and sanitizer workloads stay below it.
+constexpr double kAutotuneFlopThreshold = 1.7e7;
 
-  for (int64_t jc = 0; jc < m; jc += kGemmNC) {
-    const int64_t nc = std::min(kGemmNC, m - jc);
+// One blocked GEMM with an explicit tile triple; GemmPacked and the
+// autotune sweep both land here.
+void GemmPackedTiled(const float* a, bool trans_a, const float* b,
+                     bool trans_b, float* c, int64_t n, int64_t k, int64_t m,
+                     bool accumulate, const GemmTiles& tiles) {
+  for (int64_t jc = 0; jc < m; jc += tiles.nc) {
+    const int64_t nc = std::min(tiles.nc, m - jc);
     const int64_t b_panels = (nc + kGemmNR - 1) / kGemmNR;
-    for (int64_t pc = 0; pc < k; pc += kGemmKC) {
-      const int64_t kc = std::min(kGemmKC, k - pc);
+    for (int64_t pc = 0; pc < k; pc += tiles.kc) {
+      const int64_t kc = std::min(tiles.kc, k - pc);
       // Panels after the first accumulate onto the partial sums already
       // stored in C; storing and reloading float32 is exact, so the
       // per-element accumulation chain stays p = 0..k-1 in order.
@@ -306,12 +312,13 @@ void GemmPacked(const float* a, bool trans_a, const float* b, bool trans_b,
       tls_pack_b.resize(static_cast<size_t>(b_panels * kc * kGemmNR));
       PackB(b, trans_b, k, m, pc, kc, jc, nc, tls_pack_b.data());
       const float* bp = tls_pack_b.data();
+      const int64_t tile_mc = tiles.mc;
 
-      ParallelFor(0, n, kGemmMC, [=](int64_t i_lo, int64_t i_hi) {
+      ParallelFor(0, n, tile_mc, [=](int64_t i_lo, int64_t i_hi) {
         // Worker-local A scratch: re-resolve the TLS inside the task.
         std::vector<float>& abuf = tls_pack_a;
-        for (int64_t ic = i_lo; ic < i_hi; ic += kGemmMC) {
-          const int64_t mc = std::min(kGemmMC, i_hi - ic);
+        for (int64_t ic = i_lo; ic < i_hi; ic += tile_mc) {
+          const int64_t mc = std::min(tile_mc, i_hi - ic);
           const int64_t a_panels = (mc + kGemmMR - 1) / kGemmMR;
           abuf.resize(static_cast<size_t>(a_panels * kc * kGemmMR));
           PackA(a, trans_a, n, k, ic, mc, pc, kc, abuf.data());
@@ -329,6 +336,87 @@ void GemmPacked(const float* a, bool trans_a, const float* b, bool trans_b,
       });
     }
   }
+}
+
+// Candidate triples for the sweep: the compile-time default plus variants
+// that shift the L2/L3 balance (shallower/deeper k panels, narrower/wider
+// row and column blocks). MC stays a multiple of kGemmMR and NC of kGemmNR
+// so panel math never changes shape, only extent.
+constexpr GemmTiles kTileCandidates[] = {
+    {96, 256, 1024}, {48, 256, 2048}, {192, 256, 512},
+    {96, 512, 1024}, {144, 128, 2048},
+};
+
+// Times each candidate on one 256³ product (one warm-up + two timed reps,
+// best rep wins) and publishes the fastest triple. ~500 MFLOP total: tens
+// of milliseconds, paid once per process and only by workloads that run
+// GEMMs large enough for tiling to matter.
+void RunAutotuneSweep() {
+  constexpr int64_t kDim = 256;
+  std::vector<float> a(static_cast<size_t>(kDim * kDim));
+  std::vector<float> b(a.size());
+  std::vector<float> c(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>((i % 13) - 6) * 0.25f;
+    b[i] = static_cast<float>((i % 7) - 3) * 0.5f;
+  }
+  const GemmTiles* best = &kDefaultTiles;
+  double best_nanos = std::numeric_limits<double>::infinity();
+  for (const GemmTiles& t : kTileCandidates) {
+    double fastest = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      GemmPackedTiled(a.data(), false, b.data(), false, c.data(), kDim, kDim,
+                      kDim, /*accumulate=*/false, t);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns =
+          std::chrono::duration<double, std::nano>(t1 - t0).count();
+      if (rep > 0) fastest = std::min(fastest, ns);
+    }
+    if (fastest < best_nanos) {
+      best_nanos = fastest;
+      best = &t;
+    }
+  }
+  g_tiles.store(best, std::memory_order_release);
+  g_autotuned.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
+GemmTiles CurrentGemmTiles() {
+  return *g_tiles.load(std::memory_order_acquire);
+}
+
+GemmTiles AutotuneGemmTiles() {
+  std::call_once(g_autotune_once, RunAutotuneSweep);
+  return CurrentGemmTiles();
+}
+
+bool GemmTilesAutotuned() {
+  return g_autotuned.load(std::memory_order_acquire);
+}
+
+void GemmPacked(const float* a, bool trans_a, const float* b, bool trans_b,
+                float* c, int64_t n, int64_t k, int64_t m, bool accumulate) {
+  ML_DCHECK(n >= 0 && k >= 0 && m >= 0);
+  if (n == 0 || m == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::fill(c, c + n * m, 0.0f);
+    return;
+  }
+  if (m == 1) {
+    GemvPath(a, trans_a, b, c, n, k, accumulate);
+    return;
+  }
+  if (!g_autotuned.load(std::memory_order_acquire) &&
+      2.0 * static_cast<double>(n) * static_cast<double>(k) *
+              static_cast<double>(m) >=
+          kAutotuneFlopThreshold) {
+    AutotuneGemmTiles();
+  }
+  GemmPackedTiled(a, trans_a, b, trans_b, c, n, k, m, accumulate,
+                  *g_tiles.load(std::memory_order_acquire));
 }
 
 void GemmReference(const float* a, bool trans_a, const float* b, bool trans_b,

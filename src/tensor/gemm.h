@@ -43,6 +43,29 @@ inline constexpr int64_t kGemmKC = 256;
 /// Column cache block: m-extent of one packed B panel.
 inline constexpr int64_t kGemmNC = 1024;
 
+/// A cache-block triple for the packed engine. MR/NR are fixed by the
+/// micro-kernel's register tile; MC/KC/NC only change the panel walk order,
+/// not the per-element accumulation chain, so every triple produces
+/// bit-identical output (see the determinism contract above).
+struct GemmTiles {
+  int64_t mc = kGemmMC;
+  int64_t kc = kGemmKC;
+  int64_t nc = kGemmNC;
+};
+
+/// The triple GemmPacked currently runs with: the compile-time default
+/// until the autotune sweep has published a winner.
+GemmTiles CurrentGemmTiles();
+
+/// Runs the candidate sweep now if it has not run yet (idempotent,
+/// thread-safe) and returns the winning triple. GemmPacked triggers this
+/// lazily on its first call large enough that tiling matters, so small-
+/// matrix workloads (unit tests, sanitizer jobs) never pay for the sweep.
+GemmTiles AutotuneGemmTiles();
+
+/// True once the sweep has run and its winner is in effect.
+bool GemmTilesAutotuned();
+
 /// C[n,m] (+)= op(A) · op(B) through the packed engine. With
 /// `accumulate` the product is added to the existing contents of C;
 /// without it C is overwritten (C may be uninitialized). Parallelizes

@@ -32,17 +32,22 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
-Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
-  // C[n,m] = sum_p A[p,n] * B[p,m].
+void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  // C[n,m] = sum_p A[p,n] * B[p,m]. Overwrites `out`.
   ML_CHECK_EQ(a.rank(), 2);
   ML_CHECK_EQ(b.rank(), 2);
   ML_CHECK_EQ(a.dim(0), b.dim(0))
       << "MatmulTransA: " << a.shape().ToString() << " x "
       << b.shape().ToString();
   const int64_t k = a.dim(0), n = a.dim(1), m = b.dim(1);
-  Tensor out{Shape{n, m}};
-  GemmPacked(a.data(), /*trans_a=*/true, b.data(), false, out.data(), n, k, m,
-             /*accumulate=*/false);
+  ML_CHECK((out->shape() == Shape{n, m}));
+  GemmPacked(a.data(), /*trans_a=*/true, b.data(), false, out->data(), n, k,
+             m, /*accumulate=*/false);
+}
+
+Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
+  Tensor out{Shape{a.dim(1), b.dim(1)}};
+  MatmulTransAInto(a, b, &out);
   return out;
 }
 

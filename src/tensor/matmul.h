@@ -26,8 +26,10 @@ Tensor MatVec(const Tensor& a, const Tensor& x);
 
 /// Out-parameter variants writing into a caller-provided [n, m] tensor
 /// (workspace-arena fast path; no allocation). MatmulInto accumulates and
-/// requires `out` pre-zeroed; MatmulTransBInto overwrites.
+/// requires `out` pre-zeroed; MatmulTransAInto and MatmulTransBInto
+/// overwrite.
 void MatmulInto(const Tensor& a, const Tensor& b, Tensor* out);
+void MatmulTransAInto(const Tensor& a, const Tensor& b, Tensor* out);
 void MatmulTransBInto(const Tensor& a, const Tensor& b, Tensor* out);
 
 /// Raw kernel: C[n,m] += A[n,k] · B[k,m], all row-major contiguous.

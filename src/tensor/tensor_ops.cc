@@ -205,7 +205,7 @@ double Norm2(const Tensor& a) {
   return std::sqrt(acc);
 }
 
-Tensor SumAxis(const Tensor& a, int axis) {
+void SumAxisInto(const Tensor& a, int axis, Tensor* out) {
   int r = a.rank();
   if (axis < 0) axis += r;
   ML_CHECK(axis >= 0 && axis < r) << "SumAxis: bad axis";
@@ -214,13 +214,9 @@ Tensor SumAxis(const Tensor& a, int axis) {
   for (int i = 0; i < axis; ++i) outer *= a.dim(i);
   const int64_t mid = a.dim(axis);
   for (int i = axis + 1; i < r; ++i) inner *= a.dim(i);
-
-  std::vector<int64_t> out_dims;
-  for (int i = 0; i < r; ++i)
-    if (i != axis) out_dims.push_back(a.dim(i));
-  Tensor out{Shape(out_dims)};
+  ML_CHECK_EQ(out->numel(), outer * inner);
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   for (int64_t o = 0; o < outer; ++o) {
     for (int64_t in = 0; in < inner; ++in) {
       double acc = 0;
@@ -228,6 +224,17 @@ Tensor SumAxis(const Tensor& a, int axis) {
       po[o * inner + in] = static_cast<float>(acc);
     }
   }
+}
+
+Tensor SumAxis(const Tensor& a, int axis) {
+  int r = a.rank();
+  int ax = axis < 0 ? axis + r : axis;
+  ML_CHECK(ax >= 0 && ax < r) << "SumAxis: bad axis";
+  std::vector<int64_t> out_dims;
+  for (int i = 0; i < r; ++i)
+    if (i != ax) out_dims.push_back(a.dim(i));
+  Tensor out{Shape(out_dims)};
+  SumAxisInto(a, ax, &out);
   return out;
 }
 
@@ -266,7 +273,7 @@ Tensor Transpose2D(const Tensor& a) {
   return out;
 }
 
-Tensor Permute(const Tensor& a, const std::vector<int>& perm) {
+void PermuteInto(const Tensor& a, const std::vector<int>& perm, Tensor* out) {
   const int r = a.rank();
   ML_CHECK_EQ(static_cast<int>(perm.size()), r);
   std::vector<bool> seen(static_cast<size_t>(r), false);
@@ -278,12 +285,11 @@ Tensor Permute(const Tensor& a, const std::vector<int>& perm) {
     seen[static_cast<size_t>(p)] = true;
     out_dims[static_cast<size_t>(i)] = a.dim(p);
   }
-  Tensor out{Shape(out_dims)};
+  ML_CHECK((out->shape() == Shape(out_dims)));
   auto in_strides = a.shape().Strides();
-  auto out_strides = out.shape().Strides();
 
   const float* pa = a.data();
-  float* po = out.data();
+  float* po = out->data();
   const int64_t n = a.numel();
   std::vector<int64_t> idx(static_cast<size_t>(r), 0);
   for (int64_t flat = 0; flat < n; ++flat) {
@@ -300,6 +306,17 @@ Tensor Permute(const Tensor& a, const std::vector<int>& perm) {
       idx[static_cast<size_t>(i)] = 0;
     }
   }
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int>& perm) {
+  const int r = a.rank();
+  ML_CHECK_EQ(static_cast<int>(perm.size()), r);
+  std::vector<int64_t> out_dims(static_cast<size_t>(r));
+  for (int i = 0; i < r; ++i) {
+    out_dims[static_cast<size_t>(i)] = a.dim(perm[static_cast<size_t>(i)]);
+  }
+  Tensor out{Shape(out_dims)};
+  PermuteInto(a, perm, &out);
   return out;
 }
 

@@ -59,6 +59,8 @@ void MapInto(const Tensor& a, const std::function<float(float)>& f,
              Tensor* out);
 void ZipInto(const Tensor& a, const Tensor& b,
              const std::function<float(float, float)>& f, Tensor* out);
+void SumAxisInto(const Tensor& a, int axis, Tensor* out);
+void PermuteInto(const Tensor& a, const std::vector<int>& perm, Tensor* out);
 
 // ---------------------------------------------------------------------------
 // Reductions.

@@ -1,0 +1,243 @@
+// Conditioning-keyed ΔW/seed cache: repeated no-grad forwards with the same
+// features must hit the cache and return byte-identical outputs; any
+// optimizer step must invalidate; adapters must never share entries; and
+// training-mode forwards must bypass the cache entirely.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "autograd/graph.h"
+#include "autograd/ops.h"
+#include "autograd/parallel.h"
+#include "autograd/runtime_context.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/conditioning_cache.h"
+#include "core/metalora_conv.h"
+#include "core/metalora_linear.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "optim/adam.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace core {
+namespace {
+
+constexpr int64_t kFeatDim = 10;
+
+AdapterOptions MetaOpts(AdapterKind kind, int64_t rank = 3) {
+  AdapterOptions o;
+  o.kind = kind;
+  o.rank = rank;
+  o.alpha = static_cast<float>(rank);
+  o.feature_dim = kFeatDim;
+  o.mapping_hidden = 8;
+  o.seed = 11;
+  return o;
+}
+
+std::unique_ptr<nn::Linear> BaseLinear(int64_t in = 5, int64_t out = 4) {
+  Rng rng(2);
+  return std::make_unique<nn::Linear>(in, out, true, rng);
+}
+
+std::unique_ptr<nn::Conv2d> BaseConv() {
+  Rng rng(2);
+  return std::make_unique<nn::Conv2d>(2, 4, 3, 1, 1, false, rng);
+}
+
+void RandomizeFactors(nn::Module& m, uint64_t seed) {
+  Rng rng(seed);
+  for (auto& np : m.NamedParameters()) {
+    if (np.name == "lora_b" || np.name == "core_b") {
+      FillNormal(np.variable->mutable_value(), rng, 0.0f, 0.5f);
+    }
+  }
+}
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.numel())),
+            0);
+}
+
+Variable RandFeatures(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return Variable(RandomUniform(Shape{n, kFeatDim}, rng, -1.0f, 1.0f), false);
+}
+
+// Runs `adapter` twice on the same (features, x) in no-grad mode and
+// checks hit/miss accounting plus warm/cold bit-identity.
+template <typename AdapterT>
+void ExpectWarmHitBitIdentical(AdapterT& adapter, const Variable& x) {
+  adapter.SetFeatures(RandFeatures(x.dim(0), 21));
+  autograd::NoGradGuard ng;
+  Variable y1 = adapter.Forward(x);
+  ConditioningCacheStats s1 = adapter.conditioning_cache()->stats();
+  EXPECT_EQ(s1.misses, 1);
+  EXPECT_EQ(s1.hits, 0);
+
+  Variable y2 = adapter.Forward(x);
+  ConditioningCacheStats s2 = adapter.conditioning_cache()->stats();
+  EXPECT_EQ(s2.misses, 1);
+  EXPECT_EQ(s2.hits, 1);
+  ExpectBitIdentical(y1.value(), y2.value());
+
+  // A cleared cache recomputes from scratch; the cold recomputation must
+  // reproduce the warm bytes (the bit-identity contract).
+  adapter.conditioning_cache()->Clear();
+  Variable y3 = adapter.Forward(x);
+  ExpectBitIdentical(y1.value(), y3.value());
+}
+
+TEST(MetaLoraCache, CpLinearWarmHitBitIdentical) {
+  MetaLoraCpLinear adapter(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 5);
+  Rng rng(31);
+  Variable x(RandomUniform(Shape{6, 5}, rng, -1.0f, 1.0f), false);
+  ExpectWarmHitBitIdentical(adapter, x);
+}
+
+TEST(MetaLoraCache, TrLinearWarmHitBitIdentical) {
+  MetaLoraTrLinear adapter(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraTr));
+  RandomizeFactors(adapter, 6);
+  Rng rng(32);
+  Variable x(RandomUniform(Shape{6, 5}, rng, -1.0f, 1.0f), false);
+  ExpectWarmHitBitIdentical(adapter, x);
+}
+
+TEST(MetaLoraCache, CpConvWarmHitBitIdentical) {
+  MetaLoraCpConv adapter(BaseConv(), MetaOpts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 7);
+  Rng rng(33);
+  Variable x(RandomUniform(Shape{3, 2, 5, 5}, rng, -1.0f, 1.0f), false);
+  ExpectWarmHitBitIdentical(adapter, x);
+}
+
+TEST(MetaLoraCache, TrConvWarmHitBitIdentical) {
+  MetaLoraTrConv adapter(BaseConv(), MetaOpts(AdapterKind::kMetaLoraTr));
+  RandomizeFactors(adapter, 8);
+  Rng rng(34);
+  Variable x(RandomUniform(Shape{3, 2, 5, 5}, rng, -1.0f, 1.0f), false);
+  ExpectWarmHitBitIdentical(adapter, x);
+}
+
+TEST(MetaLoraCache, TrLinearSeedRepetitionAligns) {
+  // Token-wise layers see x with more rows than the feature batch; the
+  // cached recovery weights must align the same way the cold path does.
+  MetaLoraTrLinear adapter(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraTr));
+  RandomizeFactors(adapter, 9);
+  adapter.SetFeatures(RandFeatures(2, 22));
+  Rng rng(35);
+  Variable x(RandomUniform(Shape{6, 5}, rng, -1.0f, 1.0f), false);  // 3 tokens
+  autograd::NoGradGuard ng;
+  Variable y1 = adapter.Forward(x);
+  Variable y2 = adapter.Forward(x);
+  EXPECT_EQ(adapter.conditioning_cache()->stats().hits, 1);
+  ExpectBitIdentical(y1.value(), y2.value());
+}
+
+TEST(MetaLoraCache, OptimizerStepInvalidates) {
+  MetaLoraCpLinear adapter(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 10);
+  adapter.SetFeatures(RandFeatures(6, 23));
+  Rng rng(36);
+  Variable x(RandomUniform(Shape{6, 5}, rng, -1.0f, 1.0f), false);
+
+  {
+    autograd::NoGradGuard ng;
+    adapter.Forward(x);  // miss + insert
+  }
+
+  // Training-mode forward/backward: must bypass the cache (no new lookups)
+  // while producing gradients for a real optimizer step.
+  Variable loss = autograd::SumAll(adapter.Forward(x));
+  ConditioningCacheStats mid = adapter.conditioning_cache()->stats();
+  EXPECT_EQ(mid.misses, 1);
+  EXPECT_EQ(mid.hits, 0);
+  adapter.ZeroGrad();
+  ASSERT_TRUE(autograd::Backward(loss).ok());
+
+  std::vector<Variable> params;
+  for (Variable* p : adapter.TrainableParameters()) params.push_back(*p);
+  optim::AdamOptions opts;
+  opts.lr = 1e-2;
+  optim::Adam adam(params, opts);
+  adam.Step();  // bumps the global parameter version
+
+  {
+    autograd::NoGradGuard ng;
+    adapter.Forward(x);  // stale entry dropped -> invalidation + miss
+    adapter.Forward(x);  // fresh entry -> hit
+  }
+  ConditioningCacheStats s = adapter.conditioning_cache()->stats();
+  EXPECT_EQ(s.invalidations, 1);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.hits, 1);
+}
+
+TEST(MetaLoraCache, PerAdapterIsolation) {
+  // Two identically-configured adapters see the same features: each must
+  // fill and consult only its own cache.
+  MetaLoraCpLinear a1(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraCp));
+  MetaLoraCpLinear a2(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(a1, 11);
+  RandomizeFactors(a2, 12);
+  Variable feats = RandFeatures(4, 24);
+  a1.SetFeatures(feats);
+  a2.SetFeatures(feats);
+  Rng rng(37);
+  Variable x(RandomUniform(Shape{4, 5}, rng, -1.0f, 1.0f), false);
+
+  autograd::NoGradGuard ng;
+  a1.Forward(x);
+  a2.Forward(x);
+  EXPECT_EQ(a1.conditioning_cache()->stats().misses, 1);
+  EXPECT_EQ(a1.conditioning_cache()->stats().hits, 0);
+  EXPECT_EQ(a2.conditioning_cache()->stats().misses, 1);
+  EXPECT_EQ(a2.conditioning_cache()->stats().hits, 0);
+}
+
+TEST(MetaLoraCache, ChecksumSaltSeparatesIdenticalFeatures) {
+  Rng rng(38);
+  Tensor f = RandomUniform(Shape{2, kFeatDim}, rng, -1.0f, 1.0f);
+  EXPECT_NE(ConditioningChecksum(f, 1), ConditioningChecksum(f, 2));
+  EXPECT_EQ(ConditioningChecksum(f, 1), ConditioningChecksum(f, 1));
+}
+
+TEST(MetaLoraCache, WarmHitsUnderParallelDispatch) {
+  // The CP/TR linear adapters consult the cache from inside a ParallelScope
+  // branch; run the warm path with real worker threads so TSan sees the
+  // lock-protected lookup racing the base-branch work.
+  ThreadPool pool(3);
+  autograd::SetParallelDispatchPool(&pool);
+  autograd::SetParallelDispatchEnabled(true);
+
+  MetaLoraTrLinear adapter(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraTr));
+  RandomizeFactors(adapter, 13);
+  adapter.SetFeatures(RandFeatures(6, 25));
+  Rng rng(39);
+  Variable x(RandomUniform(Shape{6, 5}, rng, -1.0f, 1.0f), false);
+
+  Variable first;
+  {
+    autograd::NoGradGuard ng;
+    first = adapter.Forward(x);
+    for (int i = 0; i < 8; ++i) {
+      Variable y = adapter.Forward(x);
+      ExpectBitIdentical(first.value(), y.value());
+    }
+  }
+  EXPECT_EQ(adapter.conditioning_cache()->stats().hits, 8);
+
+  autograd::SetParallelDispatchEnabled(false);
+  autograd::SetParallelDispatchPool(nullptr);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace metalora
