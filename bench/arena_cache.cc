@@ -135,6 +135,7 @@ struct EvalResult {
   Tensor output;
   int64_t hits = 0;
   int64_t misses = 0;
+  int64_t evictions = 0;
 };
 
 EvalResult RunEvalMode(core::MetaLoraCpLinear& adapter,
@@ -156,6 +157,7 @@ EvalResult RunEvalMode(core::MetaLoraCpLinear& adapter,
   core::ConditioningCacheStats s = adapter.conditioning_cache()->stats();
   res.hits = s.hits;
   res.misses = s.misses;
+  res.evictions = s.evictions;
   return res;
 }
 
@@ -270,7 +272,13 @@ int main() {
        << ", \"warm_us_per_forward\": " << warmr.us_per_forward
        << ", \"speedup\": " << cache_speedup
        << ", \"warm_hits\": " << warmr.hits
-       << ", \"cold_misses\": " << cold.misses << "},\n"
+       << ", \"cold_misses\": " << cold.misses
+       << ", \"warm_hit_rate\": "
+       << (warmr.hits + warmr.misses > 0
+               ? static_cast<double>(warmr.hits) /
+                     static_cast<double>(warmr.hits + warmr.misses)
+               : 0.0)
+       << ", \"evictions\": " << warmr.evictions << "},\n"
        << "  \"ok\": " << (ok ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote BENCH_arena_cache.json\n";

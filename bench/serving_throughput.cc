@@ -1,0 +1,373 @@
+// AdapterServer throughput: batched micro-batching vs one-at-a-time
+// serving, and warm result-cache vs cold, under simulated client load.
+//
+// Scenario: a mapping-dominated MetaLoRA-CP linear adapter (conditioning
+// net 256 -> 512 -> R dwarfs the 64x64 base layer) served in-process.
+// N client threads each submit a stream of single-row requests and block
+// on the returned futures. Two serving modes:
+//
+//   serial  — max_batch_size=1: every request runs its own forward
+//             (one-at-a-time baseline; the queue plumbing is identical).
+//   batched — max_batch_size=8: the micro-batcher coalesces concurrent
+//             requests into one forward over the concatenated rows.
+//
+// Contracts asserted here, not just reported:
+//   1. Bit-identity (always, including --smoke): every served output is
+//      byte-identical to a one-at-a-time no-grad forward on a twin adapter.
+//   2. Throughput (skipped under --smoke so weak CI runners don't flake):
+//      batched >= 2x serial at 8 clients, and a warm result cache >= 2x
+//      a cold one at 8 clients.
+//
+// Writes BENCH_serving.json (throughput + p50/p99 latency per client
+// count, batch-size distribution, cache hit rates and evictions); exits
+// nonzero if any contract fails.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "autograd/runtime_context.h"
+#include "autograd/variable.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/metalora_linear.h"
+#include "nn/linear.h"
+#include "serve/adapter_server.h"
+#include "tensor/random_init.h"
+
+using namespace metalora;  // NOLINT
+
+namespace {
+
+constexpr int64_t kFeatureDim = 256;
+constexpr int64_t kMappingHidden = 512;
+constexpr int64_t kBaseDim = 64;
+
+std::unique_ptr<core::MetaLoraCpLinear> BuildAdapter() {
+  core::AdapterOptions mopts;
+  mopts.kind = core::AdapterKind::kMetaLoraCp;
+  mopts.rank = 8;
+  mopts.alpha = 8.0f;
+  mopts.feature_dim = kFeatureDim;
+  mopts.mapping_hidden = kMappingHidden;
+  mopts.seed = 29;
+  Rng brng(5);
+  auto adapter = std::make_unique<core::MetaLoraCpLinear>(
+      std::make_unique<nn::Linear>(kBaseDim, kBaseDim, /*bias=*/true, brng),
+      mopts);
+  for (auto& np : adapter->NamedParameters()) {
+    if (np.name == "lora_b") {
+      FillNormal(np.variable->mutable_value(), brng, 0.0f, 0.05f);
+    }
+  }
+  return adapter;
+}
+
+/// Deterministic request stream: request r maps to a unique (features, x)
+/// pair, so both serving modes and the serial reference see identical
+/// inputs. `key_space` folds the stream onto that many distinct requests
+/// (0 = all unique) to model repeat traffic for the warm-cache scenario.
+Tensor RequestFeatures(int64_t r) {
+  Rng rng(10000 + static_cast<uint64_t>(r) * 2);
+  return RandomNormal(Shape{1, kFeatureDim}, rng);
+}
+
+Tensor RequestInput(int64_t r) {
+  Rng rng(10001 + static_cast<uint64_t>(r) * 2);
+  return RandomNormal(Shape{1, kBaseDim}, rng);
+}
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  return a.defined() && b.defined() && a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+struct ScenarioResult {
+  std::string mode;
+  int clients = 0;
+  int64_t requests = 0;
+  double throughput_rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+  serve::ServeStats stats;
+  std::vector<Tensor> outputs;  // indexed by request id
+};
+
+/// Runs `clients` threads, each submitting `per_client` requests against a
+/// fresh adapter + server, and blocks until every future resolves.
+ScenarioResult RunScenario(const std::string& mode, int clients,
+                           int per_client, int64_t max_batch_size,
+                           int64_t key_space, int64_t result_cache_entries,
+                           bool cold_adapter_cache = false) {
+  auto adapter = BuildAdapter();
+  serve::AdapterServerOptions opts;
+  opts.max_batch_size = max_batch_size;
+  opts.flush_deadline_us = 500;
+  opts.num_workers = 2;
+  opts.queue_capacity = 256;
+  opts.result_cache_entries = result_cache_entries;
+  if (cold_adapter_cache) {
+    // Fully cold serving: every batch pays the mapping network (mirrors
+    // arena_cache's cold eval mode, which clears before every forward).
+    core::ConditioningCache* cache = adapter->conditioning_cache();
+    opts.worker_batch_hook = [cache] { cache->Clear(); };
+  }
+  serve::AdapterServer server(opts);
+  const int sid =
+      server.RegisterSession(adapter.get(), adapter->conditioning_cache());
+  server.Start();
+
+  const int64_t total = static_cast<int64_t>(clients) * per_client;
+  std::vector<std::future<Tensor>> futures(static_cast<size_t>(total));
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const int64_t id = static_cast<int64_t>(c) * per_client + i;
+        const int64_t r = key_space > 0 ? id % key_space : id;
+        futures[static_cast<size_t>(id)] =
+            server.Submit(sid, RequestFeatures(r), RequestInput(r));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ScenarioResult res;
+  res.outputs.resize(static_cast<size_t>(total));
+  for (int64_t id = 0; id < total; ++id) {
+    res.outputs[static_cast<size_t>(id)] =
+        futures[static_cast<size_t>(id)].get();
+  }
+  const double elapsed_s = timer.Seconds();
+  server.Shutdown();
+
+  res.mode = mode;
+  res.clients = clients;
+  res.requests = total;
+  res.throughput_rps = static_cast<double>(total) / elapsed_s;
+  res.stats = server.stats();
+  res.p50_us = res.stats.LatencyPercentileUs(50);
+  res.p99_us = res.stats.LatencyPercentileUs(99);
+  res.mean_batch = res.stats.MeanBatchSize();
+  return res;
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+double HitRate(int64_t hits, int64_t misses) {
+  const int64_t total = hits + misses;
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli;
+  cli.AddBool("smoke", false,
+              "small request counts, skip throughput assertions (CI "
+              "correctness guard on weak runners); bit-identity still "
+              "asserted");
+  Status st = cli.Parse(argc, argv);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n" << cli.Usage(argv[0]);
+    return 2;
+  }
+  if (cli.help_requested()) {
+    std::cout << cli.Usage(argv[0]);
+    return 0;
+  }
+  const bool smoke = cli.GetBool("smoke");
+  const int per_client = smoke ? 8 : 64;
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4, 8};
+
+  std::cout << "=== AdapterServer: batched vs one-at-a-time serving ===\n\n"
+            << "hardware threads: " << std::thread::hardware_concurrency()
+            << (smoke ? " (smoke mode)" : "") << "\n\n";
+
+  // Serial reference outputs, computed once on a twin adapter: the batched
+  // server must reproduce these bytes exactly regardless of how requests
+  // got coalesced. Cold/warm scenarios reuse the same key space.
+  const int max_clients = *std::max_element(client_counts.begin(),
+                                            client_counts.end());
+  const int64_t max_requests =
+      static_cast<int64_t>(max_clients) * per_client;
+  auto ref_adapter = BuildAdapter();
+  std::vector<Tensor> reference(static_cast<size_t>(max_requests));
+  {
+    autograd::NoGradGuard ng;
+    for (int64_t r = 0; r < max_requests; ++r) {
+      ref_adapter->SetFeatures(
+          autograd::Variable(RequestFeatures(r), /*requires_grad=*/false));
+      reference[static_cast<size_t>(r)] =
+          ref_adapter
+              ->Forward(autograd::Variable(RequestInput(r),
+                                           /*requires_grad=*/false))
+              .value()
+              .Clone();
+      // The reference is one-at-a-time by construction: clear the seed
+      // cache so every forward is cold.
+      ref_adapter->conditioning_cache()->Clear();
+    }
+  }
+
+  // Sweep client counts in both modes. Caches are disabled here so the
+  // comparison isolates the micro-batching win (unique requests anyway).
+  std::vector<ScenarioResult> sweep;
+  bool bit_identical = true;
+  for (int clients : client_counts) {
+    for (bool batched : {false, true}) {
+      ScenarioResult r = RunScenario(batched ? "batched" : "serial", clients,
+                                     per_client,
+                                     /*max_batch_size=*/batched ? 8 : 1,
+                                     /*key_space=*/0,
+                                     /*result_cache_entries=*/0);
+      for (int64_t id = 0; id < r.requests; ++id) {
+        if (!BitIdentical(r.outputs[static_cast<size_t>(id)],
+                          reference[static_cast<size_t>(id)])) {
+          std::cerr << "FAIL: " << r.mode << " output " << id << " at "
+                    << clients << " clients diverged from the one-at-a-time "
+                    << "reference\n";
+          bit_identical = false;
+        }
+      }
+      sweep.push_back(std::move(r));
+    }
+  }
+
+  TablePrinter table("serving throughput (unique requests, caches off)");
+  table.SetHeader({"clients", "mode", "req/s", "p50 us", "p99 us",
+                   "mean batch"});
+  double serial_8c = 0.0, batched_8c = 0.0;
+  for (const ScenarioResult& r : sweep) {
+    table.AddRow({std::to_string(r.clients), r.mode, Fmt(r.throughput_rps),
+                  Fmt(r.p50_us), Fmt(r.p99_us), Fmt(r.mean_batch)});
+    if (r.clients == 8) {
+      (r.mode == "batched" ? batched_8c : serial_8c) = r.throughput_rps;
+    }
+  }
+  table.Print(std::cout);
+  const double batch_speedup =
+      serial_8c > 0.0 ? batched_8c / serial_8c : 0.0;
+  if (!smoke) {
+    std::cout << "\nbatched vs serial at 8 clients: " << Fmt(batch_speedup)
+              << "x\n";
+  }
+
+  // Warm vs cold caches at the highest client count: the same repeat-heavy
+  // stream (requests fold onto 16 distinct keys) served fully cold (result
+  // cache off, adapter seed cache cleared every batch) vs fully warm.
+  const int cache_clients = max_clients;
+  const int64_t key_space = smoke ? 4 : 16;  // smoke still sees repeats
+  ScenarioResult cold = RunScenario("cold", cache_clients, per_client,
+                                    /*max_batch_size=*/8, key_space,
+                                    /*result_cache_entries=*/0,
+                                    /*cold_adapter_cache=*/true);
+  ScenarioResult warm = RunScenario("warm", cache_clients, per_client,
+                                    /*max_batch_size=*/8, key_space,
+                                    /*result_cache_entries=*/1024);
+  for (int64_t id = 0; id < warm.requests; ++id) {
+    const int64_t r = id % key_space;
+    if (!BitIdentical(warm.outputs[static_cast<size_t>(id)],
+                      reference[static_cast<size_t>(r)]) ||
+        !BitIdentical(cold.outputs[static_cast<size_t>(id)],
+                      reference[static_cast<size_t>(r)])) {
+      std::cerr << "FAIL: cached serving diverged from the reference on "
+                << "request " << id << "\n";
+      bit_identical = false;
+    }
+  }
+  const double cache_speedup =
+      cold.throughput_rps > 0.0 ? warm.throughput_rps / cold.throughput_rps
+                                : 0.0;
+  const double warm_hit_rate = HitRate(warm.stats.result_cache_hits,
+                                       warm.stats.result_cache_misses);
+
+  TablePrinter cache_table("repeat traffic: warm vs cold result cache");
+  cache_table.SetHeader(
+      {"mode", "req/s", "p50 us", "p99 us", "hits", "misses", "evictions"});
+  for (const ScenarioResult* r : {&cold, &warm}) {
+    cache_table.AddRow({r->mode, Fmt(r->throughput_rps), Fmt(r->p50_us),
+                        Fmt(r->p99_us),
+                        std::to_string(r->stats.result_cache_hits),
+                        std::to_string(r->stats.result_cache_misses),
+                        std::to_string(r->stats.result_cache_evictions)});
+  }
+  cache_table.Print(std::cout);
+  std::cout << "\nwarm vs cold: " << Fmt(cache_speedup)
+            << "x, result-cache hit rate " << warm_hit_rate << "\n";
+
+  bool ok = bit_identical;
+  if (!bit_identical) {
+    std::cout << "FAIL: served outputs not bit-identical to one-at-a-time "
+                 "forwards\n";
+  }
+  if (!smoke) {
+    if (batch_speedup < 2.0) {
+      std::cout << "FAIL: batched serving " << Fmt(batch_speedup)
+                << "x serial at 8 clients, expected >= 2x\n";
+      ok = false;
+    }
+    if (cache_speedup < 2.0) {
+      std::cout << "FAIL: warm result cache " << Fmt(cache_speedup)
+                << "x cold, expected >= 2x\n";
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::cout << "OK: bit-identical"
+              << (smoke ? " (throughput assertions skipped in smoke mode)"
+                        : ", batched >= 2x serial, warm >= 2x cold")
+              << "\n";
+  }
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const ScenarioResult& r = sweep[i];
+    json << "    {\"clients\": " << r.clients << ", \"mode\": \"" << r.mode
+         << "\", \"requests\": " << r.requests
+         << ", \"throughput_rps\": " << r.throughput_rps
+         << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+         << ", \"mean_batch_size\": " << r.mean_batch
+         << ", \"size_flushes\": " << r.stats.size_flushes
+         << ", \"deadline_flushes\": " << r.stats.deadline_flushes << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"batched_vs_serial_speedup_8c\": " << batch_speedup << ",\n"
+       << "  \"warm_vs_cold_speedup\": " << cache_speedup << ",\n"
+       << "  \"result_cache\": {\"hits\": " << warm.stats.result_cache_hits
+       << ", \"misses\": " << warm.stats.result_cache_misses
+       << ", \"hit_rate\": " << warm_hit_rate
+       << ", \"evictions\": " << warm.stats.result_cache_evictions << "},\n"
+       << "  \"adapter_cache\": {\"hits\": " << warm.stats.adapter_cache_hits
+       << ", \"misses\": " << warm.stats.adapter_cache_misses
+       << ", \"hit_rate\": "
+       << HitRate(warm.stats.adapter_cache_hits,
+                  warm.stats.adapter_cache_misses)
+       << ", \"evictions\": " << warm.stats.adapter_cache_evictions << "},\n"
+       << "  \"bit_identical\": " << (bit_identical ? "true" : "false")
+       << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"ok\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote BENCH_serving.json\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+// A bounded MPMC blocking queue — the handoff primitive of the serving
+// pipeline (src/serve). Complements ThreadPool: the pool moves *work* that
+// is free to run anywhere, this moves *data* between pipeline stages whose
+// threads block on it, with the bound providing backpressure (a full queue
+// blocks producers instead of growing without limit).
+//
+// Semantics:
+//  - Push blocks while the queue is full; it fails (returns false, item
+//    untouched) only once the queue is closed.
+//  - TryPush never blocks; it fails on a full or closed queue.
+//  - Pop blocks until an item arrives or the queue is closed AND drained:
+//    items enqueued before Close() are always delivered, which is what lets
+//    a shutdown complete every in-flight request instead of dropping it.
+//  - Close() is idempotent and wakes every waiter.
+//
+// All waiting uses one mutex + two condition variables (not-full /
+// not-empty); the high-water mark is tracked under the same mutex so stats
+// snapshots need no extra synchronization.
+#ifndef METALORA_COMMON_BOUNDED_QUEUE_H_
+#define METALORA_COMMON_BOUNDED_QUEUE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+
+namespace metalora {
+
+enum class QueuePopStatus {
+  kItem,     // *out holds the popped item
+  kTimeout,  // deadline expired with the queue empty (and not closed)
+  kClosed,   // queue closed and fully drained; no item
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(int64_t capacity) : capacity_(capacity) {
+    ML_CHECK_GT(capacity, 0);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full. True once the item is enqueued; false if the queue
+  /// was closed first (the item is left untouched for the caller).
+  bool Push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_ || static_cast<int64_t>(items_.size()) < capacity_;
+    });
+    if (closed_) return false;
+    PushLocked(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Push: false (item untouched) when full or closed.
+  bool TryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || static_cast<int64_t>(items_.size()) >= capacity_) {
+        return false;
+      }
+      PushLocked(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (kItem) or the queue is closed and
+  /// drained (kClosed). Never returns kTimeout.
+  QueuePopStatus Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return PopLocked(out);
+  }
+
+  /// Pop with a deadline: kTimeout when `timeout_us` elapses with nothing
+  /// to deliver (the micro-batcher's flush tick).
+  QueuePopStatus PopFor(T* out, int64_t timeout_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool ready = not_empty_.wait_for(
+        lock, std::chrono::microseconds(timeout_us),
+        [this] { return closed_ || !items_.empty(); });
+    if (!ready) return QueuePopStatus::kTimeout;
+    return PopLocked(out);
+  }
+
+  /// Closes the queue: subsequent pushes fail, pops drain what remains.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(items_.size());
+  }
+
+  /// Deepest the queue has ever been — the backpressure gauge in ServeStats.
+  int64_t peak_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_size_;
+  }
+
+ private:
+  void PushLocked(T&& item) {
+    items_.push_back(std::move(item));
+    peak_size_ = std::max(peak_size_, static_cast<int64_t>(items_.size()));
+  }
+
+  QueuePopStatus PopLocked(T* out) {
+    if (items_.empty()) return QueuePopStatus::kClosed;  // closed and drained
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return QueuePopStatus::kItem;
+  }
+
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  int64_t peak_size_ = 0;
+};
+
+}  // namespace metalora
+
+#endif  // METALORA_COMMON_BOUNDED_QUEUE_H_

@@ -76,23 +76,46 @@ bool ConditioningCache::Lookup(uint64_t key, const Tensor& features,
 }
 
 void ConditioningCache::Insert(uint64_t key, const Tensor& features,
-                               const Tensor& seed, const Tensor& delta) {
-  const uint64_t version = autograd::GlobalParameterVersion();
+                               const Tensor& seed, const Tensor& delta,
+                               uint64_t param_version) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (static_cast<int64_t>(entries_.size()) >= max_entries_) {
-    entries_.clear();
+  // A Step() landed between the caller's version capture and this insert:
+  // the seed was computed from the old parameters, so caching it under any
+  // stamp would serve stale bytes. Drop it.
+  if (autograd::GlobalParameterVersion() != param_version) {
+    ++stats_.stale_insert_skips;
+    return;
   }
   ConditioningEntry entry;
   entry.features = features.Clone();
   entry.seed = seed.Clone();
   if (delta.defined()) entry.delta = delta.Clone();
-  entry.param_version = version;
-  entries_[key] = std::move(entry);
+  entry.param_version = param_version;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = std::move(entry);  // overwrite keeps the queue position
+    return;
+  }
+  EvictForInsertLocked();
+  entries_.emplace(key, std::move(entry));
+  insert_order_.push_back(key);
+}
+
+void ConditioningCache::EvictForInsertLocked() {
+  while (static_cast<int64_t>(entries_.size()) >= max_entries_ &&
+         !insert_order_.empty()) {
+    const uint64_t victim = insert_order_.front();
+    insert_order_.pop_front();
+    // Keys erased by lookup invalidation linger in the queue; skipping them
+    // here is not an eviction.
+    if (entries_.erase(victim) > 0) ++stats_.evictions;
+  }
 }
 
 void ConditioningCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  insert_order_.clear();
 }
 
 ConditioningCacheStats ConditioningCache::stats() const {
@@ -114,8 +137,12 @@ autograd::Variable ConditioningCache::SeedOrCompute(
   if (Lookup(key, features.value(), &hit)) {
     return autograd::Variable(hit.seed, /*requires_grad=*/false);
   }
+  // Capture the version before running compute(): if an optimizer Step()
+  // lands while the seed is being generated, Insert sees the mismatch and
+  // drops the now-stale result instead of stamping it with the new version.
+  const uint64_t version = autograd::GlobalParameterVersion();
   autograd::Variable seed = compute();
-  Insert(key, features.value(), seed.value(), Tensor());
+  Insert(key, features.value(), seed.value(), Tensor(), version);
   return seed;
 }
 

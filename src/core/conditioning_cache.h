@@ -8,10 +8,18 @@
 // for the bucket, full byte comparison on hit, so a hash collision can
 // never alias two feature sets) plus a per-adapter salt for isolation.
 //
-// Invalidation: entries are stamped with autograd::GlobalParameterVersion()
-// at insert; optimizers bump that version on every Step(), so any
-// mapping-net or factor update makes every cached entry stale. Stale
-// entries are dropped on lookup.
+// Invalidation: entries are stamped with the parameter version captured
+// *before* the cold path computed them (optimizers bump
+// autograd::GlobalParameterVersion() on every Step()), so any mapping-net
+// or factor update makes every cached entry stale. Stale entries are
+// dropped on lookup, and an insert whose captured version is no longer
+// current is skipped outright — a Step() landing between lookup and insert
+// must never stamp a stale seed with the new version.
+//
+// Eviction: when the map is full, inserting a new key evicts the single
+// oldest entry (insertion-order FIFO), so a working set at or above
+// capacity degrades by one miss per overflow instead of collapsing to a
+// 0% hit rate the way wholesale clearing did.
 //
 // Bit-identity contract: entries store heap Clone()s of tensors the cold
 // path computed, and hits return those exact bytes — a warm forward replays
@@ -25,6 +33,7 @@
 #define METALORA_CORE_CONDITIONING_CACHE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <unordered_map>
@@ -56,12 +65,14 @@ struct ConditioningCacheStats {
   int64_t hits = 0;
   int64_t misses = 0;
   int64_t invalidations = 0;  // entries dropped because a param changed
+  int64_t evictions = 0;      // entries dropped to make room (FIFO)
+  int64_t stale_insert_skips = 0;  // inserts dropped: version moved mid-compute
 };
 
 class ConditioningCache {
  public:
-  /// `max_entries` bounds memory; on overflow the cache clears wholesale
-  /// (entries are cheap to regenerate and sweeps reuse few distinct keys).
+  /// `max_entries` bounds memory; on overflow the oldest entry (insertion
+  /// order) is evicted to make room for the new one.
   explicit ConditioningCache(int64_t max_entries = 64);
 
   /// True and fills `out` when `key` holds an entry whose features match
@@ -70,14 +81,19 @@ class ConditioningCache {
   bool Lookup(uint64_t key, const Tensor& features, ConditioningEntry* out);
 
   /// Stores heap clones of (features, seed, delta) under `key`, stamped
-  /// with the current parameter version. `delta` may be undefined.
+  /// with `param_version` — the GlobalParameterVersion() the caller read
+  /// *before* computing `seed`. If the global version has moved since (an
+  /// optimizer Step() landed mid-compute), the entry is stale and the
+  /// insert is skipped (counted in stale_insert_skips). `delta` may be
+  /// undefined.
   void Insert(uint64_t key, const Tensor& features, const Tensor& seed,
-              const Tensor& delta);
+              const Tensor& delta, uint64_t param_version);
 
   void Clear();
 
   ConditioningCacheStats stats() const;
   int64_t size() const;
+  int64_t max_entries() const { return max_entries_; }
 
   /// Seed-only convenience used by the CP adapters: returns the cached seed
   /// for `features` when valid, otherwise computes it via `compute` and
@@ -89,9 +105,16 @@ class ConditioningCache {
       const std::function<autograd::Variable()>& compute);
 
  private:
+  /// Drops FIFO-oldest entries until a new key fits. Caller holds mu_.
+  void EvictForInsertLocked();
+
   mutable std::mutex mu_;
   int64_t max_entries_;
   std::unordered_map<uint64_t, ConditioningEntry> entries_;
+  /// Keys in insertion order. May hold keys already erased by invalidation
+  /// (skipped lazily during eviction); never holds duplicates of live keys,
+  /// because overwriting an existing key keeps its original queue position.
+  std::deque<uint64_t> insert_order_;
   ConditioningCacheStats stats_;
 };
 

@@ -152,9 +152,12 @@ Variable MetaLoraTrConv::Forward(const Variable& x) {
     if (cache_.Lookup(key, features_.value(), &e)) {
       w2 = Variable(e.delta, /*requires_grad=*/false);
     } else {
+      // Version captured before the mapping net runs: an optimizer step
+      // landing mid-compute makes this insert a no-op (TOCTOU guard).
+      const uint64_t ver = autograd::GlobalParameterVersion();
       Variable core_c = mapping_->Forward(features_);  // [N, r2, r0]
       w2 = contract_recovery(core_c);
-      cache_.Insert(key, features_.value(), core_c.value(), w2.value());
+      cache_.Insert(key, features_.value(), core_c.value(), w2.value(), ver);
     }
   } else {
     w2 = contract_recovery(mapping_->Forward(features_));

@@ -174,9 +174,12 @@ Variable MetaLoraTrLinear::Forward(const Variable& x) {
       if (cache_.Lookup(key, features_.value(), &e)) {
         m = Variable(e.delta, /*requires_grad=*/false);
       } else {
+        // Version captured before the mapping net runs: an optimizer step
+        // landing mid-compute makes this insert a no-op (TOCTOU guard).
+        const uint64_t ver = autograd::GlobalParameterVersion();
         Variable core_c = mapping_->Forward(features_);
         m = contract_recovery(core_c);
-        cache_.Insert(key, features_.value(), core_c.value(), m.value());
+        cache_.Insert(key, features_.value(), core_c.value(), m.value(), ver);
       }
     } else {
       m = contract_recovery(mapping_->Forward(features_));

@@ -1,0 +1,61 @@
+#include "eval/batch_assembly.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace metalora {
+namespace eval {
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  ML_CHECK(!parts.empty()) << "ConcatRows: no parts";
+  const Tensor& first = parts[0];
+  ML_CHECK(first.defined());
+  ML_CHECK_GE(first.rank(), 1);
+  int64_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    ML_CHECK(p.defined());
+    ML_CHECK_EQ(p.rank(), first.rank());
+    for (int i = 1; i < first.rank(); ++i) {
+      ML_CHECK_EQ(p.dim(i), first.dim(i))
+          << "ConcatRows: trailing dimension mismatch at dim " << i;
+    }
+    total_rows += p.dim(0);
+  }
+  std::vector<int64_t> dims;
+  dims.push_back(total_rows);
+  for (int i = 1; i < first.rank(); ++i) dims.push_back(first.dim(i));
+  Tensor out{Shape(std::move(dims))};
+  float* dst = out.data();
+  for (const Tensor& p : parts) {
+    const size_t n = static_cast<size_t>(p.numel());
+    if (n > 0) std::memcpy(dst, p.data(), n * sizeof(float));
+    dst += p.numel();
+  }
+  return out;
+}
+
+std::vector<Tensor> SplitRows(const Tensor& batch,
+                              const std::vector<int64_t>& counts) {
+  ML_CHECK(batch.defined());
+  ML_CHECK_GE(batch.rank(), 1);
+  int64_t total = 0;
+  for (int64_t c : counts) {
+    ML_CHECK_GE(c, 0);
+    total += c;
+  }
+  ML_CHECK_EQ(total, batch.dim(0)) << "SplitRows: counts do not cover batch";
+  std::vector<Tensor> parts;
+  parts.reserve(counts.size());
+  int64_t row = 0;
+  for (int64_t c : counts) {
+    // SliceRows is an O(1) view; Clone lifts the rows onto the heap so the
+    // part survives the batch tensor's arena generation.
+    parts.push_back(batch.SliceRows(row, row + c).Clone());
+    row += c;
+  }
+  return parts;
+}
+
+}  // namespace eval
+}  // namespace metalora

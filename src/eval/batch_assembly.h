@@ -1,0 +1,36 @@
+// Row-wise batch assembly for the serving pipeline.
+//
+// The micro-batcher coalesces per-request tensors — conditioning features
+// [n_i, D] and inputs [n_i, ...] — into one batch along dim 0, runs a
+// single adapter forward, and splits the output rows back out per request.
+// Every op on the MetaLoRA eval path is row-wise (linear/mapping GEMMs fix
+// the per-element accumulation order independently of the other rows; conv
+// and the per-sample contractions treat dim 0 samples independently), so
+// batch outputs are bit-identical to one-request-at-a-time outputs —
+// `tests/serve_server_test.cc` asserts exactly that.
+#ifndef METALORA_EVAL_BATCH_ASSEMBLY_H_
+#define METALORA_EVAL_BATCH_ASSEMBLY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace eval {
+
+/// Stacks `parts` along dim 0 into one freshly allocated heap tensor. All
+/// parts must share rank and trailing (non-dim-0) dimensions.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Inverse of ConcatRows: splits `batch` into consecutive row groups of
+/// `counts[i]` rows each (counts must sum to batch.dim(0)). Each part is a
+/// deep heap copy, so callers may hand parts out even when `batch` lives in
+/// a workspace arena that is about to be recycled.
+std::vector<Tensor> SplitRows(const Tensor& batch,
+                              const std::vector<int64_t>& counts);
+
+}  // namespace eval
+}  // namespace metalora
+
+#endif  // METALORA_EVAL_BATCH_ASSEMBLY_H_

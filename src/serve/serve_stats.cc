@@ -1,0 +1,63 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace metalora {
+namespace serve {
+
+double ServeStats::MeanBatchSize() const {
+  return batches_executed > 0
+             ? static_cast<double>(batched_rows) /
+                   static_cast<double>(batches_executed)
+             : 0.0;
+}
+
+double ServeStats::LatencyPercentileUs(double pct) const {
+  if (latencies_us.empty()) return 0.0;
+  std::vector<double> sorted = latencies_us;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(std::llround(rank));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+std::string ServeStats::ExportJson() const {
+  double mean = 0.0, max_us = 0.0;
+  for (double us : latencies_us) {
+    mean += us;
+    max_us = std::max(max_us, us);
+  }
+  if (!latencies_us.empty()) {
+    mean /= static_cast<double>(latencies_us.size());
+  }
+  std::ostringstream os;
+  os << "{";
+  os << "\"requests_completed\": " << requests_completed
+     << ", \"requests_rejected\": " << requests_rejected
+     << ", \"batches_executed\": " << batches_executed
+     << ", \"batched_rows\": " << batched_rows
+     << ", \"mean_batch_size\": " << MeanBatchSize()
+     << ", \"max_batch_size\": " << max_batch_size
+     << ", \"size_flushes\": " << size_flushes
+     << ", \"deadline_flushes\": " << deadline_flushes
+     << ", \"drain_flushes\": " << drain_flushes
+     << ", \"request_queue_peak\": " << request_queue_peak
+     << ", \"batch_queue_peak\": " << batch_queue_peak
+     << ", \"result_cache_hits\": " << result_cache_hits
+     << ", \"result_cache_misses\": " << result_cache_misses
+     << ", \"result_cache_evictions\": " << result_cache_evictions
+     << ", \"adapter_cache_hits\": " << adapter_cache_hits
+     << ", \"adapter_cache_misses\": " << adapter_cache_misses
+     << ", \"adapter_cache_evictions\": " << adapter_cache_evictions
+     << ", \"latency\": {\"count\": " << latencies_us.size()
+     << ", \"mean_us\": " << mean << ", \"p50_us\": " << LatencyPercentileUs(50)
+     << ", \"p99_us\": " << LatencyPercentileUs(99)
+     << ", \"max_us\": " << max_us << "}";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace serve
+}  // namespace metalora

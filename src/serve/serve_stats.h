@@ -1,0 +1,64 @@
+// Observability for the in-process adaptation server (adapter_server.h).
+//
+// The server books one latency sample per completed request plus counters
+// for every pipeline stage: queue depth high-water marks (the backpressure
+// gauges), batch-size and flush-cause accounting for the micro-batcher,
+// and hit/miss/eviction totals for both cache levels (the serve-level
+// result cache and the adapters' conditioning caches). ExportJson renders
+// the whole snapshot as the BENCH_serving.json "stats" object.
+#ifndef METALORA_SERVE_SERVE_STATS_H_
+#define METALORA_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metalora {
+namespace serve {
+
+struct ServeStats {
+  // Request accounting.
+  int64_t requests_completed = 0;
+  int64_t requests_rejected = 0;  // TrySubmit refusals (queue full) + closed
+
+  // Micro-batcher accounting.
+  int64_t batches_executed = 0;   // batches that ran an adapter forward
+  int64_t batched_rows = 0;       // total requests that went through batches
+  int64_t max_batch_size = 0;
+  int64_t size_flushes = 0;       // flushed because the batch filled up
+  int64_t deadline_flushes = 0;   // flushed because the oldest request aged
+  int64_t drain_flushes = 0;      // flushed while shutting down
+
+  // Queue gauges (high-water marks over the server's lifetime).
+  int64_t request_queue_peak = 0;
+  int64_t batch_queue_peak = 0;
+
+  // Serve-level result cache: (features, x) -> output rows.
+  int64_t result_cache_hits = 0;
+  int64_t result_cache_misses = 0;
+  int64_t result_cache_evictions = 0;
+
+  // Adapter-level conditioning caches, summed over sessions at snapshot.
+  int64_t adapter_cache_hits = 0;
+  int64_t adapter_cache_misses = 0;
+  int64_t adapter_cache_evictions = 0;
+
+  // One sample per completed request: submit-to-completion wall time.
+  std::vector<double> latencies_us;
+
+  /// Mean rows per executed batch (0 when no batch ran).
+  double MeanBatchSize() const;
+
+  /// Latency percentile in [0, 100] by nearest-rank on a sorted copy;
+  /// 0 when no request completed.
+  double LatencyPercentileUs(double pct) const;
+
+  /// The snapshot as a JSON object (latencies summarized as count/mean/
+  /// p50/p99/max, not dumped raw).
+  std::string ExportJson() const;
+};
+
+}  // namespace serve
+}  // namespace metalora
+
+#endif  // METALORA_SERVE_SERVE_STATS_H_

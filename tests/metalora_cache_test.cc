@@ -4,8 +4,10 @@
 // training-mode forwards must bypass the cache entirely.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "autograd/graph.h"
@@ -207,6 +209,162 @@ TEST(MetaLoraCache, ChecksumSaltSeparatesIdenticalFeatures) {
   Tensor f = RandomUniform(Shape{2, kFeatDim}, rng, -1.0f, 1.0f);
   EXPECT_NE(ConditioningChecksum(f, 1), ConditioningChecksum(f, 2));
   EXPECT_EQ(ConditioningChecksum(f, 1), ConditioningChecksum(f, 1));
+}
+
+TEST(MetaLoraCache, WorkingSetAtCapacityKeepsHitting) {
+  // A working set exactly at max_entries must stay fully resident: cycling
+  // it produces hits forever and never evicts.
+  const int64_t kCap = 4;
+  ConditioningCache cache(kCap);
+  const uint64_t salt = NextAdapterCacheSalt();
+  const uint64_t version = autograd::GlobalParameterVersion();
+  std::vector<Tensor> feats;
+  for (int64_t i = 0; i < kCap; ++i) {
+    feats.push_back(RandFeatures(2, 100 + static_cast<uint64_t>(i)).value());
+  }
+  for (const Tensor& f : feats) {
+    cache.Insert(ConditioningChecksum(f, salt), f, f, Tensor(), version);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (const Tensor& f : feats) {
+      ConditioningEntry e;
+      EXPECT_TRUE(cache.Lookup(ConditioningChecksum(f, salt), f, &e));
+    }
+  }
+  ConditioningCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 3 * kCap);
+  EXPECT_EQ(s.misses, 0);
+  EXPECT_EQ(s.evictions, 0);
+  EXPECT_EQ(cache.size(), kCap);
+}
+
+TEST(MetaLoraCache, OverflowEvictsOldestEntryOnly) {
+  // Inserting past capacity evicts exactly the FIFO-oldest entry. The
+  // pre-fix code cleared the whole map here, so after the overflow only
+  // the newest key survived and the rest of the working set thrashed to
+  // misses — the assertions below fail against that behaviour.
+  const int64_t kCap = 4;
+  ConditioningCache cache(kCap);
+  const uint64_t salt = NextAdapterCacheSalt();
+  const uint64_t version = autograd::GlobalParameterVersion();
+  std::vector<Tensor> feats;
+  for (int64_t i = 0; i < kCap + 1; ++i) {
+    feats.push_back(RandFeatures(2, 200 + static_cast<uint64_t>(i)).value());
+  }
+  for (const Tensor& f : feats) {
+    cache.Insert(ConditioningChecksum(f, salt), f, f, Tensor(), version);
+  }
+  EXPECT_EQ(cache.size(), kCap);
+  EXPECT_EQ(cache.stats().evictions, 1);
+
+  ConditioningEntry e;
+  EXPECT_FALSE(
+      cache.Lookup(ConditioningChecksum(feats[0], salt), feats[0], &e))
+      << "oldest entry should have been the one evicted";
+  for (int64_t i = 1; i <= kCap; ++i) {
+    EXPECT_TRUE(cache.Lookup(ConditioningChecksum(feats[static_cast<size_t>(i)],
+                                                  salt),
+                             feats[static_cast<size_t>(i)], &e))
+        << "entry " << i << " must survive a single-entry eviction";
+  }
+  ConditioningCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, kCap);
+  EXPECT_EQ(s.misses, 1);
+}
+
+TEST(MetaLoraCache, ReinsertOfLiveKeyDoesNotEvict) {
+  // Overwriting an existing key must neither grow the map nor evict: the
+  // key keeps its original FIFO position.
+  ConditioningCache cache(2);
+  const uint64_t salt = NextAdapterCacheSalt();
+  const uint64_t version = autograd::GlobalParameterVersion();
+  Tensor f1 = RandFeatures(2, 301).value();
+  Tensor f2 = RandFeatures(2, 302).value();
+  cache.Insert(ConditioningChecksum(f1, salt), f1, f1, Tensor(), version);
+  cache.Insert(ConditioningChecksum(f2, salt), f2, f2, Tensor(), version);
+  cache.Insert(ConditioningChecksum(f1, salt), f1, f1, Tensor(), version);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(MetaLoraCache, StepDuringComputeSkipsInsert) {
+  // An optimizer Step() landing while compute() runs makes the freshly
+  // computed seed stale. The pre-fix Insert re-read the version *after*
+  // compute and stamped the stale seed as current — it was then served
+  // until the next step. The fix captures the version before compute and
+  // drops the insert when it moved.
+  ConditioningCache cache(8);
+  const uint64_t salt = NextAdapterCacheSalt();
+  Variable feats = RandFeatures(2, 303);
+  autograd::NoGradGuard ng;
+
+  int computes = 0;
+  auto compute_with_step = [&] {
+    ++computes;
+    autograd::BumpParameterVersion();  // a Step() lands mid-compute
+    return RandFeatures(2, 400);
+  };
+  cache.SeedOrCompute(salt, feats, compute_with_step);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.size(), 0) << "stale seed must not be cached";
+  EXPECT_EQ(cache.stats().stale_insert_skips, 1);
+
+  // The next call must recompute (no stale hit) and, with no step landing
+  // this time, cache normally.
+  auto compute_clean = [&] {
+    ++computes;
+    return RandFeatures(2, 400);
+  };
+  cache.SeedOrCompute(salt, feats, compute_clean);
+  EXPECT_EQ(computes, 2) << "a stale entry was served from the cache";
+  EXPECT_EQ(cache.size(), 1);
+  cache.SeedOrCompute(salt, feats, compute_clean);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(MetaLoraCache, ConcurrentStepNeverServesStaleSeed) {
+  // TSan-facing variant: a thread hammers BumpParameterVersion while the
+  // main thread runs SeedOrCompute in a loop. Each computed seed embeds
+  // the version read when its compute started; whenever a call window saw
+  // no concurrent bump, a cache hit must return a seed computed at exactly
+  // the current version — the pre-fix stamp-after-compute bug could
+  // surface an older seed stamped with the newer version here.
+  ConditioningCache cache(8);
+  const uint64_t salt = NextAdapterCacheSalt();
+  Variable feats = RandFeatures(1, 304);
+  autograd::NoGradGuard ng;
+
+  std::atomic<bool> stop{false};
+  std::thread bumper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      autograd::BumpParameterVersion();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t before = autograd::GlobalParameterVersion();
+    const int64_t hits_before = cache.stats().hits;
+    Variable seed = cache.SeedOrCompute(salt, feats, [&] {
+      // Pack the raw version bytes (floats can't hold a large counter
+      // exactly) so the assertion below can recover it losslessly.
+      Tensor t{Shape{1, 2}};
+      const uint64_t v = autograd::GlobalParameterVersion();
+      std::memcpy(&t.flat(0), &v, sizeof(v));
+      return Variable(t, /*requires_grad=*/false);
+    });
+    const uint64_t after = autograd::GlobalParameterVersion();
+    const bool was_hit = cache.stats().hits > hits_before;
+    if (was_hit && before == after) {
+      uint64_t seed_version = 0;
+      std::memcpy(&seed_version, seed.value().data(), sizeof(seed_version));
+      EXPECT_EQ(seed_version, before)
+          << "hit returned a seed computed under a different param version";
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  bumper.join();
 }
 
 TEST(MetaLoraCache, WarmHitsUnderParallelDispatch) {

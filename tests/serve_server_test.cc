@@ -1,0 +1,522 @@
+// AdapterServer contract tests: batched execution must be bit-identical to
+// one-at-a-time forwards for every MetaLoRA adapter kind, backpressure must
+// bound the queue without losing accepted requests, and shutdown must drain
+// every in-flight request. The threaded tests double as TSan coverage (this
+// binary runs under the thread-sanitizer CI job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "autograd/runtime_context.h"
+#include "autograd/variable.h"
+#include "common/bounded_queue.h"
+#include "common/rng.h"
+#include "core/metalora_conv.h"
+#include "core/metalora_linear.h"
+#include "eval/batch_assembly.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "serve/adapter_server.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace serve {
+namespace {
+
+using autograd::Variable;
+using core::AdapterKind;
+using core::AdapterOptions;
+
+constexpr int64_t kFeatDim = 10;
+constexpr int64_t kLinearIn = 5;
+
+AdapterOptions MetaOpts(AdapterKind kind) {
+  AdapterOptions o;
+  o.kind = kind;
+  o.rank = 3;
+  o.alpha = 3.0f;
+  o.feature_dim = kFeatDim;
+  o.mapping_hidden = 8;
+  o.seed = 11;
+  return o;
+}
+
+std::unique_ptr<nn::Linear> BaseLinear() {
+  Rng rng(2);
+  return std::make_unique<nn::Linear>(kLinearIn, 4, true, rng);
+}
+
+std::unique_ptr<nn::Conv2d> BaseConv() {
+  Rng rng(2);
+  return std::make_unique<nn::Conv2d>(2, 4, 3, 1, 1, false, rng);
+}
+
+void RandomizeFactors(nn::Module& m, uint64_t seed) {
+  Rng rng(seed);
+  for (auto& np : m.NamedParameters()) {
+    if (np.name == "lora_b" || np.name == "core_b") {
+      FillNormal(np.variable->mutable_value(), rng, 0.0f, 0.5f);
+    }
+  }
+}
+
+Tensor RandFeatures(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return RandomUniform(Shape{n, kFeatDim}, rng, -1.0f, 1.0f);
+}
+
+Tensor RandLinearInput(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return RandomUniform(Shape{n, kLinearIn}, rng, -1.0f, 1.0f);
+}
+
+Tensor RandConvInput(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return RandomUniform(Shape{n, 2, 5, 5}, rng, -1.0f, 1.0f);
+}
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.defined());
+  ASSERT_TRUE(b.defined());
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.numel())),
+            0);
+}
+
+/// One-at-a-time reference: SetFeatures + Forward per request in no-grad
+/// mode, on a *separate but identically constructed* adapter instance.
+Tensor SerialForward(core::Adapter& adapter, const Tensor& features,
+                     const Tensor& x) {
+  autograd::NoGradGuard ng;
+  adapter.SetFeatures(Variable(features, /*requires_grad=*/false));
+  return adapter.Forward(Variable(x, /*requires_grad=*/false)).value();
+}
+
+TEST(BatchAssembly, ConcatSplitRoundTrip) {
+  std::vector<Tensor> parts = {RandLinearInput(1, 1), RandLinearInput(3, 2),
+                               RandLinearInput(2, 3)};
+  Tensor batch = eval::ConcatRows(parts);
+  EXPECT_EQ(batch.dim(0), 6);
+  std::vector<Tensor> back = eval::SplitRows(batch, {1, 3, 2});
+  ASSERT_EQ(back.size(), parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    ExpectBitIdentical(parts[i], back[i]);
+  }
+}
+
+TEST(BatchAssembly, ConcatSplitRoundTrip4d) {
+  std::vector<Tensor> parts = {RandConvInput(2, 4), RandConvInput(1, 5)};
+  Tensor batch = eval::ConcatRows(parts);
+  EXPECT_EQ(batch.dim(0), 3);
+  EXPECT_EQ(batch.rank(), 4);
+  std::vector<Tensor> back = eval::SplitRows(batch, {2, 1});
+  for (size_t i = 0; i < parts.size(); ++i) {
+    ExpectBitIdentical(parts[i], back[i]);
+  }
+}
+
+// Every adapter kind, 8 client threads, batched results must be
+// byte-identical to one-at-a-time forwards on a twin adapter.
+TEST(AdapterServer, BatchedMatchesSerialBitIdentical) {
+  // Served instances.
+  core::MetaLoraCpLinear cp_lin(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraCp));
+  core::MetaLoraTrLinear tr_lin(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraTr));
+  core::MetaLoraCpConv cp_conv(BaseConv(), MetaOpts(AdapterKind::kMetaLoraCp));
+  core::MetaLoraTrConv tr_conv(BaseConv(), MetaOpts(AdapterKind::kMetaLoraTr));
+  // Twin instances for the serial reference (identical construction).
+  core::MetaLoraCpLinear cp_lin_ref(BaseLinear(),
+                                    MetaOpts(AdapterKind::kMetaLoraCp));
+  core::MetaLoraTrLinear tr_lin_ref(BaseLinear(),
+                                    MetaOpts(AdapterKind::kMetaLoraTr));
+  core::MetaLoraCpConv cp_conv_ref(BaseConv(),
+                                   MetaOpts(AdapterKind::kMetaLoraCp));
+  core::MetaLoraTrConv tr_conv_ref(BaseConv(),
+                                   MetaOpts(AdapterKind::kMetaLoraTr));
+  for (auto* m : std::initializer_list<nn::Module*>{&cp_lin, &cp_lin_ref}) {
+    RandomizeFactors(*m, 21);
+  }
+  for (auto* m : std::initializer_list<nn::Module*>{&tr_lin, &tr_lin_ref}) {
+    RandomizeFactors(*m, 22);
+  }
+  for (auto* m : std::initializer_list<nn::Module*>{&cp_conv, &cp_conv_ref}) {
+    RandomizeFactors(*m, 23);
+  }
+  for (auto* m : std::initializer_list<nn::Module*>{&tr_conv, &tr_conv_ref}) {
+    RandomizeFactors(*m, 24);
+  }
+
+  AdapterServerOptions opts;
+  opts.max_batch_size = 4;
+  opts.flush_deadline_us = 500;
+  opts.num_workers = 3;
+  AdapterServer server(opts);
+  const int cp_lin_id =
+      server.RegisterSession(&cp_lin, cp_lin.conditioning_cache());
+  const int tr_lin_id =
+      server.RegisterSession(&tr_lin, tr_lin.conditioning_cache());
+  const int cp_conv_id =
+      server.RegisterSession(&cp_conv, cp_conv.conditioning_cache());
+  const int tr_conv_id =
+      server.RegisterSession(&tr_conv, tr_conv.conditioning_cache());
+  server.Start();
+
+  struct Expected {
+    std::future<Tensor> got;
+    Tensor want;
+  };
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 6;
+  std::vector<std::vector<Expected>> per_client(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const uint64_t seed = 1000 + static_cast<uint64_t>(c * kPerClient + i);
+        const Tensor f = RandFeatures(1, seed);
+        Expected e;
+        switch (i % 4) {
+          case 0:
+            e.got = server.Submit(cp_lin_id, f, RandLinearInput(1, seed + 1));
+            break;
+          case 1:
+            e.got = server.Submit(tr_lin_id, f, RandLinearInput(1, seed + 1));
+            break;
+          case 2:
+            e.got = server.Submit(cp_conv_id, f, RandConvInput(1, seed + 1));
+            break;
+          default:
+            e.got = server.Submit(tr_conv_id, f, RandConvInput(1, seed + 1));
+            break;
+        }
+        per_client[static_cast<size_t>(c)].push_back(std::move(e));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Serial references, computed after all submits so the server's batch
+  // compositions are whatever the batcher coalesced.
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const uint64_t seed = 1000 + static_cast<uint64_t>(c * kPerClient + i);
+      const Tensor f = RandFeatures(1, seed);
+      Expected& e = per_client[static_cast<size_t>(c)][static_cast<size_t>(i)];
+      switch (i % 4) {
+        case 0:
+          e.want = SerialForward(cp_lin_ref, f, RandLinearInput(1, seed + 1));
+          break;
+        case 1:
+          e.want = SerialForward(tr_lin_ref, f, RandLinearInput(1, seed + 1));
+          break;
+        case 2:
+          e.want = SerialForward(cp_conv_ref, f, RandConvInput(1, seed + 1));
+          break;
+        default:
+          e.want = SerialForward(tr_conv_ref, f, RandConvInput(1, seed + 1));
+          break;
+      }
+    }
+  }
+
+  for (auto& client : per_client) {
+    for (Expected& e : client) {
+      ExpectBitIdentical(e.got.get(), e.want);
+    }
+  }
+  server.Shutdown();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests_completed, kClients * kPerClient);
+  EXPECT_EQ(stats.requests_rejected, 0);
+  EXPECT_GT(stats.batches_executed, 0);
+  EXPECT_EQ(stats.batched_rows, kClients * kPerClient);
+}
+
+TEST(AdapterServer, ResultCacheServesRepeats) {
+  core::MetaLoraCpLinear adapter(BaseLinear(),
+                                 MetaOpts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 31);
+  AdapterServerOptions opts;
+  opts.flush_deadline_us = 200;
+  AdapterServer server(opts);
+  const int sid = server.RegisterSession(&adapter, adapter.conditioning_cache());
+  server.Start();
+
+  const Tensor f = RandFeatures(1, 41);
+  const Tensor x = RandLinearInput(1, 42);
+  Tensor first = server.Submit(sid, f, x).get();
+  ASSERT_TRUE(first.defined());
+
+  constexpr int kRepeats = 16;
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(kRepeats);
+  for (int i = 0; i < kRepeats; ++i) {
+    futures.push_back(server.Submit(sid, f, x));
+  }
+  for (auto& fut : futures) {
+    ExpectBitIdentical(fut.get(), first);
+  }
+  server.Shutdown();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests_completed, kRepeats + 1);
+  EXPECT_GE(stats.result_cache_hits, kRepeats);
+  EXPECT_EQ(stats.result_cache_misses, 1);
+}
+
+// An optimizer-style version bump must invalidate the serve-level result
+// cache: the repeat after the bump recomputes (a miss) instead of serving
+// the stamped entry.
+TEST(AdapterServer, VersionBumpInvalidatesResultCache) {
+  core::MetaLoraTrLinear adapter(BaseLinear(),
+                                 MetaOpts(AdapterKind::kMetaLoraTr));
+  RandomizeFactors(adapter, 51);
+  AdapterServerOptions opts;
+  opts.flush_deadline_us = 200;
+  AdapterServer server(opts);
+  const int sid = server.RegisterSession(&adapter, adapter.conditioning_cache());
+  server.Start();
+
+  const Tensor f = RandFeatures(1, 61);
+  const Tensor x = RandLinearInput(1, 62);
+  Tensor cold = server.Submit(sid, f, x).get();
+  Tensor warm = server.Submit(sid, f, x).get();
+  ExpectBitIdentical(cold, warm);
+  const int64_t misses_before = server.stats().result_cache_misses;
+
+  autograd::BumpParameterVersion();
+  // No parameter actually changed, so the recomputed bytes still match —
+  // but the cache must have treated the entry as stale.
+  Tensor after = server.Submit(sid, f, x).get();
+  ExpectBitIdentical(cold, after);
+  server.Shutdown();
+  EXPECT_GT(server.stats().result_cache_misses, misses_before);
+}
+
+// Tiny queues + a stalled worker: TrySubmit must start failing (bounded
+// memory), Submit-ed requests must all still complete once the worker is
+// released, and rejected requests must be counted.
+TEST(AdapterServer, BackpressureBoundsQueueWithoutLosingRequests) {
+  core::MetaLoraCpLinear adapter(BaseLinear(),
+                                 MetaOpts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 71);
+
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+
+  AdapterServerOptions opts;
+  opts.max_batch_size = 1;  // every request is its own batch
+  opts.flush_deadline_us = 100;
+  opts.num_workers = 1;
+  opts.queue_capacity = 2;
+  opts.batch_queue_capacity = 1;
+  opts.worker_batch_hook = [&] {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  AdapterServer server(opts);
+  const int sid = server.RegisterSession(&adapter, adapter.conditioning_cache());
+  server.Start();
+
+  std::vector<std::future<Tensor>> accepted;
+  int rejected = 0;
+  // With the worker gated, capacity is finite: request queue (2) + batch
+  // queue (1) + what the batcher/worker hold. Keep trying until TrySubmit
+  // fails several times in a row — the pipeline is saturated.
+  int consecutive_failures = 0;
+  uint64_t seed = 100;
+  while (consecutive_failures < 3) {
+    std::future<Tensor> fut;
+    if (server.TrySubmit(sid, RandFeatures(1, seed), RandLinearInput(1, seed),
+                         &fut)) {
+      accepted.push_back(std::move(fut));
+      consecutive_failures = 0;
+    } else {
+      ++consecutive_failures;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ++seed;
+    ASSERT_LT(seed, 200u) << "pipeline never saturated under a gated worker";
+    rejected = consecutive_failures;
+  }
+  EXPECT_GT(rejected, 0);
+  // Bounded: accepted can't exceed the two queues plus the two threads'
+  // in-hand items by much.
+  EXPECT_LE(static_cast<int64_t>(accepted.size()),
+            opts.queue_capacity + opts.batch_queue_capacity + 2);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+
+  for (auto& fut : accepted) {
+    EXPECT_TRUE(fut.get().defined())
+        << "an accepted request was dropped under backpressure";
+  }
+  server.Shutdown();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests_completed,
+            static_cast<int64_t>(accepted.size()));
+  EXPECT_GT(stats.requests_rejected, 0);
+  EXPECT_LE(stats.request_queue_peak, opts.queue_capacity);
+  EXPECT_LE(stats.batch_queue_peak, opts.batch_queue_capacity);
+}
+
+// Shutdown with requests still queued and in flight: every accepted
+// request's future resolves with real (correct) bytes — drain, not drop.
+TEST(AdapterServer, ShutdownDrainsInFlightRequests) {
+  core::MetaLoraCpLinear adapter(BaseLinear(),
+                                 MetaOpts(AdapterKind::kMetaLoraCp));
+  core::MetaLoraCpLinear ref(BaseLinear(), MetaOpts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 81);
+  RandomizeFactors(ref, 81);
+
+  AdapterServerOptions opts;
+  opts.max_batch_size = 4;
+  opts.num_workers = 2;
+  opts.result_cache_entries = 0;  // force every request through a forward
+  opts.worker_batch_hook = [] {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  };
+  AdapterServer server(opts);
+  const int sid = server.RegisterSession(&adapter, adapter.conditioning_cache());
+  server.Start();
+
+  constexpr int kRequests = 32;
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    const uint64_t seed = 300 + static_cast<uint64_t>(i);
+    futures.push_back(
+        server.Submit(sid, RandFeatures(1, seed), RandLinearInput(1, seed + 1)));
+  }
+  server.Shutdown();  // most requests are still queued or in flight here
+
+  for (int i = 0; i < kRequests; ++i) {
+    const uint64_t seed = 300 + static_cast<uint64_t>(i);
+    Tensor got = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(got.defined()) << "request " << i << " dropped during drain";
+    Tensor want =
+        SerialForward(ref, RandFeatures(1, seed), RandLinearInput(1, seed + 1));
+    ExpectBitIdentical(got, want);
+  }
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests_completed, kRequests);
+  EXPECT_EQ(stats.requests_rejected, 0);
+}
+
+TEST(AdapterServer, SubmitAfterShutdownResolvesUndefined) {
+  core::MetaLoraCpLinear adapter(BaseLinear(),
+                                 MetaOpts(AdapterKind::kMetaLoraCp));
+  AdapterServer server(AdapterServerOptions{});
+  const int sid = server.RegisterSession(&adapter, adapter.conditioning_cache());
+  server.Start();
+  server.Shutdown();
+
+  std::future<Tensor> fut =
+      server.Submit(sid, RandFeatures(1, 1), RandLinearInput(1, 2));
+  EXPECT_FALSE(fut.get().defined());
+  std::future<Tensor> try_fut;
+  EXPECT_FALSE(server.TrySubmit(sid, RandFeatures(1, 3), RandLinearInput(1, 4),
+                                &try_fut));
+  EXPECT_GE(server.stats().requests_rejected, 2);
+}
+
+// A partial batch (far below max_batch_size) must still flush once the
+// oldest request crosses the deadline — latency is bounded without load.
+TEST(AdapterServer, DeadlineFlushesPartialBatch) {
+  core::MetaLoraCpLinear adapter(BaseLinear(),
+                                 MetaOpts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 91);
+  AdapterServerOptions opts;
+  opts.max_batch_size = 64;  // never reached by 3 requests
+  opts.flush_deadline_us = 1000;
+  AdapterServer server(opts);
+  const int sid = server.RegisterSession(&adapter, adapter.conditioning_cache());
+  server.Start();
+
+  std::vector<std::future<Tensor>> futures;
+  for (uint64_t i = 0; i < 3; ++i) {
+    futures.push_back(server.Submit(sid, RandFeatures(1, 500 + i),
+                                    RandLinearInput(1, 600 + i)));
+  }
+  for (auto& fut : futures) {
+    EXPECT_TRUE(fut.get().defined());
+  }
+  // All futures resolved before Shutdown, so the flush that carried them
+  // was a deadline flush (3 < 64 rules out a size flush, and the drain
+  // flush hasn't happened yet).
+  const ServeStats stats = server.stats();
+  EXPECT_GE(stats.deadline_flushes, 1);
+  EXPECT_EQ(stats.size_flushes, 0);
+  server.Shutdown();
+}
+
+// BoundedQueue primitive: FIFO order, Push blocking on full, drain-on-close.
+TEST(BoundedQueueTest, FifoAndDrainAfterClose) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    ASSERT_TRUE(q.Push(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(q.TryPush(overflow));
+  q.Close();
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(q.Pop(&out), QueuePopStatus::kItem);
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_EQ(q.Pop(&out), QueuePopStatus::kClosed);
+  int late = 5;
+  EXPECT_FALSE(q.Push(late));
+  EXPECT_EQ(q.peak_size(), 4);
+}
+
+TEST(BoundedQueueTest, PushUnblocksWhenConsumerDrains) {
+  BoundedQueue<int> q(1);
+  int v = 1;
+  ASSERT_TRUE(q.Push(v));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    int w = 2;
+    ASSERT_TRUE(q.Push(w));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(pushed.load());
+  int out = 0;
+  ASSERT_EQ(q.Pop(&out), QueuePopStatus::kItem);
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_EQ(q.Pop(&out), QueuePopStatus::kItem);
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, PopForTimesOutOnEmpty) {
+  BoundedQueue<int> q(2);
+  int out = 0;
+  EXPECT_EQ(q.PopFor(&out, 500), QueuePopStatus::kTimeout);
+  int v = 7;
+  ASSERT_TRUE(q.Push(v));
+  EXPECT_EQ(q.PopFor(&out, 500), QueuePopStatus::kItem);
+  EXPECT_EQ(out, 7);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace metalora
