@@ -1,0 +1,198 @@
+// Data-parallel replica scaling: step throughput vs lane count, with the
+// determinism contract asserted, not just reported.
+//
+// The same pre-training workload (tiny ResNet, synthetic multi-class
+// images, identical seeds) runs at num_replicas = 1, 2, 4. Contracts:
+//   * N=2 and N=4 train bit-identical parameters (same grad_shards grid,
+//     same binary-tree reduction — lane count is scheduling only);
+//   * N=4 repeated gives bit-identical parameters (run determinism);
+//   * an elastic lane schedule matches the fixed schedule bit-for-bit;
+//   * on machines with >= 4 cores, N=4 achieves >= 2x the N=1 step
+//     throughput (skipped otherwise — a 1-core box can't parallelize).
+// N=1 is the legacy single-replica program and is *expected* to differ
+// numerically from the sharded grid; it is the throughput baseline only.
+//
+// Writes BENCH_replicas.json; exits nonzero if any contract fails.
+// --smoke shrinks the workload and skips the timing contract (CI).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "data/task_suite.h"
+#include "eval/trainer.h"
+
+using namespace metalora;  // NOLINT
+
+namespace {
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+bool StatesBitIdentical(const std::map<std::string, Tensor>& a,
+                        const std::map<std::string, Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [name, t] : a) {
+    auto it = b.find(name);
+    if (it == b.end() || !BitIdentical(t, it->second)) return false;
+  }
+  return true;
+}
+
+struct RunResult {
+  double steps_per_sec = 0.0;
+  std::map<std::string, Tensor> state;
+};
+
+struct Workload {
+  int64_t count = 256;
+  int64_t batch_size = 32;
+  int epochs = 2;
+  int reps = 3;
+  int base_width = 8;
+};
+
+RunResult RunWorkload(const Workload& w, int num_replicas, ThreadPool* pool,
+                      std::function<int(int64_t)> elastic = nullptr) {
+  data::ImageSpec spec{3, 16, 16};
+  data::SyntheticImageGenerator gen(spec, 4);
+  data::MultiTaskDataset data = data::MakeBaseDataset(gen, w.count, 2);
+
+  RunResult res;
+  for (int r = 0; r < w.reps; ++r) {
+    nn::ResNetConfig cfg;
+    cfg.base_width = w.base_width;
+    cfg.num_classes = 4;
+    cfg.seed = 1;
+    eval::Backbone bb = eval::MakeResNetBackbone(cfg);
+
+    eval::TrainOptions opts;
+    opts.epochs = w.epochs;
+    opts.batch_size = w.batch_size;
+    opts.seed = 11;
+    opts.num_replicas = num_replicas;
+    opts.replica_pool = pool;
+    opts.elastic_lanes = elastic;
+
+    auto stats = eval::PretrainBackbone(bb, data, opts);
+    if (!stats.ok()) {
+      std::cerr << "FAIL: training failed: " << stats.status().ToString()
+                << "\n";
+      std::exit(1);
+    }
+    const int64_t batches = (w.count + w.batch_size - 1) / w.batch_size;
+    const double steps =
+        static_cast<double>(batches) * static_cast<double>(w.epochs);
+    const double sps = steps / stats->seconds;
+    // Best-of-reps: one descheduled rep must not flip the scaling verdict.
+    if (sps > res.steps_per_sec) res.steps_per_sec = sps;
+    if (r == 0) {
+      res.state = bb.module->StateDict();
+    } else if (!StatesBitIdentical(res.state, bb.module->StateDict())) {
+      std::cerr << "FAIL: N=" << num_replicas
+                << " rep " << r << " trained different bits than rep 0\n";
+      std::exit(1);
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+
+  Workload w;
+  if (smoke) {
+    w.count = 48;
+    w.batch_size = 16;
+    w.epochs = 1;
+    w.reps = 2;
+    w.base_width = 4;
+  }
+
+  const unsigned hc = std::thread::hardware_concurrency();
+  // 4 lanes want 4 concurrent threads: 3 workers + the caller.
+  ThreadPool pool(hc >= 4 ? 3 : (hc > 1 ? static_cast<int>(hc) - 1 : 0));
+
+  std::cout << "=== Replica scaling: deterministic tree all-reduce ===\n"
+            << "hardware_concurrency=" << hc << (smoke ? " (smoke)" : "")
+            << "\n\n";
+
+  RunResult n1 = RunWorkload(w, 1, &pool);
+  RunResult n2 = RunWorkload(w, 2, &pool);
+  RunResult n4 = RunWorkload(w, 4, &pool);
+  RunResult elastic = RunWorkload(w, 2, &pool, [](int64_t step) {
+    return static_cast<int>(step % 4) + 1;  // 1..4 lanes, changing every step
+  });
+
+  const bool lanes_identical = StatesBitIdentical(n2.state, n4.state);
+  const bool elastic_identical = StatesBitIdentical(n2.state, elastic.state);
+  const double speedup_n2 = n2.steps_per_sec / n1.steps_per_sec;
+  const double speedup_n4 = n4.steps_per_sec / n1.steps_per_sec;
+
+  TablePrinter table("pre-training step throughput vs replica lanes");
+  table.SetHeader({"lanes", "steps/s", "speedup vs N=1"});
+  table.AddRow({"1 (legacy)", std::to_string(n1.steps_per_sec), "1.0"});
+  table.AddRow({"2", std::to_string(n2.steps_per_sec),
+                std::to_string(speedup_n2)});
+  table.AddRow({"4", std::to_string(n4.steps_per_sec),
+                std::to_string(speedup_n4)});
+  table.AddRow({"elastic 1-4", std::to_string(elastic.steps_per_sec), "-"});
+  table.Print(std::cout);
+  std::cout << "\n";
+
+  bool ok = true;
+  if (!lanes_identical) {
+    std::cout << "FAIL: N=2 and N=4 trained different parameter bits\n";
+    ok = false;
+  }
+  if (!elastic_identical) {
+    std::cout << "FAIL: elastic schedule trained different bits than fixed\n";
+    ok = false;
+  }
+  const bool throughput_checked = !smoke && hc >= 4;
+  if (throughput_checked && speedup_n4 < 2.0) {
+    std::cout << "FAIL: N=4 speedup " << speedup_n4
+              << "x below the required 2x over N=1\n";
+    ok = false;
+  }
+  if (ok) {
+    std::cout << "OK: lane-count and elastic schedules bit-identical, runs "
+                 "deterministic"
+              << (throughput_checked
+                      ? ", N=4 >= 2x N=1 throughput\n"
+                      : (smoke ? " (smoke: timing contract skipped)\n"
+                               : " (timing contract skipped: < 4 cores)\n"));
+  }
+
+  std::ofstream json("BENCH_replicas.json");
+  json << "{\n"
+       << "  \"hardware_concurrency\": " << hc << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"steps_per_sec\": {\"n1\": " << n1.steps_per_sec
+       << ", \"n2\": " << n2.steps_per_sec << ", \"n4\": " << n4.steps_per_sec
+       << ", \"elastic\": " << elastic.steps_per_sec << "},\n"
+       << "  \"speedup\": {\"n2\": " << speedup_n2
+       << ", \"n4\": " << speedup_n4 << "},\n"
+       << "  \"lane_count_bit_identical\": "
+       << (lanes_identical ? "true" : "false") << ",\n"
+       << "  \"elastic_bit_identical\": "
+       << (elastic_identical ? "true" : "false") << ",\n"
+       << "  \"throughput_contract_checked\": "
+       << (throughput_checked ? "true" : "false") << ",\n"
+       << "  \"ok\": " << (ok ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote BENCH_replicas.json\n";
+  return ok ? 0 : 1;
+}

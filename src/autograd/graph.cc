@@ -81,12 +81,27 @@ Status BackwardWithGrad(const Variable& root, const Tensor& seed) {
     state.grads.erase(git);
 
     if (!v->producer) {
-      // Leaf: accumulate into the persistent .grad buffer. In step-arena
-      // mode the swept gradient lives in the current arena generation, but
-      // .grad must survive past the step (the optimizer reads it), so the
-      // first contribution is pinned out to the heap. Later contributions
-      // AddInPlace into that heap buffer.
-      if (!v->grad.defined()) {
+      // Leaf: the fully accumulated gradient arrives here exactly once per
+      // sweep (the dependency counter gates the ready queue). With a grad
+      // sink installed, it goes into the sink — per-replica storage that
+      // leaves the shared .grad buffers untouched so concurrent replicas
+      // never race; the trainer reduces the sinks afterwards. The sink copy
+      // is pinned to the heap in step-arena mode because it must survive
+      // the replica's arena generation until the reduction runs.
+      //
+      // Without a sink: accumulate into the persistent .grad buffer. In
+      // step-arena mode the swept gradient lives in the current arena
+      // generation, but .grad must survive past the step (the optimizer
+      // reads it), so the first contribution is pinned out to the heap.
+      // Later contributions AddInPlace into that heap buffer.
+      if (GradSink* sink = ctx.grad_sink()) {
+        Tensor& dst = (*sink)[v];
+        if (!dst.defined()) {
+          dst = ctx.arena_backward() ? ctx.PinToHeap(grad) : std::move(grad);
+        } else {
+          AddInPlace(dst, grad);
+        }
+      } else if (!v->grad.defined()) {
         v->grad = ctx.arena_backward() ? ctx.PinToHeap(grad) : std::move(grad);
       } else {
         AddInPlace(v->grad, grad);

@@ -171,12 +171,19 @@ Variable BatchNorm2d(const Variable& x, const Variable& gamma,
       const double var = var_acc / static_cast<double>(m);
       mean.flat(ch) = static_cast<float>(mu);
       inv_std.flat(ch) = static_cast<float>(1.0 / std::sqrt(var + eps));
-      // Running stats use the unbiased variance, PyTorch-style EMA.
-      const double unbiased = var_acc / static_cast<double>(m - 1);
-      running_mean.flat(ch) = static_cast<float>(
-          (1.0 - momentum) * running_mean.flat(ch) + momentum * mu);
-      running_var.flat(ch) = static_cast<float>(
-          (1.0 - momentum) * running_var.flat(ch) + momentum * unbiased);
+      // Running stats use the unbiased variance, PyTorch-style EMA. The
+      // running buffers are shared module state, so under data-parallel
+      // training only replica 0 writes them — concurrent lanes would race
+      // on the EMA and make the result depend on lane timing. Replica 0
+      // sees exactly the single-replica update for its shard, which keeps
+      // the stats deterministic for a fixed replica count.
+      if (ctx.replica_id() == 0) {
+        const double unbiased = var_acc / static_cast<double>(m - 1);
+        running_mean.flat(ch) = static_cast<float>(
+            (1.0 - momentum) * running_mean.flat(ch) + momentum * mu);
+        running_var.flat(ch) = static_cast<float>(
+            (1.0 - momentum) * running_var.flat(ch) + momentum * unbiased);
+      }
     }
   } else {
     for (int64_t ch = 0; ch < c; ++ch) {

@@ -19,12 +19,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace metalora {
 namespace autograd {
+
+struct VariableImpl;
 
 /// A generation-tagged bump allocator for intermediate tensors. Allocate()
 /// carves zero-initialized views out of geometrically grown blocks; Reset()
@@ -109,6 +112,14 @@ struct OpProfile {
   int64_t nanos = 0;
 };
 
+/// Per-leaf gradient accumulator used by the data-parallel trainer: when a
+/// GradSink is installed on the context, Backward() deposits leaf gradients
+/// here instead of into the shared Variable .grad buffers, so N replicas
+/// can backpropagate concurrently through one set of parameters without a
+/// single racing accumulation. The trainer tree-reduces the sinks at the
+/// step's join point.
+using GradSink = std::unordered_map<VariableImpl*, Tensor>;
+
 class RuntimeContext {
  public:
   RuntimeContext() = default;
@@ -121,6 +132,18 @@ class RuntimeContext {
 
   bool grad_enabled() const { return grad_enabled_; }
   void set_grad_enabled(bool enabled) { grad_enabled_ = enabled; }
+
+  /// Logical replica (batch shard) this thread is executing for the
+  /// data-parallel trainer; 0 everywhere else. Keyed consumers — adapter
+  /// binding slots, BatchNorm running-stat updates — read it to keep
+  /// concurrent replicas isolated and the reduction deterministic.
+  int replica_id() const { return replica_id_; }
+  void set_replica_id(int id) { replica_id_ = id; }
+
+  /// Leaf-gradient sink (see GradSink). Null means leaf gradients
+  /// accumulate into Variable .grad directly — the single-replica behavior.
+  GradSink* grad_sink() const { return grad_sink_; }
+  void set_grad_sink(GradSink* sink) { grad_sink_ = sink; }
 
   WorkspaceArena* arena() const { return arena_; }
   void set_arena(WorkspaceArena* arena) { arena_ = arena; }
@@ -286,7 +309,9 @@ class RuntimeContext {
   bool grad_enabled_ = true;
   bool profiling_ = false;
   bool arena_serves_grad_ = false;
+  int replica_id_ = 0;
   WorkspaceArena* arena_ = nullptr;
+  GradSink* grad_sink_ = nullptr;
   int64_t nodes_recorded_ = 0;
   int64_t saved_bytes_recorded_ = 0;
   int64_t arena_served_ = 0;

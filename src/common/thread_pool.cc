@@ -111,6 +111,38 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   latch->Wait();
 }
 
+void ThreadPool::ForkJoinReplicas(int n, const std::function<void(int)>& fn) {
+  ML_CHECK_GT(n, 0);
+  ML_CHECK(fn != nullptr);
+  // Zero workers or nested fork: one thread runs every lane, in lane order.
+  // The guard is still set so lane bodies see the same inline-kernel
+  // environment as the threaded schedule.
+  if (num_threads() == 0 || tls_in_worker_task) {
+    const bool prev = tls_in_worker_task;
+    tls_in_worker_task = true;
+    for (int lane = 0; lane < n; ++lane) fn(lane);
+    tls_in_worker_task = prev;
+    return;
+  }
+  g_tasks_scheduled.fetch_add(n - 1, std::memory_order_relaxed);
+  auto latch = std::make_shared<Latch>(n - 1);
+  for (int lane = 1; lane < n; ++lane) {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push([&fn, latch, lane] {
+      fn(lane);
+      latch->CountDown();
+    });
+    cv_.notify_one();
+  }
+  // Lane 0 belongs to the caller. Mark it like a worker task so its kernels
+  // run inline — otherwise lane 0's ParallelFor would queue chunks behind
+  // the very lane tasks occupying the workers.
+  tls_in_worker_task = true;
+  fn(0);
+  tls_in_worker_task = false;
+  latch->Wait();
+}
+
 ThreadPool& GlobalThreadPool() {
   static ThreadPool* pool = [] {
     int hw = static_cast<int>(std::thread::hardware_concurrency());

@@ -81,6 +81,22 @@ class ThreadPool {
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& fn);
 
+  /// Replica-group fork/join: runs fn(0), fn(1), ..., fn(n-1) — one
+  /// invocation per replica lane — and blocks until all of them finish.
+  /// Lanes 1..n-1 are scheduled onto the pool; lane 0 runs on the calling
+  /// thread. Every lane (including lane 0) executes with the worker-inline
+  /// guard set, so kernels called inside a lane (ParallelFor, the op
+  /// dispatcher) run inline on that lane's thread instead of fanning back
+  /// onto the pool — each lane is one deterministic single-threaded stream,
+  /// which is what the data-parallel trainer's bit-identity contract needs.
+  ///
+  /// Lanes must not block on each other (they only meet at the join) and
+  /// must touch pairwise-disjoint mutable state. With zero workers, or when
+  /// already inside a pool task, lanes run sequentially 0..n-1 on the
+  /// caller — the same per-lane instruction streams, so results are
+  /// identical to the threaded schedule.
+  void ForkJoinReplicas(int n, const std::function<void(int)>& fn);
+
   /// True while the calling thread is executing a task scheduled on *any*
   /// ThreadPool (workers mark themselves for the duration of each task).
   static bool InWorkerThread();

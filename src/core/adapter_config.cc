@@ -1,7 +1,47 @@
 #include "core/adapter_config.h"
 
+#include "autograd/runtime_context.h"
+#include "common/check.h"
+
 namespace metalora {
 namespace core {
+
+const Adapter::ReplicaBinding& Adapter::CurrentSlot() const {
+  const int id = autograd::RuntimeContext::Current().replica_id();
+  ML_CHECK_GE(id, 0);
+  ML_CHECK_LT(static_cast<size_t>(id), bindings_.size())
+      << "replica binding slot " << id
+      << " not prepared; call EnsureReplicaSlots before forking lanes";
+  return bindings_[static_cast<size_t>(id)];
+}
+
+Adapter::ReplicaBinding& Adapter::CurrentSlot() {
+  return const_cast<ReplicaBinding&>(
+      static_cast<const Adapter*>(this)->CurrentSlot());
+}
+
+void Adapter::SetFeatures(const nn::Variable& features) {
+  CurrentSlot().features = features;
+}
+
+void Adapter::SetTaskIds(const std::vector<int64_t>& task_ids) {
+  CurrentSlot().task_ids = task_ids;
+}
+
+void Adapter::EnsureReplicaSlots(int n) {
+  ML_CHECK_GT(n, 0);
+  if (static_cast<size_t>(n) > bindings_.size()) {
+    bindings_.resize(static_cast<size_t>(n));
+  }
+}
+
+const nn::Variable& Adapter::bound_features() const {
+  return CurrentSlot().features;
+}
+
+const std::vector<int64_t>& Adapter::bound_task_ids() const {
+  return CurrentSlot().task_ids;
+}
 
 std::string AdapterKindName(AdapterKind kind) {
   switch (kind) {

@@ -62,6 +62,14 @@ struct AdapterOptions {
 
 /// Base class of all adapters. An adapter is a Module that owns its frozen
 /// base layer as the child "base" and adds a trainable low-rank path.
+///
+/// Bindings (conditioning features, task ids) are stored per replica: the
+/// slot written by SetFeatures/SetTaskIds and read back by Forward (via
+/// bound_features()/bound_task_ids()) is selected by the calling thread's
+/// RuntimeContext::replica_id(). Single-replica code never notices — slot 0
+/// always exists and replica_id defaults to 0 — while data-parallel lanes
+/// each bind their own shard's features on the one shared module tree
+/// without racing. Size the slots with EnsureReplicaSlots before forking.
 class Adapter : public nn::Module {
  public:
   Adapter(std::string name, AdapterOptions options)
@@ -74,18 +82,41 @@ class Adapter : public nn::Module {
   /// frozen base layer).
   virtual int64_t AdapterParamCount() const = 0;
 
-  /// MetaLoRA adapters: binds the conditioning features [N, feature_dim]
-  /// for the next Forward. Default: no-op.
-  virtual void SetFeatures(const nn::Variable& features) { (void)features; }
+  /// MetaLoRA / MoE adapters: binds the conditioning features
+  /// [N, feature_dim] for the next Forward on the calling replica's slot.
+  /// Virtual so adapters may add validation; the base stores the binding.
+  virtual void SetFeatures(const nn::Variable& features);
 
-  /// Multi-LoRA adapters: binds per-sample task ids for the next Forward.
-  /// Default: no-op.
-  virtual void SetTaskIds(const std::vector<int64_t>& task_ids) {
-    (void)task_ids;
-  }
+  /// Multi-LoRA adapters: binds per-sample task ids for the next Forward
+  /// on the calling replica's slot.
+  virtual void SetTaskIds(const std::vector<int64_t>& task_ids);
+
+  /// Grows the binding-slot array to cover replica ids [0, n). Slot 0
+  /// always exists. Call from the coordinator before forking replica
+  /// lanes; must not run concurrently with lane execution. Existing
+  /// bindings (including slot 0's) are preserved.
+  void EnsureReplicaSlots(int n);
 
  protected:
+  /// The features bound on the calling replica's slot; undefined Variable
+  /// when SetFeatures has not been called for this replica.
+  const nn::Variable& bound_features() const;
+
+  /// The task ids bound on the calling replica's slot; empty when
+  /// SetTaskIds has not been called for this replica.
+  const std::vector<int64_t>& bound_task_ids() const;
+
   AdapterOptions options_;
+
+ private:
+  struct ReplicaBinding {
+    nn::Variable features;
+    std::vector<int64_t> task_ids;
+  };
+  const ReplicaBinding& CurrentSlot() const;
+  ReplicaBinding& CurrentSlot();
+
+  std::vector<ReplicaBinding> bindings_ = std::vector<ReplicaBinding>(1);
 };
 
 }  // namespace core

@@ -21,10 +21,14 @@ Tensor FeatureExtractor::Extract(const Tensor& images) const {
   // Arena-backed inference fast path: no gradients means no graph nodes, so
   // every intermediate can live in the bump allocator and be reclaimed in
   // one Reset. The result must be cloned out — the next Extract clobbers it.
+  // The scratch arena is thread-local, not a member: concurrent replica
+  // lanes extract through the same FeatureExtractor, and a shared arena
+  // would hand every lane the same bump pointer.
+  static thread_local autograd::WorkspaceArena arena;
   autograd::RuntimeContext rctx;
   rctx.set_grad_enabled(false);
-  rctx.set_arena(&arena_);
-  arena_.NextGeneration();
+  rctx.set_arena(&arena);
+  arena.NextGeneration();
   autograd::RuntimeContextScope scope(&rctx);
   nn::Variable out = forward_(nn::Variable(images, /*requires_grad=*/false));
   ML_CHECK_EQ(out.rank(), 2);

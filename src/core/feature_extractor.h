@@ -39,9 +39,6 @@ class FeatureExtractor {
  private:
   ForwardFn forward_;
   int64_t feature_dim_;
-  // Reused across Extract calls; reset before each forward. Mutable because
-  // extraction is logically const — the arena is scratch space, not state.
-  mutable autograd::WorkspaceArena arena_;
 };
 
 }  // namespace core

@@ -23,6 +23,10 @@ void InjectionResult::BindTaskIds(const std::vector<int64_t>& task_ids) const {
   for (Adapter* a : adapters) a->SetTaskIds(task_ids);
 }
 
+void InjectionResult::PrepareReplicas(int n) const {
+  for (Adapter* a : adapters) a->EnsureReplicaSlots(n);
+}
+
 namespace {
 
 std::unique_ptr<Adapter> WrapConv(std::unique_ptr<nn::Conv2d> base,

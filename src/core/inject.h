@@ -34,10 +34,15 @@ struct InjectionResult {
   /// Trainable parameters added by all adapters.
   int64_t adapter_param_count = 0;
 
-  /// Binds MetaLoRA conditioning features on every adapter.
+  /// Binds MetaLoRA conditioning features on every adapter. The binding
+  /// lands on the calling thread's replica slot (see Adapter), so each
+  /// data-parallel lane binds its own shard.
   void BindFeatures(const nn::Variable& features) const;
-  /// Binds Multi-LoRA task ids on every adapter.
+  /// Binds Multi-LoRA task ids on every adapter (calling replica's slot).
   void BindTaskIds(const std::vector<int64_t>& task_ids) const;
+  /// Sizes every adapter's binding slots for `n` replicas. Call from the
+  /// coordinator thread before forking lanes; see Adapter::EnsureReplicaSlots.
+  void PrepareReplicas(int n) const;
 };
 
 /// Freezes `root` entirely, then wraps matching leaves according to

@@ -42,13 +42,14 @@ MetaLoraCpConv::MetaLoraCpConv(std::unique_ptr<nn::Conv2d> base,
 }
 
 Variable MetaLoraCpConv::Forward(const Variable& x) {
-  ML_CHECK(features_.defined())
+  const Variable features = bound_features();
+  ML_CHECK(features.defined())
       << "MetaLoraCpConv: SetFeatures must be called before Forward";
-  ML_CHECK_EQ(features_.dim(0), x.dim(0));
+  ML_CHECK_EQ(features.dim(0), x.dim(0));
   Variable y = base_->Forward(x);
   Variable c = cache_.SeedOrCompute(
-      cache_salt_, features_,
-      [&] { return mapping_->Forward(features_); });  // [N, R]
+      cache_salt_, features,
+      [&] { return mapping_->Forward(features); });  // [N, R]
 
   Variable h = autograd::Conv2d(x, lora_a_, Variable(), base_->geom());
   h = autograd::ScaleChannels(h, c);  // per-sample rank scaling (Eq. 6)
@@ -121,9 +122,10 @@ MetaLoraTrConv::MetaLoraTrConv(std::unique_ptr<nn::Conv2d> base,
 }
 
 Variable MetaLoraTrConv::Forward(const Variable& x) {
-  ML_CHECK(features_.defined())
+  const Variable features = bound_features();
+  ML_CHECK(features.defined())
       << "MetaLoraTrConv: SetFeatures must be called before Forward";
-  ML_CHECK_EQ(features_.dim(0), x.dim(0));
+  ML_CHECK_EQ(features.dim(0), x.dim(0));
   const int64_t n = x.dim(0);
   const int64_t out = base_->out_channels();
   const int64_t r = options_.rank;
@@ -147,20 +149,20 @@ Variable MetaLoraTrConv::Forward(const Variable& x) {
 
   Variable w2;  // [N, O, R*R]
   if (!autograd::GradEnabled()) {
-    const uint64_t key = ConditioningChecksum(features_.value(), cache_salt_);
+    const uint64_t key = ConditioningChecksum(features.value(), cache_salt_);
     ConditioningEntry e;
-    if (cache_.Lookup(key, features_.value(), &e)) {
+    if (cache_.Lookup(key, features.value(), &e)) {
       w2 = Variable(e.delta, /*requires_grad=*/false);
     } else {
       // Version captured before the mapping net runs: an optimizer step
       // landing mid-compute makes this insert a no-op (TOCTOU guard).
       const uint64_t ver = autograd::GlobalParameterVersion();
-      Variable core_c = mapping_->Forward(features_);  // [N, r2, r0]
+      Variable core_c = mapping_->Forward(features);  // [N, r2, r0]
       w2 = contract_recovery(core_c);
-      cache_.Insert(key, features_.value(), core_c.value(), w2.value(), ver);
+      cache_.Insert(key, features.value(), core_c.value(), w2.value(), ver);
     }
   } else {
-    w2 = contract_recovery(mapping_->Forward(features_));
+    w2 = contract_recovery(mapping_->Forward(features));
   }
 
   // U[n, (r0,r1), h, w]: conv with the first ring core.

@@ -27,7 +27,6 @@ class MetaLoraCpConv : public Adapter {
 
   Variable Forward(const Variable& x) override;
   int64_t AdapterParamCount() const override;
-  void SetFeatures(const Variable& features) override { features_ = features; }
 
   /// Materializes ΔW [O, I, K, K] for one seed c [R] (analysis/tests only).
   Tensor DeltaWeightFor(const Tensor& seed_c) const;
@@ -43,7 +42,6 @@ class MetaLoraCpConv : public Adapter {
   Variable lora_a_;  // [R, I, K, K]
   Variable lora_b_;  // [O, R]
   float scaling_;
-  Variable features_;
   ConditioningCache cache_;
   uint64_t cache_salt_ = NextAdapterCacheSalt();
 };
@@ -55,7 +53,6 @@ class MetaLoraTrConv : public Adapter {
 
   Variable Forward(const Variable& x) override;
   int64_t AdapterParamCount() const override;
-  void SetFeatures(const Variable& features) override { features_ = features; }
 
   MappingNet* mapping_net() { return mapping_; }
 
@@ -68,7 +65,6 @@ class MetaLoraTrConv : public Adapter {
   Variable core_a_;  // conv weight [R*R, I, K, K]: channel q = r0*R + r1
   Variable core_b_;  // [R(r1), O, R(r2)]
   float scaling_;
-  Variable features_;
   ConditioningCache cache_;
   uint64_t cache_salt_ = NextAdapterCacheSalt();
 };

@@ -63,7 +63,10 @@ Variable AlignSeedToRows(const Variable& seed, int64_t x_rows) {
 }  // namespace
 
 Variable MetaLoraCpLinear::Forward(const Variable& x) {
-  ML_CHECK(features_.defined())
+  // Snapshot the calling replica's binding before spawning branches: the
+  // local keeps the branch bodies independent of which thread runs them.
+  const Variable features = bound_features();
+  ML_CHECK(features.defined())
       << "MetaLoraCpLinear: SetFeatures must be called before Forward";
   // Branch 1 is the frozen base matmul; branch 2 generates the seed with
   // the mapping net and applies the CP-factored update (Eq. 6). The two
@@ -72,8 +75,8 @@ Variable MetaLoraCpLinear::Forward(const Variable& x) {
   ps.Spawn([&] { return base_->Forward(x); });
   ps.Spawn([&] {
     Variable seed = cache_.SeedOrCompute(
-        cache_salt_, features_,
-        [&] { return mapping_->Forward(features_); });      // [N, R]
+        cache_salt_, features,
+        [&] { return mapping_->Forward(features); });       // [N, R]
     Variable c = AlignSeedToRows(seed, x.dim(0));
     Variable h = autograd::Linear(x, lora_a_, Variable());  // [N, R]
     h = autograd::Mul(h, c);                                // per-sample Eq. 6
@@ -137,7 +140,8 @@ MetaLoraTrLinear::MetaLoraTrLinear(std::unique_ptr<nn::Linear> base,
 }
 
 Variable MetaLoraTrLinear::Forward(const Variable& x) {
-  ML_CHECK(features_.defined())
+  const Variable features = bound_features();
+  ML_CHECK(features.defined())
       << "MetaLoraTrLinear: SetFeatures must be called before Forward";
   const int64_t n = x.dim(0);
   const int64_t in = base_->in_features();
@@ -169,20 +173,20 @@ Variable MetaLoraTrLinear::Forward(const Variable& x) {
 
     Variable m;  // [N_f, R*R, O]
     if (!autograd::GradEnabled()) {
-      const uint64_t key = ConditioningChecksum(features_.value(), cache_salt_);
+      const uint64_t key = ConditioningChecksum(features.value(), cache_salt_);
       ConditioningEntry e;
-      if (cache_.Lookup(key, features_.value(), &e)) {
+      if (cache_.Lookup(key, features.value(), &e)) {
         m = Variable(e.delta, /*requires_grad=*/false);
       } else {
         // Version captured before the mapping net runs: an optimizer step
         // landing mid-compute makes this insert a no-op (TOCTOU guard).
         const uint64_t ver = autograd::GlobalParameterVersion();
-        Variable core_c = mapping_->Forward(features_);
+        Variable core_c = mapping_->Forward(features);
         m = contract_recovery(core_c);
-        cache_.Insert(key, features_.value(), core_c.value(), m.value(), ver);
+        cache_.Insert(key, features.value(), core_c.value(), m.value(), ver);
       }
     } else {
-      m = contract_recovery(mapping_->Forward(features_));
+      m = contract_recovery(mapping_->Forward(features));
     }
 
     // U[n, r0, r1] = Σ_i x[n,i] A[r0, i, r1], flattened to q = r0*R + r1.

@@ -30,7 +30,6 @@ class MetaLoraCpLinear : public Adapter {
   Variable Forward(const Variable& x) override;
 
   int64_t AdapterParamCount() const override;
-  void SetFeatures(const Variable& features) override { features_ = features; }
 
   /// Materializes this sample's ΔW = A·diag(c)·B (analysis/tests only).
   Tensor DeltaWeightFor(const Tensor& seed_c) const;
@@ -46,7 +45,6 @@ class MetaLoraCpLinear : public Adapter {
   Variable lora_a_;  // [R, I] (paper's A^{I×R} transposed into Linear layout)
   Variable lora_b_;  // [O, R] (paper's B^{R×O} transposed)
   float scaling_;
-  Variable features_;
   ConditioningCache cache_;
   uint64_t cache_salt_ = NextAdapterCacheSalt();
 };
@@ -59,7 +57,6 @@ class MetaLoraTrLinear : public Adapter {
   Variable Forward(const Variable& x) override;
 
   int64_t AdapterParamCount() const override;
-  void SetFeatures(const Variable& features) override { features_ = features; }
 
   /// Materializes ΔW for one generated core C [R, R] via tn::TrMatrix
   /// (analysis/tests only).
@@ -76,7 +73,6 @@ class MetaLoraTrLinear : public Adapter {
   Variable core_a_;  // [R, I, R]
   Variable core_b_;  // [R, O, R]
   float scaling_;
-  Variable features_;
   ConditioningCache cache_;
   uint64_t cache_salt_ = NextAdapterCacheSalt();
 };

@@ -58,8 +58,9 @@ MoeLoraLinear::MoeLoraLinear(std::unique_ptr<nn::Linear> base,
 }
 
 Variable MoeLoraLinear::GateWeights() {
-  ML_CHECK(features_.defined()) << "MoeLoraLinear: SetFeatures before gating";
-  return autograd::SoftmaxLastDim(gate_->Forward(features_));
+  const Variable& features = bound_features();
+  ML_CHECK(features.defined()) << "MoeLoraLinear: SetFeatures before gating";
+  return autograd::SoftmaxLastDim(gate_->Forward(features));
 }
 
 Variable MoeLoraLinear::Forward(const Variable& x) {
@@ -111,10 +112,11 @@ MoeLoraConv::MoeLoraConv(std::unique_ptr<nn::Conv2d> base,
 }
 
 Variable MoeLoraConv::Forward(const Variable& x) {
-  ML_CHECK(features_.defined()) << "MoeLoraConv: SetFeatures before Forward";
-  ML_CHECK_EQ(features_.dim(0), x.dim(0));
+  const Variable& features = bound_features();
+  ML_CHECK(features.defined()) << "MoeLoraConv: SetFeatures before Forward";
+  ML_CHECK_EQ(features.dim(0), x.dim(0));
   Variable y = base_->Forward(x);
-  Variable weights = autograd::SoftmaxLastDim(gate_->Forward(features_));
+  Variable weights = autograd::SoftmaxLastDim(gate_->Forward(features));
   const int64_t out = base_->out_channels();
   ConvGeom pointwise;
   pointwise.kernel_h = 1;

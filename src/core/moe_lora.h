@@ -28,7 +28,6 @@ class MoeLoraLinear : public Adapter {
 
   Variable Forward(const Variable& x) override;
   int64_t AdapterParamCount() const override;
-  void SetFeatures(const Variable& features) override { features_ = features; }
 
   /// Gate weights [N, E] for the bound features (analysis/tests).
   Variable GateWeights();
@@ -39,7 +38,6 @@ class MoeLoraLinear : public Adapter {
   std::vector<Variable> lora_a_;  // per expert, [R, I]
   std::vector<Variable> lora_b_;  // per expert, [O, R]
   float scaling_;
-  Variable features_;
 };
 
 class MoeLoraConv : public Adapter {
@@ -48,7 +46,6 @@ class MoeLoraConv : public Adapter {
 
   Variable Forward(const Variable& x) override;
   int64_t AdapterParamCount() const override;
-  void SetFeatures(const Variable& features) override { features_ = features; }
 
  private:
   nn::Conv2d* base_;
@@ -56,7 +53,6 @@ class MoeLoraConv : public Adapter {
   std::vector<Variable> lora_a_;  // per expert, [R, I, K, K]
   std::vector<Variable> lora_b_;  // per expert, [O, R]
   float scaling_;
-  Variable features_;
 };
 
 }  // namespace core

@@ -61,12 +61,9 @@ MultiLoraLinear::MultiLoraLinear(std::unique_ptr<nn::Linear> base,
   }
 }
 
-void MultiLoraLinear::SetTaskIds(const std::vector<int64_t>& task_ids) {
-  task_ids_ = task_ids;
-}
-
 Variable MultiLoraLinear::Forward(const Variable& x) {
   const int64_t n = x.dim(0);
+  const std::vector<int64_t>& task_ids = bound_task_ids();
   const bool oracle =
       options_.multi_lora_mode == MultiLoraMode::kOracleRouting;
   // Every per-task adapter branch is independent of the base path and of
@@ -79,7 +76,7 @@ Variable MultiLoraLinear::Forward(const Variable& x) {
     Variable mask;
     if (oracle) {
       int64_t count = 0;
-      mask = TaskMask(task_ids_, n, t, &count);
+      mask = TaskMask(task_ids, n, t, &count);
       if (count == 0) continue;
     }
     ps.Spawn([this, &x, t, mask] {
@@ -143,13 +140,10 @@ MultiLoraConv::MultiLoraConv(std::unique_ptr<nn::Conv2d> base,
   }
 }
 
-void MultiLoraConv::SetTaskIds(const std::vector<int64_t>& task_ids) {
-  task_ids_ = task_ids;
-}
-
 Variable MultiLoraConv::Forward(const Variable& x) {
   const int64_t n = x.dim(0);
   const int64_t out = base_->out_channels();
+  const std::vector<int64_t>& task_ids = bound_task_ids();
   const bool oracle =
       options_.multi_lora_mode == MultiLoraMode::kOracleRouting;
   ConvGeom pointwise;
@@ -161,7 +155,7 @@ Variable MultiLoraConv::Forward(const Variable& x) {
     Variable mask;
     if (oracle) {
       int64_t count = 0;
-      mask = TaskMask(task_ids_, n, t, &count);
+      mask = TaskMask(task_ids, n, t, &count);
       if (count == 0) continue;
     }
     ps.Spawn([this, &x, t, mask, out, pointwise] {

@@ -26,7 +26,6 @@ class MultiLoraLinear : public Adapter {
 
   Variable Forward(const Variable& x) override;
   int64_t AdapterParamCount() const override;
-  void SetTaskIds(const std::vector<int64_t>& task_ids) override;
 
  private:
   nn::Linear* base_;
@@ -35,7 +34,6 @@ class MultiLoraLinear : public Adapter {
   std::vector<Variable> branch_scale_;  // per branch, scalar (kSum mode)
   int64_t branch_rank_ = 1;
   float scaling_;
-  std::vector<int64_t> task_ids_;
 };
 
 class MultiLoraConv : public Adapter {
@@ -45,7 +43,6 @@ class MultiLoraConv : public Adapter {
 
   Variable Forward(const Variable& x) override;
   int64_t AdapterParamCount() const override;
-  void SetTaskIds(const std::vector<int64_t>& task_ids) override;
 
  private:
   nn::Conv2d* base_;
@@ -54,7 +51,6 @@ class MultiLoraConv : public Adapter {
   std::vector<Variable> branch_scale_;  // per branch, scalar (kSum mode)
   int64_t branch_rank_ = 1;
   float scaling_;
-  std::vector<int64_t> task_ids_;
 };
 
 }  // namespace core

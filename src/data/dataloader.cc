@@ -27,7 +27,20 @@ Batch DataLoader::GetBatch(int64_t b) const {
   ML_CHECK(b >= 0 && b < num_batches()) << "batch index out of range";
   const int64_t lo = b * batch_size_;
   const int64_t hi = std::min<int64_t>(dataset_->size(), lo + batch_size_);
-  std::vector<int64_t> rows(order_.begin() + lo, order_.begin() + hi);
+  return GetBatchSlice(b, 0, hi - lo);
+}
+
+Batch DataLoader::GetBatchSlice(int64_t b, int64_t lo, int64_t hi) const {
+  ML_CHECK(b >= 0 && b < num_batches()) << "batch index out of range";
+  const int64_t batch_lo = b * batch_size_;
+  const int64_t batch_hi =
+      std::min<int64_t>(dataset_->size(), batch_lo + batch_size_);
+  ML_CHECK(lo >= 0 && lo <= hi && batch_lo + hi <= batch_hi)
+      << "batch slice [" << lo << ", " << hi << ") out of range for batch "
+      << b << " of size " << (batch_hi - batch_lo);
+  if (lo == hi) return Batch{};
+  std::vector<int64_t> rows(order_.begin() + batch_lo + lo,
+                            order_.begin() + batch_lo + hi);
   Batch batch;
   batch.images = GatherRows(dataset_->images, rows);
   batch.labels.reserve(rows.size());
@@ -41,6 +54,17 @@ Batch DataLoader::GetBatch(int64_t b) const {
 
 void DataLoader::Reshuffle() {
   if (shuffle_) rng_.Shuffle(order_);
+}
+
+void ShardRange(int64_t n, int shards, int shard, int64_t* lo, int64_t* hi) {
+  ML_CHECK_GE(n, 0);
+  ML_CHECK_GT(shards, 0);
+  ML_CHECK(shard >= 0 && shard < shards) << "shard index out of range";
+  const int64_t base = n / shards;
+  const int64_t rem = n % shards;
+  const int64_t s = shard;
+  *lo = s * base + std::min<int64_t>(s, rem);
+  *hi = *lo + base + (s < rem ? 1 : 0);
 }
 
 }  // namespace data

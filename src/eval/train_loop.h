@@ -1,0 +1,41 @@
+// The shared epoch/step loop behind PretrainBackbone and AdaptModel —
+// extracted so both entry points run the identical pipeline, and home of
+// the data-parallel multi-replica path.
+//
+// Replica model (TrainOptions::num_replicas > 1): every batch splits into
+// `grad_shards` fixed contiguous micro-shards (data::ShardRange). Each
+// shard runs forward + backward as its own deterministic single-threaded
+// program — its own RuntimeContext (replica_id = shard index), its own
+// generation-tagged step arena, its own GradSink — through ONE shared
+// module tree (per-replica adapter binding slots, BatchNorm running stats
+// gated to replica 0). ThreadPool::ForkJoinReplicas executes shards on
+// `num_replicas` lanes (round-robin), the coordinator tree-reduces the
+// sinks in fixed binary order (stride doubling over shard index), and
+// Optimizer::AccumulateAndStep clips the reduced gradient once and steps.
+// Because the shard grid and reduction order are fixed by grad_shards
+// alone, trained parameters are bit-identical for ANY replica count > 1
+// and invariant to the elastic lane schedule.
+#ifndef METALORA_EVAL_TRAIN_LOOP_H_
+#define METALORA_EVAL_TRAIN_LOOP_H_
+
+#include "common/result.h"
+#include "data/task_suite.h"
+#include "eval/trainer.h"
+
+namespace metalora {
+namespace eval {
+
+/// Runs the full training loop. `ctx == nullptr` means pre-training (train
+/// mode, all parameters); non-null means adaptation (eval mode, adapter
+/// parameters only, per-batch feature/task-id binding). Fails with
+/// InvalidArgument when num_replicas > 1 meets active dropout — per-module
+/// Rng draws would depend on shard interleaving, which the determinism
+/// contract forbids.
+Result<TrainStats> TrainLoop(Backbone& backbone,
+                             const data::MultiTaskDataset& train,
+                             const TrainOptions& options, AdaptContext* ctx);
+
+}  // namespace eval
+}  // namespace metalora
+
+#endif  // METALORA_EVAL_TRAIN_LOOP_H_

@@ -1,17 +1,10 @@
 #include "eval/trainer.h"
 
 #include <cstring>
-#include <optional>
 
-#include "autograd/graph.h"
-#include "autograd/ops.h"
 #include "autograd/runtime_context.h"
-#include "common/logging.h"
-#include "common/timer.h"
-#include "eval/metrics.h"
-#include "optim/adam.h"
-#include "optim/grad_clip.h"
-#include "tensor/tensor_ops.h"
+#include "common/check.h"
+#include "eval/train_loop.h"
 
 namespace metalora {
 namespace eval {
@@ -67,128 +60,10 @@ Backbone MakeTransformerBackbone(const nn::TransformerConfig& config) {
   return bb;
 }
 
-namespace {
-
-// Shared epoch loop for pre-training and adaptation; `ctx` enables the
-// per-batch adapter bindings and switches the backbone to eval mode.
-Result<TrainStats> RunTraining(Backbone& backbone,
-                               const data::MultiTaskDataset& train,
-                               const TrainOptions& options, AdaptContext* ctx) {
-  if (train.size() == 0) {
-    return Status::InvalidArgument("training dataset is empty");
-  }
-  if (options.epochs < 1 || options.batch_size < 1) {
-    return Status::InvalidArgument("epochs and batch_size must be positive");
-  }
-
-  const bool adapting = ctx != nullptr;
-  // Pre-training uses train mode (live batch-norm); adaptation freezes the
-  // backbone statistics by staying in eval mode.
-  backbone.module->SetTraining(!adapting);
-
-  std::vector<nn::Variable> trainable;
-  for (auto* v : backbone.module->TrainableParameters()) trainable.push_back(*v);
-  if (trainable.empty()) {
-    return Status::FailedPrecondition("no trainable parameters");
-  }
-
-  optim::AdamOptions adam_opts;
-  adam_opts.lr = options.lr;
-  adam_opts.weight_decay = options.weight_decay;
-  optim::Adam optimizer(trainable, adam_opts);
-
-  data::DataLoader loader(train, options.batch_size, /*shuffle=*/true,
-                          options.seed);
-
-  // Step-scoped arena: one batch's whole graph — forward intermediates,
-  // saved tensors, backward scratch — lives in generation-tagged blocks
-  // reclaimed wholesale by NextGeneration() at the next batch boundary.
-  // Everything the loop reads after the step either lives on the heap
-  // already (loss/logits are read before the bump) or is pinned there by
-  // Backward (leaf gradients, for the optimizer).
-  autograd::WorkspaceArena step_arena;
-  autograd::RuntimeContext arena_ctx;
-  std::optional<autograd::RuntimeContextScope> arena_scope;
-  if (options.step_arena) {
-    arena_ctx.set_profiling(autograd::RuntimeContext::Current().profiling());
-    arena_ctx.set_arena(&step_arena);
-    arena_ctx.set_arena_serves_grad(true);
-    arena_scope.emplace(&arena_ctx);
-  }
-
-  TrainStats stats;
-  Timer timer;
-  double last_acc = 0.0;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    double loss_acc = 0.0;
-    int64_t seen = 0, correct = 0;
-    for (int64_t b = 0; b < loader.num_batches(); ++b) {
-      if (options.step_arena) step_arena.NextGeneration();
-      data::Batch batch = loader.GetBatch(b);
-      nn::Variable x(batch.images, /*requires_grad=*/false);
-
-      if (adapting) {
-        if (ctx->extractor != nullptr) {
-          Tensor feats = ctx->extractor->Extract(batch.images);
-          ctx->injection.BindFeatures(
-              nn::Variable(std::move(feats), /*requires_grad=*/false));
-        }
-        ctx->injection.BindTaskIds(batch.task_ids);
-      }
-
-      nn::Variable logits = backbone.forward_logits(x);
-      nn::Variable loss = autograd::SoftmaxCrossEntropy(logits, batch.labels);
-
-      if (epoch == 0 && b == 0) {
-        // One step's graph is representative of them all (same architecture,
-        // same batch shape); collect it once while it is still alive.
-        stats.graph = autograd::CollectGraphStats(loss);
-        if (options.verbose) {
-          ML_LOG(Info) << (adapting ? "adapt" : "pretrain") << " graph "
-                       << stats.graph.ToString();
-        }
-      }
-
-      backbone.module->ZeroGrad();
-      ML_RETURN_IF_ERROR(autograd::Backward(loss));
-      if (options.clip_norm > 0) {
-        optim::ClipGradNorm(trainable, options.clip_norm);
-      }
-      optimizer.Step();
-
-      loss_acc += loss.value().flat(0) * static_cast<double>(batch.size());
-      seen += batch.size();
-      const auto preds = metalora::ArgmaxRows(logits.value());
-      for (size_t i = 0; i < preds.size(); ++i) {
-        if (preds[i] == batch.labels[i]) ++correct;
-      }
-    }
-    loader.Reshuffle();
-    const double epoch_loss = loss_acc / static_cast<double>(seen);
-    last_acc = static_cast<double>(correct) / static_cast<double>(seen);
-    stats.epoch_losses.push_back(epoch_loss);
-    if (options.verbose) {
-      ML_LOG(Info) << (adapting ? "adapt" : "pretrain") << " epoch "
-                   << (epoch + 1) << "/" << options.epochs << " loss "
-                   << epoch_loss << " acc " << last_acc;
-    }
-  }
-  stats.final_train_accuracy = last_acc;
-  stats.seconds = timer.Seconds();
-  if (options.step_arena) {
-    stats.arena_hit_rate = arena_ctx.ArenaHitRate();
-    stats.arena_pin_count = arena_ctx.pin_count();
-    stats.arena_peak_bytes = step_arena.peak_bytes();
-  }
-  return stats;
-}
-
-}  // namespace
-
 Result<TrainStats> PretrainBackbone(Backbone& backbone,
                                     const data::MultiTaskDataset& train,
                                     const TrainOptions& options) {
-  return RunTraining(backbone, train, options, nullptr);
+  return TrainLoop(backbone, train, options, nullptr);
 }
 
 Result<TrainStats> AdaptModel(Backbone& backbone,
@@ -197,7 +72,7 @@ Result<TrainStats> AdaptModel(Backbone& backbone,
   if (ctx == nullptr) {
     return Status::InvalidArgument("AdaptModel requires a context");
   }
-  return RunTraining(backbone, train, options, ctx);
+  return TrainLoop(backbone, train, options, ctx);
 }
 
 Tensor ExtractDatasetFeatures(Backbone& backbone,

@@ -12,6 +12,7 @@
 
 #include "autograd/graph.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/feature_extractor.h"
 #include "core/inject.h"
 #include "data/dataloader.h"
@@ -55,6 +56,34 @@ struct TrainOptions {
   /// batch. Leaf gradients are pinned to the heap for the optimizer.
   /// Numerically identical to heap allocation; off only for A/B benches.
   bool step_arena = true;
+
+  // --- Data-parallel replicas ---------------------------------------------
+  // Determinism contract (see DESIGN.md "Data-parallel training"):
+  //   * num_replicas == 1 is the exact legacy single-replica program,
+  //     bit-identical to the trainer before replicas existed.
+  //   * num_replicas > 1 decomposes every batch into `grad_shards` fixed
+  //     micro-shards; each shard's gradient is an independent deterministic
+  //     single-threaded program, and shards combine in a fixed binary-tree
+  //     order. The numerical program depends on grad_shards (and the usual
+  //     seed/data/model inputs) but NOT on num_replicas, the pool size, the
+  //     elastic schedule, or thread timing — so any replica count > 1 trains
+  //     bit-identical parameters, reproducibly across runs and machines.
+
+  /// Number of replica lanes executing shards concurrently. 1 (default)
+  /// runs the legacy path; > 1 enables shard-parallel training. Lane counts
+  /// above grad_shards are clamped (a lane needs at least one shard).
+  int num_replicas = 1;
+  /// Numerical decomposition width for num_replicas > 1: how many
+  /// micro-shards each batch splits into. Part of the numerical program —
+  /// changing it changes trained parameters; changing num_replicas does not.
+  int grad_shards = 8;
+  /// Elastic mode: per-step lane count (called with the global step index,
+  /// result clamped to [1, grad_shards]), letting replicas join or leave
+  /// between steps. Scheduling only — trained parameters are identical to
+  /// any fixed lane count. Ignored when num_replicas == 1.
+  std::function<int(int64_t step)> elastic_lanes = nullptr;
+  /// Pool the replica lanes fork onto; nullptr = GlobalThreadPool().
+  ThreadPool* replica_pool = nullptr;
 };
 
 struct TrainStats {

@@ -38,6 +38,8 @@ class Dropout : public Module {
   Dropout(float p, uint64_t seed);
   Variable Forward(const Variable& x) override;
 
+  float p() const { return p_; }
+
  private:
   float p_;
   Rng rng_;

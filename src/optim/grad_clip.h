@@ -9,8 +9,17 @@
 namespace metalora {
 namespace optim {
 
-/// Scales all gradients so the global L2 norm is at most `max_norm`.
-/// Returns the pre-clipping norm.
+/// Scales all gradients so the GLOBAL L2 norm is at most `max_norm`:
+/// the norm is sqrt(sum over params of |grad_p|²) — one number for the
+/// whole set — and when it exceeds `max_norm` every gradient is scaled by
+/// the same factor max_norm / norm. This differs from clipping each
+/// parameter's gradient to `max_norm` independently: per-parameter
+/// clipping changes the update *direction* (large-gradient params are
+/// shrunk relative to small-gradient ones) while global clipping only
+/// changes its length (see optim_test.cc GlobalClipDiffersFromPerParam).
+/// Data-parallel training depends on the global form: clipping the tree-
+/// reduced gradient once is then equivalent to single-replica clipping on
+/// the combined batch. Returns the pre-clipping global norm.
 double ClipGradNorm(const std::vector<autograd::Variable>& params,
                     double max_norm);
 

@@ -1,0 +1,35 @@
+#include "optim/optimizer.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "optim/grad_clip.h"
+
+namespace metalora {
+namespace optim {
+
+double Optimizer::AccumulateAndStep(std::vector<Tensor> reduced_grads,
+                                    double clip_norm) {
+  ML_CHECK_EQ(reduced_grads.size(), params_.size())
+      << "reduced gradient count does not match parameter count";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    // Replace, don't add: the caller already reduced every replica's
+    // contribution, and stale single-replica grads left on the shared
+    // parameters must not leak into the update.
+    params_[i].ZeroGrad();
+    if (reduced_grads[i].defined()) {
+      ML_CHECK(reduced_grads[i].shape() == params_[i].shape())
+          << "reduced gradient " << i << " shape mismatch";
+      params_[i].mutable_grad() = std::move(reduced_grads[i]);
+    }
+  }
+  double pre_clip_norm = 0;
+  if (clip_norm > 0) {
+    pre_clip_norm = ClipGradNorm(params_, clip_norm);
+  }
+  Step();
+  return pre_clip_norm;
+}
+
+}  // namespace optim
+}  // namespace metalora

@@ -1,12 +1,20 @@
 // Optimizer interface. Optimizers hold copies of parameter Variables
 // (which share state with the module registry) and per-parameter slots
 // keyed by the underlying VariableImpl.
+//
+// Parameter ordering is stable: `params_` keeps exactly the order the
+// constructor received (module registration order in practice) and never
+// reorders. Data-parallel training relies on this — replicas index their
+// reduced gradients by position in params(), and the tree all-reduce visits
+// parameters in this order, so the ordering is part of the bit-identity
+// contract.
 #ifndef METALORA_OPTIM_OPTIMIZER_H_
 #define METALORA_OPTIM_OPTIMIZER_H_
 
 #include <vector>
 
 #include "autograd/variable.h"
+#include "tensor/tensor.h"
 
 namespace metalora {
 namespace optim {
@@ -22,6 +30,18 @@ class Optimizer {
   /// Applies one update using the gradients accumulated on the parameters.
   /// Parameters with undefined gradients are skipped.
   virtual void Step() = 0;
+
+  /// Steps on externally reduced gradients: installs `reduced_grads[i]` as
+  /// the gradient of `params()[i]` (replacing anything accumulated there),
+  /// applies global-norm clipping ONCE to the installed set when
+  /// `clip_norm > 0` — the reduced gradient is clipped, never the
+  /// per-replica contributions, so clipping semantics match single-replica
+  /// training on the combined batch — and then calls Step(). Undefined
+  /// entries mean "no gradient this step" and are skipped like undefined
+  /// .grad in Step(). `reduced_grads` must align with params() by position.
+  /// Returns the pre-clipping global L2 norm (0 when clip_norm <= 0).
+  double AccumulateAndStep(std::vector<Tensor> reduced_grads,
+                           double clip_norm);
 
   /// Clears all parameter gradients.
   void ZeroGrad() {

@@ -161,5 +161,96 @@ TEST(ThreadPoolTest, NestedParallelForRunsInlineOnWorker) {
   EXPECT_EQ(sum.load(), 32);
 }
 
+TEST(ForkJoinReplicasTest, RunsEveryLaneExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int kLanes = 8;  // more lanes than workers: excess lanes queue
+  std::vector<std::atomic<int>> ran(kLanes);
+  for (auto& r : ran) r.store(0);
+  pool.ForkJoinReplicas(kLanes, [&](int lane) {
+    ASSERT_GE(lane, 0);
+    ASSERT_LT(lane, kLanes);
+    ran[static_cast<size_t>(lane)].fetch_add(1);
+  });
+  for (int lane = 0; lane < kLanes; ++lane) {
+    EXPECT_EQ(ran[static_cast<size_t>(lane)].load(), 1) << "lane " << lane;
+  }
+}
+
+TEST(ForkJoinReplicasTest, ZeroWorkerPoolRunsLanesInOrder) {
+  ThreadPool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<int> order;
+  pool.ForkJoinReplicas(4, [&](int lane) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(lane);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ForkJoinReplicasTest, LanesRunWithWorkerInlineGuardSet) {
+  // Every lane — scheduled or caller-run — must see the inline-kernel
+  // environment: nested ParallelFor stays on the lane's own thread.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> guard_ok(3);
+  for (auto& g : guard_ok) g.store(0);
+  pool.ForkJoinReplicas(3, [&](int lane) {
+    guard_ok[static_cast<size_t>(lane)].store(
+        ThreadPool::InWorkerThread() ? 1 : 0);
+    const std::thread::id self = std::this_thread::get_id();
+    pool.ParallelFor(0, 64, 1, [&](int64_t, int64_t) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+    });
+  });
+  for (int lane = 0; lane < 3; ++lane) {
+    EXPECT_EQ(guard_ok[static_cast<size_t>(lane)].load(), 1)
+        << "lane " << lane << " ran without the worker-inline guard";
+  }
+  // The guard is restored after the join on the calling thread.
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+TEST(ForkJoinReplicasTest, NestedForkRunsSerially) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ForkJoinReplicas(2, [&](int) {
+    const std::thread::id self = std::this_thread::get_id();
+    // A fork from inside a lane must not re-enter the queue (the outer
+    // lanes may occupy every worker): it runs its lanes inline.
+    pool.ForkJoinReplicas(3, [&](int) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 6);
+}
+
+TEST(ForkJoinReplicasTest, SingleLaneRunsOnCaller) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  int ran = 0;
+  pool.ForkJoinReplicas(1, [&](int lane) {
+    EXPECT_EQ(lane, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++ran;
+  });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ForkJoinReplicasTest, ConcurrentWritesToDisjointSlotsStress) {
+  // TSan coverage for the trainer's usage pattern: each lane bumps its own
+  // arena-like slot many times while the others do the same.
+  ThreadPool pool(3);
+  constexpr int kLanes = 4, kIters = 200;
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<int64_t> slot(kLanes, 0);
+    pool.ForkJoinReplicas(kLanes, [&](int lane) {
+      for (int i = 0; i < kIters; ++i) ++slot[static_cast<size_t>(lane)];
+    });
+    for (int lane = 0; lane < kLanes; ++lane) {
+      ASSERT_EQ(slot[static_cast<size_t>(lane)], kIters);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace metalora

@@ -227,6 +227,86 @@ TEST(DataLoaderTest, EmptyDatasetDies) {
   EXPECT_DEATH(DataLoader(empty, 4, false, 0), "empty");
 }
 
+TEST(DataLoaderTest, ShuffleOrderDependsOnlyOnSeed) {
+  // The replica determinism contract leans on this: sample order is a
+  // function of (seed, Reshuffle count) alone, never of who reads the
+  // loader or in what slices.
+  SyntheticImageGenerator gen(Spec(), 4);
+  MultiTaskDataset ds = MakeBaseDataset(gen, 26, 51);
+  DataLoader whole(ds, 8, true, 9);
+  DataLoader sliced(ds, 8, true, 9);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int64_t b = 0; b < whole.num_batches(); ++b) {
+      Batch full = whole.GetBatch(b);
+      // Read the same batch as shards, in reverse shard order.
+      std::vector<int64_t> labels, task_ids;
+      labels.resize(static_cast<size_t>(full.size()));
+      task_ids.resize(static_cast<size_t>(full.size()));
+      for (int s = 3; s >= 0; --s) {
+        int64_t lo = 0, hi = 0;
+        ShardRange(full.size(), 4, s, &lo, &hi);
+        Batch shard = sliced.GetBatchSlice(b, lo, hi);
+        for (int64_t i = lo; i < hi; ++i) {
+          labels[static_cast<size_t>(i)] =
+              shard.labels[static_cast<size_t>(i - lo)];
+          task_ids[static_cast<size_t>(i)] =
+              shard.task_ids[static_cast<size_t>(i - lo)];
+        }
+      }
+      EXPECT_EQ(labels, full.labels) << "epoch " << epoch << " batch " << b;
+      EXPECT_EQ(task_ids, full.task_ids);
+    }
+    whole.Reshuffle();
+    sliced.Reshuffle();
+  }
+}
+
+TEST(DataLoaderTest, BatchSliceRowsMatchFullBatchBitwise) {
+  SyntheticImageGenerator gen(Spec(), 4);
+  MultiTaskDataset ds = MakeBaseDataset(gen, 10, 53);
+  DataLoader loader(ds, 8, true, 3);
+  Batch full = loader.GetBatch(0);
+  const int64_t row_floats = full.images.numel() / full.size();
+  for (int s = 0; s < 3; ++s) {
+    int64_t lo = 0, hi = 0;
+    ShardRange(full.size(), 3, s, &lo, &hi);
+    Batch shard = loader.GetBatchSlice(0, lo, hi);
+    ASSERT_EQ(shard.size(), hi - lo);
+    EXPECT_TRUE(std::equal(shard.images.data(),
+                           shard.images.data() + shard.images.numel(),
+                           full.images.data() + lo * row_floats));
+  }
+  // The empty range is a valid (absent) shard.
+  EXPECT_EQ(loader.GetBatchSlice(0, 4, 4).size(), 0);
+}
+
+TEST(ShardRangeTest, PartitionsExactlyWithLargerShardsFirst) {
+  for (int64_t n : {0, 1, 2, 7, 8, 9, 31, 64}) {
+    for (int shards : {1, 2, 3, 8, 16}) {
+      int64_t expected_lo = 0;
+      int64_t min_size = n, max_size = 0;
+      for (int s = 0; s < shards; ++s) {
+        int64_t lo = 0, hi = 0;
+        ShardRange(n, shards, s, &lo, &hi);
+        EXPECT_EQ(lo, expected_lo) << "gap at n=" << n << " s=" << s;
+        EXPECT_GE(hi, lo);
+        min_size = std::min(min_size, hi - lo);
+        max_size = std::max(max_size, hi - lo);
+        if (s > 0) {
+          int64_t prev_lo = 0, prev_hi = 0;
+          ShardRange(n, shards, s - 1, &prev_lo, &prev_hi);
+          EXPECT_LE(hi - lo, prev_hi - prev_lo) << "larger shards first";
+        }
+        expected_lo = hi;
+      }
+      EXPECT_EQ(expected_lo, n) << "partition must cover [0, n) exactly";
+      if (n >= shards) {
+        EXPECT_LE(max_size - min_size, 1);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace metalora

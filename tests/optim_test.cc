@@ -171,11 +171,104 @@ TEST(GradClipTest, NormClipNoopWhenSmall) {
   EXPECT_NEAR(w.grad().flat(0), 0.1f, 1e-7);
 }
 
+// Regression for the documented GLOBAL-norm semantics: clipping the set
+// jointly and clipping each parameter independently give different
+// gradients, and the difference is directional, not just a scale. If
+// ClipGradNorm ever silently became per-parameter, this test fails.
+TEST(GradClipTest, GlobalClipDiffersFromPerParam) {
+  // Two params with very different gradient magnitudes: |g_a| = 8, |g_b| = 1.
+  Variable a(Tensor::Ones(Shape{4}), true);
+  Variable b(Tensor::Ones(Shape{4}), true);
+  a.AccumulateGrad(Tensor::Full(Shape{4}, 4.0f));   // norm 8
+  b.AccumulateGrad(Tensor::Full(Shape{4}, 0.5f));   // norm 1
+  const double max_norm = 2.0;
+
+  const double global = ClipGradNorm({a, b}, max_norm);
+  EXPECT_NEAR(global, std::sqrt(65.0), 1e-4);
+  // Global clip preserves the ratio between the two gradients...
+  const float ga = a.grad().flat(0);
+  const float gb = b.grad().flat(0);
+  EXPECT_NEAR(ga / gb, 8.0f, 1e-4);
+  // ...and caps the JOINT norm at max_norm.
+  const double na = Norm2(a.grad());
+  const double nb = Norm2(b.grad());
+  EXPECT_NEAR(std::sqrt(na * na + nb * nb), max_norm, 1e-4);
+
+  // Per-parameter clipping (each norm capped at max_norm independently)
+  // would instead give |g_a| = 2 and |g_b| = 1 — ratio 2, not 8. Build it
+  // by hand and confirm the two policies diverge on the same input.
+  Variable a2(Tensor::Ones(Shape{4}), true);
+  Variable b2(Tensor::Ones(Shape{4}), true);
+  a2.AccumulateGrad(Tensor::Full(Shape{4}, 4.0f));
+  b2.AccumulateGrad(Tensor::Full(Shape{4}, 0.5f));
+  ClipGradNorm({a2}, max_norm);  // clip each param alone = per-param policy
+  ClipGradNorm({b2}, max_norm);
+  const float pa = a2.grad().flat(0);
+  const float pb = b2.grad().flat(0);
+  EXPECT_NEAR(pa / pb, 2.0f, 1e-4);           // direction changed
+  EXPECT_GT(std::abs(pa / pb - ga / gb), 1.0f);  // policies disagree
+}
+
+TEST(GradClipTest, NoopWhenAllGradsUndefined) {
+  Variable w(Tensor::Ones(Shape{4}), true);
+  EXPECT_EQ(ClipGradNorm({w}, 1.0), 0.0);
+  EXPECT_FALSE(w.grad().defined());
+}
+
 TEST(GradClipTest, ValueClipClamps) {
   Variable w(Tensor::Ones(Shape{3}), true);
   w.AccumulateGrad(Tensor::FromVector(Shape{3}, {-5.0f, 0.5f, 7.0f}));
   ClipGradValue({w}, 1.0);
   EXPECT_EQ(w.grad().ToVector(), (std::vector<float>{-1.0f, 0.5f, 1.0f}));
+}
+
+// AccumulateAndStep(grads, clip) must be bit-identical to the legacy
+// sequence "accumulate into .grad, ClipGradNorm, Step" — it is the join
+// point the data-parallel trainer steps through, and any drift here breaks
+// the N=1 bit-identity contract.
+TEST(AccumulateAndStepTest, MatchesManualClipThenStep) {
+  const std::vector<float> w0 = {1.0f, -2.0f, 3.0f, 0.5f};
+  const std::vector<float> g0 = {4.0f, -1.0f, 2.5f, 8.0f};
+
+  Variable manual(Tensor::FromVector(Shape{4}, w0), true);
+  SgdOptions opts;
+  opts.lr = 0.1;
+  opts.momentum = 0.9;
+  Sgd sgd_manual({manual}, opts);
+  manual.AccumulateGrad(Tensor::FromVector(Shape{4}, g0));
+  ClipGradNorm({manual}, 2.0);
+  sgd_manual.Step();
+
+  Variable reduced(Tensor::FromVector(Shape{4}, w0), true);
+  Sgd sgd_reduced({reduced}, opts);
+  const double norm = sgd_reduced.AccumulateAndStep(
+      {Tensor::FromVector(Shape{4}, g0)}, 2.0);
+
+  EXPECT_NEAR(norm, std::sqrt(16 + 1 + 6.25 + 64), 1e-4);
+  EXPECT_EQ(manual.value().ToVector(), reduced.value().ToVector());
+}
+
+TEST(AccumulateAndStepTest, ReplacesStaleAccumulatedGrads) {
+  Variable w(Tensor::Zeros(Shape{2}), true);
+  SgdOptions opts;
+  opts.lr = 1.0;
+  Sgd sgd({w}, opts);
+  // Stale single-replica grad on the shared parameter must not leak into
+  // the reduced update.
+  w.AccumulateGrad(Tensor::Full(Shape{2}, 100.0f));
+  sgd.AccumulateAndStep({Tensor::Ones(Shape{2})}, /*clip_norm=*/0.0);
+  EXPECT_EQ(w.value().ToVector(), (std::vector<float>{-1.0f, -1.0f}));
+}
+
+TEST(AccumulateAndStepTest, SkipsUndefinedEntries) {
+  Variable a(Tensor::Ones(Shape{1}), true);
+  Variable b(Tensor::Ones(Shape{1}), true);
+  SgdOptions opts;
+  opts.lr = 0.5;
+  Sgd sgd({a, b}, opts);
+  sgd.AccumulateAndStep({Tensor::Ones(Shape{1}), Tensor()}, 0.0);
+  EXPECT_NEAR(a.value().flat(0), 0.5f, 1e-6);
+  EXPECT_EQ(b.value().flat(0), 1.0f);  // untouched
 }
 
 }  // namespace
