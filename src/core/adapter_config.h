@@ -12,6 +12,8 @@
 namespace metalora {
 namespace core {
 
+class ConditioningCache;
+
 using nn::Variable;
 
 /// The adaptation methods compared in the paper's Table I.
@@ -81,6 +83,12 @@ class Adapter : public nn::Module {
   /// Number of trainable parameters added by the adapter (excludes the
   /// frozen base layer).
   virtual int64_t AdapterParamCount() const = 0;
+
+  /// The adapter's conditioning-keyed ΔW/seed cache, when the kind has one
+  /// (the MetaLoRA adapters override this); nullptr otherwise. Lets code
+  /// that handles adapters polymorphically — the serving registry, stats
+  /// aggregation — reach the cache without downcasting per kind.
+  virtual ConditioningCache* conditioning_cache() { return nullptr; }
 
   /// MetaLoRA / MoE adapters: binds the conditioning features
   /// [N, feature_dim] for the next Forward on the calling replica's slot.

@@ -1,0 +1,135 @@
+#include "core/adapter_factory.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "core/conv_lora.h"
+#include "core/lora_linear.h"
+#include "core/metalora_conv.h"
+#include "core/metalora_linear.h"
+#include "core/moe_lora.h"
+#include "core/multi_lora.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace metalora {
+namespace core {
+
+namespace {
+
+bool NeedsFeatures(AdapterKind kind) {
+  return kind == AdapterKind::kMetaLoraCp || kind == AdapterKind::kMetaLoraTr ||
+         kind == AdapterKind::kMoeLora;
+}
+
+Result<std::unique_ptr<Adapter>> BuildLinearAdapter(const AdapterSpec& spec) {
+  const BaseLayerSpec& b = spec.base;
+  if (b.in_features <= 0 || b.out_features <= 0) {
+    return Status::InvalidArgument("linear base needs positive in/out features");
+  }
+  Rng rng(b.init_seed);
+  auto base = std::make_unique<nn::Linear>(b.in_features, b.out_features,
+                                           b.bias, rng);
+  switch (spec.options.kind) {
+    case AdapterKind::kLora:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<LoraLinear>(std::move(base), spec.options));
+    case AdapterKind::kMultiLora:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<MultiLoraLinear>(std::move(base), spec.options));
+    case AdapterKind::kMoeLora:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<MoeLoraLinear>(std::move(base), spec.options));
+    case AdapterKind::kMetaLoraCp:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<MetaLoraCpLinear>(std::move(base), spec.options));
+    case AdapterKind::kMetaLoraTr:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<MetaLoraTrLinear>(std::move(base), spec.options));
+    case AdapterKind::kNone:
+      break;
+  }
+  return Status::InvalidArgument("no adapter to build for kind 'Original'");
+}
+
+Result<std::unique_ptr<Adapter>> BuildConvAdapter(const AdapterSpec& spec) {
+  const BaseLayerSpec& b = spec.base;
+  if (b.in_channels <= 0 || b.out_channels <= 0 || b.kernel <= 0) {
+    return Status::InvalidArgument("conv base needs positive channels/kernel");
+  }
+  Rng rng(b.init_seed);
+  auto base = std::make_unique<nn::Conv2d>(b.in_channels, b.out_channels,
+                                           b.kernel, b.stride, b.padding,
+                                           b.bias, rng);
+  switch (spec.options.kind) {
+    case AdapterKind::kLora:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<ConvLora>(std::move(base), spec.options));
+    case AdapterKind::kMultiLora:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<MultiLoraConv>(std::move(base), spec.options));
+    case AdapterKind::kMoeLora:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<MoeLoraConv>(std::move(base), spec.options));
+    case AdapterKind::kMetaLoraCp:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<MetaLoraCpConv>(std::move(base), spec.options));
+    case AdapterKind::kMetaLoraTr:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<MetaLoraTrConv>(std::move(base), spec.options));
+    case AdapterKind::kNone:
+      break;
+  }
+  return Status::InvalidArgument("no adapter to build for kind 'Original'");
+}
+
+}  // namespace
+
+AdapterSpec LinearAdapterSpec(AdapterKind kind, int64_t in_features,
+                              int64_t out_features, int64_t rank,
+                              int64_t feature_dim, uint64_t seed) {
+  AdapterSpec spec;
+  spec.options.kind = kind;
+  spec.options.rank = rank;
+  spec.options.feature_dim = feature_dim;
+  spec.options.seed = seed;
+  spec.base.kind = BaseLayerKind::kLinear;
+  spec.base.in_features = in_features;
+  spec.base.out_features = out_features;
+  spec.base.init_seed = seed ^ 0x9E3779B97F4A7C15ull;
+  return spec;
+}
+
+AdapterSpec ConvAdapterSpec(AdapterKind kind, int64_t in_channels,
+                            int64_t out_channels, int64_t kernel, int64_t rank,
+                            int64_t feature_dim, uint64_t seed) {
+  AdapterSpec spec;
+  spec.options.kind = kind;
+  spec.options.rank = rank;
+  spec.options.feature_dim = feature_dim;
+  spec.options.seed = seed;
+  spec.base.kind = BaseLayerKind::kConv2d;
+  spec.base.in_channels = in_channels;
+  spec.base.out_channels = out_channels;
+  spec.base.kernel = kernel;
+  spec.base.init_seed = seed ^ 0x9E3779B97F4A7C15ull;
+  return spec;
+}
+
+Result<std::unique_ptr<Adapter>> BuildAdapter(const AdapterSpec& spec) {
+  if (NeedsFeatures(spec.options.kind) && spec.options.feature_dim <= 0) {
+    return Status::InvalidArgument(
+        "adapter kind " + AdapterKindName(spec.options.kind) +
+        " needs a positive feature_dim");
+  }
+  switch (spec.base.kind) {
+    case BaseLayerKind::kLinear:
+      return BuildLinearAdapter(spec);
+    case BaseLayerKind::kConv2d:
+      return BuildConvAdapter(spec);
+  }
+  return Status::InvalidArgument("unknown base layer kind");
+}
+
+}  // namespace core
+}  // namespace metalora

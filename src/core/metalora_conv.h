@@ -34,7 +34,7 @@ class MetaLoraCpConv : public Adapter {
   MappingNet* mapping_net() { return mapping_; }
 
   /// Seed cache consulted by no-grad forwards (see conditioning_cache.h).
-  ConditioningCache* conditioning_cache() { return &cache_; }
+  ConditioningCache* conditioning_cache() override { return &cache_; }
 
  private:
   nn::Conv2d* base_;
@@ -57,7 +57,7 @@ class MetaLoraTrConv : public Adapter {
   MappingNet* mapping_net() { return mapping_; }
 
   /// Seed + recovery-weight cache consulted by no-grad forwards.
-  ConditioningCache* conditioning_cache() { return &cache_; }
+  ConditioningCache* conditioning_cache() override { return &cache_; }
 
  private:
   nn::Conv2d* base_;

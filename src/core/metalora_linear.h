@@ -37,7 +37,7 @@ class MetaLoraCpLinear : public Adapter {
   MappingNet* mapping_net() { return mapping_; }
 
   /// Seed cache consulted by no-grad forwards (see conditioning_cache.h).
-  ConditioningCache* conditioning_cache() { return &cache_; }
+  ConditioningCache* conditioning_cache() override { return &cache_; }
 
  private:
   nn::Linear* base_;
@@ -65,7 +65,7 @@ class MetaLoraTrLinear : public Adapter {
   MappingNet* mapping_net() { return mapping_; }
 
   /// Seed + recovery-weight cache consulted by no-grad forwards.
-  ConditioningCache* conditioning_cache() { return &cache_; }
+  ConditioningCache* conditioning_cache() override { return &cache_; }
 
  private:
   nn::Linear* base_;

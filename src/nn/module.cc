@@ -178,7 +178,8 @@ Status Module::ApplyState(const std::string& prefix,
     const std::string key = prefix + n;
     auto it = state.find(key);
     if (it == state.end()) {
-      return Status::NotFound("missing parameter in checkpoint: " + key);
+      return Status::InvalidArgument("missing parameter in checkpoint: " +
+                                     key);
     }
     if (!(it->second.shape() == v.shape())) {
       return Status::InvalidArgument(
@@ -193,10 +194,13 @@ Status Module::ApplyState(const std::string& prefix,
     const std::string key = prefix + "buf:" + n;
     auto it = state.find(key);
     if (it == state.end()) {
-      return Status::NotFound("missing buffer in checkpoint: " + key);
+      return Status::InvalidArgument("missing buffer in checkpoint: " + key);
     }
     if (!(it->second.shape() == b->shape())) {
-      return Status::InvalidArgument("shape mismatch for buffer " + key);
+      return Status::InvalidArgument(
+          "shape mismatch for buffer " + key + ": checkpoint " +
+          it->second.shape().ToString() + " vs model " +
+          b->shape().ToString());
     }
     b->CopyDataFrom(it->second);
     applied->push_back(key);

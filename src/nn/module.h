@@ -120,9 +120,16 @@ class Module {
   /// Full state (parameters + buffers) with prefixed names.
   std::map<std::string, Tensor> StateDict() const;
 
-  /// Loads tensors by name. Fails with NotFound / InvalidArgument on missing
-  /// names or shape mismatches; extra names in `state` are an error too, so
-  /// architecture drift is caught loudly.
+  /// Loads tensors by name. Strict by construction: the state must match
+  /// the module's registry exactly, or the load fails with InvalidArgument
+  /// naming the offending key —
+  ///   - a registered parameter or buffer missing from `state`,
+  ///   - an extra tensor in `state` no parameter or buffer claims, or
+  ///   - a shape mismatch (checkpoint shape vs model shape in the message).
+  /// On failure the module may be partially updated (tensors preceding the
+  /// offending key were already copied); callers needing all-or-nothing
+  /// semantics load into a freshly constructed module and swap, which is
+  /// what serve::AdapterRegistry does on its lazy-load path.
   Status LoadStateDict(const std::map<std::string, Tensor>& state);
 
   /// Saves / loads the state dict to a file.

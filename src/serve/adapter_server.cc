@@ -70,6 +70,26 @@ int AdapterServer::RegisterSession(core::Adapter* adapter,
   return static_cast<int>(sessions_.size()) - 1;
 }
 
+int AdapterServer::RegisterTenantSession(AdapterRegistry* registry,
+                                         const std::string& tenant) {
+  ML_CHECK(registry != nullptr);
+  ML_CHECK(!tenant.empty());
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    ML_CHECK(!started_) << "RegisterTenantSession after Start";
+  }
+  auto session = std::make_unique<Session>();
+  session->registry = registry;
+  session->tenant = tenant;
+  if (options_.result_cache_entries > 0) {
+    session->result_cache = std::make_unique<core::ConditioningCache>(
+        options_.result_cache_entries);
+    session->result_salt = core::NextAdapterCacheSalt();
+  }
+  sessions_.push_back(std::move(session));
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
 void AdapterServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   ML_CHECK(!started_) << "Start called twice";
@@ -296,17 +316,39 @@ void AdapterServer::ExecuteBatch(Batch batch) {
   const Tensor features_cat = eval::ConcatRows(feature_parts);
   const Tensor x_cat = eval::ConcatRows(x_parts);
 
+  // Registry-backed sessions resolve their adapter per batch: the acquired
+  // shared_ptr snapshot pins the instance (RCU) for the duration of the
+  // forward, so a concurrent Publish or eviction never tears it.
+  std::shared_ptr<ResidentAdapter> handle;
+  core::Adapter* adapter = session.adapter;
+  std::mutex* forward_mu = &session.forward_mu;
+  if (session.registry != nullptr) {
+    auto acquired = session.registry->Acquire(
+        session.tenant, static_cast<int64_t>(misses.size()));
+    if (!acquired.ok()) {
+      // Unregistered tenant or torn/unreadable checkpoint: the batch cannot
+      // run. Fail its requests rather than hang their futures.
+      FailRequests(&misses);
+      return;
+    }
+    handle = std::move(acquired).value();
+    adapter = handle->adapter.get();
+    forward_mu = &handle->forward_mu;
+  }
+
   // Captured before the forward: if an optimizer Step() lands while the
   // batch is in flight, the result-cache inserts below become no-ops
-  // (same TOCTOU discipline as ConditioningCache::SeedOrCompute).
+  // (same TOCTOU discipline as ConditioningCache::SeedOrCompute). For
+  // registry sessions Publish bumps this too, so results computed on a
+  // just-swapped-out version cannot be cached as current.
   const uint64_t param_version = autograd::GlobalParameterVersion();
   Tensor output;
   {
-    // Adapters bind features statefully; one forward per session at a time.
-    std::lock_guard<std::mutex> lock(session.forward_mu);
-    session.adapter->SetFeatures(
+    // Adapters bind features statefully; one forward per instance at a time.
+    std::lock_guard<std::mutex> lock(*forward_mu);
+    adapter->SetFeatures(
         autograd::Variable(features_cat, /*requires_grad=*/false));
-    autograd::Variable y = session.adapter->Forward(
+    autograd::Variable y = adapter->Forward(
         autograd::Variable(x_cat, /*requires_grad=*/false));
     output = y.value();
   }
@@ -321,6 +363,14 @@ void AdapterServer::ExecuteBatch(Batch batch) {
     }
     CompleteRequest(&misses[i], outputs[i]);
   }
+}
+
+void AdapterServer::FailRequests(std::vector<Request>* requests) {
+  for (Request& r : *requests) {
+    r.promise->set_value(Tensor());
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.requests_failed += static_cast<int64_t>(requests->size());
 }
 
 void AdapterServer::CompleteRequest(Request* request, Tensor result) {

@@ -49,6 +49,7 @@
 #include "common/bounded_queue.h"
 #include "core/adapter_config.h"
 #include "core/conditioning_cache.h"
+#include "serve/adapter_registry.h"
 #include "serve/serve_stats.h"
 #include "tensor/tensor.h"
 
@@ -92,6 +93,17 @@ class AdapterServer {
   int RegisterSession(core::Adapter* adapter,
                       core::ConditioningCache* adapter_cache = nullptr);
 
+  /// Registers a registry-backed session: the adapter is resolved through
+  /// `registry->Acquire(tenant)` per batch, so it is loaded lazily on the
+  /// first request, may be evicted and reloaded between batches, and can be
+  /// hot-swapped by a concurrent Publish with no downtime (each batch runs
+  /// to completion on the version snapshot it acquired). The registry must
+  /// outlive the server; `tenant` need not be registered yet at call time,
+  /// but requests fail (undefined Tensor, requests_failed) until it is.
+  /// Call before Start().
+  int RegisterTenantSession(AdapterRegistry* registry,
+                            const std::string& tenant);
+
   /// Launches the batcher and worker threads.
   void Start();
 
@@ -131,11 +143,17 @@ class AdapterServer {
   };
 
   struct Session {
+    /// Static sessions: the adapter served for the session's lifetime.
+    /// Null for registry-backed sessions, which resolve per batch.
     core::Adapter* adapter = nullptr;
     /// The adapter's own ΔW/seed cache, for stats aggregation only.
     core::ConditioningCache* adapter_cache = nullptr;
+    /// Registry-backed sessions: where and what to Acquire per batch.
+    AdapterRegistry* registry = nullptr;
+    std::string tenant;
     /// Serializes SetFeatures + Forward (the adapter binds features
-    /// statefully) across workers.
+    /// statefully) across workers. Static sessions only — registry-backed
+    /// batches use the acquired handle's forward_mu, which is per version.
     std::mutex forward_mu;
     /// Serve-level result cache: packed (features, x) bytes -> output rows.
     std::unique_ptr<core::ConditioningCache> result_cache;
@@ -148,6 +166,7 @@ class AdapterServer {
   void FlushPending(std::vector<Request>* pending, bool drain,
                     int64_t* flush_counter);
   void CompleteRequest(Request* request, Tensor result);
+  void FailRequests(std::vector<Request>* requests);
 
   AdapterServerOptions options_;
   std::vector<std::unique_ptr<Session>> sessions_;

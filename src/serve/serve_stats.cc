@@ -36,6 +36,7 @@ std::string ServeStats::ExportJson() const {
   os << "{";
   os << "\"requests_completed\": " << requests_completed
      << ", \"requests_rejected\": " << requests_rejected
+     << ", \"requests_failed\": " << requests_failed
      << ", \"batches_executed\": " << batches_executed
      << ", \"batched_rows\": " << batched_rows
      << ", \"mean_batch_size\": " << MeanBatchSize()

@@ -20,6 +20,10 @@ struct ServeStats {
   // Request accounting.
   int64_t requests_completed = 0;
   int64_t requests_rejected = 0;  // TrySubmit refusals (queue full) + closed
+  /// Accepted requests whose adapter could not be resolved (registry-backed
+  /// sessions: missing tenant, torn/unreadable checkpoint). Their futures
+  /// resolve to an undefined Tensor.
+  int64_t requests_failed = 0;
 
   // Micro-batcher accounting.
   int64_t batches_executed = 0;   // batches that ran an adapter forward

@@ -1,6 +1,7 @@
 #include "tensor/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -60,8 +61,13 @@ Result<Tensor> ReadTensor(std::istream& is) {
   for (uint32_t i = 0; i < rank; ++i) {
     if (!ReadPod(is, &dims[i])) return Status::Corruption("truncated dims");
     if (dims[i] < 0 || dims[i] > kMaxDim) return Status::Corruption("absurd dim");
+    // Guard by division before multiplying: two dims near kMaxDim would wrap
+    // numel past the cap (signed int64 overflow is UB, and the wrapped value
+    // could slip under kMaxDim and bypass the allocation bound).
+    if (dims[i] != 0 && numel > kMaxDim / dims[i]) {
+      return Status::Corruption("absurd numel");
+    }
     numel *= dims[i];
-    if (numel > kMaxDim) return Status::Corruption("absurd numel");
   }
   Tensor t{Shape(dims)};
   is.read(reinterpret_cast<char*>(t.data()),
@@ -72,18 +78,39 @@ Result<Tensor> ReadTensor(std::istream& is) {
 
 Status SaveTensorMap(const std::string& path,
                      const std::map<std::string, Tensor>& tensors) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os.is_open()) return Status::IOError("cannot open " + path);
-  os.write(kCheckpointMagic, 4);
-  WritePod(os, kVersion);
-  WritePod(os, static_cast<uint64_t>(tensors.size()));
-  for (const auto& [name, tensor] : tensors) {
-    WritePod(os, static_cast<uint64_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    ML_RETURN_IF_ERROR(WriteTensor(os, tensor));
+  // Atomic-rename protocol: the complete checkpoint is written to
+  // `<path>.tmp` and renamed into place only once every byte flushed
+  // cleanly. A crash or ENOSPC mid-write can strand a temp file, but the
+  // final path always holds either the previous checkpoint or the new one —
+  // never a torn prefix that a later load would reject as Corruption.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) return Status::IOError("cannot open " + tmp_path);
+    os.write(kCheckpointMagic, 4);
+    WritePod(os, kVersion);
+    WritePod(os, static_cast<uint64_t>(tensors.size()));
+    for (const auto& [name, tensor] : tensors) {
+      WritePod(os, static_cast<uint64_t>(name.size()));
+      os.write(name.data(), static_cast<std::streamsize>(name.size()));
+      Status st = WriteTensor(os, tensor);
+      if (!st.ok()) {
+        os.close();
+        std::remove(tmp_path.c_str());
+        return st;
+      }
+    }
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp_path.c_str());
+      return Status::IOError("checkpoint write failed: " + tmp_path);
+    }
   }
-  os.flush();
-  if (!os.good()) return Status::IOError("checkpoint write failed: " + path);
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IOError("cannot rename " + tmp_path + " into " + path);
+  }
   return Status::OK();
 }
 

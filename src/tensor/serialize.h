@@ -24,7 +24,10 @@ Status WriteTensor(std::ostream& os, const Tensor& t);
 /// absurd ranks/dims or truncated data.
 Result<Tensor> ReadTensor(std::istream& is);
 
-/// Saves a named map of tensors to `path`.
+/// Saves a named map of tensors to `path` atomically: the bytes are written
+/// to `<path>.tmp` and renamed into place only after a clean flush, so the
+/// final path never holds a torn checkpoint (a failed save returns IOError,
+/// removes the temp file, and leaves any previous checkpoint untouched).
 Status SaveTensorMap(const std::string& path,
                      const std::map<std::string, Tensor>& tensors);
 

@@ -96,12 +96,17 @@ TEST(ModuleTest, LoadStateDictRoundTrip) {
   EXPECT_TRUE(AllClose(a.weight().value(), b.weight().value()));
 }
 
+// The strict contract: every mismatch is InvalidArgument and the message
+// names the offending key, so a bad lazy-load in the serving registry
+// reports which tensor drifted rather than a bare error code.
 TEST(ModuleTest, LoadStateDictMissingKeyFails) {
   Rng rng(2);
   Linear a(4, 3, true, rng);
   auto state = a.StateDict();
   state.erase("bias");
-  EXPECT_EQ(a.LoadStateDict(state).code(), StatusCode::kNotFound);
+  Status s = a.LoadStateDict(state);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bias"), std::string::npos);
 }
 
 TEST(ModuleTest, LoadStateDictExtraKeyFails) {
@@ -109,7 +114,9 @@ TEST(ModuleTest, LoadStateDictExtraKeyFails) {
   Linear a(4, 3, true, rng);
   auto state = a.StateDict();
   state["bogus"] = Tensor::Ones(Shape{1});
-  EXPECT_EQ(a.LoadStateDict(state).code(), StatusCode::kInvalidArgument);
+  Status s = a.LoadStateDict(state);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("bogus"), std::string::npos);
 }
 
 TEST(ModuleTest, LoadStateDictShapeMismatchFails) {
@@ -117,7 +124,27 @@ TEST(ModuleTest, LoadStateDictShapeMismatchFails) {
   Linear a(4, 3, true, rng);
   auto state = a.StateDict();
   state["weight"] = Tensor::Ones(Shape{3, 5});
-  EXPECT_EQ(a.LoadStateDict(state).code(), StatusCode::kInvalidArgument);
+  Status s = a.LoadStateDict(state);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("weight"), std::string::npos);
+}
+
+TEST(ModuleTest, LoadStateDictMissingBufferFails) {
+  BatchNorm2d bn(4);
+  auto state = bn.StateDict();
+  state.erase("buf:running_mean");
+  Status s = bn.LoadStateDict(state);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("buf:running_mean"), std::string::npos);
+}
+
+TEST(ModuleTest, LoadStateDictBufferShapeMismatchFails) {
+  BatchNorm2d bn(4);
+  auto state = bn.StateDict();
+  state["buf:running_var"] = Tensor::Ones(Shape{5});
+  Status s = bn.LoadStateDict(state);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("buf:running_var"), std::string::npos);
 }
 
 TEST(ModuleTest, CheckpointFileRoundTrip) {

@@ -90,6 +90,78 @@ TEST(SerializeTest, GarbageFileIsCorruption) {
   std::remove(path.c_str());
 }
 
+// Regression: a crafted header whose dims each pass the per-dim cap but
+// whose product wraps int64 must be rejected before any allocation — the
+// old `numel *= dims[i]` overflowed (UB) and could slip under the cap.
+TEST(SerializeTest, OverflowingNumelHeaderIsCorruption) {
+  std::stringstream ss;
+  ss.write("MLTN", 4);
+  const uint32_t version = 1, rank = 2;
+  ss.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  ss.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  const int64_t big = int64_t{1} << 39;  // each < kMaxDim; product wraps
+  ss.write(reinterpret_cast<const char*>(&big), sizeof(big));
+  ss.write(reinterpret_cast<const char*>(&big), sizeof(big));
+  auto r = ReadTensor(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+// Same guard at the boundary: a single huge-but-legal dim times a second
+// dim of 2 exceeds the cap without wrapping; must still be Corruption.
+TEST(SerializeTest, NumelJustOverCapIsCorruption) {
+  std::stringstream ss;
+  ss.write("MLTN", 4);
+  const uint32_t version = 1, rank = 2;
+  ss.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  ss.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  const int64_t a = int64_t{1} << 40;  // == kMaxDim, legal alone
+  const int64_t b = 2;
+  ss.write(reinterpret_cast<const char*>(&a), sizeof(a));
+  ss.write(reinterpret_cast<const char*>(&b), sizeof(b));
+  auto r = ReadTensor(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, SaveLeavesNoTempFile) {
+  const std::string path = "/tmp/ml_atomic_ckpt_test.bin";
+  std::map<std::string, Tensor> m;
+  m["x"] = Tensor::Ones(Shape{4});
+  ASSERT_TRUE(SaveTensorMap(path, m).ok());
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+// An unwritable destination fails with IOError and must not create the
+// final path (the atomic-rename contract's failure half).
+TEST(SerializeTest, SaveToMissingDirIsIOErrorWithoutFinalFile) {
+  const std::string path = "/tmp/ml_no_such_dir_xyz/ckpt.bin";
+  std::map<std::string, Tensor> m;
+  m["x"] = Tensor::Ones(Shape{4});
+  Status s = SaveTensorMap(path, m);
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+// Re-saving over an existing checkpoint replaces it wholesale: the load
+// after the second save sees exactly the second map.
+TEST(SerializeTest, ResaveReplacesPreviousCheckpoint) {
+  const std::string path = "/tmp/ml_resave_ckpt_test.bin";
+  std::map<std::string, Tensor> first, second;
+  first["a"] = Tensor::Ones(Shape{8});
+  second["b"] = Tensor::Zeros(Shape{3});
+  ASSERT_TRUE(SaveTensorMap(path, first).ok());
+  ASSERT_TRUE(SaveTensorMap(path, second).ok());
+  auto back = LoadTensorMap(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 1u);
+  EXPECT_TRUE(back.value().count("b"));
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, TruncatedCheckpointIsCorruption) {
   const std::string path = "/tmp/ml_trunc_ckpt.bin";
   std::map<std::string, Tensor> m;
