@@ -11,8 +11,20 @@
 //   2. Throughput (skipped under --smoke so weak CI runners don't flake):
 //      the 512×512×512 case must beat the naive reference by >= 2x.
 //
+// The low-precision tier gets its own section and contracts:
+//
+//   3. Correctness (always): bf16 dynamic == bf16 prepacked ==
+//      GemmReferenceBf16 bitwise, and int8 prepacked == GemmReferenceInt8
+//      bitwise, for every precision shape (including an odd-tail one).
+//   4. Throughput (skipped under --smoke): prepacked bf16 must beat the
+//      fp32 packed engine by >= 1.5x on the memory-bound serving shape
+//      (6 activation rows against a 2048x2048 frozen weight — the GEMM
+//      is bandwidth-bound, and the prepacked weight streams half the
+//      bytes with zero repacking).
+//
 // Flags: --smoke (1 rep, no perf assertion), --reps=N (packed-kernel rep
-// override), --profile (per-shape RuntimeContext op table at exit).
+// override), --profile (per-shape RuntimeContext op table at exit; the
+// trailer reports per-precision GEMM dispatch counts).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -29,6 +41,7 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "tensor/gemm.h"
+#include "tensor/lowp.h"
 #include "tensor/random_init.h"
 #include "tensor/tensor.h"
 
@@ -125,6 +138,120 @@ std::string Fmt(double v) {
   return buf;
 }
 
+// ---------------------------------------------------------------------------
+// Low-precision tier
+// ---------------------------------------------------------------------------
+
+// All shapes run as x·Wᵀ or A·B with A row-major (the layouts the prepacked
+// forms serve). serve_linear_6x2048 is the memory-bound contract shape:
+// 6 activation rows (one micro-tile) against a 2048x2048 frozen weight,
+// ~50 MFLOP over a 16 MB fp32 weight read — bandwidth, not FLOPs, is the
+// limiter. The dynamic fp32 path streams the weight plus a same-sized pack
+// write+read per call; the bf16 prepacked path reads 2 bytes/element once,
+// so it should land well past the 1.5x bar.
+struct PrecisionCase {
+  const char* name;
+  int64_t n, k, m;
+  bool trans_b;
+};
+
+constexpr PrecisionCase kPrecisionCases[] = {
+    {"serve_linear_6x2048", 6, 2048, 2048, true},
+    {"knn_dist", 128, 64, 2048, true},
+    {"square_256", 256, 256, 256, false},
+    {"lora_up_r8", 64, 8, 1024, true},
+    {"odd_tail_7x131x61", 7, 131, 61, true},
+};
+
+struct PrecisionRow {
+  const char* shape;
+  const char* variant;    // "bf16" / "bf16-prepacked" / "int8-prepacked"
+  const char* precision;  // "bf16" / "int8"
+  double gflops = 0.0;
+  double speedup_vs_fp32 = 0.0;
+  bool bit_identical = false;
+};
+
+std::vector<PrecisionRow> RunPrecisionCase(const PrecisionCase& c,
+                                           int packed_reps,
+                                           autograd::RuntimeContext& ctx) {
+  Rng rng(static_cast<uint64_t>(c.n * 257 + c.k * 31 + c.m));
+  Tensor a = RandomNormal(Shape{c.n, c.k}, rng);
+  Tensor b =
+      RandomNormal(c.trans_b ? Shape{c.m, c.k} : Shape{c.k, c.m}, rng);
+  Tensor out{Shape{c.n, c.m}};
+  Tensor oracle{Shape{c.n, c.m}};
+  const double flops = 2.0 * static_cast<double>(c.n) *
+                       static_cast<double>(c.k) * static_cast<double>(c.m);
+
+  // fp32 packed baseline for the speedup column.
+  ctx.RecordGemmDispatch(OpPrecision::kFp32);
+  const double fp32_sec = TimeKernel(
+      [&] {
+        GemmPacked(a.data(), false, b.data(), c.trans_b, out.data(), c.n, c.k,
+                   c.m, /*accumulate=*/false);
+      },
+      packed_reps);
+
+  const auto check = [&](const Tensor& got, const Tensor& want) {
+    for (int64_t i = 0; i < want.numel(); ++i) {
+      if (got.flat(i) != want.flat(i)) {
+        std::cout << "MISMATCH " << c.name << " at flat index " << i << ": "
+                  << got.flat(i) << " vs oracle " << want.flat(i) << "\n";
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<PrecisionRow> rows;
+
+  // bf16, dynamic packing (oracle: serial bf16 reference).
+  GemmReferenceBf16(a.data(), false, b.data(), c.trans_b, oracle.data(), c.n,
+                    c.k, c.m, /*accumulate=*/false);
+  ctx.RecordGemmDispatch(OpPrecision::kBf16);
+  const double bf16_sec = TimeKernel(
+      [&] {
+        GemmPackedBf16(a.data(), false, b.data(), c.trans_b, out.data(), c.n,
+                       c.k, c.m, /*accumulate=*/false);
+      },
+      packed_reps);
+  rows.push_back({c.name, "bf16", "bf16", flops / bf16_sec * 1e-9,
+                  fp32_sec / bf16_sec, check(out, oracle)});
+
+  // bf16, prepacked weight (pack once outside the timed region — the
+  // serving pattern). Must land on the same bits as the dynamic path.
+  const lowp::Bf16PackedWeight bw =
+      lowp::PackBf16Weight(b.data(), c.trans_b, c.k, c.m);
+  ctx.RecordGemmDispatch(OpPrecision::kBf16);
+  const double bf16p_sec = TimeKernel(
+      [&] {
+        lowp::GemmBf16Prepacked(a.data(), bw, out.data(), c.n,
+                                /*accumulate=*/false);
+      },
+      packed_reps);
+  rows.push_back({c.name, "bf16-prepacked", "bf16",
+                  flops / bf16p_sec * 1e-9, fp32_sec / bf16p_sec,
+                  check(out, oracle)});
+
+  // int8, prepacked weight (oracle: serial int8 quantization model).
+  lowp::GemmReferenceInt8(a.data(), b.data(), c.trans_b, oracle.data(), c.n,
+                          c.k, c.m, /*accumulate=*/false);
+  const lowp::Int8PackedWeight iw =
+      lowp::PackInt8Weight(b.data(), c.trans_b, c.k, c.m);
+  ctx.RecordGemmDispatch(OpPrecision::kInt8);
+  const double int8_sec = TimeKernel(
+      [&] {
+        lowp::GemmInt8Prepacked(a.data(), iw, out.data(), c.n,
+                                /*accumulate=*/false);
+      },
+      packed_reps);
+  rows.push_back({c.name, "int8-prepacked", "int8",
+                  flops / int8_sec * 1e-9, fp32_sec / int8_sec,
+                  check(out, oracle)});
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,8 +288,10 @@ int main(int argc, char** argv) {
   // blocking (the lazy trigger would otherwise fold the sweep into the
   // first large case's warm-up).
   const GemmTiles tiles = AutotuneGemmTiles();
-  std::cout << "autotuned tiles: MC=" << tiles.mc << " KC=" << tiles.kc
-            << " NC=" << tiles.nc << "\n\n";
+  const GemmTiles bf16_tiles = AutotuneGemmTiles(OpPrecision::kBf16);
+  std::cout << "autotuned tiles: fp32 MC=" << tiles.mc << " KC=" << tiles.kc
+            << " NC=" << tiles.nc << " | bf16 MC=" << bf16_tiles.mc
+            << " KC=" << bf16_tiles.kc << " NC=" << bf16_tiles.nc << "\n\n";
 
   TablePrinter table("gemm kernels");
   table.SetHeader({"shape", "n", "k", "m", "layout", "ref GF/s", "packed GF/s",
@@ -192,10 +321,46 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
+  // Low-precision tier: every variant against its serial oracle, speedups
+  // against the fp32 packed engine on the same shape.
+  std::cout << "\n";
+  TablePrinter lp_table("low-precision tier (speedup vs fp32 packed)");
+  lp_table.SetHeader(
+      {"shape", "variant", "GF/s", "vs fp32", "bit-identical"});
+  bool lp_identical = true;
+  double serve_bf16_prepacked_speedup = 0.0;
+  std::vector<PrecisionRow> lp_rows;
+  for (const PrecisionCase& c : kPrecisionCases) {
+    const double flops = 2.0 * static_cast<double>(c.n) *
+                         static_cast<double>(c.k) * static_cast<double>(c.m);
+    int packed_reps = static_cast<int>(cli.GetInt("reps"));
+    if (packed_reps <= 0) {
+      packed_reps = std::max(3, static_cast<int>(4e8 / flops));
+    }
+    if (smoke) packed_reps = 1;
+    for (const PrecisionRow& r : RunPrecisionCase(c, packed_reps, ctx)) {
+      lp_identical = lp_identical && r.bit_identical;
+      if (std::string(r.shape) == "serve_linear_6x2048" &&
+          std::string(r.variant) == "bf16-prepacked") {
+        serve_bf16_prepacked_speedup = r.speedup_vs_fp32;
+      }
+      lp_table.AddRow({r.shape, r.variant, Fmt(r.gflops),
+                       Fmt(r.speedup_vs_fp32),
+                       r.bit_identical ? "yes" : "NO"});
+      lp_rows.push_back(r);
+    }
+  }
+  lp_table.Print(std::cout);
+
   bool ok = true;
   if (!all_identical) {
     std::cout << "\nFAIL: packed engine diverges bit-wise from the naive "
                  "reference\n";
+    ok = false;
+  }
+  if (!lp_identical) {
+    std::cout << "\nFAIL: low-precision kernels diverge bit-wise from their "
+                 "serial oracles\n";
     ok = false;
   }
   const bool assert_speedup = !smoke;
@@ -204,11 +369,20 @@ int main(int argc, char** argv) {
               << "x < 2x over the naive reference\n";
     ok = false;
   }
+  if (assert_speedup && serve_bf16_prepacked_speedup < 1.5) {
+    std::cout << "\nFAIL: prepacked bf16 " << Fmt(serve_bf16_prepacked_speedup)
+              << "x fp32 on serve_linear_6x2048, expected >= 1.5x "
+                 "(memory-bound shape)\n";
+    ok = false;
+  }
   if (ok) {
     std::cout << "\nOK: all shapes bit-identical"
               << (assert_speedup
-                      ? ", square_512 speedup " + Fmt(square512_speedup) + "x"
-                      : " (throughput assertion skipped in smoke mode)")
+                      ? ", square_512 speedup " + Fmt(square512_speedup) +
+                            "x, prepacked bf16 " +
+                            Fmt(serve_bf16_prepacked_speedup) +
+                            "x fp32 on the serving shape"
+                      : " (throughput assertions skipped in smoke mode)")
               << "\n";
   }
 
@@ -226,14 +400,30 @@ int main(int argc, char** argv) {
          << ", \"k\": " << c.k << ", \"m\": " << c.m
          << ", \"trans_a\": " << (c.trans_a ? "true" : "false")
          << ", \"trans_b\": " << (c.trans_b ? "true" : "false")
+         << ", \"precision\": \"fp32\""
          << ", \"ref_gflops\": " << r.ref_gflops
          << ", \"packed_gflops\": " << r.packed_gflops
          << ", \"speedup\": " << r.speedup << ", \"bit_identical\": "
          << (r.bit_identical ? "true" : "false") << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
+  json << "  ],\n  \"precision_shapes\": [\n";
+  for (size_t i = 0; i < lp_rows.size(); ++i) {
+    const PrecisionRow& r = lp_rows[i];
+    json << "    {\"name\": \"" << r.shape << "\", \"variant\": \""
+         << r.variant << "\", \"precision\": \"" << r.precision
+         << "\", \"gflops\": " << r.gflops
+         << ", \"speedup_vs_fp32\": " << r.speedup_vs_fp32
+         << ", \"bit_identical\": " << (r.bit_identical ? "true" : "false")
+         << "}" << (i + 1 < lp_rows.size() ? "," : "") << "\n";
+  }
   json << "  ],\n"
+       << "  \"bf16_tiles\": {\"mc\": " << bf16_tiles.mc
+       << ", \"kc\": " << bf16_tiles.kc << ", \"nc\": " << bf16_tiles.nc
+       << "},\n"
        << "  \"square512_speedup\": " << square512_speedup << ",\n"
+       << "  \"serve_bf16_prepacked_speedup\": "
+       << serve_bf16_prepacked_speedup << ",\n"
        << "  \"speedup_asserted\": " << (assert_speedup ? "true" : "false")
        << ",\n"
        << "  \"ok\": " << (ok ? "true" : "false") << "\n"

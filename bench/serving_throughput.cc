@@ -13,15 +13,29 @@
 //
 // Contracts asserted here, not just reported:
 //   1. Bit-identity (always, including --smoke): every served output is
-//      byte-identical to a one-at-a-time no-grad forward on a twin adapter.
-//   2. Throughput (skipped under --smoke so weak CI runners don't flake):
+//      byte-identical to a one-at-a-time no-grad forward on a twin adapter
+//      *under the same autocast policy* — batching must never change bytes,
+//      at any precision. (Low-precision GEMMs process activation rows
+//      independently — per-row int8 scales, row-local bf16 chains — which
+//      is what makes this assertable.)
+//   2. Accuracy envelope (--precision=bf16|int8 only): the low-precision
+//      one-at-a-time reference must stay within a lenient relative error
+//      of the fp32 reference (bf16 <= 0.1, int8 <= 0.5); the measured max
+//      is printed and exported.
+//   3. Throughput (skipped under --smoke so weak CI runners don't flake):
 //      batched >= 2x serial at 8 clients, and a warm result cache >= 2x
 //      a cold one at 8 clients.
 //
+// `--precision=fp32|bf16|int8` wires AutocastPolicy::Serving(p) into the
+// server worker contexts and registers quantized shadows on the adapter at
+// load (the AdapterRegistry::Publish analogue for this in-process setup).
+// fp32 is the default and exercises the identical code path as no flag.
+//
 // Writes BENCH_serving.json (throughput + p50/p99 latency per client
-// count, batch-size distribution, cache hit rates and evictions); exits
-// nonzero if any contract fails.
+// count, batch-size distribution, cache hit rates and evictions, per-
+// precision GEMM dispatch counts); exits nonzero if any contract fails.
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -38,8 +52,11 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "core/metalora_linear.h"
+#include "core/precision_shadows.h"
 #include "nn/linear.h"
 #include "serve/adapter_server.h"
+#include "tensor/autocast.h"
+#include "tensor/lowp.h"
 #include "tensor/random_init.h"
 
 using namespace metalora;  // NOLINT
@@ -103,13 +120,19 @@ struct ScenarioResult {
 };
 
 /// Runs `clients` threads, each submitting `per_client` requests against a
-/// fresh adapter + server, and blocks until every future resolves.
+/// fresh adapter + server, and blocks until every future resolves. When
+/// `policy` enables a low-precision tier, quantized shadows are registered
+/// on the fresh adapter first (quantize-once-at-load, never per request).
 ScenarioResult RunScenario(const std::string& mode, int clients,
                            int per_client, int64_t max_batch_size,
                            int64_t key_space, int64_t result_cache_entries,
+                           const AutocastPolicy& policy,
                            bool cold_adapter_cache = false) {
   auto adapter = BuildAdapter();
+  std::vector<lowp::ShadowHandle> shadows;
+  if (policy.enabled) shadows = core::RegisterModuleShadows(*adapter);
   serve::AdapterServerOptions opts;
+  opts.autocast = policy;
   opts.max_batch_size = max_batch_size;
   opts.flush_deadline_us = 500;
   opts.num_workers = 2;
@@ -183,6 +206,9 @@ int main(int argc, char** argv) {
               "small request counts, skip throughput assertions (CI "
               "correctness guard on weak runners); bit-identity still "
               "asserted");
+  cli.AddString("precision", "fp32",
+                "serving GEMM tier: fp32 | bf16 | int8 (wires "
+                "AutocastPolicy::Serving into the worker contexts)");
   Status st = cli.Parse(argc, argv);
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n" << cli.Usage(argv[0]);
@@ -193,38 +219,87 @@ int main(int argc, char** argv) {
     return 0;
   }
   const bool smoke = cli.GetBool("smoke");
+  OpPrecision precision = OpPrecision::kFp32;
+  if (!ParseOpPrecision(cli.GetString("precision"), &precision)) {
+    std::cerr << "unknown --precision value '" << cli.GetString("precision")
+              << "' (want fp32 | bf16 | int8)\n";
+    return 2;
+  }
+  const AutocastPolicy policy = AutocastPolicy::Serving(precision);
   const int per_client = smoke ? 8 : 64;
   const std::vector<int> client_counts =
       smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4, 8};
 
   std::cout << "=== AdapterServer: batched vs one-at-a-time serving ===\n\n"
             << "hardware threads: " << std::thread::hardware_concurrency()
+            << " | precision: " << OpPrecisionName(precision)
             << (smoke ? " (smoke mode)" : "") << "\n\n";
 
   // Serial reference outputs, computed once on a twin adapter: the batched
   // server must reproduce these bytes exactly regardless of how requests
-  // got coalesced. Cold/warm scenarios reuse the same key space.
+  // got coalesced. Cold/warm scenarios reuse the same key space. The
+  // reference runs under the same autocast policy as the servers (with its
+  // own shadows registered), so bit-identity is asserted per tier; an fp32
+  // reference is kept alongside to measure the low-precision error.
   const int max_clients = *std::max_element(client_counts.begin(),
                                             client_counts.end());
   const int64_t max_requests =
       static_cast<int64_t>(max_clients) * per_client;
   auto ref_adapter = BuildAdapter();
+  std::vector<lowp::ShadowHandle> ref_shadows;
+  if (policy.enabled) {
+    ref_shadows = core::RegisterModuleShadows(*ref_adapter);
+  }
   std::vector<Tensor> reference(static_cast<size_t>(max_requests));
+  std::vector<Tensor> reference_fp32(static_cast<size_t>(max_requests));
   {
     autograd::NoGradGuard ng;
-    for (int64_t r = 0; r < max_requests; ++r) {
-      ref_adapter->SetFeatures(
-          autograd::Variable(RequestFeatures(r), /*requires_grad=*/false));
-      reference[static_cast<size_t>(r)] =
-          ref_adapter
-              ->Forward(autograd::Variable(RequestInput(r),
-                                           /*requires_grad=*/false))
-              .value()
-              .Clone();
-      // The reference is one-at-a-time by construction: clear the seed
-      // cache so every forward is cold.
-      ref_adapter->conditioning_cache()->Clear();
+    autograd::RuntimeContext& ctx = autograd::RuntimeContext::Current();
+    const AutocastPolicy saved_policy = ctx.autocast();
+    for (int pass = 0; pass < (policy.enabled ? 2 : 1); ++pass) {
+      // Pass 0: fp32. Pass 1 (low precision only): the serving policy.
+      ctx.set_autocast(pass == 0 ? AutocastPolicy::Disabled() : policy);
+      std::vector<Tensor>& dst = pass == 0 && policy.enabled
+                                     ? reference_fp32
+                                     : reference;
+      for (int64_t r = 0; r < max_requests; ++r) {
+        ref_adapter->SetFeatures(
+            autograd::Variable(RequestFeatures(r), /*requires_grad=*/false));
+        dst[static_cast<size_t>(r)] =
+            ref_adapter
+                ->Forward(autograd::Variable(RequestInput(r),
+                                             /*requires_grad=*/false))
+                .value()
+                .Clone();
+        // The reference is one-at-a-time by construction: clear the seed
+        // cache so every forward is cold.
+        ref_adapter->conditioning_cache()->Clear();
+      }
     }
+    ctx.set_autocast(saved_policy);
+  }
+
+  // Accuracy envelope: worst absolute deviation from the fp32 reference,
+  // normalized by that request's output magnitude (max-abs). Element-wise
+  // relative error is the wrong metric here — near-zero outputs from
+  // cancellation make the ratio meaningless at any precision.
+  double max_rel_err = 0.0;
+  if (policy.enabled) {
+    for (int64_t r = 0; r < max_requests; ++r) {
+      const Tensor& lo = reference[static_cast<size_t>(r)];
+      const Tensor& hi = reference_fp32[static_cast<size_t>(r)];
+      double max_abs = 0.0, max_diff = 0.0;
+      for (int64_t i = 0; i < lo.numel(); ++i) {
+        max_abs = std::max(max_abs,
+                           std::fabs(static_cast<double>(hi.data()[i])));
+        max_diff = std::max(
+            max_diff,
+            std::fabs(static_cast<double>(lo.data()[i]) - hi.data()[i]));
+      }
+      max_rel_err = std::max(max_rel_err, max_diff / std::max(max_abs, 1e-3));
+    }
+    std::cout << "max error vs fp32 reference (relative to output "
+              << "magnitude): " << max_rel_err << "\n\n";
   }
 
   // Sweep client counts in both modes. Caches are disabled here so the
@@ -237,7 +312,7 @@ int main(int argc, char** argv) {
                                      per_client,
                                      /*max_batch_size=*/batched ? 8 : 1,
                                      /*key_space=*/0,
-                                     /*result_cache_entries=*/0);
+                                     /*result_cache_entries=*/0, policy);
       for (int64_t id = 0; id < r.requests; ++id) {
         if (!BitIdentical(r.outputs[static_cast<size_t>(id)],
                           reference[static_cast<size_t>(id)])) {
@@ -277,11 +352,11 @@ int main(int argc, char** argv) {
   const int64_t key_space = smoke ? 4 : 16;  // smoke still sees repeats
   ScenarioResult cold = RunScenario("cold", cache_clients, per_client,
                                     /*max_batch_size=*/8, key_space,
-                                    /*result_cache_entries=*/0,
+                                    /*result_cache_entries=*/0, policy,
                                     /*cold_adapter_cache=*/true);
   ScenarioResult warm = RunScenario("warm", cache_clients, per_client,
                                     /*max_batch_size=*/8, key_space,
-                                    /*result_cache_entries=*/1024);
+                                    /*result_cache_entries=*/1024, policy);
   for (int64_t id = 0; id < warm.requests; ++id) {
     const int64_t r = id % key_space;
     if (!BitIdentical(warm.outputs[static_cast<size_t>(id)],
@@ -318,6 +393,16 @@ int main(int argc, char** argv) {
     std::cout << "FAIL: served outputs not bit-identical to one-at-a-time "
                  "forwards\n";
   }
+  // Lenient tier-specific error envelopes: this adapter's outputs are
+  // O(1)-scale, so these bound gross quantization bugs (wrong scale, wrong
+  // channel) without flaking on legitimate rounding.
+  const double rel_err_bound = precision == OpPrecision::kInt8 ? 0.5 : 0.1;
+  if (policy.enabled && max_rel_err > rel_err_bound) {
+    std::cout << "FAIL: " << OpPrecisionName(precision)
+              << " reference max relative error " << max_rel_err
+              << " vs fp32, expected <= " << rel_err_bound << "\n";
+    ok = false;
+  }
   if (!smoke) {
     if (batch_speedup < 2.0) {
       std::cout << "FAIL: batched serving " << Fmt(batch_speedup)
@@ -338,19 +423,25 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream json("BENCH_serving.json");
-  json << "{\n  \"scenarios\": [\n";
+  json << "{\n  \"precision\": \"" << OpPrecisionName(precision) << "\",\n"
+       << "  \"scenarios\": [\n";
   for (size_t i = 0; i < sweep.size(); ++i) {
     const ScenarioResult& r = sweep[i];
     json << "    {\"clients\": " << r.clients << ", \"mode\": \"" << r.mode
+         << "\", \"precision\": \"" << OpPrecisionName(precision)
          << "\", \"requests\": " << r.requests
          << ", \"throughput_rps\": " << r.throughput_rps
          << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
          << ", \"mean_batch_size\": " << r.mean_batch
          << ", \"size_flushes\": " << r.stats.size_flushes
-         << ", \"deadline_flushes\": " << r.stats.deadline_flushes << "}"
+         << ", \"deadline_flushes\": " << r.stats.deadline_flushes
+         << ", \"gemm_dispatch\": {\"fp32\": " << r.stats.gemm_dispatch[0]
+         << ", \"bf16\": " << r.stats.gemm_dispatch[1]
+         << ", \"int8\": " << r.stats.gemm_dispatch[2] << "}}"
          << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"max_rel_err_vs_fp32\": " << max_rel_err << ",\n"
        << "  \"batched_vs_serial_speedup_8c\": " << batch_speedup << ",\n"
        << "  \"warm_vs_cold_speedup\": " << cache_speedup << ",\n"
        << "  \"result_cache\": {\"hits\": " << warm.stats.result_cache_hits

@@ -6,6 +6,7 @@
 // Absolute numbers differ from the paper (different data substrate, CPU
 // scale); the reproduction target is the ordering and the significance
 // pattern. See EXPERIMENTS.md.
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 
@@ -20,10 +21,22 @@
 namespace {
 
 using metalora::CommandLine;
+using metalora::OpPrecision;
+using metalora::OpPrecisionName;
 using metalora::core::AdapterKind;
 using metalora::eval::BackboneKind;
 using metalora::eval::ExperimentConfig;
 using metalora::eval::Table1Result;
+
+/// Accuracy a low-precision serving tier may cost on Table-1 before this
+/// bench fails (absolute accuracy delta, fractional). Lenient on purpose:
+/// at quick scale one flipped KNN vote moves accuracy by ~1/64, and the
+/// bound guards against gross tier bugs (wrong scale, wrong operand), not
+/// legitimate rounding. Int8 quantizes both feature operands, so it gets
+/// twice the bf16 headroom.
+double PrecisionEpsilon(OpPrecision precision) {
+  return precision == OpPrecision::kInt8 ? 0.15 : 0.08;
+}
 
 ExperimentConfig BuildConfig(const CommandLine& cli, BackboneKind backbone) {
   ExperimentConfig c;
@@ -46,6 +59,9 @@ ExperimentConfig BuildConfig(const CommandLine& cli, BackboneKind backbone) {
   c.num_seeds = static_cast<int>(cli.GetInt("seeds"));
   c.seed = cli.GetInt("seed");
   c.verbose = cli.GetBool("verbose");
+  if (cli.GetBool("precision_check")) {
+    c.extra_eval_precisions = {OpPrecision::kBf16, OpPrecision::kInt8};
+  }
   if (cli.GetBool("quick")) {
     c.per_task_train = 32;
     c.per_task_test = 16;
@@ -89,6 +105,9 @@ int main(int argc, char** argv) {
   CommandLine cli;
   cli.AddBool("quick", false, "CI-scale run (tiny data, 1 seed)");
   cli.AddBool("verbose", false, "log per-epoch losses");
+  cli.AddBool("precision_check", true,
+              "rescore KNN under bf16/int8 autocast and assert accuracy "
+              "stays within the tier epsilon of fp32");
   cli.AddString("backbone", "both", "resnet | mixer | vit | both | all");
   cli.AddInt("image_size", 16, "square image extent");
   cli.AddInt("classes", 6, "number of geometry classes");
@@ -142,6 +161,7 @@ int main(int argc, char** argv) {
   }
 
   metalora::Timer timer;
+  bool precision_ok = true;
   std::cout << "=== Table I reproduction: KNN accuracy of adapted backbones "
                "===\n"
             << "(paper: MetaLoRA, ICDE'25 — synthetic multi-task substrate; "
@@ -181,6 +201,44 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
 
+    if (!config.extra_eval_precisions.empty()) {
+      metalora::TablePrinter lp_printer(
+          "Low-precision serving check: KNN rescored under "
+          "AutocastPolicy::Serving (delta vs fp32)");
+      std::vector<std::string> lp_header = {"Method", "Precision"};
+      for (int k : config.knn_ks) lp_header.push_back("K=" + std::to_string(k));
+      lp_printer.SetHeader(lp_header);
+      for (const auto& m : result->methods) {
+        for (OpPrecision prec : config.extra_eval_precisions) {
+          auto it = m.mean_accuracy_lowp.find(prec);
+          if (it == m.mean_accuracy_lowp.end()) continue;
+          std::vector<std::string> row = {
+              metalora::core::AdapterKindName(m.kind), OpPrecisionName(prec)};
+          for (int k : config.knn_ks) {
+            const double acc = it->second.at(k);
+            const double delta = acc - m.mean_accuracy.at(k);
+            row.push_back(metalora::FormatDouble(100.0 * acc, 2) + "% (" +
+                          (delta >= 0 ? "+" : "") +
+                          metalora::FormatDouble(100.0 * delta, 2) + ")");
+            const double eps = PrecisionEpsilon(prec);
+            if (std::fabs(delta) > eps) {
+              std::cerr << "FAIL: " << metalora::core::AdapterKindName(m.kind)
+                        << " K=" << k << " " << OpPrecisionName(prec)
+                        << " accuracy moved "
+                        << metalora::FormatDouble(100.0 * delta, 2)
+                        << " points vs fp32, epsilon is "
+                        << metalora::FormatDouble(100.0 * eps, 0)
+                        << " points\n";
+              precision_ok = false;
+            }
+          }
+          lp_printer.AddRow(row);
+        }
+      }
+      lp_printer.Print(std::cout);
+      std::cout << "\n";
+    }
+
     if (csv) {
       for (const auto& m : result->methods) {
         for (const auto& [k, accs] : m.accuracies) {
@@ -200,7 +258,10 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (!precision_ok) {
+    std::cout << "FAIL: low-precision KNN accuracy left the tier epsilon\n";
+  }
   std::cout << "total wall time: " << metalora::FormatDouble(timer.Seconds(), 1)
             << "s\n";
-  return 0;
+  return precision_ok ? 0 : 1;
 }

@@ -86,9 +86,13 @@ Variable Conv2d(const Variable& x, const Variable& weight,
   const bool has_bias = bias.defined();
   const int64_t ho = geom.OutExtent(x.dim(2), geom.kernel_h);
   const int64_t wo = geom.OutExtent(x.dim(3), geom.kernel_w);
+  // The im2col GEMM consults the autocast policy's conv category (resolves
+  // to fp32 whenever gradients are recorded); backward is always fp32.
+  const OpPrecision prec = ctx.PrecisionFor(OpCategory::kConv);
+  ctx.RecordGemmDispatch(prec);
   Tensor out = ctx.AllocResult(Shape{x.dim(0), weight.dim(0), ho, wo});
   Conv2dForwardInto(x.value(), weight.value(),
-                    has_bias ? bias.value() : Tensor(), geom, &out);
+                    has_bias ? bias.value() : Tensor(), geom, &out, prec);
   prof.set_output(out);
   std::vector<Variable> inputs =
       has_bias ? std::vector<Variable>{x, weight, bias}

@@ -4,6 +4,7 @@
 #include "autograd/op.h"
 #include "autograd/ops.h"
 #include "tensor/gemm.h"
+#include "tensor/lowp.h"
 #include "tensor/matmul.h"
 #include "tensor/tensor_ops.h"
 
@@ -11,6 +12,18 @@ namespace metalora {
 namespace autograd {
 
 namespace {
+
+// Resolves the forward-GEMM precision for a facade. Only the forward
+// facades consult the policy; every Backward() below runs fp32
+// unconditionally (the policy is no-grad-only anyway — PrecisionFor
+// returns fp32 while gradients are recorded). Facades whose operand
+// layout can't use the int8 prepacked form (no x·Wᵀ frozen weight)
+// downgrade int8 to bf16 here.
+OpPrecision ForwardGemmPrecision(RuntimeContext& ctx, bool int8_capable) {
+  OpPrecision p = ctx.PrecisionFor(OpCategory::kGemm);
+  if (p == OpPrecision::kInt8 && !int8_capable) p = OpPrecision::kBf16;
+  return p;
+}
 
 class MatmulOp final : public Op {
  public:
@@ -155,8 +168,17 @@ class PerSamplePointwiseConvOp final : public Op {
 Variable Matmul(const Variable& a, const Variable& b) {
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "Matmul");
+  // Plain A·B has no frozen x·Wᵀ weight, so int8 downgrades to bf16.
+  const OpPrecision prec = ForwardGemmPrecision(ctx, /*int8_capable=*/false);
+  ctx.RecordGemmDispatch(prec);
   Tensor out = ctx.AllocResult(Shape{a.dim(0), b.dim(1)});
-  MatmulInto(a.value(), b.value(), &out);
+  if (prec == OpPrecision::kBf16) {
+    GemmPackedBf16(a.value().data(), false, b.value().data(), false,
+                   out.data(), a.dim(0), a.dim(1), b.dim(1),
+                   /*accumulate=*/true);
+  } else {
+    MatmulInto(a.value(), b.value(), &out);
+  }
   prof.set_output(out);
   return MakeOpResult<MatmulOp>(std::move(out), {a, b}, a.value(), b.value());
 }
@@ -170,9 +192,38 @@ Variable Linear(const Variable& x, const Variable& weight,
       << weight.shape().ToString();
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "Linear");
-  // y = x · Wᵀ (+ b).
-  Tensor out = ctx.AllocResultUninit(Shape{x.dim(0), weight.dim(0)});
-  MatmulTransBInto(x.value(), weight.value(), &out);
+  // y = x · Wᵀ (+ b). Linear is the primary low-precision site: its
+  // weight layout is exactly what the quantized-shadow registry packs, so
+  // int8/bf16 resolve to pack-once prepacked forms when the weight was
+  // registered (adapter publish / precision eval), and bf16 falls back to
+  // dynamic packing otherwise. Bias addition stays fp32 (epilogue).
+  const int64_t rows = x.dim(0);
+  const int64_t in = weight.dim(1);
+  const int64_t out_ch = weight.dim(0);
+  OpPrecision prec = ForwardGemmPrecision(ctx, /*int8_capable=*/true);
+  Tensor out = ctx.AllocResultUninit(Shape{rows, out_ch});
+  if (prec == OpPrecision::kInt8) {
+    const auto shadow = lowp::FindInt8Shadow(weight.value().data(), in, out_ch);
+    if (shadow != nullptr) {
+      GemmInt8Prepacked(x.value().data(), *shadow, out.data(), rows,
+                        /*accumulate=*/false);
+    } else {
+      prec = OpPrecision::kBf16;  // no quantized shadow: bf16 fallback
+    }
+  }
+  if (prec == OpPrecision::kBf16) {
+    const auto shadow = lowp::FindBf16Shadow(weight.value().data(), in, out_ch);
+    if (shadow != nullptr) {
+      GemmBf16Prepacked(x.value().data(), *shadow, out.data(), rows,
+                        /*accumulate=*/false);
+    } else {
+      GemmPackedBf16(x.value().data(), false, weight.value().data(), true,
+                     out.data(), rows, in, out_ch, /*accumulate=*/false);
+    }
+  } else if (prec == OpPrecision::kFp32) {
+    MatmulTransBInto(x.value(), weight.value(), &out);
+  }
+  ctx.RecordGemmDispatch(prec);
   const bool has_bias = bias.defined();
   if (has_bias) {
     ML_CHECK_EQ(bias.rank(), 1);
@@ -198,8 +249,19 @@ Variable BatchedMatmul(const Variable& a, const Variable& b) {
   ML_CHECK_EQ(a.dim(2), b.dim(1));
   RuntimeContext& ctx = RuntimeContext::Current();
   ProfileScope prof(ctx, "BatchedMatmul");
+  const OpPrecision prec = ForwardGemmPrecision(ctx, /*int8_capable=*/false);
+  ctx.RecordGemmDispatch(prec);
   Tensor out = ctx.AllocResult(Shape{a.dim(0), a.dim(1), b.dim(2)});
-  BatchedMatmulRawInto(a.value(), b.value(), false, false, &out);
+  if (prec == OpPrecision::kBf16) {
+    const int64_t batch = a.dim(0), n = a.dim(1), k = a.dim(2), m = b.dim(2);
+    for (int64_t s = 0; s < batch; ++s) {
+      GemmPackedBf16(a.value().data() + s * n * k, false,
+                     b.value().data() + s * k * m, false,
+                     out.data() + s * n * m, n, k, m, /*accumulate=*/true);
+    }
+  } else {
+    BatchedMatmulRawInto(a.value(), b.value(), false, false, &out);
+  }
   prof.set_output(out);
   return MakeOpResult<BatchedMatmulOp>(std::move(out), {a, b}, a.value(),
                                        b.value());
@@ -217,6 +279,8 @@ Variable PerSamplePointwiseConv(const Variable& x, const Variable& w) {
   const int64_t spatial = h * wd;
 
   // y[n] = w[n] [O,Q] · x[n] [Q, S]  (per-sample matmul over flattened space)
+  const OpPrecision prec = ForwardGemmPrecision(ctx, /*int8_capable=*/false);
+  ctx.RecordGemmDispatch(prec);
   Tensor out = ctx.AllocResult(Shape{n, o, h, wd});
   {
     const float* px = x.value().data();
@@ -226,7 +290,15 @@ Variable PerSamplePointwiseConv(const Variable& x, const Variable& w) {
       const float* xs = px + s * q * spatial;
       const float* ws = pw + s * o * q;
       float* ys = py + s * o * spatial;
-      MatmulAccumulateRaw(ws, xs, ys, o, q, spatial);
+      if (prec == OpPrecision::kBf16) {
+        // The generated per-sample ΔW weights live in bf16 happily (LoTR's
+        // low-intrinsic-rank argument); dynamic packing, weights change
+        // per request.
+        GemmPackedBf16(ws, false, xs, false, ys, o, q, spatial,
+                       /*accumulate=*/true);
+      } else {
+        MatmulAccumulateRaw(ws, xs, ys, o, q, spatial);
+      }
     }
   }
   prof.set_output(out);

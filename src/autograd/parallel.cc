@@ -104,6 +104,7 @@ std::vector<Variable> ParallelScope::Join() {
     auto slot = std::make_unique<BranchSlot>();
     slot->ctx.set_grad_enabled(parent.grad_enabled());
     slot->ctx.set_profiling(parent.profiling());
+    slot->ctx.set_autocast(parent.autocast());
     if (scratch_arenas) {
       slot->arena = AcquireScratchArena();
       slot->arena->NextGeneration();
@@ -200,9 +201,11 @@ void ParallelApplyNoGrad(
 
   std::vector<std::unique_ptr<ChunkState>> chunks;
   chunks.reserve(static_cast<size_t>(nchunks));
+  RuntimeContext& caller = RuntimeContext::Current();
   for (int64_t c = 0; c < nchunks; ++c) {
     auto state = std::make_unique<ChunkState>();
     state->ctx.set_grad_enabled(false);
+    state->ctx.set_autocast(caller.autocast());
     state->arena = AcquireScratchArena();
     state->ctx.set_arena(state->arena.get());
     chunks.push_back(std::move(state));

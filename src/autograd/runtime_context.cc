@@ -103,9 +103,26 @@ ProfileScope::~ProfileScope() {
 
 namespace {
 
+// One line of per-precision eligible-GEMM dispatch counts. Printed
+// whenever any GEMM ran, profiling or not — the counters are always on.
+void PrintPrecisionTrailer(const RuntimeContext& ctx, std::ostream& os) {
+  int64_t total = 0;
+  for (int i = 0; i < kNumOpPrecisions; ++i) {
+    total += ctx.gemm_dispatch(static_cast<OpPrecision>(i));
+  }
+  if (total == 0) return;
+  os << "gemm dispatch:";
+  for (int i = 0; i < kNumOpPrecisions; ++i) {
+    const OpPrecision p = static_cast<OpPrecision>(i);
+    os << " " << OpPrecisionName(p) << " " << ctx.gemm_dispatch(p);
+  }
+  os << "\n";
+}
+
 // Allocator trailer under the per-op table: arena vs heap service counts,
 // leaf pins, and the arena's own block behavior when one is installed.
 void PrintArenaTrailer(const RuntimeContext& ctx, std::ostream& os) {
+  PrintPrecisionTrailer(ctx, os);
   const int64_t total = ctx.arena_served() + ctx.heap_served();
   if (total == 0 && ctx.pin_count() == 0) return;
   char buf[64];

@@ -1,0 +1,18 @@
+#include "core/precision_shadows.h"
+
+namespace metalora {
+namespace core {
+
+std::vector<lowp::ShadowHandle> RegisterModuleShadows(nn::Module& module) {
+  std::vector<lowp::ShadowHandle> handles;
+  for (const nn::Module::NamedParameter& param : module.NamedParameters()) {
+    const Tensor& value = param.variable->value();
+    if (!value.defined() || value.rank() != 2) continue;
+    if (value.numel() == 0) continue;
+    handles.push_back(lowp::RegisterWeightShadow(value));
+  }
+  return handles;
+}
+
+}  // namespace core
+}  // namespace metalora

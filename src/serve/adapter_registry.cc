@@ -4,6 +4,7 @@
 
 #include "autograd/variable.h"
 #include "common/check.h"
+#include "core/precision_shadows.h"
 
 namespace metalora {
 namespace serve {
@@ -32,7 +33,7 @@ Status AdapterRegistry::Register(const std::string& name,
 
 Result<std::shared_ptr<ResidentAdapter>> AdapterRegistry::LoadInstance(
     const core::AdapterSpec& spec, const std::string& path,
-    uint64_t version) {
+    uint64_t version, bool register_shadows) {
   ML_ASSIGN_OR_RETURN(std::unique_ptr<core::Adapter> adapter,
                       core::BuildAdapter(spec));
   ML_RETURN_IF_ERROR(adapter->LoadCheckpoint(path));
@@ -40,6 +41,12 @@ Result<std::shared_ptr<ResidentAdapter>> AdapterRegistry::LoadInstance(
   adapter->SetTraining(false);
   auto handle = std::make_shared<ResidentAdapter>();
   handle->conditioning_cache = adapter->conditioning_cache();
+  if (register_shadows) {
+    // Quantize-once: the instance is immutable from here on, so its bf16/
+    // int8 packs are computed exactly once per load/Publish and reused by
+    // every request routed to this version.
+    handle->precision_shadows = core::RegisterModuleShadows(*adapter);
+  }
   handle->adapter = std::move(adapter);
   handle->version = version;
   return handle;
@@ -103,7 +110,8 @@ Result<std::shared_ptr<ResidentAdapter>> AdapterRegistry::Acquire(
     path = entry->checkpoint_path;
     version = entry->version;
   }
-  auto loaded = LoadInstance(spec, path, version);
+  auto loaded =
+      LoadInstance(spec, path, version, options_.register_precision_shadows);
   std::lock_guard<std::mutex> lock(mu_);
   stats_.request_misses += request_rows;
   if (!loaded.ok()) {
@@ -136,7 +144,8 @@ Status AdapterRegistry::Publish(const std::string& name,
   }
   // Loaded off to the side: the current version keeps serving while the
   // new checkpoint streams in, and keeps serving untouched if it is torn.
-  auto loaded = LoadInstance(spec, checkpoint_path, new_version);
+  auto loaded = LoadInstance(spec, checkpoint_path, new_version,
+                             options_.register_precision_shadows);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!loaded.ok()) {

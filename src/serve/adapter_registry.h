@@ -55,6 +55,7 @@
 #include "common/status.h"
 #include "core/adapter_config.h"
 #include "core/adapter_factory.h"
+#include "tensor/lowp.h"
 
 namespace metalora {
 namespace serve {
@@ -64,6 +65,15 @@ struct AdapterRegistryOptions {
   /// non-resident tenant at the budget evicts the least-recently-used
   /// resident one.
   int64_t residency_budget = 32;
+  /// Register bf16+int8 shadows (tensor/lowp.h) for every rank-2 parameter
+  /// of each instance as it loads — the quantize-once half of the int8
+  /// serving path: scales and packs are computed at load/Publish time, and
+  /// workers running under a low-precision autocast policy find them by
+  /// weight pointer. Instances are immutable after load, so the shadows
+  /// can never go stale; they drop with the instance (eviction, swap).
+  /// Costs ~3 bytes/element of resident rank-2 weight; off by default so
+  /// fp32-only deployments pay nothing.
+  bool register_precision_shadows = false;
 };
 
 /// One resident (loaded) adapter version. Immutable after load except for
@@ -75,6 +85,11 @@ struct ResidentAdapter {
   core::ConditioningCache* conditioning_cache = nullptr;
   /// The entry's publish counter at load time (1 for the initial version).
   uint64_t version = 0;
+  /// Low-precision shadow registrations for this instance's rank-2
+  /// parameters (empty unless AdapterRegistryOptions::
+  /// register_precision_shadows). RAII: the packs unregister when this
+  /// instance's last reference drops.
+  std::vector<lowp::ShadowHandle> precision_shadows;
   /// Serializes SetFeatures + Forward on this instance (adapters bind
   /// features statefully). During a hot-swap the old and new instances have
   /// independent locks, so draining forwards never block the new version.
@@ -157,10 +172,11 @@ class AdapterRegistry {
   };
 
   /// Builds + loads one instance (no locks held by caller requirement:
-  /// called outside mu_).
+  /// called outside mu_). `register_shadows` packs low-precision shadows
+  /// for the fresh instance's rank-2 parameters.
   static Result<std::shared_ptr<ResidentAdapter>> LoadInstance(
       const core::AdapterSpec& spec, const std::string& path,
-      uint64_t version);
+      uint64_t version, bool register_shadows);
 
   /// Installs `handle` as `entry`'s resident version, evicting LRU
   /// residents (never `entry` itself) while over budget. Caller holds mu_.

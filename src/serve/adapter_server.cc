@@ -255,13 +255,23 @@ void AdapterServer::WorkerLoop() {
   autograd::RuntimeContext ctx;
   ctx.set_grad_enabled(false);
   ctx.set_arena(&arena);
+  ctx.set_autocast(options_.autocast);
   autograd::RuntimeContextScope scope(&ctx);
+  // Per-precision GEMM dispatch counts, folded into stats_ incrementally
+  // (delta since the last fold) so stats() stays fresh while workers live.
+  int64_t folded[kNumOpPrecisions] = {0, 0, 0};
   for (;;) {
     Batch batch;
     if (batch_queue_.Pop(&batch) != QueuePopStatus::kItem) return;
     if (options_.worker_batch_hook) options_.worker_batch_hook();
     arena.NextGeneration();
     ExecuteBatch(std::move(batch));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (int p = 0; p < kNumOpPrecisions; ++p) {
+      const int64_t now = ctx.gemm_dispatch(static_cast<OpPrecision>(p));
+      stats_.gemm_dispatch[p] += now - folded[p];
+      folded[p] = now;
+    }
   }
 }
 

@@ -51,6 +51,7 @@
 #include "core/conditioning_cache.h"
 #include "serve/adapter_registry.h"
 #include "serve/serve_stats.h"
+#include "tensor/autocast.h"
 #include "tensor/tensor.h"
 
 namespace metalora {
@@ -71,6 +72,14 @@ struct AdapterServerOptions {
   int64_t batch_queue_capacity = 16;
   /// Serve-level (features, x) -> output-rows cache; 0 entries disables it.
   int64_t result_cache_entries = 1024;
+  /// Autocast policy installed on every worker's RuntimeContext (workers
+  /// run no-grad, so the policy actually takes effect). Default-disabled:
+  /// all forwards fp32, byte-identical to pre-tier behavior. Set to
+  /// AutocastPolicy::Serving(precision) for the low-precision serving
+  /// path; pair int8 with a registry whose register_precision_shadows is
+  /// on, or the Linear facade downgrades int8 -> bf16 (no prepacked
+  /// scales). Per-precision dispatch counts land in ServeStats.
+  AutocastPolicy autocast;
   /// Test hook: runs on the worker thread before each batch executes.
   /// Lets tests stall the pipeline deterministically (backpressure,
   /// shutdown-with-in-flight coverage). Leave empty in production.

@@ -52,6 +52,11 @@ std::string ServeStats::ExportJson() const {
      << ", \"adapter_cache_hits\": " << adapter_cache_hits
      << ", \"adapter_cache_misses\": " << adapter_cache_misses
      << ", \"adapter_cache_evictions\": " << adapter_cache_evictions
+     << ", \"gemm_dispatch\": {\"fp32\": "
+     << gemm_dispatch[static_cast<int>(OpPrecision::kFp32)]
+     << ", \"bf16\": " << gemm_dispatch[static_cast<int>(OpPrecision::kBf16)]
+     << ", \"int8\": " << gemm_dispatch[static_cast<int>(OpPrecision::kInt8)]
+     << "}"
      << ", \"latency\": {\"count\": " << latencies_us.size()
      << ", \"mean_us\": " << mean << ", \"p50_us\": " << LatencyPercentileUs(50)
      << ", \"p99_us\": " << LatencyPercentileUs(99)

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "tensor/autocast.h"
+
 namespace metalora {
 namespace serve {
 
@@ -46,6 +48,13 @@ struct ServeStats {
   int64_t adapter_cache_hits = 0;
   int64_t adapter_cache_misses = 0;
   int64_t adapter_cache_evictions = 0;
+
+  /// Forward-GEMM dispatches per resolved precision, folded in from the
+  /// worker contexts after every batch (indexed by OpPrecision). Under the
+  /// default (disabled) autocast policy only the fp32 slot moves; under a
+  /// serving preset these show how many GEMMs actually ran low-precision
+  /// versus fell back (e.g. int8 downgrading where no shadow exists).
+  int64_t gemm_dispatch[kNumOpPrecisions] = {0, 0, 0};
 
   // One sample per completed request: submit-to-completion wall time.
   std::vector<double> latencies_us;

@@ -78,7 +78,8 @@ void Col2Im(const float* columns, int64_t channels, int64_t h, int64_t w,
 }
 
 void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
-                       const Tensor& bias, const ConvGeom& g, Tensor* out) {
+                       const Tensor& bias, const ConvGeom& g, Tensor* out,
+                       OpPrecision precision) {
   ML_CHECK_EQ(input.rank(), 4);
   ML_CHECK_EQ(weight.rank(), 4);
   const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
@@ -106,7 +107,13 @@ void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
     Im2Col(input.data() + i * c * h * w, c, h, w, g, columns.data());
     float* out_n = out->data() + i * o * col_cols;
     // out_n is zero-initialized by the caller's allocation.
-    MatmulAccumulateRaw(wmat, columns.data(), out_n, o, col_rows, col_cols);
+    if (precision == OpPrecision::kFp32) {
+      MatmulAccumulateRaw(wmat, columns.data(), out_n, o, col_rows, col_cols);
+    } else {
+      // bf16 tier (int8 requests land here too: conv caps at bf16).
+      GemmPackedBf16(wmat, false, columns.data(), false, out_n, o, col_rows,
+                     col_cols, /*accumulate=*/true);
+    }
     if (bias.defined()) {
       const float* pb = bias.data();
       for (int64_t oc = 0; oc < o; ++oc) {

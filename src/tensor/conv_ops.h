@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/autocast.h"
 #include "tensor/tensor.h"
 
 namespace metalora {
@@ -45,9 +46,13 @@ Tensor Conv2dForward(const Tensor& input, const Tensor& weight,
                      const Tensor& bias, const ConvGeom& g);
 
 /// Same, accumulating into a caller-provided, pre-zeroed [N, O, Ho, Wo]
-/// tensor (workspace-arena fast path; no output allocation).
+/// tensor (workspace-arena fast path; no output allocation). `precision`
+/// selects the im2col GEMM tier: kBf16 runs the bf16-storage engine
+/// (kInt8 is treated as kBf16 — conv has no quantized-shadow form); the
+/// bias epilogue is fp32 in every tier.
 void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
-                       const Tensor& bias, const ConvGeom& g, Tensor* out);
+                       const Tensor& bias, const ConvGeom& g, Tensor* out,
+                       OpPrecision precision = OpPrecision::kFp32);
 
 /// Gradients of Conv2dForward. `grad_bias` is filled only if `has_bias`.
 void Conv2dBackward(const Tensor& input, const Tensor& weight,

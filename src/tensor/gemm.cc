@@ -9,52 +9,33 @@
 #include <mutex>
 #include <vector>
 
-#if defined(__AVX2__) && defined(__FMA__)
+#if defined(__AVX2__) && defined(__FMA__) && !defined(METALORA_DISABLE_AVX2)
 #include <immintrin.h>
 #endif
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "tensor/gemm_detail.h"
 
 namespace metalora {
 
 namespace {
 
-// Packing scratch, one pair per thread. Workers are long-lived, so the
-// buffers amortize to zero allocations in steady state — the same
-// grow-once-reuse-forever contract as the autograd WorkspaceArena, held
-// here because the tensor layer sits below autograd and cannot see it.
-// The B buffer belongs to the thread driving the GEMM (workers read it
-// through a captured pointer); the A buffer belongs to whichever thread
-// packs the row panel.
-thread_local std::vector<float> tls_pack_a;
-thread_local std::vector<float> tls_pack_b;
+using gemm_detail::AIndex;
+using gemm_detail::BIndex;
+using gemm_detail::MulAddStep;
 
-// A(i, p) of op(A): row-major [n,k], or stored [k,n] when transposed.
-inline int64_t AIndex(bool trans_a, int64_t n, int64_t k, int64_t i,
-                      int64_t p) {
-  return trans_a ? p * n + i : i * k + p;
-}
-
-// B(p, j) of op(B): row-major [k,m], or stored [m,k] when transposed.
-inline int64_t BIndex(bool trans_b, int64_t k, int64_t m, int64_t p,
-                      int64_t j) {
-  return trans_b ? j * k + p : p * m + j;
-}
-
-// One accumulation step of the serial reference and the GEMV path. When
-// the build enables FMA the micro-kernel issues fused multiply-adds, so
-// the reference must fuse too or the two sides round differently in the
-// last bit; without FMA the target has no fused instruction and both
-// sides are plain mul-then-add. This is what keeps GemmReference
-// bit-identical to GemmPacked in *both* build modes.
-inline float MulAddStep(float a, float b, float acc) {
-#if defined(__FMA__)
-  return std::fmaf(a, b, acc);
-#else
-  return acc + a * b;
-#endif
-}
+// Packing scratch, one pair per thread, aligned to a cache line so vector
+// loads from packed panels never straddle lines (std::vector only
+// guarantees alignof(float) and relied on allocator luck). Workers are
+// long-lived, so the buffers amortize to zero allocations in steady
+// state — the same grow-once-reuse-forever contract as the autograd
+// WorkspaceArena, held here because the tensor layer sits below autograd
+// and cannot see it. The B buffer belongs to the thread driving the GEMM
+// (workers read it through a captured pointer); the A buffer belongs to
+// whichever thread packs the row panel.
+thread_local gemm_detail::AlignedBuffer<float> tls_pack_a;
+thread_local gemm_detail::AlignedBuffer<float> tls_pack_b;
 
 // Packs the mc×kc block of op(A) at (ic, pc) into micro-panels of kGemmMR
 // rows: panel q holds rows [q·MR, q·MR+MR) as kc steps of MR contiguous
@@ -113,7 +94,7 @@ void PackB(const float* b, bool trans_b, int64_t k, int64_t m, int64_t pc,
   }
 }
 
-#if defined(__AVX2__) && defined(__FMA__)
+#if defined(__AVX2__) && defined(__FMA__) && !defined(METALORA_DISABLE_AVX2)
 
 // AVX2+FMA micro-kernel: 6 rows × 2 ymm columns of accumulators (12 of
 // the 16 vector registers), one broadcast and two B loads per k step.
@@ -238,7 +219,7 @@ void MicroKernel(const float* ap, const float* bp, int64_t kc, float* c,
   }
 }
 
-#endif  // __AVX2__ && __FMA__
+#endif  // __AVX2__ && __FMA__ && !METALORA_DISABLE_AVX2
 
 // Full tiles write straight to C; tail tiles run the same kernel on a
 // padded scratch tile (padded operand entries are zero, so the extra
@@ -309,18 +290,18 @@ void GemmPackedTiled(const float* a, bool trans_a, const float* b,
       // stored in C; storing and reloading float32 is exact, so the
       // per-element accumulation chain stays p = 0..k-1 in order.
       const bool acc_panel = accumulate || pc > 0;
-      tls_pack_b.resize(static_cast<size_t>(b_panels * kc * kGemmNR));
+      tls_pack_b.Reserve(b_panels * kc * kGemmNR);
       PackB(b, trans_b, k, m, pc, kc, jc, nc, tls_pack_b.data());
       const float* bp = tls_pack_b.data();
       const int64_t tile_mc = tiles.mc;
 
       ParallelFor(0, n, tile_mc, [=](int64_t i_lo, int64_t i_hi) {
         // Worker-local A scratch: re-resolve the TLS inside the task.
-        std::vector<float>& abuf = tls_pack_a;
+        gemm_detail::AlignedBuffer<float>& abuf = tls_pack_a;
         for (int64_t ic = i_lo; ic < i_hi; ic += tile_mc) {
           const int64_t mc = std::min(tile_mc, i_hi - ic);
           const int64_t a_panels = (mc + kGemmMR - 1) / kGemmMR;
-          abuf.resize(static_cast<size_t>(a_panels * kc * kGemmMR));
+          abuf.Reserve(a_panels * kc * kGemmMR);
           PackA(a, trans_a, n, k, ic, mc, pc, kc, abuf.data());
           for (int64_t jr = 0; jr < nc; jr += kGemmNR) {
             const int64_t nr = std::min(kGemmNR, nc - jr);
@@ -384,16 +365,29 @@ void RunAutotuneSweep() {
 
 }  // namespace
 
-GemmTiles CurrentGemmTiles() {
+// The bf16 tier keeps its own tile state next to its blocked loop in
+// gemm_lowp.cc (the sweep has to time that loop); the public API fans out
+// per precision here. Int8 has no tile choice (single-pass prepacked
+// pipeline) and reports the fp32 slot.
+GemmTiles CurrentGemmTiles(OpPrecision precision) {
+  if (precision == OpPrecision::kBf16) {
+    return gemm_detail::Bf16CurrentGemmTiles();
+  }
   return *g_tiles.load(std::memory_order_acquire);
 }
 
-GemmTiles AutotuneGemmTiles() {
+GemmTiles AutotuneGemmTiles(OpPrecision precision) {
+  if (precision == OpPrecision::kBf16) {
+    return gemm_detail::Bf16AutotuneGemmTiles();
+  }
   std::call_once(g_autotune_once, RunAutotuneSweep);
-  return CurrentGemmTiles();
+  return CurrentGemmTiles(OpPrecision::kFp32);
 }
 
-bool GemmTilesAutotuned() {
+bool GemmTilesAutotuned(OpPrecision precision) {
+  if (precision == OpPrecision::kBf16) {
+    return gemm_detail::Bf16GemmTilesAutotuned();
+  }
   return g_autotuned.load(std::memory_order_acquire);
 }
 

@@ -16,7 +16,20 @@
 // driven over a kGemmKC-deep panel (BLIS/oneDNN design). A portable
 // auto-vectorizable version is always built; an AVX2+FMA version is
 // compiled in when the translation unit is built with those ISA flags
-// (-march=native / -mavx2 -mfma) and selected at compile time.
+// (-march=native / -mavx2 -mfma) and selected at compile time. Building
+// with -DMETALORA_DISABLE_AVX2 forces the portable back-ends (and plain
+// mul-then-add accumulation) even on an AVX2+FMA target, so CI can
+// exercise the fallback kernels on any runner; pair it with
+// -ffp-contract=off so the compiler cannot re-fuse what the macro split.
+//
+// Precision tiers: the engine's fp32 path below is untouched by the
+// low-precision tier and keeps its bit-identity contract. GemmPackedBf16
+// mirrors GemmPacked with bf16 *storage* (round-to-nearest-even at pack
+// time) and fp32 accumulation; its oracle is GemmReferenceBf16, and the
+// two are bit-identical in the same build. The int8 tier lives in
+// tensor/lowp.h (it only exists in prepacked-weight form). Cache tiles
+// are learned per precision — bf16 panels are half the bytes, so the
+// best kc/nc differ from fp32's.
 //
 // Determinism contract: for every output element the accumulation runs
 // p = 0..k-1 in order into a single accumulator (k-panels store and
@@ -29,6 +42,8 @@
 #define METALORA_TENSOR_GEMM_H_
 
 #include <cstdint>
+
+#include "tensor/autocast.h"
 
 namespace metalora {
 
@@ -53,18 +68,23 @@ struct GemmTiles {
   int64_t nc = kGemmNC;
 };
 
-/// The triple GemmPacked currently runs with: the compile-time default
-/// until the autotune sweep has published a winner.
-GemmTiles CurrentGemmTiles();
+/// The triple the packed engine currently runs with at `precision`: the
+/// compile-time default until that precision's autotune sweep has
+/// published a winner. Tiles exist for kFp32 and kBf16 (kInt8 runs a
+/// single-pass prepacked pipeline with no tile choice and maps to the
+/// fp32 slot, which it never uses).
+GemmTiles CurrentGemmTiles(OpPrecision precision = OpPrecision::kFp32);
 
-/// Runs the candidate sweep now if it has not run yet (idempotent,
-/// thread-safe) and returns the winning triple. GemmPacked triggers this
-/// lazily on its first call large enough that tiling matters, so small-
-/// matrix workloads (unit tests, sanitizer jobs) never pay for the sweep.
-GemmTiles AutotuneGemmTiles();
+/// Runs the candidate sweep for `precision` now if it has not run yet
+/// (idempotent, thread-safe per precision) and returns the winning
+/// triple. The packed entry points trigger this lazily on their first
+/// call large enough that tiling matters, so small-matrix workloads
+/// (unit tests, sanitizer jobs) never pay for the sweep.
+GemmTiles AutotuneGemmTiles(OpPrecision precision = OpPrecision::kFp32);
 
-/// True once the sweep has run and its winner is in effect.
-bool GemmTilesAutotuned();
+/// True once the sweep for `precision` has run and its winner is in
+/// effect.
+bool GemmTilesAutotuned(OpPrecision precision = OpPrecision::kFp32);
 
 /// C[n,m] (+)= op(A) · op(B) through the packed engine. With
 /// `accumulate` the product is added to the existing contents of C;
@@ -79,6 +99,24 @@ void GemmPacked(const float* a, bool trans_a, const float* b, bool trans_b,
 /// must agree with it bit-for-bit in the same build.
 void GemmReference(const float* a, bool trans_a, const float* b, bool trans_b,
                    float* c, int64_t n, int64_t k, int64_t m, bool accumulate);
+
+/// bf16-storage GemmPacked: operands are rounded to bfloat16
+/// (round-to-nearest-even) as they are packed, the micro-kernel widens
+/// them back to fp32 on load and accumulates in fp32 in the same
+/// p = 0..k-1 order as the fp32 engine. Bit-identical to
+/// GemmReferenceBf16 in the same build; differs from the fp32 product
+/// only by the input rounding. Implemented for all three back-ends
+/// (AVX2, vector-extension, scalar).
+void GemmPackedBf16(const float* a, bool trans_a, const float* b, bool trans_b,
+                    float* c, int64_t n, int64_t k, int64_t m,
+                    bool accumulate);
+
+/// Serial oracle for the bf16 tier: rounds every operand to bf16, widens,
+/// and runs the fp32 reference chain. GemmPackedBf16 (and the prepacked
+/// bf16 path in tensor/lowp.h) must agree with it bit-for-bit.
+void GemmReferenceBf16(const float* a, bool trans_a, const float* b,
+                       bool trans_b, float* c, int64_t n, int64_t k, int64_t m,
+                       bool accumulate);
 
 }  // namespace metalora
 

@@ -1,0 +1,89 @@
+// Internal helpers shared by the packed GEMM translation units
+// (gemm.cc: fp32 engine + autotune state; gemm_lowp.cc: bf16/int8 tier).
+// Not part of the public tensor API — include only from src/tensor.
+#ifndef METALORA_TENSOR_GEMM_DETAIL_H_
+#define METALORA_TENSOR_GEMM_DETAIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "tensor/gemm.h"
+
+namespace metalora {
+namespace gemm_detail {
+
+// Per-precision tile state for the bf16 tier, implemented in gemm_lowp.cc
+// next to the bf16 blocked loop its sweep has to time. gemm.cc routes the
+// public per-precision tile API here for OpPrecision::kBf16.
+GemmTiles Bf16CurrentGemmTiles();
+GemmTiles Bf16AutotuneGemmTiles();
+bool Bf16GemmTilesAutotuned();
+
+/// Grow-only scratch buffer aligned to a cache line (64 bytes), so vector
+/// loads from packed panels never straddle lines and never depend on
+/// allocator luck (std::vector<float> only guarantees alignof(float)).
+/// Contents are NOT preserved across Reserve() growth — pack scratch is
+/// fully rewritten before every use, so nothing is lost.
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlign = 64;
+
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { std::free(data_); }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  T* data() { return data_; }
+  int64_t capacity() const { return cap_; }
+
+  /// Ensures capacity for at least `n` elements. Old contents are dropped
+  /// on growth (see class comment).
+  void Reserve(int64_t n) {
+    if (n <= cap_) return;
+    std::free(data_);
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const size_t bytes =
+        (static_cast<size_t>(n) * sizeof(T) + kAlign - 1) / kAlign * kAlign;
+    data_ = static_cast<T*>(std::aligned_alloc(kAlign, bytes));
+    ML_CHECK(data_ != nullptr) << "AlignedBuffer: allocation failed";
+    cap_ = n;
+  }
+
+ private:
+  T* data_ = nullptr;
+  int64_t cap_ = 0;
+};
+
+// A(i, p) of op(A): row-major [n,k], or stored [k,n] when transposed.
+inline int64_t AIndex(bool trans_a, int64_t n, int64_t k, int64_t i,
+                      int64_t p) {
+  return trans_a ? p * n + i : i * k + p;
+}
+
+// B(p, j) of op(B): row-major [k,m], or stored [m,k] when transposed.
+inline int64_t BIndex(bool trans_b, int64_t k, int64_t m, int64_t p,
+                      int64_t j) {
+  return trans_b ? j * k + p : p * m + j;
+}
+
+// One accumulation step of the serial references and the GEMV paths. When
+// the build enables FMA the micro-kernels issue fused multiply-adds, so
+// the references must fuse too or the two sides round differently in the
+// last bit; without FMA the target has no fused instruction and both
+// sides are plain mul-then-add. This is what keeps every reference
+// bit-identical to its packed engine in *both* build modes.
+inline float MulAddStep(float a, float b, float acc) {
+#if defined(__FMA__) && !defined(METALORA_DISABLE_AVX2)
+  return std::fmaf(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+}  // namespace gemm_detail
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_GEMM_DETAIL_H_

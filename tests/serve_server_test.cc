@@ -21,10 +21,13 @@
 #include "common/rng.h"
 #include "core/metalora_conv.h"
 #include "core/metalora_linear.h"
+#include "core/precision_shadows.h"
 #include "eval/batch_assembly.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 #include "serve/adapter_server.h"
+#include "tensor/autocast.h"
+#include "tensor/lowp.h"
 #include "tensor/random_init.h"
 
 namespace metalora {
@@ -240,6 +243,76 @@ TEST(AdapterServer, BatchedMatchesSerialBitIdentical) {
   EXPECT_EQ(stats.requests_rejected, 0);
   EXPECT_GT(stats.batches_executed, 0);
   EXPECT_EQ(stats.batched_rows, kClients * kPerClient);
+}
+
+// The autocast option: a server running a low-precision tier must still be
+// bit-identical to a one-at-a-time twin under the same policy (per-row
+// scales / row-local rounding make batching invisible at every tier), and
+// its ServeStats must attribute the worker GEMMs to that tier.
+TEST(AdapterServer, AutocastTierMatchesOneAtATimeAndCountsDispatch) {
+  for (OpPrecision prec : {OpPrecision::kBf16, OpPrecision::kInt8}) {
+    SCOPED_TRACE(OpPrecisionName(prec));
+    core::MetaLoraCpLinear served(BaseLinear(),
+                                  MetaOpts(AdapterKind::kMetaLoraCp));
+    core::MetaLoraCpLinear twin(BaseLinear(),
+                                MetaOpts(AdapterKind::kMetaLoraCp));
+    RandomizeFactors(served, 61);
+    RandomizeFactors(twin, 61);
+    served.SetTraining(false);
+    twin.SetTraining(false);
+    // Quantize-once-at-publish: both instances carry shadows so both take
+    // the prepacked serving path.
+    std::vector<lowp::ShadowHandle> served_shadows =
+        core::RegisterModuleShadows(served);
+    std::vector<lowp::ShadowHandle> twin_shadows =
+        core::RegisterModuleShadows(twin);
+    EXPECT_FALSE(served_shadows.empty());
+
+    AdapterServerOptions opts;
+    opts.max_batch_size = 4;
+    opts.flush_deadline_us = 500;
+    opts.num_workers = 2;
+    opts.autocast = AutocastPolicy::Serving(prec);
+    AdapterServer server(opts);
+    const int sid =
+        server.RegisterSession(&served, served.conditioning_cache());
+    server.Start();
+
+    constexpr int kRequests = 12;
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+      const uint64_t seed = 7000 + static_cast<uint64_t>(i);
+      futures.push_back(server.Submit(sid, RandFeatures(1, seed),
+                                      RandLinearInput(1, seed + 1)));
+    }
+    std::vector<Tensor> got;
+    got.reserve(kRequests);
+    for (auto& f : futures) got.push_back(f.get());
+    server.Shutdown();
+
+    // One-at-a-time twin under the identical policy.
+    autograd::RuntimeContext& ctx = autograd::RuntimeContext::Current();
+    const AutocastPolicy saved = ctx.autocast();
+    ctx.set_autocast(opts.autocast);
+    for (int i = 0; i < kRequests; ++i) {
+      const uint64_t seed = 7000 + static_cast<uint64_t>(i);
+      const Tensor want = SerialForward(twin, RandFeatures(1, seed),
+                                        RandLinearInput(1, seed + 1));
+      ExpectBitIdentical(got[static_cast<size_t>(i)], want);
+      twin.conditioning_cache()->Clear();
+    }
+    ctx.set_autocast(saved);
+
+    // Dispatch attribution: the requested tier ran; the other low tier
+    // only appears as the int8 fallback for GEMMs with no quantized
+    // shadow (dynamically generated ΔW factors).
+    const ServeStats stats = server.stats();
+    EXPECT_GT(stats.gemm_dispatch[static_cast<int>(prec)], 0);
+    if (prec == OpPrecision::kBf16) {
+      EXPECT_EQ(stats.gemm_dispatch[static_cast<int>(OpPrecision::kInt8)], 0);
+    }
+  }
 }
 
 TEST(AdapterServer, ResultCacheServesRepeats) {

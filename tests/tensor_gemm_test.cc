@@ -4,10 +4,12 @@
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "tensor/autocast.h"
 #include "tensor/conv_ops.h"
 #include "tensor/matmul.h"
 #include "tensor/random_init.h"
@@ -148,6 +150,57 @@ TEST(GemmRoutingTest, MatmulAndTransBEnterParallelFor) {
   before = ThreadPool::TotalParallelForCalls();
   MatmulTransB(a, bt);
   EXPECT_GT(ThreadPool::TotalParallelForCalls(), before);
+}
+
+// Tile autotune under concurrent first-callers: every thread that races
+// into AutotuneGemmTiles — explicitly, or implicitly by running a GEMM
+// over the lazy-trigger FLOP threshold — must come back with the same
+// published tile triple, and the sweep must run exactly once per
+// precision (std::call_once + release/acquire publication; TSan polices
+// the ordering). The test-suite GEMMs above are all below the lazy
+// threshold, so this is a genuine first-caller race, not a warm read.
+TEST(GemmAutotuneTest, ConcurrentFirstCallersAgreeOnTiles) {
+  constexpr int kThreads = 8;
+  std::vector<GemmTiles> fp32_tiles(kThreads);
+  std::vector<GemmTiles> bf16_tiles(kThreads);
+  Rng rng(99);
+  Tensor a = RandomNormal(Shape{256, 256}, rng);
+  Tensor b = RandomNormal(Shape{256, 256}, rng);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        if (t % 4 == 3) {
+          // Implicit path: a 256^3 product (3.3e7 FLOPs) crosses the lazy
+          // autotune threshold inside the GEMM entry point.
+          Tensor c{Shape{256, 256}};
+          GemmPackedBf16(a.data(), false, b.data(), false, c.data(), 256,
+                         256, 256, /*accumulate=*/false);
+        }
+        fp32_tiles[static_cast<size_t>(t)] =
+            AutotuneGemmTiles(OpPrecision::kFp32);
+        bf16_tiles[static_cast<size_t>(t)] =
+            AutotuneGemmTiles(OpPrecision::kBf16);
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_TRUE(GemmTilesAutotuned(OpPrecision::kFp32));
+  EXPECT_TRUE(GemmTilesAutotuned(OpPrecision::kBf16));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(fp32_tiles[static_cast<size_t>(t)].mc, fp32_tiles[0].mc);
+    EXPECT_EQ(fp32_tiles[static_cast<size_t>(t)].kc, fp32_tiles[0].kc);
+    EXPECT_EQ(fp32_tiles[static_cast<size_t>(t)].nc, fp32_tiles[0].nc);
+    EXPECT_EQ(bf16_tiles[static_cast<size_t>(t)].mc, bf16_tiles[0].mc);
+    EXPECT_EQ(bf16_tiles[static_cast<size_t>(t)].kc, bf16_tiles[0].kc);
+    EXPECT_EQ(bf16_tiles[static_cast<size_t>(t)].nc, bf16_tiles[0].nc);
+  }
+  // CurrentGemmTiles must serve exactly what the racers observed.
+  EXPECT_EQ(CurrentGemmTiles(OpPrecision::kFp32).kc, fp32_tiles[0].kc);
+  EXPECT_EQ(CurrentGemmTiles(OpPrecision::kBf16).kc, bf16_tiles[0].kc);
+  // Whatever tiles won, bit-identity still holds under them.
+  CheckShape(97, 257, 33, false, true, false);
 }
 
 // Conv-as-GEMM: unfold real padded/strided geometries with Im2Col, then
