@@ -25,6 +25,12 @@
 //   3. Throughput (skipped under --smoke so weak CI runners don't flake):
 //      batched >= 2x serial at 8 clients, and a warm result cache >= 2x
 //      a cold one at 8 clients.
+//   4. Compiled plans (serve/plan.h): repeat traffic with the result cache
+//      off, served with plans on vs off at request batch sizes 1/2/4.
+//      Plan outputs must stay bit-identical to the dynamic reference and
+//      at least one batch must be served by direct plan execution
+//      (always); off smoke, plan-on p50 must beat plan-off p50 at every
+//      batch size.
 //
 // `--precision=fp32|bf16|int8` wires AutocastPolicy::Serving(p) into the
 // server worker contexts and registers quantized shadows on the adapter at
@@ -90,15 +96,17 @@ std::unique_ptr<core::MetaLoraCpLinear> BuildAdapter() {
 /// Deterministic request stream: request r maps to a unique (features, x)
 /// pair, so both serving modes and the serial reference see identical
 /// inputs. `key_space` folds the stream onto that many distinct requests
-/// (0 = all unique) to model repeat traffic for the warm-cache scenario.
-Tensor RequestFeatures(int64_t r) {
+/// (0 = all unique) to model repeat traffic for the warm-cache and
+/// compiled-plan scenarios. `rows` > 1 makes request r carry that many
+/// activation rows (the compiled-plan batch-size sweep).
+Tensor RequestFeatures(int64_t r, int64_t rows = 1) {
   Rng rng(10000 + static_cast<uint64_t>(r) * 2);
-  return RandomNormal(Shape{1, kFeatureDim}, rng);
+  return RandomNormal(Shape{rows, kFeatureDim}, rng);
 }
 
-Tensor RequestInput(int64_t r) {
+Tensor RequestInput(int64_t r, int64_t rows = 1) {
   Rng rng(10001 + static_cast<uint64_t>(r) * 2);
-  return RandomNormal(Shape{1, kBaseDim}, rng);
+  return RandomNormal(Shape{rows, kBaseDim}, rng);
 }
 
 bool BitIdentical(const Tensor& a, const Tensor& b) {
@@ -127,7 +135,8 @@ ScenarioResult RunScenario(const std::string& mode, int clients,
                            int per_client, int64_t max_batch_size,
                            int64_t key_space, int64_t result_cache_entries,
                            const AutocastPolicy& policy,
-                           bool cold_adapter_cache = false) {
+                           bool cold_adapter_cache = false, int64_t rows = 1,
+                           bool enable_plans = false, int num_workers = 2) {
   auto adapter = BuildAdapter();
   std::vector<lowp::ShadowHandle> shadows;
   if (policy.enabled) shadows = core::RegisterModuleShadows(*adapter);
@@ -135,9 +144,10 @@ ScenarioResult RunScenario(const std::string& mode, int clients,
   opts.autocast = policy;
   opts.max_batch_size = max_batch_size;
   opts.flush_deadline_us = 500;
-  opts.num_workers = 2;
+  opts.num_workers = num_workers;
   opts.queue_capacity = 256;
   opts.result_cache_entries = result_cache_entries;
+  opts.enable_plans = enable_plans;
   if (cold_adapter_cache) {
     // Fully cold serving: every batch pays the mapping network (mirrors
     // arena_cache's cold eval mode, which clears before every forward).
@@ -160,7 +170,7 @@ ScenarioResult RunScenario(const std::string& mode, int clients,
         const int64_t id = static_cast<int64_t>(c) * per_client + i;
         const int64_t r = key_space > 0 ? id % key_space : id;
         futures[static_cast<size_t>(id)] =
-            server.Submit(sid, RequestFeatures(r), RequestInput(r));
+            server.Submit(sid, RequestFeatures(r, rows), RequestInput(r, rows));
       }
     });
   }
@@ -388,6 +398,99 @@ int main(int argc, char** argv) {
   std::cout << "\nwarm vs cold: " << Fmt(cache_speedup)
             << "x, result-cache hit rate " << warm_hit_rate << "\n";
 
+  // Compiled serving plans: the same repeat-heavy stream with the result
+  // cache off — every request runs the serving path — with plans enabled
+  // vs disabled, at request batch sizes 1..4. A single client submitting
+  // n-row requests through max_batch_size=1 keeps every batch's shape and
+  // feature bytes recurring, so after the first pass over the key space
+  // the conditioning cache is warm and plan execution takes over. The
+  // plan must reproduce the dynamic path's bytes exactly and, off smoke,
+  // cut p50 at every batch size.
+  struct PlanPoint {
+    int64_t rows = 0;
+    ScenarioResult off, on;
+  };
+  std::vector<PlanPoint> plan_points;
+  bool plans_served = true;
+  {
+    autograd::NoGradGuard ng;
+    autograd::RuntimeContext& ctx = autograd::RuntimeContext::Current();
+    const AutocastPolicy saved_policy = ctx.autocast();
+    ctx.set_autocast(policy.enabled ? policy : AutocastPolicy::Disabled());
+    // More requests than the other scenarios: each batch is a ~10us
+    // forward, and the p50 must separate plan hits from the (slower)
+    // traced warm-up misses against scheduler noise on small runners.
+    const int plan_requests = smoke ? per_client : 512;
+    for (int64_t rows : {int64_t{1}, int64_t{2}, int64_t{4}}) {
+      // Per-key references at this row count (cold one-at-a-time twin).
+      std::vector<Tensor> refs(static_cast<size_t>(key_space));
+      for (int64_t r = 0; r < key_space; ++r) {
+        ref_adapter->SetFeatures(autograd::Variable(
+            RequestFeatures(r, rows), /*requires_grad=*/false));
+        refs[static_cast<size_t>(r)] =
+            ref_adapter
+                ->Forward(autograd::Variable(RequestInput(r, rows),
+                                             /*requires_grad=*/false))
+                .value()
+                .Clone();
+        ref_adapter->conditioning_cache()->Clear();
+      }
+      PlanPoint point;
+      point.rows = rows;
+      for (bool plans : {false, true}) {
+        // One worker: the comparison isolates per-batch execution cost.
+        // (With several workers the plan path's lock-free hits run
+        // concurrently — a throughput win, but scheduler timeslicing on
+        // small CI runners would drown the latency signal.)
+        ScenarioResult r = RunScenario(
+            plans ? "plan-on" : "plan-off", /*clients=*/1, plan_requests,
+            /*max_batch_size=*/1, key_space, /*result_cache_entries=*/0,
+            policy, /*cold_adapter_cache=*/false, rows, plans,
+            /*num_workers=*/1);
+        for (int64_t id = 0; id < r.requests; ++id) {
+          if (!BitIdentical(r.outputs[static_cast<size_t>(id)],
+                            refs[static_cast<size_t>(id % key_space)])) {
+            std::cerr << "FAIL: " << r.mode << " rows=" << rows << " output "
+                      << id << " diverged from the dynamic reference\n";
+            bit_identical = false;
+          }
+        }
+        (plans ? point.on : point.off) = std::move(r);
+      }
+      if (point.on.stats.plan_hits <= 0) {
+        std::cerr << "FAIL: plan-on rows=" << point.rows
+                  << " served no batch by plan execution\n";
+        plans_served = false;
+      }
+      plan_points.push_back(std::move(point));
+    }
+    ctx.set_autocast(saved_policy);
+  }
+
+  // The asserted metric is the per-batch *forward* p50 (plan execution vs
+  // dynamic graph), not request latency: on small runners request latency
+  // is dominated by scheduler wakeups in the queue plumbing, which plans
+  // cannot touch and which drown the per-op dispatch they eliminate.
+  TablePrinter plan_table("compiled plans: forward p50 with plans on vs off");
+  plan_table.SetHeader({"rows", "off fwd p50 us", "on fwd p50 us", "speedup",
+                        "compiles", "hits", "misses", "fallbacks"});
+  bool plan_p50_ok = true;
+  for (const PlanPoint& p : plan_points) {
+    const double off_fwd = serve::ServeStats::PercentileUs(
+        p.off.stats.forward_us, 50);
+    const double on_fwd = serve::ServeStats::PercentileUs(
+        p.on.stats.forward_us, 50);
+    const double speedup = on_fwd > 0.0 ? off_fwd / on_fwd : 0.0;
+    plan_table.AddRow({std::to_string(p.rows), Fmt(off_fwd), Fmt(on_fwd),
+                       Fmt(speedup),
+                       std::to_string(p.on.stats.plan_compiles),
+                       std::to_string(p.on.stats.plan_hits),
+                       std::to_string(p.on.stats.plan_misses),
+                       std::to_string(p.on.stats.plan_fallbacks)});
+    if (on_fwd >= off_fwd) plan_p50_ok = false;
+  }
+  plan_table.Print(std::cout);
+
   bool ok = bit_identical;
   if (!bit_identical) {
     std::cout << "FAIL: served outputs not bit-identical to one-at-a-time "
@@ -403,6 +506,7 @@ int main(int argc, char** argv) {
               << " vs fp32, expected <= " << rel_err_bound << "\n";
     ok = false;
   }
+  if (!plans_served) ok = false;
   if (!smoke) {
     if (batch_speedup < 2.0) {
       std::cout << "FAIL: batched serving " << Fmt(batch_speedup)
@@ -414,11 +518,17 @@ int main(int argc, char** argv) {
                 << "x cold, expected >= 2x\n";
       ok = false;
     }
+    if (!plan_p50_ok) {
+      std::cout << "FAIL: compiled plans did not cut forward p50 at every "
+                   "batch size (see plan table)\n";
+      ok = false;
+    }
   }
   if (ok) {
     std::cout << "OK: bit-identical"
               << (smoke ? " (throughput assertions skipped in smoke mode)"
-                        : ", batched >= 2x serial, warm >= 2x cold")
+                        : ", batched >= 2x serial, warm >= 2x cold, plan-on "
+                          "forward p50 < plan-off forward p50")
               << "\n";
   }
 
@@ -441,8 +551,39 @@ int main(int argc, char** argv) {
          << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"plans\": [\n";
+  for (size_t i = 0; i < plan_points.size(); ++i) {
+    const PlanPoint& p = plan_points[i];
+    const double off_fwd = serve::ServeStats::PercentileUs(
+        p.off.stats.forward_us, 50);
+    const double on_fwd = serve::ServeStats::PercentileUs(
+        p.on.stats.forward_us, 50);
+    json << "    {\"rows\": " << p.rows
+         << ", \"off_forward_p50_us\": " << off_fwd
+         << ", \"on_forward_p50_us\": " << on_fwd
+         << ", \"forward_p50_speedup\": "
+         << (on_fwd > 0.0 ? off_fwd / on_fwd : 0.0)
+         << ", \"off_p50_us\": " << p.off.p50_us
+         << ", \"on_p50_us\": " << p.on.p50_us
+         << ", \"off_throughput_rps\": " << p.off.throughput_rps
+         << ", \"on_throughput_rps\": " << p.on.throughput_rps
+         << ", \"plan_compiles\": " << p.on.stats.plan_compiles
+         << ", \"plan_hits\": " << p.on.stats.plan_hits
+         << ", \"plan_misses\": " << p.on.stats.plan_misses
+         << ", \"plan_fallbacks\": " << p.on.stats.plan_fallbacks << "}"
+         << (i + 1 < plan_points.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
        << "  \"max_rel_err_vs_fp32\": " << max_rel_err << ",\n"
-       << "  \"batched_vs_serial_speedup_8c\": " << batch_speedup << ",\n"
+       << "  \"batched_vs_serial_speedup_8c\": ";
+  // The 8-client scenario only runs off smoke; emit null, not a bogus 0,
+  // when it didn't.
+  if (serial_8c > 0.0) {
+    json << batch_speedup;
+  } else {
+    json << "null";
+  }
+  json << ",\n"
        << "  \"warm_vs_cold_speedup\": " << cache_speedup << ",\n"
        << "  \"result_cache\": {\"hits\": " << warm.stats.result_cache_hits
        << ", \"misses\": " << warm.stats.result_cache_misses

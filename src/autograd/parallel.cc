@@ -87,12 +87,17 @@ std::vector<Variable> ParallelScope::Join() {
   const size_t n = branches_.size();
   std::vector<Variable> results(n);
 
-  // Serial path: no workers, dispatch off, nothing to overlap, or already
+  // Serial path: no workers, dispatch off, nothing to overlap, already
   // inside a pool task (a nested fork would schedule behind the very tasks
-  // occupying the workers). Runs in the caller's context, spawn order —
-  // exactly the code the consumers ran before dispatch existed.
+  // occupying the workers), or a plan trace is recording (branches must run
+  // in the caller's context so the recorder sees the whole program in
+  // order; serial == parallel bit-identity is this scope's contract, so the
+  // recorded plan reproduces the parallel path's bytes too). Runs in the
+  // caller's context, spawn order — exactly the code the consumers ran
+  // before dispatch existed.
   if (n <= 1 || !ParallelDispatchEnabled() || pool_->num_threads() == 0 ||
-      ThreadPool::InWorkerThread()) {
+      ThreadPool::InWorkerThread() ||
+      RuntimeContext::Current().trace_recorder() != nullptr) {
     for (size_t i = 0; i < n; ++i) results[i] = branches_[i]();
     return results;
   }

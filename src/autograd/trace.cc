@@ -1,0 +1,278 @@
+#include "autograd/trace.h"
+
+#include <utility>
+
+namespace metalora {
+namespace autograd {
+
+void TraceRecorder::RegisterInput(const Tensor& t, int slot) {
+  TraceBuffer buf;
+  buf.kind = TraceBufKind::kInput;
+  buf.numel = t.numel();
+  buf.shape = t.shape();
+  buf.input_slot = slot;
+  const int id = static_cast<int>(trace_.buffers.size());
+  trace_.buffers.push_back(std::move(buf));
+  by_ptr_[t.data()] = id;
+  keepalive_.push_back(t);
+  trace_.num_inputs = std::max(trace_.num_inputs, slot + 1);
+}
+
+int TraceRecorder::Lookup(const void* data) const {
+  auto it = by_ptr_.find(data);
+  return it == by_ptr_.end() ? -1 : it->second;
+}
+
+int TraceRecorder::InternOperand(const Tensor& t) {
+  const int known = Lookup(t.data());
+  if (known >= 0) return known;
+  // Unknown storage mid-trace is a tensor that predates the recording —
+  // a parameter or a derived frozen tensor. Anything produced *during*
+  // the trace by an op we cannot replay was already rejected by the
+  // unclaimed-result guard before it could flow here.
+  TraceBuffer buf;
+  buf.kind = TraceBufKind::kConstant;
+  buf.numel = t.numel();
+  buf.shape = t.shape();
+  buf.constant = t;  // shares storage; pins it for the plan's lifetime
+  const int id = static_cast<int>(trace_.buffers.size());
+  trace_.buffers.push_back(std::move(buf));
+  by_ptr_[t.data()] = id;
+  return id;
+}
+
+int TraceRecorder::AddTemp(const Tensor& out, int /*def_step_hint*/) {
+  TraceBuffer buf;
+  buf.kind = TraceBufKind::kTemp;
+  buf.numel = out.numel();
+  buf.shape = out.shape();
+  const int id = static_cast<int>(trace_.buffers.size());
+  trace_.buffers.push_back(std::move(buf));
+  by_ptr_[out.data()] = id;
+  // Arena views within one generation never alias each other, but the
+  // Tensor must stay alive so the pointer key cannot be recycled.
+  keepalive_.push_back(out);
+  return id;
+}
+
+void TraceRecorder::Claim(const Tensor& out) { pending_claim_ = out.data(); }
+
+void TraceRecorder::RecordLinear(const Tensor& x, const Tensor& w,
+                                 const Tensor* bias, const Tensor& out,
+                                 OpPrecision precision) {
+  if (inert()) return;
+  TraceStep s;
+  s.kind = TraceOpKind::kLinear;
+  s.a = InternOperand(x);
+  // Resolve prepacked shadows from the live weight pointer now, exactly
+  // like the dynamic facade does per call (including the int8 -> bf16
+  // downgrade when no int8 shadow is registered); the shared_ptr pins
+  // the pack for the plan's lifetime.
+  const int64_t in_dim = w.dim(1), out_dim = w.dim(0);
+  OpPrecision prec = precision;
+  if (prec == OpPrecision::kInt8) {
+    s.int8_shadow = lowp::FindInt8Shadow(w.data(), in_dim, out_dim);
+    if (s.int8_shadow == nullptr) prec = OpPrecision::kBf16;
+  }
+  if (prec == OpPrecision::kBf16) {
+    s.bf16_shadow = lowp::FindBf16Shadow(w.data(), in_dim, out_dim);
+  }
+  s.precision = prec;
+  s.b = InternOperand(w);
+  if (bias != nullptr && bias->defined()) {
+    s.bias = InternOperand(*bias);
+    s.bias_shape = bias->shape();
+  }
+  s.a_shape = x.shape();
+  s.b_shape = w.shape();
+  s.out_shape = out.shape();
+  s.out = AddTemp(out, static_cast<int>(trace_.steps.size()));
+  trace_.steps.push_back(std::move(s));
+  Claim(out);
+}
+
+void TraceRecorder::RecordMatmul(const Tensor& a, const Tensor& b,
+                                 const Tensor& out, OpPrecision precision) {
+  if (inert()) return;
+  TraceStep s;
+  s.kind = TraceOpKind::kMatmul;
+  s.a = InternOperand(a);
+  s.b = InternOperand(b);
+  s.a_shape = a.shape();
+  s.b_shape = b.shape();
+  s.out_shape = out.shape();
+  s.precision = precision;
+  s.prezero = true;  // both tiers accumulate into a zeroed output
+  s.out = AddTemp(out, static_cast<int>(trace_.steps.size()));
+  trace_.steps.push_back(std::move(s));
+  Claim(out);
+}
+
+void TraceRecorder::RecordBatchedMatmul(const Tensor& a, const Tensor& b,
+                                        const Tensor& out,
+                                        OpPrecision precision) {
+  if (inert()) return;
+  TraceStep s;
+  s.kind = TraceOpKind::kBatchedMatmul;
+  s.a = InternOperand(a);
+  s.b = InternOperand(b);
+  s.a_shape = a.shape();
+  s.b_shape = b.shape();
+  s.out_shape = out.shape();
+  s.precision = precision;
+  s.prezero = true;
+  s.out = AddTemp(out, static_cast<int>(trace_.steps.size()));
+  trace_.steps.push_back(std::move(s));
+  Claim(out);
+}
+
+void TraceRecorder::RecordConv2d(const Tensor& x, const Tensor& w,
+                                 const Tensor* bias, const Tensor& out,
+                                 const ConvGeom& geom, OpPrecision precision) {
+  if (inert()) return;
+  TraceStep s;
+  s.kind = TraceOpKind::kConv2d;
+  s.a = InternOperand(x);
+  s.b = InternOperand(w);
+  if (bias != nullptr && bias->defined()) {
+    s.bias = InternOperand(*bias);
+    s.bias_shape = bias->shape();
+  }
+  s.a_shape = x.shape();
+  s.b_shape = w.shape();
+  s.out_shape = out.shape();
+  s.geom = geom;
+  s.precision = precision;
+  s.prezero = true;  // Conv2dForwardInto accumulates
+  s.out = AddTemp(out, static_cast<int>(trace_.steps.size()));
+  trace_.steps.push_back(std::move(s));
+  Claim(out);
+}
+
+void TraceRecorder::RecordPerSamplePointwiseConv(const Tensor& x,
+                                                 const Tensor& w,
+                                                 const Tensor& out,
+                                                 OpPrecision precision) {
+  if (inert()) return;
+  TraceStep s;
+  s.kind = TraceOpKind::kPerSamplePointwiseConv;
+  s.a = InternOperand(x);
+  s.b = InternOperand(w);
+  s.a_shape = x.shape();
+  s.b_shape = w.shape();
+  s.out_shape = out.shape();
+  s.precision = precision;
+  s.prezero = true;
+  s.out = AddTemp(out, static_cast<int>(trace_.steps.size()));
+  trace_.steps.push_back(std::move(s));
+  Claim(out);
+}
+
+void TraceRecorder::RecordEw(EwOp op, const Tensor& a, const Tensor* operand,
+                             const Tensor& out, float scalar, int64_t mod) {
+  if (inert()) return;
+  TraceStep s;
+  s.kind = TraceOpKind::kEw;
+  s.a = InternOperand(a);
+  s.a_shape = a.shape();
+  s.out_shape = out.shape();
+  TraceEwStage stage;
+  stage.op = op;
+  stage.scalar = scalar;
+  stage.mod = mod;
+  if (operand != nullptr) stage.operand = InternOperand(*operand);
+  s.stages.push_back(stage);
+  s.out = AddTemp(out, static_cast<int>(trace_.steps.size()));
+  trace_.steps.push_back(std::move(s));
+  Claim(out);
+}
+
+void TraceRecorder::NoteAlias(const Tensor& in) {
+  if (inert()) return;
+  InternOperand(in);
+  keepalive_.push_back(in);
+}
+
+bool TraceRecorder::FoldConstant(const Tensor& in, const Tensor& out) {
+  if (inert()) return true;
+  if (IsTemp(in)) {
+    MarkUnsupported("shape op over a per-request temp");
+    return false;
+  }
+  TraceBuffer buf;
+  buf.kind = TraceBufKind::kConstant;
+  buf.numel = out.numel();
+  buf.shape = out.shape();
+  // The live result may be an arena view that dies with this request's
+  // generation; the plan needs the bytes, so pin a heap clone.
+  buf.constant = out.Clone();
+  const int id = static_cast<int>(trace_.buffers.size());
+  trace_.buffers.push_back(std::move(buf));
+  by_ptr_[out.data()] = id;
+  keepalive_.push_back(out);
+  return true;
+}
+
+bool TraceRecorder::IsTemp(const Tensor& t) const {
+  const int id = Lookup(t.data());
+  return id >= 0 && trace_.buffers[static_cast<size_t>(id)].kind ==
+                        TraceBufKind::kTemp;
+}
+
+void TraceRecorder::NoteCacheFetch(core::ConditioningCache* cache,
+                                   uint64_t salt, const Tensor& features,
+                                   const Tensor& fetched, bool from_delta) {
+  if (inert()) return;
+  TraceStep s;
+  s.kind = TraceOpKind::kCacheFetch;
+  s.cache = cache;
+  s.cache_salt = salt;
+  s.features = InternOperand(features);
+  s.from_delta = from_delta;
+  s.out_shape = fetched.shape();
+  s.out = AddTemp(fetched, static_cast<int>(trace_.steps.size()));
+  trace_.steps.push_back(std::move(s));
+}
+
+void TraceRecorder::NoteFacadeResult(const Tensor& value) {
+  if (inert()) return;
+  if (pending_claim_ == value.data()) {
+    pending_claim_ = nullptr;
+    return;
+  }
+  // A pure alias of known storage (Reshape/Flatten after NoteAlias, or a
+  // facade returning its input) needs no step of its own.
+  if (Lookup(value.data()) >= 0) return;
+  MarkUnsupported("uninstrumented op on the traced path");
+}
+
+void TraceRecorder::AbortRetryable(const char* why) {
+  if (aborted_) return;
+  aborted_ = true;
+  retryable_ = true;
+  reason_ = why;
+}
+
+void TraceRecorder::MarkUnsupported(const char* why) {
+  if (aborted_) return;  // first abort wins; a retryable one stays retryable
+  aborted_ = true;
+  retryable_ = false;
+  reason_ = why;
+}
+
+void TraceRecorder::SetOutput(const Tensor& out) {
+  if (inert()) return;
+  const int id = Lookup(out.data());
+  if (id < 0) {
+    MarkUnsupported("forward output not produced by a traced op");
+    return;
+  }
+  trace_.output = id;
+  trace_.output_shape = out.shape();
+  output_set_ = true;
+}
+
+Trace TraceRecorder::TakeTrace() { return std::move(trace_); }
+
+}  // namespace autograd
+}  // namespace metalora

@@ -1,0 +1,211 @@
+// No-grad forward tracing for compiled serving plans.
+//
+// A TraceRecorder installed on the current RuntimeContext watches one
+// no-grad forward and records it as a flat program over a small buffer
+// table: inputs (the per-request tensors), constants (parameters and
+// constant-folded shape ops, pinned on the heap), cache fetches (ΔW /
+// seed tensors pulled from a ConditioningCache), and temps (everything
+// an op produced). The plan compiler (serve/plan.h) turns the recording
+// into direct kernel calls with preplanned pool offsets.
+//
+// Coverage is enforced, not assumed: MakeOpResult calls
+// NoteFacadeResult() for every facade result built in no-grad mode.
+// Instrumented facades claim their output by calling a RecordX hook
+// immediately before MakeOpResult; a result that arrives unclaimed and
+// is not a pure alias of a known buffer means an op this tracer cannot
+// replay ran — the trace is marked unsupported and the serving layer
+// caches a negative entry so the adapter stays on the dynamic path.
+//
+// Two abort flavors:
+//   MarkUnsupported — permanent for this (adapter, shapes) key; the
+//     plan cache should remember the refusal.
+//   AbortRetryable — transient (a conditioning-cache miss put the cold
+//     mapping network in the recording); the next warm request can
+//     trace successfully, so no negative entry is warranted.
+// Once aborted either way the recorder goes inert: later hooks in the
+// same forward are ignored, so cold-path records after a retryable
+// abort can never escalate it to a permanent refusal.
+#ifndef METALORA_AUTOGRAD_TRACE_H_
+#define METALORA_AUTOGRAD_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/autocast.h"
+#include "tensor/conv_ops.h"
+#include "tensor/fused_elementwise.h"
+#include "tensor/lowp.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+
+namespace core {
+class ConditioningCache;
+}  // namespace core
+
+namespace autograd {
+
+enum class TraceBufKind : uint8_t {
+  kInput,     // per-request tensor; copied into its pool slot each execute
+  kConstant,  // parameter / folded tensor; bytes captured at trace time
+  kTemp,      // op or cache-fetch output; lives in the plan's pool
+};
+
+struct TraceBuffer {
+  TraceBufKind kind = TraceBufKind::kTemp;
+  int64_t numel = 0;
+  Shape shape;          // as first registered (aliases may reshape views)
+  int input_slot = -1;  // kInput: RegisterInput slot
+  Tensor constant;      // kConstant: heap keepalive of the exact bytes
+  // Filled by the plan compiler:
+  int64_t pool_offset = -1;  // kInput/kTemp: float offset into the pool
+};
+
+enum class TraceOpKind : uint8_t {
+  kLinear,      // y[n,o] = x[n,i]·Wᵀ + b  (precision-dispatched)
+  kMatmul,      // C[n,m] = A[n,k]·B[k,m]
+  kBatchedMatmul,
+  kConv2d,
+  kPerSamplePointwiseConv,
+  kCacheFetch,  // copy a ConditioningCache entry into a pool slot
+  kEw,          // one (or, after fusion, several) elementwise stages
+};
+
+/// One recorded elementwise stage. `operand` is a buffer id for binary
+/// stages (-1 for unary/scalar); `mod` is the broadcast modulus.
+struct TraceEwStage {
+  EwOp op = EwOp::kAddTensor;
+  int operand = -1;
+  float scalar = 0.0f;
+  int64_t mod = 0;
+};
+
+struct TraceStep {
+  TraceOpKind kind = TraceOpKind::kEw;
+  int a = -1;     // primary input buffer
+  int b = -1;     // weight / second operand buffer
+  int bias = -1;  // -1 = no bias
+  int out = -1;
+  // Operand shapes as the facade saw them (reshape aliases can differ
+  // from the buffer-table shape; kernels are driven by these).
+  Shape a_shape, b_shape, bias_shape, out_shape;
+  OpPrecision precision = OpPrecision::kFp32;
+  bool prezero = false;  // output slot must be zeroed before the kernel
+  ConvGeom geom;         // kConv2d
+  // Prepacked low-precision weights resolved at trace time from the
+  // original weight pointer (kept alive by the shared_ptr).
+  std::shared_ptr<const lowp::Bf16PackedWeight> bf16_shadow;
+  std::shared_ptr<const lowp::Int8PackedWeight> int8_shadow;
+  // kCacheFetch: recompute the checksum over the features buffer, look
+  // the entry up, and copy seed (or delta) into `out`'s pool slot.
+  core::ConditioningCache* cache = nullptr;
+  uint64_t cache_salt = 0;
+  int features = -1;
+  bool from_delta = false;
+  // kEw: exactly one stage at record time; plan fusion appends more.
+  std::vector<TraceEwStage> stages;
+};
+
+/// A finalized recording, ready for serve::CompilePlan.
+struct Trace {
+  std::vector<TraceBuffer> buffers;
+  std::vector<TraceStep> steps;
+  int output = -1;     // buffer id of the forward's result
+  Shape output_shape;  // shape of the returned tensor (may be a reshape)
+  int num_inputs = 0;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Registers a per-request input (slot 0 = conditioning features,
+  /// slot 1 = activation rows). Call before running the forward.
+  void RegisterInput(const Tensor& t, int slot);
+
+  // ---- facade hooks (called immediately before MakeOpResult) ----
+
+  void RecordLinear(const Tensor& x, const Tensor& w, const Tensor* bias,
+                    const Tensor& out, OpPrecision precision);
+  void RecordMatmul(const Tensor& a, const Tensor& b, const Tensor& out,
+                    OpPrecision precision);
+  void RecordBatchedMatmul(const Tensor& a, const Tensor& b,
+                           const Tensor& out, OpPrecision precision);
+  void RecordConv2d(const Tensor& x, const Tensor& w, const Tensor* bias,
+                    const Tensor& out, const ConvGeom& geom,
+                    OpPrecision precision);
+  void RecordPerSamplePointwiseConv(const Tensor& x, const Tensor& w,
+                                    const Tensor& out, OpPrecision precision);
+  /// One elementwise stage: out = op(a [, operand]). `mod` per EwOp docs.
+  void RecordEw(EwOp op, const Tensor& a, const Tensor* operand,
+                const Tensor& out, float scalar, int64_t mod);
+  /// Reshape and friends: output shares `in`'s storage; makes sure the
+  /// storage is a known buffer (interning `in` as a constant if new) so
+  /// the unclaimed-result guard passes.
+  void NoteAlias(const Tensor& in);
+  /// A shape op (Permute) whose inputs are all constants: pins a heap
+  /// clone of `out` as a constant — the op runs zero times at execution.
+  /// Returns false (and marks the trace unsupported) if `in` is a traced
+  /// temp, i.e. the result would vary per request.
+  bool FoldConstant(const Tensor& in, const Tensor& out);
+
+  /// True when `t`'s storage is a recorded temp (per-request varying).
+  bool IsTemp(const Tensor& t) const;
+
+  // ---- adapter cache hooks ----
+
+  /// A ConditioningCache hit feeding the traced forward: `fetched` is
+  /// the entry tensor handed out (seed, or delta when `from_delta`).
+  void NoteCacheFetch(core::ConditioningCache* cache, uint64_t salt,
+                      const Tensor& features, const Tensor& fetched,
+                      bool from_delta);
+
+  // ---- coverage / lifecycle ----
+
+  /// Called by MakeOpResult for every no-grad facade result.
+  void NoteFacadeResult(const Tensor& value);
+
+  void AbortRetryable(const char* why);
+  void MarkUnsupported(const char* why);
+
+  /// Call with the forward's result once it returns.
+  void SetOutput(const Tensor& out);
+
+  bool ok() const { return !aborted_; }
+  bool unsupported() const { return aborted_ && !retryable_; }
+  bool retryable() const { return aborted_ && retryable_; }
+  const std::string& abort_reason() const { return reason_; }
+
+  /// Finalizes and moves the recording out. Only valid when ok() and
+  /// SetOutput() resolved to a known buffer.
+  Trace TakeTrace();
+
+ private:
+  bool inert() const { return aborted_; }
+  int Lookup(const void* data) const;
+  /// Known buffer id, or a freshly interned constant (parameters and
+  /// other tensors that predate the trace).
+  int InternOperand(const Tensor& t);
+  int AddTemp(const Tensor& out, int def_step_hint);
+  /// Registers `out` as the claimed result of the step just recorded.
+  void Claim(const Tensor& out);
+
+  Trace trace_;
+  std::unordered_map<const void*, int> by_ptr_;
+  std::vector<Tensor> keepalive_;  // pins fetched/aliased storage
+  const void* pending_claim_ = nullptr;
+  bool aborted_ = false;
+  bool retryable_ = false;
+  bool output_set_ = false;
+  std::string reason_;
+};
+
+}  // namespace autograd
+}  // namespace metalora
+
+#endif  // METALORA_AUTOGRAD_TRACE_H_

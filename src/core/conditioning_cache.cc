@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "autograd/runtime_context.h"
+#include "autograd/trace.h"
 #include "autograd/variable.h"
 
 namespace metalora {
@@ -133,9 +135,21 @@ autograd::Variable ConditioningCache::SeedOrCompute(
     const std::function<autograd::Variable()>& compute) {
   if (autograd::GradEnabled()) return compute();
   const uint64_t key = ConditioningChecksum(features.value(), salt);
+  autograd::TraceRecorder* rec =
+      autograd::RuntimeContext::Current().trace_recorder();
   ConditioningEntry hit;
   if (Lookup(key, features.value(), &hit)) {
+    if (rec != nullptr) {
+      rec->NoteCacheFetch(this, salt, features.value(), hit.seed,
+                          /*from_delta=*/false);
+    }
     return autograd::Variable(hit.seed, /*requires_grad=*/false);
+  }
+  if (rec != nullptr) {
+    // A cold mapping-net pass has no plan encoding. Abort as retryable —
+    // this very forward warms the cache, so the next trace attempt for the
+    // same features takes the fetch path above.
+    rec->AbortRetryable("conditioning cache miss (cold mapping path)");
   }
   // Capture the version before running compute(): if an optimizer Step()
   // lands while the seed is being generated, Insert sees the mismatch and

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "autograd/ops.h"
+#include "autograd/runtime_context.h"
+#include "autograd/trace.h"
 #include "autograd/variable.h"
 #include "tensor/random_init.h"
 #include "tensor/tensor_ops.h"
@@ -150,10 +152,20 @@ Variable MetaLoraTrConv::Forward(const Variable& x) {
   Variable w2;  // [N, O, R*R]
   if (!autograd::GradEnabled()) {
     const uint64_t key = ConditioningChecksum(features.value(), cache_salt_);
+    autograd::TraceRecorder* rec =
+        autograd::RuntimeContext::Current().trace_recorder();
     ConditioningEntry e;
     if (cache_.Lookup(key, features.value(), &e)) {
+      if (rec != nullptr) {
+        rec->NoteCacheFetch(&cache_, cache_salt_, features.value(), e.delta,
+                            /*from_delta=*/true);
+      }
       w2 = Variable(e.delta, /*requires_grad=*/false);
     } else {
+      if (rec != nullptr) {
+        // This forward warms the cache; the retry traces the fetch path.
+        rec->AbortRetryable("conditioning cache miss (cold recovery path)");
+      }
       // Version captured before the mapping net runs: an optimizer step
       // landing mid-compute makes this insert a no-op (TOCTOU guard).
       const uint64_t ver = autograd::GlobalParameterVersion();

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <ctime>
 #include <utility>
 
 #include "autograd/runtime_context.h"
+#include "autograd/trace.h"
 #include "autograd/variable.h"
 #include "common/check.h"
 #include "eval/batch_assembly.h"
@@ -38,6 +40,27 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// CPU time consumed by the calling thread, in microseconds. The forward
+/// cost samples (ServeStats::forward_us) use this instead of wall time so
+/// that client threads preempting a worker mid-forward on small machines
+/// do not pollute the plan-vs-dynamic comparison.
+double ThreadCpuMicros() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e6 +
+           static_cast<double>(ts.tv_nsec) * 1e-3;
+  }
+#endif
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Worker-local binding map bound: well above any live plan-cache working
+/// set; wholesale clear on overflow just re-binds (cheap) on next hit.
+constexpr size_t kMaxPlanBindings = 64;
+
 }  // namespace
 
 AdapterServer::AdapterServer(AdapterServerOptions options)
@@ -66,6 +89,10 @@ int AdapterServer::RegisterSession(core::Adapter* adapter,
         options_.result_cache_entries);
     session->result_salt = core::NextAdapterCacheSalt();
   }
+  if (options_.enable_plans) {
+    session->plan_cache =
+        std::make_unique<PlanCache>(options_.plan_cache_entries);
+  }
   sessions_.push_back(std::move(session));
   return static_cast<int>(sessions_.size()) - 1;
 }
@@ -85,6 +112,10 @@ int AdapterServer::RegisterTenantSession(AdapterRegistry* registry,
     session->result_cache = std::make_unique<core::ConditioningCache>(
         options_.result_cache_entries);
     session->result_salt = core::NextAdapterCacheSalt();
+  }
+  if (options_.enable_plans) {
+    session->plan_cache =
+        std::make_unique<PlanCache>(options_.plan_cache_entries);
   }
   sessions_.push_back(std::move(session));
   return static_cast<int>(sessions_.size()) - 1;
@@ -260,12 +291,14 @@ void AdapterServer::WorkerLoop() {
   // Per-precision GEMM dispatch counts, folded into stats_ incrementally
   // (delta since the last fold) so stats() stays fresh while workers live.
   int64_t folded[kNumOpPrecisions] = {0, 0, 0};
+  // This worker's executable instances of the sessions' shared plans.
+  PlanBindingMap plan_bindings;
   for (;;) {
     Batch batch;
     if (batch_queue_.Pop(&batch) != QueuePopStatus::kItem) return;
     if (options_.worker_batch_hook) options_.worker_batch_hook();
     arena.NextGeneration();
-    ExecuteBatch(std::move(batch));
+    ExecuteBatch(std::move(batch), &plan_bindings);
     std::lock_guard<std::mutex> lock(stats_mu_);
     for (int p = 0; p < kNumOpPrecisions; ++p) {
       const int64_t now = ctx.gemm_dispatch(static_cast<OpPrecision>(p));
@@ -275,7 +308,7 @@ void AdapterServer::WorkerLoop() {
   }
 }
 
-void AdapterServer::ExecuteBatch(Batch batch) {
+void AdapterServer::ExecuteBatch(Batch batch, PlanBindingMap* bindings) {
   Session& session = *sessions_[static_cast<size_t>(batch.session_id)];
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
@@ -347,22 +380,105 @@ void AdapterServer::ExecuteBatch(Batch batch) {
   }
 
   // Captured before the forward: if an optimizer Step() lands while the
-  // batch is in flight, the result-cache inserts below become no-ops
-  // (same TOCTOU discipline as ConditioningCache::SeedOrCompute). For
-  // registry sessions Publish bumps this too, so results computed on a
-  // just-swapped-out version cannot be cached as current.
+  // batch is in flight, the result-cache and plan-cache inserts below
+  // become no-ops (same TOCTOU discipline as ConditioningCache::
+  // SeedOrCompute). For registry sessions Publish bumps this too, so
+  // results computed on a just-swapped-out version cannot be cached as
+  // current — and neither can a plan compiled against it.
   const uint64_t param_version = autograd::GlobalParameterVersion();
+  const double forward_start_cpu = ThreadCpuMicros();
   Tensor output;
-  {
+  bool ran_plan = false;
+  PlanKey plan_key;
+  PlanCache::Probe probe = PlanCache::Probe::kMiss;
+  std::shared_ptr<const CompiledPlan> plan;
+  if (session.plan_cache != nullptr) {
+    plan_key.adapter = adapter;
+    plan_key.features_shape = features_cat.shape();
+    plan_key.x_shape = x_cat.shape();
+    probe = session.plan_cache->Lookup(plan_key, &plan);
+  }
+  if (probe == PlanCache::Probe::kHit) {
+    // Direct plan execution needs no forward_mu: it touches only pinned
+    // constants, the conditioning cache (internally locked), and this
+    // worker's private pool — never the adapter's bound-features state,
+    // so plan batches run concurrently with each other and with dynamic
+    // forwards on other workers.
+    if (bindings->size() > kMaxPlanBindings &&
+        bindings->find(plan.get()) == bindings->end()) {
+      bindings->clear();
+    }
+    std::unique_ptr<PlanBinding>& slot = (*bindings)[plan.get()];
+    if (slot == nullptr) slot = std::make_unique<PlanBinding>(plan);
+    autograd::RuntimeContext& ctx = autograd::RuntimeContext::Current();
+    autograd::ProfileScope prof(ctx, "CompiledPlan");
+    if (slot->Execute(features_cat, x_cat, &output)) {
+      prof.set_output(output);
+      ran_plan = true;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.plan_hits;
+    } else {
+      // A conditioning entry the plan depends on was evicted or
+      // invalidated: fall back — the dynamic forward re-warms it.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.plan_fallbacks;
+    }
+  } else if (probe == PlanCache::Probe::kNegative) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.plan_fallbacks;
+  }
+  if (!ran_plan) {
     // Adapters bind features statefully; one forward per instance at a time.
     std::lock_guard<std::mutex> lock(*forward_mu);
-    adapter->SetFeatures(
-        autograd::Variable(features_cat, /*requires_grad=*/false));
-    autograd::Variable y = adapter->Forward(
-        autograd::Variable(x_cat, /*requires_grad=*/false));
-    output = y.value();
+    if (probe == PlanCache::Probe::kMiss && session.plan_cache != nullptr) {
+      // Trace the very forward that serves this batch; a successful
+      // recording compiles into the plan later same-shape batches hit.
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.plan_misses;
+      }
+      autograd::TraceRecorder rec;
+      rec.RegisterInput(features_cat, 0);
+      rec.RegisterInput(x_cat, 1);
+      autograd::RuntimeContext& ctx = autograd::RuntimeContext::Current();
+      ctx.set_trace_recorder(&rec);
+      adapter->SetFeatures(
+          autograd::Variable(features_cat, /*requires_grad=*/false));
+      autograd::Variable y = adapter->Forward(
+          autograd::Variable(x_cat, /*requires_grad=*/false));
+      ctx.set_trace_recorder(nullptr);
+      output = y.value();
+      rec.SetOutput(output);
+      if (rec.ok()) {
+        auto compiled = CompilePlan(rec.TakeTrace());
+        // `handle` pins registry-backed instances against eviction-and-
+        // realloc at the same address (ABA) for the entry's lifetime.
+        session.plan_cache->Insert(plan_key, compiled, param_version, handle);
+        if (compiled != nullptr) {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.plan_compiles;
+        }
+      } else if (rec.unsupported()) {
+        // Permanent for this key: remember the refusal so every later
+        // batch skips straight to the dynamic path.
+        session.plan_cache->Insert(plan_key, nullptr, param_version, handle);
+      }
+      // Retryable abort (cold conditioning cache): cache nothing — this
+      // forward just warmed it, so the next same-shape batch can trace.
+    } else {
+      adapter->SetFeatures(
+          autograd::Variable(features_cat, /*requires_grad=*/false));
+      autograd::Variable y = adapter->Forward(
+          autograd::Variable(x_cat, /*requires_grad=*/false));
+      output = y.value();
+    }
   }
 
+  {
+    const double forward_us = ThreadCpuMicros() - forward_start_cpu;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.forward_us.push_back(forward_us);
+  }
   std::vector<Tensor> outputs = eval::SplitRows(output, row_counts);
   for (size_t i = 0; i < misses.size(); ++i) {
     if (session.result_cache != nullptr) {

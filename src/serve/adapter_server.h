@@ -44,12 +44,14 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bounded_queue.h"
 #include "core/adapter_config.h"
 #include "core/conditioning_cache.h"
 #include "serve/adapter_registry.h"
+#include "serve/plan_cache.h"
 #include "serve/serve_stats.h"
 #include "tensor/autocast.h"
 #include "tensor/tensor.h"
@@ -80,6 +82,17 @@ struct AdapterServerOptions {
   /// on, or the Linear facade downgrades int8 -> bf16 (no prepacked
   /// scales). Per-precision dispatch counts land in ServeStats.
   AutocastPolicy autocast;
+  /// Compile each (adapter, shapes) no-grad forward into a serving plan on
+  /// its first warm batch and serve later same-shape batches by direct
+  /// plan execution: ordered kernel calls with fused elementwise chains
+  /// over a preplanned pool — no dispatch, no shape inference, no tensor
+  /// allocation (serve/plan.h). Plan output is bit-identical to the
+  /// dynamic path; plans retire on parameter-version bumps (optimizer
+  /// Step, registry Publish) and fall back to the dynamic graph on shape
+  /// or conditioning-cache misses and on unsupported graphs.
+  bool enable_plans = false;
+  /// Per-session plan cache bound (positive + negative entries, FIFO).
+  int64_t plan_cache_entries = 32;
   /// Test hook: runs on the worker thread before each batch executes.
   /// Lets tests stall the pipeline deterministically (backpressure,
   /// shutdown-with-in-flight coverage). Leave empty in production.
@@ -167,11 +180,19 @@ class AdapterServer {
     /// Serve-level result cache: packed (features, x) bytes -> output rows.
     std::unique_ptr<core::ConditioningCache> result_cache;
     uint64_t result_salt = 0;
+    /// Compiled plans for this session (enable_plans only). Shared across
+    /// workers; each worker keeps its own PlanBinding per plan.
+    std::unique_ptr<PlanCache> plan_cache;
   };
+
+  /// Worker-local executable instances of shared plans, keyed by plan
+  /// identity. Bounded: wholesale-cleared when it outgrows the caches.
+  using PlanBindingMap =
+      std::unordered_map<const CompiledPlan*, std::unique_ptr<PlanBinding>>;
 
   void BatcherLoop();
   void WorkerLoop();
-  void ExecuteBatch(Batch batch);
+  void ExecuteBatch(Batch batch, PlanBindingMap* bindings);
   void FlushPending(std::vector<Request>* pending, bool drain,
                     int64_t* flush_counter);
   void CompleteRequest(Request* request, Tensor result);

@@ -1,0 +1,466 @@
+#include "serve/plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "core/conditioning_cache.h"
+#include "tensor/conv_ops.h"
+#include "tensor/gemm.h"
+#include "tensor/lowp.h"
+#include "tensor/matmul.h"
+
+namespace metalora {
+namespace serve {
+
+namespace {
+
+using autograd::Trace;
+using autograd::TraceBufKind;
+using autograd::TraceBuffer;
+using autograd::TraceEwStage;
+using autograd::TraceOpKind;
+using autograd::TraceStep;
+
+// Pool offsets are 16-float (64-byte) aligned: every slot starts on a
+// cache-line boundary regardless of the sizes packed before it.
+constexpr int64_t kAlignFloats = 16;
+
+int64_t AlignUp(int64_t n) {
+  return (n + kAlignFloats - 1) & ~(kAlignFloats - 1);
+}
+
+/// First-fit free-list allocator over a flat float extent. Offsets are
+/// handed out at compile time only; `top()` after the walk is the pool's
+/// peak size.
+class PoolPlanner {
+ public:
+  int64_t Alloc(int64_t size) {
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->size >= size) {
+        const int64_t off = it->offset;
+        it->offset += size;
+        it->size -= size;
+        if (it->size == 0) free_.erase(it);
+        return off;
+      }
+    }
+    const int64_t off = top_;
+    top_ += size;
+    return off;
+  }
+
+  void Free(int64_t offset, int64_t size) {
+    // Insert sorted by offset, then coalesce with both neighbours so a
+    // later Alloc can reuse merged extents.
+    auto it = std::lower_bound(
+        free_.begin(), free_.end(), offset,
+        [](const Block& b, int64_t off) { return b.offset < off; });
+    it = free_.insert(it, Block{offset, size});
+    if (it + 1 != free_.end() && it->offset + it->size == (it + 1)->offset) {
+      it->size += (it + 1)->size;
+      free_.erase(it + 1);
+    }
+    if (it != free_.begin() &&
+        (it - 1)->offset + (it - 1)->size == it->offset) {
+      (it - 1)->size += it->size;
+      free_.erase(it);
+    }
+  }
+
+  int64_t top() const { return top_; }
+
+ private:
+  struct Block {
+    int64_t offset;
+    int64_t size;
+  };
+  std::vector<Block> free_;
+  int64_t top_ = 0;
+};
+
+/// Greedy peephole fusion of consecutive elementwise steps. A step joins
+/// the chain when the previous EW step's output is its primary input (or
+/// can be made so by a commutative swap — Add/Mul either side, Sub via
+/// the right operand as Rsub), that output has no other consumer, is not
+/// the plan output, and no stage of the joining step reads it as a
+/// side operand. The merged step runs all stages in one pass per
+/// element, which is bit-identical to running them as separate ops: each
+/// stage reads only element i of its value stream and element i (or the
+/// broadcast slot) of its operand, and the interpreter evaluates each
+/// stage's expression with the exact tokens of the dynamic kernels.
+void FuseElementwiseChains(Trace* trace) {
+  std::vector<int> uses(trace->buffers.size(), 0);
+  auto count = [&](int id) {
+    if (id >= 0) ++uses[static_cast<size_t>(id)];
+  };
+  for (const TraceStep& s : trace->steps) {
+    count(s.a);
+    count(s.b);
+    count(s.bias);
+    count(s.features);
+    for (const TraceEwStage& st : s.stages) count(st.operand);
+  }
+  count(trace->output);
+
+  std::vector<TraceStep> fused;
+  fused.reserve(trace->steps.size());
+  for (TraceStep& s : trace->steps) {
+    if (s.kind == TraceOpKind::kEw && !fused.empty() &&
+        fused.back().kind == TraceOpKind::kEw) {
+      TraceStep& prev = fused.back();
+      TraceStep cand = s;
+      bool chained = false;
+      if (cand.a == prev.out) {
+        chained = true;
+      } else if (cand.stages.size() == 1 &&
+                 cand.stages[0].operand == prev.out) {
+        TraceEwStage& st = cand.stages[0];
+        if (st.op == EwOp::kAddTensor || st.op == EwOp::kMulTensor) {
+          st.operand = cand.a;
+          cand.a = prev.out;
+          chained = true;
+        } else if (st.op == EwOp::kSubTensor) {
+          st.op = EwOp::kRsubTensor;
+          st.operand = cand.a;
+          cand.a = prev.out;
+          chained = true;
+        }
+      }
+      bool operand_conflict = false;
+      for (const TraceEwStage& st : cand.stages) {
+        if (st.operand == prev.out) operand_conflict = true;
+      }
+      const int64_t prev_numel =
+          trace->buffers[static_cast<size_t>(prev.out)].numel;
+      const int64_t cand_numel =
+          trace->buffers[static_cast<size_t>(cand.out)].numel;
+      if (chained && !operand_conflict &&
+          uses[static_cast<size_t>(prev.out)] == 1 &&
+          prev.out != trace->output && prev_numel == cand_numel) {
+        for (const TraceEwStage& st : cand.stages) {
+          prev.stages.push_back(st);
+        }
+        prev.out = cand.out;
+        prev.out_shape = cand.out_shape;
+        continue;
+      }
+    }
+    fused.push_back(std::move(s));
+  }
+  trace->steps = std::move(fused);
+}
+
+/// Liveness walk + first-fit packing. Inputs live for the whole plan
+/// (they are memcpy'd in before step 0 and double as EW operands late in
+/// the program); each temp lives from its defining step to its last use;
+/// the plan output lives to the end. Dead temps left behind by fusion
+/// get no slot at all.
+int64_t AssignPoolOffsets(Trace* trace) {
+  const size_t nbuf = trace->buffers.size();
+  const int nsteps = static_cast<int>(trace->steps.size());
+  std::vector<int> last_use(nbuf, -1);
+  std::vector<int> def_step(nbuf, -1);
+  auto touch = [&](int id, int s) {
+    if (id >= 0) last_use[static_cast<size_t>(id)] = s;
+  };
+  for (int s = 0; s < nsteps; ++s) {
+    const TraceStep& step = trace->steps[static_cast<size_t>(s)];
+    touch(step.a, s);
+    touch(step.b, s);
+    touch(step.bias, s);
+    touch(step.features, s);
+    for (const TraceEwStage& st : step.stages) touch(st.operand, s);
+    if (step.out >= 0) def_step[static_cast<size_t>(step.out)] = s;
+  }
+  if (trace->output >= 0) {
+    last_use[static_cast<size_t>(trace->output)] = nsteps;
+  }
+
+  PoolPlanner pool;
+  for (TraceBuffer& buf : trace->buffers) {
+    if (buf.kind == TraceBufKind::kInput) {
+      buf.pool_offset = pool.Alloc(AlignUp(buf.numel));
+    }
+  }
+  std::vector<bool> freed(nbuf, false);
+  for (int s = 0; s < nsteps; ++s) {
+    for (size_t b = 0; b < nbuf; ++b) {
+      TraceBuffer& buf = trace->buffers[b];
+      if (buf.kind != TraceBufKind::kTemp || buf.pool_offset < 0 ||
+          freed[b] || last_use[b] >= s) {
+        continue;
+      }
+      pool.Free(buf.pool_offset, AlignUp(buf.numel));
+      freed[b] = true;
+    }
+    const TraceStep& step = trace->steps[static_cast<size_t>(s)];
+    if (step.out >= 0) {
+      TraceBuffer& buf = trace->buffers[static_cast<size_t>(step.out)];
+      if (buf.kind == TraceBufKind::kTemp && buf.pool_offset < 0) {
+        buf.pool_offset = pool.Alloc(AlignUp(buf.numel));
+      }
+    }
+  }
+  return pool.top();
+}
+
+int64_t ConvScratchFloats(const Trace& trace) {
+  int64_t peak = 0;
+  for (const TraceStep& s : trace.steps) {
+    if (s.kind != TraceOpKind::kConv2d) continue;
+    const int64_t c = s.a_shape.dim(1), h = s.a_shape.dim(2),
+                  w = s.a_shape.dim(3);
+    const int64_t ho = s.geom.OutExtent(h, s.geom.kernel_h);
+    const int64_t wo = s.geom.OutExtent(w, s.geom.kernel_w);
+    peak = std::max(peak, c * s.geom.kernel_h * s.geom.kernel_w * ho * wo);
+  }
+  return peak;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledPlan> CompilePlan(Trace trace) {
+  if (trace.output < 0 ||
+      trace.output >= static_cast<int>(trace.buffers.size()) ||
+      trace.num_inputs <= 0) {
+    return nullptr;
+  }
+  std::vector<Shape> input_shapes(static_cast<size_t>(trace.num_inputs));
+  std::vector<bool> slot_seen(static_cast<size_t>(trace.num_inputs), false);
+  for (const TraceBuffer& buf : trace.buffers) {
+    if (buf.kind != TraceBufKind::kInput) continue;
+    if (buf.input_slot < 0 || buf.input_slot >= trace.num_inputs) {
+      return nullptr;
+    }
+    input_shapes[static_cast<size_t>(buf.input_slot)] = buf.shape;
+    slot_seen[static_cast<size_t>(buf.input_slot)] = true;
+  }
+  for (bool seen : slot_seen) {
+    if (!seen) return nullptr;
+  }
+
+  FuseElementwiseChains(&trace);
+  auto plan = std::make_shared<CompiledPlan>();
+  plan->conv_scratch_floats = ConvScratchFloats(trace);
+  plan->pool_floats = AssignPoolOffsets(&trace);
+  plan->input_shapes = std::move(input_shapes);
+  plan->trace = std::move(trace);
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// PlanBinding
+// ---------------------------------------------------------------------------
+
+Tensor PlanBinding::ViewOf(int id, const Shape& shape) const {
+  const TraceBuffer& buf = plan_->trace.buffers[static_cast<size_t>(id)];
+  if (buf.kind == TraceBufKind::kConstant) {
+    return buf.constant.Reshape(shape);
+  }
+  ML_CHECK_GE(buf.pool_offset, 0);
+  return Tensor::WrapBuffer(pool_, buf.pool_offset, shape);
+}
+
+PlanBinding::PlanBinding(std::shared_ptr<const CompiledPlan> plan)
+    : plan_(std::move(plan)) {
+  ML_CHECK(plan_ != nullptr);
+  pool_ = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(plan_->pool_floats), 0.0f);
+  conv_scratch_.resize(static_cast<size_t>(plan_->conv_scratch_floats));
+
+  const Trace& trace = plan_->trace;
+  inputs_.resize(static_cast<size_t>(trace.num_inputs));
+  for (const TraceBuffer& buf : trace.buffers) {
+    if (buf.kind != TraceBufKind::kInput) continue;
+    InputSlot& slot = inputs_[static_cast<size_t>(buf.input_slot)];
+    slot.dst = pool_->data() + buf.pool_offset;
+    slot.numel = buf.numel;
+  }
+
+  // Resolve every pointer and view Execute will touch, so the hot loop is
+  // nothing but kernel calls over precomputed addresses.
+  steps_.reserve(trace.steps.size());
+  for (const TraceStep& st : trace.steps) {
+    BoundStep bs;
+    bs.step = &st;
+    if (st.out >= 0) {
+      bs.out_view = ViewOf(st.out, st.out_shape);
+      bs.out = bs.out_view.data();
+      bs.out_numel = st.out_shape.numel();
+    }
+    switch (st.kind) {
+      case TraceOpKind::kLinear:
+        bs.a_view = ViewOf(st.a, st.a_shape);
+        bs.b_view = ViewOf(st.b, st.b_shape);
+        bs.a = bs.a_view.data();
+        bs.b = bs.b_view.data();
+        if (st.bias >= 0) bs.bias_view = ViewOf(st.bias, st.bias_shape);
+        break;
+      case TraceOpKind::kMatmul:
+        bs.a_view = ViewOf(st.a, st.a_shape);
+        bs.b_view = ViewOf(st.b, st.b_shape);
+        bs.a = bs.a_view.data();
+        bs.b = bs.b_view.data();
+        break;
+      case TraceOpKind::kBatchedMatmul:
+      case TraceOpKind::kPerSamplePointwiseConv:
+        bs.a_view = ViewOf(st.a, st.a_shape);
+        bs.b_view = ViewOf(st.b, st.b_shape);
+        bs.a = bs.a_view.data();
+        bs.b = bs.b_view.data();
+        break;
+      case TraceOpKind::kConv2d:
+        bs.a_view = ViewOf(st.a, st.a_shape);
+        bs.b_view = ViewOf(st.b, st.b_shape);
+        if (st.bias >= 0) bs.bias_view = ViewOf(st.bias, st.bias_shape);
+        break;
+      case TraceOpKind::kCacheFetch: {
+        const TraceBuffer& fbuf =
+            plan_->trace.buffers[static_cast<size_t>(st.features)];
+        bs.features_view = ViewOf(st.features, fbuf.shape);
+        break;
+      }
+      case TraceOpKind::kEw: {
+        bs.a_view = ViewOf(st.a, st.a_shape);
+        bs.a = bs.a_view.data();
+        bs.stages.reserve(st.stages.size());
+        for (const TraceEwStage& stage : st.stages) {
+          EwStageExec exec;
+          exec.op = stage.op;
+          exec.scalar = stage.scalar;
+          exec.mod = stage.mod;
+          if (stage.operand >= 0) {
+            const TraceBuffer& obuf =
+                plan_->trace.buffers[static_cast<size_t>(stage.operand)];
+            bs.operand_views.push_back(ViewOf(stage.operand, obuf.shape));
+            exec.operand = bs.operand_views.back().data();
+          }
+          bs.stages.push_back(exec);
+        }
+        break;
+      }
+    }
+    steps_.push_back(std::move(bs));
+  }
+
+  output_ = ViewOf(trace.output, trace.output_shape);
+}
+
+bool PlanBinding::Execute(const Tensor& features, const Tensor& x,
+                          Tensor* out) {
+  ML_CHECK(inputs_.size() >= 2);
+  ML_CHECK(features.shape() == plan_->input_shapes[0]);
+  ML_CHECK(x.shape() == plan_->input_shapes[1]);
+  std::memcpy(inputs_[0].dst, features.data(),
+              static_cast<size_t>(inputs_[0].numel) * sizeof(float));
+  std::memcpy(inputs_[1].dst, x.data(),
+              static_cast<size_t>(inputs_[1].numel) * sizeof(float));
+
+  for (BoundStep& bs : steps_) {
+    const TraceStep& st = *bs.step;
+    if (st.prezero) {
+      std::memset(bs.out, 0,
+                  static_cast<size_t>(bs.out_numel) * sizeof(float));
+    }
+    switch (st.kind) {
+      case TraceOpKind::kLinear: {
+        const int64_t rows = st.a_shape.dim(0);
+        const int64_t in = st.b_shape.dim(1);
+        const int64_t out_ch = st.b_shape.dim(0);
+        if (st.precision == OpPrecision::kInt8) {
+          lowp::GemmInt8Prepacked(bs.a, *st.int8_shadow, bs.out, rows,
+                                  /*accumulate=*/false);
+        } else if (st.precision == OpPrecision::kBf16) {
+          if (st.bf16_shadow != nullptr) {
+            lowp::GemmBf16Prepacked(bs.a, *st.bf16_shadow, bs.out, rows,
+                                    /*accumulate=*/false);
+          } else {
+            GemmPackedBf16(bs.a, false, bs.b, true, bs.out, rows, in, out_ch,
+                           /*accumulate=*/false);
+          }
+        } else {
+          MatmulTransBInto(bs.a_view, bs.b_view, &bs.out_view);
+        }
+        if (st.bias >= 0) {
+          // fp32 bias epilogue, token-identical to the Linear facade.
+          const float* pb = bs.bias_view.data();
+          float* po = bs.out;
+          const int64_t n = rows, c = out_ch;
+          for (int64_t i = 0; i < n; ++i)
+            for (int64_t j = 0; j < c; ++j) po[i * c + j] += pb[j];
+        }
+        break;
+      }
+      case TraceOpKind::kMatmul: {
+        if (st.precision == OpPrecision::kBf16) {
+          GemmPackedBf16(bs.a, false, bs.b, false, bs.out, st.a_shape.dim(0),
+                         st.a_shape.dim(1), st.b_shape.dim(1),
+                         /*accumulate=*/true);
+        } else {
+          MatmulInto(bs.a_view, bs.b_view, &bs.out_view);
+        }
+        break;
+      }
+      case TraceOpKind::kBatchedMatmul: {
+        const int64_t batch = st.a_shape.dim(0), n = st.a_shape.dim(1),
+                      k = st.a_shape.dim(2), m = st.b_shape.dim(2);
+        for (int64_t s = 0; s < batch; ++s) {
+          if (st.precision == OpPrecision::kBf16) {
+            GemmPackedBf16(bs.a + s * n * k, false, bs.b + s * k * m, false,
+                           bs.out + s * n * m, n, k, m, /*accumulate=*/true);
+          } else {
+            GemmPacked(bs.a + s * n * k, false, bs.b + s * k * m, false,
+                       bs.out + s * n * m, n, k, m, /*accumulate=*/true);
+          }
+        }
+        break;
+      }
+      case TraceOpKind::kConv2d: {
+        Conv2dForwardInto(bs.a_view, bs.b_view,
+                          st.bias >= 0 ? bs.bias_view : Tensor(), st.geom,
+                          &bs.out_view, st.precision, &conv_scratch_);
+        break;
+      }
+      case TraceOpKind::kPerSamplePointwiseConv: {
+        const int64_t n = st.a_shape.dim(0), q = st.a_shape.dim(1),
+                      spatial = st.a_shape.dim(2) * st.a_shape.dim(3);
+        const int64_t o = st.b_shape.dim(1);
+        for (int64_t s = 0; s < n; ++s) {
+          const float* xs = bs.a + s * q * spatial;
+          const float* ws = bs.b + s * o * q;
+          float* ys = bs.out + s * o * spatial;
+          if (st.precision == OpPrecision::kBf16) {
+            GemmPackedBf16(ws, false, xs, false, ys, o, q, spatial,
+                           /*accumulate=*/true);
+          } else {
+            MatmulAccumulateRaw(ws, xs, ys, o, q, spatial);
+          }
+        }
+        break;
+      }
+      case TraceOpKind::kCacheFetch: {
+        const uint64_t key =
+            core::ConditioningChecksum(bs.features_view, st.cache_salt);
+        core::ConditioningEntry entry;
+        if (!st.cache->Lookup(key, bs.features_view, &entry)) return false;
+        const Tensor& src = st.from_delta ? entry.delta : entry.seed;
+        if (!src.defined() || src.numel() != bs.out_numel) return false;
+        std::memcpy(bs.out, src.data(),
+                    static_cast<size_t>(bs.out_numel) * sizeof(float));
+        break;
+      }
+      case TraceOpKind::kEw: {
+        RunFusedElementwise(bs.a, bs.out, bs.out_numel, bs.stages.data(),
+                            static_cast<int>(bs.stages.size()));
+        break;
+      }
+    }
+  }
+  *out = output_;
+  return true;
+}
+
+}  // namespace serve
+}  // namespace metalora

@@ -1,0 +1,118 @@
+// Compiled serving plans: a traced no-grad forward lowered to a flat
+// sequence of direct kernel calls over a preplanned memory pool.
+//
+// CompilePlan takes a finalized autograd::Trace (autograd/trace.h) and
+//  1. fuses chains of consecutive elementwise steps into single
+//     multi-stage RunFusedElementwise calls (one pass over the data
+//     instead of one per op; commutative operand swaps let a chain
+//     continue through Add/Mul where the traced value arrived as the
+//     right operand, and Sub through the right operand becomes Rsub),
+//  2. runs a tensor-lifetime pass over the surviving steps and packs
+//     every input and temp into one flat float pool with first-fit
+//     offsets (64-byte aligned), so peak working-set size is known at
+//     compile time and execution performs zero tensor allocation.
+//
+// The compiled plan is immutable and shared across workers; each worker
+// wraps it in a PlanBinding holding the pool, prebuilt tensor views,
+// resolved data pointers, fused-stage arrays, and the conv im2col
+// scratch — everything Execute needs so that running the plan is just
+// memcpy-in, kernels in order, view-out.
+//
+// Bit-identity contract: every kernel invocation replays the dynamic
+// facade's dispatch exactly — same engine entry point, same
+// accumulate/overwrite mode, same prepacked shadow, same fp32 bias
+// epilogue, and elementwise stages evaluate token-identical expressions
+// per element — so plan output is byte-for-byte the dynamic no-grad
+// output for every adapter family and precision tier (asserted by
+// tests/serve_plan_test.cc and bench/serving_throughput.cc).
+//
+// Conditioning-cache fetches recorded in the trace are re-validated per
+// execution (checksum + bytewise feature compare under the cache's own
+// lock); a fetch miss — entry evicted or invalidated since compile —
+// makes Execute return false and the caller falls back to the dynamic
+// graph, which re-warms the cache.
+#ifndef METALORA_SERVE_PLAN_H_
+#define METALORA_SERVE_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/trace.h"
+#include "tensor/fused_elementwise.h"
+#include "tensor/tensor.h"
+
+namespace metalora {
+namespace serve {
+
+struct CompiledPlan {
+  /// Fused steps plus the buffer table with pool offsets filled in.
+  autograd::Trace trace;
+  /// Pool extent in floats (peak working set, known at compile time).
+  int64_t pool_floats = 0;
+  /// Largest im2col column buffer any conv step needs (floats).
+  int64_t conv_scratch_floats = 0;
+  /// Expected per-slot input shapes (slot 0 = features, slot 1 = x).
+  std::vector<Shape> input_shapes;
+};
+
+/// Lowers `trace` (which must be a complete recording: output resolved,
+/// not aborted). Returns nullptr if the trace is structurally unusable —
+/// an input slot never registered or an output id out of range — which a
+/// recorder-produced trace never is; callers treat nullptr like an
+/// unsupported trace.
+std::shared_ptr<const CompiledPlan> CompilePlan(autograd::Trace trace);
+
+/// Per-worker executable instance of a plan: owns the pool and every
+/// pointer/view Execute touches. Not thread-safe; one binding per worker.
+class PlanBinding {
+ public:
+  explicit PlanBinding(std::shared_ptr<const CompiledPlan> plan);
+
+  PlanBinding(const PlanBinding&) = delete;
+  PlanBinding& operator=(const PlanBinding&) = delete;
+
+  const std::shared_ptr<const CompiledPlan>& plan() const { return plan_; }
+
+  /// Runs the plan on one request batch. Inputs must match the compiled
+  /// shapes exactly (the plan cache key guarantees it). Returns false on
+  /// a conditioning-cache fetch miss — nothing was served; fall back to
+  /// the dynamic forward. On success `*out` is a tensor view into the
+  /// binding's pool: valid until the next Execute on this binding, so
+  /// callers must copy rows out (eval::SplitRows clones) before reusing.
+  bool Execute(const Tensor& features, const Tensor& x, Tensor* out);
+
+ private:
+  struct BoundStep {
+    const autograd::TraceStep* step = nullptr;
+    const float* a = nullptr;
+    const float* b = nullptr;
+    float* out = nullptr;
+    int64_t out_numel = 0;
+    // Facade-level kernels (fp32 matmul/linear, conv) take Tensors.
+    Tensor a_view, b_view, bias_view, out_view;
+    Tensor features_view;                // kCacheFetch checksum operand
+    std::vector<EwStageExec> stages;     // kEw resolved operand pointers
+    std::vector<Tensor> operand_views;   // pins kEw stage operand storage
+  };
+
+  struct InputSlot {
+    float* dst = nullptr;
+    int64_t numel = 0;
+  };
+
+  /// Pool-or-constant view of buffer `id` under `shape`.
+  Tensor ViewOf(int id, const Shape& shape) const;
+
+  std::shared_ptr<const CompiledPlan> plan_;
+  std::shared_ptr<std::vector<float>> pool_;
+  std::vector<float> conv_scratch_;  // sized once at construction
+  std::vector<InputSlot> inputs_;    // indexed by RegisterInput slot
+  std::vector<BoundStep> steps_;
+  Tensor output_;
+};
+
+}  // namespace serve
+}  // namespace metalora
+
+#endif  // METALORA_SERVE_PLAN_H_

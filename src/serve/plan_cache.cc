@@ -1,0 +1,89 @@
+#include "serve/plan_cache.h"
+
+#include <utility>
+
+#include "autograd/variable.h"
+#include "common/check.h"
+
+namespace metalora {
+namespace serve {
+
+size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  // FNV-1a over the pointer and both shapes' dims.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(reinterpret_cast<uintptr_t>(k.adapter));
+  mix(static_cast<uint64_t>(k.features_shape.rank()));
+  for (int i = 0; i < k.features_shape.rank(); ++i) {
+    mix(static_cast<uint64_t>(k.features_shape.dim(i)));
+  }
+  mix(static_cast<uint64_t>(k.x_shape.rank()));
+  for (int i = 0; i < k.x_shape.rank(); ++i) {
+    mix(static_cast<uint64_t>(k.x_shape.dim(i)));
+  }
+  return static_cast<size_t>(h);
+}
+
+PlanCache::PlanCache(int64_t max_entries) : max_entries_(max_entries) {
+  ML_CHECK_GT(max_entries_, 0);
+}
+
+PlanCache::Probe PlanCache::Lookup(
+    const PlanKey& key, std::shared_ptr<const CompiledPlan>* plan) {
+  const uint64_t version = autograd::GlobalParameterVersion();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Probe::kMiss;
+  if (it->second.param_version != version) {
+    // Step()/Publish landed since compile: the plan (or the refusal)
+    // belongs to dead parameters. Retire it; the caller re-traces.
+    entries_.erase(it);
+    return Probe::kMiss;
+  }
+  if (it->second.plan == nullptr) return Probe::kNegative;
+  *plan = it->second.plan;
+  return Probe::kHit;
+}
+
+void PlanCache::Insert(const PlanKey& key,
+                       std::shared_ptr<const CompiledPlan> plan,
+                       uint64_t param_version,
+                       std::shared_ptr<ResidentAdapter> keepalive) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // TOCTOU guard, same discipline as ConditioningCache::Insert: a version
+  // bump during trace/compile means these kernels bake in old parameters.
+  if (autograd::GlobalParameterVersion() != param_version) return;
+  Entry entry;
+  entry.plan = std::move(plan);
+  entry.param_version = param_version;
+  entry.keepalive = std::move(keepalive);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = std::move(entry);  // overwrite keeps the queue position
+    return;
+  }
+  EvictForInsertLocked();
+  entries_.emplace(key, std::move(entry));
+  insert_order_.push_back(key);
+}
+
+void PlanCache::EvictForInsertLocked() {
+  while (static_cast<int64_t>(entries_.size()) >= max_entries_ &&
+         !insert_order_.empty()) {
+    entries_.erase(insert_order_.front());
+    insert_order_.pop_front();
+  }
+}
+
+int64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(entries_.size());
+}
+
+}  // namespace serve
+}  // namespace metalora

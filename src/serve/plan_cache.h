@@ -1,0 +1,95 @@
+// Versioned cache of compiled serving plans, keyed like the ΔW caches.
+//
+// A plan is valid for exactly one (adapter instance, features shape,
+// x shape, parameter version) combination. The cache stamps each entry
+// with the global parameter version captured BEFORE the traced forward
+// ran; Lookup drops any entry whose stamp no longer matches — an
+// optimizer Step() or an AdapterRegistry::Publish (which bumps the same
+// counter) retires every stale plan on its next probe, so a stale plan's
+// bytes are never served. Insert re-checks the version too (TOCTOU): a
+// bump landing between trace and insert drops the plan instead of
+// stamping old-parameter kernels as current.
+//
+// Negative entries remember that a trace for this key was permanently
+// unsupported (an op outside the plan vocabulary), so the serving layer
+// stops re-tracing every batch; they are version-stamped like positive
+// entries, so a hot-swap gets a fresh chance to compile.
+//
+// Entries optionally pin the ResidentAdapter they were compiled against:
+// registry-backed adapters can be evicted and freed while a plan keyed
+// on their instance address is still cached, and a later instance
+// allocated at the same address must not match it (ABA). The keepalive
+// makes the address unique for the entry's lifetime.
+#ifndef METALORA_SERVE_PLAN_CACHE_H_
+#define METALORA_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/adapter_registry.h"
+#include "serve/plan.h"
+#include "tensor/shape.h"
+
+namespace metalora {
+namespace serve {
+
+struct PlanKey {
+  const void* adapter = nullptr;  // instance identity, not tenant name
+  Shape features_shape;
+  Shape x_shape;
+
+  bool operator==(const PlanKey& o) const {
+    return adapter == o.adapter && features_shape == o.features_shape &&
+           x_shape == o.x_shape;
+  }
+};
+
+struct PlanKeyHash {
+  size_t operator()(const PlanKey& k) const;
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(int64_t max_entries = 32);
+
+  enum class Probe {
+    kMiss,      // no live entry: trace-and-compile on this batch
+    kHit,       // *plan points at a current-version compiled plan
+    kNegative,  // this key is known-unsupported at the current version
+  };
+
+  /// Probes under the current GlobalParameterVersion(); stale entries are
+  /// erased on the way (their keepalives drop here).
+  Probe Lookup(const PlanKey& key, std::shared_ptr<const CompiledPlan>* plan);
+
+  /// Caches a compiled plan stamped with `param_version` (captured before
+  /// the traced forward). No-op if the global version has moved since.
+  /// Pass nullptr `plan` to record a negative (unsupported) entry.
+  void Insert(const PlanKey& key, std::shared_ptr<const CompiledPlan> plan,
+              uint64_t param_version,
+              std::shared_ptr<ResidentAdapter> keepalive);
+
+  int64_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledPlan> plan;  // null = negative entry
+    uint64_t param_version = 0;
+    std::shared_ptr<ResidentAdapter> keepalive;
+  };
+
+  void EvictForInsertLocked();
+
+  const int64_t max_entries_;
+  mutable std::mutex mu_;
+  std::unordered_map<PlanKey, Entry, PlanKeyHash> entries_;
+  std::deque<PlanKey> insert_order_;  // FIFO bound
+};
+
+}  // namespace serve
+}  // namespace metalora
+
+#endif  // METALORA_SERVE_PLAN_CACHE_H_

@@ -14,13 +14,18 @@ double ServeStats::MeanBatchSize() const {
              : 0.0;
 }
 
-double ServeStats::LatencyPercentileUs(double pct) const {
-  if (latencies_us.empty()) return 0.0;
-  std::vector<double> sorted = latencies_us;
+double ServeStats::PercentileUs(const std::vector<double>& samples,
+                                double pct) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> sorted = samples;
   std::sort(sorted.begin(), sorted.end());
   const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t idx = static_cast<size_t>(std::llround(rank));
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double ServeStats::LatencyPercentileUs(double pct) const {
+  return PercentileUs(latencies_us, pct);
 }
 
 std::string ServeStats::ExportJson() const {
@@ -52,6 +57,10 @@ std::string ServeStats::ExportJson() const {
      << ", \"adapter_cache_hits\": " << adapter_cache_hits
      << ", \"adapter_cache_misses\": " << adapter_cache_misses
      << ", \"adapter_cache_evictions\": " << adapter_cache_evictions
+     << ", \"plan_compiles\": " << plan_compiles
+     << ", \"plan_hits\": " << plan_hits
+     << ", \"plan_misses\": " << plan_misses
+     << ", \"plan_fallbacks\": " << plan_fallbacks
      << ", \"gemm_dispatch\": {\"fp32\": "
      << gemm_dispatch[static_cast<int>(OpPrecision::kFp32)]
      << ", \"bf16\": " << gemm_dispatch[static_cast<int>(OpPrecision::kBf16)]
@@ -60,7 +69,10 @@ std::string ServeStats::ExportJson() const {
      << ", \"latency\": {\"count\": " << latencies_us.size()
      << ", \"mean_us\": " << mean << ", \"p50_us\": " << LatencyPercentileUs(50)
      << ", \"p99_us\": " << LatencyPercentileUs(99)
-     << ", \"max_us\": " << max_us << "}";
+     << ", \"max_us\": " << max_us << "}"
+     << ", \"forward\": {\"count\": " << forward_us.size()
+     << ", \"p50_us\": " << PercentileUs(forward_us, 50)
+     << ", \"p99_us\": " << PercentileUs(forward_us, 99) << "}";
   os << "}";
   return os.str();
 }

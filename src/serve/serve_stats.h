@@ -49,6 +49,12 @@ struct ServeStats {
   int64_t adapter_cache_misses = 0;
   int64_t adapter_cache_evictions = 0;
 
+  // Compiled serving plans (AdapterServerOptions::enable_plans).
+  int64_t plan_compiles = 0;   // traces that lowered to a cached plan
+  int64_t plan_hits = 0;       // batches served by direct plan execution
+  int64_t plan_misses = 0;     // batches that ran the traced dynamic path
+  int64_t plan_fallbacks = 0;  // negative entries + execute-time fetch misses
+
   /// Forward-GEMM dispatches per resolved precision, folded in from the
   /// worker contexts after every batch (indexed by OpPrecision). Under the
   /// default (disabled) autocast policy only the fp32 slot moves; under a
@@ -59,11 +65,22 @@ struct ServeStats {
   // One sample per completed request: submit-to-completion wall time.
   std::vector<double> latencies_us;
 
+  // One sample per forwarded batch: worker-thread CPU time of the forward
+  // itself (plan execution or dynamic graph), excluding queueing, batch
+  // assembly, and result splitting. This is the component compiled plans
+  // optimize, so the serving bench asserts its p50. Thread CPU time, not
+  // wall time: request latency on small runners is dominated by scheduler
+  // wakeups and client threads preempting the worker mid-forward — noise
+  // plans cannot touch.
+  std::vector<double> forward_us;
+
   /// Mean rows per executed batch (0 when no batch ran).
   double MeanBatchSize() const;
 
-  /// Latency percentile in [0, 100] by nearest-rank on a sorted copy;
-  /// 0 when no request completed.
+  /// Percentile in [0, 100] by nearest-rank on a sorted copy; 0 on empty.
+  static double PercentileUs(const std::vector<double>& samples, double pct);
+
+  /// PercentileUs over the per-request latency samples.
   double LatencyPercentileUs(double pct) const;
 
   /// The snapshot as a JSON object (latencies summarized as count/mean/

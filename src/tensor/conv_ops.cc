@@ -80,6 +80,13 @@ void Col2Im(const float* columns, int64_t channels, int64_t h, int64_t w,
 void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
                        const Tensor& bias, const ConvGeom& g, Tensor* out,
                        OpPrecision precision) {
+  std::vector<float> columns;
+  Conv2dForwardInto(input, weight, bias, g, out, precision, &columns);
+}
+
+void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
+                       const Tensor& bias, const ConvGeom& g, Tensor* out,
+                       OpPrecision precision, std::vector<float>* scratch) {
   ML_CHECK_EQ(input.rank(), 4);
   ML_CHECK_EQ(weight.rank(), 4);
   const int64_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
@@ -99,7 +106,10 @@ void Conv2dForwardInto(const Tensor& input, const Tensor& weight,
 
   const int64_t col_rows = c * g.kernel_h * g.kernel_w;
   const int64_t col_cols = ho * wo;
-  std::vector<float> columns(static_cast<size_t>(col_rows * col_cols));
+  if (static_cast<int64_t>(scratch->size()) < col_rows * col_cols) {
+    scratch->resize(static_cast<size_t>(col_rows * col_cols));
+  }
+  std::vector<float>& columns = *scratch;
 
   // weight viewed as [O, C*Kh*Kw]; per-sample: out_n = W_mat · cols.
   const float* wmat = weight.data();

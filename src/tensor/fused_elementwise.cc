@@ -1,0 +1,54 @@
+#include "tensor/fused_elementwise.h"
+
+#include <cmath>
+
+namespace metalora {
+
+namespace {
+
+// Token-identical to the ops_basic.cc GELU so both translation units
+// compile the same expression tree (same contraction decisions under the
+// default -ffp-contract setting).
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+inline float ApplyStage(float v, const EwStageExec& s, int64_t i) {
+  switch (s.op) {
+    case EwOp::kAddTensor:
+      return v + s.operand[i];
+    case EwOp::kSubTensor:
+      return v - s.operand[i];
+    case EwOp::kRsubTensor:
+      return s.operand[i] - v;
+    case EwOp::kMulTensor:
+      return v * s.operand[i];
+    case EwOp::kScale:
+      return v * s.scalar;
+    case EwOp::kAddScalar:
+      return v + s.scalar;
+    case EwOp::kRelu:
+      return v > 0 ? v : 0.0f;
+    case EwOp::kGelu: {
+      const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
+      return 0.5f * v * (1.0f + t);
+    }
+    case EwOp::kMulBroadcastMod:
+      return v * s.operand[i % s.mod];
+    case EwOp::kMulBroadcastDiv:
+      return v * s.operand[i / s.mod];
+  }
+  return v;  // unreachable
+}
+
+}  // namespace
+
+void RunFusedElementwise(const float* in, float* out, int64_t n,
+                         const EwStageExec* stages, int num_stages) {
+  for (int64_t i = 0; i < n; ++i) {
+    float v = in[i];
+    for (int k = 0; k < num_stages; ++k) v = ApplyStage(v, stages[k], i);
+    out[i] = v;
+  }
+}
+
+}  // namespace metalora

@@ -1,0 +1,58 @@
+// Fused elementwise chains for compiled serving plans.
+//
+// A chain of elementwise facade ops (bias add, activation, scale, seed
+// application) that the dynamic graph runs as separate full passes over
+// memory is collapsed by the plan compiler into ONE pass: for each output
+// element the stages run back-to-back on a register value, so a k-stage
+// chain reads its primary input once and writes its output once instead
+// of k times.
+//
+// Bit-identity contract: each stage applies the exact arithmetic
+// expression of the dynamic op it replaces (same operand order, same
+// constants). The interpreter keeps the stage sequence as *runtime data*
+// (a switch over EwOp inside the element loop), deliberately not
+// specialized per chain: the compiler cannot contract a multiply from one
+// stage with an add from the next into an FMA, because the stage kinds
+// are not visible at compile time. Within a single stage the expression
+// tree is token-identical to the dynamic kernel's, so any contraction the
+// compiler performs is performed identically in both translation units.
+#ifndef METALORA_TENSOR_FUSED_ELEMENTWISE_H_
+#define METALORA_TENSOR_FUSED_ELEMENTWISE_H_
+
+#include <cstdint>
+
+namespace metalora {
+
+/// One elementwise stage kind. Binary stages read `operand`; broadcast
+/// stages index it with `mod` (see EwStageExec).
+enum class EwOp : uint8_t {
+  kAddTensor,   // v + operand[i]
+  kSubTensor,   // v - operand[i]
+  kRsubTensor,  // operand[i] - v (Sub fused along its right input)
+  kMulTensor,   // v * operand[i]
+  kScale,       // v * scalar
+  kAddScalar,   // v + scalar
+  kRelu,        // v > 0 ? v : 0
+  kGelu,        // tanh-approximation GELU (ops_basic expression)
+  kMulBroadcastMod,  // v * operand[i % mod]  (MulRowBroadcast: mod = cols)
+  kMulBroadcastDiv,  // v * operand[i / mod]  (ScaleRows: mod = row width;
+                     //  ScaleChannels: mod = spatial plane size)
+};
+
+/// One executable stage: everything resolved to raw pointers/immediates at
+/// plan-binding time so execution allocates nothing.
+struct EwStageExec {
+  EwOp op = EwOp::kAddTensor;
+  const float* operand = nullptr;
+  float scalar = 0.0f;
+  int64_t mod = 0;
+};
+
+/// out[i] = stages(in[i]) for i in [0, n). `out` may alias `in` (every
+/// stage is element-local). `num_stages` >= 1.
+void RunFusedElementwise(const float* in, float* out, int64_t n,
+                         const EwStageExec* stages, int num_stages);
+
+}  // namespace metalora
+
+#endif  // METALORA_TENSOR_FUSED_ELEMENTWISE_H_

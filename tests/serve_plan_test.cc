@@ -1,0 +1,572 @@
+// Compiled serving-plan contract tests (serve/plan.h, serve/plan_cache.h):
+// plan execution must be byte-identical to the dynamic no-grad forward for
+// every adapter family and precision tier, must perform zero tensor heap
+// allocations per request, and the plan cache must retire entries on
+// parameter-version bumps and registry Publishes — a stale plan's output
+// must never be served. The threaded Publish test doubles as TSan coverage
+// (this binary runs under the thread-sanitizer CI job via the serve_ regex).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "autograd/runtime_context.h"
+#include "autograd/trace.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "core/adapter_factory.h"
+#include "core/conv_lora.h"
+#include "core/lora_linear.h"
+#include "core/metalora_conv.h"
+#include "core/metalora_linear.h"
+#include "core/moe_lora.h"
+#include "core/multi_lora.h"
+#include "core/precision_shadows.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "serve/adapter_registry.h"
+#include "serve/adapter_server.h"
+#include "serve/plan.h"
+#include "serve/plan_cache.h"
+#include "tensor/autocast.h"
+#include "tensor/lowp.h"
+#include "tensor/random_init.h"
+
+namespace metalora {
+namespace serve {
+namespace {
+
+using autograd::Variable;
+using core::AdapterKind;
+using core::AdapterOptions;
+
+constexpr int64_t kFeatDim = 10;
+constexpr int64_t kLinearIn = 5;
+
+AdapterOptions Opts(AdapterKind kind) {
+  AdapterOptions o;
+  o.kind = kind;
+  o.rank = 3;
+  o.alpha = 3.0f;
+  o.feature_dim = kFeatDim;
+  o.mapping_hidden = 8;
+  o.seed = 11;
+  return o;
+}
+
+std::unique_ptr<nn::Linear> BaseLinear() {
+  Rng rng(2);
+  return std::make_unique<nn::Linear>(kLinearIn, 4, true, rng);
+}
+
+std::unique_ptr<nn::Conv2d> BaseConv() {
+  Rng rng(2);
+  return std::make_unique<nn::Conv2d>(2, 4, 3, 1, 1, false, rng);
+}
+
+/// Zero-initialized factors make the adapter branch a no-op; perturb them
+/// so a wrong plan cannot hide behind ΔW = 0.
+void RandomizeFactors(nn::Module& m, uint64_t seed) {
+  Rng rng(seed);
+  for (auto& np : m.NamedParameters()) {
+    if (np.name.find("lora_b") != std::string::npos ||
+        np.name.find("core_b") != std::string::npos) {
+      FillNormal(np.variable->mutable_value(), rng, 0.0f, 0.5f);
+    }
+  }
+}
+
+Tensor RandFeatures(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return RandomUniform(Shape{n, kFeatDim}, rng, -1.0f, 1.0f);
+}
+
+Tensor RandLinearInput(int64_t n, uint64_t seed) {
+  Rng rng(seed ^ 0x5A5Au);
+  return RandomUniform(Shape{n, kLinearIn}, rng, -1.0f, 1.0f);
+}
+
+Tensor RandConvInput(int64_t n, uint64_t seed) {
+  Rng rng(seed ^ 0x5A5Au);
+  return RandomUniform(Shape{n, 2, 5, 5}, rng, -1.0f, 1.0f);
+}
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.defined());
+  ASSERT_TRUE(b.defined());
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.numel())),
+            0);
+}
+
+Tensor NoGradForward(core::Adapter& adapter, const Tensor& features,
+                     const Tensor& x) {
+  autograd::NoGradGuard ng;
+  adapter.SetFeatures(Variable(features, /*requires_grad=*/false));
+  return adapter.Forward(Variable(x, /*requires_grad=*/false)).value();
+}
+
+/// Runs one traced no-grad forward and compiles it. The dynamic result of
+/// that very forward lands in *dynamic_out — the byte-exact reference the
+/// plan must reproduce. Returns nullptr when the recording aborted.
+std::shared_ptr<const CompiledPlan> TraceAndCompile(core::Adapter& adapter,
+                                                    const Tensor& features,
+                                                    const Tensor& x,
+                                                    Tensor* dynamic_out) {
+  autograd::NoGradGuard ng;
+  autograd::TraceRecorder rec;
+  rec.RegisterInput(features, 0);
+  rec.RegisterInput(x, 1);
+  autograd::RuntimeContext& ctx = autograd::RuntimeContext::Current();
+  ctx.set_trace_recorder(&rec);
+  adapter.SetFeatures(Variable(features, /*requires_grad=*/false));
+  Variable y = adapter.Forward(Variable(x, /*requires_grad=*/false));
+  ctx.set_trace_recorder(nullptr);
+  *dynamic_out = y.value();
+  rec.SetOutput(y.value());
+  if (!rec.ok()) return nullptr;
+  return CompilePlan(rec.TakeTrace());
+}
+
+struct Family {
+  const char* name;
+  bool conv;  // conv-shaped x instead of linear rows
+  std::function<std::unique_ptr<core::Adapter>()> make;
+};
+
+std::vector<Family> AllFamilies() {
+  return {
+      {"lora_linear", false,
+       [] {
+         auto a = std::make_unique<core::LoraLinear>(BaseLinear(),
+                                                     Opts(AdapterKind::kLora));
+         RandomizeFactors(*a, 21);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"multi_lora_linear", false,
+       [] {
+         auto a = std::make_unique<core::MultiLoraLinear>(
+             BaseLinear(), Opts(AdapterKind::kMultiLora));
+         RandomizeFactors(*a, 22);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"metalora_cp_linear", false,
+       [] {
+         auto a = std::make_unique<core::MetaLoraCpLinear>(
+             BaseLinear(), Opts(AdapterKind::kMetaLoraCp));
+         RandomizeFactors(*a, 23);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"metalora_tr_linear", false,
+       [] {
+         auto a = std::make_unique<core::MetaLoraTrLinear>(
+             BaseLinear(), Opts(AdapterKind::kMetaLoraTr));
+         RandomizeFactors(*a, 24);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"conv_lora", true,
+       [] {
+         auto a = std::make_unique<core::ConvLora>(BaseConv(),
+                                                   Opts(AdapterKind::kLora));
+         RandomizeFactors(*a, 25);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"metalora_cp_conv", true,
+       [] {
+         auto a = std::make_unique<core::MetaLoraCpConv>(
+             BaseConv(), Opts(AdapterKind::kMetaLoraCp));
+         RandomizeFactors(*a, 26);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"metalora_tr_conv", true,
+       [] {
+         auto a = std::make_unique<core::MetaLoraTrConv>(
+             BaseConv(), Opts(AdapterKind::kMetaLoraTr));
+         RandomizeFactors(*a, 27);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+  };
+}
+
+// The tentpole contract: for every adapter family × linear/conv × precision
+// tier, a compiled plan's output is byte-for-byte the dynamic no-grad
+// output, re-executing the plan is idempotent, and the execute path makes
+// zero tensor heap allocations (the pool and all views are prebuilt).
+TEST(PlanDirect, EveryFamilyEveryTierBitIdenticalAndAllocFree) {
+  autograd::RuntimeContext& ctx = autograd::RuntimeContext::Current();
+  const AutocastPolicy saved = ctx.autocast();
+  for (OpPrecision prec :
+       {OpPrecision::kFp32, OpPrecision::kBf16, OpPrecision::kInt8}) {
+    for (const Family& fam : AllFamilies()) {
+      SCOPED_TRACE(std::string(fam.name) + " / " + OpPrecisionName(prec));
+      std::unique_ptr<core::Adapter> adapter = fam.make();
+      adapter->SetTraining(false);
+      // int8 needs prepacked shadows to take its tier (otherwise the
+      // facade downgrades to bf16 — also valid, but less interesting);
+      // bf16 is left shadowless to cover the pack-on-the-fly kernel.
+      std::vector<lowp::ShadowHandle> shadows;
+      if (prec == OpPrecision::kInt8) {
+        shadows = core::RegisterModuleShadows(*adapter);
+      }
+      ctx.set_autocast(prec == OpPrecision::kFp32
+                           ? AutocastPolicy()
+                           : AutocastPolicy::Serving(prec));
+      const Tensor f = RandFeatures(2, 100 + static_cast<uint64_t>(prec));
+      const Tensor x = fam.conv ? RandConvInput(2, 200)
+                                : RandLinearInput(2, 200);
+      // Warm forward: fills the conditioning caches so the traced forward
+      // below sees only warm fetches.
+      Tensor warm = NoGradForward(*adapter, f, x);
+      Tensor dynamic_out;
+      auto plan = TraceAndCompile(*adapter, f, x, &dynamic_out);
+      ASSERT_NE(plan, nullptr) << "family did not trace";
+      ExpectBitIdentical(warm, dynamic_out);
+      EXPECT_GT(plan->pool_floats, 0);
+
+      PlanBinding binding(plan);
+      Tensor plan_out;
+      ASSERT_TRUE(binding.Execute(f, x, &plan_out));
+      ExpectBitIdentical(plan_out, dynamic_out);
+      // Re-execute: pool reuse must not perturb bytes, and the steady
+      // state makes no tensor heap allocations at all.
+      const int64_t allocs_before = Tensor::HeapAllocations();
+      Tensor plan_out2;
+      ASSERT_TRUE(binding.Execute(f, x, &plan_out2));
+      EXPECT_EQ(Tensor::HeapAllocations(), allocs_before)
+          << "plan execution allocated tensor heap storage";
+      ExpectBitIdentical(plan_out2, dynamic_out);
+    }
+  }
+  ctx.set_autocast(saved);
+}
+
+// The fusion pass must actually fuse: the MetaLoRA CP linear tail (scale
+// the ΔW branch, add it to the base output) records as two elementwise
+// steps and compiles into one multi-stage kernel call.
+TEST(PlanDirect, ElementwiseChainsFuse) {
+  core::MetaLoraCpLinear adapter(BaseLinear(), Opts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 31);
+  adapter.SetTraining(false);
+  const Tensor f = RandFeatures(1, 41);
+  const Tensor x = RandLinearInput(1, 42);
+  NoGradForward(adapter, f, x);
+  Tensor dynamic_out;
+  auto plan = TraceAndCompile(adapter, f, x, &dynamic_out);
+  ASSERT_NE(plan, nullptr);
+  bool fused = false;
+  for (const autograd::TraceStep& s : plan->trace.steps) {
+    if (s.kind == autograd::TraceOpKind::kEw && s.stages.size() >= 2) {
+      fused = true;
+    }
+  }
+  EXPECT_TRUE(fused) << "no multi-stage elementwise step in the plan";
+}
+
+// A conditioning entry evicted (or cleared) after compile must fail the
+// execute — not serve stale ΔW bytes. The caller then falls back to the
+// dynamic path, which re-warms the cache.
+TEST(PlanDirect, ExecuteFailsClosedOnEvictedCacheEntry) {
+  core::MetaLoraCpLinear adapter(BaseLinear(), Opts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(adapter, 51);
+  adapter.SetTraining(false);
+  const Tensor f = RandFeatures(1, 61);
+  const Tensor x = RandLinearInput(1, 62);
+  NoGradForward(adapter, f, x);
+  Tensor dynamic_out;
+  auto plan = TraceAndCompile(adapter, f, x, &dynamic_out);
+  ASSERT_NE(plan, nullptr);
+  PlanBinding binding(plan);
+  Tensor out;
+  ASSERT_TRUE(binding.Execute(f, x, &out));
+  adapter.conditioning_cache()->Clear();
+  EXPECT_FALSE(binding.Execute(f, x, &out));
+  // Dynamic fallback re-warms; the plan serves again, same bytes.
+  Tensor rewarmed = NoGradForward(adapter, f, x);
+  ExpectBitIdentical(rewarmed, dynamic_out);
+  ASSERT_TRUE(binding.Execute(f, x, &out));
+  ExpectBitIdentical(out, dynamic_out);
+}
+
+TEST(PlanCacheTest, VersionBumpRetiresEntries) {
+  PlanCache cache(8);
+  int dummy = 0;
+  PlanKey key;
+  key.adapter = &dummy;
+  key.features_shape = Shape{1, kFeatDim};
+  key.x_shape = Shape{1, kLinearIn};
+  const uint64_t v = autograd::GlobalParameterVersion();
+  cache.Insert(key, std::make_shared<CompiledPlan>(), v, nullptr);
+  std::shared_ptr<const CompiledPlan> got;
+  EXPECT_EQ(cache.Lookup(key, &got), PlanCache::Probe::kHit);
+  autograd::BumpParameterVersion();
+  EXPECT_EQ(cache.Lookup(key, &got), PlanCache::Probe::kMiss);
+  EXPECT_EQ(cache.size(), 0);
+  // A stale-version insert (trace raced a Step/Publish) is dropped.
+  cache.Insert(key, std::make_shared<CompiledPlan>(), v, nullptr);
+  EXPECT_EQ(cache.Lookup(key, &got), PlanCache::Probe::kMiss);
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(PlanCacheTest, NegativeEntriesAndFifoEviction) {
+  PlanCache cache(2);
+  int d0 = 0, d1 = 0, d2 = 0;
+  auto key_for = [](const void* p) {
+    PlanKey k;
+    k.adapter = p;
+    k.features_shape = Shape{1, kFeatDim};
+    k.x_shape = Shape{1, kLinearIn};
+    return k;
+  };
+  const uint64_t v = autograd::GlobalParameterVersion();
+  std::shared_ptr<const CompiledPlan> got;
+  cache.Insert(key_for(&d0), nullptr, v, nullptr);  // negative entry
+  EXPECT_EQ(cache.Lookup(key_for(&d0), &got), PlanCache::Probe::kNegative);
+  cache.Insert(key_for(&d1), std::make_shared<CompiledPlan>(), v, nullptr);
+  cache.Insert(key_for(&d2), std::make_shared<CompiledPlan>(), v, nullptr);
+  EXPECT_EQ(cache.size(), 2);
+  // FIFO: the oldest entry (&d0) was evicted to admit &d2.
+  EXPECT_EQ(cache.Lookup(key_for(&d0), &got), PlanCache::Probe::kMiss);
+  EXPECT_EQ(cache.Lookup(key_for(&d2), &got), PlanCache::Probe::kHit);
+}
+
+/// Plans-enabled single-request server for the deterministic stats tests:
+/// max_batch_size 1 keeps every batch's shape (and so its plan key) fixed,
+/// and the disabled result cache forces every request through the plan
+/// path instead of serving repeats from cached rows.
+AdapterServerOptions PlanServerOpts() {
+  AdapterServerOptions opts;
+  opts.max_batch_size = 1;
+  opts.flush_deadline_us = 200;
+  opts.num_workers = 1;
+  opts.result_cache_entries = 0;
+  opts.enable_plans = true;
+  return opts;
+}
+
+// End-to-end: first request runs cold (retryable — the conditioning cache
+// was empty during the trace), the second warm request compiles the plan,
+// and everything after is a plan hit. All responses byte-match a twin
+// adapter's one-at-a-time forwards.
+TEST(PlanServer, ColdWarmHitProgressionBitIdentical) {
+  core::MetaLoraCpLinear served(BaseLinear(), Opts(AdapterKind::kMetaLoraCp));
+  core::MetaLoraCpLinear twin(BaseLinear(), Opts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(served, 71);
+  RandomizeFactors(twin, 71);
+  AdapterServer server(PlanServerOpts());
+  const int sid = server.RegisterSession(&served, served.conditioning_cache());
+  server.Start();
+
+  const Tensor f = RandFeatures(1, 81);
+  const Tensor x = RandLinearInput(1, 82);
+  const Tensor want = NoGradForward(twin, f, x);
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f, x).get(), want);
+  }
+  server.Shutdown();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.plan_misses, 2);  // cold (retryable) + the compiling trace
+  EXPECT_EQ(stats.plan_compiles, 1);
+  EXPECT_EQ(stats.plan_hits, kRequests - 2);
+  EXPECT_EQ(stats.plan_fallbacks, 0);
+}
+
+// A parameter-version bump (optimizer Step) mid-traffic: the stamped plan
+// retires, the path re-traces, and every response before and after stays
+// byte-correct.
+TEST(PlanServer, VersionBumpRetracesAndStaysCorrect) {
+  core::MetaLoraTrLinear served(BaseLinear(), Opts(AdapterKind::kMetaLoraTr));
+  core::MetaLoraTrLinear twin(BaseLinear(), Opts(AdapterKind::kMetaLoraTr));
+  RandomizeFactors(served, 91);
+  RandomizeFactors(twin, 91);
+  AdapterServer server(PlanServerOpts());
+  const int sid = server.RegisterSession(&served, served.conditioning_cache());
+  server.Start();
+
+  const Tensor f = RandFeatures(1, 93);
+  const Tensor x = RandLinearInput(1, 94);
+  const Tensor want = NoGradForward(twin, f, x);
+  for (int i = 0; i < 3; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f, x).get(), want);
+  }
+  EXPECT_EQ(server.stats().plan_compiles, 1);
+
+  // No parameter actually changed, so recomputed bytes still match — but
+  // the plan (and the conditioning entries it reads) must be re-derived.
+  autograd::BumpParameterVersion();
+  for (int i = 0; i < 3; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f, x).get(), want);
+  }
+  server.Shutdown();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.plan_compiles, 2);  // one per parameter version
+  EXPECT_EQ(stats.plan_misses, 4);    // cold + compile, twice
+  EXPECT_EQ(stats.plan_hits, 2);
+}
+
+// Each request shape gets its own plan; a shape the cache has not seen
+// falls back to the (traced) dynamic path and compiles separately.
+TEST(PlanServer, DistinctShapesCompileDistinctPlans) {
+  core::MetaLoraCpLinear served(BaseLinear(), Opts(AdapterKind::kMetaLoraCp));
+  core::MetaLoraCpLinear twin(BaseLinear(), Opts(AdapterKind::kMetaLoraCp));
+  RandomizeFactors(served, 95);
+  RandomizeFactors(twin, 95);
+  AdapterServer server(PlanServerOpts());
+  const int sid = server.RegisterSession(&served, served.conditioning_cache());
+  server.Start();
+
+  const Tensor f1 = RandFeatures(1, 96), x1 = RandLinearInput(1, 97);
+  const Tensor f2 = RandFeatures(2, 98), x2 = RandLinearInput(2, 99);
+  const Tensor want1 = NoGradForward(twin, f1, x1);
+  const Tensor want2 = NoGradForward(twin, f2, x2);
+  for (int i = 0; i < 3; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f1, x1).get(), want1);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f2, x2).get(), want2);
+  }
+  server.Shutdown();
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.plan_compiles, 2);
+  EXPECT_EQ(stats.plan_hits, 2);
+}
+
+// A family the tracer cannot replay (MoE routes through an uninstrumented
+// softmax) must land a negative entry: no plan, no repeated trace attempts,
+// and responses keep coming from the dynamic path, byte-correct.
+TEST(PlanServer, UnsupportedFamilyFallsBackWithNegativeEntry) {
+  AdapterOptions moe_opts = Opts(AdapterKind::kMoeLora);
+  moe_opts.num_tasks = 2;
+  core::MoeLoraLinear served(BaseLinear(), moe_opts);
+  core::MoeLoraLinear twin(BaseLinear(), moe_opts);
+  RandomizeFactors(served, 101);
+  RandomizeFactors(twin, 101);
+  AdapterServer server(PlanServerOpts());
+  const int sid = server.RegisterSession(&served);
+  server.Start();
+
+  const Tensor f = RandFeatures(1, 103);
+  const Tensor x = RandLinearInput(1, 104);
+  const Tensor want = NoGradForward(twin, f, x);
+  constexpr int kRequests = 4;
+  for (int i = 0; i < kRequests; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f, x).get(), want);
+  }
+  server.Shutdown();
+
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.plan_compiles, 0);
+  EXPECT_EQ(stats.plan_hits, 0);
+  EXPECT_EQ(stats.plan_misses, 1);  // the one trace attempt that refused
+  EXPECT_EQ(stats.plan_fallbacks, kRequests - 1);
+}
+
+// Registry hot-swap: a Publish must retire the old version's plans — after
+// Publish returns, every subsequent response carries the new checkpoint's
+// bytes, and under concurrent publish/request traffic every response is
+// byte-exactly one published version or the other, never a stale mix.
+// (TSan polices the PlanCache / RCU interplay.)
+TEST(PlanServer, PublishRetiresPlansMidTraffic) {
+  const core::AdapterSpec spec = core::LinearAdapterSpec(
+      AdapterKind::kMetaLoraCp, kLinearIn, 4, /*rank=*/3, kFeatDim, 7);
+  const std::string path_a = "/tmp/ml_plan_publish_a.bin";
+  const std::string path_b = "/tmp/ml_plan_publish_b.bin";
+  auto write_ckpt = [&](uint64_t seed, const std::string& path) {
+    auto built = core::BuildAdapter(spec);
+    ASSERT_TRUE(built.ok());
+    std::unique_ptr<core::Adapter> adapter = std::move(built).value();
+    Rng rng(seed);
+    for (auto& np : adapter->NamedParameters()) {
+      FillNormal(np.variable->mutable_value(), rng, 0.0f, 0.5f);
+    }
+    ASSERT_TRUE(adapter->SaveCheckpoint(path).ok());
+  };
+  write_ckpt(111, path_a);
+  write_ckpt(222, path_b);
+  auto twin_of = [&](const std::string& path) {
+    auto built = core::BuildAdapter(spec);
+    EXPECT_TRUE(built.ok());
+    std::unique_ptr<core::Adapter> adapter = std::move(built).value();
+    EXPECT_TRUE(adapter->LoadCheckpoint(path).ok());
+    adapter->SetTraining(false);
+    return adapter;
+  };
+  const Tensor f = RandFeatures(1, 105);
+  const Tensor x = RandLinearInput(1, 106);
+  std::unique_ptr<core::Adapter> twin_a = twin_of(path_a);
+  std::unique_ptr<core::Adapter> twin_b = twin_of(path_b);
+  const Tensor ref_a = NoGradForward(*twin_a, f, x);
+  const Tensor ref_b = NoGradForward(*twin_b, f, x);
+  // The two checkpoints must actually disagree for staleness to show.
+  ASSERT_NE(std::memcmp(ref_a.data(), ref_b.data(),
+                        sizeof(float) * static_cast<size_t>(ref_a.numel())),
+            0);
+
+  AdapterRegistry registry(AdapterRegistryOptions{});
+  ASSERT_TRUE(registry.Register("t0", spec, path_a).ok());
+  AdapterServerOptions opts = PlanServerOpts();
+  opts.num_workers = 2;
+  AdapterServer server(opts);
+  const int sid = server.RegisterTenantSession(&registry, "t0");
+  server.Start();
+
+  auto is_ref = [&](const Tensor& got, const Tensor& ref) {
+    return got.defined() && got.shape() == ref.shape() &&
+           std::memcmp(got.data(), ref.data(),
+                       sizeof(float) *
+                           static_cast<size_t>(ref.numel())) == 0;
+  };
+  // Sequential phase: warm + compile + hit on version A, then Publish B.
+  // The very next round-trip must already carry B's bytes — a plan
+  // compiled against A serving here would be the stale-plan bug.
+  for (int i = 0; i < 3; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f, x).get(), ref_a);
+  }
+  ASSERT_TRUE(registry.Publish("t0", path_b).ok());
+  for (int i = 0; i < 3; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f, x).get(), ref_b);
+  }
+  EXPECT_GE(server.stats().plan_compiles, 2);
+
+  // Concurrent phase: clients hammer the tenant while the main thread
+  // flips the published version. Every response must be byte-exactly one
+  // version or the other.
+  std::vector<std::thread> clients;
+  std::vector<int> bad_counts(4, 0);
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 20; ++i) {
+        Tensor got = server.Submit(sid, f, x).get();
+        if (!is_ref(got, ref_a) && !is_ref(got, ref_b)) {
+          ++bad_counts[static_cast<size_t>(c)];
+        }
+      }
+    });
+  }
+  for (int flip = 0; flip < 6; ++flip) {
+    ASSERT_TRUE(registry.Publish("t0", flip % 2 == 0 ? path_a : path_b).ok());
+  }
+  for (auto& t : clients) t.join();
+  for (int bad : bad_counts) EXPECT_EQ(bad, 0);
+
+  // Settle on B: after this Publish completes, responses must be B's.
+  ASSERT_TRUE(registry.Publish("t0", path_b).ok());
+  for (int i = 0; i < 3; ++i) {
+    ExpectBitIdentical(server.Submit(sid, f, x).get(), ref_b);
+  }
+  server.Shutdown();
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace metalora

@@ -126,17 +126,35 @@ TEST(GemmRoutingTest, MatmulTransAEntersParallelFor) {
   ExpectBitIdentical(c_ref.ToVector(), c.ToVector(), "MatmulTransA facade");
 }
 
-TEST(GemmRoutingTest, MatVecEntersParallelFor) {
+// GEMV routing is work-gated: below the serial threshold the pool
+// dispatch costs more than the row dots it distributes (the lora_down_r1
+// regression), so a small mat-vec must NOT enter ParallelFor, while a
+// large one still must. Both sides stay bit-identical to the reference —
+// the per-element accumulation chain is the same either way.
+TEST(GemmRoutingTest, MatVecRoutesByWorkAndStaysBitIdentical) {
   Rng rng(12);
-  Tensor a = RandomNormal(Shape{96, 80}, rng);
-  Tensor x = RandomNormal(Shape{80}, rng);
-  const int64_t before = ThreadPool::TotalParallelForCalls();
-  Tensor y = MatVec(a, x);
+  // 96*80 multiply-adds: well under the serial threshold.
+  Tensor a_small = RandomNormal(Shape{96, 80}, rng);
+  Tensor x_small = RandomNormal(Shape{80}, rng);
+  int64_t before = ThreadPool::TotalParallelForCalls();
+  Tensor y_small = MatVec(a_small, x_small);
+  EXPECT_EQ(ThreadPool::TotalParallelForCalls(), before);
+  Tensor y_small_ref{Shape{96}};
+  GemmReference(a_small.data(), false, x_small.data(), false,
+                y_small_ref.data(), 96, 80, 1, false);
+  ExpectBitIdentical(y_small_ref.ToVector(), y_small.ToVector(),
+                     "small MatVec facade");
+  // 1024*512 multiply-adds: above the threshold, must distribute.
+  Tensor a_big = RandomNormal(Shape{1024, 512}, rng);
+  Tensor x_big = RandomNormal(Shape{512}, rng);
+  before = ThreadPool::TotalParallelForCalls();
+  Tensor y_big = MatVec(a_big, x_big);
   EXPECT_GT(ThreadPool::TotalParallelForCalls(), before);
-  Tensor y_ref{Shape{96}};
-  GemmReference(a.data(), false, x.data(), false, y_ref.data(), 96, 80, 1,
-                false);
-  ExpectBitIdentical(y_ref.ToVector(), y.ToVector(), "MatVec facade");
+  Tensor y_big_ref{Shape{1024}};
+  GemmReference(a_big.data(), false, x_big.data(), false, y_big_ref.data(),
+                1024, 512, 1, false);
+  ExpectBitIdentical(y_big_ref.ToVector(), y_big.ToVector(),
+                     "large MatVec facade");
 }
 
 TEST(GemmRoutingTest, MatmulAndTransBEnterParallelFor) {
