@@ -60,6 +60,10 @@ int main(int argc, char** argv) {
       {"MoE-LoRA (selects experts)", core::AdapterKind::kMoeLora},
       {"Meta-LoRA CP (generates)", core::AdapterKind::kMetaLoraCp},
       {"Meta-LoRA TR (generates)", core::AdapterKind::kMetaLoraTr},
+      {"LoTR (shares factors)", core::AdapterKind::kLotr},
+      {"Meta-LoTR (shares + generates)", core::AdapterKind::kMetaLotr},
+      {"TT-LoRA (tensor-train)", core::AdapterKind::kTt},
+      {"Meta-TT (generates bond seed)", core::AdapterKind::kMetaTt},
   };
 
   std::cout << "=== Ablation D: static vs selected vs generated updates "

@@ -45,8 +45,9 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<core::AdapterKind> methods = {
-      core::AdapterKind::kLora, core::AdapterKind::kMultiLora,
-      core::AdapterKind::kMetaLoraCp, core::AdapterKind::kMetaLoraTr};
+      core::AdapterKind::kLora,       core::AdapterKind::kMultiLora,
+      core::AdapterKind::kMetaLoraCp, core::AdapterKind::kMetaLoraTr,
+      core::AdapterKind::kLotr,       core::AdapterKind::kTt};
 
   std::cout << "=== Ablation A: accuracy vs adapter rank (ResNet backbone) "
                "===\n\n";

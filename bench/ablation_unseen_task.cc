@@ -45,9 +45,10 @@ int main(int argc, char** argv) {
       cli.GetBool("quick") ? 1 : static_cast<int>(cli.GetInt("seeds"));
 
   const std::vector<core::AdapterKind> methods = {
-      core::AdapterKind::kNone, core::AdapterKind::kLora,
-      core::AdapterKind::kMultiLora, core::AdapterKind::kMetaLoraCp,
-      core::AdapterKind::kMetaLoraTr};
+      core::AdapterKind::kNone,       core::AdapterKind::kLora,
+      core::AdapterKind::kMultiLora,  core::AdapterKind::kMetaLoraCp,
+      core::AdapterKind::kMetaLoraTr, core::AdapterKind::kMetaLotr,
+      core::AdapterKind::kMetaTt};
 
   std::cout << "=== Ablation B: unseen-task adaptability (task " << held_out
             << " withheld from adaptation, ResNet) ===\n\n";

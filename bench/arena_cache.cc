@@ -15,6 +15,9 @@
 // outputs bit-identical to cold, and warm at least 2x faster.
 //
 // Writes BENCH_arena_cache.json; exits nonzero if any contract fails.
+// --smoke shrinks the workload and skips the two timing contracts (CI);
+// the timing fields in the JSON become null — only measured numbers are
+// ever printed as numbers.
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -163,10 +166,17 @@ EvalResult RunEvalMode(core::MetaLoraCpLinear& adapter,
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Step arena (training) and ΔW/seed cache (eval) ===\n\n";
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  std::cout << "=== Step arena (training) and ΔW/seed cache (eval) ==="
+            << (smoke ? " (smoke)" : "") << "\n\n";
 
-  const int kWarmup = 10, kTimed = 40, kReps = 3;
+  const int kWarmup = smoke ? 2 : 10;
+  const int kTimed = smoke ? 4 : 40;
+  const int kReps = smoke ? 1 : 3;
   TrainResult heap = RunTrainMode(/*arena_mode=*/false, kWarmup, kTimed, kReps);
   TrainResult arena = RunTrainMode(/*arena_mode=*/true, kWarmup, kTimed, kReps);
 
@@ -210,7 +220,7 @@ int main() {
       RandomNormal(Shape{batch, mopts.feature_dim}, frng), false));
   autograd::Variable x(RandomNormal(Shape{batch, 64}, frng), false);
 
-  const int kEvalIters = 50;
+  const int kEvalIters = smoke ? 8 : 50;
   EvalResult cold = RunEvalMode(adapter, x, /*warm=*/false, kEvalIters);
   EvalResult warmr = RunEvalMode(adapter, x, /*warm=*/true, kEvalIters);
   const double cache_speedup = cold.us_per_forward / warmr.us_per_forward;
@@ -230,7 +240,7 @@ int main() {
                  "parameters than heap training\n";
     ok = false;
   }
-  if (arena.us_per_step > heap.us_per_step) {
+  if (!smoke && arena.us_per_step > heap.us_per_step) {
     std::cout << "FAIL: step-arena training took " << arena.us_per_step
               << " us/step, slower than heap's " << heap.us_per_step << "\n";
     ok = false;
@@ -241,7 +251,7 @@ int main() {
               << heap.heap_allocs_per_step << "\n";
     ok = false;
   }
-  if (warmr.us_per_forward * 2.0 > cold.us_per_forward) {
+  if (!smoke && warmr.us_per_forward * 2.0 > cold.us_per_forward) {
     std::cout << "FAIL: warm cache forward " << warmr.us_per_forward
               << " us not at least 2x faster than cold "
               << cold.us_per_forward << " us\n";
@@ -253,14 +263,24 @@ int main() {
     ok = false;
   }
   if (ok) {
-    std::cout << "OK: params bit-identical, arena step no slower than heap, "
-              << "warm cache >= 2x faster than cold\n";
+    std::cout << (smoke
+                      ? "OK: params bit-identical, allocation and hit "
+                        "accounting hold (smoke: timing contracts skipped)\n"
+                      : "OK: params bit-identical, arena step no slower than "
+                        "heap, warm cache >= 2x faster than cold\n");
   }
 
+  // Smoke runs time too few steps for the us/step numbers to mean anything:
+  // emit null, never a real-looking stale measurement.
+  auto timing_or_null = [smoke](double v) {
+    return smoke ? std::string("null") : std::to_string(v);
+  };
   std::ofstream json("BENCH_arena_cache.json");
   json << "{\n"
-       << "  \"trainer\": {\"heap_us_per_step\": " << heap.us_per_step
-       << ", \"arena_us_per_step\": " << arena.us_per_step
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"trainer\": {\"heap_us_per_step\": "
+       << timing_or_null(heap.us_per_step)
+       << ", \"arena_us_per_step\": " << timing_or_null(arena.us_per_step)
        << ", \"heap_allocs_per_step_heap\": " << heap.heap_allocs_per_step
        << ", \"heap_allocs_per_step_arena\": " << arena.heap_allocs_per_step
        << ", \"arena_hit_rate\": " << arena.arena_hit_rate
@@ -268,9 +288,10 @@ int main() {
        << ", \"peak_arena_bytes\": " << arena.peak_arena_bytes
        << ", \"params_bit_identical\": "
        << (params_identical ? "true" : "false") << "},\n"
-       << "  \"cache\": {\"cold_us_per_forward\": " << cold.us_per_forward
-       << ", \"warm_us_per_forward\": " << warmr.us_per_forward
-       << ", \"speedup\": " << cache_speedup
+       << "  \"cache\": {\"cold_us_per_forward\": "
+       << timing_or_null(cold.us_per_forward)
+       << ", \"warm_us_per_forward\": " << timing_or_null(warmr.us_per_forward)
+       << ", \"speedup\": " << timing_or_null(cache_speedup)
        << ", \"warm_hits\": " << warmr.hits
        << ", \"cold_misses\": " << cold.misses
        << ", \"warm_hit_rate\": "

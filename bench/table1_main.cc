@@ -109,6 +109,9 @@ int main(int argc, char** argv) {
               "rescore KNN under bf16/int8 autocast and assert accuracy "
               "stays within the tier epsilon of fp32");
   cli.AddString("backbone", "both", "resnet | mixer | vit | both | all");
+  cli.AddBool("extensions", true,
+              "include the LoTR and tensor-train families next to the "
+              "paper's Table-I lineup");
   cli.AddInt("image_size", 16, "square image extent");
   cli.AddInt("classes", 6, "number of geometry classes");
   cli.AddInt("tasks", 4, "number of domain-shift tasks");
@@ -137,9 +140,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::vector<AdapterKind> methods = {
+  // Table-I lineup plus the tensor-adapter extensions (LoTR cross-layer
+  // sharing, tensor-train), each in static and conditioned form.
+  std::vector<AdapterKind> methods = {
       AdapterKind::kNone, AdapterKind::kLora, AdapterKind::kMultiLora,
       AdapterKind::kMetaLoraCp, AdapterKind::kMetaLoraTr};
+  if (cli.GetBool("extensions")) {
+    methods.insert(methods.end(),
+                   {AdapterKind::kLotr, AdapterKind::kMetaLotr,
+                    AdapterKind::kTt, AdapterKind::kMetaTt});
+  }
 
   std::vector<BackboneKind> backbones;
   const std::string& which = cli.GetString("backbone");

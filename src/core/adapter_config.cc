@@ -57,8 +57,75 @@ std::string AdapterKindName(AdapterKind kind) {
       return "Meta-LoRA TR";
     case AdapterKind::kMoeLora:
       return "MoE-LoRA";
+    case AdapterKind::kLotr:
+      return "LoTR";
+    case AdapterKind::kMetaLotr:
+      return "Meta-LoTR";
+    case AdapterKind::kTt:
+      return "TT-LoRA";
+    case AdapterKind::kMetaTt:
+      return "Meta-TT";
   }
   return "Unknown";
+}
+
+bool AdapterKindIsKnown(AdapterKind kind) {
+  switch (kind) {
+    case AdapterKind::kNone:
+    case AdapterKind::kLora:
+    case AdapterKind::kMultiLora:
+    case AdapterKind::kMetaLoraCp:
+    case AdapterKind::kMetaLoraTr:
+    case AdapterKind::kMoeLora:
+    case AdapterKind::kLotr:
+    case AdapterKind::kMetaLotr:
+    case AdapterKind::kTt:
+    case AdapterKind::kMetaTt:
+      return true;
+  }
+  return false;
+}
+
+bool AdapterKindNeedsFeatures(AdapterKind kind) {
+  return kind == AdapterKind::kMetaLoraCp ||
+         kind == AdapterKind::kMetaLoraTr || kind == AdapterKind::kMoeLora ||
+         kind == AdapterKind::kMetaLotr || kind == AdapterKind::kMetaTt;
+}
+
+Status ValidateAdapterOptions(const AdapterOptions& options) {
+  if (!AdapterKindIsKnown(options.kind)) {
+    return Status::InvalidArgument(
+        "options.kind: unknown adapter kind " +
+        std::to_string(static_cast<int>(options.kind)));
+  }
+  if (options.kind == AdapterKind::kNone) return Status::OK();
+  // 4096 is far above any adapter this codebase builds; a spec beyond it is
+  // corrupt, not ambitious.
+  if (options.rank <= 0 || options.rank > 4096) {
+    return Status::InvalidArgument(
+        "options.rank: must be in (0, 4096], got " +
+        std::to_string(options.rank));
+  }
+  if (AdapterKindNeedsFeatures(options.kind)) {
+    if (options.feature_dim <= 0 || options.feature_dim > (1 << 20)) {
+      return Status::InvalidArgument(
+          "options.feature_dim: " + AdapterKindName(options.kind) +
+          " needs a feature_dim in (0, 2^20], got " +
+          std::to_string(options.feature_dim));
+    }
+    if (options.mapping_hidden <= 0 || options.mapping_hidden > (1 << 20)) {
+      return Status::InvalidArgument(
+          "options.mapping_hidden: must be in (0, 2^20], got " +
+          std::to_string(options.mapping_hidden));
+    }
+  }
+  if ((options.kind == AdapterKind::kMultiLora ||
+       options.kind == AdapterKind::kMoeLora) &&
+      options.num_tasks < 1) {
+    return Status::InvalidArgument("options.num_tasks: must be >= 1, got " +
+                                   std::to_string(options.num_tasks));
+  }
+  return Status::OK();
 }
 
 }  // namespace core

@@ -16,7 +16,8 @@ class ConditioningCache;
 
 using nn::Variable;
 
-/// The adaptation methods compared in the paper's Table I.
+/// The adaptation methods compared in the paper's Table I, plus the
+/// tensor-adapter extensions (LoTR cross-layer sharing, tensor-train).
 enum class AdapterKind {
   kNone,        // "Original": frozen backbone, no adaptation
   kLora,        // static LoRA (matrix) / Conv-LoRA (conv, Eq. 5)
@@ -24,10 +25,24 @@ enum class AdapterKind {
   kMetaLoraCp,  // MetaLoRA, CP format (Eq. 6)
   kMetaLoraTr,  // MetaLoRA, TR format (Eq. 7)
   kMoeLora,     // mixture-of-experts LoRA (MOELoRA, cited as [14]; extension)
+  kLotr,        // LoTR: cross-layer shared factors + thin per-layer core
+  kMetaLotr,    // LoTR with the per-layer core modulated by a generated seed
+  kTt,          // tensor-train factorized adapter (static)
+  kMetaTt,      // tensor-train adapter with a generated bond seed
 };
 
 /// Stable display name ("Original", "LoRA", "Multi-LoRA", ...).
 std::string AdapterKindName(AdapterKind kind);
+
+/// True when `kind` is one of the AdapterKind enumerators. A spec decoded
+/// from untrusted bytes can carry any integer; validation must reject it
+/// instead of letting a switch fall through to a misleading default.
+bool AdapterKindIsKnown(AdapterKind kind);
+
+/// True for the conditioned kinds whose Forward requires SetFeatures
+/// (MetaLoRA CP/TR, MoE-LoRA, Meta-LoTR, Meta-TT).
+bool AdapterKindNeedsFeatures(AdapterKind kind);
+
 
 /// How Multi-LoRA combines its branches.
 enum class MultiLoraMode {
@@ -61,6 +76,12 @@ struct AdapterOptions {
   /// Seed for adapter parameter init.
   uint64_t seed = 7;
 };
+
+/// Validates an AdapterOptions for construction/injection: known kind,
+/// rank within (0, 4096], feature_dim/mapping_hidden positive for the
+/// conditioned kinds, num_tasks >= 1 for the multi-branch kinds. The error
+/// names the offending field. kNone is valid (freeze-only injection).
+Status ValidateAdapterOptions(const AdapterOptions& options);
 
 /// Base class of all adapters. An adapter is a Module that owns its frozen
 /// base layer as the child "base" and adds a trainable low-rank path.

@@ -5,10 +5,12 @@
 #include "common/rng.h"
 #include "core/conv_lora.h"
 #include "core/lora_linear.h"
+#include "core/lotr_adapter.h"
 #include "core/metalora_conv.h"
 #include "core/metalora_linear.h"
 #include "core/moe_lora.h"
 #include "core/multi_lora.h"
+#include "core/tt_adapter.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 
@@ -17,16 +19,8 @@ namespace core {
 
 namespace {
 
-bool NeedsFeatures(AdapterKind kind) {
-  return kind == AdapterKind::kMetaLoraCp || kind == AdapterKind::kMetaLoraTr ||
-         kind == AdapterKind::kMoeLora;
-}
-
 Result<std::unique_ptr<Adapter>> BuildLinearAdapter(const AdapterSpec& spec) {
   const BaseLayerSpec& b = spec.base;
-  if (b.in_features <= 0 || b.out_features <= 0) {
-    return Status::InvalidArgument("linear base needs positive in/out features");
-  }
   Rng rng(b.init_seed);
   auto base = std::make_unique<nn::Linear>(b.in_features, b.out_features,
                                            b.bias, rng);
@@ -46,6 +40,14 @@ Result<std::unique_ptr<Adapter>> BuildLinearAdapter(const AdapterSpec& spec) {
     case AdapterKind::kMetaLoraTr:
       return std::unique_ptr<Adapter>(
           std::make_unique<MetaLoraTrLinear>(std::move(base), spec.options));
+    case AdapterKind::kLotr:
+    case AdapterKind::kMetaLotr:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<LotrLinear>(std::move(base), spec.options));
+    case AdapterKind::kTt:
+    case AdapterKind::kMetaTt:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<TtLinear>(std::move(base), spec.options));
     case AdapterKind::kNone:
       break;
   }
@@ -54,9 +56,6 @@ Result<std::unique_ptr<Adapter>> BuildLinearAdapter(const AdapterSpec& spec) {
 
 Result<std::unique_ptr<Adapter>> BuildConvAdapter(const AdapterSpec& spec) {
   const BaseLayerSpec& b = spec.base;
-  if (b.in_channels <= 0 || b.out_channels <= 0 || b.kernel <= 0) {
-    return Status::InvalidArgument("conv base needs positive channels/kernel");
-  }
   Rng rng(b.init_seed);
   auto base = std::make_unique<nn::Conv2d>(b.in_channels, b.out_channels,
                                            b.kernel, b.stride, b.padding,
@@ -77,6 +76,14 @@ Result<std::unique_ptr<Adapter>> BuildConvAdapter(const AdapterSpec& spec) {
     case AdapterKind::kMetaLoraTr:
       return std::unique_ptr<Adapter>(
           std::make_unique<MetaLoraTrConv>(std::move(base), spec.options));
+    case AdapterKind::kLotr:
+    case AdapterKind::kMetaLotr:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<LotrConv>(std::move(base), spec.options));
+    case AdapterKind::kTt:
+    case AdapterKind::kMetaTt:
+      return std::unique_ptr<Adapter>(
+          std::make_unique<TtConv>(std::move(base), spec.options));
     case AdapterKind::kNone:
       break;
   }
@@ -116,12 +123,65 @@ AdapterSpec ConvAdapterSpec(AdapterKind kind, int64_t in_channels,
   return spec;
 }
 
-Result<std::unique_ptr<Adapter>> BuildAdapter(const AdapterSpec& spec) {
-  if (NeedsFeatures(spec.options.kind) && spec.options.feature_dim <= 0) {
+Status ValidateAdapterSpec(const AdapterSpec& spec) {
+  Status s = ValidateAdapterOptions(spec.options);
+  if (!s.ok()) return s;
+  if (spec.options.kind == AdapterKind::kNone) {
     return Status::InvalidArgument(
-        "adapter kind " + AdapterKindName(spec.options.kind) +
-        " needs a positive feature_dim");
+        "options.kind: 'Original' (kNone) describes no adapter to build");
   }
+  // 2^20 caps every base dimension: far above any layer this codebase
+  // instantiates, low enough that a corrupt spec cannot drive allocation.
+  constexpr int64_t kMaxDim = int64_t{1} << 20;
+  switch (spec.base.kind) {
+    case BaseLayerKind::kLinear:
+      if (spec.base.in_features <= 0 || spec.base.in_features > kMaxDim) {
+        return Status::InvalidArgument(
+            "base.in_features: must be in (0, 2^20], got " +
+            std::to_string(spec.base.in_features));
+      }
+      if (spec.base.out_features <= 0 || spec.base.out_features > kMaxDim) {
+        return Status::InvalidArgument(
+            "base.out_features: must be in (0, 2^20], got " +
+            std::to_string(spec.base.out_features));
+      }
+      return Status::OK();
+    case BaseLayerKind::kConv2d:
+      if (spec.base.in_channels <= 0 || spec.base.in_channels > kMaxDim) {
+        return Status::InvalidArgument(
+            "base.in_channels: must be in (0, 2^20], got " +
+            std::to_string(spec.base.in_channels));
+      }
+      if (spec.base.out_channels <= 0 || spec.base.out_channels > kMaxDim) {
+        return Status::InvalidArgument(
+            "base.out_channels: must be in (0, 2^20], got " +
+            std::to_string(spec.base.out_channels));
+      }
+      if (spec.base.kernel <= 0 || spec.base.kernel > 31) {
+        return Status::InvalidArgument(
+            "base.kernel: must be in (0, 31], got " +
+            std::to_string(spec.base.kernel));
+      }
+      if (spec.base.stride <= 0 || spec.base.stride > spec.base.kernel) {
+        return Status::InvalidArgument(
+            "base.stride: must be in (0, kernel], got " +
+            std::to_string(spec.base.stride));
+      }
+      if (spec.base.padding < 0 || spec.base.padding > spec.base.kernel) {
+        return Status::InvalidArgument(
+            "base.padding: must be in [0, kernel], got " +
+            std::to_string(spec.base.padding));
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "base.kind: unknown base layer kind " +
+      std::to_string(static_cast<int>(spec.base.kind)));
+}
+
+Result<std::unique_ptr<Adapter>> BuildAdapter(const AdapterSpec& spec) {
+  Status s = ValidateAdapterSpec(spec);
+  if (!s.ok()) return s;
   switch (spec.base.kind) {
     case BaseLayerKind::kLinear:
       return BuildLinearAdapter(spec);

@@ -52,11 +52,22 @@ AdapterSpec ConvAdapterSpec(AdapterKind kind, int64_t in_channels,
                             int64_t out_channels, int64_t kernel, int64_t rank,
                             int64_t feature_dim, uint64_t seed);
 
+/// Validates a spec before construction: ValidateAdapterOptions on the
+/// options (unknown kind, bad rank/feature_dim/...), then base-geometry
+/// checks naming the offending field ("base.in_features", "base.kernel",
+/// ...). kNone is rejected here — a registry entry with nothing to build is
+/// a corrupt spec, never a silent default. A spec decoded from untrusted
+/// bytes must flow through this (BuildAdapter calls it first) so no
+/// constructor CHECK can abort the process on crafted input.
+Status ValidateAdapterSpec(const AdapterSpec& spec);
+
 /// Constructs the adapter the spec describes: the frozen base layer plus
 /// the adapter path, freshly initialized from the spec's seeds.
-/// InvalidArgument for AdapterKind::kNone (nothing to build) or degenerate
-/// geometry. The result's conditioning_cache() is non-null exactly for the
-/// MetaLoRA kinds.
+/// InvalidArgument (via ValidateAdapterSpec) for AdapterKind::kNone, an
+/// unknown kind, or degenerate geometry — the error names the field. The
+/// result's conditioning_cache() is non-null exactly for the conditioned
+/// kinds. LoTR adapters are built standalone (each owns its factors);
+/// cross-layer sharing is an injection-time concern (see core/inject.h).
 Result<std::unique_ptr<Adapter>> BuildAdapter(const AdapterSpec& spec);
 
 }  // namespace core

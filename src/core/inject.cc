@@ -1,14 +1,18 @@
 #include "core/inject.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <tuple>
 
 #include "core/conv_lora.h"
 #include "core/lora_linear.h"
+#include "core/lotr_adapter.h"
 #include "core/metalora_conv.h"
 #include "core/metalora_linear.h"
 #include "core/moe_lora.h"
 #include "core/multi_lora.h"
+#include "core/tt_adapter.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 
@@ -29,8 +33,23 @@ void InjectionResult::PrepareReplicas(int n) const {
 
 namespace {
 
+/// LoTR cross-layer sharing state, keyed by base-layer geometry. The first
+/// layer of a geometry encountered in traversal order becomes the owner of
+/// the group's registered shared factors; its LotrShare (Variable copies
+/// aliasing the owner's storage) is kept here so later members can join.
+/// Traversal order is deterministic (NamedChildren snapshot), so the owner —
+/// and therefore which module's StateDict carries "lotr_down"/"lotr_up" —
+/// is deterministic too.
+struct SharedGroups {
+  std::map<std::tuple<int64_t, int64_t>, LotrShare> linear;  // (in, out)
+  std::map<std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t>, LotrShare>
+      conv;  // (in, out, kernel, stride, padding)
+};
+
 std::unique_ptr<Adapter> WrapConv(std::unique_ptr<nn::Conv2d> base,
-                                  const AdapterOptions& options) {
+                                  const AdapterOptions& options,
+                                  SharedGroups* groups,
+                                  InjectionResult* result) {
   switch (options.kind) {
     case AdapterKind::kLora:
       return std::make_unique<ConvLora>(std::move(base), options);
@@ -42,6 +61,26 @@ std::unique_ptr<Adapter> WrapConv(std::unique_ptr<nn::Conv2d> base,
       return std::make_unique<MetaLoraTrConv>(std::move(base), options);
     case AdapterKind::kMoeLora:
       return std::make_unique<MoeLoraConv>(std::move(base), options);
+    case AdapterKind::kLotr:
+    case AdapterKind::kMetaLotr: {
+      const auto key = std::make_tuple(
+          base->in_channels(), base->out_channels(),
+          static_cast<int64_t>(base->geom().kernel_h),
+          static_cast<int64_t>(base->geom().stride),
+          static_cast<int64_t>(base->geom().padding));
+      auto it = groups->conv.find(key);
+      if (it != groups->conv.end()) {
+        return std::make_unique<LotrConv>(std::move(base), options,
+                                          &it->second);
+      }
+      auto owner = std::make_unique<LotrConv>(std::move(base), options);
+      groups->conv.emplace(key, owner->share());
+      ++result->num_shared_groups;
+      return owner;
+    }
+    case AdapterKind::kTt:
+    case AdapterKind::kMetaTt:
+      return std::make_unique<TtConv>(std::move(base), options);
     case AdapterKind::kNone:
       break;
   }
@@ -50,7 +89,9 @@ std::unique_ptr<Adapter> WrapConv(std::unique_ptr<nn::Conv2d> base,
 }
 
 std::unique_ptr<Adapter> WrapLinear(std::unique_ptr<nn::Linear> base,
-                                    const AdapterOptions& options) {
+                                    const AdapterOptions& options,
+                                    SharedGroups* groups,
+                                    InjectionResult* result) {
   switch (options.kind) {
     case AdapterKind::kLora:
       return std::make_unique<LoraLinear>(std::move(base), options);
@@ -62,6 +103,23 @@ std::unique_ptr<Adapter> WrapLinear(std::unique_ptr<nn::Linear> base,
       return std::make_unique<MetaLoraTrLinear>(std::move(base), options);
     case AdapterKind::kMoeLora:
       return std::make_unique<MoeLoraLinear>(std::move(base), options);
+    case AdapterKind::kLotr:
+    case AdapterKind::kMetaLotr: {
+      const auto key =
+          std::make_tuple(base->in_features(), base->out_features());
+      auto it = groups->linear.find(key);
+      if (it != groups->linear.end()) {
+        return std::make_unique<LotrLinear>(std::move(base), options,
+                                            &it->second);
+      }
+      auto owner = std::make_unique<LotrLinear>(std::move(base), options);
+      groups->linear.emplace(key, owner->share());
+      ++result->num_shared_groups;
+      return owner;
+    }
+    case AdapterKind::kTt:
+    case AdapterKind::kMetaTt:
+      return std::make_unique<TtLinear>(std::move(base), options);
     case AdapterKind::kNone:
       break;
   }
@@ -71,7 +129,7 @@ std::unique_ptr<Adapter> WrapLinear(std::unique_ptr<nn::Linear> base,
 
 void InjectRecursive(nn::Module* node, const AdapterOptions& options,
                      const InjectionFilter& filter, uint64_t* adapter_index,
-                     InjectionResult* result) {
+                     SharedGroups* groups, InjectionResult* result) {
   // Snapshot names first: we mutate the child list while iterating.
   std::vector<std::string> names;
   for (auto& [name, child] : node->NamedChildren()) names.push_back(name);
@@ -91,7 +149,8 @@ void InjectRecursive(nn::Module* node, const AdapterOptions& options,
           static_cast<nn::Conv2d*>(taken.release()));
       AdapterOptions opts = options;
       opts.seed = options.seed + 1000003ull * (*adapter_index)++;
-      std::unique_ptr<Adapter> adapter = WrapConv(std::move(conv), opts);
+      std::unique_ptr<Adapter> adapter =
+          WrapConv(std::move(conv), opts, groups, result);
       result->adapters.push_back(adapter.get());
       result->adapter_param_count += adapter->AdapterParamCount();
       ++result->num_wrapped_convs;
@@ -102,13 +161,14 @@ void InjectRecursive(nn::Module* node, const AdapterOptions& options,
           static_cast<nn::Linear*>(taken.release()));
       AdapterOptions opts = options;
       opts.seed = options.seed + 1000003ull * (*adapter_index)++;
-      std::unique_ptr<Adapter> adapter = WrapLinear(std::move(lin), opts);
+      std::unique_ptr<Adapter> adapter =
+          WrapLinear(std::move(lin), opts, groups, result);
       result->adapters.push_back(adapter.get());
       result->adapter_param_count += adapter->AdapterParamCount();
       ++result->num_wrapped_linears;
       node->AdoptChild(name, std::move(adapter));
     } else {
-      InjectRecursive(child, options, filter, adapter_index, result);
+      InjectRecursive(child, options, filter, adapter_index, groups, result);
     }
   }
 }
@@ -121,19 +181,8 @@ Result<InjectionResult> InjectAdapters(nn::Module* root,
   if (root == nullptr) {
     return Status::InvalidArgument("InjectAdapters: null model");
   }
-  if (options.kind != AdapterKind::kNone && options.rank <= 0) {
-    return Status::InvalidArgument("adapter rank must be positive");
-  }
-  if ((options.kind == AdapterKind::kMetaLoraCp ||
-       options.kind == AdapterKind::kMetaLoraTr ||
-       options.kind == AdapterKind::kMoeLora) &&
-      options.feature_dim <= 0) {
-    return Status::InvalidArgument(
-        "MetaLoRA/MoE-LoRA injection requires options.feature_dim > 0");
-  }
-  if (options.kind == AdapterKind::kMultiLora && options.num_tasks < 1) {
-    return Status::InvalidArgument("Multi-LoRA needs num_tasks >= 1");
-  }
+  Status s = ValidateAdapterOptions(options);
+  if (!s.ok()) return s;
 
   // Freeze everything first; adapters introduce the only trainable state.
   root->SetTrainable(false);
@@ -142,7 +191,8 @@ Result<InjectionResult> InjectAdapters(nn::Module* root,
   if (options.kind == AdapterKind::kNone) return result;
 
   uint64_t adapter_index = 0;
-  InjectRecursive(root, options, filter, &adapter_index, &result);
+  SharedGroups groups;
+  InjectRecursive(root, options, filter, &adapter_index, &groups, &result);
   if (result.adapters.empty()) {
     return Status::FailedPrecondition(
         "no adaptable Conv2d/Linear leaves found under the filter");

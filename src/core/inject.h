@@ -31,7 +31,14 @@ struct InjectionResult {
   std::vector<Adapter*> adapters;  // non-owning; owned by the model tree
   int num_wrapped_convs = 0;
   int num_wrapped_linears = 0;
-  /// Trainable parameters added by all adapters.
+  /// LoTR kinds: number of distinct geometry groups created. The first
+  /// adapter of each group (deterministic: model traversal order) owns the
+  /// registered shared down/up factors; later members alias its storage.
+  /// Zero for every non-LoTR kind.
+  int num_shared_groups = 0;
+  /// Trainable parameters added by all adapters. Shared LoTR factors are
+  /// counted once (on the owning adapter), so this is the true trainable
+  /// count, matching Module::TrainableParamCount over the tree.
   int64_t adapter_param_count = 0;
 
   /// Binds MetaLoRA conditioning features on every adapter. The binding

@@ -1,0 +1,123 @@
+// LoTR-style cross-layer shared-core adapters (arXiv:2402.01376).
+//
+// All adapted layers of one geometry group (same in/out features, or the
+// same conv in/out/kernel/stride/padding) share the two large projection
+// factors — down A and up B — and each layer adds only a thin trainable
+// core G ∈ R^{R×R}:
+//   linear:  y = base(x) + (alpha/R) · x Aᵀ Gᵀ Bᵀ
+//   conv:    y = base(x) + (alpha/R) · B₁ₓ₁( G₁ₓ₁( A∗x ) )
+// G is zero-initialized so the group starts at the pre-trained point; B is
+// therefore Gaussian (a zero B on top of a zero G would never receive
+// gradient through the bilinear product).
+//
+// Ownership: the first adapter of a group constructs and Registers the
+// shared factors — StateDict, optimizers and TrainableParamCount see them
+// exactly once. Later members receive the owner's share() and hold plain
+// Variable copies (Variables share state across copies), unregistered, so
+// every member reads and backpropagates into the same storage.
+// AdapterParamCount() counts the shared factors only on the owner; summing
+// it over a group equals the group's true trainable count.
+//
+// Meta variant (kMetaLotr): a per-layer MappingNet generates a per-sample
+// rank seed c ∈ R^R from the conditioning features; the down projection is
+// scaled per sample by c before the core. Seeds are served through the
+// per-adapter ConditioningCache exactly like MetaLoRA-CP.
+#ifndef METALORA_CORE_LOTR_ADAPTER_H_
+#define METALORA_CORE_LOTR_ADAPTER_H_
+
+#include <memory>
+
+#include "core/adapter_config.h"
+#include "core/conditioning_cache.h"
+#include "core/mapping_net.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+
+namespace metalora {
+namespace core {
+
+/// The factors one geometry group shares. Copies alias the owner's storage.
+struct LotrShare {
+  Variable down;  // linear: [R, I]; conv: [R, I, K, K]
+  Variable up;    // [O, R]
+};
+
+class LotrLinear : public Adapter {
+ public:
+  /// `share == nullptr` makes this adapter the owner of freshly initialized
+  /// shared factors; otherwise it joins the group, aliasing `share`'s
+  /// storage without registering it.
+  LotrLinear(std::unique_ptr<nn::Linear> base, const AdapterOptions& options,
+             const LotrShare* share = nullptr);
+
+  Variable Forward(const Variable& x) override;
+
+  int64_t AdapterParamCount() const override;
+
+  /// The group's shared factors, for wiring further members.
+  LotrShare share() const { return {down_, up_}; }
+  bool owns_shared_factors() const { return owns_shared_; }
+
+  /// Materialized ΔW = (alpha/R)·B·G·A, shape [O, I] (tests/analysis).
+  Tensor DeltaWeight() const;
+  /// Meta variant: ΔW for one generated seed c [R].
+  Tensor DeltaWeightFor(const Tensor& seed_c) const;
+
+  ConditioningCache* conditioning_cache() override {
+    return meta_ ? &cache_ : nullptr;
+  }
+  MappingNet* mapping_net() { return mapping_; }
+
+ private:
+  nn::Linear* base_;
+  MappingNet* mapping_ = nullptr;  // kMetaLotr only
+  Variable down_;    // [R, I], shared across the group
+  Variable up_;      // [O, R], shared across the group
+  Variable core_g_;  // [R, R], per layer, zero-init
+  float scaling_;
+  bool meta_;
+  bool owns_shared_;
+  ConditioningCache cache_;
+  uint64_t cache_salt_ = NextAdapterCacheSalt();
+};
+
+class LotrConv : public Adapter {
+ public:
+  LotrConv(std::unique_ptr<nn::Conv2d> base, const AdapterOptions& options,
+           const LotrShare* share = nullptr);
+
+  Variable Forward(const Variable& x) override;
+
+  int64_t AdapterParamCount() const override;
+
+  LotrShare share() const { return {down_, up_}; }
+  bool owns_shared_factors() const { return owns_shared_; }
+
+  /// Materialized ΔW [O, I, K, K] (tests/analysis).
+  Tensor DeltaWeight() const;
+  Tensor DeltaWeightFor(const Tensor& seed_c) const;
+
+  ConditioningCache* conditioning_cache() override {
+    return meta_ ? &cache_ : nullptr;
+  }
+  MappingNet* mapping_net() { return mapping_; }
+
+ private:
+  Tensor DeltaWeightImpl(const Tensor* seed_c) const;
+
+  nn::Conv2d* base_;
+  MappingNet* mapping_ = nullptr;
+  Variable down_;    // [R, I, K, K], shared across the group
+  Variable up_;      // [O, R], shared across the group
+  Variable core_g_;  // [R, R], per layer, zero-init
+  float scaling_;
+  bool meta_;
+  bool owns_shared_;
+  ConditioningCache cache_;
+  uint64_t cache_salt_ = NextAdapterCacheSalt();
+};
+
+}  // namespace core
+}  // namespace metalora
+
+#endif  // METALORA_CORE_LOTR_ADAPTER_H_

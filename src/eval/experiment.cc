@@ -133,10 +133,7 @@ Status PrepareSeedEnv(const ExperimentConfig& c, uint64_t seed,
 }
 
 // Methods whose adapters consume frozen-extractor features per batch.
-bool IsMetaKind(AdapterKind kind) {
-  return kind == AdapterKind::kMetaLoraCp ||
-         kind == AdapterKind::kMetaLoraTr || kind == AdapterKind::kMoeLora;
-}
+bool IsMetaKind(AdapterKind kind) { return core::AdapterKindNeedsFeatures(kind); }
 
 Result<SingleRunResult> AdaptAndScore(const ExperimentConfig& c,
                                       const SeedEnv& env, AdapterKind kind,
@@ -307,7 +304,9 @@ Result<Table1Result> RunTable1Experiment(
     for (const auto& summary : table.methods) {
       if (!summary.mean_accuracy.count(k)) continue;
       const bool is_meta = summary.kind == AdapterKind::kMetaLoraCp ||
-                           summary.kind == AdapterKind::kMetaLoraTr;
+                           summary.kind == AdapterKind::kMetaLoraTr ||
+                           summary.kind == AdapterKind::kMetaLotr ||
+                           summary.kind == AdapterKind::kMetaTt;
       if (is_meta) {
         if (!best_meta ||
             summary.mean_accuracy.at(k) > best_meta->mean_accuracy.at(k)) {

@@ -33,6 +33,36 @@ int64_t MetaLoraTrConvParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
   return rank * (kernel * kernel * in_ch) * rank + rank * out_ch * rank;
 }
 
+int64_t LotrSharedLinearParams(int64_t in, int64_t out, int64_t rank) {
+  return rank * in + out * rank;
+}
+
+int64_t LotrSharedConvParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
+                             int64_t rank) {
+  return rank * in_ch * kernel * kernel + out_ch * rank;
+}
+
+int64_t LotrCoreParams(int64_t rank) { return rank * rank; }
+
+int64_t TtSplitDim(int64_t d) {
+  int64_t best = 1;
+  for (int64_t f = 1; f * f <= d; ++f) {
+    if (d % f == 0) best = f;
+  }
+  return best;
+}
+
+int64_t TtLinearParams(int64_t in, int64_t out, int64_t rank) {
+  const int64_t i1 = TtSplitDim(in), i2 = in / i1;
+  const int64_t o1 = TtSplitDim(out), o2 = out / o1;
+  return i1 * rank + rank * i2 * rank + rank * o1 * rank + rank * o2;
+}
+
+int64_t TtConvParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
+                     int64_t rank) {
+  return rank * in_ch * rank + rank * kernel * kernel + out_ch * rank;
+}
+
 int64_t ConvFlops(int64_t kernel, int64_t in_ch, int64_t out_ch, int64_t h,
                   int64_t w) {
   return kernel * kernel * in_ch * out_ch * h * w;

@@ -37,6 +37,40 @@ int64_t ConvLoraParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
 int64_t MetaLoraTrConvParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
                              int64_t rank);
 
+// --- LoTR (cross-layer shared factors, arXiv:2402.01376) -------------------
+//
+// All layers of one (in, out[, kernel]) geometry group share the large
+// down/up factors; each layer adds only a thin R×R core. The injected
+// trainable count of a group of L layers is therefore
+//   LotrShared*Params(...) + L · LotrCoreParams(rank),
+// which undercuts L · LoRA layers for every L ≥ 1 at equal rank.
+
+/// Shared factors of one linear geometry group: A[R,I] + B[O,R].
+int64_t LotrSharedLinearParams(int64_t in, int64_t out, int64_t rank);
+
+/// Shared factors of one conv geometry group: A[R,I,K,K] + B[O,R].
+int64_t LotrSharedConvParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
+                             int64_t rank);
+
+/// Per-layer core G[R,R] (same for linear and conv groups).
+int64_t LotrCoreParams(int64_t rank);
+
+// --- Tensor-train adapters (arXiv:2506.16456 / LoRTA-style) ----------------
+
+/// Largest divisor d1 of `d` with d1 ≤ √d: the mode split d = d1 · d2 used
+/// by the TT-matrix adapters (d2 = d / d1; primes degrade to 1 × d).
+int64_t TtSplitDim(int64_t d);
+
+/// TT-matrix adapter on a linear layer with I = i1·i2, O = o1·o2 and uniform
+/// bond rank R: cores [i1,R] + [R,i2,R] + [R,o1,R] + [R,o2].
+int64_t TtLinearParams(int64_t in, int64_t out, int64_t rank);
+
+/// TT adapter on a conv layer: the Conv-LoRA down kernel [R,I,K,K] is
+/// TT-factorized into a channel core [R,I,R] and a spatial core [R,K·K],
+/// plus the 1×1 output core [O,R].
+int64_t TtConvParams(int64_t kernel, int64_t in_ch, int64_t out_ch,
+                     int64_t rank);
+
 /// Multiply-add count of a dense conv layer on an H×W input (same padding).
 int64_t ConvFlops(int64_t kernel, int64_t in_ch, int64_t out_ch, int64_t h,
                   int64_t w);

@@ -11,6 +11,7 @@
 #include "optim/adam.h"
 #include "tensor/random_init.h"
 #include "tensor/tensor_ops.h"
+#include "tn/tn_cost.h"
 
 namespace metalora {
 namespace core {
@@ -100,8 +101,10 @@ TEST(InjectTest, MixerLinearsAreWrapped) {
 }
 
 TEST(InjectTest, ForwardStillWorksAfterInjection) {
-  for (AdapterKind kind : {AdapterKind::kLora, AdapterKind::kMultiLora,
-                           AdapterKind::kMetaLoraCp, AdapterKind::kMetaLoraTr}) {
+  for (AdapterKind kind :
+       {AdapterKind::kLora, AdapterKind::kMultiLora, AdapterKind::kMetaLoraCp,
+        AdapterKind::kMetaLoraTr, AdapterKind::kLotr, AdapterKind::kMetaLotr,
+        AdapterKind::kTt, AdapterKind::kMetaTt}) {
     nn::ResNet net(SmallResNet());
     net.SetTraining(false);
     auto r = InjectAdapters(&net, Opts(kind));
@@ -243,6 +246,72 @@ TEST(InjectTest, BareMlpInjectionRoutesThroughAdapters) {
     }
   }
   EXPECT_EQ(adapters_with_grad, 2);
+}
+
+TEST(InjectTest, LotrResNetSharesFactorsAcrossGeometryGroups) {
+  // SmallResNet wraps 7 convs in 6 distinct geometries: stem (3→4), the two
+  // stage0 4→4 convs (one group, two members), 4→8 s2, 8→8, 8→16 s2, and
+  // 16→16. Each geometry gets exactly one set of shared down/up factors.
+  nn::ResNet net(SmallResNet());
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kLotr));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_wrapped_convs, 7);
+  EXPECT_EQ(r->num_shared_groups, 6);
+
+  // Param accounting: shared factors counted once per group, one R×R core
+  // per wrapped layer — and the tn:: closed forms predict the total exactly.
+  const int64_t rank = 2;
+  int64_t expected = 7 * tn::LotrCoreParams(rank);
+  const int64_t geoms[6][2] = {{3, 4}, {4, 4}, {4, 8}, {8, 8},
+                               {8, 16}, {16, 16}};
+  for (const auto& g : geoms) {
+    expected += tn::LotrSharedConvParams(3, g[0], g[1], rank);
+  }
+  EXPECT_EQ(r->adapter_param_count, expected);
+  int64_t sum = 0;
+  for (Adapter* a : r->adapters) sum += a->AdapterParamCount();
+  EXPECT_EQ(sum, expected);
+  EXPECT_EQ(net.TrainableParamCount(), expected);
+}
+
+TEST(InjectTest, LotrMixerSharesFactorsAcrossBlocks) {
+  // With two blocks the four per-block linear geometries each repeat, so 8
+  // wrapped linears collapse into 4 shared groups — the cross-LAYER sharing
+  // that makes LoTR cheaper than LoRA on deep stacks.
+  nn::MlpMixerConfig cfg = SmallMixer();
+  cfg.num_blocks = 2;
+  nn::MlpMixer net(cfg);
+  auto r = InjectAdapters(&net, Opts(AdapterKind::kMetaLotr));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_wrapped_linears, 8);
+  EXPECT_EQ(r->num_shared_groups, 4);
+  int64_t sum = 0;
+  for (Adapter* a : r->adapters) sum += a->AdapterParamCount();
+  EXPECT_EQ(sum, r->adapter_param_count);
+  EXPECT_EQ(net.TrainableParamCount(), sum);
+}
+
+TEST(InjectTest, NonLotrKindsReportNoSharedGroups) {
+  for (AdapterKind kind : {AdapterKind::kLora, AdapterKind::kTt,
+                           AdapterKind::kMetaTt}) {
+    nn::ResNet net(SmallResNet());
+    auto r = InjectAdapters(&net, Opts(kind));
+    ASSERT_TRUE(r.ok()) << AdapterKindName(kind);
+    EXPECT_EQ(r->num_shared_groups, 0) << AdapterKindName(kind);
+  }
+}
+
+TEST(InjectTest, NewKindsParamAccountingMatchesSum) {
+  for (AdapterKind kind : {AdapterKind::kLotr, AdapterKind::kMetaLotr,
+                           AdapterKind::kTt, AdapterKind::kMetaTt}) {
+    nn::ResNet net(SmallResNet());
+    auto r = InjectAdapters(&net, Opts(kind));
+    ASSERT_TRUE(r.ok()) << AdapterKindName(kind);
+    int64_t sum = 0;
+    for (Adapter* a : r->adapters) sum += a->AdapterParamCount();
+    EXPECT_EQ(sum, r->adapter_param_count) << AdapterKindName(kind);
+    EXPECT_EQ(net.TrainableParamCount(), sum) << AdapterKindName(kind);
+  }
 }
 
 TEST(InjectTest, AdaptersUseDistinctSeeds) {

@@ -164,6 +164,48 @@ TEST(TrainReplicaTest, AdaptMetaLoraLaneInvariance) {
   ExpectBitIdentical(adapt_state(2), adapt_state(4));
 }
 
+TEST(TrainReplicaTest, AdaptNewFamiliesLaneInvariance) {
+  // Same lane-invariance contract for the shared-core (LoTR) and
+  // tensor-train families. kLotr is the interesting one: every layer in a
+  // geometry group backpropagates into the same shared down/up factors, so
+  // the cross-replica reduction must fold those gradients identically
+  // regardless of lane count. The meta variants additionally route
+  // per-replica conditioning through the shared MappingNet.
+  ThreadPool pool(3);
+  data::MultiTaskDataset data = TinyData(32, 2);
+
+  Backbone extractor_net = MakeResNetBackbone(TinyResNet());
+  extractor_net.module->SetTraining(false);
+  extractor_net.module->SetTrainable(false);
+  core::FeatureExtractor extractor(extractor_net.forward_features,
+                                   extractor_net.feature_dim);
+
+  auto adapt_state = [&](core::AdapterKind kind, int num_replicas) {
+    Backbone bb = MakeResNetBackbone(TinyResNet());
+    core::AdapterOptions aopts;
+    aopts.kind = kind;
+    aopts.rank = 2;
+    aopts.feature_dim = extractor.feature_dim();
+    auto injection = core::InjectAdapters(bb.module.get(), aopts);
+    EXPECT_TRUE(injection.ok()) << injection.status().ToString();
+    AdaptContext ctx;
+    ctx.injection = injection.value();
+    ctx.extractor = &extractor;
+    TrainOptions o = ReplicaOptions(num_replicas, &pool);
+    o.epochs = 1;
+    auto stats = AdaptModel(bb, data, o, &ctx);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return bb.module->StateDict();
+  };
+
+  for (core::AdapterKind kind :
+       {core::AdapterKind::kLotr, core::AdapterKind::kMetaLotr,
+        core::AdapterKind::kTt, core::AdapterKind::kMetaTt}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    ExpectBitIdentical(adapt_state(kind, 2), adapt_state(kind, 4));
+  }
+}
+
 TEST(TrainReplicaTest, ReplicatedPathRejectsActiveDropout) {
   struct DropWrapper : nn::Module {
     DropWrapper() : Module("DropWrapper") {

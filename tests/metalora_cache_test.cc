@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/conditioning_cache.h"
+#include "core/lotr_adapter.h"
 #include "core/metalora_conv.h"
 #include "core/metalora_linear.h"
 #include "nn/conv2d.h"
@@ -202,6 +203,72 @@ TEST(MetaLoraCache, PerAdapterIsolation) {
   EXPECT_EQ(a1.conditioning_cache()->stats().hits, 0);
   EXPECT_EQ(a2.conditioning_cache()->stats().misses, 1);
   EXPECT_EQ(a2.conditioning_cache()->stats().hits, 0);
+}
+
+TEST(MetaLoraCache, SharedFactorStepInvalidatesEveryMemberCache) {
+  // Regression for the shared-core (LoTR) family: an optimizer step that
+  // touches ONLY the cross-layer shared down/up factors — registered on the
+  // group owner, aliased by every member — must invalidate each member's
+  // conditioning cache too. Per-adapter version stamps keyed on the
+  // adapter's own registered parameters would miss this (the member's own
+  // params never moved); the global-version stamp catches it.
+  LotrLinear owner(BaseLinear(), MetaOpts(AdapterKind::kMetaLotr));
+  LotrShare share = owner.share();
+  LotrLinear member(BaseLinear(), MetaOpts(AdapterKind::kMetaLotr), &share);
+  Rng core_rng(14);
+  for (nn::Module* m : {static_cast<nn::Module*>(&owner),
+                        static_cast<nn::Module*>(&member)}) {
+    for (auto& np : m->NamedParameters()) {
+      if (np.name == "lotr_core") {
+        FillNormal(np.variable->mutable_value(), core_rng, 0.0f, 0.5f);
+      }
+    }
+  }
+  Variable feats = RandFeatures(4, 26);
+  owner.SetFeatures(feats);
+  member.SetFeatures(feats);
+  Rng rng(40);
+  Variable x(RandomUniform(Shape{4, 5}, rng, -1.0f, 1.0f), false);
+
+  {
+    autograd::NoGradGuard ng;
+    owner.Forward(x);
+    member.Forward(x);
+    owner.Forward(x);
+    member.Forward(x);
+  }
+  EXPECT_EQ(owner.conditioning_cache()->stats().hits, 1);
+  EXPECT_EQ(member.conditioning_cache()->stats().hits, 1);
+
+  // Train-mode backward through the MEMBER reaches the shared factors via
+  // the alias; step an optimizer that owns only those two tensors.
+  owner.ZeroGrad();
+  member.ZeroGrad();
+  Variable loss = autograd::SumAll(member.Forward(x));
+  ASSERT_TRUE(autograd::Backward(loss).ok());
+  std::vector<Variable> shared_only;
+  for (auto& np : owner.NamedParameters()) {
+    if (np.name == "lotr_down" || np.name == "lotr_up") {
+      shared_only.push_back(*np.variable);
+    }
+  }
+  ASSERT_EQ(shared_only.size(), 2u);
+  optim::AdamOptions aopts;
+  aopts.lr = 1e-2;
+  optim::Adam adam(shared_only, aopts);
+  adam.Step();
+
+  // Both caches held entries computed against the pre-step factors; both
+  // must drop them and recompute.
+  {
+    autograd::NoGradGuard ng;
+    owner.Forward(x);
+    member.Forward(x);
+  }
+  EXPECT_EQ(owner.conditioning_cache()->stats().invalidations, 1);
+  EXPECT_EQ(member.conditioning_cache()->stats().invalidations, 1);
+  EXPECT_EQ(owner.conditioning_cache()->stats().misses, 2);
+  EXPECT_EQ(member.conditioning_cache()->stats().misses, 2);
 }
 
 TEST(MetaLoraCache, ChecksumSaltSeparatesIdenticalFeatures) {

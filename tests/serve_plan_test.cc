@@ -22,11 +22,13 @@
 #include "core/adapter_factory.h"
 #include "core/conv_lora.h"
 #include "core/lora_linear.h"
+#include "core/lotr_adapter.h"
 #include "core/metalora_conv.h"
 #include "core/metalora_linear.h"
 #include "core/moe_lora.h"
 #include "core/multi_lora.h"
 #include "core/precision_shadows.h"
+#include "core/tt_adapter.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 #include "serve/adapter_registry.h"
@@ -76,6 +78,26 @@ void RandomizeFactors(nn::Module& m, uint64_t seed) {
   for (auto& np : m.NamedParameters()) {
     if (np.name.find("lora_b") != std::string::npos ||
         np.name.find("core_b") != std::string::npos) {
+      FillNormal(np.variable->mutable_value(), rng, 0.0f, 0.5f);
+    }
+  }
+}
+
+/// LoTR starts with a zero core, TT with a zero output core: give them mass
+/// so a wrong plan cannot hide behind a no-op adapter branch.
+void RandomizeLotrCores(nn::Module& m, uint64_t seed) {
+  Rng rng(seed);
+  for (auto& np : m.NamedParameters()) {
+    if (np.name == "lotr_core") {
+      FillNormal(np.variable->mutable_value(), rng, 0.0f, 0.5f);
+    }
+  }
+}
+
+void RandomizeTtOutput(nn::Module& m, uint64_t seed) {
+  Rng rng(seed);
+  for (auto& np : m.NamedParameters()) {
+    if (np.name == "tt_out_b" || np.name == "tt_out") {
       FillNormal(np.variable->mutable_value(), rng, 0.0f, 0.5f);
     }
   }
@@ -189,6 +211,62 @@ std::vector<Family> AllFamilies() {
          auto a = std::make_unique<core::MetaLoraTrConv>(
              BaseConv(), Opts(AdapterKind::kMetaLoraTr));
          RandomizeFactors(*a, 27);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"lotr_linear", false,
+       [] {
+         auto a = std::make_unique<core::LotrLinear>(BaseLinear(),
+                                                     Opts(AdapterKind::kLotr));
+         RandomizeLotrCores(*a, 28);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"meta_lotr_linear", false,
+       [] {
+         auto a = std::make_unique<core::LotrLinear>(
+             BaseLinear(), Opts(AdapterKind::kMetaLotr));
+         RandomizeLotrCores(*a, 29);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"lotr_conv", true,
+       [] {
+         auto a = std::make_unique<core::LotrConv>(BaseConv(),
+                                                   Opts(AdapterKind::kLotr));
+         RandomizeLotrCores(*a, 30);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"meta_lotr_conv", true,
+       [] {
+         auto a = std::make_unique<core::LotrConv>(
+             BaseConv(), Opts(AdapterKind::kMetaLotr));
+         RandomizeLotrCores(*a, 31);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"tt_linear", false,
+       [] {
+         auto a = std::make_unique<core::TtLinear>(BaseLinear(),
+                                                   Opts(AdapterKind::kTt));
+         RandomizeTtOutput(*a, 32);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"meta_tt_linear", false,
+       [] {
+         auto a = std::make_unique<core::TtLinear>(BaseLinear(),
+                                                   Opts(AdapterKind::kMetaTt));
+         RandomizeTtOutput(*a, 33);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"tt_conv", true,
+       [] {
+         auto a = std::make_unique<core::TtConv>(BaseConv(),
+                                                 Opts(AdapterKind::kTt));
+         RandomizeTtOutput(*a, 34);
+         return std::unique_ptr<core::Adapter>(std::move(a));
+       }},
+      {"meta_tt_conv", true,
+       [] {
+         auto a = std::make_unique<core::TtConv>(BaseConv(),
+                                                 Opts(AdapterKind::kMetaTt));
+         RandomizeTtOutput(*a, 35);
          return std::unique_ptr<core::Adapter>(std::move(a));
        }},
   };

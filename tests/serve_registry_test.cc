@@ -148,6 +148,10 @@ TEST(AdapterFactory, SaveLoadRoundTripsBitwiseEveryFamily) {
       {"moe_lora", AdapterKind::kMoeLora},
       {"metalora_cp", AdapterKind::kMetaLoraCp},
       {"metalora_tr", AdapterKind::kMetaLoraTr},
+      {"lotr", AdapterKind::kLotr},
+      {"meta_lotr", AdapterKind::kMetaLotr},
+      {"tt", AdapterKind::kTt},
+      {"meta_tt", AdapterKind::kMetaTt},
   };
   for (const auto& [tag, kind] : kinds) {
     specs.emplace_back(tag + "_linear",
@@ -173,6 +177,115 @@ TEST(AdapterFactory, SaveLoadRoundTripsBitwiseEveryFamily) {
     ASSERT_TRUE(loaded->LoadCheckpoint(path).ok());
     ExpectStatesBitIdentical(original->StateDict(), loaded->StateDict());
     std::remove(path.c_str());
+  }
+}
+
+// --- Spec validation: crafted specs fail closed ----------------------------
+//
+// Registry specs arrive from catalogs and untrusted decoders; a corrupt
+// field must surface as InvalidArgument naming that field — never a silent
+// default to LoRA, and never a CHECK-abort inside a constructor.
+
+void ExpectRejectedNaming(const AdapterSpec& spec, const std::string& field) {
+  auto built = BuildAdapter(spec);
+  ASSERT_FALSE(built.ok()) << "crafted spec (bad " << field << ") built";
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument) << field;
+  EXPECT_NE(built.status().message().find(field), std::string::npos)
+      << "error does not name the offending field: "
+      << built.status().message();
+}
+
+TEST(AdapterSpecValidation, UnknownKindRejectedNotDefaulted) {
+  AdapterSpec spec = TenantSpec(11);
+  spec.options.kind = static_cast<AdapterKind>(250);
+  ExpectRejectedNaming(spec, "options.kind");
+}
+
+TEST(AdapterSpecValidation, KindNoneIsNotBuildable) {
+  AdapterSpec spec = TenantSpec(11);
+  spec.options.kind = AdapterKind::kNone;
+  ExpectRejectedNaming(spec, "options.kind");
+}
+
+TEST(AdapterSpecValidation, OutOfRangeRankRejected) {
+  AdapterSpec spec = TenantSpec(11);
+  spec.options.rank = 0;
+  ExpectRejectedNaming(spec, "options.rank");
+  spec.options.rank = 1 << 20;
+  ExpectRejectedNaming(spec, "options.rank");
+}
+
+TEST(AdapterSpecValidation, ConditionedKindsRequireFeatureDim) {
+  for (AdapterKind kind :
+       {AdapterKind::kMetaLoraCp, AdapterKind::kMetaLoraTr,
+        AdapterKind::kMetaLotr, AdapterKind::kMetaTt}) {
+    SCOPED_TRACE(core::AdapterKindName(kind));
+    AdapterSpec spec = TenantSpec(11);
+    spec.options.kind = kind;
+    spec.options.feature_dim = 0;
+    ExpectRejectedNaming(spec, "options.feature_dim");
+    spec.options.feature_dim = kFeatDim;
+    spec.options.mapping_hidden = -3;
+    ExpectRejectedNaming(spec, "options.mapping_hidden");
+  }
+}
+
+TEST(AdapterSpecValidation, DegenerateLinearGeometryRejected) {
+  AdapterSpec spec = TenantSpec(11);
+  spec.base.in_features = 0;
+  ExpectRejectedNaming(spec, "base.in_features");
+  spec.base.in_features = kLinearIn;
+  spec.base.out_features = -4;
+  ExpectRejectedNaming(spec, "base.out_features");
+  spec.base.out_features = int64_t{1} << 40;  // absurd alloc request
+  ExpectRejectedNaming(spec, "base.out_features");
+}
+
+TEST(AdapterSpecValidation, DegenerateConvGeometryRejected) {
+  const AdapterSpec good = ConvAdapterSpec(AdapterKind::kLora, 2, 4, 3,
+                                           /*rank=*/2, kFeatDim, /*seed=*/5);
+  ASSERT_TRUE(BuildAdapter(good).ok());
+  AdapterSpec spec = good;
+  spec.base.in_channels = 0;
+  ExpectRejectedNaming(spec, "base.in_channels");
+  spec = good;
+  spec.base.out_channels = -1;
+  ExpectRejectedNaming(spec, "base.out_channels");
+  spec = good;
+  spec.base.kernel = 0;
+  ExpectRejectedNaming(spec, "base.kernel");
+  spec = good;
+  spec.base.kernel = 99;
+  ExpectRejectedNaming(spec, "base.kernel");
+  spec = good;
+  spec.base.stride = 0;
+  ExpectRejectedNaming(spec, "base.stride");
+  spec = good;
+  spec.base.stride = spec.base.kernel + 1;
+  ExpectRejectedNaming(spec, "base.stride");
+  spec = good;
+  spec.base.padding = -1;
+  ExpectRejectedNaming(spec, "base.padding");
+  spec = good;
+  spec.base.padding = spec.base.kernel + 1;
+  ExpectRejectedNaming(spec, "base.padding");
+}
+
+TEST(AdapterSpecValidation, ValidSpecsOfEveryKindStillBuild) {
+  for (AdapterKind kind :
+       {AdapterKind::kLora, AdapterKind::kMultiLora, AdapterKind::kMoeLora,
+        AdapterKind::kMetaLoraCp, AdapterKind::kMetaLoraTr,
+        AdapterKind::kLotr, AdapterKind::kMetaLotr, AdapterKind::kTt,
+        AdapterKind::kMetaTt}) {
+    SCOPED_TRACE(core::AdapterKindName(kind));
+    AdapterSpec lin = LinearAdapterSpec(kind, kLinearIn, kLinearOut,
+                                        /*rank=*/2, kFeatDim, /*seed=*/5);
+    EXPECT_TRUE(core::ValidateAdapterSpec(lin).ok());
+    EXPECT_TRUE(BuildAdapter(lin).ok());
+    AdapterSpec conv = ConvAdapterSpec(kind, 2, 4, 3, /*rank=*/2, kFeatDim,
+                                       /*seed=*/6);
+    EXPECT_TRUE(core::ValidateAdapterSpec(conv).ok());
+    EXPECT_TRUE(BuildAdapter(conv).ok());
   }
 }
 

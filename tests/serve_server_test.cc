@@ -19,9 +19,11 @@
 #include "autograd/variable.h"
 #include "common/bounded_queue.h"
 #include "common/rng.h"
+#include "core/lotr_adapter.h"
 #include "core/metalora_conv.h"
 #include "core/metalora_linear.h"
 #include "core/precision_shadows.h"
+#include "core/tt_adapter.h"
 #include "eval/batch_assembly.h"
 #include "nn/conv2d.h"
 #include "nn/linear.h"
@@ -243,6 +245,123 @@ TEST(AdapterServer, BatchedMatchesSerialBitIdentical) {
   EXPECT_EQ(stats.requests_rejected, 0);
   EXPECT_GT(stats.batches_executed, 0);
   EXPECT_EQ(stats.batched_rows, kClients * kPerClient);
+}
+
+/// LoTR starts with a zero core, TT with a zero output core; perturb them
+/// so batched-vs-serial differences cannot hide behind ΔW = 0.
+void RandomizeNewFamilyCores(nn::Module& m, uint64_t seed) {
+  Rng rng(seed);
+  for (auto& np : m.NamedParameters()) {
+    if (np.name == "lotr_core" || np.name == "tt_out_b" ||
+        np.name == "tt_out") {
+      FillNormal(np.variable->mutable_value(), rng, 0.0f, 0.5f);
+    }
+  }
+}
+
+// Same contract for the shared-core and tensor-train families: batched
+// results byte-identical to one-at-a-time forwards on twin instances. The
+// meta variants exercise per-sample seeds through the batcher; the plain
+// variants prove unconditioned adapters batch transparently too.
+TEST(AdapterServer, NewFamiliesBatchedMatchesSerialBitIdentical) {
+  core::LotrLinear lotr_lin(BaseLinear(), MetaOpts(AdapterKind::kMetaLotr));
+  core::LotrConv lotr_conv(BaseConv(), MetaOpts(AdapterKind::kLotr));
+  core::TtLinear tt_lin(BaseLinear(), MetaOpts(AdapterKind::kTt));
+  core::TtConv tt_conv(BaseConv(), MetaOpts(AdapterKind::kMetaTt));
+  core::LotrLinear lotr_lin_ref(BaseLinear(),
+                                MetaOpts(AdapterKind::kMetaLotr));
+  core::LotrConv lotr_conv_ref(BaseConv(), MetaOpts(AdapterKind::kLotr));
+  core::TtLinear tt_lin_ref(BaseLinear(), MetaOpts(AdapterKind::kTt));
+  core::TtConv tt_conv_ref(BaseConv(), MetaOpts(AdapterKind::kMetaTt));
+  RandomizeNewFamilyCores(lotr_lin, 31);
+  RandomizeNewFamilyCores(lotr_lin_ref, 31);
+  RandomizeNewFamilyCores(lotr_conv, 32);
+  RandomizeNewFamilyCores(lotr_conv_ref, 32);
+  RandomizeNewFamilyCores(tt_lin, 33);
+  RandomizeNewFamilyCores(tt_lin_ref, 33);
+  RandomizeNewFamilyCores(tt_conv, 34);
+  RandomizeNewFamilyCores(tt_conv_ref, 34);
+
+  AdapterServerOptions opts;
+  opts.max_batch_size = 4;
+  opts.flush_deadline_us = 500;
+  opts.num_workers = 3;
+  AdapterServer server(opts);
+  const int lotr_lin_id =
+      server.RegisterSession(&lotr_lin, lotr_lin.conditioning_cache());
+  const int lotr_conv_id =
+      server.RegisterSession(&lotr_conv, lotr_conv.conditioning_cache());
+  const int tt_lin_id =
+      server.RegisterSession(&tt_lin, tt_lin.conditioning_cache());
+  const int tt_conv_id =
+      server.RegisterSession(&tt_conv, tt_conv.conditioning_cache());
+  server.Start();
+
+  struct Expected {
+    std::future<Tensor> got;
+    Tensor want;
+  };
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 8;
+  std::vector<std::vector<Expected>> per_client(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const uint64_t seed = 3000 + static_cast<uint64_t>(c * kPerClient + i);
+        const Tensor f = RandFeatures(1, seed);
+        Expected e;
+        switch (i % 4) {
+          case 0:
+            e.got = server.Submit(lotr_lin_id, f, RandLinearInput(1, seed + 1));
+            break;
+          case 1:
+            e.got = server.Submit(lotr_conv_id, f, RandConvInput(1, seed + 1));
+            break;
+          case 2:
+            e.got = server.Submit(tt_lin_id, f, RandLinearInput(1, seed + 1));
+            break;
+          default:
+            e.got = server.Submit(tt_conv_id, f, RandConvInput(1, seed + 1));
+            break;
+        }
+        per_client[static_cast<size_t>(c)].push_back(std::move(e));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      const uint64_t seed = 3000 + static_cast<uint64_t>(c * kPerClient + i);
+      const Tensor f = RandFeatures(1, seed);
+      Expected& e = per_client[static_cast<size_t>(c)][static_cast<size_t>(i)];
+      switch (i % 4) {
+        case 0:
+          e.want = SerialForward(lotr_lin_ref, f, RandLinearInput(1, seed + 1));
+          break;
+        case 1:
+          e.want = SerialForward(lotr_conv_ref, f, RandConvInput(1, seed + 1));
+          break;
+        case 2:
+          e.want = SerialForward(tt_lin_ref, f, RandLinearInput(1, seed + 1));
+          break;
+        default:
+          e.want = SerialForward(tt_conv_ref, f, RandConvInput(1, seed + 1));
+          break;
+      }
+    }
+  }
+
+  for (auto& client : per_client) {
+    for (Expected& e : client) {
+      ExpectBitIdentical(e.got.get(), e.want);
+    }
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.stats().requests_completed, kClients * kPerClient);
+  EXPECT_EQ(server.stats().requests_failed, 0);
 }
 
 // The autocast option: a server running a low-precision tier must still be
